@@ -1,0 +1,128 @@
+//! Clicks: the unit of attention data.
+//!
+//! "Several attributes, such as a timestamp and a user cookie, are logged
+//! along with the URI of the request. This unit of attention data is
+//! called a click." (§3.1)
+
+use reef_simweb::{Request, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One recorded outgoing HTTP request.
+///
+/// Deliberately carries *no* ground-truth fields (server kind, request
+/// kind): the recorder sees only what a browser extension would see.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Click {
+    /// The user cookie (stable pseudonymous id).
+    pub user: UserId,
+    /// Day of the request.
+    pub day: u32,
+    /// Total-order timestamp within the history.
+    pub tick: u64,
+    /// Requested URI.
+    pub url: String,
+    /// Referrer URI, when the browser knew one.
+    pub referrer: Option<String>,
+}
+
+impl Click {
+    /// Strip a simulated request down to what the browser extension logs.
+    pub fn from_request(request: &Request) -> Self {
+        Click {
+            user: request.user,
+            day: request.day,
+            tick: request.tick,
+            url: request.url.clone(),
+            referrer: request.referrer.clone(),
+        }
+    }
+
+    /// The host part of the clicked URL.
+    pub fn host(&self) -> &str {
+        host_of(&self.url)
+    }
+}
+
+impl fmt::Display for Click {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} d{} t{}] {}", self.user, self.day, self.tick, self.url)
+    }
+}
+
+/// A batch of clicks uploaded to a Reef server ("periodically forwards
+/// batches of requests", §3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClickBatch {
+    /// The uploading user.
+    pub user: UserId,
+    /// Clicks in tick order.
+    pub clicks: Vec<Click>,
+}
+
+impl ClickBatch {
+    /// Approximate upload size in bytes (JSON wire format, as the real
+    /// extension-to-LAMP-server path used).
+    pub fn wire_size(&self) -> usize {
+        serde_json::to_vec(self).map_or(0, |v| v.len())
+    }
+}
+
+/// Extract the host of an URL (`http://host/path` → `host`). Unparseable
+/// URLs return the whole string, which keeps per-host statistics total.
+pub fn host_of(url: &str) -> &str {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))
+        .unwrap_or(url);
+    rest.split(['/', '?', '#']).next().unwrap_or(rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reef_simweb::{RequestKind, ServerId};
+
+    #[test]
+    fn host_extraction() {
+        assert_eq!(host_of("http://a.example/p.html"), "a.example");
+        assert_eq!(host_of("https://b.example?x=1"), "b.example");
+        assert_eq!(host_of("c.example/path"), "c.example");
+        assert_eq!(host_of("weird"), "weird");
+    }
+
+    #[test]
+    fn from_request_strips_ground_truth() {
+        let req = Request {
+            user: UserId(3),
+            day: 2,
+            tick: 17,
+            url: "http://x.example/p0.html".to_owned(),
+            server: ServerId(9),
+            kind: RequestKind::Page,
+            referrer: None,
+        };
+        let click = Click::from_request(&req);
+        assert_eq!(click.user, UserId(3));
+        assert_eq!(click.host(), "x.example");
+        // Click is serializable without any server/kind fields.
+        let json = serde_json::to_string(&click).unwrap();
+        assert!(!json.contains("server"));
+        assert!(!json.contains("kind"));
+    }
+
+    #[test]
+    fn batch_wire_size_grows_with_clicks() {
+        let click = Click {
+            user: UserId(0),
+            day: 0,
+            tick: 0,
+            url: "http://a.example/".to_owned(),
+            referrer: None,
+        };
+        let small = ClickBatch { user: UserId(0), clicks: vec![click.clone()] };
+        let big = ClickBatch { user: UserId(0), clicks: vec![click.clone(), click] };
+        assert!(big.wire_size() > small.wire_size());
+        assert!(small.wire_size() > 0);
+    }
+}

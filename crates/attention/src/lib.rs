@@ -1,0 +1,42 @@
+//! # reef-attention — attention capture, storage and parsing
+//!
+//! "In the extreme case, the only input to this system can be user
+//! attention, which is an encoding of some of the actions that the user
+//! performs." (§2.1) This crate is the attention half of the Reef
+//! architecture:
+//!
+//! * [`Click`] / [`ClickBatch`] — the unit of attention data and its
+//!   upload format (§3.1);
+//! * [`BrowserRecorder`] — the browser-extension recorder: buffering,
+//!   batching, upload accounting;
+//! * [`ClickStore`] — the server-side click database with per-user and
+//!   per-host indexes;
+//! * [`AttentionParser`] — the schema-driven token scanner turning
+//!   attention into *valid name-value pairs* for any well-defined
+//!   publish-subscribe interface (stock symbols, feed URLs, keywords);
+//! * [`ReactionModel`] — the simulated user's response to delivered
+//!   notifications, closing the feedback loop.
+//!
+//! ```
+//! use reef_attention::AttentionParser;
+//! use reef_pubsub::stock_quote_schema;
+//!
+//! let parser = AttentionParser::new(stock_quote_schema(["ACME"]));
+//! let pairs = parser.parse_text("acme shares rallied today");
+//! assert_eq!(pairs.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod click;
+pub mod parser;
+pub mod reaction;
+pub mod recorder;
+pub mod store;
+
+pub use click::{host_of, Click, ClickBatch};
+pub use parser::{looks_like_feed_url, AttentionParser, CandidatePair, TokenSource};
+pub use reaction::{Reaction, ReactionModel};
+pub use recorder::{AttentionRecorder, BrowserRecorder, NullRecorder, RecorderStats};
+pub use store::{ClickStore, HostStats};

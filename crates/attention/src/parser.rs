@@ -1,0 +1,225 @@
+//! The attention parser: from raw attention to valid name-value pairs.
+//!
+//! "This raw data is processed by an attention parser, which looks for
+//! tokens that match the specification of name-value pairs of the
+//! publish-subscribe system we are given. For example, in a
+//! publish-subscribe system that delivers stock quotes, the attention
+//! parser would be looking for known stock symbols in the attention data.
+//! Other examples of tokens are: feed URLs … or any commonly occurring
+//! keywords" (§2.2).
+//!
+//! [`AttentionParser`] is schema-driven: given a [`Schema`], it scans text
+//! and URLs for tokens that form *valid* pairs under that schema —
+//! enumerated-domain members (stock symbols), feed URLs for topic
+//! attributes, and free keywords for open content attributes. This is the
+//! paper's §2.1 generality claim made concrete: one parser, any
+//! well-defined pub/sub interface.
+
+use reef_pubsub::{Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Where a candidate token was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenSource {
+    /// Found in page/document text.
+    Text,
+    /// Found in a clicked or embedded URL.
+    Url,
+}
+
+/// A name-value pair extracted from attention data, already validated
+/// against the parser's schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidatePair {
+    /// Attribute name of the target schema.
+    pub attr: String,
+    /// Extracted value.
+    pub value: Value,
+    /// Provenance of the token.
+    pub source: TokenSource,
+}
+
+impl fmt::Display for CandidatePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={} ({:?})", self.attr, self.value, self.source)
+    }
+}
+
+/// File extensions and path markers that identify feed URLs.
+const FEED_MARKERS: [&str; 6] = [".rss", ".atom", ".rdf", "/feed", "feed.xml", "/rss"];
+
+/// `true` when a URL looks like a Web feed (autodiscovery by URL shape;
+/// page-level `<link>` autodiscovery is the crawler's job).
+pub fn looks_like_feed_url(url: &str) -> bool {
+    let lower = url.to_lowercase();
+    FEED_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// Schema-driven token scanner.
+#[derive(Debug, Clone)]
+pub struct AttentionParser {
+    schema: Schema,
+    /// Uppercased domain tokens per attribute, for case-insensitive scans.
+    domain_attrs: Vec<(String, BTreeSet<String>)>,
+    /// String attributes named like topics/URLs that accept feed URLs.
+    topic_attrs: Vec<String>,
+}
+
+impl AttentionParser {
+    /// Build a parser for one publish-subscribe interface.
+    pub fn new(schema: Schema) -> Self {
+        let mut domain_attrs = Vec::new();
+        let mut topic_attrs = Vec::new();
+        for (name, spec) in schema.attrs() {
+            if let Some(domain) = &spec.domain {
+                domain_attrs.push((
+                    name.to_owned(),
+                    domain.iter().map(|s| s.to_uppercase()).collect(),
+                ));
+            }
+            if name == "topic" || name.ends_with("url") || name.ends_with("uri") {
+                topic_attrs.push(name.to_owned());
+            }
+        }
+        AttentionParser {
+            schema,
+            domain_attrs,
+            topic_attrs,
+        }
+    }
+
+    /// The schema this parser targets.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Scan free text for tokens that form valid pairs: enumerated-domain
+    /// members, matched case-insensitively.
+    pub fn parse_text(&self, text: &str) -> Vec<CandidatePair> {
+        let mut out = Vec::new();
+        for raw in text.split(|c: char| !c.is_alphanumeric() && c != '.') {
+            if raw.is_empty() {
+                continue;
+            }
+            let upper = raw.to_uppercase();
+            for (attr, domain) in &self.domain_attrs {
+                if domain.contains(&upper) {
+                    // Emit the canonical (domain) casing.
+                    let value = Value::from(upper.as_str());
+                    if self.schema.validate_pair(attr, &value).is_ok() {
+                        out.push(CandidatePair {
+                            attr: attr.clone(),
+                            value,
+                            source: TokenSource::Text,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scan a URL: feed-shaped URLs become candidates for topic/url
+    /// attributes.
+    pub fn parse_url(&self, url: &str) -> Vec<CandidatePair> {
+        let mut out = Vec::new();
+        if looks_like_feed_url(url) {
+            for attr in &self.topic_attrs {
+                let value = Value::from(url);
+                if self.schema.validate_pair(attr, &value).is_ok() {
+                    out.push(CandidatePair {
+                        attr: attr.clone(),
+                        value,
+                        source: TokenSource::Url,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Scan both a URL and associated text, deduplicating identical pairs.
+    pub fn parse_click(&self, url: &str, text: &str) -> Vec<CandidatePair> {
+        let mut out = self.parse_url(url);
+        out.extend(self.parse_text(text));
+        out.dedup_by(|a, b| a.attr == b.attr && a.value == b.value);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reef_pubsub::{feed_events_schema, stock_quote_schema};
+
+    #[test]
+    fn finds_known_stock_symbols_case_insensitively() {
+        let parser = AttentionParser::new(stock_quote_schema(["ACME", "GLOBEX"]));
+        let pairs = parser.parse_text("I read about acme and Globex today, not initech.");
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| p.attr == "symbol"));
+        assert!(pairs.iter().any(|p| p.value == Value::from("ACME")));
+        assert!(pairs.iter().any(|p| p.value == Value::from("GLOBEX")));
+    }
+
+    #[test]
+    fn unknown_symbols_are_rejected() {
+        let parser = AttentionParser::new(stock_quote_schema(["ACME"]));
+        assert!(parser.parse_text("ENRON WORLDCOM").is_empty());
+    }
+
+    #[test]
+    fn feed_urls_become_topic_candidates() {
+        let parser = AttentionParser::new(feed_events_schema());
+        let pairs = parser.parse_url("http://news.example/feed0.rss");
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].attr, "topic");
+        assert_eq!(pairs[0].source, TokenSource::Url);
+    }
+
+    #[test]
+    fn ordinary_urls_are_not_feeds() {
+        let parser = AttentionParser::new(feed_events_schema());
+        assert!(parser.parse_url("http://news.example/story.html").is_empty());
+    }
+
+    #[test]
+    fn feed_url_heuristics() {
+        for url in [
+            "http://x/f.rss",
+            "http://x/a.atom",
+            "http://x/b.rdf",
+            "http://x/feed/",
+            "http://x/feed.xml",
+            "http://x/RSS",
+        ] {
+            assert!(looks_like_feed_url(url), "{url}");
+        }
+        assert!(!looks_like_feed_url("http://x/page.html"));
+    }
+
+    #[test]
+    fn parse_click_merges_and_dedups() {
+        let parser = AttentionParser::new(stock_quote_schema(["ACME"]));
+        let pairs = parser.parse_click("http://q.example/acme", "ACME ACME rally");
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn parser_is_schema_generic() {
+        // The same parser code serves a completely different interface.
+        let weather = reef_pubsub::Schema::builder("weather")
+            .attr(
+                "city",
+                reef_pubsub::AttrSpec::of(reef_pubsub::ValueType::Str)
+                    .with_domain(["TROMSO", "OSLO"]),
+            )
+            .build();
+        let parser = AttentionParser::new(weather);
+        let pairs = parser.parse_text("flights to tromso are delayed");
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].attr, "city");
+    }
+}

@@ -1,0 +1,125 @@
+//! User reactions to delivered notifications — the feedback half of the
+//! closed loop.
+//!
+//! "Whether the user appreciates the recommendations or not is determined
+//! by his attention to the delivered events. For instance, clicking of a
+//! link contained in an event will be captured by the attention recorder
+//! and can be viewed by the recommendation service as positive feedback."
+//! (§2.2) The sidebar lets users click an event, delete it, or ignore it
+//! until it expires (§3.1).
+//!
+//! [`ReactionModel`] is the simulated user's policy: how likely each
+//! reaction is given whether the event actually matches the user's
+//! interests. The frontend (in `reef-core`) samples it per displayed
+//! event.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a user did with a sidebar event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reaction {
+    /// Clicked through — positive implicit feedback.
+    Click,
+    /// Deleted — explicit negative feedback.
+    Delete,
+    /// Ignored; the event will expire.
+    Ignore,
+}
+
+/// Probabilistic reaction policy conditioned on event relevance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReactionModel {
+    /// P(click | event is relevant to the user).
+    pub click_when_relevant: f64,
+    /// P(delete | relevant).
+    pub delete_when_relevant: f64,
+    /// P(click | irrelevant).
+    pub click_when_irrelevant: f64,
+    /// P(delete | irrelevant).
+    pub delete_when_irrelevant: f64,
+}
+
+impl Default for ReactionModel {
+    fn default() -> Self {
+        ReactionModel {
+            click_when_relevant: 0.55,
+            delete_when_relevant: 0.05,
+            click_when_irrelevant: 0.04,
+            delete_when_irrelevant: 0.35,
+        }
+    }
+}
+
+impl ReactionModel {
+    /// Sample a reaction given whether the event is relevant.
+    pub fn decide<R: Rng + ?Sized>(&self, rng: &mut R, relevant: bool) -> Reaction {
+        let (p_click, p_delete) = if relevant {
+            (self.click_when_relevant, self.delete_when_relevant)
+        } else {
+            (self.click_when_irrelevant, self.delete_when_irrelevant)
+        };
+        let x: f64 = rng.gen();
+        if x < p_click {
+            Reaction::Click
+        } else if x < p_click + p_delete {
+            Reaction::Delete
+        } else {
+            Reaction::Ignore
+        }
+    }
+
+    /// A model that clicks relevant events always and deletes irrelevant
+    /// ones always — useful for deterministic tests.
+    pub fn oracle() -> Self {
+        ReactionModel {
+            click_when_relevant: 1.0,
+            delete_when_relevant: 0.0,
+            click_when_irrelevant: 0.0,
+            delete_when_irrelevant: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let m = ReactionModel::oracle();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(m.decide(&mut rng, true), Reaction::Click);
+            assert_eq!(m.decide(&mut rng, false), Reaction::Delete);
+        }
+    }
+
+    #[test]
+    fn relevant_events_attract_more_clicks() {
+        let m = ReactionModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let clicks = |relevant: bool, rng: &mut StdRng| {
+            (0..5000)
+                .filter(|_| m.decide(rng, relevant) == Reaction::Click)
+                .count()
+        };
+        let relevant_clicks = clicks(true, &mut rng);
+        let irrelevant_clicks = clicks(false, &mut rng);
+        assert!(relevant_clicks > irrelevant_clicks * 3);
+    }
+
+    #[test]
+    fn irrelevant_events_attract_more_deletes() {
+        let m = ReactionModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let deletes = |relevant: bool, rng: &mut StdRng| {
+            (0..5000)
+                .filter(|_| m.decide(rng, relevant) == Reaction::Delete)
+                .count()
+        };
+        assert!(deletes(false, &mut rng) > deletes(true, &mut rng) * 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Attention recorders.
+//!
+//! "The attention of a user is captured by an attention recorder. In our
+//! prototype, the recorder runs in the Web browser and captures the URIs
+//! viewed by the user." (§2.2) The recorder here is the browser-extension
+//! equivalent: it buffers clicks and periodically flushes batches toward a
+//! Reef server (centralized) or the local pipeline (distributed).
+
+use crate::click::{Click, ClickBatch};
+use reef_simweb::UserId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Anything that consumes a stream of clicks.
+pub trait AttentionRecorder: fmt::Debug {
+    /// Record one click.
+    fn record(&mut self, click: Click);
+
+    /// Flush buffered clicks, if the recorder buffers.
+    fn flush(&mut self) -> Option<ClickBatch> {
+        None
+    }
+}
+
+/// Counters for a [`BrowserRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecorderStats {
+    /// Clicks recorded.
+    pub recorded: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Total bytes of flushed batches (JSON wire size).
+    pub bytes_uploaded: u64,
+}
+
+/// The browser-extension recorder: buffers clicks per user and emits a
+/// batch every `batch_size` clicks.
+///
+/// # Examples
+///
+/// ```
+/// use reef_attention::{BrowserRecorder, AttentionRecorder, Click};
+/// use reef_simweb::UserId;
+///
+/// let mut recorder = BrowserRecorder::new(UserId(0), 2);
+/// let click = Click { user: UserId(0), day: 0, tick: 0,
+///                     url: "http://a.example/".into(), referrer: None };
+/// assert!(recorder.record_and_maybe_flush(click.clone()).is_none());
+/// assert!(recorder.record_and_maybe_flush(click).is_some());
+/// ```
+#[derive(Debug)]
+pub struct BrowserRecorder {
+    user: UserId,
+    batch_size: usize,
+    buffer: Vec<Click>,
+    stats: RecorderStats,
+}
+
+impl BrowserRecorder {
+    /// A recorder for `user` that flushes every `batch_size` clicks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is 0.
+    pub fn new(user: UserId, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BrowserRecorder {
+            user,
+            batch_size,
+            // Cap the pre-allocation; huge batch sizes (used to mean
+            // "manual flush only") must not reserve memory up front.
+            buffer: Vec::with_capacity(batch_size.min(1024)),
+            stats: RecorderStats::default(),
+        }
+    }
+
+    /// The user this recorder belongs to.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Record a click; returns a batch when the buffer filled up.
+    pub fn record_and_maybe_flush(&mut self, click: Click) -> Option<ClickBatch> {
+        self.record(click);
+        if self.buffer.len() >= self.batch_size {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Clicks currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Upload counters.
+    pub fn stats(&self) -> RecorderStats {
+        self.stats
+    }
+}
+
+impl AttentionRecorder for BrowserRecorder {
+    fn record(&mut self, click: Click) {
+        debug_assert_eq!(click.user, self.user, "recorder received foreign click");
+        self.stats.recorded += 1;
+        self.buffer.push(click);
+    }
+
+    fn flush(&mut self) -> Option<ClickBatch> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let batch = ClickBatch {
+            user: self.user,
+            clicks: std::mem::take(&mut self.buffer),
+        };
+        self.stats.batches += 1;
+        self.stats.bytes_uploaded += batch.wire_size() as u64;
+        Some(batch)
+    }
+}
+
+/// A recorder that drops everything (privacy-maximal baseline; also useful
+/// in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl AttentionRecorder for NullRecorder {
+    fn record(&mut self, _click: Click) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn click(tick: u64) -> Click {
+        Click {
+            user: UserId(1),
+            day: 0,
+            tick,
+            url: format!("http://s.example/p{tick}.html"),
+            referrer: None,
+        }
+    }
+
+    #[test]
+    fn flushes_at_batch_size() {
+        let mut r = BrowserRecorder::new(UserId(1), 3);
+        assert!(r.record_and_maybe_flush(click(0)).is_none());
+        assert!(r.record_and_maybe_flush(click(1)).is_none());
+        let batch = r.record_and_maybe_flush(click(2)).expect("batch at size 3");
+        assert_eq!(batch.clicks.len(), 3);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn manual_flush_drains_partial_buffer() {
+        let mut r = BrowserRecorder::new(UserId(1), 10);
+        r.record(click(0));
+        let batch = r.flush().unwrap();
+        assert_eq!(batch.clicks.len(), 1);
+        assert!(r.flush().is_none());
+    }
+
+    #[test]
+    fn stats_account_uploads() {
+        let mut r = BrowserRecorder::new(UserId(1), 2);
+        r.record_and_maybe_flush(click(0));
+        r.record_and_maybe_flush(click(1));
+        let stats = r.stats();
+        assert_eq!(stats.recorded, 2);
+        assert_eq!(stats.batches, 1);
+        assert!(stats.bytes_uploaded > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = BrowserRecorder::new(UserId(0), 0);
+    }
+
+    #[test]
+    fn null_recorder_ignores_everything() {
+        let mut r = NullRecorder;
+        r.record(click(0));
+        assert!(r.flush().is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! The click database.
+//!
+//! "When clicks arrive, they are stored in a database and the URIs in them
+//! are batched for periodic crawling." (§3.1) The centralized Reef server
+//! keeps one of these for all users; a distributed Reef peer keeps one for
+//! its own user only.
+
+use crate::click::{host_of, Click, ClickBatch};
+use reef_simweb::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Per-host visit statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HostStats {
+    /// Requests to the host.
+    pub visits: u64,
+    /// Distinct users who visited.
+    pub users: u32,
+    /// First day the host was seen.
+    pub first_day: u32,
+    /// Last day the host was seen.
+    pub last_day: u32,
+}
+
+/// In-memory click store with the per-user and per-host indexes the
+/// analysis pipeline queries.
+#[derive(Debug, Clone, Default)]
+pub struct ClickStore {
+    by_user: HashMap<UserId, Vec<Click>>,
+    host_stats: BTreeMap<String, HostStats>,
+    host_users: HashMap<String, BTreeSet<UserId>>,
+    total: u64,
+}
+
+impl ClickStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one click.
+    pub fn insert(&mut self, click: Click) {
+        let host = click.host().to_owned();
+        let users = self.host_users.entry(host.clone()).or_default();
+        users.insert(click.user);
+        let n_users = users.len() as u32;
+        let entry = self.host_stats.entry(host).or_insert(HostStats {
+            visits: 0,
+            users: 0,
+            first_day: click.day,
+            last_day: click.day,
+        });
+        entry.visits += 1;
+        entry.users = n_users;
+        entry.first_day = entry.first_day.min(click.day);
+        entry.last_day = entry.last_day.max(click.day);
+        self.total += 1;
+        self.by_user.entry(click.user).or_default().push(click);
+    }
+
+    /// Ingest an uploaded batch.
+    pub fn insert_batch(&mut self, batch: ClickBatch) {
+        for click in batch.clicks {
+            self.insert(click);
+        }
+    }
+
+    /// Total clicks stored.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when no clicks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Users with at least one click.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        let mut ids: Vec<UserId> = self.by_user.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+    }
+
+    /// All clicks of one user, in insertion order.
+    pub fn clicks_of(&self, user: UserId) -> &[Click] {
+        self.by_user.get(&user).map_or(&[], Vec::as_slice)
+    }
+
+    /// Clicks of a user within a day window (inclusive).
+    pub fn clicks_of_in(&self, user: UserId, from_day: u32, to_day: u32) -> impl Iterator<Item = &Click> {
+        self.clicks_of(user)
+            .iter()
+            .filter(move |c| c.day >= from_day && c.day <= to_day)
+    }
+
+    /// Number of distinct hosts seen.
+    pub fn distinct_hosts(&self) -> usize {
+        self.host_stats.len()
+    }
+
+    /// Visit statistics of one host.
+    pub fn host(&self, host: &str) -> Option<&HostStats> {
+        self.host_stats.get(host)
+    }
+
+    /// Iterate over `(host, stats)` in sorted host order.
+    pub fn hosts(&self) -> impl Iterator<Item = (&str, &HostStats)> {
+        self.host_stats.iter().map(|(h, s)| (h.as_str(), s))
+    }
+
+    /// Hosts visited exactly once across all users.
+    pub fn single_visit_hosts(&self) -> impl Iterator<Item = &str> {
+        self.host_stats
+            .iter()
+            .filter(|(_, s)| s.visits == 1)
+            .map(|(h, _)| h.as_str())
+    }
+
+    /// Distinct hosts one user has visited.
+    pub fn hosts_of(&self, user: UserId) -> BTreeSet<&str> {
+        self.clicks_of(user).iter().map(|c| host_of(&c.url)).collect()
+    }
+
+    /// Visits by one user to one host.
+    pub fn visits_by(&self, user: UserId, host: &str) -> u64 {
+        self.clicks_of(user)
+            .iter()
+            .filter(|c| c.host() == host)
+            .count() as u64
+    }
+}
+
+impl fmt::Display for ClickStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} clicks, {} users, {} hosts",
+            self.total,
+            self.by_user.len(),
+            self.host_stats.len()
+        )
+    }
+}
+
+impl Extend<Click> for ClickStore {
+    fn extend<I: IntoIterator<Item = Click>>(&mut self, iter: I) {
+        for click in iter {
+            self.insert(click);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn click(user: u32, day: u32, tick: u64, url: &str) -> Click {
+        Click {
+            user: UserId(user),
+            day,
+            tick,
+            url: url.to_owned(),
+            referrer: None,
+        }
+    }
+
+    fn store() -> ClickStore {
+        let mut s = ClickStore::new();
+        s.insert(click(0, 0, 0, "http://a.example/1"));
+        s.insert(click(0, 1, 1, "http://a.example/2"));
+        s.insert(click(1, 1, 2, "http://a.example/1"));
+        s.insert(click(1, 2, 3, "http://b.example/1"));
+        s
+    }
+
+    #[test]
+    fn counts_and_indexes() {
+        let s = store();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.distinct_hosts(), 2);
+        assert_eq!(s.clicks_of(UserId(0)).len(), 2);
+        assert_eq!(s.visits_by(UserId(1), "a.example"), 1);
+    }
+
+    #[test]
+    fn host_stats_track_days_and_users() {
+        let s = store();
+        let a = s.host("a.example").unwrap();
+        assert_eq!(a.visits, 3);
+        assert_eq!(a.users, 2);
+        assert_eq!(a.first_day, 0);
+        assert_eq!(a.last_day, 1);
+    }
+
+    #[test]
+    fn single_visit_hosts_listed() {
+        let s = store();
+        let singles: Vec<&str> = s.single_visit_hosts().collect();
+        assert_eq!(singles, vec!["b.example"]);
+    }
+
+    #[test]
+    fn day_window_query() {
+        let s = store();
+        let in_window: Vec<u64> = s.clicks_of_in(UserId(0), 1, 5).map(|c| c.tick).collect();
+        assert_eq!(in_window, vec![1]);
+    }
+
+    #[test]
+    fn batch_ingest_and_extend() {
+        let mut s = ClickStore::new();
+        s.insert_batch(ClickBatch {
+            user: UserId(0),
+            clicks: vec![click(0, 0, 0, "http://x.example/")],
+        });
+        s.extend(vec![click(0, 0, 1, "http://y.example/")]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.distinct_hosts(), 2);
+    }
+
+    #[test]
+    fn users_are_sorted() {
+        let s = store();
+        let users: Vec<UserId> = s.users().collect();
+        assert_eq!(users, vec![UserId(0), UserId(1)]);
+    }
+
+    #[test]
+    fn hosts_of_user() {
+        let s = store();
+        let hosts = s.hosts_of(UserId(1));
+        assert!(hosts.contains("a.example"));
+        assert!(hosts.contains("b.example"));
+        assert_eq!(hosts.len(), 2);
+    }
+
+    #[test]
+    fn empty_store_display() {
+        let s = ClickStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "0 clicks, 0 users, 0 hosts");
+    }
+}

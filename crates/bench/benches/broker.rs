@@ -1,0 +1,97 @@
+//! **B2** — broker publish/deliver throughput and overlay routing, with
+//! the covering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reef_pubsub::{Broker, Event, Filter, Overlay};
+use std::hint::black_box;
+
+fn bench_local_broker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_publish");
+    for &n_subs in &[100usize, 1_000] {
+        let broker = Broker::new();
+        let (id, handle) = broker.register();
+        for i in 0..n_subs {
+            broker
+                .subscribe(id, Filter::topic(&format!("t{i}")))
+                .expect("subscribe");
+        }
+        group.bench_with_input(BenchmarkId::new("topical", n_subs), &n_subs, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let ev = Event::topical(&format!("t{}", i % n_subs as u64), "body");
+                black_box(broker.publish(ev).expect("publish"));
+                handle.drain();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn build_overlay(covering: bool, brokers: usize, subs_per_client: usize) -> Overlay {
+    let mut ov = Overlay::new(covering);
+    let ids: Vec<_> = (0..brokers).map(|_| ov.add_broker()).collect();
+    for w in ids.windows(2) {
+        ov.link(w[0], w[1], 1).expect("tree link");
+    }
+    for (bi, broker) in ids.iter().enumerate() {
+        let client = ov.attach_client(*broker).expect("attach");
+        for s in 0..subs_per_client {
+            // Half the filters are covered by a wider one to exercise the
+            // covering logic.
+            let filter = if s % 2 == 0 {
+                Filter::new().and("x", reef_pubsub::Op::Gt, (s / 2) as i64)
+            } else {
+                Filter::new()
+                    .and("x", reef_pubsub::Op::Gt, (s / 2) as i64)
+                    .and("y", reef_pubsub::Op::Eq, bi as i64)
+            };
+            ov.subscribe(client, filter).expect("subscribe");
+        }
+    }
+    ov.run_until_idle();
+    ov
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_routing");
+    for covering in [false, true] {
+        let label = if covering { "covering" } else { "flooding" };
+        group.bench_function(BenchmarkId::new("publish_run", label), |b| {
+            let mut ov = build_overlay(covering, 8, 32);
+            let publisher = ov.attach_client(reef_pubsub::NodeId(0)).expect("attach");
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                ov.publish(
+                    publisher,
+                    Event::builder().attr("x", i % 40).attr("y", i % 8).build(),
+                )
+                .expect("publish");
+                black_box(ov.run_until_idle())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlay_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_subscription_propagation");
+    for covering in [false, true] {
+        let label = if covering { "covering" } else { "flooding" };
+        group.bench_function(BenchmarkId::new("build", label), |b| {
+            b.iter(|| {
+                let ov = build_overlay(covering, 8, 32);
+                black_box((ov.routing_entries(), ov.advertisement_count()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_local_broker, bench_overlay, bench_overlay_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **B3** — feed substrate: XML parse throughput per dialect and proxy
+//! poll cycles with dedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reef_feeds::{parse_feed, write_feed, Feed, FeedEventsProxy, FeedFormat, FeedItem};
+use reef_pubsub::Broker;
+use std::hint::black_box;
+
+fn sample_feed(items: usize) -> Feed {
+    Feed {
+        title: "Throughput Feed".to_owned(),
+        link: "http://bench.example/".to_owned(),
+        description: "benchmark & <escaping> fodder".to_owned(),
+        items: (0..items)
+            .map(|i| FeedItem {
+                guid: format!("guid-{i}"),
+                title: format!("Story {i} with some & entities <here>"),
+                link: format!("http://bench.example/story/{i}"),
+                description: "a body of a plausible length for a feed item, \
+                              with enough words to be representative of news"
+                    .to_owned(),
+                published_day: Some(i as u32),
+            })
+            .collect(),
+    }
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feed_parse");
+    for format in [FeedFormat::Rss2, FeedFormat::Atom, FeedFormat::Rdf] {
+        let xml = write_feed(&sample_feed(30), format);
+        group.bench_with_input(
+            BenchmarkId::new("parse_30_items", format.to_string()),
+            &xml,
+            |b, xml| b.iter(|| black_box(parse_feed(xml).expect("well-formed"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let feed = sample_feed(30);
+    c.bench_function("feed_write_rss2_30_items", |b| {
+        b.iter(|| black_box(write_feed(&feed, FeedFormat::Rss2)))
+    });
+}
+
+fn bench_proxy_poll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy_poll");
+    for &n_feeds in &[10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("poll_all", n_feeds), &n_feeds, |b, &n| {
+            let broker = Broker::new();
+            let mut proxy = FeedEventsProxy::new();
+            for i in 0..n {
+                proxy.register(&format!("http://bench.example/f{i}.rss"));
+            }
+            let mut day = 0u32;
+            b.iter(|| {
+                day += 1;
+                let fetcher = move |url: &str, d: u32| {
+                    let mut feed = sample_feed(0);
+                    // One new item per feed per day: dedup does real work.
+                    feed.items.push(FeedItem {
+                        guid: format!("{url}-d{d}"),
+                        title: "fresh".to_owned(),
+                        link: url.to_owned(),
+                        description: "new item".to_owned(),
+                        published_day: Some(d),
+                    });
+                    Some(write_feed(&feed, FeedFormat::Rss2))
+                };
+                black_box(proxy.poll_all(&fetcher, &broker, day))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parse, bench_write, bench_proxy_poll
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! **B1** — matching-engine throughput: naive scan vs counting index.
+//!
+//! The standard content-based pub/sub scalability result (cf. Gryphon,
+//! Siena): indexed matching stays near-flat as subscriptions grow while
+//! the naive scan degrades linearly. The crossover justifies the
+//! `IndexMatcher` default in the broker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reef_pubsub::{Event, Filter, IndexMatcher, MatchEngine, NaiveMatcher, Op, SubscriptionId};
+use std::hint::black_box;
+
+const ATTRS: [&str; 8] = ["alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta"];
+
+fn random_filter(rng: &mut StdRng) -> Filter {
+    let mut f = Filter::new();
+    for _ in 0..rng.gen_range(1..=3) {
+        let attr = ATTRS[rng.gen_range(0..ATTRS.len())];
+        let val = rng.gen_range(0..50i64);
+        let op = match rng.gen_range(0..4) {
+            0 => Op::Eq,
+            1 => Op::Lt,
+            2 => Op::Gt,
+            _ => Op::Ne,
+        };
+        f = f.and(attr, op, val);
+    }
+    f
+}
+
+fn random_event(rng: &mut StdRng) -> Event {
+    let mut e = Event::new();
+    for _ in 0..rng.gen_range(2..=5) {
+        e.set(ATTRS[rng.gen_range(0..ATTRS.len())], rng.gen_range(0..50i64));
+    }
+    e
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_throughput");
+    for &n_subs in &[100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let filters: Vec<Filter> = (0..n_subs).map(|_| random_filter(&mut rng)).collect();
+        let events: Vec<Event> = (0..64).map(|_| random_event(&mut rng)).collect();
+
+        let mut naive = NaiveMatcher::new();
+        let mut index = IndexMatcher::new();
+        for (i, f) in filters.iter().enumerate() {
+            naive.insert(SubscriptionId(i as u64), f.clone());
+            index.insert(SubscriptionId(i as u64), f.clone());
+        }
+
+        group.bench_with_input(BenchmarkId::new("naive", n_subs), &n_subs, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % events.len();
+                black_box(naive.matches(&events[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("index", n_subs), &n_subs, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % events.len();
+                black_box(index.matches(&events[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let filters: Vec<Filter> = (0..1000).map(|_| random_filter(&mut rng)).collect();
+    c.bench_function("index_insert_remove_1k", |b| {
+        b.iter(|| {
+            let mut m = IndexMatcher::new();
+            for (i, f) in filters.iter().enumerate() {
+                m.insert(SubscriptionId(i as u64), f.clone());
+            }
+            for i in 0..filters.len() {
+                m.remove(SubscriptionId(i as u64));
+            }
+            black_box(m.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matchers, bench_insert_remove
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! **B5** — end-to-end Reef day cycle: browsing ingest → crawl →
+//! recommend → subscribe → poll → deliver → react, for both deployments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reef_core::{CentralizedReef, DistributedReef, ReefConfig};
+use reef_simweb::browse::generate_history;
+use reef_simweb::{BrowseConfig, WebConfig, WebUniverse};
+use std::hint::black_box;
+
+fn workload() -> (WebUniverse, reef_simweb::BrowsingHistory) {
+    let universe = WebUniverse::generate(WebConfig::default(), 99);
+    let config = BrowseConfig {
+        users: 3,
+        days: 10,
+        mean_page_views_per_day: 40.0,
+        favourites_per_user: 40,
+        ..BrowseConfig::default()
+    };
+    let history = generate_history(&universe, &config, 99);
+    (universe, history)
+}
+
+fn bench_centralized_day(c: &mut Criterion) {
+    let (universe, history) = workload();
+    c.bench_function("centralized_reef_10_days", |b| {
+        b.iter(|| {
+            let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), 5);
+            let mut events = 0u64;
+            for day in 0..history.days {
+                events += reef.run_day(&universe, &history, day).events_delivered;
+            }
+            black_box(events)
+        })
+    });
+}
+
+fn bench_distributed_day(c: &mut Criterion) {
+    let (universe, history) = workload();
+    c.bench_function("distributed_reef_10_days", |b| {
+        b.iter(|| {
+            let mut reef = DistributedReef::new(&history.profiles, ReefConfig::default(), 5);
+            let mut events = 0u64;
+            for day in 0..history.days {
+                events += reef.run_day(&universe, &history, day).events_delivered;
+            }
+            black_box(events)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_centralized_day, bench_distributed_day
+}
+criterion_main!(benches);

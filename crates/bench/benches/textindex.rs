@@ -1,0 +1,97 @@
+//! **B4** — IR pipeline: stemming, tokenization+indexing, Offer-Weight
+//! term selection, and BM25 ranking of the 500-story archive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reef_simweb::{TopicId, TopicModel, TopicModelConfig};
+use reef_textindex::{
+    porter_stem, rank_all, select_terms, Bm25Params, Corpus, OfferWeightMode, Query, Tokenizer,
+};
+use std::hint::black_box;
+
+fn corpora() -> (TopicModel, Vec<String>, Vec<String>) {
+    let model = TopicModel::generate(TopicModelConfig::default(), 11);
+    let mut rng = StdRng::seed_from_u64(11);
+    let history: Vec<String> = (0..400)
+        .map(|i| model.sample_text(&mut rng, &[(TopicId((i % 3) as u32), 1.0)], 120))
+        .collect();
+    let background: Vec<String> = (0..400)
+        .map(|i| model.sample_text(&mut rng, &[(TopicId((i % 20) as u32), 0.6)], 120))
+        .collect();
+    (model, history, background)
+}
+
+fn bench_stemmer(c: &mut Criterion) {
+    let words = [
+        "subscriptions", "relational", "publishing", "recommendation", "effectiveness",
+        "notifications", "analyzing", "attention", "architecture", "collaborative",
+    ];
+    c.bench_function("porter_stem_10_words", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(porter_stem(w));
+            }
+        })
+    });
+}
+
+fn bench_tokenize_index(c: &mut Criterion) {
+    let (_, history, _) = corpora();
+    let tokenizer = Tokenizer::new();
+    c.bench_function("index_400_docs", |b| {
+        b.iter(|| {
+            let mut corpus = Corpus::new();
+            for doc in &history {
+                corpus.add_text(&tokenizer, doc);
+            }
+            black_box(corpus.doc_count())
+        })
+    });
+}
+
+fn bench_select_terms(c: &mut Criterion) {
+    let (_, history, background) = corpora();
+    let tokenizer = Tokenizer::new();
+    let mut h = Corpus::new();
+    for doc in &history {
+        h.add_text(&tokenizer, doc);
+    }
+    let mut bg = Corpus::new();
+    for doc in &background {
+        bg.add_text(&tokenizer, doc);
+    }
+    c.bench_function("offer_weight_top30", |b| {
+        b.iter(|| black_box(select_terms(&h, &bg, 30, OfferWeightMode::TfIntegrated)))
+    });
+}
+
+fn bench_bm25_rank(c: &mut Criterion) {
+    let (model, _, _) = corpora();
+    let tokenizer = Tokenizer::new();
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut stories = Corpus::new();
+    for i in 0..500 {
+        let text = model.sample_text(&mut rng, &[(TopicId((i % 20) as u32), 1.0)], 90);
+        stories.add_text(&tokenizer, &text);
+    }
+    let terms: Vec<String> = model
+        .topic(TopicId(0))
+        .expect("topic exists")
+        .terms()
+        .iter()
+        .take(30)
+        .map(|t| porter_stem(t))
+        .collect();
+    let query = Query::from_strs(&stories, terms.iter().map(String::as_str));
+    c.bench_function("bm25_rank_500_stories_30_terms", |b| {
+        b.iter(|| black_box(rank_all(&stories, Bm25Params::default(), &query)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stemmer, bench_tokenize_index, bench_select_terms, bench_bm25_rank
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! **E4** — Figure 1 vs Figure 2: centralized vs distributed Reef.
+//!
+//! §4 claims for the distributed design: storage and computation are
+//! spread over the peers, crawl traffic disappears ("documents fetched by
+//! the user … may be available from the browser's cache"), the attention
+//! data never leaves the user's host, and recommendations stay comparable
+//! (peer groups substitute for the central database's collaborative
+//! signal). This binary runs both deployments on the identical workload
+//! and compares traffic, server-resident state, and recommendation
+//! output.
+
+use reef_bench::{e1_setup, print_table, seed_from_env, write_json, Row};
+use reef_core::{CentralizedReef, DistributedReef, ReefConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Side {
+    subscribe_recs: u64,
+    events_delivered: u64,
+    attention_upload_bytes: u64,
+    crawl_bytes: u64,
+    recommendation_bytes: u64,
+    gossip_bytes: u64,
+    server_resident_clicks: u64,
+}
+
+#[derive(Serialize)]
+struct E4Result {
+    seed: u64,
+    centralized: Side,
+    distributed: Side,
+}
+
+fn main() {
+    let seed = seed_from_env();
+    let (universe, history) = e1_setup(seed);
+    let config = ReefConfig::default();
+
+    let mut central = CentralizedReef::new(&history.profiles, config, seed);
+    let mut dist = DistributedReef::new(&history.profiles, config, seed);
+    // Peers need a public reference corpus for term weighting (they have
+    // no other users' data): a public sample of the Web.
+    dist.seed_background(
+        universe
+            .pages()
+            .iter()
+            .filter(|p| p.content_type == "text/html")
+            .step_by(17)
+            .take(400)
+            .map(|p| p.text.as_str()),
+    );
+
+    let mut c = Side {
+        subscribe_recs: 0,
+        events_delivered: 0,
+        attention_upload_bytes: 0,
+        crawl_bytes: 0,
+        recommendation_bytes: 0,
+        gossip_bytes: 0,
+        server_resident_clicks: 0,
+    };
+    let mut d = Side {
+        subscribe_recs: 0,
+        events_delivered: 0,
+        attention_upload_bytes: 0,
+        crawl_bytes: 0,
+        recommendation_bytes: 0,
+        gossip_bytes: 0,
+        server_resident_clicks: 0,
+    };
+    for day in 0..history.days {
+        let rc = central.run_day(&universe, &history, day);
+        c.subscribe_recs += rc.subscribe_recs;
+        c.events_delivered += rc.events_delivered;
+        let rd = dist.run_day(&universe, &history, day);
+        d.subscribe_recs += rd.subscribe_recs;
+        d.events_delivered += rd.events_delivered;
+    }
+    let tc = central.traffic();
+    c.attention_upload_bytes = tc.attention_upload_bytes;
+    c.crawl_bytes = tc.crawl_bytes;
+    c.recommendation_bytes = tc.recommendation_bytes;
+    c.server_resident_clicks = central.server_resident_clicks();
+    let td = dist.traffic();
+    d.gossip_bytes = td.gossip_bytes;
+    d.server_resident_clicks = dist.server_resident_clicks();
+
+    print_table(
+        "E4: centralized (Fig 1) vs distributed (Fig 2) on the same 10-week workload",
+        &[
+            Row::new("feed recommendations", format!("central {}", c.subscribe_recs), format!("distributed {}", d.subscribe_recs)),
+            Row::new("events delivered", format!("central {}", c.events_delivered), format!("distributed {}", d.events_delivered)),
+            Row::new("attention upload bytes", format!("central {}", c.attention_upload_bytes), "distributed 0 (stays on host)"),
+            Row::new("server crawl bytes", format!("central {}", c.crawl_bytes), "distributed 0 (browser cache)"),
+            Row::new("recommendation bytes", format!("central {}", c.recommendation_bytes), "distributed 0 (local)"),
+            Row::new("gossip bytes (peer groups)", "central 0", format!("distributed {}", d.gossip_bytes)),
+            Row::new("attention held server-side", format!("central {} clicks", c.server_resident_clicks), format!("distributed {} clicks", d.server_resident_clicks)),
+        ],
+    );
+
+    let total_c = c.attention_upload_bytes + c.crawl_bytes + c.recommendation_bytes;
+    let total_d = d.gossip_bytes;
+    println!(
+        "\nsubscription-machinery traffic: centralized {} bytes vs distributed {} bytes ({}x reduction)",
+        total_c,
+        total_d,
+        if total_d > 0 { total_c / total_d.max(1) } else { 0 }
+    );
+    println!(
+        "recommendation parity: distributed delivers {:.0}% of the centralized recommendation count",
+        100.0 * d.subscribe_recs as f64 / c.subscribe_recs.max(1) as f64
+    );
+
+    let result = E4Result { seed, centralized: c, distributed: d };
+    if let Some(path) = write_json("e4_central_vs_distributed", &result) {
+        println!("\nresult written to {}", path.display());
+    }
+}

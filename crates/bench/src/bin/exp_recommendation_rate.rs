@@ -1,0 +1,108 @@
+//! **E3** — §6 recommendation rate.
+//!
+//! "On average, every user received one new feed recommendation per day
+//! during our test period."
+//!
+//! Runs the full centralized closed loop over the E1 workload (5 users,
+//! 70 days) and reports new-feed recommendations per user per day,
+//! plus the ablation the §3.2 discussion motivates: without ad/spam
+//! filtering and rate limiting, discovery alone "can reveal many
+//! potential sources" and would flood users.
+
+use reef_bench::{e1_setup, print_table, seed_from_env, write_json, Row};
+use reef_core::{CentralizedReef, ReefConfig, TopicRecommenderConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct E3Result {
+    seed: u64,
+    users: usize,
+    days: u32,
+    subscribe_recs: u64,
+    recs_per_user_day: f64,
+    unlimited_recs_per_user_day: f64,
+    events_delivered: u64,
+    clicked: u64,
+    deleted: u64,
+    expired: u64,
+}
+
+fn run(limit_per_day: usize, seed: u64) -> (u64, u64, u64, u64, u64, usize, u32) {
+    let (universe, history) = e1_setup(seed);
+    let mut config = ReefConfig::default();
+    config.server.topic = TopicRecommenderConfig {
+        max_per_user_per_day: limit_per_day,
+        ..TopicRecommenderConfig::default()
+    };
+    let mut reef = CentralizedReef::new(&history.profiles, config, seed);
+    let mut subs = 0u64;
+    let mut events = 0u64;
+    let mut clicked = 0u64;
+    let mut deleted = 0u64;
+    let mut expired = 0u64;
+    for day in 0..history.days {
+        let report = reef.run_day(&universe, &history, day);
+        subs += report.subscribe_recs;
+        events += report.events_delivered;
+        clicked += report.clicked;
+        deleted += report.deleted;
+        expired += report.expired;
+    }
+    (
+        subs,
+        events,
+        clicked,
+        deleted,
+        expired,
+        history.profiles.len(),
+        history.days,
+    )
+}
+
+fn main() {
+    let seed = seed_from_env();
+    let (subs, events, clicked, deleted, expired, users, days) = run(1, seed);
+    let per_user_day = subs as f64 / (users as f64 * days as f64);
+
+    // Ablation: no rate limiting — every discovered feed is recommended.
+    let (unlimited_subs, ..) = run(usize::MAX >> 1, seed);
+    let unlimited_per_user_day = unlimited_subs as f64 / (users as f64 * days as f64);
+
+    print_table(
+        "E3: recommendation rate over the closed loop (paper §6)",
+        &[
+            Row::new("users × days", "5 × 70", format!("{users} × {days}")),
+            Row::new("feed recommendations", "", subs),
+            Row::new(
+                "new recommendations / user / day",
+                "≈1",
+                format!("{per_user_day:.2}"),
+            ),
+            Row::new(
+                "without rate limit (ablation)",
+                "\"overwhelm any user\"",
+                format!("{unlimited_per_user_day:.2}/user/day"),
+            ),
+            Row::new("feed events delivered", "", events),
+            Row::new("sidebar clicks (positive)", "", clicked),
+            Row::new("sidebar deletes (negative)", "", deleted),
+            Row::new("sidebar expiries", "", expired),
+        ],
+    );
+
+    let result = E3Result {
+        seed,
+        users,
+        days,
+        subscribe_recs: subs,
+        recs_per_user_day: per_user_day,
+        unlimited_recs_per_user_day: unlimited_per_user_day,
+        events_delivered: events,
+        clicked,
+        deleted,
+        expired,
+    };
+    if let Some(path) = write_json("e3_recommendation_rate", &result) {
+        println!("\nresult written to {}", path.display());
+    }
+}

@@ -1,0 +1,114 @@
+//! **E6** — §3.2 update-volume observation and the unsubscribe loop.
+//!
+//! "Even though most feeds are updated infrequently, we still found
+//! enough feeds to overwhelm any user with updates. We are currently
+//! investigating approaches to using attention data for filtering of
+//! updates and for removing subscriptions."
+//!
+//! This experiment measures sidebar volume under three policies on the
+//! same workload: (a) subscribe to *everything* discovered and never
+//! unsubscribe (the overwhelming baseline); (b) rate-limited
+//! recommendations without the feedback loop; (c) the full closed loop
+//! with attention-driven unsubscription — the paper's proposed remedy.
+
+use reef_bench::{e1_setup, print_table, seed_from_env, write_json, Row};
+use reef_core::{CentralizedReef, ReefConfig, TopicRecommenderConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Policy {
+    name: String,
+    subscriptions: u64,
+    unsubscriptions: u64,
+    events_delivered: u64,
+    events_per_user_day: f64,
+    clicked: u64,
+    expired: u64,
+}
+
+#[derive(Serialize)]
+struct E6Result {
+    seed: u64,
+    policies: Vec<Policy>,
+}
+
+fn run(name: &str, limit: usize, unsubscribe_ctr: f64, seed: u64) -> Policy {
+    let (universe, history) = e1_setup(seed);
+    let mut config = ReefConfig::default();
+    config.server.topic = TopicRecommenderConfig {
+        max_per_user_per_day: limit,
+        unsubscribe_ctr,
+        ..TopicRecommenderConfig::default()
+    };
+    let mut reef = CentralizedReef::new(&history.profiles, config, seed);
+    let mut subs = 0u64;
+    let mut unsubs = 0u64;
+    let mut events = 0u64;
+    let mut clicked = 0u64;
+    let mut expired = 0u64;
+    for day in 0..history.days {
+        let report = reef.run_day(&universe, &history, day);
+        subs += report.subscribe_recs;
+        unsubs += report.unsubscribe_recs;
+        events += report.events_delivered;
+        clicked += report.clicked;
+        expired += report.expired;
+    }
+    let user_days = history.profiles.len() as f64 * history.days as f64;
+    Policy {
+        name: name.to_owned(),
+        subscriptions: subs,
+        unsubscriptions: unsubs,
+        events_delivered: events,
+        events_per_user_day: events as f64 / user_days,
+        clicked,
+        expired,
+    }
+}
+
+fn main() {
+    let seed = seed_from_env();
+    // (a) Everything, no feedback: unsubscribe_ctr 0 disables removals.
+    let flood = run("subscribe-everything", usize::MAX >> 1, 0.0, seed);
+    // (b) Rate-limited, no feedback.
+    let limited = run("rate-limited, no unsubscribe", 1, 0.0, seed);
+    // (c) Full closed loop.
+    let closed = run("closed loop (rate limit + unsubscribe)", 1, 0.12, seed);
+
+    let rows: Vec<Row> = [&flood, &limited, &closed]
+        .iter()
+        .map(|p| {
+            Row::new(
+                p.name.clone(),
+                "",
+                format!(
+                    "{} subs, {} unsubs, {:.1} events/user/day",
+                    p.subscriptions, p.unsubscriptions, p.events_per_user_day
+                ),
+            )
+        })
+        .collect();
+    print_table(
+        "E6: sidebar update volume under three subscription policies (§3.2/§6)",
+        &rows,
+    );
+    println!(
+        "\nsubscribing to everything delivers {:.1}x the events of the closed loop \
+         (paper: \"enough feeds to overwhelm any user with updates\")",
+        flood.events_delivered as f64 / closed.events_delivered.max(1) as f64
+    );
+    println!(
+        "the closed loop removed {} ignored subscriptions, cutting volume {:.0}% below \
+         the no-unsubscribe policy",
+        closed.unsubscriptions,
+        100.0 * (1.0 - closed.events_delivered as f64 / limited.events_delivered.max(1) as f64)
+    );
+
+    let result = E6Result {
+        seed,
+        policies: vec![flood, limited, closed],
+    };
+    if let Some(path) = write_json("e6_update_volume", &result) {
+        println!("\nresult written to {}", path.display());
+    }
+}

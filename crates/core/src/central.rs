@@ -1,0 +1,337 @@
+//! The centralized Reef server (Figure 1).
+//!
+//! "A centralized server builds up a database of attention data
+//! (transferred in step 1) for each user. The server analyzes the
+//! attention data to recommend subscribe/unsubscribe actions to the
+//! subscription frontend (2)." (§3)
+//!
+//! The server owns the click database, the crawler, and both
+//! recommendation services; it accounts the bytes that cross the wire so
+//! experiment **E4** can compare it against the distributed design.
+
+use crate::crawler::{CrawlOutcome, Crawler, CrawlStats, PageClass};
+use crate::recommend::content::ContentRecommender;
+use crate::recommend::topic::{SubscriptionFeedback, TopicRecommender, TopicRecommenderConfig};
+use crate::recommend::Recommendation;
+use reef_attention::{host_of, ClickBatch, ClickStore};
+use reef_simweb::{UserId, WebUniverse};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Pages crawled per day ("the URIs in them are batched for periodic
+    /// crawling", §3.1).
+    pub crawl_budget_per_day: usize,
+    /// Topic-recommender settings.
+    pub topic: TopicRecommenderConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            crawl_budget_per_day: 2000,
+            topic: TopicRecommenderConfig::default(),
+        }
+    }
+}
+
+/// Bytes that crossed the network because of the centralized design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerTraffic {
+    /// Attention batches uploaded by users (step 1 of Figure 1).
+    pub attention_in_bytes: u64,
+    /// Crawl fetches issued by the server.
+    pub crawl_bytes: u64,
+    /// Recommendations pushed to frontends (step 2 of Figure 1).
+    pub recommendations_out_bytes: u64,
+}
+
+impl ServerTraffic {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.attention_in_bytes + self.crawl_bytes + self.recommendations_out_bytes
+    }
+}
+
+/// The centralized Reef server.
+pub struct CentralReefServer {
+    config: ServerConfig,
+    store: ClickStore,
+    crawler: Crawler,
+    topic_rec: TopicRecommender,
+    content_rec: ContentRecommender,
+    crawl_queue: VecDeque<(UserId, String)>,
+    queued_urls: HashSet<String>,
+    feeds_discovered: BTreeSet<String>,
+    traffic: ServerTraffic,
+}
+
+impl fmt::Debug for CentralReefServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralReefServer")
+            .field("clicks", &self.store.len())
+            .field("crawl_queue", &self.crawl_queue.len())
+            .field("feeds_discovered", &self.feeds_discovered.len())
+            .finish()
+    }
+}
+
+impl Default for CentralReefServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CentralReefServer {
+    /// A server with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(ServerConfig::default())
+    }
+
+    /// A server with explicit configuration.
+    pub fn with_config(config: ServerConfig) -> Self {
+        CentralReefServer {
+            topic_rec: TopicRecommender::with_config(config.topic),
+            config,
+            store: ClickStore::new(),
+            crawler: Crawler::new(),
+            content_rec: ContentRecommender::new(),
+            crawl_queue: VecDeque::new(),
+            queued_urls: HashSet::new(),
+            feeds_discovered: BTreeSet::new(),
+            traffic: ServerTraffic::default(),
+        }
+    }
+
+    /// Ingest an uploaded click batch (step 1 of Figure 1): store the
+    /// clicks and queue unseen URLs for crawling.
+    pub fn ingest_batch(&mut self, batch: ClickBatch) {
+        self.traffic.attention_in_bytes += batch.wire_size() as u64;
+        for click in &batch.clicks {
+            if !self.crawler.has_crawled(&click.url)
+                && self.crawler.host_flag(host_of(&click.url)).is_none()
+                && self.queued_urls.insert(click.url.clone())
+            {
+                self.crawl_queue.push_back((click.user, click.url.clone()));
+            }
+        }
+        self.store.insert_batch(batch);
+    }
+
+    /// Run the daily analysis: crawl queued pages (flagging ad/spam/
+    /// multimedia hosts, discovering feeds, harvesting keywords) and emit
+    /// subscription recommendations (step 2 of Figure 1).
+    pub fn run_day(&mut self, universe: &WebUniverse, day: u32) -> Vec<Recommendation> {
+        let budget = self.config.crawl_budget_per_day;
+        for _ in 0..budget {
+            let Some((user, url)) = self.crawl_queue.pop_front() else {
+                break;
+            };
+            self.queued_urls.remove(&url);
+            match self.crawler.crawl(universe, &url) {
+                CrawlOutcome::Fetched { class, feeds, text, bytes } => {
+                    self.traffic.crawl_bytes += bytes as u64;
+                    if class == PageClass::Content {
+                        for feed in &feeds {
+                            self.feeds_discovered.insert(feed.clone());
+                        }
+                        self.topic_rec.offer_feeds(user, feeds);
+                        if let Some(text) = text {
+                            self.content_rec.add_history_doc(user, &text);
+                        }
+                    }
+                }
+                CrawlOutcome::AlreadyCrawled
+                | CrawlOutcome::HostFlagged(_)
+                | CrawlOutcome::NotFound => {}
+            }
+        }
+        let mut recommendations = Vec::new();
+        let users: Vec<UserId> = self.store.users().collect();
+        for user in users {
+            recommendations.extend(self.topic_rec.daily_recommendations(user, day));
+        }
+        for rec in &recommendations {
+            self.traffic.recommendations_out_bytes += recommendation_wire_size(rec) as u64;
+        }
+        recommendations
+    }
+
+    /// Judge frontend feedback and emit unsubscribe recommendations.
+    pub fn unsubscribe_pass(
+        &mut self,
+        user: UserId,
+        feedback: &HashMap<String, SubscriptionFeedback>,
+        day: u32,
+    ) -> Vec<Recommendation> {
+        let recs = self.topic_rec.unsubscribe_recommendations(user, feedback, day);
+        for rec in &recs {
+            self.traffic.recommendations_out_bytes += recommendation_wire_size(rec) as u64;
+        }
+        recs
+    }
+
+    /// The click database.
+    pub fn store(&self) -> &ClickStore {
+        &self.store
+    }
+
+    /// Crawl counters.
+    pub fn crawl_stats(&self) -> CrawlStats {
+        self.crawler.stats()
+    }
+
+    /// The content recommender (shared access for term profiles).
+    pub fn content(&self) -> &ContentRecommender {
+        &self.content_rec
+    }
+
+    /// Mutable content recommender (to seed background corpora).
+    pub fn content_mut(&mut self) -> &mut ContentRecommender {
+        &mut self.content_rec
+    }
+
+    /// Distinct feeds discovered so far.
+    pub fn feeds_discovered(&self) -> usize {
+        self.feeds_discovered.len()
+    }
+
+    /// URLs waiting to be crawled.
+    pub fn crawl_backlog(&self) -> usize {
+        self.crawl_queue.len()
+    }
+
+    /// Network traffic attributable to the centralized design.
+    pub fn traffic(&self) -> ServerTraffic {
+        self.traffic
+    }
+
+    /// Hosts flagged by class, for experiment reporting.
+    pub fn flagged_hosts(&self) -> usize {
+        self.crawler.flagged_count()
+    }
+}
+
+/// Approximate wire size of a recommendation message.
+fn recommendation_wire_size(rec: &Recommendation) -> usize {
+    let filter_size = match &rec.action {
+        crate::recommend::RecAction::Subscribe(f) | crate::recommend::RecAction::Unsubscribe(f) => {
+            f.wire_size()
+        }
+    };
+    filter_size + rec.reason.len() + 24
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reef_attention::Click;
+    use reef_simweb::{ServerKind, WebConfig};
+
+    fn universe() -> WebUniverse {
+        WebUniverse::generate(WebConfig::default(), 31)
+    }
+
+    fn batch_for(universe: &WebUniverse, user: u32, kind: ServerKind, n: usize) -> ClickBatch {
+        let urls: Vec<String> = universe
+            .servers()
+            .iter()
+            .filter(|s| s.kind == kind && !s.pages.is_empty())
+            .take(n)
+            .map(|s| universe.page(s.pages[0]).unwrap().url.clone())
+            .collect();
+        ClickBatch {
+            user: UserId(user),
+            clicks: urls
+                .into_iter()
+                .enumerate()
+                .map(|(i, url)| Click {
+                    user: UserId(user),
+                    day: 0,
+                    tick: i as u64,
+                    url,
+                    referrer: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ingest_queues_unseen_urls_once() {
+        let u = universe();
+        let mut server = CentralReefServer::new();
+        let batch = batch_for(&u, 0, ServerKind::Content, 5);
+        server.ingest_batch(batch.clone());
+        assert_eq!(server.crawl_backlog(), 5);
+        // Same URLs again: nothing new queued.
+        server.ingest_batch(batch);
+        assert_eq!(server.crawl_backlog(), 5);
+        assert!(server.traffic().attention_in_bytes > 0);
+    }
+
+    #[test]
+    fn run_day_discovers_feeds_and_recommends() {
+        let u = universe();
+        let mut server = CentralReefServer::new();
+        // Visit many content servers so some carry feeds.
+        server.ingest_batch(batch_for(&u, 0, ServerKind::Content, 60));
+        let recs = server.run_day(&u, 0);
+        assert!(server.feeds_discovered() > 0, "feeds should be found");
+        // Rate limit: at most 1 recommendation for the single user.
+        assert!(recs.len() <= 1);
+        assert!(server.traffic().crawl_bytes > 0);
+        if !recs.is_empty() {
+            assert!(server.traffic().recommendations_out_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn ad_hosts_are_flagged_not_recommended() {
+        let u = universe();
+        let mut server = CentralReefServer::new();
+        server.ingest_batch(batch_for(&u, 0, ServerKind::Ad, 20));
+        let recs = server.run_day(&u, 0);
+        assert!(recs.is_empty());
+        assert!(server.flagged_hosts() >= 20);
+        assert_eq!(server.feeds_discovered(), 0);
+    }
+
+    #[test]
+    fn crawl_budget_limits_daily_work() {
+        let u = universe();
+        let mut server = CentralReefServer::with_config(ServerConfig {
+            crawl_budget_per_day: 3,
+            ..ServerConfig::default()
+        });
+        server.ingest_batch(batch_for(&u, 0, ServerKind::Content, 10));
+        server.run_day(&u, 0);
+        assert_eq!(server.crawl_backlog(), 7);
+        assert_eq!(server.crawl_stats().fetched, 3);
+    }
+
+    #[test]
+    fn unsubscribe_pass_flows_through() {
+        let u = universe();
+        let mut server = CentralReefServer::new();
+        server.ingest_batch(batch_for(&u, 0, ServerKind::Content, 1));
+        let mut feedback = HashMap::new();
+        feedback.insert(
+            "http://x/feed0.rss".to_owned(),
+            SubscriptionFeedback { delivered: 30, clicked: 0, deleted: 25, expired: 5 },
+        );
+        let recs = server.unsubscribe_pass(UserId(0), &feedback, 5);
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn content_profiles_accumulate_from_crawl() {
+        let u = universe();
+        let mut server = CentralReefServer::new();
+        server.ingest_batch(batch_for(&u, 0, ServerKind::Content, 30));
+        server.run_day(&u, 0);
+        assert!(server.content().history_len(UserId(0)) > 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The Reef crawler.
+//!
+//! "The crawler retrieves the pages that the users visited and analyzes
+//! them in several ways: It looks for ad servers and spam sites, as well
+//! as multimedia, and flags them as such in the database, ensuring they
+//! will not be crawled again. It scans the pages looking for sources of
+//! Web feeds. It also parses the page to extract common keywords." (§3.1)
+//!
+//! Classification is content-based: the crawler sees only what a fetch
+//! returns (content type, body text, embedded links) — never the
+//! simulator's ground-truth server kind. Accuracy against ground truth is
+//! measured in tests and in experiment **E1**.
+
+use reef_attention::{host_of, looks_like_feed_url};
+use reef_simweb::{WebUniverse, AD_MARKERS, SPAM_MARKERS};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The crawler's verdict about a page/host, derived from content alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageClass {
+    /// Ordinary content — crawl-worthy.
+    Content,
+    /// Advertisement / tracking endpoint.
+    Ad,
+    /// Spam site.
+    Spam,
+    /// Multimedia resource.
+    Multimedia,
+}
+
+impl fmt::Display for PageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageClass::Content => "content",
+            PageClass::Ad => "ad",
+            PageClass::Spam => "spam",
+            PageClass::Multimedia => "multimedia",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What one crawl attempt produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrawlOutcome {
+    /// The URL was fetched and analyzed.
+    Fetched {
+        /// Content-based classification.
+        class: PageClass,
+        /// Feed URLs discovered on the page (autodiscovery links plus
+        /// feed-shaped anchors).
+        feeds: Vec<String>,
+        /// Page text, for keyword extraction (content pages only).
+        text: Option<String>,
+        /// Bytes fetched (network accounting).
+        bytes: usize,
+    },
+    /// The URL was crawled before; skipped.
+    AlreadyCrawled,
+    /// The host was flagged (ad/spam/multimedia); skipped without fetching.
+    HostFlagged(PageClass),
+    /// The fetch failed (URL gone).
+    NotFound,
+}
+
+/// Crawl counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// Successful fetches.
+    pub fetched: u64,
+    /// Skips due to the already-crawled set.
+    pub skipped_crawled: u64,
+    /// Skips due to host flags.
+    pub skipped_flagged: u64,
+    /// Fetch failures.
+    pub not_found: u64,
+    /// Total bytes fetched.
+    pub bytes_fetched: u64,
+    /// Hosts flagged as ad.
+    pub hosts_flagged_ad: u64,
+    /// Hosts flagged as spam.
+    pub hosts_flagged_spam: u64,
+    /// Hosts flagged as multimedia.
+    pub hosts_flagged_multimedia: u64,
+}
+
+/// Marker-density thresholds for the content classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Fraction of tokens that must be ad markers to flag a page as ad.
+    pub ad_density: f64,
+    /// Fraction of tokens that must be spam markers to flag spam.
+    pub spam_density: f64,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            ad_density: 0.25,
+            spam_density: 0.15,
+        }
+    }
+}
+
+/// The crawler: fetches pages from the (simulated) Web, classifies them,
+/// discovers feeds, and remembers what it has seen.
+#[derive(Debug, Default)]
+pub struct Crawler {
+    config: ClassifierConfig,
+    crawled: HashSet<String>,
+    flagged_hosts: HashMap<String, PageClass>,
+    stats: CrawlStats,
+}
+
+impl Crawler {
+    /// A crawler with default classifier thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A crawler with explicit thresholds.
+    pub fn with_config(config: ClassifierConfig) -> Self {
+        Crawler {
+            config,
+            ..Crawler::default()
+        }
+    }
+
+    /// Classify a fetched document by its content type and marker density.
+    pub fn classify(&self, content_type: &str, text: &str) -> PageClass {
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let density = |markers: &[&str]| {
+            if tokens.is_empty() {
+                return 0.0;
+            }
+            tokens.iter().filter(|t| markers.contains(*t)).count() as f64 / tokens.len() as f64
+        };
+        if content_type.starts_with("image/") || content_type.starts_with("application/") {
+            // Tracking pixels are images stuffed with ad markers; other
+            // binary blobs count as multimedia.
+            if density(&AD_MARKERS) > self.config.ad_density {
+                return PageClass::Ad;
+            }
+            return PageClass::Multimedia;
+        }
+        if content_type.starts_with("video/") || content_type.starts_with("audio/") {
+            return PageClass::Multimedia;
+        }
+        if density(&AD_MARKERS) > self.config.ad_density {
+            return PageClass::Ad;
+        }
+        if density(&SPAM_MARKERS) > self.config.spam_density {
+            return PageClass::Spam;
+        }
+        PageClass::Content
+    }
+
+    /// Crawl one URL against the simulated Web.
+    pub fn crawl(&mut self, universe: &WebUniverse, url: &str) -> CrawlOutcome {
+        if self.crawled.contains(url) {
+            self.stats.skipped_crawled += 1;
+            return CrawlOutcome::AlreadyCrawled;
+        }
+        let host = host_of(url).to_owned();
+        if let Some(class) = self.flagged_hosts.get(&host) {
+            self.stats.skipped_flagged += 1;
+            return CrawlOutcome::HostFlagged(*class);
+        }
+        let Some(page) = universe.fetch(url) else {
+            self.stats.not_found += 1;
+            return CrawlOutcome::NotFound;
+        };
+        self.crawled.insert(url.to_owned());
+        let bytes = page.text.len() + 256;
+        self.stats.fetched += 1;
+        self.stats.bytes_fetched += bytes as u64;
+        let class = self.classify(page.content_type, &page.text);
+        match class {
+            PageClass::Content => {
+                // Feed autodiscovery: explicit alternate links plus any
+                // feed-shaped URLs mentioned by the page.
+                let mut feeds: Vec<String> = page
+                    .feed_links
+                    .iter()
+                    .filter(|u| looks_like_feed_url(u))
+                    .cloned()
+                    .collect();
+                feeds.dedup();
+                CrawlOutcome::Fetched {
+                    class,
+                    feeds,
+                    text: Some(page.text.clone()),
+                    bytes,
+                }
+            }
+            other => {
+                self.flag_host(&host, other);
+                CrawlOutcome::Fetched {
+                    class: other,
+                    feeds: Vec::new(),
+                    text: None,
+                    bytes,
+                }
+            }
+        }
+    }
+
+    /// Flag a host so it is never fetched again.
+    pub fn flag_host(&mut self, host: &str, class: PageClass) {
+        if self.flagged_hosts.insert(host.to_owned(), class).is_none() {
+            match class {
+                PageClass::Ad => self.stats.hosts_flagged_ad += 1,
+                PageClass::Spam => self.stats.hosts_flagged_spam += 1,
+                PageClass::Multimedia => self.stats.hosts_flagged_multimedia += 1,
+                PageClass::Content => {}
+            }
+        }
+    }
+
+    /// The flag on a host, if any.
+    pub fn host_flag(&self, host: &str) -> Option<PageClass> {
+        self.flagged_hosts.get(host).copied()
+    }
+
+    /// `true` when the URL has been fetched.
+    pub fn has_crawled(&self, url: &str) -> bool {
+        self.crawled.contains(url)
+    }
+
+    /// Crawl counters.
+    pub fn stats(&self) -> CrawlStats {
+        self.stats
+    }
+
+    /// Number of flagged hosts.
+    pub fn flagged_count(&self) -> usize {
+        self.flagged_hosts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reef_simweb::{ServerKind, WebConfig};
+
+    fn universe() -> WebUniverse {
+        WebUniverse::generate(WebConfig::default(), 21)
+    }
+
+    fn first_page_url(u: &WebUniverse, kind: ServerKind) -> String {
+        let server = u.servers().iter().find(|s| s.kind == kind).unwrap();
+        u.page(server.pages[0]).unwrap().url.clone()
+    }
+
+    #[test]
+    fn content_pages_yield_text_and_feeds() {
+        let u = universe();
+        let mut crawler = Crawler::new();
+        let server = u
+            .servers()
+            .iter()
+            .find(|s| s.kind == ServerKind::Content && !s.feeds.is_empty())
+            .unwrap();
+        let url = u.page(server.pages[0]).unwrap().url.clone();
+        match crawler.crawl(&u, &url) {
+            CrawlOutcome::Fetched { class, feeds, text, bytes } => {
+                assert_eq!(class, PageClass::Content);
+                assert_eq!(feeds.len(), server.feeds.len());
+                assert!(text.is_some());
+                assert!(bytes > 0);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ad_pixels_are_flagged_and_not_refetched() {
+        let u = universe();
+        let mut crawler = Crawler::new();
+        let url = first_page_url(&u, ServerKind::Ad);
+        match crawler.crawl(&u, &url) {
+            CrawlOutcome::Fetched { class, .. } => assert_eq!(class, PageClass::Ad),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Second fetch of the same URL: already crawled.
+        assert_eq!(crawler.crawl(&u, &url), CrawlOutcome::AlreadyCrawled);
+        // Another URL on the same host: host flag blocks the fetch.
+        let host = reef_attention::host_of(&url).to_owned();
+        let other_url = format!("http://{host}/other.gif");
+        assert_eq!(
+            crawler.crawl(&u, &other_url),
+            CrawlOutcome::HostFlagged(PageClass::Ad)
+        );
+        assert_eq!(crawler.stats().skipped_flagged, 1);
+    }
+
+    #[test]
+    fn spam_and_multimedia_detection() {
+        let u = universe();
+        let mut crawler = Crawler::new();
+        match crawler.crawl(&u, &first_page_url(&u, ServerKind::Spam)) {
+            CrawlOutcome::Fetched { class, .. } => assert_eq!(class, PageClass::Spam),
+            other => panic!("unexpected {other:?}"),
+        }
+        match crawler.crawl(&u, &first_page_url(&u, ServerKind::Multimedia)) {
+            CrawlOutcome::Fetched { class, .. } => assert_eq!(class, PageClass::Multimedia),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifier_accuracy_over_whole_universe() {
+        let u = universe();
+        let crawler = Crawler::new();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for server in u.servers() {
+            let page = u.page(server.pages[0]).unwrap();
+            let predicted = crawler.classify(page.content_type, &page.text);
+            let expected = match server.kind {
+                ServerKind::Content => PageClass::Content,
+                ServerKind::Ad => PageClass::Ad,
+                ServerKind::Spam => PageClass::Spam,
+                ServerKind::Multimedia => PageClass::Multimedia,
+            };
+            total += 1;
+            if predicted == expected {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.98, "classifier accuracy {accuracy}");
+    }
+
+    #[test]
+    fn missing_urls_are_counted() {
+        let u = universe();
+        let mut crawler = Crawler::new();
+        assert_eq!(crawler.crawl(&u, "http://ghost.example/x"), CrawlOutcome::NotFound);
+        assert_eq!(crawler.stats().not_found, 1);
+    }
+
+    #[test]
+    fn content_pages_do_not_flag_their_host() {
+        let u = universe();
+        let mut crawler = Crawler::new();
+        let url = first_page_url(&u, ServerKind::Content);
+        crawler.crawl(&u, &url);
+        assert_eq!(crawler.host_flag(reef_attention::host_of(&url)), None);
+    }
+
+    #[test]
+    fn empty_text_is_content() {
+        let crawler = Crawler::new();
+        assert_eq!(crawler.classify("text/html", ""), PageClass::Content);
+    }
+}

@@ -1,0 +1,474 @@
+//! The subscription frontend and sidebar.
+//!
+//! "In response, a subscription frontend activates or deactivates
+//! subscriptions, as well as receives and displays the events that
+//! arrive." (§2.2) "The events from subscriptions are displayed in a
+//! sidebar … The user may click on the event to view it … or click on a
+//! button to delete it. If the user ignores the event for a certain period
+//! of time, it expires and disappears from the list." (§3.1)
+//!
+//! Sidebar interactions feed the closed loop: clicks are recorded as
+//! attention (positive), deletes count as negative feedback, expiries as
+//! mild negative feedback. Per-topic totals are exported as
+//! [`SubscriptionFeedback`] for the recommender's unsubscribe pass.
+
+use crate::recommend::topic::SubscriptionFeedback;
+use crate::recommend::{RecAction, Recommendation};
+use rand::Rng;
+use reef_attention::{BrowserRecorder, Click, Reaction, ReactionModel};
+use reef_pubsub::{Broker, BrokerError, Filter, PublishedEvent, SubscriberHandle, SubscriberId, SubscriptionId};
+use reef_simweb::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Lifecycle state of a sidebar entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryState {
+    /// Displayed, not yet acted on.
+    Fresh,
+    /// Clicked through.
+    Clicked,
+    /// Deleted by the user.
+    Deleted,
+    /// Expired unread.
+    Expired,
+}
+
+/// One displayed notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SidebarEntry {
+    /// The delivered event.
+    pub event: PublishedEvent,
+    /// Day it arrived.
+    pub arrived_day: u32,
+    /// Current state.
+    pub state: EntryState,
+}
+
+/// Frontend configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontendConfig {
+    /// Days a fresh entry stays displayed before expiring.
+    pub sidebar_ttl_days: u32,
+    /// Maximum retained entries (oldest resolved entries are evicted
+    /// first).
+    pub sidebar_capacity: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            sidebar_ttl_days: 3,
+            sidebar_capacity: 500,
+        }
+    }
+}
+
+/// Per-day reaction totals (returned by [`SubscriptionFrontend::react_all`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReactionTotals {
+    /// Events clicked.
+    pub clicked: u64,
+    /// Events deleted.
+    pub deleted: u64,
+    /// Events left fresh (ignored for now).
+    pub ignored: u64,
+}
+
+/// The per-user subscription frontend: holds the broker registration,
+/// applies recommendations, and runs the sidebar.
+pub struct SubscriptionFrontend {
+    user: UserId,
+    subscriber: SubscriberId,
+    handle: SubscriberHandle,
+    active: Vec<(SubscriptionId, Filter)>,
+    sidebar: Vec<SidebarEntry>,
+    feedback: HashMap<String, SubscriptionFeedback>,
+    config: FrontendConfig,
+    auto_subscribed: u64,
+    auto_unsubscribed: u64,
+}
+
+impl fmt::Debug for SubscriptionFrontend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubscriptionFrontend")
+            .field("user", &self.user)
+            .field("active", &self.active.len())
+            .field("sidebar", &self.sidebar.len())
+            .finish()
+    }
+}
+
+impl SubscriptionFrontend {
+    /// Register a frontend for `user` with `broker`.
+    pub fn new(broker: &Broker, user: UserId) -> Self {
+        Self::with_config(broker, user, FrontendConfig::default())
+    }
+
+    /// Register with explicit configuration.
+    pub fn with_config(broker: &Broker, user: UserId, config: FrontendConfig) -> Self {
+        let (subscriber, handle) = broker.register();
+        SubscriptionFrontend {
+            user,
+            subscriber,
+            handle,
+            active: Vec::new(),
+            sidebar: Vec::new(),
+            feedback: HashMap::new(),
+            config,
+            auto_subscribed: 0,
+            auto_unsubscribed: 0,
+        }
+    }
+
+    /// The user this frontend belongs to.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The broker-side subscriber id.
+    pub fn subscriber(&self) -> SubscriberId {
+        self.subscriber
+    }
+
+    /// Apply a recommendation: place or remove a subscription.
+    ///
+    /// "When the browser extension receives a server's recommendation, it
+    /// automatically places that subscription." (§3.1)
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors (unknown subscriber, schema violations).
+    pub fn apply(&mut self, broker: &Broker, rec: &Recommendation) -> Result<(), BrokerError> {
+        match &rec.action {
+            RecAction::Subscribe(filter) => {
+                self.subscribe(broker, filter.clone())?;
+                self.auto_subscribed += 1;
+                Ok(())
+            }
+            RecAction::Unsubscribe(filter) => {
+                if self.unsubscribe_filter(broker, filter)? {
+                    self.auto_unsubscribed += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Place a subscription directly (manual or recommended).
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors.
+    pub fn subscribe(&mut self, broker: &Broker, filter: Filter) -> Result<SubscriptionId, BrokerError> {
+        let id = broker.subscribe(self.subscriber, filter.clone())?;
+        self.active.push((id, filter));
+        Ok(id)
+    }
+
+    /// Remove the first active subscription with exactly this filter.
+    /// Returns whether one was found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors.
+    pub fn unsubscribe_filter(&mut self, broker: &Broker, filter: &Filter) -> Result<bool, BrokerError> {
+        if let Some(pos) = self.active.iter().position(|(_, f)| f == filter) {
+            let (id, _) = self.active.remove(pos);
+            broker.unsubscribe(id)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Active subscription count.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Active subscription filters.
+    pub fn active_filters(&self) -> impl Iterator<Item = &Filter> {
+        self.active.iter().map(|(_, f)| f)
+    }
+
+    /// `true` when an active subscription targets this topic.
+    pub fn subscribed_to_topic(&self, topic: &str) -> bool {
+        let probe = Filter::topic(topic);
+        self.active.iter().any(|(_, f)| *f == probe)
+    }
+
+    /// Pull delivered events from the broker queue into the sidebar.
+    /// Returns how many arrived.
+    pub fn pump(&mut self, day: u32) -> usize {
+        let mut n = 0;
+        while let Some(event) = self.handle.try_recv() {
+            let key = feedback_key(&event);
+            self.feedback.entry(key).or_default().delivered += 1;
+            self.sidebar.push(SidebarEntry {
+                event,
+                arrived_day: day,
+                state: EntryState::Fresh,
+            });
+            n += 1;
+        }
+        self.enforce_capacity();
+        n
+    }
+
+    /// Let the simulated user react to every fresh entry. Clicks are
+    /// recorded into `recorder` — the closed loop: "clicking of a link
+    /// contained in an event will be captured by the attention recorder"
+    /// (§2.2).
+    pub fn react_all<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        model: &ReactionModel,
+        mut is_relevant: impl FnMut(&PublishedEvent) -> bool,
+        recorder: &mut BrowserRecorder,
+        day: u32,
+        tick_base: u64,
+    ) -> ReactionTotals {
+        let mut totals = ReactionTotals::default();
+        let mut tick = tick_base;
+        for entry in &mut self.sidebar {
+            if entry.state != EntryState::Fresh {
+                continue;
+            }
+            let relevant = is_relevant(&entry.event);
+            match model.decide(rng, relevant) {
+                Reaction::Click => {
+                    entry.state = EntryState::Clicked;
+                    totals.clicked += 1;
+                    let key = feedback_key(&entry.event);
+                    self.feedback.entry(key).or_default().clicked += 1;
+                    let link = entry
+                        .event
+                        .event
+                        .get("link")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("reef://event-without-link")
+                        .to_owned();
+                    recorder.record_and_maybe_flush(Click {
+                        user: self.user,
+                        day,
+                        tick,
+                        url: link,
+                        referrer: Some("reef://sidebar".to_owned()),
+                    });
+                    tick += 1;
+                }
+                Reaction::Delete => {
+                    entry.state = EntryState::Deleted;
+                    totals.deleted += 1;
+                    let key = feedback_key(&entry.event);
+                    self.feedback.entry(key).or_default().deleted += 1;
+                }
+                Reaction::Ignore => {
+                    totals.ignored += 1;
+                }
+            }
+        }
+        totals
+    }
+
+    /// Expire fresh entries older than the TTL. Returns how many expired.
+    pub fn expire(&mut self, day: u32) -> usize {
+        let ttl = self.config.sidebar_ttl_days;
+        let mut n = 0;
+        for entry in &mut self.sidebar {
+            if entry.state == EntryState::Fresh && day.saturating_sub(entry.arrived_day) >= ttl {
+                entry.state = EntryState::Expired;
+                let key = feedback_key(&entry.event);
+                self.feedback.entry(key).or_default().expired += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn enforce_capacity(&mut self) {
+        let over = self.sidebar.len().saturating_sub(self.config.sidebar_capacity);
+        if over == 0 {
+            return;
+        }
+        // Evict resolved entries first, oldest first; keep fresh ones.
+        let mut removed = 0;
+        self.sidebar.retain(|e| {
+            if removed < over && e.state != EntryState::Fresh {
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        // Still over capacity (all fresh): drop oldest fresh.
+        let over = self.sidebar.len().saturating_sub(self.config.sidebar_capacity);
+        if over > 0 {
+            self.sidebar.drain(..over);
+        }
+    }
+
+    /// Current sidebar entries.
+    pub fn sidebar(&self) -> &[SidebarEntry] {
+        &self.sidebar
+    }
+
+    /// Per-topic feedback totals (for the unsubscribe pass).
+    pub fn feedback(&self) -> &HashMap<String, SubscriptionFeedback> {
+        &self.feedback
+    }
+
+    /// Automatic subscribe/unsubscribe counters.
+    pub fn auto_counts(&self) -> (u64, u64) {
+        (self.auto_subscribed, self.auto_unsubscribed)
+    }
+}
+
+/// Feedback bucketing key of an event: its topic (feed URL) when topical,
+/// otherwise a content-subscription bucket.
+fn feedback_key(event: &PublishedEvent) -> String {
+    event
+        .event
+        .topic()
+        .map(str::to_owned)
+        .unwrap_or_else(|| "content:*".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reef_attention::AttentionRecorder as _;
+    use reef_pubsub::Event;
+
+    fn setup() -> (Broker, SubscriptionFrontend) {
+        let broker = Broker::new();
+        let frontend = SubscriptionFrontend::new(&broker, UserId(0));
+        (broker, frontend)
+    }
+
+    fn feed_event(topic: &str, link: &str) -> Event {
+        Event::builder()
+            .attr("topic", topic)
+            .attr("title", "t")
+            .attr("link", link)
+            .build()
+    }
+
+    #[test]
+    fn apply_subscribe_then_events_flow() {
+        let (broker, mut frontend) = setup();
+        let rec = Recommendation {
+            user: UserId(0),
+            action: RecAction::Subscribe(Filter::topic("f1")),
+            reason: "test".into(),
+            day: 0,
+        };
+        frontend.apply(&broker, &rec).unwrap();
+        assert_eq!(frontend.active_count(), 1);
+        assert!(frontend.subscribed_to_topic("f1"));
+        broker.publish(feed_event("f1", "http://x/1")).unwrap();
+        assert_eq!(frontend.pump(0), 1);
+        assert_eq!(frontend.sidebar().len(), 1);
+        assert_eq!(frontend.feedback()["f1"].delivered, 1);
+    }
+
+    #[test]
+    fn apply_unsubscribe_stops_flow() {
+        let (broker, mut frontend) = setup();
+        frontend.subscribe(&broker, Filter::topic("f1")).unwrap();
+        let rec = Recommendation {
+            user: UserId(0),
+            action: RecAction::Unsubscribe(Filter::topic("f1")),
+            reason: "ignored".into(),
+            day: 1,
+        };
+        frontend.apply(&broker, &rec).unwrap();
+        assert_eq!(frontend.active_count(), 0);
+        broker.publish(feed_event("f1", "http://x/1")).unwrap();
+        assert_eq!(frontend.pump(1), 0);
+        assert_eq!(frontend.auto_counts(), (0, 1));
+    }
+
+    #[test]
+    fn unsubscribe_unknown_filter_is_noop() {
+        let (broker, mut frontend) = setup();
+        assert!(!frontend.unsubscribe_filter(&broker, &Filter::topic("nope")).unwrap());
+    }
+
+    #[test]
+    fn reactions_feed_the_closed_loop() {
+        let (broker, mut frontend) = setup();
+        frontend.subscribe(&broker, Filter::topic("fr")).unwrap();
+        frontend.subscribe(&broker, Filter::topic("fi")).unwrap();
+        broker.publish(feed_event("fr", "http://rel/1")).unwrap();
+        broker.publish(feed_event("fi", "http://irr/1")).unwrap();
+        frontend.pump(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut recorder = BrowserRecorder::new(UserId(0), 100);
+        let totals = frontend.react_all(
+            &mut rng,
+            &ReactionModel::oracle(),
+            |ev| ev.event.topic() == Some("fr"),
+            &mut recorder,
+            0,
+            1000,
+        );
+        assert_eq!(totals.clicked, 1);
+        assert_eq!(totals.deleted, 1);
+        // The click went into the recorder (closed loop).
+        assert_eq!(recorder.pending(), 1);
+        let batch = recorder.flush().unwrap();
+        assert_eq!(batch.clicks[0].url, "http://rel/1");
+        assert_eq!(batch.clicks[0].referrer.as_deref(), Some("reef://sidebar"));
+        assert_eq!(frontend.feedback()["fr"].clicked, 1);
+        assert_eq!(frontend.feedback()["fi"].deleted, 1);
+    }
+
+    #[test]
+    fn fresh_entries_expire_after_ttl() {
+        let (broker, mut frontend) = setup();
+        frontend.subscribe(&broker, Filter::topic("f")).unwrap();
+        broker.publish(feed_event("f", "http://x/1")).unwrap();
+        frontend.pump(0);
+        assert_eq!(frontend.expire(1), 0, "ttl not reached");
+        assert_eq!(frontend.expire(3), 1);
+        assert_eq!(frontend.feedback()["f"].expired, 1);
+        // Already expired entries do not expire twice.
+        assert_eq!(frontend.expire(9), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_resolved_before_fresh() {
+        let broker = Broker::new();
+        let mut frontend = SubscriptionFrontend::with_config(
+            &broker,
+            UserId(0),
+            FrontendConfig { sidebar_ttl_days: 3, sidebar_capacity: 2 },
+        );
+        frontend.subscribe(&broker, Filter::topic("f")).unwrap();
+        for i in 0..4 {
+            broker.publish(feed_event("f", &format!("http://x/{i}"))).unwrap();
+        }
+        frontend.pump(0);
+        assert_eq!(frontend.sidebar().len(), 2, "capacity enforced");
+    }
+
+    #[test]
+    fn reapplying_subscribe_duplicates_are_allowed_but_counted() {
+        let (broker, mut frontend) = setup();
+        let rec = Recommendation {
+            user: UserId(0),
+            action: RecAction::Subscribe(Filter::topic("f")),
+            reason: "r".into(),
+            day: 0,
+        };
+        frontend.apply(&broker, &rec).unwrap();
+        frontend.apply(&broker, &rec).unwrap();
+        assert_eq!(frontend.active_count(), 2);
+        assert_eq!(frontend.auto_counts().0, 2);
+    }
+}

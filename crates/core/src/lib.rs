@@ -1,0 +1,65 @@
+//! # reef-core — automatic subscriptions in publish-subscribe systems
+//!
+//! The primary contribution of Brenna et al. (ICDCSW'06): the **Reef**
+//! architecture, which turns passively collected *user attention* into
+//! automatically managed *subscriptions* in a publish-subscribe system.
+//! "By delegating to a recommendation service the task of creating,
+//! refining, and removing subscriptions …, the user can receive relevant
+//! information without any additional effort." (§1)
+//!
+//! The four components of §2.2, and where they live:
+//!
+//! | Paper component | Here |
+//! |---|---|
+//! | Attention recorder | `reef-attention` ([`reef_attention::BrowserRecorder`]) |
+//! | Attention parser | `reef-attention` ([`reef_attention::AttentionParser`]) + [`crawler`] |
+//! | Recommendation service | [`recommend`] (topic, content, collaborative) |
+//! | Subscription frontend | [`frontend`] (with the sidebar of §3.1) |
+//!
+//! Both deployments of the paper are provided as runnable closed loops:
+//! [`CentralizedReef`] (Figure 1: upload → server crawl → recommend) and
+//! [`DistributedReef`] (Figure 2: on-host analysis, peer-group exchange,
+//! attention never leaves the machine).
+//!
+//! ```
+//! use reef_core::{CentralizedReef, ReefConfig};
+//! use reef_simweb::browse::generate_history;
+//! use reef_simweb::{BrowseConfig, WebConfig, WebUniverse};
+//!
+//! let universe = WebUniverse::generate(WebConfig::default(), 1);
+//! let mut browse = BrowseConfig::default();
+//! browse.users = 2;
+//! browse.days = 2;
+//! browse.mean_page_views_per_day = 20.0;
+//! let history = generate_history(&universe, &browse, 1);
+//! let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), 1);
+//! for day in 0..history.days {
+//!     let report = reef.run_day(&universe, &history, day);
+//!     assert_eq!(report.day, day);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod central;
+pub mod crawler;
+pub mod frontend;
+pub mod peer;
+pub mod pipeline;
+pub mod recommend;
+
+pub use central::{CentralReefServer, ServerConfig, ServerTraffic};
+pub use crawler::{ClassifierConfig, CrawlOutcome, CrawlStats, Crawler, PageClass};
+pub use frontend::{
+    EntryState, FrontendConfig, ReactionTotals, SidebarEntry, SubscriptionFrontend,
+};
+pub use peer::{PeerConfig, ReefPeer};
+pub use pipeline::{
+    topic_url_of, CentralizedReef, DayReport, DistributedReef, ReefConfig, TrafficReport,
+    UniverseFeedFetcher,
+};
+pub use recommend::collab::{cosine_similarity, exchange_feeds, group_peers, PeerGroups};
+pub use recommend::content::ContentRecommender;
+pub use recommend::topic::{SubscriptionFeedback, TopicRecommender, TopicRecommenderConfig};
+pub use recommend::{RecAction, Recommendation};

@@ -1,0 +1,285 @@
+//! The distributed Reef peer (Figure 2).
+//!
+//! "In this configuration, the attention data stays on the user's host,
+//! where the subscription recommendation software analyzes it. …
+//! crawling of documents fetched by the user is typically unnecessary as
+//! they may be available from the browser's cache. Thus, network load is
+//! reduced. Running the recommendation service on the user's host also
+//! gives the user full control over the attention data." (§4)
+//!
+//! A [`ReefPeer`] runs the whole pipeline — recorder, parser,
+//! recommendation service, frontend — for one user. Page analysis reads
+//! the browser cache (a local fetch against the simulated Web, accounted
+//! as zero network bytes), and nothing about the user's attention ever
+//! leaves the host. Collaborative recommendations come from the
+//! [`crate::recommend::collab`] peer-group exchange instead of a central
+//! database.
+
+use crate::crawler::{CrawlOutcome, Crawler, PageClass};
+use crate::recommend::content::ContentRecommender;
+use crate::recommend::topic::{SubscriptionFeedback, TopicRecommender, TopicRecommenderConfig};
+use crate::recommend::Recommendation;
+use reef_attention::{host_of, Click, ClickStore};
+use reef_simweb::{UserId, WebUniverse};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Peer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeerConfig {
+    /// Pages analyzed from the browser cache per day.
+    pub analyze_budget_per_day: usize,
+    /// Topic-recommender settings.
+    pub topic: TopicRecommenderConfig,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            analyze_budget_per_day: 2000,
+            topic: TopicRecommenderConfig::default(),
+        }
+    }
+}
+
+/// A per-host Reef deployment for one user.
+pub struct ReefPeer {
+    user: UserId,
+    config: PeerConfig,
+    store: ClickStore,
+    crawler: Crawler,
+    topic_rec: TopicRecommender,
+    content_rec: ContentRecommender,
+    analyze_queue: VecDeque<String>,
+    queued_urls: HashSet<String>,
+    feeds_discovered: BTreeSet<String>,
+    /// Bytes read from the browser cache (local, not network).
+    cache_bytes: u64,
+}
+
+impl fmt::Debug for ReefPeer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReefPeer")
+            .field("user", &self.user)
+            .field("clicks", &self.store.len())
+            .field("feeds_discovered", &self.feeds_discovered.len())
+            .finish()
+    }
+}
+
+impl ReefPeer {
+    /// A peer for `user` with default configuration.
+    pub fn new(user: UserId) -> Self {
+        Self::with_config(user, PeerConfig::default())
+    }
+
+    /// A peer with explicit configuration.
+    pub fn with_config(user: UserId, config: PeerConfig) -> Self {
+        ReefPeer {
+            user,
+            topic_rec: TopicRecommender::with_config(config.topic),
+            config,
+            store: ClickStore::new(),
+            crawler: Crawler::new(),
+            content_rec: ContentRecommender::new(),
+            analyze_queue: VecDeque::new(),
+            queued_urls: HashSet::new(),
+            feeds_discovered: BTreeSet::new(),
+            cache_bytes: 0,
+        }
+    }
+
+    /// The user this peer serves.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Observe one local click. Attention data never leaves the host.
+    pub fn observe_click(&mut self, click: Click) {
+        debug_assert_eq!(click.user, self.user);
+        if !self.crawler.has_crawled(&click.url)
+            && self.crawler.host_flag(host_of(&click.url)).is_none()
+            && self.queued_urls.insert(click.url.clone())
+        {
+            self.analyze_queue.push_back(click.url.clone());
+        }
+        self.store.insert(click);
+    }
+
+    /// Run the daily local analysis over the browser cache and emit
+    /// recommendations for this user.
+    pub fn run_day(&mut self, universe: &WebUniverse, day: u32) -> Vec<Recommendation> {
+        for _ in 0..self.config.analyze_budget_per_day {
+            let Some(url) = self.analyze_queue.pop_front() else {
+                break;
+            };
+            self.queued_urls.remove(&url);
+            // Browser-cache read: same analysis as the server crawler, but
+            // the bytes are local.
+            match self.crawler.crawl(universe, &url) {
+                CrawlOutcome::Fetched { class, feeds, text, bytes } => {
+                    self.cache_bytes += bytes as u64;
+                    if class == PageClass::Content {
+                        for feed in &feeds {
+                            self.feeds_discovered.insert(feed.clone());
+                        }
+                        self.topic_rec.offer_feeds(self.user, feeds);
+                        if let Some(text) = text {
+                            self.content_rec.add_history_doc(self.user, &text);
+                        }
+                    }
+                }
+                CrawlOutcome::AlreadyCrawled
+                | CrawlOutcome::HostFlagged(_)
+                | CrawlOutcome::NotFound => {}
+            }
+        }
+        self.topic_rec.daily_recommendations(self.user, day)
+    }
+
+    /// Judge sidebar feedback and emit unsubscribe recommendations.
+    pub fn unsubscribe_pass(
+        &mut self,
+        feedback: &HashMap<String, SubscriptionFeedback>,
+        day: u32,
+    ) -> Vec<Recommendation> {
+        self.topic_rec.unsubscribe_recommendations(self.user, feedback, day)
+    }
+
+    /// Accept feed suggestions from peer-group exchange; they enter the
+    /// same rate-limited queue as locally discovered feeds.
+    pub fn accept_suggestions<I, S>(&mut self, feeds: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.topic_rec.offer_feeds(self.user, feeds);
+    }
+
+    /// Seed the local background corpus (a public reference corpus; the
+    /// peer has no other users' data).
+    pub fn add_background_doc(&mut self, text: &str) {
+        self.content_rec.add_background_doc(text);
+    }
+
+    /// The user's interest term vector, for peer grouping. Only this
+    /// leaves the host — not the attention data itself.
+    pub fn term_vector(&self, n: usize) -> HashMap<String, f64> {
+        self.content_rec.term_vector(self.user, n)
+    }
+
+    /// Feeds discovered locally.
+    pub fn feeds_discovered(&self) -> usize {
+        self.feeds_discovered.len()
+    }
+
+    /// The local click store (never uploaded).
+    pub fn store(&self) -> &ClickStore {
+        &self.store
+    }
+
+    /// The content recommender.
+    pub fn content(&self) -> &ContentRecommender {
+        &self.content_rec
+    }
+
+    /// Bytes read from the browser cache (local I/O, not network).
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reef_simweb::{ServerKind, WebConfig};
+
+    fn universe() -> WebUniverse {
+        WebUniverse::generate(WebConfig::default(), 37)
+    }
+
+    fn click(user: u32, tick: u64, url: &str) -> Click {
+        Click {
+            user: UserId(user),
+            day: 0,
+            tick,
+            url: url.to_owned(),
+            referrer: None,
+        }
+    }
+
+    #[test]
+    fn peer_discovers_feeds_from_cache() {
+        let u = universe();
+        let mut peer = ReefPeer::new(UserId(0));
+        let with_feeds = u
+            .servers()
+            .iter()
+            .filter(|s| s.kind == ServerKind::Content && !s.feeds.is_empty())
+            .take(10);
+        for (i, server) in with_feeds.enumerate() {
+            let url = u.page(server.pages[0]).unwrap().url.clone();
+            peer.observe_click(click(0, i as u64, &url));
+        }
+        let recs = peer.run_day(&u, 0);
+        assert!(peer.feeds_discovered() > 0);
+        assert_eq!(recs.len(), 1, "rate limited to 1/day");
+        assert!(peer.cache_bytes() > 0);
+    }
+
+    #[test]
+    fn suggestions_join_the_queue() {
+        let u = universe();
+        let mut peer = ReefPeer::new(UserId(0));
+        peer.accept_suggestions(["http://peer.example/feed0.rss"]);
+        let recs = peer.run_day(&u, 0);
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn attention_stays_local() {
+        let u = universe();
+        let mut peer = ReefPeer::new(UserId(0));
+        let url = {
+            let s = u.servers().iter().find(|s| s.kind == ServerKind::Content).unwrap();
+            u.page(s.pages[0]).unwrap().url.clone()
+        };
+        peer.observe_click(click(0, 0, &url));
+        peer.run_day(&u, 0);
+        // The store holds the click; nothing was uploaded anywhere.
+        assert_eq!(peer.store().len(), 1);
+    }
+
+    #[test]
+    fn term_vector_builds_after_analysis() {
+        let u = universe();
+        let mut peer = ReefPeer::new(UserId(0));
+        for _ in 0..3 {
+            peer.add_background_doc("generic background filler text");
+        }
+        let content: Vec<String> = u
+            .servers()
+            .iter()
+            .filter(|s| s.kind == ServerKind::Content)
+            .take(5)
+            .map(|s| u.page(s.pages[0]).unwrap().url.clone())
+            .collect();
+        for (i, url) in content.iter().enumerate() {
+            peer.observe_click(click(0, i as u64, url));
+        }
+        peer.run_day(&u, 0);
+        assert!(!peer.term_vector(10).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_pass_works_locally() {
+        let mut peer = ReefPeer::new(UserId(0));
+        let mut feedback = HashMap::new();
+        feedback.insert(
+            "f".to_owned(),
+            SubscriptionFeedback { delivered: 30, clicked: 0, deleted: 20, expired: 10 },
+        );
+        assert_eq!(peer.unsubscribe_pass(&feedback, 3).len(), 1);
+    }
+}

@@ -1,0 +1,763 @@
+//! End-to-end Reef deployments: the closed loop of Figures 1 and 2.
+//!
+//! [`CentralizedReef`] wires browsing → recorder → batch upload → server
+//! (crawl, recommend) → frontend (subscribe) → feed proxy → sidebar →
+//! reactions → attention, exactly the step 1-4 cycle of Figure 1.
+//! [`DistributedReef`] runs the same loop per host (Figure 2): attention
+//! never leaves the user's machine, page analysis reads the browser
+//! cache, and collaborative recommendations travel through periodic
+//! peer-group exchanges instead of a central database.
+//!
+//! Both drivers advance in whole days and report per-day and cumulative
+//! statistics; experiments **E3**, **E4** and **E6** are thin wrappers
+//! around them.
+
+use crate::central::{CentralReefServer, ServerConfig};
+use crate::frontend::{FrontendConfig, SubscriptionFrontend};
+use crate::peer::{PeerConfig, ReefPeer};
+use crate::recommend::collab::{exchange_feeds, group_peers};
+use crate::recommend::{RecAction, Recommendation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reef_attention::{AttentionRecorder, BrowserRecorder, Click, ReactionModel};
+use reef_feeds::{write_feed, Feed, FeedEventsProxy, FeedFetcher, FeedFormat, FeedItem, PollReport};
+use reef_pubsub::{Broker, Filter, Op, PublishedEvent, TOPIC_ATTR};
+use reef_simweb::{
+    BrowsingHistory, SimFeedFormat, TopicId, UserId, UserProfile, WebUniverse,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Serves current feed documents from the simulated Web, exercising the
+/// full XML write→parse path on every poll.
+#[derive(Debug, Clone, Copy)]
+pub struct UniverseFeedFetcher<'a> {
+    universe: &'a WebUniverse,
+    /// How many trailing days of items a feed document exposes.
+    window: u32,
+}
+
+impl<'a> UniverseFeedFetcher<'a> {
+    /// A fetcher over `universe` with the given document window.
+    pub fn new(universe: &'a WebUniverse, window: u32) -> Self {
+        UniverseFeedFetcher { universe, window }
+    }
+}
+
+impl FeedFetcher for UniverseFeedFetcher<'_> {
+    fn fetch_feed(&self, url: &str, day: u32) -> Option<String> {
+        let spec = self.universe.feed_by_url(url)?;
+        let items = self.universe.feed_items_until(spec.id, day, self.window);
+        let feed = Feed {
+            title: spec.title.clone(),
+            link: url.to_owned(),
+            description: format!("simulated feed {}", spec.id),
+            items: items
+                .into_iter()
+                .map(|i| FeedItem {
+                    guid: i.guid,
+                    title: i.title,
+                    link: i.link,
+                    description: i.body,
+                    published_day: Some(i.published_day),
+                })
+                .collect(),
+        };
+        let format = match spec.format {
+            SimFeedFormat::Rss2 => FeedFormat::Rss2,
+            SimFeedFormat::Atom => FeedFormat::Atom,
+            SimFeedFormat::Rdf => FeedFormat::Rdf,
+        };
+        Some(write_feed(&feed, format))
+    }
+}
+
+/// The feed URL a pure topic filter subscribes to, if it is one.
+pub fn topic_url_of(filter: &Filter) -> Option<&str> {
+    let preds = filter.predicates();
+    if preds.len() == 1 && preds[0].attr == TOPIC_ATTR && preds[0].op == Op::Eq {
+        preds[0].operand.as_str()
+    } else {
+        None
+    }
+}
+
+/// Shared deployment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReefConfig {
+    /// Centralized-server settings.
+    pub server: ServerConfig,
+    /// Distributed-peer settings.
+    pub peer: PeerConfig,
+    /// Frontend/sidebar settings.
+    pub frontend: FrontendConfig,
+    /// Simulated user reaction policy.
+    pub reaction: ReactionModel,
+    /// Days of items a feed document exposes.
+    pub feed_window_days: u32,
+    /// Recorder upload batch size (clicks per upload).
+    pub upload_batch_size: usize,
+    /// Peer-group exchange period in days (distributed only).
+    pub exchange_every_days: u32,
+    /// Cosine similarity threshold for peer grouping.
+    pub similarity_threshold: f64,
+    /// Term-vector length used for grouping.
+    pub profile_terms: usize,
+}
+
+impl Default for ReefConfig {
+    fn default() -> Self {
+        ReefConfig {
+            server: ServerConfig::default(),
+            peer: PeerConfig::default(),
+            frontend: FrontendConfig::default(),
+            reaction: ReactionModel::default(),
+            feed_window_days: 14,
+            upload_batch_size: 50,
+            exchange_every_days: 7,
+            similarity_threshold: 0.15,
+            profile_terms: 20,
+        }
+    }
+}
+
+/// One day's outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DayReport {
+    /// The day.
+    pub day: u32,
+    /// Browsing clicks routed into recorders/peers.
+    pub clicks: u64,
+    /// Subscribe recommendations issued.
+    pub subscribe_recs: u64,
+    /// Unsubscribe recommendations issued.
+    pub unsubscribe_recs: u64,
+    /// New feed items published by the proxy.
+    pub feed_items: u64,
+    /// Events pumped into sidebars.
+    pub events_delivered: u64,
+    /// Sidebar clicks (positive feedback).
+    pub clicked: u64,
+    /// Sidebar deletes (negative feedback).
+    pub deleted: u64,
+    /// Sidebar expiries.
+    pub expired: u64,
+}
+
+impl DayReport {
+    fn absorb_poll(&mut self, poll: PollReport) {
+        self.feed_items += poll.new_items as u64;
+    }
+}
+
+/// Bytes on the wire attributable to the subscription-automation machinery
+/// (feed polling and event delivery are identical in both designs and are
+/// excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Attention batches uploaded to a central server.
+    pub attention_upload_bytes: u64,
+    /// Server-side crawl fetches.
+    pub crawl_bytes: u64,
+    /// Recommendation messages pushed to frontends.
+    pub recommendation_bytes: u64,
+    /// Peer-group gossip (term vectors + suggestions).
+    pub gossip_bytes: u64,
+}
+
+impl TrafficReport {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.attention_upload_bytes + self.crawl_bytes + self.recommendation_bytes + self.gossip_bytes
+    }
+}
+
+impl fmt::Display for TrafficReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attention={}B crawl={}B recs={}B gossip={}B total={}B",
+            self.attention_upload_bytes,
+            self.crawl_bytes,
+            self.recommendation_bytes,
+            self.gossip_bytes,
+            self.total()
+        )
+    }
+}
+
+/// Per-user runtime state shared by both deployments.
+struct UserAgent {
+    profile: UserProfile,
+    recorder: BrowserRecorder,
+    frontend: SubscriptionFrontend,
+    rng: StdRng,
+}
+
+/// `true` when the event's feed covers one of the user's interest topics.
+fn event_relevant(universe: &WebUniverse, interests: &[(TopicId, f64)], event: &PublishedEvent) -> bool {
+    let Some(topic_url) = event.event.topic() else {
+        return false;
+    };
+    let Some(spec) = universe.feed_by_url(topic_url) else {
+        return false;
+    };
+    spec.topics
+        .iter()
+        .any(|(t, _)| interests.iter().any(|(i, _)| i == t))
+}
+
+/// The centralized deployment (Figure 1).
+pub struct CentralizedReef {
+    config: ReefConfig,
+    broker: Broker,
+    proxy: FeedEventsProxy,
+    server: CentralReefServer,
+    agents: Vec<UserAgent>,
+    feedback_tick: u64,
+}
+
+impl fmt::Debug for CentralizedReef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralizedReef")
+            .field("users", &self.agents.len())
+            .field("watched_feeds", &self.proxy.watched_count())
+            .finish()
+    }
+}
+
+impl CentralizedReef {
+    /// Build the deployment for the given user profiles.
+    pub fn new(profiles: &[UserProfile], config: ReefConfig, seed: u64) -> Self {
+        let broker = Broker::new();
+        let agents = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, profile)| UserAgent {
+                recorder: BrowserRecorder::new(profile.user, config.upload_batch_size),
+                frontend: SubscriptionFrontend::with_config(&broker, profile.user, config.frontend),
+                rng: StdRng::seed_from_u64(seed ^ (0xA9E17 + i as u64)),
+                profile: profile.clone(),
+            })
+            .collect();
+        CentralizedReef {
+            config,
+            broker,
+            proxy: FeedEventsProxy::new(),
+            server: CentralReefServer::with_config(config.server),
+            agents,
+            feedback_tick: 1 << 40,
+        }
+    }
+
+    fn agent_mut(&mut self, user: UserId) -> Option<&mut UserAgent> {
+        self.agents.iter_mut().find(|a| a.profile.user == user)
+    }
+
+    fn apply_recommendations(&mut self, recs: &[Recommendation], report: &mut DayReport) {
+        for rec in recs {
+            // Split borrows: register/deregister on the proxy first.
+            match &rec.action {
+                RecAction::Subscribe(filter) => {
+                    if let Some(url) = topic_url_of(filter) {
+                        self.proxy.register(url);
+                    }
+                    report.subscribe_recs += 1;
+                }
+                RecAction::Unsubscribe(filter) => {
+                    if let Some(url) = topic_url_of(filter) {
+                        self.proxy.deregister(url);
+                    }
+                    report.unsubscribe_recs += 1;
+                }
+            }
+            let broker = &self.broker;
+            if let Some(agent) = self.agents.iter_mut().find(|a| a.profile.user == rec.user) {
+                agent
+                    .frontend
+                    .apply(broker, rec)
+                    .expect("recommendations are schema-valid");
+            }
+        }
+    }
+
+    /// Advance one day of the closed loop.
+    pub fn run_day(
+        &mut self,
+        universe: &WebUniverse,
+        history: &BrowsingHistory,
+        day: u32,
+    ) -> DayReport {
+        let mut report = DayReport { day, ..DayReport::default() };
+
+        // Step 1 (Fig. 1): browsing is recorded and uploaded in batches.
+        for request in history.requests.iter().filter(|r| r.day == day) {
+            report.clicks += 1;
+            let click = Click::from_request(request);
+            if let Some(agent) = self.agent_mut(request.user) {
+                if let Some(batch) = agent.recorder.record_and_maybe_flush(click) {
+                    self.server.ingest_batch(batch);
+                }
+            }
+        }
+        for agent in &mut self.agents {
+            if let Some(batch) = agent.recorder.flush() {
+                self.server.ingest_batch(batch);
+            }
+        }
+
+        // Step 2: the server crawls and recommends.
+        let recs = self.server.run_day(universe, day);
+        self.apply_recommendations(&recs, &mut report);
+
+        // Steps 3-4: the proxy polls feeds and the broker delivers events.
+        let fetcher = UniverseFeedFetcher::new(universe, self.config.feed_window_days);
+        report.absorb_poll(self.proxy.poll_due(&fetcher, &self.broker, day));
+
+        // Sidebar: display, react (feeding clicks back into recorders),
+        // expire.
+        let reaction = self.config.reaction;
+        for agent in &mut self.agents {
+            report.events_delivered += agent.frontend.pump(day) as u64;
+            let interests = agent.profile.interests.clone();
+            let totals = agent.frontend.react_all(
+                &mut agent.rng,
+                &reaction,
+                |ev| event_relevant(universe, &interests, ev),
+                &mut agent.recorder,
+                day,
+                self.feedback_tick,
+            );
+            self.feedback_tick += totals.clicked + 1;
+            report.clicked += totals.clicked;
+            report.deleted += totals.deleted;
+            report.expired += agent.frontend.expire(day) as u64;
+        }
+
+        // Closed loop: feedback clicks upload like any attention.
+        for agent in &mut self.agents {
+            if let Some(batch) = agent.recorder.flush() {
+                self.server.ingest_batch(batch);
+            }
+        }
+
+        // Unsubscribe pass from accumulated feedback.
+        let mut unsub_recs = Vec::new();
+        for agent in &self.agents {
+            let user = agent.profile.user;
+            let feedback = agent.frontend.feedback().clone();
+            unsub_recs.extend(self.server.unsubscribe_pass(user, &feedback, day));
+        }
+        self.apply_recommendations(&unsub_recs, &mut report);
+
+        report
+    }
+
+    /// Network traffic of the centralized machinery.
+    pub fn traffic(&self) -> TrafficReport {
+        let t = self.server.traffic();
+        TrafficReport {
+            attention_upload_bytes: t.attention_in_bytes,
+            crawl_bytes: t.crawl_bytes,
+            recommendation_bytes: t.recommendations_out_bytes,
+            gossip_bytes: 0,
+        }
+    }
+
+    /// The server (read access for experiment reporting).
+    pub fn server(&self) -> &CentralReefServer {
+        &self.server
+    }
+
+    /// The broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The feed proxy.
+    pub fn proxy(&self) -> &FeedEventsProxy {
+        &self.proxy
+    }
+
+    /// Active subscriptions per user, as `(user, count)`.
+    pub fn subscription_counts(&self) -> Vec<(UserId, usize)> {
+        self.agents
+            .iter()
+            .map(|a| (a.profile.user, a.frontend.active_count()))
+            .collect()
+    }
+
+    /// Auto subscribe/unsubscribe totals per user.
+    pub fn auto_counts(&self) -> Vec<(UserId, u64, u64)> {
+        self.agents
+            .iter()
+            .map(|a| {
+                let (s, u) = a.frontend.auto_counts();
+                (a.profile.user, s, u)
+            })
+            .collect()
+    }
+
+    /// Attention data held server-side, in clicks (the privacy cost of the
+    /// centralized design).
+    pub fn server_resident_clicks(&self) -> u64 {
+        self.server.store().len()
+    }
+}
+
+/// One peer's runtime state in the distributed deployment.
+struct PeerAgent {
+    peer: ReefPeer,
+    agent: UserAgent,
+}
+
+/// The distributed deployment (Figure 2).
+pub struct DistributedReef {
+    config: ReefConfig,
+    broker: Broker,
+    proxy: FeedEventsProxy,
+    peers: Vec<PeerAgent>,
+    feedback_tick: u64,
+    gossip_bytes: u64,
+}
+
+impl fmt::Debug for DistributedReef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistributedReef")
+            .field("peers", &self.peers.len())
+            .field("watched_feeds", &self.proxy.watched_count())
+            .finish()
+    }
+}
+
+impl DistributedReef {
+    /// Build the deployment for the given user profiles.
+    pub fn new(profiles: &[UserProfile], config: ReefConfig, seed: u64) -> Self {
+        let broker = Broker::new();
+        let peers = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, profile)| PeerAgent {
+                peer: ReefPeer::with_config(profile.user, config.peer),
+                agent: UserAgent {
+                    // Only sidebar feedback flows through this recorder and
+                    // it is drained every day; the batch size just needs to
+                    // exceed a day's clicks.
+                    recorder: BrowserRecorder::new(profile.user, 1 << 20),
+                    frontend: SubscriptionFrontend::with_config(&broker, profile.user, config.frontend),
+                    rng: StdRng::seed_from_u64(seed ^ (0xD15C0 + i as u64)),
+                    profile: profile.clone(),
+                },
+            })
+            .collect();
+        DistributedReef {
+            config,
+            broker,
+            proxy: FeedEventsProxy::new(),
+            peers,
+            feedback_tick: 1 << 40,
+            gossip_bytes: 0,
+        }
+    }
+
+    /// Seed every peer's background corpus with public reference documents
+    /// (peers have no other users' data to weigh term selection against).
+    pub fn seed_background<'a, I: IntoIterator<Item = &'a str>>(&mut self, docs: I) {
+        for doc in docs {
+            for pa in &mut self.peers {
+                pa.peer.add_background_doc(doc);
+            }
+        }
+    }
+
+    fn apply_recommendations_for(
+        broker: &Broker,
+        proxy: &mut FeedEventsProxy,
+        pa: &mut PeerAgent,
+        recs: &[Recommendation],
+        report: &mut DayReport,
+    ) {
+        for rec in recs {
+            match &rec.action {
+                RecAction::Subscribe(filter) => {
+                    if let Some(url) = topic_url_of(filter) {
+                        proxy.register(url);
+                    }
+                    report.subscribe_recs += 1;
+                }
+                RecAction::Unsubscribe(filter) => {
+                    if let Some(url) = topic_url_of(filter) {
+                        proxy.deregister(url);
+                    }
+                    report.unsubscribe_recs += 1;
+                }
+            }
+            pa.agent
+                .frontend
+                .apply(broker, rec)
+                .expect("recommendations are schema-valid");
+        }
+    }
+
+    /// Advance one day of the distributed loop.
+    pub fn run_day(
+        &mut self,
+        universe: &WebUniverse,
+        history: &BrowsingHistory,
+        day: u32,
+    ) -> DayReport {
+        let mut report = DayReport { day, ..DayReport::default() };
+
+        // Attention stays on the host.
+        for request in history.requests.iter().filter(|r| r.day == day) {
+            report.clicks += 1;
+            let click = Click::from_request(request);
+            if let Some(pa) = self.peers.iter_mut().find(|p| p.agent.profile.user == request.user) {
+                pa.peer.observe_click(click);
+            }
+        }
+
+        // Local analysis and recommendations.
+        for i in 0..self.peers.len() {
+            let recs = {
+                let pa = &mut self.peers[i];
+                pa.peer.run_day(universe, day)
+            };
+            let broker = &self.broker;
+            let proxy = &mut self.proxy;
+            Self::apply_recommendations_for(broker, proxy, &mut self.peers[i], &recs, &mut report);
+        }
+
+        // Periodic peer-group exchange (§4: "peers can be grouped for the
+        // exchange of recommendations").
+        if self.config.exchange_every_days > 0
+            && day > 0
+            && day % self.config.exchange_every_days == 0
+        {
+            self.exchange(&mut report);
+        }
+
+        // Feed polling and delivery — identical substrate to centralized.
+        let fetcher = UniverseFeedFetcher::new(universe, self.config.feed_window_days);
+        report.absorb_poll(self.proxy.poll_due(&fetcher, &self.broker, day));
+
+        // Sidebar loop; feedback clicks go back into the local peer.
+        let reaction = self.config.reaction;
+        for pa in &mut self.peers {
+            report.events_delivered += pa.agent.frontend.pump(day) as u64;
+            let interests = pa.agent.profile.interests.clone();
+            let totals = pa.agent.frontend.react_all(
+                &mut pa.agent.rng,
+                &reaction,
+                |ev| event_relevant(universe, &interests, ev),
+                &mut pa.agent.recorder,
+                day,
+                self.feedback_tick,
+            );
+            self.feedback_tick += totals.clicked + 1;
+            report.clicked += totals.clicked;
+            report.deleted += totals.deleted;
+            report.expired += pa.agent.frontend.expire(day) as u64;
+            if let Some(batch) = pa.agent.recorder.flush() {
+                for click in batch.clicks {
+                    pa.peer.observe_click(click);
+                }
+            }
+        }
+
+        // Local unsubscribe pass.
+        for i in 0..self.peers.len() {
+            let recs = {
+                let pa = &mut self.peers[i];
+                let feedback = pa.agent.frontend.feedback().clone();
+                pa.peer.unsubscribe_pass(&feedback, day)
+            };
+            let broker = &self.broker;
+            let proxy = &mut self.proxy;
+            Self::apply_recommendations_for(broker, proxy, &mut self.peers[i], &recs, &mut report);
+        }
+
+        report
+    }
+
+    /// Run one peer-group exchange round, accounting gossip traffic.
+    fn exchange(&mut self, _report: &mut DayReport) {
+        let n_terms = self.config.profile_terms;
+        let profiles: Vec<(UserId, HashMap<String, f64>)> = self
+            .peers
+            .iter()
+            .map(|pa| (pa.agent.profile.user, pa.peer.term_vector(n_terms)))
+            .collect();
+        // Gossip cost: each peer shares its term vector with the group.
+        for (_, vector) in &profiles {
+            self.gossip_bytes += vector.keys().map(|t| t.len() + 8).sum::<usize>() as u64;
+        }
+        let groups = group_peers(&profiles, self.config.similarity_threshold);
+        let subscriptions: HashMap<UserId, BTreeSet<String>> = self
+            .peers
+            .iter()
+            .map(|pa| {
+                let feeds: BTreeSet<String> = pa
+                    .agent
+                    .frontend
+                    .active_filters()
+                    .filter_map(|f| topic_url_of(f).map(str::to_owned))
+                    .collect();
+                (pa.agent.profile.user, feeds)
+            })
+            .collect();
+        let suggestions = exchange_feeds(&groups, &subscriptions);
+        for pa in &mut self.peers {
+            if let Some(feeds) = suggestions.get(&pa.agent.profile.user) {
+                self.gossip_bytes += feeds.iter().map(|f| f.len() + 8).sum::<usize>() as u64;
+                pa.peer.accept_suggestions(feeds.iter().cloned());
+            }
+        }
+    }
+
+    /// Network traffic of the distributed machinery: only gossip — no
+    /// attention upload, no server crawl.
+    pub fn traffic(&self) -> TrafficReport {
+        TrafficReport {
+            attention_upload_bytes: 0,
+            crawl_bytes: 0,
+            recommendation_bytes: 0,
+            gossip_bytes: self.gossip_bytes,
+        }
+    }
+
+    /// The broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The feed proxy.
+    pub fn proxy(&self) -> &FeedEventsProxy {
+        &self.proxy
+    }
+
+    /// Active subscriptions per user.
+    pub fn subscription_counts(&self) -> Vec<(UserId, usize)> {
+        self.peers
+            .iter()
+            .map(|pa| (pa.agent.profile.user, pa.agent.frontend.active_count()))
+            .collect()
+    }
+
+    /// Auto subscribe/unsubscribe totals per user.
+    pub fn auto_counts(&self) -> Vec<(UserId, u64, u64)> {
+        self.peers
+            .iter()
+            .map(|pa| {
+                let (s, u) = pa.agent.frontend.auto_counts();
+                (pa.agent.profile.user, s, u)
+            })
+            .collect()
+    }
+
+    /// Attention data resident anywhere other than the user's host: none,
+    /// by construction.
+    pub fn server_resident_clicks(&self) -> u64 {
+        0
+    }
+
+    /// Total clicks held locally across peers (for parity checks).
+    pub fn local_clicks(&self) -> u64 {
+        self.peers.iter().map(|pa| pa.peer.store().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reef_simweb::browse::generate_history;
+    use reef_simweb::{BrowseConfig, WebConfig};
+
+    fn setup() -> (WebUniverse, BrowsingHistory) {
+        let universe = WebUniverse::generate(WebConfig::default(), 77);
+        let config = BrowseConfig {
+            users: 3,
+            days: 6,
+            mean_page_views_per_day: 40.0,
+            favourites_per_user: 40,
+            ..BrowseConfig::default()
+        };
+        let history = generate_history(&universe, &config, 77);
+        (universe, history)
+    }
+
+    #[test]
+    fn centralized_loop_produces_subscriptions_and_events() {
+        let (universe, history) = setup();
+        let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), 7);
+        let mut total_subs = 0u64;
+        let mut total_events = 0u64;
+        for day in 0..history.days {
+            let report = reef.run_day(&universe, &history, day);
+            total_subs += report.subscribe_recs;
+            total_events += report.events_delivered;
+        }
+        assert!(total_subs > 0, "some feeds must be recommended");
+        assert!(total_events > 0, "subscribed feeds must deliver events");
+        assert!(reef.server_resident_clicks() > 0);
+        let traffic = reef.traffic();
+        assert!(traffic.attention_upload_bytes > 0);
+        assert!(traffic.crawl_bytes > 0);
+    }
+
+    #[test]
+    fn distributed_loop_keeps_attention_local() {
+        let (universe, history) = setup();
+        let mut reef = DistributedReef::new(&history.profiles, ReefConfig::default(), 7);
+        let mut total_subs = 0u64;
+        for day in 0..history.days {
+            let report = reef.run_day(&universe, &history, day);
+            total_subs += report.subscribe_recs;
+        }
+        assert!(total_subs > 0);
+        assert_eq!(reef.server_resident_clicks(), 0);
+        assert!(reef.local_clicks() > 0);
+        let traffic = reef.traffic();
+        assert_eq!(traffic.attention_upload_bytes, 0);
+        assert_eq!(traffic.crawl_bytes, 0);
+    }
+
+    #[test]
+    fn both_designs_recommend_comparably() {
+        let (universe, history) = setup();
+        let mut central = CentralizedReef::new(&history.profiles, ReefConfig::default(), 7);
+        let mut distributed = DistributedReef::new(&history.profiles, ReefConfig::default(), 7);
+        let mut central_subs = 0u64;
+        let mut dist_subs = 0u64;
+        for day in 0..history.days {
+            central_subs += central.run_day(&universe, &history, day).subscribe_recs;
+            dist_subs += distributed.run_day(&universe, &history, day).subscribe_recs;
+        }
+        // Same discovery signal, same rate limit: within 2x of each other.
+        assert!(central_subs > 0 && dist_subs > 0);
+        let ratio = central_subs as f64 / dist_subs as f64;
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn universe_fetcher_serves_parseable_documents() {
+        let (universe, _) = setup();
+        let fetcher = UniverseFeedFetcher::new(&universe, 14);
+        let spec = &universe.feeds()[0];
+        let doc = fetcher.fetch_feed(&spec.url, 10).expect("feed exists");
+        let (_, parsed) = reef_feeds::parse_feed(&doc).expect("well-formed");
+        assert_eq!(parsed.title, spec.title);
+        assert!(fetcher.fetch_feed("http://nope.example/feed.rss", 0).is_none());
+    }
+
+    #[test]
+    fn topic_url_extraction() {
+        assert_eq!(topic_url_of(&Filter::topic("http://f/x.rss")), Some("http://f/x.rss"));
+        assert_eq!(topic_url_of(&Filter::new()), None);
+        assert_eq!(
+            topic_url_of(&Filter::new().and("body", Op::Contains, "x")),
+            None
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Collaborative recommendation: grouping peers by interest similarity and
+//! exchanging recommendations within groups.
+//!
+//! The distributed Reef (§4) cannot correlate all users' data centrally;
+//! instead "peers can be grouped for the exchange of recommendations using
+//! collaborative techniques" (§4, citing the I-SPY community model of
+//! §5.2). This module implements that: interest profiles are term vectors,
+//! similarity is cosine, groups form greedily above a similarity
+//! threshold, and feeds that work for one member are suggested to the
+//! rest.
+
+use reef_simweb::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Cosine similarity of two sparse term vectors.
+pub fn cosine_similarity(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(term, wa)| b.get(term).map(|wb| wa * wb))
+        .sum();
+    let norm = |v: &HashMap<String, f64>| v.values().map(|w| w * w).sum::<f64>().sqrt();
+    let denominator = norm(a) * norm(b);
+    if denominator == 0.0 {
+        0.0
+    } else {
+        dot / denominator
+    }
+}
+
+/// A partition of users into interest communities.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PeerGroups {
+    groups: Vec<Vec<UserId>>,
+}
+
+impl PeerGroups {
+    /// The groups, each sorted by user id.
+    pub fn groups(&self) -> &[Vec<UserId>] {
+        &self.groups
+    }
+
+    /// The peers sharing a group with `user` (excluding the user).
+    pub fn peers_of(&self, user: UserId) -> &[UserId] {
+        for group in &self.groups {
+            if let Some(pos) = group.iter().position(|u| *u == user) {
+                // Return the whole group; caller filters self out. To keep
+                // the API simple we return a slice and let callers skip.
+                let _ = pos;
+                return group;
+            }
+        }
+        &[]
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Greedily cluster users: each user joins the first existing group whose
+/// *first member* (the group's seed) is at least `threshold`-similar;
+/// otherwise the user seeds a new group. Deterministic in the order of
+/// `profiles`.
+pub fn group_peers(
+    profiles: &[(UserId, HashMap<String, f64>)],
+    threshold: f64,
+) -> PeerGroups {
+    let mut groups: Vec<(usize, Vec<UserId>)> = Vec::new();
+    for (i, (user, vector)) in profiles.iter().enumerate() {
+        let mut joined = false;
+        for (seed_idx, members) in groups.iter_mut() {
+            let seed_vector = &profiles[*seed_idx].1;
+            if cosine_similarity(vector, seed_vector) >= threshold {
+                members.push(*user);
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            groups.push((i, vec![*user]));
+        }
+    }
+    PeerGroups {
+        groups: groups
+            .into_iter()
+            .map(|(_, mut members)| {
+                members.sort_unstable();
+                members
+            })
+            .collect(),
+    }
+}
+
+/// Exchange feed subscriptions within groups: for each user, the feeds
+/// that at least one group peer subscribes to (and clicks on), minus the
+/// feeds the user already has. Returned suggestions are sorted for
+/// determinism.
+pub fn exchange_feeds(
+    groups: &PeerGroups,
+    subscriptions: &HashMap<UserId, BTreeSet<String>>,
+) -> HashMap<UserId, Vec<String>> {
+    let mut out: HashMap<UserId, Vec<String>> = HashMap::new();
+    for group in groups.groups() {
+        for user in group {
+            let own: &BTreeSet<String> = match subscriptions.get(user) {
+                Some(s) => s,
+                None => &EMPTY,
+            };
+            let mut suggested: BTreeSet<String> = BTreeSet::new();
+            for peer in group {
+                if peer == user {
+                    continue;
+                }
+                if let Some(theirs) = subscriptions.get(peer) {
+                    for feed in theirs {
+                        if !own.contains(feed) {
+                            suggested.insert(feed.clone());
+                        }
+                    }
+                }
+            }
+            out.insert(*user, suggested.into_iter().collect());
+        }
+    }
+    out
+}
+
+static EMPTY: BTreeSet<String> = BTreeSet::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(t, w)| ((*t).to_owned(), *w)).collect()
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let a = vector(&[("x", 1.0), ("y", 1.0)]);
+        let b = vector(&[("x", 1.0), ("y", 1.0)]);
+        let c = vector(&[("z", 1.0)]);
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-9);
+        assert_eq!(cosine_similarity(&a, &c), 0.0);
+        assert_eq!(cosine_similarity(&a, &HashMap::new()), 0.0);
+    }
+
+    #[test]
+    fn similar_users_group_together() {
+        let profiles = vec![
+            (UserId(0), vector(&[("sport", 2.0), ("goal", 1.0)])),
+            (UserId(1), vector(&[("sport", 1.5), ("goal", 2.0)])),
+            (UserId(2), vector(&[("opera", 3.0)])),
+        ];
+        let groups = group_peers(&profiles, 0.5);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups.groups()[0], vec![UserId(0), UserId(1)]);
+        assert_eq!(groups.groups()[1], vec![UserId(2)]);
+        assert_eq!(groups.peers_of(UserId(1)), &[UserId(0), UserId(1)]);
+        assert!(groups.peers_of(UserId(9)).is_empty());
+    }
+
+    #[test]
+    fn threshold_one_separates_everyone_distinct() {
+        let profiles = vec![
+            (UserId(0), vector(&[("a", 1.0)])),
+            (UserId(1), vector(&[("b", 1.0)])),
+        ];
+        assert_eq!(group_peers(&profiles, 0.99).len(), 2);
+        // Zero threshold merges everyone.
+        assert_eq!(group_peers(&profiles, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn feed_exchange_suggests_peer_feeds_only() {
+        let profiles = vec![
+            (UserId(0), vector(&[("sport", 1.0)])),
+            (UserId(1), vector(&[("sport", 1.0)])),
+            (UserId(2), vector(&[("opera", 1.0)])),
+        ];
+        let groups = group_peers(&profiles, 0.5);
+        let mut subs: HashMap<UserId, BTreeSet<String>> = HashMap::new();
+        subs.insert(UserId(0), ["f-a", "f-b"].iter().map(|s| (*s).to_owned()).collect());
+        subs.insert(UserId(1), ["f-b"].iter().map(|s| (*s).to_owned()).collect());
+        subs.insert(UserId(2), ["f-opera"].iter().map(|s| (*s).to_owned()).collect());
+        let suggestions = exchange_feeds(&groups, &subs);
+        assert_eq!(suggestions[&UserId(1)], vec!["f-a".to_owned()]);
+        assert!(suggestions[&UserId(0)].is_empty());
+        // The opera fan is alone: no cross-group leakage.
+        assert!(suggestions[&UserId(2)].is_empty());
+    }
+
+    #[test]
+    fn exchange_handles_users_without_subscriptions() {
+        let profiles = vec![
+            (UserId(0), vector(&[("x", 1.0)])),
+            (UserId(1), vector(&[("x", 1.0)])),
+        ];
+        let groups = group_peers(&profiles, 0.5);
+        let mut subs: HashMap<UserId, BTreeSet<String>> = HashMap::new();
+        subs.insert(UserId(0), ["f"].iter().map(|s| (*s).to_owned()).collect());
+        let suggestions = exchange_feeds(&groups, &subs);
+        assert_eq!(suggestions[&UserId(1)], vec!["f".to_owned()]);
+    }
+}

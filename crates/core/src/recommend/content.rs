@@ -1,0 +1,237 @@
+//! Content-based subscription recommendation (§3.3): the most important
+//! terms of a user's browsing history become keyword queries.
+
+use reef_pubsub::Filter;
+use reef_simweb::UserId;
+use reef_textindex::{select_terms, Corpus, OfferWeightMode, SelectedTerm, Tokenizer};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Builds per-user interest profiles from crawled page text and selects
+/// query terms with Robertson's Offer Weight.
+///
+/// In the centralized deployment every user's pages double as every other
+/// user's background corpus, which is exactly the collaborative advantage
+/// the paper attributes to the centralized design (§3). A distributed peer
+/// supplies its own (public) background corpus instead.
+pub struct ContentRecommender {
+    tokenizer: Tokenizer,
+    history: HashMap<UserId, Corpus>,
+    background: Corpus,
+    /// Cap on history documents per user, to bound memory.
+    max_docs_per_user: usize,
+    docs_per_user: HashMap<UserId, usize>,
+}
+
+impl fmt::Debug for ContentRecommender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContentRecommender")
+            .field("users", &self.history.len())
+            .field("background_docs", &self.background.doc_count())
+            .finish()
+    }
+}
+
+impl Default for ContentRecommender {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentRecommender {
+    /// A recommender with the standard tokenizer and a 20k-doc cap per
+    /// user.
+    pub fn new() -> Self {
+        ContentRecommender {
+            tokenizer: Tokenizer::new(),
+            history: HashMap::new(),
+            background: Corpus::new(),
+            max_docs_per_user: 20_000,
+            docs_per_user: HashMap::new(),
+        }
+    }
+
+    /// The tokenizer in use.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Add one viewed/crawled document to a user's history profile.
+    pub fn add_history_doc(&mut self, user: UserId, text: &str) {
+        let count = self.docs_per_user.entry(user).or_insert(0);
+        if *count >= self.max_docs_per_user {
+            return;
+        }
+        *count += 1;
+        self.history
+            .entry(user)
+            .or_default()
+            .add_text(&self.tokenizer, text);
+    }
+
+    /// Add a document to the shared background corpus.
+    pub fn add_background_doc(&mut self, text: &str) {
+        self.background.add_text(&self.tokenizer, text);
+    }
+
+    /// History document count for a user.
+    pub fn history_len(&self, user: UserId) -> usize {
+        self.history.get(&user).map_or(0, Corpus::doc_count)
+    }
+
+    /// Background document count.
+    pub fn background_len(&self) -> usize {
+        self.background.doc_count()
+    }
+
+    /// Select the top `n` interest terms for a user.
+    ///
+    /// In addition to the explicit background corpus, every *other* user's
+    /// history serves as background (the centralized server's collaborative
+    /// advantage).
+    pub fn interest_terms(&self, user: UserId, n: usize, mode: OfferWeightMode) -> Vec<SelectedTerm> {
+        let Some(history) = self.history.get(&user) else {
+            return Vec::new();
+        };
+        // Merge other users' histories with the shared background corpus.
+        let mut combined = self.background.clone();
+        for (other, corpus) in &self.history {
+            if *other == user {
+                continue;
+            }
+            for doc in 0..corpus.doc_count() {
+                let tokens: Vec<&str> = corpus
+                    .doc_terms(reef_textindex::DocId(doc as u32))
+                    .flat_map(|(t, tf)| {
+                        std::iter::repeat(corpus.term(t).unwrap_or_default()).take(tf as usize)
+                    })
+                    .collect();
+                combined.add_tokens(tokens);
+            }
+        }
+        select_terms(history, &combined, n, mode)
+    }
+
+    /// Interest terms against the explicit background only (what a
+    /// distributed peer, which sees no other user's data, can do).
+    pub fn interest_terms_local(
+        &self,
+        user: UserId,
+        n: usize,
+        mode: OfferWeightMode,
+    ) -> Vec<SelectedTerm> {
+        let Some(history) = self.history.get(&user) else {
+            return Vec::new();
+        };
+        select_terms(history, &self.background, n, mode)
+    }
+
+    /// Turn the top `n` interest terms into keyword subscription filters
+    /// over an event text attribute ("build simple queries out of them",
+    /// §3.3).
+    pub fn keyword_filters(
+        &self,
+        user: UserId,
+        n: usize,
+        attr: &str,
+        mode: OfferWeightMode,
+    ) -> Vec<Filter> {
+        self.interest_terms_local(user, n, mode)
+            .into_iter()
+            .map(|t| Filter::keyword(attr, &t.term))
+            .collect()
+    }
+
+    /// A user's term vector (term → weight) for similarity computations.
+    pub fn term_vector(&self, user: UserId, n: usize) -> HashMap<String, f64> {
+        self.interest_terms_local(user, n, OfferWeightMode::TfIntegrated)
+            .into_iter()
+            .map(|t| (t.term, t.weight))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recommender() -> ContentRecommender {
+        let mut r = ContentRecommender::new();
+        // User 0 reads about brokers; user 1 about cooking.
+        for _ in 0..5 {
+            r.add_history_doc(UserId(0), "publish subscribe broker routing filters events");
+            r.add_history_doc(UserId(1), "cooking garlic pasta dinner recipes kitchen");
+        }
+        for _ in 0..10 {
+            r.add_background_doc("weather traffic holidays generic background news");
+        }
+        r
+    }
+
+    #[test]
+    fn interest_terms_are_user_specific() {
+        let r = recommender();
+        let t0 = r.interest_terms(UserId(0), 3, OfferWeightMode::TfIntegrated);
+        let t1 = r.interest_terms(UserId(1), 3, OfferWeightMode::TfIntegrated);
+        assert!(t0.iter().any(|t| t.term.starts_with("broker")), "{t0:?}");
+        assert!(t1.iter().any(|t| t.term.starts_with("cook") || t.term.starts_with("garlic")));
+        let terms0: Vec<&str> = t0.iter().map(|t| t.term.as_str()).collect();
+        let terms1: Vec<&str> = t1.iter().map(|t| t.term.as_str()).collect();
+        assert!(terms0.iter().all(|t| !terms1.contains(t)));
+    }
+
+    #[test]
+    fn collaborative_background_discounts_other_users_terms() {
+        let mut r = recommender();
+        // Both users also read shared celebrity news.
+        for _ in 0..5 {
+            r.add_history_doc(UserId(0), "celebrity gossip scandal");
+            r.add_history_doc(UserId(1), "celebrity gossip scandal");
+        }
+        let collaborative = r.interest_terms(UserId(0), 10, OfferWeightMode::TfIntegrated);
+        let local = r.interest_terms_local(UserId(0), 10, OfferWeightMode::TfIntegrated);
+        let weight = |list: &[SelectedTerm], term: &str| {
+            list.iter().find(|t| t.term == term).map_or(0.0, |t| t.weight)
+        };
+        // With other users as background, the shared term loses weight
+        // relative to the user-specific one.
+        let collab_ratio = weight(&collaborative, "celebr") / weight(&collaborative, "broker").max(1e-9);
+        let local_ratio = weight(&local, "celebr") / weight(&local, "broker").max(1e-9);
+        assert!(collab_ratio < local_ratio, "collab {collab_ratio} vs local {local_ratio}");
+    }
+
+    #[test]
+    fn keyword_filters_wrap_terms() {
+        let r = recommender();
+        let filters = r.keyword_filters(UserId(0), 2, "body", OfferWeightMode::TfIntegrated);
+        assert_eq!(filters.len(), 2);
+        for f in &filters {
+            assert_eq!(f.len(), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_user_yields_empty() {
+        let r = recommender();
+        assert!(r.interest_terms(UserId(9), 5, OfferWeightMode::Classic).is_empty());
+        assert!(r.keyword_filters(UserId(9), 5, "body", OfferWeightMode::Classic).is_empty());
+    }
+
+    #[test]
+    fn doc_cap_is_enforced() {
+        let mut r = ContentRecommender::new();
+        r.max_docs_per_user = 3;
+        for _ in 0..10 {
+            r.add_history_doc(UserId(0), "words words words");
+        }
+        assert_eq!(r.history_len(UserId(0)), 3);
+    }
+
+    #[test]
+    fn term_vector_has_weights() {
+        let r = recommender();
+        let v = r.term_vector(UserId(0), 5);
+        assert!(!v.is_empty());
+        assert!(v.values().all(|w| *w > 0.0));
+    }
+}

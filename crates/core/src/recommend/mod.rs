@@ -1,0 +1,69 @@
+//! Recommendation services: from parsed attention to subscribe/unsubscribe
+//! actions.
+//!
+//! "Using the tokens found by the parser, a recommendation service makes
+//! recommendations on what subscriptions to place and which to remove."
+//! (§2.2)
+
+pub mod collab;
+pub mod content;
+pub mod topic;
+
+use reef_pubsub::Filter;
+use reef_simweb::UserId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the recommendation service wants the frontend to do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecAction {
+    /// Place a subscription with this filter.
+    Subscribe(Filter),
+    /// Remove the subscription previously placed for this filter.
+    Unsubscribe(Filter),
+}
+
+/// One recommendation, addressed to one user's frontend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The target user.
+    pub user: UserId,
+    /// The action to take.
+    pub action: RecAction,
+    /// Why the recommendation was made (human-readable, for the sidebar's
+    /// tooltip and for experiment logs).
+    pub reason: String,
+    /// Day the recommendation was issued.
+    pub day: u32,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.action {
+            RecAction::Subscribe(filter) => {
+                write!(f, "[{} d{}] subscribe {} — {}", self.user, self.day, filter, self.reason)
+            }
+            RecAction::Unsubscribe(filter) => {
+                write!(f, "[{} d{}] unsubscribe {} — {}", self.user, self.day, filter, self.reason)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommendation_displays_action_and_reason() {
+        let rec = Recommendation {
+            user: UserId(1),
+            action: RecAction::Subscribe(Filter::topic("http://f/feed.rss")),
+            reason: "feed discovered on visited server".to_owned(),
+            day: 3,
+        };
+        let text = rec.to_string();
+        assert!(text.contains("subscribe"));
+        assert!(text.contains("feed discovered"));
+    }
+}

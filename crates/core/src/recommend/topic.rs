@@ -1,0 +1,238 @@
+//! Topic-based subscription recommendation (§3.2): Web feeds discovered in
+//! the user's browsing history become zero-click subscriptions.
+
+use crate::recommend::{RecAction, Recommendation};
+use reef_pubsub::Filter;
+use reef_simweb::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the topic recommender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopicRecommenderConfig {
+    /// Maximum new feed recommendations per user per day. The paper
+    /// observes "enough feeds to overwhelm any user" without filtering and
+    /// lands at ≈1 new recommendation/user/day with it (§6).
+    pub max_per_user_per_day: usize,
+    /// Events a subscription must deliver before it can be judged.
+    pub min_feedback_events: u64,
+    /// Click-through rate below which an unsubscribe is recommended.
+    pub unsubscribe_ctr: f64,
+}
+
+impl Default for TopicRecommenderConfig {
+    fn default() -> Self {
+        TopicRecommenderConfig {
+            max_per_user_per_day: 1,
+            min_feedback_events: 8,
+            unsubscribe_ctr: 0.12,
+        }
+    }
+}
+
+/// Per-subscription feedback totals reported by a frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SubscriptionFeedback {
+    /// Events delivered and displayed.
+    pub delivered: u64,
+    /// Events the user clicked (positive).
+    pub clicked: u64,
+    /// Events the user deleted (negative).
+    pub deleted: u64,
+    /// Events that expired unread.
+    pub expired: u64,
+}
+
+impl SubscriptionFeedback {
+    /// Click-through rate (0 when nothing was delivered).
+    pub fn ctr(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.clicked as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// The topic-based recommender: deduplicating, rate-limited feed
+/// recommendation plus feedback-driven unsubscription.
+#[derive(Debug, Default)]
+pub struct TopicRecommender {
+    config: TopicRecommenderConfig,
+    /// Feeds ever recommended to each user (never repeat).
+    recommended: HashMap<UserId, HashSet<String>>,
+    /// Feeds queued for each user, waiting for rate-limit headroom.
+    queued: HashMap<UserId, Vec<String>>,
+    /// Unsubscriptions already issued, never repeated.
+    unsubscribed: HashMap<UserId, HashSet<String>>,
+}
+
+impl TopicRecommender {
+    /// A recommender with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recommender with explicit settings.
+    pub fn with_config(config: TopicRecommenderConfig) -> Self {
+        TopicRecommender {
+            config,
+            ..TopicRecommender::default()
+        }
+    }
+
+    /// Offer newly discovered feeds for a user. They enter the user's
+    /// queue unless already recommended or queued.
+    pub fn offer_feeds<I, S>(&mut self, user: UserId, feeds: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let seen = self.recommended.entry(user).or_default();
+        let queue = self.queued.entry(user).or_default();
+        for feed in feeds {
+            let feed = feed.into();
+            if !seen.contains(&feed) && !queue.contains(&feed) {
+                queue.push(feed);
+            }
+        }
+    }
+
+    /// Number of feeds waiting in a user's queue.
+    pub fn queued_count(&self, user: UserId) -> usize {
+        self.queued.get(&user).map_or(0, Vec::len)
+    }
+
+    /// `true` when the feed was already recommended to the user.
+    pub fn was_recommended(&self, user: UserId, feed: &str) -> bool {
+        self.recommended.get(&user).is_some_and(|s| s.contains(feed))
+    }
+
+    /// Drain up to the daily rate limit of queued feeds into subscribe
+    /// recommendations.
+    pub fn daily_recommendations(&mut self, user: UserId, day: u32) -> Vec<Recommendation> {
+        let queue = self.queued.entry(user).or_default();
+        let n = queue.len().min(self.config.max_per_user_per_day);
+        let drained: Vec<String> = queue.drain(..n).collect();
+        let seen = self.recommended.entry(user).or_default();
+        drained
+            .into_iter()
+            .map(|feed| {
+                seen.insert(feed.clone());
+                Recommendation {
+                    user,
+                    action: RecAction::Subscribe(Filter::topic(&feed)),
+                    reason: "feed discovered on a server you visit".to_owned(),
+                    day,
+                }
+            })
+            .collect()
+    }
+
+    /// Judge per-subscription feedback and recommend unsubscriptions for
+    /// feeds the user demonstrably ignores.
+    pub fn unsubscribe_recommendations(
+        &mut self,
+        user: UserId,
+        feedback: &HashMap<String, SubscriptionFeedback>,
+        day: u32,
+    ) -> Vec<Recommendation> {
+        let issued = self.unsubscribed.entry(user).or_default();
+        let mut out = Vec::new();
+        let mut feeds: Vec<&String> = feedback.keys().collect();
+        feeds.sort_unstable();
+        for feed in feeds {
+            let fb = &feedback[feed];
+            if fb.delivered < self.config.min_feedback_events {
+                continue;
+            }
+            if fb.ctr() < self.config.unsubscribe_ctr && !issued.contains(feed) {
+                issued.insert(feed.clone());
+                out.push(Recommendation {
+                    user,
+                    action: RecAction::Unsubscribe(Filter::topic(feed)),
+                    reason: format!(
+                        "low attention: {} of {} events clicked",
+                        fb.clicked, fb.delivered
+                    ),
+                    day,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feeds_are_recommended_once_at_rate_limit() {
+        let mut rec = TopicRecommender::new();
+        let user = UserId(0);
+        rec.offer_feeds(user, ["f1", "f2", "f3"]);
+        assert_eq!(rec.queued_count(user), 3);
+        let day0 = rec.daily_recommendations(user, 0);
+        assert_eq!(day0.len(), 1, "rate limit of 1/day");
+        // Re-offering known feeds does not requeue them.
+        rec.offer_feeds(user, ["f1", "f2", "f3"]);
+        assert_eq!(rec.queued_count(user), 2);
+        let day1 = rec.daily_recommendations(user, 1);
+        assert_eq!(day1.len(), 1);
+        assert_ne!(day0[0].action, day1[0].action);
+        assert!(rec.was_recommended(user, "f1"));
+    }
+
+    #[test]
+    fn rate_limit_is_configurable() {
+        let mut rec = TopicRecommender::with_config(TopicRecommenderConfig {
+            max_per_user_per_day: 5,
+            ..TopicRecommenderConfig::default()
+        });
+        rec.offer_feeds(UserId(0), ["a", "b", "c"]);
+        assert_eq!(rec.daily_recommendations(UserId(0), 0).len(), 3);
+    }
+
+    #[test]
+    fn users_have_independent_queues() {
+        let mut rec = TopicRecommender::new();
+        rec.offer_feeds(UserId(0), ["f"]);
+        rec.offer_feeds(UserId(1), ["f"]);
+        assert_eq!(rec.daily_recommendations(UserId(0), 0).len(), 1);
+        assert_eq!(rec.daily_recommendations(UserId(1), 0).len(), 1);
+    }
+
+    #[test]
+    fn ignored_subscriptions_get_unsubscribe_recommendations() {
+        let mut rec = TopicRecommender::new();
+        let user = UserId(0);
+        let mut feedback = HashMap::new();
+        feedback.insert(
+            "boring".to_owned(),
+            SubscriptionFeedback { delivered: 20, clicked: 0, deleted: 12, expired: 8 },
+        );
+        feedback.insert(
+            "loved".to_owned(),
+            SubscriptionFeedback { delivered: 20, clicked: 15, deleted: 0, expired: 5 },
+        );
+        feedback.insert(
+            "young".to_owned(),
+            SubscriptionFeedback { delivered: 2, clicked: 0, deleted: 2, expired: 0 },
+        );
+        let recs = rec.unsubscribe_recommendations(user, &feedback, 9);
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].reason.contains("low attention"));
+        match &recs[0].action {
+            RecAction::Unsubscribe(f) => assert!(f.to_string().contains("boring")),
+            other => panic!("expected unsubscribe, got {other:?}"),
+        }
+        // Never repeated.
+        assert!(rec.unsubscribe_recommendations(user, &feedback, 10).is_empty());
+    }
+
+    #[test]
+    fn ctr_handles_zero_delivery() {
+        assert_eq!(SubscriptionFeedback::default().ctr(), 0.0);
+    }
+}

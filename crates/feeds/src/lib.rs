@@ -1,0 +1,40 @@
+//! # reef-feeds — Web-feed substrate (WAIF FeedEvents)
+//!
+//! The topic-based case study of the Reef paper (§3.2) subscribes users to
+//! RSS feeds through the *WAIF FeedEvents* service [2]: a push-based proxy
+//! that "can poll any RSS, Atom, or RDF feed, and check for updated
+//! content on behalf of many users". This crate implements that substrate
+//! from scratch:
+//!
+//! * a minimal **XML parser** ([`xml`]): pull events plus a small DOM;
+//! * **parsers and writers** for the three feed dialects
+//!   ([`parse_feed`], [`write_feed`]) with a format-independent model
+//!   ([`Feed`], [`FeedItem`]);
+//! * the **FeedEvents proxy** ([`FeedEventsProxy`]): GUID-deduplicated,
+//!   backoff-scheduled polling that publishes fresh items into a
+//!   `reef-pubsub` [`reef_pubsub::Broker`] as topical events.
+//!
+//! ```
+//! use reef_feeds::{parse_feed, FeedFormat};
+//!
+//! let xml = r#"<rss version="2.0"><channel><title>T</title></channel></rss>"#;
+//! let (format, feed) = parse_feed(xml)?;
+//! assert_eq!(format, FeedFormat::Rss2);
+//! assert_eq!(feed.title, "T");
+//! # Ok::<(), reef_feeds::FeedError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod model;
+pub mod parse;
+pub mod proxy;
+pub mod write;
+pub mod xml;
+
+pub use model::{Feed, FeedFormat, FeedItem};
+pub use parse::{parse_feed, sniff_format, FeedError};
+pub use proxy::{FeedEventsProxy, FeedFetcher, PollReport, ProxyConfig};
+pub use write::write_feed;
+pub use xml::{parse_document, XmlError, XmlEvent, XmlNode, XmlPullParser};

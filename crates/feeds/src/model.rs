@@ -1,0 +1,89 @@
+//! Format-independent feed model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The syndication dialect a feed document was written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeedFormat {
+    /// RSS 2.0 (`<rss version="2.0">`).
+    Rss2,
+    /// Atom 1.0 (`<feed xmlns="http://www.w3.org/2005/Atom">`).
+    Atom,
+    /// RSS 1.0 / RDF (`<rdf:RDF>`).
+    Rdf,
+}
+
+impl fmt::Display for FeedFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FeedFormat::Rss2 => "rss2",
+            FeedFormat::Atom => "atom",
+            FeedFormat::Rdf => "rdf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry/item of a feed.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FeedItem {
+    /// Stable unique id (guid / atom:id / rdf:about). Falls back to the
+    /// link when the document carries no explicit id.
+    pub guid: String,
+    /// Headline.
+    pub title: String,
+    /// Link to the full story.
+    pub link: String,
+    /// Description / summary / content.
+    pub description: String,
+    /// Publication day, when the document carries one (simulated-web feeds
+    /// stamp an integer day).
+    pub published_day: Option<u32>,
+}
+
+/// A parsed feed: channel metadata plus items, newest first (document
+/// order).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Feed {
+    /// Channel title.
+    pub title: String,
+    /// Channel homepage link.
+    pub link: String,
+    /// Channel description.
+    pub description: String,
+    /// Items in document order.
+    pub items: Vec<FeedItem>,
+}
+
+impl Feed {
+    /// Item count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the feed has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_display_names() {
+        assert_eq!(FeedFormat::Rss2.to_string(), "rss2");
+        assert_eq!(FeedFormat::Atom.to_string(), "atom");
+        assert_eq!(FeedFormat::Rdf.to_string(), "rdf");
+    }
+
+    #[test]
+    fn feed_len_reflects_items() {
+        let mut f = Feed::default();
+        assert!(f.is_empty());
+        f.items.push(FeedItem::default());
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Parsing RSS 2.0, Atom 1.0 and RSS 1.0 (RDF) documents into [`Feed`].
+
+use crate::model::{Feed, FeedFormat, FeedItem};
+use crate::xml::{local_name, parse_document, XmlError, XmlNode};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing a feed document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedError {
+    /// The document is not well-formed XML.
+    Xml(XmlError),
+    /// The root element is not a known feed dialect.
+    UnknownFormat {
+        /// The root element name encountered.
+        root: String,
+    },
+    /// An RSS document is missing its `<channel>`.
+    MissingChannel,
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::Xml(e) => write!(f, "feed is not well-formed xml: {e}"),
+            FeedError::UnknownFormat { root } => {
+                write!(f, "root element `{root}` is not a known feed format")
+            }
+            FeedError::MissingChannel => write!(f, "rss document has no channel element"),
+        }
+    }
+}
+
+impl Error for FeedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FeedError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for FeedError {
+    fn from(e: XmlError) -> Self {
+        FeedError::Xml(e)
+    }
+}
+
+/// Sniff the dialect of a feed document without fully parsing it.
+///
+/// # Errors
+///
+/// Returns [`FeedError::Xml`] on malformed XML and
+/// [`FeedError::UnknownFormat`] for non-feed documents.
+pub fn sniff_format(input: &str) -> Result<FeedFormat, FeedError> {
+    let root = parse_document(input)?;
+    format_of_root(&root)
+}
+
+fn format_of_root(root: &XmlNode) -> Result<FeedFormat, FeedError> {
+    match local_name(&root.name) {
+        "rss" => Ok(FeedFormat::Rss2),
+        "feed" => Ok(FeedFormat::Atom),
+        "RDF" => Ok(FeedFormat::Rdf),
+        other => Err(FeedError::UnknownFormat {
+            root: other.to_owned(),
+        }),
+    }
+}
+
+/// Parse a feed document of any supported dialect.
+///
+/// # Errors
+///
+/// Returns [`FeedError::Xml`] on malformed XML,
+/// [`FeedError::UnknownFormat`] for unrecognized roots, and
+/// [`FeedError::MissingChannel`] for RSS documents without a channel.
+///
+/// # Examples
+///
+/// ```
+/// use reef_feeds::{parse_feed, FeedFormat};
+///
+/// let xml = r#"<rss version="2.0"><channel><title>T</title>
+///   <item><title>hi</title><link>http://x/1</link><guid>g1</guid></item>
+/// </channel></rss>"#;
+/// let (format, feed) = parse_feed(xml)?;
+/// assert_eq!(format, FeedFormat::Rss2);
+/// assert_eq!(feed.items.len(), 1);
+/// # Ok::<(), reef_feeds::FeedError>(())
+/// ```
+pub fn parse_feed(input: &str) -> Result<(FeedFormat, Feed), FeedError> {
+    let root = parse_document(input)?;
+    let format = format_of_root(&root)?;
+    let feed = match format {
+        FeedFormat::Rss2 => parse_rss2(&root)?,
+        FeedFormat::Atom => parse_atom(&root),
+        FeedFormat::Rdf => parse_rdf(&root),
+    };
+    Ok((format, feed))
+}
+
+fn parse_item_common(node: &XmlNode) -> FeedItem {
+    let title = node.child_text("title").unwrap_or_default();
+    let link = node.child_text("link").unwrap_or_default();
+    let description = node
+        .child_text("description")
+        .or_else(|| node.child_text("summary"))
+        .or_else(|| node.child_text("content"))
+        .unwrap_or_default();
+    let guid = node
+        .child_text("guid")
+        .or_else(|| node.child_text("id"))
+        .filter(|g| !g.is_empty())
+        .unwrap_or_else(|| link.clone());
+    let published_day = node
+        .child_text("publishedDay")
+        .or_else(|| node.child_text("pubDate"))
+        .or_else(|| node.child_text("published"))
+        .or_else(|| node.child_text("date"))
+        .and_then(|d| parse_day(&d));
+    FeedItem {
+        guid,
+        title,
+        link,
+        description,
+        published_day,
+    }
+}
+
+/// Extract a day number from a date string. The simulated Web stamps
+/// integer days (`day 17`); anything unparseable yields `None`.
+fn parse_day(s: &str) -> Option<u32> {
+    let digits: String = s.chars().filter(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+fn parse_rss2(root: &XmlNode) -> Result<Feed, FeedError> {
+    let channel = root.child("channel").ok_or(FeedError::MissingChannel)?;
+    Ok(Feed {
+        title: channel.child_text("title").unwrap_or_default(),
+        link: channel.child_text("link").unwrap_or_default(),
+        description: channel.child_text("description").unwrap_or_default(),
+        items: channel.children_named("item").map(parse_item_common).collect(),
+    })
+}
+
+fn parse_atom(root: &XmlNode) -> Feed {
+    // Atom links live in href attributes.
+    let link = root
+        .children_named("link")
+        .find_map(|l| l.attr("href"))
+        .unwrap_or_default()
+        .to_owned();
+    let items = root
+        .children_named("entry")
+        .map(|entry| {
+            let mut item = parse_item_common(entry);
+            if item.link.is_empty() {
+                if let Some(href) = entry.children_named("link").find_map(|l| l.attr("href")) {
+                    item.link = href.to_owned();
+                    if item.guid.is_empty() {
+                        item.guid = item.link.clone();
+                    }
+                }
+            }
+            item
+        })
+        .collect();
+    Feed {
+        title: root.child_text("title").unwrap_or_default(),
+        link,
+        description: root.child_text("subtitle").unwrap_or_default(),
+        items,
+    }
+}
+
+fn parse_rdf(root: &XmlNode) -> Feed {
+    let channel = root.child("channel");
+    let items = root
+        .children_named("item")
+        .map(|node| {
+            let mut item = parse_item_common(node);
+            // RDF identifies items by rdf:about, which outranks the
+            // link-based fallback of the common parser.
+            if let Some(about) = node.attr("about") {
+                if node.child_text("guid").map_or(true, |g| g.is_empty()) {
+                    item.guid = about.to_owned();
+                }
+            }
+            item
+        })
+        .collect();
+    Feed {
+        title: channel.and_then(|c| c.child_text("title")).unwrap_or_default(),
+        link: channel.and_then(|c| c.child_text("link")).unwrap_or_default(),
+        description: channel
+            .and_then(|c| c.child_text("description"))
+            .unwrap_or_default(),
+        items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RSS: &str = r#"<?xml version="1.0"?>
+<rss version="2.0"><channel>
+  <title>News</title><link>http://n.example/</link><description>D</description>
+  <item><title>One</title><link>http://n.example/1</link><guid>g1</guid>
+        <description>first</description><publishedDay>3</publishedDay></item>
+  <item><title>Two</title><link>http://n.example/2</link></item>
+</channel></rss>"#;
+
+    const ATOM: &str = r#"<feed xmlns="http://www.w3.org/2005/Atom">
+  <title>Blog</title><subtitle>S</subtitle>
+  <link href="http://b.example/" rel="alternate"/>
+  <entry><title>E1</title><id>a1</id><link href="http://b.example/e1"/>
+         <summary>sum</summary><published>day 9</published></entry>
+</feed>"#;
+
+    const RDF: &str = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+  <channel rdf:about="http://r.example/"><title>RDF Feed</title>
+    <link>http://r.example/</link><description>rd</description></channel>
+  <item rdf:about="http://r.example/i1"><title>I1</title>
+    <link>http://r.example/i1</link><description>d1</description></item>
+</rdf:RDF>"#;
+
+    #[test]
+    fn sniffs_all_three_formats() {
+        assert_eq!(sniff_format(RSS).unwrap(), FeedFormat::Rss2);
+        assert_eq!(sniff_format(ATOM).unwrap(), FeedFormat::Atom);
+        assert_eq!(sniff_format(RDF).unwrap(), FeedFormat::Rdf);
+    }
+
+    #[test]
+    fn parses_rss2_channel_and_items() {
+        let (f, feed) = parse_feed(RSS).unwrap();
+        assert_eq!(f, FeedFormat::Rss2);
+        assert_eq!(feed.title, "News");
+        assert_eq!(feed.items.len(), 2);
+        assert_eq!(feed.items[0].guid, "g1");
+        assert_eq!(feed.items[0].published_day, Some(3));
+        // Missing guid falls back to link.
+        assert_eq!(feed.items[1].guid, "http://n.example/2");
+        assert_eq!(feed.items[1].published_day, None);
+    }
+
+    #[test]
+    fn parses_atom_entries_with_href_links() {
+        let (f, feed) = parse_feed(ATOM).unwrap();
+        assert_eq!(f, FeedFormat::Atom);
+        assert_eq!(feed.title, "Blog");
+        assert_eq!(feed.link, "http://b.example/");
+        assert_eq!(feed.items.len(), 1);
+        assert_eq!(feed.items[0].link, "http://b.example/e1");
+        assert_eq!(feed.items[0].guid, "a1");
+        assert_eq!(feed.items[0].description, "sum");
+        assert_eq!(feed.items[0].published_day, Some(9));
+    }
+
+    #[test]
+    fn parses_rdf_items_outside_channel() {
+        let (f, feed) = parse_feed(RDF).unwrap();
+        assert_eq!(f, FeedFormat::Rdf);
+        assert_eq!(feed.title, "RDF Feed");
+        assert_eq!(feed.items.len(), 1);
+        assert_eq!(feed.items[0].guid, "http://r.example/i1");
+    }
+
+    #[test]
+    fn non_feed_document_is_unknown_format() {
+        assert!(matches!(
+            parse_feed("<html><body/></html>"),
+            Err(FeedError::UnknownFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn rss_without_channel_errors() {
+        assert!(matches!(
+            parse_feed(r#"<rss version="2.0"></rss>"#),
+            Err(FeedError::MissingChannel)
+        ));
+    }
+
+    #[test]
+    fn malformed_xml_is_reported() {
+        assert!(matches!(parse_feed("<rss><channel>"), Err(FeedError::Xml(_))));
+    }
+
+    #[test]
+    fn day_parser_handles_plain_and_decorated() {
+        assert_eq!(parse_day("17"), Some(17));
+        assert_eq!(parse_day("day 17"), Some(17));
+        assert_eq!(parse_day("none"), None);
+    }
+}

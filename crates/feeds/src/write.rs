@@ -1,0 +1,160 @@
+//! Serializing [`Feed`]s back to XML.
+//!
+//! The simulated Web serves feed documents generated from
+//! `reef-simweb` item lists; these writers produce the three dialects so
+//! the parser is exercised end-to-end against realistic documents
+//! (including entity escaping).
+
+use crate::model::{Feed, FeedFormat, FeedItem};
+use crate::xml::encode_entities;
+use std::fmt::Write as _;
+
+/// Serialize a feed in the given dialect.
+///
+/// # Examples
+///
+/// ```
+/// use reef_feeds::{parse_feed, write_feed, Feed, FeedItem, FeedFormat};
+///
+/// let mut feed = Feed { title: "T".into(), ..Feed::default() };
+/// feed.items.push(FeedItem { guid: "g".into(), title: "A & B".into(), ..FeedItem::default() });
+/// let xml = write_feed(&feed, FeedFormat::Atom);
+/// let (format, parsed) = parse_feed(&xml)?;
+/// assert_eq!(format, FeedFormat::Atom);
+/// assert_eq!(parsed.items[0].title, "A & B");
+/// # Ok::<(), reef_feeds::FeedError>(())
+/// ```
+pub fn write_feed(feed: &Feed, format: FeedFormat) -> String {
+    match format {
+        FeedFormat::Rss2 => write_rss2(feed),
+        FeedFormat::Atom => write_atom(feed),
+        FeedFormat::Rdf => write_rdf(feed),
+    }
+}
+
+fn push_tag(out: &mut String, indent: &str, tag: &str, text: &str) {
+    let _ = writeln!(out, "{indent}<{tag}>{}</{tag}>", encode_entities(text));
+}
+
+fn push_day(out: &mut String, indent: &str, item: &FeedItem) {
+    if let Some(day) = item.published_day {
+        let _ = writeln!(out, "{indent}<publishedDay>{day}</publishedDay>");
+    }
+}
+
+fn write_rss2(feed: &Feed) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<rss version=\"2.0\">\n<channel>\n");
+    push_tag(&mut out, "  ", "title", &feed.title);
+    push_tag(&mut out, "  ", "link", &feed.link);
+    push_tag(&mut out, "  ", "description", &feed.description);
+    for item in &feed.items {
+        out.push_str("  <item>\n");
+        push_tag(&mut out, "    ", "title", &item.title);
+        push_tag(&mut out, "    ", "link", &item.link);
+        push_tag(&mut out, "    ", "guid", &item.guid);
+        push_tag(&mut out, "    ", "description", &item.description);
+        push_day(&mut out, "    ", item);
+        out.push_str("  </item>\n");
+    }
+    out.push_str("</channel>\n</rss>\n");
+    out
+}
+
+fn write_atom(feed: &Feed) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<feed xmlns=\"http://www.w3.org/2005/Atom\">\n");
+    push_tag(&mut out, "  ", "title", &feed.title);
+    push_tag(&mut out, "  ", "subtitle", &feed.description);
+    let _ = writeln!(out, "  <link href=\"{}\" rel=\"alternate\"/>", encode_entities(&feed.link));
+    for item in &feed.items {
+        out.push_str("  <entry>\n");
+        push_tag(&mut out, "    ", "title", &item.title);
+        push_tag(&mut out, "    ", "id", &item.guid);
+        let _ = writeln!(out, "    <link href=\"{}\"/>", encode_entities(&item.link));
+        push_tag(&mut out, "    ", "summary", &item.description);
+        push_day(&mut out, "    ", item);
+        out.push_str("  </entry>\n");
+    }
+    out.push_str("</feed>\n");
+    out
+}
+
+fn write_rdf(feed: &Feed) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\" xmlns=\"http://purl.org/rss/1.0/\">\n",
+    );
+    let _ = writeln!(out, "<channel rdf:about=\"{}\">", encode_entities(&feed.link));
+    push_tag(&mut out, "  ", "title", &feed.title);
+    push_tag(&mut out, "  ", "link", &feed.link);
+    push_tag(&mut out, "  ", "description", &feed.description);
+    out.push_str("</channel>\n");
+    for item in &feed.items {
+        let _ = writeln!(out, "<item rdf:about=\"{}\">", encode_entities(&item.guid));
+        push_tag(&mut out, "  ", "title", &item.title);
+        push_tag(&mut out, "  ", "link", &item.link);
+        push_tag(&mut out, "  ", "description", &item.description);
+        push_day(&mut out, "  ", item);
+        out.push_str("</item>\n");
+    }
+    out.push_str("</rdf:RDF>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_feed;
+
+    fn sample() -> Feed {
+        Feed {
+            title: "Sample <Feed> & Co".to_owned(),
+            link: "http://s.example/".to_owned(),
+            description: "about \"things\"".to_owned(),
+            items: vec![
+                FeedItem {
+                    guid: "g1".to_owned(),
+                    title: "Story & more".to_owned(),
+                    link: "http://s.example/1".to_owned(),
+                    description: "body <one>".to_owned(),
+                    published_day: Some(4),
+                },
+                FeedItem {
+                    guid: "g2".to_owned(),
+                    title: "Second".to_owned(),
+                    link: "http://s.example/2".to_owned(),
+                    description: String::new(),
+                    published_day: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_all_formats() {
+        for format in [FeedFormat::Rss2, FeedFormat::Atom, FeedFormat::Rdf] {
+            let feed = sample();
+            let xml = write_feed(&feed, format);
+            let (sniffed, parsed) = parse_feed(&xml).unwrap_or_else(|e| panic!("{format}: {e}"));
+            assert_eq!(sniffed, format);
+            assert_eq!(parsed.title, feed.title, "{format}");
+            assert_eq!(parsed.items.len(), feed.items.len(), "{format}");
+            for (a, b) in parsed.items.iter().zip(&feed.items) {
+                assert_eq!(a.guid, b.guid, "{format}");
+                assert_eq!(a.title, b.title, "{format}");
+                assert_eq!(a.link, b.link, "{format}");
+                assert_eq!(a.published_day, b.published_day, "{format}");
+            }
+        }
+    }
+
+    #[test]
+    fn escaping_survives_hostile_text() {
+        let mut feed = sample();
+        feed.items[0].title = "</item><script>alert('&')</script>".to_owned();
+        let xml = write_feed(&feed, FeedFormat::Rss2);
+        let (_, parsed) = parse_feed(&xml).unwrap();
+        assert_eq!(parsed.items[0].title, feed.items[0].title);
+    }
+}

@@ -1,0 +1,556 @@
+//! A minimal XML parser, written from scratch.
+//!
+//! Web feeds come in three XML dialects (RSS 2.0, Atom 1.0, RSS 1.0/RDF),
+//! so the feed substrate needs an XML parser; pulling in a full external
+//! one is outside the approved dependency set, and feeds only need a
+//! well-formed subset: elements, attributes, text, CDATA, comments,
+//! processing instructions and the five predefined entities. No DTDs, no
+//! namespace resolution (prefixes are kept verbatim in names).
+//!
+//! Two layers:
+//! * [`XmlPullParser`] — streaming event reader;
+//! * [`parse_document`] — a small DOM ([`XmlNode`]) built on top, which is
+//!   what the feed parsers consume.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A close tag did not match the open tag.
+    MismatchedTag {
+        /// Tag that was open.
+        expected: String,
+        /// Close tag encountered.
+        found: String,
+    },
+    /// Malformed syntax at a byte offset.
+    Malformed {
+        /// Byte offset of the error.
+        at: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// The document had no root element.
+    NoRoot,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of xml input"),
+            XmlError::MismatchedTag { expected, found } => {
+                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+            }
+            XmlError::Malformed { at, what } => write!(f, "malformed xml at byte {at}: {what}"),
+            XmlError::NoRoot => write!(f, "document has no root element"),
+        }
+    }
+}
+
+impl Error for XmlError {}
+
+/// One parsing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v">` or `<name/>`.
+    StartElement {
+        /// Element name, prefix included (`rdf:RDF`).
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+        /// `true` for `<name/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data (entity-decoded, CDATA included verbatim).
+    Text(String),
+}
+
+/// Streaming XML reader.
+#[derive(Debug)]
+pub struct XmlPullParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlPullParser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlPullParser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, delim: &str) -> Result<(), XmlError> {
+        let bytes = delim.as_bytes();
+        while self.pos < self.input.len() {
+            if self.input[self.pos..].starts_with(bytes) {
+                self.pos += bytes.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof)
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::Malformed {
+                at: start,
+                what: "expected a name",
+            });
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Produce the next event, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`XmlError`] on malformed markup or premature end of
+    /// input.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            if self.peek() != Some(b'<') {
+                // Text run until next '<'.
+                let start = self.pos;
+                while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let decoded = decode_entities(&raw);
+                if decoded.trim().is_empty() {
+                    continue;
+                }
+                return Ok(Some(XmlEvent::Text(decoded)));
+            }
+            // '<' — decide what construct this is.
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+                continue;
+            }
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let text =
+                    String::from_utf8_lossy(&self.input[start..self.pos - 3]).into_owned();
+                if text.is_empty() {
+                    continue;
+                }
+                return Ok(Some(XmlEvent::Text(text)));
+            }
+            if self.starts_with("<!") {
+                // DOCTYPE or other declaration — skip to '>'.
+                self.skip_until(">")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let name = self.read_name()?;
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(XmlError::Malformed {
+                        at: self.pos,
+                        what: "expected '>' after close-tag name",
+                    });
+                }
+                self.pos += 1;
+                return Ok(Some(XmlEvent::EndElement { name }));
+            }
+            // Start tag.
+            self.pos += 1;
+            let name = self.read_name()?;
+            let mut attributes = Vec::new();
+            loop {
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.pos += 1;
+                        return Ok(Some(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: false,
+                        }));
+                    }
+                    Some(b'/') => {
+                        self.pos += 1;
+                        if self.peek() != Some(b'>') {
+                            return Err(XmlError::Malformed {
+                                at: self.pos,
+                                what: "expected '>' after '/'",
+                            });
+                        }
+                        self.pos += 1;
+                        return Ok(Some(XmlEvent::StartElement {
+                            name,
+                            attributes,
+                            self_closing: true,
+                        }));
+                    }
+                    Some(_) => {
+                        let attr_name = self.read_name()?;
+                        self.skip_whitespace();
+                        if self.peek() != Some(b'=') {
+                            return Err(XmlError::Malformed {
+                                at: self.pos,
+                                what: "expected '=' in attribute",
+                            });
+                        }
+                        self.pos += 1;
+                        self.skip_whitespace();
+                        let quote = self.peek().ok_or(XmlError::UnexpectedEof)?;
+                        if quote != b'"' && quote != b'\'' {
+                            return Err(XmlError::Malformed {
+                                at: self.pos,
+                                what: "attribute value must be quoted",
+                            });
+                        }
+                        self.pos += 1;
+                        let start = self.pos;
+                        while self.pos < self.input.len() && self.input[self.pos] != quote {
+                            self.pos += 1;
+                        }
+                        if self.pos >= self.input.len() {
+                            return Err(XmlError::UnexpectedEof);
+                        }
+                        let raw =
+                            String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                        self.pos += 1;
+                        attributes.push((attr_name, decode_entities(&raw)));
+                    }
+                    None => return Err(XmlError::UnexpectedEof),
+                }
+            }
+        }
+    }
+}
+
+/// Decode the five predefined entities plus decimal/hex character
+/// references. Unknown entities pass through verbatim.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = match rest.find(';') {
+            Some(i) if i <= 10 => i,
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+                continue;
+            }
+        };
+        let entity = &rest[1..semi];
+        let decoded = match entity {
+            "amp" => Some('&'),
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => u32::from_str_radix(&entity[2..], 16)
+                .ok()
+                .and_then(char::from_u32),
+            _ if entity.starts_with('#') => entity[1..].parse::<u32>().ok().and_then(char::from_u32),
+            _ => None,
+        };
+        match decoded {
+            Some(c) => {
+                out.push(c);
+                rest = &rest[semi + 1..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Encode text for inclusion in XML content or attribute values.
+pub fn encode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlNode {
+    /// Element name (prefix included).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements.
+    pub children: Vec<XmlNode>,
+    /// Concatenated direct text content.
+    pub text: String,
+}
+
+impl XmlNode {
+    /// First child with the given name (prefix-insensitive: `link` matches
+    /// `atom:link`).
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| local_name(&c.name) == name)
+    }
+
+    /// All children with the given local name.
+    pub fn children_named<'n>(&'n self, name: &'n str) -> impl Iterator<Item = &'n XmlNode> {
+        self.children.iter().filter(move |c| local_name(&c.name) == name)
+    }
+
+    /// Text of the first child with the given local name, trimmed.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(|c| c.text.trim().to_owned())
+    }
+
+    /// Attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name || local_name(k) == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The part of a name after the namespace prefix.
+pub fn local_name(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+/// Parse a whole document into its root element.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] on malformed markup, tag mismatches, or a
+/// missing root element.
+pub fn parse_document(input: &str) -> Result<XmlNode, XmlError> {
+    let mut parser = XmlPullParser::new(input);
+    let mut stack: Vec<XmlNode> = Vec::new();
+    let mut root: Option<XmlNode> = None;
+    while let Some(event) = parser.next_event()? {
+        match event {
+            XmlEvent::StartElement {
+                name,
+                attributes,
+                self_closing,
+            } => {
+                let node = XmlNode {
+                    name,
+                    attributes,
+                    children: Vec::new(),
+                    text: String::new(),
+                };
+                if self_closing {
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None if root.is_none() => root = Some(node),
+                        None => {
+                            return Err(XmlError::Malformed {
+                                at: parser.position(),
+                                what: "content after the root element",
+                            })
+                        }
+                    }
+                } else {
+                    stack.push(node);
+                }
+            }
+            XmlEvent::EndElement { name } => {
+                let node = stack.pop().ok_or(XmlError::Malformed {
+                    at: parser.position(),
+                    what: "close tag without open tag",
+                })?;
+                if node.name != name {
+                    return Err(XmlError::MismatchedTag {
+                        expected: node.name,
+                        found: name,
+                    });
+                }
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None if root.is_none() => root = Some(node),
+                    None => {
+                        return Err(XmlError::Malformed {
+                            at: parser.position(),
+                            what: "multiple root elements",
+                        })
+                    }
+                }
+            }
+            XmlEvent::Text(text) => {
+                if let Some(top) = stack.last_mut() {
+                    if !top.text.is_empty() {
+                        top.text.push(' ');
+                    }
+                    top.text.push_str(text.trim());
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(XmlError::UnexpectedEof);
+    }
+    root.ok_or(XmlError::NoRoot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse_document(r#"<a x="1"><b>hi</b><b>yo</b><c/></a>"#).unwrap();
+        assert_eq!(doc.name, "a");
+        assert_eq!(doc.attr("x"), Some("1"));
+        assert_eq!(doc.children.len(), 3);
+        assert_eq!(doc.child_text("b"), Some("hi".to_owned()));
+        assert_eq!(doc.children_named("b").count(), 2);
+    }
+
+    #[test]
+    fn skips_prolog_comments_and_doctype() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?><!DOCTYPE rss><!-- hello --><rss><x>1</x></rss>",
+        )
+        .unwrap();
+        assert_eq!(doc.name, "rss");
+        assert_eq!(doc.child_text("x"), Some("1".to_owned()));
+    }
+
+    #[test]
+    fn cdata_is_verbatim_text() {
+        let doc = parse_document("<d><![CDATA[a <b> & c]]></d>").unwrap();
+        assert_eq!(doc.text, "a <b> & c");
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_attributes() {
+        let doc = parse_document(r#"<d t="a&amp;b">x &lt; y &#65; &#x42;</d>"#).unwrap();
+        assert_eq!(doc.attr("t"), Some("a&b"));
+        assert_eq!(doc.text, "x < y A B");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(decode_entities("a &nbsp; b"), "a &nbsp; b");
+        assert_eq!(decode_entities("50% & more"), "50% & more");
+    }
+
+    #[test]
+    fn encode_round_trips_through_decode() {
+        let original = r#"<tag> & "quotes" 'apos'"#;
+        assert_eq!(decode_entities(&encode_entities(original)), original);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(matches!(
+            parse_document("<a><b></a></b>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert!(matches!(parse_document("<a><b>"), Err(XmlError::UnexpectedEof)));
+        assert!(matches!(parse_document("<a x="), Err(XmlError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn empty_document_has_no_root() {
+        assert!(matches!(parse_document("   "), Err(XmlError::NoRoot)));
+        assert!(matches!(parse_document("<!-- only comment -->"), Err(XmlError::NoRoot)));
+    }
+
+    #[test]
+    fn namespace_prefixes_are_kept_and_matched_locally() {
+        let doc = parse_document(r#"<rdf:RDF><rss:item>x</rss:item></rdf:RDF>"#).unwrap();
+        assert_eq!(doc.name, "rdf:RDF");
+        assert!(doc.child("item").is_some());
+        assert_eq!(local_name("rdf:RDF"), "RDF");
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let doc = parse_document("<alone/>").unwrap();
+        assert_eq!(doc.name, "alone");
+        assert!(doc.children.is_empty());
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(parse_document("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn text_accumulates_across_children() {
+        let doc = parse_document("<p>one<b>bold</b>two</p>").unwrap();
+        assert_eq!(doc.text, "one two");
+        assert_eq!(doc.child_text("b"), Some("bold".to_owned()));
+    }
+
+    #[test]
+    fn attribute_with_single_quotes() {
+        let doc = parse_document("<a href='http://x/'>t</a>").unwrap();
+        assert_eq!(doc.attr("href"), Some("http://x/"));
+    }
+}

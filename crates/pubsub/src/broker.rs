@@ -1,0 +1,547 @@
+//! A single-node publish-subscribe broker.
+//!
+//! The broker is the "publish-subscribe substrate" box of the paper's
+//! Figures 1 and 2, in its local form: subscribers register, place
+//! subscriptions (step 3 in Figure 1), and receive matching events on their
+//! delivery queues (step 4). The multi-broker form lives in
+//! [`crate::overlay`].
+//!
+//! The broker is thread-safe: `publish` takes `&self`, so producers on
+//! multiple threads can publish concurrently while subscribers drain their
+//! queues through [`SubscriberHandle`]s (crossbeam channels).
+
+use crate::error::BrokerError;
+use crate::event::{Event, EventId, PublishedEvent};
+use crate::filter::Filter;
+use crate::matcher::{IndexMatcher, MatchEngine, SubscriptionId};
+use crate::schema::Schema;
+use crate::stats::{BrokerStats, BrokerStatsSnapshot};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a subscriber registered with a [`Broker`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SubscriberId(pub u64);
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subr#{}", self.0)
+    }
+}
+
+/// What to do when a bounded delivery queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Drop the event for that subscriber and count it in the stats.
+    #[default]
+    DropAndCount,
+    /// Abort the publish with [`BrokerError::QueueFull`]. Deliveries already
+    /// made to other subscribers are not rolled back.
+    Error,
+}
+
+/// Outcome of a successful publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Identifier assigned to the event.
+    pub id: EventId,
+    /// Number of subscribers the event was delivered to.
+    pub delivered: usize,
+    /// Number of subscribers that lost the event to queue overflow.
+    pub dropped: usize,
+}
+
+struct SubscriberEntry {
+    sender: Sender<PublishedEvent>,
+}
+
+struct BrokerInner {
+    matcher: Box<dyn MatchEngine>,
+    subscribers: HashMap<SubscriberId, SubscriberEntry>,
+    /// Owner of each subscription.
+    owners: HashMap<SubscriptionId, SubscriberId>,
+}
+
+/// A local publish-subscribe broker.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::{Broker, Event, Filter};
+///
+/// let broker = Broker::new();
+/// let (id, handle) = broker.register();
+/// broker.subscribe(id, Filter::topic("news")).unwrap();
+/// broker.publish(Event::topical("news", "hello")).unwrap();
+/// assert_eq!(handle.drain().len(), 1);
+/// ```
+pub struct Broker {
+    inner: RwLock<BrokerInner>,
+    schema: Option<Schema>,
+    queue_capacity: Option<usize>,
+    overflow: OverflowPolicy,
+    stats: BrokerStats,
+    next_subscriber: AtomicU64,
+    next_subscription: AtomicU64,
+    next_event: AtomicU64,
+    clock: AtomicU64,
+}
+
+impl fmt::Debug for Broker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("subscribers", &self.inner.read().subscribers.len())
+            .field("subscriptions", &self.inner.read().matcher.len())
+            .field("schema", &self.schema.as_ref().map(Schema::name))
+            .finish()
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Broker {
+    /// A broker with an [`IndexMatcher`], unbounded queues and no schema.
+    pub fn new() -> Self {
+        BrokerBuilder::default().build()
+    }
+
+    /// Start configuring a broker.
+    pub fn builder() -> BrokerBuilder {
+        BrokerBuilder::default()
+    }
+
+    /// The schema events and filters are validated against, if any.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    /// Register a new subscriber; returns its id and the handle used to
+    /// receive events.
+    pub fn register(&self) -> (SubscriberId, SubscriberHandle) {
+        let id = SubscriberId(self.next_subscriber.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = match self.queue_capacity {
+            Some(cap) => channel::bounded(cap),
+            None => channel::unbounded(),
+        };
+        self.inner
+            .write()
+            .subscribers
+            .insert(id, SubscriberEntry { sender: tx });
+        (id, SubscriberHandle { id, receiver: rx })
+    }
+
+    /// Remove a subscriber and all of its subscriptions. Returns how many
+    /// subscriptions were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscriber`] if the id is not
+    /// registered.
+    pub fn deregister(&self, id: SubscriberId) -> Result<usize, BrokerError> {
+        let mut inner = self.inner.write();
+        if inner.subscribers.remove(&id).is_none() {
+            return Err(BrokerError::UnknownSubscriber(id));
+        }
+        let owned: Vec<SubscriptionId> = inner
+            .owners
+            .iter()
+            .filter(|(_, o)| **o == id)
+            .map(|(s, _)| *s)
+            .collect();
+        for sub in &owned {
+            inner.matcher.remove(*sub);
+            inner.owners.remove(sub);
+            self.stats.record_unsubscribe();
+        }
+        Ok(owned.len())
+    }
+
+    /// Place a subscription on behalf of `subscriber`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::UnknownSubscriber`] if the subscriber is not
+    ///   registered.
+    /// * [`BrokerError::Schema`] if the broker has a schema and the filter
+    ///   fails validation.
+    pub fn subscribe(
+        &self,
+        subscriber: SubscriberId,
+        filter: Filter,
+    ) -> Result<SubscriptionId, BrokerError> {
+        if let Some(schema) = &self.schema {
+            schema.validate_filter(&filter)?;
+        }
+        let mut inner = self.inner.write();
+        if !inner.subscribers.contains_key(&subscriber) {
+            return Err(BrokerError::UnknownSubscriber(subscriber));
+        }
+        let sub = SubscriptionId(self.next_subscription.fetch_add(1, Ordering::Relaxed));
+        inner.matcher.insert(sub, filter);
+        inner.owners.insert(sub, subscriber);
+        self.stats.record_subscribe();
+        Ok(sub)
+    }
+
+    /// Remove a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSubscription`] if the id does not
+    /// exist.
+    pub fn unsubscribe(&self, sub: SubscriptionId) -> Result<Filter, BrokerError> {
+        let mut inner = self.inner.write();
+        let filter = inner
+            .matcher
+            .remove(sub)
+            .ok_or(BrokerError::UnknownSubscription(sub))?;
+        inner.owners.remove(&sub);
+        self.stats.record_unsubscribe();
+        Ok(filter)
+    }
+
+    /// Publish an event: match it against all subscriptions and place a copy
+    /// on each matching subscriber's queue.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::Schema`] if the broker has a schema and the event
+    ///   fails validation.
+    /// * [`BrokerError::QueueFull`] under [`OverflowPolicy::Error`] when a
+    ///   bounded queue overflows.
+    pub fn publish(&self, event: Event) -> Result<PublishOutcome, BrokerError> {
+        if let Some(schema) = &self.schema {
+            schema.validate_event(&event)?;
+        }
+        let id = EventId(self.next_event.fetch_add(1, Ordering::Relaxed));
+        let published_at = self.clock.fetch_add(1, Ordering::Relaxed);
+        let published = PublishedEvent {
+            id,
+            published_at,
+            event,
+        };
+        let inner = self.inner.read();
+        let matched = inner.matcher.matches(&published.event);
+        let mut delivered = 0usize;
+        let mut dropped = 0usize;
+        // One subscriber may hold several matching subscriptions; deliver
+        // one copy per matching *subscription*, as real brokers do (the
+        // frontend can dedup if it wants to).
+        for sub in matched {
+            let Some(owner) = inner.owners.get(&sub) else {
+                continue;
+            };
+            let Some(entry) = inner.subscribers.get(owner) else {
+                continue;
+            };
+            match entry.sender.try_send(published.clone()) {
+                Ok(()) => delivered += 1,
+                Err(TrySendError::Full(_)) => {
+                    dropped += 1;
+                    if self.overflow == OverflowPolicy::Error {
+                        self.stats.record_publish();
+                        self.stats.record_delivery(delivered as u64);
+                        self.stats.record_drop(dropped as u64);
+                        return Err(BrokerError::QueueFull {
+                            subscriber: *owner,
+                            capacity: self.queue_capacity.unwrap_or(0),
+                        });
+                    }
+                }
+                // Receiver handle dropped: treat like an implicit deregister.
+                Err(TrySendError::Disconnected(_)) => dropped += 1,
+            }
+        }
+        self.stats.record_publish();
+        self.stats.record_delivery(delivered as u64);
+        self.stats.record_drop(dropped as u64);
+        Ok(PublishOutcome { id, delivered, dropped })
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.read().matcher.len()
+    }
+
+    /// Number of registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.read().subscribers.len()
+    }
+
+    /// The filter of a live subscription.
+    pub fn subscription_filter(&self, sub: SubscriptionId) -> Option<Filter> {
+        self.inner.read().matcher.filter(sub).cloned()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> BrokerStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+/// Configures and builds a [`Broker`].
+#[derive(Default)]
+pub struct BrokerBuilder {
+    schema: Option<Schema>,
+    queue_capacity: Option<usize>,
+    overflow: OverflowPolicy,
+    matcher: Option<Box<dyn MatchEngine>>,
+}
+
+impl fmt::Debug for BrokerBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerBuilder")
+            .field("schema", &self.schema.as_ref().map(Schema::name))
+            .field("queue_capacity", &self.queue_capacity)
+            .field("overflow", &self.overflow)
+            .finish()
+    }
+}
+
+impl BrokerBuilder {
+    /// Validate events and filters against `schema`.
+    pub fn schema(mut self, schema: Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Bound each subscriber's delivery queue to `capacity` events.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Set the policy applied when a bounded queue overflows.
+    pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Use a custom matching engine (defaults to [`IndexMatcher`]).
+    pub fn matcher(mut self, matcher: Box<dyn MatchEngine>) -> Self {
+        self.matcher = Some(matcher);
+        self
+    }
+
+    /// Build the broker.
+    pub fn build(self) -> Broker {
+        Broker {
+            inner: RwLock::new(BrokerInner {
+                matcher: self.matcher.unwrap_or_else(|| Box::new(IndexMatcher::new())),
+                subscribers: HashMap::new(),
+                owners: HashMap::new(),
+            }),
+            schema: self.schema,
+            queue_capacity: self.queue_capacity,
+            overflow: self.overflow,
+            stats: BrokerStats::default(),
+            next_subscriber: AtomicU64::new(0),
+            next_subscription: AtomicU64::new(0),
+            next_event: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Receiving side of a subscriber's delivery queue.
+#[derive(Debug, Clone)]
+pub struct SubscriberHandle {
+    id: SubscriberId,
+    receiver: Receiver<PublishedEvent>,
+}
+
+impl SubscriberHandle {
+    /// The subscriber this handle belongs to.
+    pub fn id(&self) -> SubscriberId {
+        self.id
+    }
+
+    /// Non-blocking receive of the next delivered event.
+    pub fn try_recv(&self) -> Option<PublishedEvent> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<PublishedEvent> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.receiver.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Number of events currently queued.
+    pub fn pending(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+/// Convenience alias: a broker shared between threads.
+pub type SharedBroker = Arc<Broker>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Op;
+    use crate::schema::stock_quote_schema;
+
+    #[test]
+    fn publish_delivers_to_matching_subscriber_only() {
+        let broker = Broker::new();
+        let (a, ha) = broker.register();
+        let (b, hb) = broker.register();
+        broker.subscribe(a, Filter::topic("x")).unwrap();
+        broker.subscribe(b, Filter::topic("y")).unwrap();
+        let out = broker.publish(Event::topical("x", "m")).unwrap();
+        assert_eq!(out.delivered, 1);
+        assert_eq!(ha.drain().len(), 1);
+        assert!(hb.drain().is_empty());
+    }
+
+    #[test]
+    fn event_ids_are_monotonic() {
+        let broker = Broker::new();
+        let a = broker.publish(Event::new()).unwrap().id;
+        let b = broker.publish(Event::new()).unwrap().id;
+        assert!(b > a);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let broker = Broker::new();
+        let (a, ha) = broker.register();
+        let sub = broker.subscribe(a, Filter::topic("x")).unwrap();
+        broker.publish(Event::topical("x", "1")).unwrap();
+        broker.unsubscribe(sub).unwrap();
+        broker.publish(Event::topical("x", "2")).unwrap();
+        assert_eq!(ha.drain().len(), 1);
+        assert!(matches!(
+            broker.unsubscribe(sub),
+            Err(BrokerError::UnknownSubscription(_))
+        ));
+    }
+
+    #[test]
+    fn deregister_removes_all_subscriptions() {
+        let broker = Broker::new();
+        let (a, _ha) = broker.register();
+        broker.subscribe(a, Filter::topic("x")).unwrap();
+        broker.subscribe(a, Filter::topic("y")).unwrap();
+        assert_eq!(broker.deregister(a).unwrap(), 2);
+        assert_eq!(broker.subscription_count(), 0);
+        assert!(matches!(
+            broker.subscribe(a, Filter::new()),
+            Err(BrokerError::UnknownSubscriber(_))
+        ));
+    }
+
+    #[test]
+    fn one_copy_per_matching_subscription() {
+        let broker = Broker::new();
+        let (a, ha) = broker.register();
+        broker.subscribe(a, Filter::topic("x")).unwrap();
+        broker.subscribe(a, Filter::new().and("body", Op::Contains, "m")).unwrap();
+        let out = broker.publish(Event::topical("x", "m")).unwrap();
+        assert_eq!(out.delivered, 2);
+        assert_eq!(ha.drain().len(), 2);
+    }
+
+    #[test]
+    fn schema_validation_on_publish_and_subscribe() {
+        let broker = Broker::builder()
+            .schema(stock_quote_schema(["ACME"]))
+            .build();
+        let (a, _h) = broker.register();
+        assert!(broker
+            .subscribe(a, Filter::new().and("symbol", Op::Eq, "ACME"))
+            .is_ok());
+        assert!(matches!(
+            broker.subscribe(a, Filter::new().and("symbol", Op::Eq, "NOPE")),
+            Err(BrokerError::Schema(_))
+        ));
+        let bad = Event::builder().attr("symbol", "ACME").build();
+        assert!(matches!(broker.publish(bad), Err(BrokerError::Schema(_))));
+    }
+
+    #[test]
+    fn bounded_queue_drops_and_counts() {
+        let broker = Broker::builder().queue_capacity(2).build();
+        let (a, ha) = broker.register();
+        broker.subscribe(a, Filter::new()).unwrap();
+        for _ in 0..5 {
+            broker.publish(Event::new()).unwrap();
+        }
+        assert_eq!(ha.pending(), 2);
+        let stats = broker.stats();
+        assert_eq!(stats.deliveries, 2);
+        assert_eq!(stats.drops, 3);
+    }
+
+    #[test]
+    fn bounded_queue_error_policy() {
+        let broker = Broker::builder()
+            .queue_capacity(1)
+            .overflow(OverflowPolicy::Error)
+            .build();
+        let (a, _ha) = broker.register();
+        broker.subscribe(a, Filter::new()).unwrap();
+        broker.publish(Event::new()).unwrap();
+        assert!(matches!(
+            broker.publish(Event::new()),
+            Err(BrokerError::QueueFull { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_handle_counts_as_drop() {
+        let broker = Broker::new();
+        let (a, ha) = broker.register();
+        broker.subscribe(a, Filter::new()).unwrap();
+        drop(ha);
+        let out = broker.publish(Event::new()).unwrap();
+        assert_eq!(out.delivered, 0);
+        assert_eq!(out.dropped, 1);
+    }
+
+    #[test]
+    fn concurrent_publishers() {
+        let broker: SharedBroker = Arc::new(Broker::new());
+        let (a, ha) = broker.register();
+        broker.subscribe(a, Filter::new()).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let b = Arc::clone(&broker);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        b.publish(Event::builder().attr("t", t).attr("i", i).build())
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ha.drain().len(), 400);
+        assert_eq!(broker.stats().events_published, 400);
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let broker = Broker::new();
+        let s = format!("{broker:?}");
+        assert!(s.contains("Broker"));
+        assert!(s.contains("subscribers"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Events: the unit of publication.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Monotonically increasing event identifier assigned at publication time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct EventId(pub u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev#{}", self.0)
+    }
+}
+
+/// Reserved attribute name carrying an event's topic, when it has one.
+///
+/// Topic-based publish-subscribe (the Web-feed case study of the paper) is
+/// expressed as content-based filtering on this attribute.
+pub const TOPIC_ATTR: &str = "topic";
+
+/// An event is a set of name-value pairs, published into the substrate and
+/// matched against subscription filters.
+///
+/// Attributes are kept in a `BTreeMap` so iteration order — and therefore
+/// matching, routing, and wire-size accounting — is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::Event;
+///
+/// let ev = Event::builder()
+///     .attr("symbol", "ACME")
+///     .attr("price", 12.5)
+///     .build();
+/// assert_eq!(ev.get("symbol").and_then(|v| v.as_str()), Some("ACME"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Event {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl Event {
+    /// Create an empty event. Prefer [`Event::builder`] for non-trivial
+    /// construction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start building an event.
+    pub fn builder() -> EventBuilder {
+        EventBuilder::default()
+    }
+
+    /// Convenience constructor for a topic-based event: sets [`TOPIC_ATTR`]
+    /// and a `body` attribute.
+    pub fn topical(topic: &str, body: &str) -> Self {
+        Event::builder()
+            .attr(TOPIC_ATTR, topic)
+            .attr("body", body)
+            .build()
+    }
+
+    /// Look up an attribute by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+
+    /// `true` when the event carries an attribute with this name.
+    pub fn has(&self, name: &str) -> bool {
+        self.attrs.contains_key(name)
+    }
+
+    /// The event's topic, if it has one.
+    pub fn topic(&self) -> Option<&str> {
+        self.get(TOPIC_ATTR).and_then(Value::as_str)
+    }
+
+    /// Insert or replace an attribute. Returns the previous value, if any.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        self.attrs.insert(name.into(), value.into())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` when the event has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Approximate serialized size in bytes, used by the simulated network.
+    pub fn wire_size(&self) -> usize {
+        self.attrs
+            .iter()
+            .map(|(k, v)| k.len() + v.wire_size() + 2)
+            .sum::<usize>()
+            + 8
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Value)> for Event {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Event {
+            attrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, Value)> for Event {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.attrs.extend(iter);
+    }
+}
+
+/// Builder for [`Event`] values.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::Event;
+///
+/// let ev = Event::builder().attr("kind", "feed-item").build();
+/// assert!(ev.has("kind"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventBuilder {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl EventBuilder {
+    /// Add one attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attrs.insert(name.into(), value.into());
+        self
+    }
+
+    /// Add an attribute only when `value` is `Some`.
+    pub fn attr_opt(self, name: impl Into<String>, value: Option<impl Into<Value>>) -> Self {
+        match value {
+            Some(v) => self.attr(name, v),
+            None => self,
+        }
+    }
+
+    /// Finish building the event.
+    pub fn build(self) -> Event {
+        Event { attrs: self.attrs }
+    }
+}
+
+/// An event together with the identifier assigned by a broker at publish
+/// time; this is what subscribers receive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedEvent {
+    /// Identifier assigned by the broker.
+    pub id: EventId,
+    /// Virtual timestamp (broker clock) of publication.
+    pub published_at: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl fmt::Display for PublishedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @{} {}", self.id, self.published_at, self.event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_attributes() {
+        let ev = Event::builder()
+            .attr("a", 1)
+            .attr("b", "two")
+            .attr_opt("c", Some(3.0))
+            .attr_opt("d", None::<i64>)
+            .build();
+        assert_eq!(ev.len(), 3);
+        assert!(ev.has("c"));
+        assert!(!ev.has("d"));
+    }
+
+    #[test]
+    fn topical_constructor_sets_topic() {
+        let ev = Event::topical("sports", "match report");
+        assert_eq!(ev.topic(), Some("sports"));
+        assert_eq!(ev.get("body").and_then(Value::as_str), Some("match report"));
+    }
+
+    #[test]
+    fn set_replaces_and_returns_previous() {
+        let mut ev = Event::new();
+        assert!(ev.set("k", 1).is_none());
+        assert_eq!(ev.set("k", 2), Some(Value::Int(1)));
+        assert_eq!(ev.get("k"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_name() {
+        let ev = Event::builder().attr("z", 1).attr("a", 2).attr("m", 3).build();
+        let names: Vec<&str> = ev.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ev = Event::builder().attr("a", 1).attr("b", "x").build();
+        assert_eq!(ev.to_string(), "{a=1, b=x}");
+        assert_eq!(Event::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut ev: Event = vec![("a".to_owned(), Value::from(1))].into_iter().collect();
+        ev.extend(vec![("b".to_owned(), Value::from(2))]);
+        assert_eq!(ev.len(), 2);
+    }
+
+    #[test]
+    fn wire_size_grows_with_attributes() {
+        let small = Event::builder().attr("a", 1).build();
+        let big = Event::builder().attr("a", 1).attr("bbbb", "cccc").build();
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,63 @@
+//! # reef-pubsub — content-based publish-subscribe substrate
+//!
+//! This crate is the publish-subscribe substrate that the Reef architecture
+//! (Brenna et al., *Automatic Subscriptions In Publish-Subscribe Systems*,
+//! ICDCSW'06) places subscriptions into. It provides, from scratch:
+//!
+//! * typed **events** as name-value pairs ([`Event`], [`Value`]);
+//! * a **filter algebra** — conjunctions of predicates with equality,
+//!   ordering, string and existence operators ([`Filter`], [`Op`]) plus a
+//!   covering relation used for routing optimization;
+//! * **schemas** describing "valid name-value pairs" of a pub/sub
+//!   interface ([`Schema`]), the contract the attention parser matches
+//!   tokens against (paper §2.1);
+//! * two **matching engines** ([`NaiveMatcher`], [`IndexMatcher`]) behind
+//!   a common trait ([`MatchEngine`]);
+//! * a thread-safe single-node **broker** ([`Broker`]) with per-subscriber
+//!   delivery queues;
+//! * a deterministic **multi-broker overlay** ([`Overlay`]) with
+//!   subscription forwarding, covering-based pruning and reverse-path
+//!   event routing over a simulated, byte-accounted network
+//!   ([`net::SimNet`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reef_pubsub::{Broker, Event, Filter, Op};
+//!
+//! let broker = Broker::new();
+//! let (me, inbox) = broker.register();
+//! broker.subscribe(me, Filter::new().and("price", Op::Gt, 10.0))?;
+//! broker.publish(Event::builder().attr("price", 12.5).build())?;
+//! assert_eq!(inbox.drain().len(), 1);
+//! # Ok::<(), reef_pubsub::BrokerError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod broker;
+pub mod error;
+pub mod event;
+pub mod filter;
+pub mod matcher;
+pub mod net;
+pub mod overlay;
+pub mod parse;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use broker::{
+    Broker, BrokerBuilder, OverflowPolicy, PublishOutcome, SubscriberHandle, SubscriberId,
+};
+pub use error::{BrokerError, OverlayError, SchemaError};
+pub use event::{Event, EventBuilder, EventId, PublishedEvent, TOPIC_ATTR};
+pub use filter::{Filter, Op, Predicate};
+pub use matcher::{IndexMatcher, MatchEngine, NaiveMatcher, SubscriptionId};
+pub use net::{NetStats, NodeId};
+pub use overlay::{ClientId, GlobalSubId, Overlay};
+pub use parse::{parse_filter, parse_filters, ParseFilterError};
+pub use schema::{feed_events_schema, stock_quote_schema, AttrSpec, Schema, SchemaBuilder};
+pub use stats::BrokerStatsSnapshot;
+pub use value::{Value, ValueType};

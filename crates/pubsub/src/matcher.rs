@@ -1,0 +1,471 @@
+//! Matching engines: deciding which subscriptions an event satisfies.
+//!
+//! Two engines are provided behind the [`MatchEngine`] trait:
+//!
+//! * [`NaiveMatcher`] — evaluates every registered filter against every
+//!   event. Simple, and fastest for very small subscription sets.
+//! * [`IndexMatcher`] — the counting algorithm used by scalable
+//!   content-based systems (Gryphon's matching tree and Siena's forwarding
+//!   tables are refinements of it): predicates are indexed so that an event
+//!   only touches predicates over attributes it actually carries, and a
+//!   filter matches when its per-event satisfied-predicate count reaches its
+//!   total predicate count.
+//!
+//! Benchmark **B1** (`cargo bench -p reef-bench --bench matcher`) compares
+//! the two across subscription-set sizes.
+
+use crate::event::Event;
+use crate::filter::{Filter, Op, Predicate};
+use crate::value::ValueKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a subscription within one matcher/broker.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SubscriptionId(pub u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// A matching engine maps events to the set of subscription ids whose
+/// filters they satisfy.
+///
+/// Engines are deterministic: [`MatchEngine::matches`] returns ids sorted
+/// ascending.
+pub trait MatchEngine: fmt::Debug + Send + Sync {
+    /// Register a filter under an id. Ids must be unique; re-inserting an
+    /// existing id replaces its filter.
+    fn insert(&mut self, id: SubscriptionId, filter: Filter);
+
+    /// Remove a subscription. Returns the removed filter, or `None` if the
+    /// id was not registered.
+    fn remove(&mut self, id: SubscriptionId) -> Option<Filter>;
+
+    /// All subscription ids whose filters match `event`, sorted ascending.
+    fn matches(&self, event: &Event) -> Vec<SubscriptionId>;
+
+    /// Number of registered subscriptions.
+    fn len(&self) -> usize;
+
+    /// `true` when no subscriptions are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up the filter registered under `id`.
+    fn filter(&self, id: SubscriptionId) -> Option<&Filter>;
+}
+
+/// Linear-scan matcher: evaluates every filter per event.
+#[derive(Debug, Default)]
+pub struct NaiveMatcher {
+    filters: HashMap<SubscriptionId, Filter>,
+}
+
+impl NaiveMatcher {
+    /// Create an empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MatchEngine for NaiveMatcher {
+    fn insert(&mut self, id: SubscriptionId, filter: Filter) {
+        self.filters.insert(id, filter);
+    }
+
+    fn remove(&mut self, id: SubscriptionId) -> Option<Filter> {
+        self.filters.remove(&id)
+    }
+
+    fn matches(&self, event: &Event) -> Vec<SubscriptionId> {
+        let mut out: Vec<SubscriptionId> = self
+            .filters
+            .iter()
+            .filter(|(_, f)| f.matches(event))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    fn filter(&self, id: SubscriptionId) -> Option<&Filter> {
+        self.filters.get(&id)
+    }
+}
+
+/// Internal record of one indexed predicate: which filter it belongs to.
+#[derive(Debug, Clone)]
+struct PredEntry {
+    id: SubscriptionId,
+    pred: Predicate,
+}
+
+/// Counting-based index matcher.
+///
+/// Predicates are partitioned by attribute name, and within an attribute by
+/// class:
+///
+/// * equality predicates live in a hash map keyed by the canonical
+///   [`ValueKey`] of the operand — an event attribute probes one bucket;
+/// * existence predicates live in a per-attribute list satisfied by
+///   presence alone;
+/// * all other predicates (ordered and string operators) live in a
+///   per-attribute list evaluated against the event's value for that
+///   attribute only.
+///
+/// A per-event counter per candidate filter tracks how many of its
+/// predicates were satisfied; a filter matches when the counter reaches the
+/// filter's predicate count. Empty (match-all) filters are tracked
+/// separately and match every event.
+#[derive(Debug, Default)]
+pub struct IndexMatcher {
+    filters: HashMap<SubscriptionId, Filter>,
+    /// Predicate counts per filter (cached from `filters`).
+    arity: HashMap<SubscriptionId, usize>,
+    /// attr -> operand key -> subscriptions with `attr = operand`.
+    eq_index: HashMap<String, HashMap<ValueKey, Vec<SubscriptionId>>>,
+    /// attr -> subscriptions with `attr exists`.
+    exists_index: HashMap<String, Vec<SubscriptionId>>,
+    /// attr -> other predicates on that attribute, scanned per event-attr.
+    scan_index: HashMap<String, Vec<PredEntry>>,
+    /// Subscriptions whose filter is empty (match-all).
+    match_all: Vec<SubscriptionId>,
+}
+
+impl IndexMatcher {
+    /// Create an empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index_predicate(&mut self, id: SubscriptionId, pred: &Predicate) {
+        match pred.op {
+            Op::Eq => {
+                if let Some(key) = ValueKey::of(&pred.operand) {
+                    self.eq_index
+                        .entry(pred.attr.clone())
+                        .or_default()
+                        .entry(key)
+                        .or_default()
+                        .push(id);
+                } else {
+                    // Unkeyable operand (NaN): keep correct by scanning.
+                    self.scan_index
+                        .entry(pred.attr.clone())
+                        .or_default()
+                        .push(PredEntry { id, pred: pred.clone() });
+                }
+            }
+            Op::Exists => {
+                self.exists_index.entry(pred.attr.clone()).or_default().push(id);
+            }
+            _ => {
+                self.scan_index
+                    .entry(pred.attr.clone())
+                    .or_default()
+                    .push(PredEntry { id, pred: pred.clone() });
+            }
+        }
+    }
+
+    fn unindex_subscription(&mut self, id: SubscriptionId, filter: &Filter) {
+        for pred in filter.predicates() {
+            match pred.op {
+                Op::Eq => {
+                    if let Some(key) = ValueKey::of(&pred.operand) {
+                        if let Some(by_val) = self.eq_index.get_mut(&pred.attr) {
+                            if let Some(ids) = by_val.get_mut(&key) {
+                                ids.retain(|x| *x != id);
+                                if ids.is_empty() {
+                                    by_val.remove(&key);
+                                }
+                            }
+                            if by_val.is_empty() {
+                                self.eq_index.remove(&pred.attr);
+                            }
+                        }
+                        continue;
+                    }
+                    // NaN-keyed equality went to the scan index.
+                    if let Some(list) = self.scan_index.get_mut(&pred.attr) {
+                        list.retain(|e| e.id != id);
+                        if list.is_empty() {
+                            self.scan_index.remove(&pred.attr);
+                        }
+                    }
+                }
+                Op::Exists => {
+                    if let Some(ids) = self.exists_index.get_mut(&pred.attr) {
+                        ids.retain(|x| *x != id);
+                        if ids.is_empty() {
+                            self.exists_index.remove(&pred.attr);
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(list) = self.scan_index.get_mut(&pred.attr) {
+                        list.retain(|e| e.id != id);
+                        if list.is_empty() {
+                            self.scan_index.remove(&pred.attr);
+                        }
+                    }
+                }
+            }
+        }
+        self.match_all.retain(|x| *x != id);
+    }
+}
+
+impl MatchEngine for IndexMatcher {
+    fn insert(&mut self, id: SubscriptionId, filter: Filter) {
+        if let Some(old) = self.filters.remove(&id) {
+            self.unindex_subscription(id, &old);
+        }
+        if filter.is_empty() {
+            self.match_all.push(id);
+        } else {
+            // A filter may constrain the same attribute more than once
+            // (e.g. 3 < x < 7); each predicate is indexed and counted
+            // separately, so duplicates are handled naturally.
+            let preds: Vec<Predicate> = filter.predicates().to_vec();
+            for pred in &preds {
+                self.index_predicate(id, pred);
+            }
+        }
+        self.arity.insert(id, filter.len());
+        self.filters.insert(id, filter);
+    }
+
+    fn remove(&mut self, id: SubscriptionId) -> Option<Filter> {
+        let filter = self.filters.remove(&id)?;
+        self.unindex_subscription(id, &filter);
+        self.arity.remove(&id);
+        Some(filter)
+    }
+
+    fn matches(&self, event: &Event) -> Vec<SubscriptionId> {
+        let mut counts: HashMap<SubscriptionId, usize> = HashMap::new();
+        for (attr, value) in event.iter() {
+            if let Some(by_val) = self.eq_index.get(attr) {
+                if let Some(key) = ValueKey::of(value) {
+                    if let Some(ids) = by_val.get(&key) {
+                        for id in ids {
+                            *counts.entry(*id).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(ids) = self.exists_index.get(attr) {
+                for id in ids {
+                    *counts.entry(*id).or_insert(0) += 1;
+                }
+            }
+            if let Some(entries) = self.scan_index.get(attr) {
+                for e in entries {
+                    if e.pred.eval(value) {
+                        *counts.entry(e.id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<SubscriptionId> = counts
+            .into_iter()
+            .filter(|(id, n)| self.arity.get(id).is_some_and(|a| n == a))
+            .map(|(id, _)| id)
+            .collect();
+        out.extend(self.match_all.iter().copied());
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    fn filter(&self, id: SubscriptionId) -> Option<&Filter> {
+        self.filters.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn engines() -> Vec<Box<dyn MatchEngine>> {
+        vec![Box::new(NaiveMatcher::new()), Box::new(IndexMatcher::new())]
+    }
+
+    fn ev(pairs: &[(&str, Value)]) -> Event {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn both_engines_match_simple_equality() {
+        for mut m in engines() {
+            m.insert(SubscriptionId(1), Filter::new().and("a", Op::Eq, 1));
+            m.insert(SubscriptionId(2), Filter::new().and("a", Op::Eq, 2));
+            let got = m.matches(&ev(&[("a", Value::from(1))]));
+            assert_eq!(got, vec![SubscriptionId(1)], "engine {m:?}");
+        }
+    }
+
+    #[test]
+    fn conjunction_counts_all_predicates() {
+        for mut m in engines() {
+            m.insert(
+                SubscriptionId(1),
+                Filter::new().and("a", Op::Eq, 1).and("b", Op::Gt, 5),
+            );
+            assert!(m.matches(&ev(&[("a", Value::from(1))])).is_empty());
+            assert_eq!(
+                m.matches(&ev(&[("a", Value::from(1)), ("b", Value::from(6))])),
+                vec![SubscriptionId(1)]
+            );
+        }
+    }
+
+    #[test]
+    fn range_filter_on_same_attribute() {
+        for mut m in engines() {
+            m.insert(
+                SubscriptionId(7),
+                Filter::new().and("x", Op::Gt, 3).and("x", Op::Lt, 7),
+            );
+            assert_eq!(m.matches(&ev(&[("x", Value::from(5))])), vec![SubscriptionId(7)]);
+            assert!(m.matches(&ev(&[("x", Value::from(3))])).is_empty());
+            assert!(m.matches(&ev(&[("x", Value::from(9))])).is_empty());
+        }
+    }
+
+    #[test]
+    fn match_all_filter_matches_everything() {
+        for mut m in engines() {
+            m.insert(SubscriptionId(1), Filter::new());
+            assert_eq!(m.matches(&Event::new()), vec![SubscriptionId(1)]);
+            assert_eq!(
+                m.matches(&ev(&[("z", Value::from(1))])),
+                vec![SubscriptionId(1)]
+            );
+        }
+    }
+
+    #[test]
+    fn exists_and_string_predicates() {
+        for mut m in engines() {
+            m.insert(SubscriptionId(1), Filter::new().and_exists("tag"));
+            m.insert(
+                SubscriptionId(2),
+                Filter::new().and("url", Op::Suffix, ".rss"),
+            );
+            let e = ev(&[
+                ("tag", Value::from(true)),
+                ("url", Value::from("http://x/.rss")),
+            ]);
+            assert_eq!(m.matches(&e), vec![SubscriptionId(1), SubscriptionId(2)]);
+        }
+    }
+
+    #[test]
+    fn remove_unregisters_all_predicates() {
+        for mut m in engines() {
+            let f = Filter::new().and("a", Op::Eq, 1).and("b", Op::Contains, "x");
+            m.insert(SubscriptionId(1), f.clone());
+            assert_eq!(m.remove(SubscriptionId(1)), Some(f));
+            assert!(m.remove(SubscriptionId(1)).is_none());
+            assert!(m
+                .matches(&ev(&[("a", Value::from(1)), ("b", Value::from("x"))]))
+                .is_empty());
+            assert_eq!(m.len(), 0);
+        }
+    }
+
+    #[test]
+    fn reinsert_replaces_filter() {
+        for mut m in engines() {
+            m.insert(SubscriptionId(1), Filter::new().and("a", Op::Eq, 1));
+            m.insert(SubscriptionId(1), Filter::new().and("a", Op::Eq, 2));
+            assert!(m.matches(&ev(&[("a", Value::from(1))])).is_empty());
+            assert_eq!(
+                m.matches(&ev(&[("a", Value::from(2))])),
+                vec![SubscriptionId(1)]
+            );
+            assert_eq!(m.len(), 1);
+        }
+    }
+
+    #[test]
+    fn numeric_equality_crosses_types_in_index() {
+        let mut m = IndexMatcher::new();
+        m.insert(SubscriptionId(1), Filter::new().and("n", Op::Eq, 3));
+        assert_eq!(
+            m.matches(&ev(&[("n", Value::from(3.0))])),
+            vec![SubscriptionId(1)]
+        );
+    }
+
+    #[test]
+    fn filter_lookup() {
+        for mut m in engines() {
+            let f = Filter::topic("t");
+            m.insert(SubscriptionId(9), f.clone());
+            assert_eq!(m.filter(SubscriptionId(9)), Some(&f));
+            assert_eq!(m.filter(SubscriptionId(8)), None);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_mixed_workload() {
+        // Deterministic pseudo-random workload, no external RNG needed.
+        let mut naive = NaiveMatcher::new();
+        let mut index = IndexMatcher::new();
+        let attrs = ["a", "b", "c", "d"];
+        let mut x: u64 = 42;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for i in 0..200u64 {
+            let mut f = Filter::new();
+            let n_preds = (next() % 3) + 1;
+            for _ in 0..n_preds {
+                let attr = attrs[(next() % 4) as usize];
+                let val = (next() % 10) as i64;
+                let op = match next() % 5 {
+                    0 => Op::Eq,
+                    1 => Op::Ne,
+                    2 => Op::Lt,
+                    3 => Op::Gt,
+                    _ => Op::Exists,
+                };
+                f = f.and(attr, op, val);
+            }
+            naive.insert(SubscriptionId(i), f.clone());
+            index.insert(SubscriptionId(i), f);
+        }
+        for _ in 0..300 {
+            let mut e = Event::new();
+            let n_attrs = (next() % 4) + 1;
+            for _ in 0..n_attrs {
+                let attr = attrs[(next() % 4) as usize];
+                e.set(attr, (next() % 10) as i64);
+            }
+            assert_eq!(naive.matches(&e), index.matches(&e), "event {e}");
+        }
+    }
+}

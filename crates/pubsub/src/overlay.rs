@@ -1,0 +1,724 @@
+//! A distributed broker overlay with content-based routing.
+//!
+//! The Reef paper's substrate box (Figures 1 and 2) is a wide-area
+//! publish-subscribe system in the tradition of Siena and Gryphon (§5.3).
+//! This module implements that substrate: a *tree* of brokers connected by
+//! simulated links ([`crate::net::SimNet`]), with
+//!
+//! * **subscription forwarding** — a subscription placed at one broker is
+//!   advertised through the tree so events published anywhere reach it;
+//! * **covering-based pruning** — a broker does not advertise a
+//!   subscription to a neighbor when an already-advertised subscription
+//!   covers it ([`Filter::covers`]), shrinking routing tables and control
+//!   traffic (ablation in bench **B2**);
+//! * **reverse-path event routing** — an event is forwarded only on links
+//!   from which a matching interest was advertised.
+//!
+//! The overlay is single-threaded and deterministic: operations enqueue
+//! messages, and [`Overlay::run_until_idle`] drains them in virtual-time
+//! order.
+
+use crate::error::OverlayError;
+use crate::event::{Event, EventId, PublishedEvent};
+use crate::filter::Filter;
+use crate::matcher::{IndexMatcher, MatchEngine, SubscriptionId};
+use crate::net::{NetStats, NodeId, SimNet};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a client attached to some broker of the overlay.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+/// Overlay-wide subscription identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GlobalSubId(pub u64);
+
+impl fmt::Display for GlobalSubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gsub#{}", self.0)
+    }
+}
+
+/// Where a broker learned about a subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubOrigin {
+    /// Placed by a client attached to this broker.
+    Local(ClientId),
+    /// Advertised by a neighboring broker.
+    Neighbor(NodeId),
+}
+
+/// Messages exchanged between brokers.
+#[derive(Debug, Clone, PartialEq)]
+enum OverlayMessage {
+    /// Advertise a subscription to a neighbor.
+    SubFwd { sub: GlobalSubId, filter: Filter },
+    /// Withdraw a previously advertised subscription.
+    UnsubFwd { sub: GlobalSubId },
+    /// Forward a published event along the tree.
+    EventFwd { event: PublishedEvent },
+}
+
+impl OverlayMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            OverlayMessage::SubFwd { filter, .. } => filter.wire_size() + 16,
+            OverlayMessage::UnsubFwd { .. } => 16,
+            OverlayMessage::EventFwd { event } => event.event.wire_size() + 24,
+        }
+    }
+}
+
+/// Per-broker state.
+struct BrokerNode {
+    neighbors: Vec<NodeId>,
+    /// Everything this broker knows: local subs and neighbor advertisements.
+    matcher: IndexMatcher,
+    origin: HashMap<GlobalSubId, SubOrigin>,
+    filters: HashMap<GlobalSubId, Filter>,
+    /// What this broker has advertised to each neighbor.
+    advertised: HashMap<NodeId, BTreeMap<GlobalSubId, Filter>>,
+}
+
+impl BrokerNode {
+    fn new() -> Self {
+        BrokerNode {
+            neighbors: Vec::new(),
+            matcher: IndexMatcher::new(),
+            origin: HashMap::new(),
+            filters: HashMap::new(),
+            advertised: HashMap::new(),
+        }
+    }
+
+    fn insert_sub(&mut self, sub: GlobalSubId, origin: SubOrigin, filter: Filter) {
+        self.matcher.insert(SubscriptionId(sub.0), filter.clone());
+        self.origin.insert(sub, origin);
+        self.filters.insert(sub, filter);
+    }
+
+    fn remove_sub(&mut self, sub: GlobalSubId) -> bool {
+        let existed = self.matcher.remove(SubscriptionId(sub.0)).is_some();
+        self.origin.remove(&sub);
+        self.filters.remove(&sub);
+        existed
+    }
+
+    /// The set of subscriptions this broker *should* be advertising to
+    /// `neighbor`, given its current knowledge.
+    ///
+    /// Without covering: every known subscription not originating at that
+    /// neighbor. With covering: only the maximal ones — a subscription is
+    /// dropped when another candidate strictly covers it, or when an
+    /// equivalent candidate with a smaller id exists (canonical
+    /// representative of an equivalence class).
+    fn desired_ads(&self, neighbor: NodeId, covering: bool) -> BTreeMap<GlobalSubId, Filter> {
+        let candidates: BTreeMap<GlobalSubId, &Filter> = self
+            .filters
+            .iter()
+            .filter(|(sub, _)| match self.origin.get(sub) {
+                Some(SubOrigin::Neighbor(n)) => *n != neighbor,
+                Some(SubOrigin::Local(_)) => true,
+                None => false,
+            })
+            .map(|(sub, f)| (*sub, f))
+            .collect();
+        if !covering {
+            return candidates
+                .into_iter()
+                .map(|(s, f)| (s, f.clone()))
+                .collect();
+        }
+        let mut out = BTreeMap::new();
+        'outer: for (&sub, &filter) in &candidates {
+            for (&other_sub, &other_filter) in &candidates {
+                if other_sub == sub {
+                    continue;
+                }
+                if other_filter.covers(filter) {
+                    let equivalent = filter.covers(other_filter);
+                    // Strictly covered, or covered by an equivalent filter
+                    // with a smaller id (the canonical representative).
+                    if !equivalent || other_sub < sub {
+                        continue 'outer;
+                    }
+                }
+            }
+            out.insert(sub, filter.clone());
+        }
+        out
+    }
+}
+
+/// Per-client state: attachment point and mailbox.
+struct ClientState {
+    broker: NodeId,
+    mailbox: Vec<PublishedEvent>,
+    /// Live subscriptions owned by this client.
+    subs: HashSet<GlobalSubId>,
+}
+
+/// A deterministic multi-broker publish-subscribe overlay.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::{Overlay, Event, Filter};
+///
+/// let mut overlay = Overlay::new(true);
+/// let b1 = overlay.add_broker();
+/// let b2 = overlay.add_broker();
+/// overlay.link(b1, b2, 10)?;
+/// let alice = overlay.attach_client(b1)?;
+/// let bob = overlay.attach_client(b2)?;
+/// overlay.subscribe(bob, Filter::topic("news"))?;
+/// overlay.run_until_idle();
+/// overlay.publish(alice, Event::topical("news", "hi"))?;
+/// overlay.run_until_idle();
+/// assert_eq!(overlay.take_delivered(bob)?.len(), 1);
+/// # Ok::<(), reef_pubsub::OverlayError>(())
+/// ```
+pub struct Overlay {
+    net: SimNet<OverlayMessage>,
+    brokers: HashMap<NodeId, BrokerNode>,
+    clients: HashMap<ClientId, ClientState>,
+    covering: bool,
+    next_client: u64,
+    next_sub: u64,
+    next_event: u64,
+    /// Union-find over broker ids for cycle prevention.
+    parent: HashMap<NodeId, NodeId>,
+}
+
+impl fmt::Debug for Overlay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Overlay")
+            .field("brokers", &self.brokers.len())
+            .field("clients", &self.clients.len())
+            .field("covering", &self.covering)
+            .finish()
+    }
+}
+
+impl Overlay {
+    /// Create an empty overlay. `covering` enables covering-based
+    /// advertisement pruning.
+    pub fn new(covering: bool) -> Self {
+        Overlay {
+            net: SimNet::new(),
+            brokers: HashMap::new(),
+            clients: HashMap::new(),
+            covering,
+            next_client: 0,
+            next_sub: 0,
+            next_event: 0,
+            parent: HashMap::new(),
+        }
+    }
+
+    /// Add a broker node.
+    pub fn add_broker(&mut self) -> NodeId {
+        let id = self.net.add_node();
+        self.brokers.insert(id, BrokerNode::new());
+        self.parent.insert(id, id);
+        id
+    }
+
+    fn find_root(&mut self, mut x: NodeId) -> NodeId {
+        while self.parent[&x] != x {
+            let grand = self.parent[&self.parent[&x]];
+            self.parent.insert(x, grand);
+            x = grand;
+        }
+        x
+    }
+
+    /// Connect two brokers with the given one-way latency.
+    ///
+    /// # Errors
+    ///
+    /// * [`OverlayError::UnknownBroker`] if either endpoint does not exist.
+    /// * [`OverlayError::WouldCreateCycle`] if the link would close a loop
+    ///   (the overlay must remain a tree for reverse-path routing to be
+    ///   duplicate-free).
+    pub fn link(&mut self, a: NodeId, b: NodeId, latency: u64) -> Result<(), OverlayError> {
+        if !self.brokers.contains_key(&a) {
+            return Err(OverlayError::UnknownBroker(a));
+        }
+        if !self.brokers.contains_key(&b) {
+            return Err(OverlayError::UnknownBroker(b));
+        }
+        let (ra, rb) = (self.find_root(a), self.find_root(b));
+        if ra == rb {
+            return Err(OverlayError::WouldCreateCycle(a, b));
+        }
+        self.parent.insert(ra, rb);
+        self.net.connect(a, b, latency);
+        self.brokers.get_mut(&a).expect("checked").neighbors.push(b);
+        self.brokers.get_mut(&b).expect("checked").neighbors.push(a);
+        Ok(())
+    }
+
+    /// Attach a client to a broker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownBroker`] if the broker does not exist.
+    pub fn attach_client(&mut self, broker: NodeId) -> Result<ClientId, OverlayError> {
+        if !self.brokers.contains_key(&broker) {
+            return Err(OverlayError::UnknownBroker(broker));
+        }
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        self.clients.insert(
+            id,
+            ClientState {
+                broker,
+                mailbox: Vec::new(),
+                subs: HashSet::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Place a subscription for `client`. Propagation messages are queued;
+    /// call [`Overlay::run_until_idle`] to flush them through the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownClient`] if the client is not
+    /// attached.
+    pub fn subscribe(&mut self, client: ClientId, filter: Filter) -> Result<GlobalSubId, OverlayError> {
+        let broker_id = self
+            .clients
+            .get(&client)
+            .ok_or(OverlayError::UnknownClient(client))?
+            .broker;
+        let sub = GlobalSubId(self.next_sub);
+        self.next_sub += 1;
+        let broker = self.brokers.get_mut(&broker_id).expect("client broker exists");
+        broker.insert_sub(sub, SubOrigin::Local(client), filter);
+        self.clients
+            .get_mut(&client)
+            .expect("checked")
+            .subs
+            .insert(sub);
+        self.sync_advertisements(broker_id);
+        Ok(sub)
+    }
+
+    /// Withdraw a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownClient`] if no client owns `sub`.
+    pub fn unsubscribe(&mut self, sub: GlobalSubId) -> Result<(), OverlayError> {
+        let owner = self
+            .clients
+            .iter()
+            .find(|(_, c)| c.subs.contains(&sub))
+            .map(|(id, c)| (*id, c.broker));
+        let (client, broker_id) = owner.ok_or(OverlayError::UnknownClient(ClientId(u64::MAX)))?;
+        self.clients.get_mut(&client).expect("checked").subs.remove(&sub);
+        let broker = self.brokers.get_mut(&broker_id).expect("client broker exists");
+        broker.remove_sub(sub);
+        self.sync_advertisements(broker_id);
+        Ok(())
+    }
+
+    /// Publish an event from `client`. Local deliveries happen immediately;
+    /// remote deliveries after [`Overlay::run_until_idle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownClient`] if the client is not
+    /// attached.
+    pub fn publish(&mut self, client: ClientId, event: Event) -> Result<EventId, OverlayError> {
+        let broker_id = self
+            .clients
+            .get(&client)
+            .ok_or(OverlayError::UnknownClient(client))?
+            .broker;
+        let id = EventId(self.next_event);
+        self.next_event += 1;
+        let published = PublishedEvent {
+            id,
+            published_at: self.net.now(),
+            event,
+        };
+        self.route_event(broker_id, None, published);
+        Ok(id)
+    }
+
+    /// Deliver locally and forward along interested links.
+    fn route_event(&mut self, at: NodeId, from: Option<NodeId>, event: PublishedEvent) {
+        let broker = self.brokers.get_mut(&at).expect("broker exists");
+        let matched = broker.matcher.matches(&event.event);
+        let mut local: Vec<ClientId> = Vec::new();
+        let mut forward: Vec<NodeId> = Vec::new();
+        for m in matched {
+            match broker.origin.get(&GlobalSubId(m.0)) {
+                Some(SubOrigin::Local(c)) => local.push(*c),
+                Some(SubOrigin::Neighbor(n)) => {
+                    if Some(*n) != from && !forward.contains(n) {
+                        forward.push(*n);
+                    }
+                }
+                None => {}
+            }
+        }
+        forward.sort_unstable_by_key(|n| n.0);
+        for c in local {
+            if let Some(state) = self.clients.get_mut(&c) {
+                state.mailbox.push(event.clone());
+            }
+        }
+        for n in forward {
+            let msg = OverlayMessage::EventFwd { event: event.clone() };
+            let size = msg.wire_size();
+            self.net.send(at, n, msg, size).expect("linked neighbor");
+        }
+    }
+
+    /// Diff desired vs actual advertisements of `broker_id` toward each
+    /// neighbor and queue the control messages.
+    fn sync_advertisements(&mut self, broker_id: NodeId) {
+        let covering = self.covering;
+        let broker = self.brokers.get_mut(&broker_id).expect("broker exists");
+        let mut to_send: Vec<(NodeId, OverlayMessage)> = Vec::new();
+        let neighbors = broker.neighbors.clone();
+        for n in neighbors {
+            let desired = broker.desired_ads(n, covering);
+            let current = broker.advertised.entry(n).or_default();
+            let mut removals: Vec<GlobalSubId> = Vec::new();
+            for sub in current.keys() {
+                if !desired.contains_key(sub) {
+                    removals.push(*sub);
+                }
+            }
+            for sub in removals {
+                current.remove(&sub);
+                to_send.push((n, OverlayMessage::UnsubFwd { sub }));
+            }
+            for (sub, filter) in &desired {
+                if !current.contains_key(sub) {
+                    current.insert(*sub, filter.clone());
+                    to_send.push((
+                        n,
+                        OverlayMessage::SubFwd {
+                            sub: *sub,
+                            filter: filter.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        for (n, msg) in to_send {
+            let size = msg.wire_size();
+            self.net.send(broker_id, n, msg, size).expect("linked neighbor");
+        }
+    }
+
+    /// Process queued messages until the network is idle. Returns the number
+    /// of messages processed.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut processed = 0;
+        while let Some(env) = self.net.recv_next() {
+            processed += 1;
+            match env.payload {
+                OverlayMessage::SubFwd { sub, filter } => {
+                    let broker = self.brokers.get_mut(&env.dst).expect("broker exists");
+                    broker.insert_sub(sub, SubOrigin::Neighbor(env.src), filter);
+                    self.sync_advertisements(env.dst);
+                }
+                OverlayMessage::UnsubFwd { sub } => {
+                    let broker = self.brokers.get_mut(&env.dst).expect("broker exists");
+                    if broker.remove_sub(sub) {
+                        self.sync_advertisements(env.dst);
+                    }
+                }
+                OverlayMessage::EventFwd { event } => {
+                    self.route_event(env.dst, Some(env.src), event);
+                }
+            }
+        }
+        processed
+    }
+
+    /// Take all events delivered to `client` so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownClient`] if the client is not
+    /// attached.
+    pub fn take_delivered(&mut self, client: ClientId) -> Result<Vec<PublishedEvent>, OverlayError> {
+        let state = self
+            .clients
+            .get_mut(&client)
+            .ok_or(OverlayError::UnknownClient(client))?;
+        Ok(std::mem::take(&mut state.mailbox))
+    }
+
+    /// Aggregate network statistics (messages, bytes, in-flight).
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Total routing-table entries across all brokers (known subscriptions,
+    /// local + remote). The covering ablation compares this with covering
+    /// on and off.
+    pub fn routing_entries(&self) -> usize {
+        self.brokers.values().map(|b| b.matcher.len()).sum()
+    }
+
+    /// Total advertisements currently held toward neighbors.
+    pub fn advertisement_count(&self) -> usize {
+        self.brokers
+            .values()
+            .flat_map(|b| b.advertised.values())
+            .map(BTreeMap::len)
+            .sum()
+    }
+
+    /// Current virtual time of the underlying network.
+    pub fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.brokers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Op;
+
+    /// Build a 3-broker chain b0 - b1 - b2 with one client per broker.
+    fn chain() -> (Overlay, Vec<NodeId>, Vec<ClientId>) {
+        let mut ov = Overlay::new(true);
+        let brokers: Vec<NodeId> = (0..3).map(|_| ov.add_broker()).collect();
+        ov.link(brokers[0], brokers[1], 5).unwrap();
+        ov.link(brokers[1], brokers[2], 5).unwrap();
+        let clients: Vec<ClientId> = brokers
+            .iter()
+            .map(|b| ov.attach_client(*b).unwrap())
+            .collect();
+        (ov, brokers, clients)
+    }
+
+    #[test]
+    fn event_crosses_the_tree_to_remote_subscriber() {
+        let (mut ov, _b, c) = chain();
+        ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        ov.publish(c[0], Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.take_delivered(c[2]).unwrap().len(), 1);
+        assert!(ov.take_delivered(c[0]).unwrap().is_empty());
+        assert!(ov.take_delivered(c[1]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn local_delivery_is_immediate() {
+        let (mut ov, _b, c) = chain();
+        ov.subscribe(c[0], Filter::topic("t")).unwrap();
+        ov.publish(c[0], Event::topical("t", "x")).unwrap();
+        // No run_until_idle needed for same-broker delivery.
+        assert_eq!(ov.take_delivered(c[0]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_matching_events_are_not_forwarded() {
+        let (mut ov, _b, c) = chain();
+        ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        let before = ov.net_stats().messages;
+        ov.publish(c[0], Event::topical("other", "x")).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.net_stats().messages, before);
+        assert!(ov.take_delivered(c[2]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_withdraws_interest() {
+        let (mut ov, _b, c) = chain();
+        let sub = ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        ov.unsubscribe(sub).unwrap();
+        ov.run_until_idle();
+        ov.publish(c[0], Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        assert!(ov.take_delivered(c[2]).unwrap().is_empty());
+        assert_eq!(ov.routing_entries(), 0);
+    }
+
+    #[test]
+    fn covering_prunes_advertisements() {
+        let run = |covering: bool| -> (usize, u64) {
+            let mut ov = Overlay::new(covering);
+            let b0 = ov.add_broker();
+            let b1 = ov.add_broker();
+            ov.link(b0, b1, 1).unwrap();
+            let c = ov.attach_client(b0).unwrap();
+            // One wide filter plus many narrow ones it covers.
+            ov.subscribe(c, Filter::new().and("x", Op::Gt, 0)).unwrap();
+            for i in 1..20 {
+                ov.subscribe(
+                    c,
+                    Filter::new().and("x", Op::Gt, 0).and("y", Op::Eq, i as i64),
+                )
+                .unwrap();
+            }
+            ov.run_until_idle();
+            (ov.advertisement_count(), ov.net_stats().messages)
+        };
+        let (ads_cov, msgs_cov) = run(true);
+        let (ads_flood, msgs_flood) = run(false);
+        assert_eq!(ads_cov, 1, "only the covering filter is advertised");
+        assert_eq!(ads_flood, 20);
+        assert!(msgs_cov < msgs_flood);
+    }
+
+    #[test]
+    fn covered_subscriber_still_receives_events() {
+        // Covering must not lose deliveries: the covered subscription's
+        // events still flow because the covering one forwards them.
+        let mut ov = Overlay::new(true);
+        let b0 = ov.add_broker();
+        let b1 = ov.add_broker();
+        ov.link(b0, b1, 1).unwrap();
+        let wide = ov.attach_client(b0).unwrap();
+        let narrow = ov.attach_client(b0).unwrap();
+        let publisher = ov.attach_client(b1).unwrap();
+        ov.subscribe(wide, Filter::new().and("x", Op::Gt, 0)).unwrap();
+        ov.subscribe(narrow, Filter::new().and("x", Op::Gt, 5)).unwrap();
+        ov.run_until_idle();
+        ov.publish(publisher, Event::builder().attr("x", 10).build()).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.take_delivered(wide).unwrap().len(), 1);
+        assert_eq!(ov.take_delivered(narrow).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unsubscribing_covering_filter_readvertises_covered() {
+        let mut ov = Overlay::new(true);
+        let b0 = ov.add_broker();
+        let b1 = ov.add_broker();
+        ov.link(b0, b1, 1).unwrap();
+        let c0 = ov.attach_client(b0).unwrap();
+        let c1 = ov.attach_client(b1).unwrap();
+        let wide = ov.subscribe(c0, Filter::new().and("x", Op::Gt, 0)).unwrap();
+        ov.subscribe(c0, Filter::new().and("x", Op::Gt, 5)).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.advertisement_count(), 1);
+        ov.unsubscribe(wide).unwrap();
+        ov.run_until_idle();
+        // The narrow filter must now be advertised and still routable.
+        assert_eq!(ov.advertisement_count(), 1);
+        ov.publish(c1, Event::builder().attr("x", 10).build()).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.take_delivered(c0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cycle_links_are_rejected() {
+        let mut ov = Overlay::new(true);
+        let a = ov.add_broker();
+        let b = ov.add_broker();
+        let c = ov.add_broker();
+        ov.link(a, b, 1).unwrap();
+        ov.link(b, c, 1).unwrap();
+        assert!(matches!(
+            ov.link(a, c, 1),
+            Err(OverlayError::WouldCreateCycle(_, _))
+        ));
+    }
+
+    #[test]
+    fn identical_filters_from_different_clients_both_deliver() {
+        let (mut ov, _b, c) = chain();
+        ov.subscribe(c[0], Filter::topic("t")).unwrap();
+        ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        ov.publish(c[1], Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.take_delivered(c[0]).unwrap().len(), 1);
+        assert_eq!(ov.take_delivered(c[2]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn star_topology_fanout() {
+        let mut ov = Overlay::new(true);
+        let hub = ov.add_broker();
+        let mut leaf_clients = Vec::new();
+        for _ in 0..5 {
+            let leaf = ov.add_broker();
+            ov.link(hub, leaf, 2).unwrap();
+            let c = ov.attach_client(leaf).unwrap();
+            ov.subscribe(c, Filter::topic("t")).unwrap();
+            leaf_clients.push(c);
+        }
+        let publisher = ov.attach_client(hub).unwrap();
+        ov.run_until_idle();
+        ov.publish(publisher, Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        for c in leaf_clients {
+            assert_eq!(ov.take_delivered(c).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut ov = Overlay::new(true);
+        assert!(matches!(
+            ov.attach_client(NodeId(9)),
+            Err(OverlayError::UnknownBroker(_))
+        ));
+        assert!(matches!(
+            ov.subscribe(ClientId(9), Filter::new()),
+            Err(OverlayError::UnknownClient(_))
+        ));
+        assert!(matches!(
+            ov.publish(ClientId(9), Event::new()),
+            Err(OverlayError::UnknownClient(_))
+        ));
+        assert!(matches!(
+            ov.unsubscribe(GlobalSubId(9)),
+            Err(OverlayError::UnknownClient(_))
+        ));
+    }
+
+    #[test]
+    fn deep_chain_propagation() {
+        let mut ov = Overlay::new(true);
+        let brokers: Vec<NodeId> = (0..8).map(|_| ov.add_broker()).collect();
+        for w in brokers.windows(2) {
+            ov.link(w[0], w[1], 3).unwrap();
+        }
+        let first = ov.attach_client(brokers[0]).unwrap();
+        let last = ov.attach_client(brokers[7]).unwrap();
+        ov.subscribe(last, Filter::topic("deep")).unwrap();
+        ov.run_until_idle();
+        ov.publish(first, Event::topical("deep", "x")).unwrap();
+        ov.run_until_idle();
+        let got = ov.take_delivered(last).unwrap();
+        assert_eq!(got.len(), 1);
+        // 7 hops * 3 latency each, at minimum.
+        assert!(ov.now() >= 21);
+    }
+}

@@ -1,0 +1,406 @@
+//! A textual subscription language for the filter algebra.
+//!
+//! The paper observes that "the gap between people's interests expressed
+//! in a natural language and subscriptions expressed in an event algebra
+//! … is large" and that such algebras are "meaningful only to experienced
+//! programmers" (§2.1, §6). Reef's answer is automation — but a
+//! programmer-facing textual form is still the natural way to write the
+//! filters that tests, tools, and power users need:
+//!
+//! ```text
+//! symbol = "ACME" && price > 10.5 && note =~ earnings
+//! topic = "http://news.example/feed0.rss"
+//! x exists && y != 3 || z <= 7        (|| separates alternatives)
+//! ```
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! filters    := conjunction ( "||" conjunction )*
+//! conjunction:= predicate ( "&&" predicate )*
+//! predicate  := ident OP value | ident "exists"
+//! OP         := "=" | "==" | "!=" | "<" | "<=" | ">" | ">=" | "=^" | "=$" | "=~"
+//! value      := "quoted string" | number | true | false | bareword
+//! ```
+
+use crate::filter::{Filter, Op, Predicate};
+use crate::value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing filter text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFilterError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for ParseFilterError {}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += self.input[self.pos..].chars().next().map_or(1, char::len_utf8);
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.input.len()
+    }
+
+    fn peek_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.peek_str(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseFilterError {
+        ParseFilterError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseFilterError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.input[self.pos..].chars() {
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected an attribute name"));
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn operator(&mut self) -> Result<Op, ParseFilterError> {
+        self.skip_ws();
+        // Longest first.
+        const OPS: [(&str, Op); 11] = [
+            ("==", Op::Eq),
+            ("!=", Op::Ne),
+            ("<=", Op::Le),
+            (">=", Op::Ge),
+            ("=^", Op::Prefix),
+            ("=$", Op::Suffix),
+            ("=~", Op::Contains),
+            ("<", Op::Lt),
+            (">", Op::Gt),
+            ("=", Op::Eq),
+            ("exists", Op::Exists),
+        ];
+        for (text, op) in OPS {
+            if self.eat_str(text) {
+                return Ok(op);
+            }
+        }
+        Err(self.error("expected an operator (=, !=, <, <=, >, >=, =^, =$, =~, exists)"))
+    }
+
+    fn value(&mut self) -> Result<Value, ParseFilterError> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let mut chars = rest.chars();
+        match chars.next() {
+            None => Err(self.error("expected a value")),
+            Some('"') | Some('\'') => {
+                let quote = rest.chars().next().expect("checked");
+                let body_start = self.pos + 1;
+                let mut escaped = false;
+                let mut out = String::new();
+                let mut offset = 0;
+                for c in self.input[body_start..].chars() {
+                    offset += c.len_utf8();
+                    if escaped {
+                        out.push(c);
+                        escaped = false;
+                        continue;
+                    }
+                    match c {
+                        '\\' => escaped = true,
+                        c if c == quote => {
+                            self.pos = body_start + offset;
+                            return Ok(Value::Str(out));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                self.pos = self.input.len();
+                Err(self.error("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = self.pos;
+                self.pos += c.len_utf8();
+                let mut is_float = false;
+                for c in self.input[self.pos..].chars() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.input[start..self.pos];
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|e| self.error(format!("bad float `{text}`: {e}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|e| self.error(format!("bad integer `{text}`: {e}")))
+                }
+            }
+            Some(_) => {
+                // Bareword: true/false or a plain string token.
+                let word = self.ident()?;
+                Ok(match word.as_str() {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    _ => Value::Str(word),
+                })
+            }
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseFilterError> {
+        let attr = self.ident()?;
+        let op = self.operator()?;
+        if op == Op::Exists {
+            return Ok(Predicate::new(attr, Op::Exists, true));
+        }
+        let value = self.value()?;
+        Ok(Predicate::new(attr, op, value))
+    }
+
+    fn conjunction(&mut self) -> Result<Filter, ParseFilterError> {
+        let mut filter = Filter::new();
+        loop {
+            filter.push(self.predicate()?);
+            if !self.eat_str("&&") {
+                return Ok(filter);
+            }
+        }
+    }
+}
+
+/// Parse one conjunction, e.g. `symbol = "ACME" && price > 10`.
+///
+/// # Errors
+///
+/// Returns [`ParseFilterError`] with the byte offset of the first
+/// syntax error.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::{parse_filter, Event};
+///
+/// let filter = parse_filter(r#"symbol = ACME && price > 10"#)?;
+/// let ev = Event::builder().attr("symbol", "ACME").attr("price", 12).build();
+/// assert!(filter.matches(&ev));
+/// # Ok::<(), reef_pubsub::ParseFilterError>(())
+/// ```
+pub fn parse_filter(input: &str) -> Result<Filter, ParseFilterError> {
+    let mut lexer = Lexer::new(input);
+    if lexer.at_end() {
+        // The empty string is the match-all filter.
+        return Ok(Filter::new());
+    }
+    let filter = lexer.conjunction()?;
+    if !lexer.at_end() {
+        return Err(lexer.error("unexpected trailing input"));
+    }
+    Ok(filter)
+}
+
+/// Parse a disjunction of conjunctions separated by `||`; an event matches
+/// when any returned filter matches. Subscribe each filter separately to
+/// get disjunctive semantics from a conjunctive broker.
+///
+/// # Errors
+///
+/// Returns [`ParseFilterError`] on the first syntax error.
+pub fn parse_filters(input: &str) -> Result<Vec<Filter>, ParseFilterError> {
+    let mut lexer = Lexer::new(input);
+    if lexer.at_end() {
+        return Ok(vec![Filter::new()]);
+    }
+    let mut filters = vec![lexer.conjunction()?];
+    while lexer.eat_str("||") {
+        filters.push(lexer.conjunction()?);
+    }
+    if !lexer.at_end() {
+        return Err(lexer.error("unexpected trailing input"));
+    }
+    Ok(filters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(pairs: &[(&str, Value)]) -> Event {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect()
+    }
+
+    #[test]
+    fn parses_simple_equality() {
+        let f = parse_filter(r#"symbol = "ACME""#).unwrap();
+        assert!(f.matches(&ev(&[("symbol", Value::from("ACME"))])));
+        assert!(!f.matches(&ev(&[("symbol", Value::from("X"))])));
+    }
+
+    #[test]
+    fn parses_conjunction_with_all_operators() {
+        let f = parse_filter(
+            r#"a = 1 && b != 2 && c < 3 && d <= 4 && e > 5 && f >= 6 && g =^ pre && h =$ post && i =~ mid && j exists"#,
+        )
+        .unwrap();
+        assert_eq!(f.len(), 10);
+        let e = ev(&[
+            ("a", Value::from(1)),
+            ("b", Value::from(3)),
+            ("c", Value::from(2)),
+            ("d", Value::from(4)),
+            ("e", Value::from(6)),
+            ("f", Value::from(6)),
+            ("g", Value::from("prefix")),
+            ("h", Value::from("a post")),
+            ("i", Value::from("amidst")),
+            ("j", Value::from(0)),
+        ]);
+        assert!(f.matches(&e));
+    }
+
+    #[test]
+    fn numbers_and_booleans() {
+        let f = parse_filter("x = -3 && y = 2.5 && z = true").unwrap();
+        let e = ev(&[
+            ("x", Value::from(-3)),
+            ("y", Value::from(2.5)),
+            ("z", Value::from(true)),
+        ]);
+        assert!(f.matches(&e));
+    }
+
+    #[test]
+    fn quoted_strings_with_escapes_and_spaces() {
+        let f = parse_filter(r#"title = "hello \"world\" & more""#).unwrap();
+        assert!(f.matches(&ev(&[("title", Value::from(r#"hello "world" & more"#))])));
+        let f2 = parse_filter("u = 'single quoted'").unwrap();
+        assert!(f2.matches(&ev(&[("u", Value::from("single quoted"))])));
+    }
+
+    #[test]
+    fn barewords_are_strings() {
+        let f = parse_filter("city = tromso").unwrap();
+        assert!(f.matches(&ev(&[("city", Value::from("tromso"))])));
+    }
+
+    #[test]
+    fn empty_input_is_match_all() {
+        assert!(parse_filter("").unwrap().is_empty());
+        assert!(parse_filter("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn double_equals_is_equality() {
+        let f = parse_filter("x == 5").unwrap();
+        assert!(f.matches(&ev(&[("x", Value::from(5))])));
+    }
+
+    #[test]
+    fn disjunction_splits_into_filters() {
+        let fs = parse_filters("x = 1 || y = 2 && z = 3").unwrap();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].len(), 1);
+        assert_eq!(fs[1].len(), 2);
+        let e1 = ev(&[("x", Value::from(1))]);
+        let e2 = ev(&[("y", Value::from(2)), ("z", Value::from(3))]);
+        assert!(fs.iter().any(|f| f.matches(&e1)));
+        assert!(fs.iter().any(|f| f.matches(&e2)));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_filter("price >").unwrap_err();
+        assert!(err.at >= 7, "position {}", err.at);
+        assert!(err.to_string().contains("value"));
+
+        let err = parse_filter("= 3").unwrap_err();
+        assert!(err.message.contains("attribute"));
+
+        let err = parse_filter("a = 1 extra").unwrap_err();
+        assert!(err.message.contains("trailing") || err.message.contains("operator"));
+
+        let err = parse_filter(r#"s = "unterminated"#).unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        // Display of a parsed filter re-parses to an equivalent filter for
+        // numeric/bareword operands.
+        let f = parse_filter("a = 1 && b > 2.5 && c =~ mid").unwrap();
+        let reparsed = parse_filter(
+            &f.to_string().replace(" ∧ ", " && "),
+        )
+        .unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn parsed_filters_work_against_a_broker() {
+        use crate::broker::Broker;
+        let broker = Broker::new();
+        let (me, inbox) = broker.register();
+        for f in parse_filters("topic = sports || topic = finance").unwrap() {
+            broker.subscribe(me, f).unwrap();
+        }
+        broker.publish(Event::topical("sports", "goal")).unwrap();
+        broker.publish(Event::topical("weather", "rain")).unwrap();
+        broker.publish(Event::topical("finance", "dip")).unwrap();
+        assert_eq!(inbox.drain().len(), 2);
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse_filter("x=1&&y>2").unwrap();
+        let b = parse_filter("  x  =  1  &&  y  >  2  ").unwrap();
+        assert_eq!(a, b);
+    }
+}

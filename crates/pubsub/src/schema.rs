@@ -1,0 +1,386 @@
+//! Publish-subscribe interface specifications.
+//!
+//! The Reef paper assumes "a publish-subscribe system with a well-defined
+//! event algebra syntax and a specification for valid name-value pairs"
+//! (§2.1). [`Schema`] is that specification: it declares the attributes an
+//! interface understands, their types, and (optionally) their enumerated
+//! domains. The attention parser uses schemas to decide which tokens in a
+//! user's attention stream can form valid subscriptions — e.g. known stock
+//! symbols for a stock-quote interface.
+
+use crate::error::SchemaError;
+use crate::event::Event;
+use crate::filter::{expected_operand_type, Filter};
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Declaration of a single attribute in a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrSpec {
+    /// Declared type of the attribute.
+    pub ty: ValueType,
+    /// When `Some`, the attribute's value must be one of these strings
+    /// (only meaningful for string attributes — e.g. stock symbols).
+    pub domain: Option<BTreeSet<String>>,
+    /// Whether every event published on this interface must carry the
+    /// attribute.
+    pub required: bool,
+}
+
+impl AttrSpec {
+    /// An optional attribute of the given type, with open domain.
+    pub fn of(ty: ValueType) -> Self {
+        AttrSpec {
+            ty,
+            domain: None,
+            required: false,
+        }
+    }
+
+    /// Mark the attribute required.
+    pub fn required(mut self) -> Self {
+        self.required = true;
+        self
+    }
+
+    /// Restrict a string attribute to an enumerated domain.
+    pub fn with_domain<I, S>(mut self, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.domain = Some(values.into_iter().map(Into::into).collect());
+        self
+    }
+}
+
+/// A specification of valid name-value pairs for one publish-subscribe
+/// interface.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::{Schema, AttrSpec, ValueType, Event};
+///
+/// let schema = Schema::builder("stock-quotes")
+///     .attr("symbol", AttrSpec::of(ValueType::Str).required().with_domain(["ACME", "GLOBEX"]))
+///     .attr("price", AttrSpec::of(ValueType::Float).required())
+///     .build();
+/// let ev = Event::builder().attr("symbol", "ACME").attr("price", 10.0).build();
+/// assert!(schema.validate_event(&ev).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attrs: BTreeMap<String, AttrSpec>,
+    /// Whether events may carry attributes not declared in the schema.
+    open: bool,
+}
+
+impl Schema {
+    /// Start building a schema with the given interface name.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.into(),
+            attrs: BTreeMap::new(),
+            open: false,
+        }
+    }
+
+    /// Interface name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Look up an attribute declaration.
+    pub fn attr(&self, name: &str) -> Option<&AttrSpec> {
+        self.attrs.get(name)
+    }
+
+    /// Iterate over declared attributes in sorted order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &AttrSpec)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `true` when events may carry undeclared attributes.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Check that a name-value pair is valid on this interface. This is the
+    /// core question the attention parser asks for each candidate token.
+    pub fn validate_pair(&self, name: &str, value: &Value) -> Result<(), SchemaError> {
+        let spec = match self.attrs.get(name) {
+            Some(s) => s,
+            None if self.open => return Ok(()),
+            None => {
+                return Err(SchemaError::UnknownAttr {
+                    schema: self.name.clone(),
+                    attr: name.to_owned(),
+                })
+            }
+        };
+        if !value.is_valid() {
+            return Err(SchemaError::InvalidValue {
+                attr: name.to_owned(),
+                reason: "NaN is not permitted".to_owned(),
+            });
+        }
+        if !spec.ty.accepts(value.value_type()) {
+            return Err(SchemaError::TypeMismatch {
+                attr: name.to_owned(),
+                expected: spec.ty,
+                got: value.value_type(),
+            });
+        }
+        if let Some(domain) = &spec.domain {
+            match value.as_str() {
+                Some(s) if domain.contains(s) => {}
+                _ => {
+                    return Err(SchemaError::OutOfDomain {
+                        attr: name.to_owned(),
+                        value: value.clone(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate a whole event: every pair must be valid and every required
+    /// attribute present.
+    pub fn validate_event(&self, event: &Event) -> Result<(), SchemaError> {
+        for (name, value) in event.iter() {
+            self.validate_pair(name, value)?;
+        }
+        for (name, spec) in &self.attrs {
+            if spec.required && !event.has(name) {
+                return Err(SchemaError::MissingRequired {
+                    schema: self.name.clone(),
+                    attr: name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate a subscription filter: attributes must be declared (unless
+    /// the schema is open), operand types must fit the operator, and
+    /// equality operands must respect enumerated domains.
+    pub fn validate_filter(&self, filter: &Filter) -> Result<(), SchemaError> {
+        if let Err(p) = filter.validate_operands() {
+            return Err(SchemaError::InvalidValue {
+                attr: p.attr.clone(),
+                reason: format!("invalid operand for operator {}", p.op),
+            });
+        }
+        for p in filter.predicates() {
+            let spec = match self.attrs.get(&p.attr) {
+                Some(s) => s,
+                None if self.open => continue,
+                None => {
+                    return Err(SchemaError::UnknownAttr {
+                        schema: self.name.clone(),
+                        attr: p.attr.clone(),
+                    })
+                }
+            };
+            if p.op == crate::filter::Op::Exists {
+                continue;
+            }
+            let expected = expected_operand_type(spec.ty, p.op);
+            if !expected.accepts(p.operand.value_type()) {
+                return Err(SchemaError::TypeMismatch {
+                    attr: p.attr.clone(),
+                    expected,
+                    got: p.operand.value_type(),
+                });
+            }
+            if p.op == crate::filter::Op::Eq {
+                if let Some(domain) = &spec.domain {
+                    match p.operand.as_str() {
+                        Some(s) if domain.contains(s) => {}
+                        _ => {
+                            return Err(SchemaError::OutOfDomain {
+                                attr: p.attr.clone(),
+                                value: p.operand.clone(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema {}({} attrs)", self.name, self.attrs.len())
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    name: String,
+    attrs: BTreeMap<String, AttrSpec>,
+    open: bool,
+}
+
+impl SchemaBuilder {
+    /// Declare an attribute.
+    pub fn attr(mut self, name: impl Into<String>, spec: AttrSpec) -> Self {
+        self.attrs.insert(name.into(), spec);
+        self
+    }
+
+    /// Allow events to carry undeclared attributes.
+    pub fn open(mut self) -> Self {
+        self.open = true;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Schema {
+        Schema {
+            name: self.name,
+            attrs: self.attrs,
+            open: self.open,
+        }
+    }
+}
+
+/// The schema used by the Web-feed case study: topical events whose topic is
+/// a feed URL (see [`crate::event::TOPIC_ATTR`]).
+pub fn feed_events_schema() -> Schema {
+    Schema::builder("waif-feed-events")
+        .attr("topic", AttrSpec::of(ValueType::Str).required())
+        .attr("title", AttrSpec::of(ValueType::Str))
+        .attr("link", AttrSpec::of(ValueType::Str))
+        .attr("body", AttrSpec::of(ValueType::Str))
+        .attr("published_day", AttrSpec::of(ValueType::Int))
+        .open()
+        .build()
+}
+
+/// A stock-quote schema mirroring the paper's §2.2 example ("the attention
+/// parser would be looking for known stock symbols").
+pub fn stock_quote_schema<I, S>(symbols: I) -> Schema
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    Schema::builder("stock-quotes")
+        .attr(
+            "symbol",
+            AttrSpec::of(ValueType::Str).required().with_domain(symbols),
+        )
+        .attr("price", AttrSpec::of(ValueType::Float).required())
+        .attr("volume", AttrSpec::of(ValueType::Int))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Op;
+
+    fn schema() -> Schema {
+        stock_quote_schema(["ACME", "GLOBEX"])
+    }
+
+    #[test]
+    fn validate_pair_accepts_domain_member() {
+        assert!(schema().validate_pair("symbol", &Value::from("ACME")).is_ok());
+    }
+
+    #[test]
+    fn validate_pair_rejects_unknown_symbol() {
+        let err = schema()
+            .validate_pair("symbol", &Value::from("ENRON"))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn validate_pair_rejects_unknown_attr_when_closed() {
+        let err = schema().validate_pair("color", &Value::from("red")).unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownAttr { .. }));
+    }
+
+    #[test]
+    fn open_schema_accepts_extra_attrs() {
+        let s = feed_events_schema();
+        assert!(s.validate_pair("anything", &Value::from(1)).is_ok());
+    }
+
+    #[test]
+    fn validate_pair_type_mismatch() {
+        let err = schema().validate_pair("price", &Value::from("ten")).unwrap_err();
+        assert!(matches!(err, SchemaError::TypeMismatch { .. }));
+        // Int accepted where float declared.
+        assert!(schema().validate_pair("price", &Value::from(10)).is_ok());
+    }
+
+    #[test]
+    fn validate_event_checks_required() {
+        let ev = Event::builder().attr("symbol", "ACME").build();
+        let err = schema().validate_event(&ev).unwrap_err();
+        assert!(matches!(err, SchemaError::MissingRequired { .. }));
+        let ok = Event::builder().attr("symbol", "ACME").attr("price", 1.0).build();
+        assert!(schema().validate_event(&ok).is_ok());
+    }
+
+    #[test]
+    fn validate_event_rejects_nan() {
+        let ev = Event::builder()
+            .attr("symbol", "ACME")
+            .attr("price", f64::NAN)
+            .build();
+        assert!(matches!(
+            schema().validate_event(&ev),
+            Err(SchemaError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_filter_checks_types_and_domain() {
+        let ok = Filter::new().and("symbol", Op::Eq, "ACME").and("price", Op::Gt, 5.0);
+        assert!(schema().validate_filter(&ok).is_ok());
+
+        let bad_domain = Filter::new().and("symbol", Op::Eq, "NOPE");
+        assert!(matches!(
+            schema().validate_filter(&bad_domain),
+            Err(SchemaError::OutOfDomain { .. })
+        ));
+
+        let bad_type = Filter::new().and("price", Op::Gt, "cheap");
+        assert!(matches!(
+            schema().validate_filter(&bad_type),
+            Err(SchemaError::TypeMismatch { .. })
+        ));
+
+        let unknown = Filter::new().and("colour", Op::Eq, "red");
+        assert!(matches!(
+            schema().validate_filter(&unknown),
+            Err(SchemaError::UnknownAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_filter_allows_string_ops_on_domain_attrs() {
+        // Prefix match on symbol is fine even with a domain: domains restrict
+        // equality operands only.
+        let f = Filter::new().and("symbol", Op::Prefix, "AC");
+        assert!(schema().validate_filter(&f).is_ok());
+    }
+
+    #[test]
+    fn exists_predicate_always_type_checks() {
+        let f = Filter::new().and_exists("price");
+        assert!(schema().validate_filter(&f).is_ok());
+    }
+}

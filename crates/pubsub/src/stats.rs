@@ -1,0 +1,100 @@
+//! Lightweight operation counters for brokers and overlays.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters maintained by a [`crate::Broker`].
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    events_published: AtomicU64,
+    deliveries: AtomicU64,
+    drops: AtomicU64,
+    subscribes: AtomicU64,
+    unsubscribes: AtomicU64,
+}
+
+impl BrokerStats {
+    pub(crate) fn record_publish(&self) {
+        self.events_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delivery(&self, n: u64) {
+        self.deliveries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drop(&self, n: u64) {
+        self.drops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_subscribe(&self) {
+        self.subscribes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_unsubscribe(&self) {
+        self.unsubscribes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> BrokerStatsSnapshot {
+        BrokerStatsSnapshot {
+            events_published: self.events_published.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            subscribes: self.subscribes.load(Ordering::Relaxed),
+            unsubscribes: self.unsubscribes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`BrokerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BrokerStatsSnapshot {
+    /// Events accepted by `publish`.
+    pub events_published: u64,
+    /// Event copies placed on subscriber queues.
+    pub deliveries: u64,
+    /// Event copies dropped because a bounded queue was full.
+    pub drops: u64,
+    /// Successful subscribe operations.
+    pub subscribes: u64,
+    /// Successful unsubscribe operations.
+    pub unsubscribes: u64,
+}
+
+impl fmt::Display for BrokerStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "published={} delivered={} dropped={} subs={} unsubs={}",
+            self.events_published, self.deliveries, self.drops, self.subscribes, self.unsubscribes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = BrokerStats::default();
+        s.record_publish();
+        s.record_delivery(3);
+        s.record_drop(1);
+        s.record_subscribe();
+        s.record_unsubscribe();
+        let snap = s.snapshot();
+        assert_eq!(snap.events_published, 1);
+        assert_eq!(snap.deliveries, 3);
+        assert_eq!(snap.drops, 1);
+        assert_eq!(snap.subscribes, 1);
+        assert_eq!(snap.unsubscribes, 1);
+    }
+
+    #[test]
+    fn snapshot_display_is_nonempty() {
+        let snap = BrokerStats::default().snapshot();
+        assert!(!snap.to_string().is_empty());
+    }
+}

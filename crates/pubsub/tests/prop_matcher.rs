@@ -1,0 +1,149 @@
+//! Property-based tests for the matching engines and the covering relation.
+
+use proptest::prelude::*;
+use reef_pubsub::{Event, Filter, IndexMatcher, MatchEngine, NaiveMatcher, Op, SubscriptionId, Value};
+
+/// Small attribute universe so filters and events actually collide.
+const ATTRS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-5i64..5).prop_map(Value::from),
+        (-5i64..5).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        "[a-c]{0,3}".prop_map(Value::from),
+        any::<bool>().prop_map(Value::from),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Prefix),
+        Just(Op::Suffix),
+        Just(Op::Contains),
+        Just(Op::Exists),
+    ]
+}
+
+prop_compose! {
+    fn arb_predicate()(attr in 0usize..4, op in arb_op(), operand in arb_value())
+        -> (String, Op, Value)
+    {
+        (ATTRS[attr].to_owned(), op, operand)
+    }
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    prop::collection::vec(arb_predicate(), 0..4).prop_map(|preds| {
+        let mut f = Filter::new();
+        for (attr, op, operand) in preds {
+            // String ops need string operands to be valid; coerce.
+            let operand = if op.is_string_op() {
+                Value::from(operand.to_string())
+            } else {
+                operand
+            };
+            f = f.and(attr, op, operand);
+        }
+        f
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop::collection::vec((0usize..4, arb_value()), 0..5).prop_map(|pairs| {
+        let mut e = Event::new();
+        for (attr, value) in pairs {
+            if value.is_valid() {
+                e.set(ATTRS[attr], value);
+            }
+        }
+        e
+    })
+}
+
+proptest! {
+    /// The index matcher and the naive matcher agree on every workload.
+    #[test]
+    fn engines_are_equivalent(filters in prop::collection::vec(arb_filter(), 0..25),
+                              events in prop::collection::vec(arb_event(), 0..25)) {
+        let mut naive = NaiveMatcher::new();
+        let mut index = IndexMatcher::new();
+        for (i, f) in filters.iter().enumerate() {
+            naive.insert(SubscriptionId(i as u64), f.clone());
+            index.insert(SubscriptionId(i as u64), f.clone());
+        }
+        for ev in &events {
+            prop_assert_eq!(naive.matches(ev), index.matches(ev));
+        }
+    }
+
+    /// Removing half the filters keeps the engines equivalent.
+    #[test]
+    fn engines_equivalent_after_removal(filters in prop::collection::vec(arb_filter(), 1..20),
+                                        events in prop::collection::vec(arb_event(), 0..15)) {
+        let mut naive = NaiveMatcher::new();
+        let mut index = IndexMatcher::new();
+        for (i, f) in filters.iter().enumerate() {
+            naive.insert(SubscriptionId(i as u64), f.clone());
+            index.insert(SubscriptionId(i as u64), f.clone());
+        }
+        for i in (0..filters.len()).step_by(2) {
+            prop_assert_eq!(
+                naive.remove(SubscriptionId(i as u64)),
+                index.remove(SubscriptionId(i as u64))
+            );
+        }
+        for ev in &events {
+            prop_assert_eq!(naive.matches(ev), index.matches(ev));
+        }
+    }
+
+    /// Covering soundness: if `wide.covers(narrow)`, then every event
+    /// matched by `narrow` is matched by `wide`.
+    #[test]
+    fn covering_is_sound(wide in arb_filter(), narrow in arb_filter(),
+                         events in prop::collection::vec(arb_event(), 0..40)) {
+        if wide.covers(&narrow) {
+            for ev in &events {
+                if narrow.matches(ev) {
+                    prop_assert!(
+                        wide.matches(ev),
+                        "covering violated for event {} (wide: {}, narrow: {})",
+                        ev, wide, narrow
+                    );
+                }
+            }
+        }
+    }
+
+    /// Covering is reflexive.
+    #[test]
+    fn covering_is_reflexive(f in arb_filter()) {
+        prop_assert!(f.covers(&f));
+    }
+
+    /// Filter matching is deterministic (same event, same answer) and the
+    /// empty filter matches everything.
+    #[test]
+    fn match_all_invariant(ev in arb_event()) {
+        prop_assert!(Filter::new().matches(&ev));
+        let f = Filter::new().and("alpha", Op::Exists, true);
+        prop_assert_eq!(f.matches(&ev), ev.has("alpha"));
+    }
+
+    /// An event always matches the exact-equality filter built from its own
+    /// attributes.
+    #[test]
+    fn event_matches_its_own_profile(ev in arb_event()) {
+        let mut f = Filter::new();
+        for (name, value) in ev.iter() {
+            f = f.and(name, Op::Eq, value.clone());
+        }
+        prop_assert!(f.matches(&ev));
+    }
+}

@@ -1,0 +1,385 @@
+//! User browsing simulation: generating the attention workload.
+//!
+//! The paper's §3.2 evaluation collected ten weeks of live browsing from
+//! five users. This module generates a statistically comparable click
+//! stream: each user has an interest profile over topics and a set of
+//! favourite servers visited Zipf-style; every content-page view triggers a
+//! burst of ad-server requests (reproducing the "70% of requests were to
+//! advertisement servers" observation); occasional uniform exploration
+//! produces the long tail of servers visited exactly once.
+
+use crate::config::BrowseConfig;
+use crate::topics::TopicId;
+use crate::web::{ad_server_sampler, ServerId, ServerKind, WebUniverse};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a simulated user.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user#{}", self.0)
+    }
+}
+
+/// Why a request was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// A deliberate page view.
+    Page,
+    /// An ad/tracker call triggered by a page view.
+    Ad,
+    /// A multimedia resource view.
+    Media,
+}
+
+/// One outgoing HTTP request in a user's history — the unit the paper calls
+/// a *click* once recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// The user issuing the request.
+    pub user: UserId,
+    /// Day index (0-based).
+    pub day: u32,
+    /// Sequence number within the whole history (total order).
+    pub tick: u64,
+    /// Requested URL.
+    pub url: String,
+    /// Server the URL lives on.
+    pub server: ServerId,
+    /// Request kind (ground truth; the recorder does not see this).
+    pub kind: RequestKind,
+    /// The page view this request was triggered by, when it is an ad call.
+    pub referrer: Option<String>,
+}
+
+/// A user's interest profile: weights over topics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// The user.
+    pub user: UserId,
+    /// Interest topics with weights, strongest first.
+    pub interests: Vec<(TopicId, f64)>,
+    /// Favourite content servers, most-visited first.
+    pub favourites: Vec<ServerId>,
+}
+
+/// A complete generated browsing history.
+#[derive(Debug, Clone)]
+pub struct BrowsingHistory {
+    /// Profiles of the simulated users.
+    pub profiles: Vec<UserProfile>,
+    /// All requests in tick order.
+    pub requests: Vec<Request>,
+    /// Days simulated.
+    pub days: u32,
+}
+
+impl BrowsingHistory {
+    /// Requests issued by one user.
+    pub fn requests_of(&self, user: UserId) -> impl Iterator<Item = &Request> {
+        self.requests.iter().filter(move |r| r.user == user)
+    }
+
+    /// Only the deliberate page views of one user.
+    pub fn page_views_of(&self, user: UserId) -> impl Iterator<Item = &Request> {
+        self.requests_of(user).filter(|r| r.kind == RequestKind::Page)
+    }
+}
+
+/// Generate a browsing history over `universe`.
+///
+/// Users' interests are drawn without replacement from the topic set; each
+/// user's favourite servers are biased toward servers whose topics overlap
+/// the user's interests, so browsing histories carry the topical signal the
+/// content-based experiments (§3.3) rely on.
+pub fn generate_history(
+    universe: &WebUniverse,
+    config: &BrowseConfig,
+    seed: u64,
+) -> BrowsingHistory {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb0b0_cafe);
+    let model = universe.model();
+    let content: Vec<&crate::web::Server> = universe
+        .servers()
+        .iter()
+        .filter(|s| s.kind == ServerKind::Content)
+        .collect();
+    let media: Vec<ServerId> = universe
+        .servers()
+        .iter()
+        .filter(|s| s.kind == ServerKind::Multimedia)
+        .map(|s| s.id)
+        .collect();
+    let spam: Vec<ServerId> = universe
+        .servers()
+        .iter()
+        .filter(|s| s.kind == ServerKind::Spam)
+        .map(|s| s.id)
+        .collect();
+    let (ad_ids, ad_zipf) = ad_server_sampler(universe, config.ad_zipf);
+    // Global popularity ranking over content servers (shared across users).
+    let popular_zipf = Zipf::new(content.len().max(1), 0.9);
+
+    let mut profiles = Vec::with_capacity(config.users);
+    for u in 0..config.users {
+        let user = UserId(u as u32);
+        // Interests: distinct topics, geometrically decaying weights.
+        let mut topics: Vec<u32> = (0..model.topic_count() as u32).collect();
+        let mut interests = Vec::new();
+        for rank in 0..config.interests_per_user.min(topics.len()) {
+            let pick = rng.gen_range(0..topics.len());
+            let t = topics.swap_remove(pick);
+            // Gentle decay: even the weakest interest leaves enough trace
+            // in the history for term selection to pick it up (the paper's
+            // 30 terms "sufficiently encompass a user's general
+            // interests").
+            interests.push((TopicId(t), 0.7f64.powi(rank as i32)));
+        }
+        // Favourites: prefer servers sharing the user's interest topics.
+        let mut favourites = Vec::new();
+        let interest_set: Vec<TopicId> = interests.iter().map(|(t, _)| *t).collect();
+        let mut candidates: Vec<ServerId> = content
+            .iter()
+            .filter(|s| s.topics.iter().any(|(t, _)| interest_set.contains(t)))
+            .map(|s| s.id)
+            .collect();
+        let mut others: Vec<ServerId> = content
+            .iter()
+            .filter(|s| !s.topics.iter().any(|(t, _)| interest_set.contains(t)))
+            .map(|s| s.id)
+            .collect();
+        while favourites.len() < config.favourites_per_user && !(candidates.is_empty() && others.is_empty())
+        {
+            // 80% of favourites are on-interest when available.
+            let from_interest = !candidates.is_empty() && (others.is_empty() || rng.gen::<f64>() < 0.8);
+            let pool = if from_interest { &mut candidates } else { &mut others };
+            let pick = rng.gen_range(0..pool.len());
+            favourites.push(pool.swap_remove(pick));
+        }
+        profiles.push(UserProfile {
+            user,
+            interests,
+            favourites,
+        });
+    }
+
+    let favourite_zipf = Zipf::new(config.favourites_per_user.max(1), config.favourite_zipf);
+    let mut requests = Vec::new();
+    let mut tick = 0u64;
+    for day in 0..config.days {
+        for profile in &profiles {
+            // Day-to-day volume varies ±50% around the mean.
+            let views = (config.mean_page_views_per_day * (0.5 + rng.gen::<f64>())).round() as usize;
+            for _ in 0..views {
+                let roll: f64 = rng.gen();
+                if roll < config.multimedia_rate && !media.is_empty() {
+                    let sid = media[rng.gen_range(0..media.len())];
+                    push_page_view(universe, &mut rng, &mut requests, &mut tick, profile.user, day, sid, RequestKind::Media);
+                    continue;
+                }
+                if roll < config.multimedia_rate + config.spam_rate && !spam.is_empty() {
+                    let sid = spam[rng.gen_range(0..spam.len())];
+                    push_page_view(universe, &mut rng, &mut requests, &mut tick, profile.user, day, sid, RequestKind::Page);
+                    continue;
+                }
+                // Choose a content server: favourite / popular / random.
+                let sid = if rng.gen::<f64>() < config.favourite_rate && !profile.favourites.is_empty() {
+                    profile.favourites[favourite_zipf.sample(&mut rng).min(profile.favourites.len() - 1)]
+                } else if rng.gen::<f64>() < config.popular_rate {
+                    content[popular_zipf.sample(&mut rng)].id
+                } else {
+                    content[rng.gen_range(0..content.len())].id
+                };
+                let view_url = push_page_view(
+                    universe, &mut rng, &mut requests, &mut tick, profile.user, day, sid,
+                    RequestKind::Page,
+                );
+                // Ad calls triggered by this page view.
+                if let Some((page_url, ad_calls)) = view_url {
+                    for _ in 0..ad_calls {
+                        let ad_sid = ad_ids[ad_zipf.sample(&mut rng).min(ad_ids.len() - 1)];
+                        let ad_server = universe.server(ad_sid).expect("ad server exists");
+                        let ad_page = universe.page(ad_server.pages[0]).expect("pixel page");
+                        requests.push(Request {
+                            user: profile.user,
+                            day,
+                            tick,
+                            url: ad_page.url.clone(),
+                            server: ad_sid,
+                            kind: RequestKind::Ad,
+                            referrer: Some(page_url.clone()),
+                        });
+                        tick += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    BrowsingHistory {
+        profiles,
+        requests,
+        days: config.days,
+    }
+}
+
+/// Issue one page view on `server`; returns the URL and its ad-call count
+/// for content pages.
+#[allow(clippy::too_many_arguments)]
+fn push_page_view(
+    universe: &WebUniverse,
+    rng: &mut StdRng,
+    requests: &mut Vec<Request>,
+    tick: &mut u64,
+    user: UserId,
+    day: u32,
+    server: ServerId,
+    kind: RequestKind,
+) -> Option<(String, usize)> {
+    let srv = universe.server(server)?;
+    if srv.pages.is_empty() {
+        return None;
+    }
+    let pid = srv.pages[rng.gen_range(0..srv.pages.len())];
+    let page = universe.page(pid)?;
+    requests.push(Request {
+        user,
+        day,
+        tick: *tick,
+        url: page.url.clone(),
+        server,
+        kind,
+        referrer: None,
+    });
+    *tick += 1;
+    if kind == RequestKind::Page && srv.kind == ServerKind::Content {
+        Some((page.url.clone(), page.ad_calls))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WebConfig;
+
+    fn small_history() -> (WebUniverse, BrowsingHistory) {
+        let universe = WebUniverse::generate(WebConfig::default(), 3);
+        let config = BrowseConfig {
+            users: 2,
+            days: 5,
+            mean_page_views_per_day: 20.0,
+            favourites_per_user: 30,
+            ..BrowseConfig::default()
+        };
+        let history = generate_history(&universe, &config, 99);
+        (universe, history)
+    }
+
+    #[test]
+    fn history_is_deterministic() {
+        let (_u1, h1) = small_history();
+        let (_u2, h2) = small_history();
+        assert_eq!(h1.requests.len(), h2.requests.len());
+        assert_eq!(h1.requests[5], h2.requests[5]);
+    }
+
+    #[test]
+    fn ticks_are_strictly_increasing() {
+        let (_u, h) = small_history();
+        for w in h.requests.windows(2) {
+            assert!(w[1].tick > w[0].tick);
+        }
+    }
+
+    #[test]
+    fn ad_requests_follow_page_views_with_referrer() {
+        let (_u, h) = small_history();
+        let ads = h.requests.iter().filter(|r| r.kind == RequestKind::Ad);
+        for ad in ads {
+            assert!(ad.referrer.is_some());
+        }
+    }
+
+    #[test]
+    fn every_user_browses_every_day() {
+        let (_u, h) = small_history();
+        for u in 0..2u32 {
+            for d in 0..5u32 {
+                assert!(
+                    h.requests.iter().any(|r| r.user == UserId(u) && r.day == d),
+                    "user {u} idle on day {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_have_distinct_interests() {
+        let (_u, h) = small_history();
+        for p in &h.profiles {
+            let mut topics: Vec<u32> = p.interests.iter().map(|(t, _)| t.0).collect();
+            topics.sort_unstable();
+            let n = topics.len();
+            topics.dedup();
+            assert_eq!(topics.len(), n);
+        }
+    }
+
+    #[test]
+    fn favourites_lean_toward_interest_topics() {
+        let (u, h) = small_history();
+        let p = &h.profiles[0];
+        let interests: Vec<TopicId> = p.interests.iter().map(|(t, _)| *t).collect();
+        let on_interest = p
+            .favourites
+            .iter()
+            .filter(|sid| {
+                u.server(**sid)
+                    .unwrap()
+                    .topics
+                    .iter()
+                    .any(|(t, _)| interests.contains(t))
+            })
+            .count();
+        assert!(
+            on_interest * 2 > p.favourites.len(),
+            "only {on_interest}/{} favourites on interest",
+            p.favourites.len()
+        );
+    }
+
+    #[test]
+    fn ad_share_is_near_configured_rate() {
+        let universe = WebUniverse::generate(WebConfig::default(), 5);
+        let config = BrowseConfig {
+            users: 3,
+            days: 10,
+            mean_page_views_per_day: 50.0,
+            favourites_per_user: 40,
+            ..BrowseConfig::default()
+        };
+        let h = generate_history(&universe, &config, 1);
+        let ads = h.requests.iter().filter(|r| r.kind == RequestKind::Ad).count();
+        let share = ads as f64 / h.requests.len() as f64;
+        assert!((0.6..0.8).contains(&share), "ad share {share}");
+    }
+
+    #[test]
+    fn page_views_of_filters_correctly() {
+        let (_u, h) = small_history();
+        for r in h.page_views_of(UserId(0)) {
+            assert_eq!(r.user, UserId(0));
+            assert_eq!(r.kind, RequestKind::Page);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # reef-simweb — synthetic Web universe and browsing workload
+//!
+//! The Reef paper's evaluation (§3.2, §3.3) was run on ten weeks of live
+//! browsing by real users over the real Web. Neither is available to a
+//! reproduction, so this crate provides calibrated substitutes:
+//!
+//! * a **topic model** ([`TopicModel`]) generating all text — pages, feed
+//!   items, and (via `reef-videonews`) video-story transcripts — with the
+//!   frequency structure term-weighting algorithms rely on;
+//! * a **simulated Web** ([`WebUniverse`]): content servers with pages and
+//!   feed-autodiscovery links, ad/tracker servers, spam sites and
+//!   multimedia servers, all distinguishable only by *content*;
+//! * a **browsing simulator** ([`browse::generate_history`]) producing
+//!   per-user click streams whose aggregate statistics reproduce the
+//!   paper's: ≈70% of requests to ad servers, thousands of distinct
+//!   servers, a long tail visited exactly once;
+//! * the **§3.2 statistics** ([`stats::browsing_stats`]) computed over a
+//!   history.
+//!
+//! Everything is deterministic in `(config, seed)`.
+//!
+//! ```
+//! use reef_simweb::{BrowseConfig, WebConfig, WebUniverse};
+//! use reef_simweb::browse::generate_history;
+//!
+//! let universe = WebUniverse::generate(WebConfig::default(), 42);
+//! let mut cfg = BrowseConfig::default();
+//! cfg.users = 1;
+//! cfg.days = 3;
+//! let history = generate_history(&universe, &cfg, 42);
+//! assert!(!history.requests.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod browse;
+pub mod config;
+pub mod stats;
+pub mod topics;
+pub mod web;
+pub mod words;
+pub mod zipf;
+
+pub use browse::{BrowsingHistory, Request, RequestKind, UserId, UserProfile};
+pub use config::{BrowseConfig, WebConfig};
+pub use stats::{browsing_stats, BrowsingStats};
+pub use topics::{Topic, TopicId, TopicModel, TopicModelConfig};
+pub use web::{
+    FeedId, FeedSpec, Page, PageId, Server, ServerId, ServerKind, SimFeedFormat, SimFeedItem,
+    WebUniverse, AD_MARKERS, SPAM_MARKERS,
+};

@@ -1,0 +1,146 @@
+//! Aggregate statistics over a browsing history — the quantities the
+//! paper's §3.2 reports (requests, distinct servers, ad share, single-visit
+//! servers, discoverable feeds).
+
+use crate::browse::{BrowsingHistory, RequestKind};
+use crate::web::{ServerId, ServerKind, WebUniverse};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The §3.2 table, computed from a generated history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrowsingStats {
+    /// Total outgoing requests ("over 77000 requests").
+    pub total_requests: u64,
+    /// Distinct servers contacted ("2528 distinct Web servers").
+    pub distinct_servers: u64,
+    /// Distinct ad servers contacted ("1713 advertisement servers").
+    pub ad_servers: u64,
+    /// Fraction of requests that went to ad servers ("70% of the requests").
+    pub ad_request_share: f64,
+    /// Servers visited exactly once ("807 servers were visited only once").
+    pub single_visit_servers: u64,
+    /// Servers that remain after dropping ad servers and single-visit
+    /// servers — the crawl-worthy set ("the remaining 906 Web servers").
+    pub crawlworthy_servers: u64,
+    /// Distinct feeds hosted on the crawl-worthy servers ("424 distinct RSS
+    /// feeds were found").
+    pub discoverable_feeds: u64,
+}
+
+impl fmt::Display for BrowsingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total requests        : {}", self.total_requests)?;
+        writeln!(f, "distinct servers      : {}", self.distinct_servers)?;
+        writeln!(f, "ad servers            : {}", self.ad_servers)?;
+        writeln!(f, "ad request share      : {:.1}%", self.ad_request_share * 100.0)?;
+        writeln!(f, "single-visit servers  : {}", self.single_visit_servers)?;
+        writeln!(f, "crawl-worthy servers  : {}", self.crawlworthy_servers)?;
+        write!(f, "discoverable feeds    : {}", self.discoverable_feeds)
+    }
+}
+
+/// Compute the §3.2 statistics for a history over its universe.
+pub fn browsing_stats(universe: &WebUniverse, history: &BrowsingHistory) -> BrowsingStats {
+    let mut visits: HashMap<ServerId, u64> = HashMap::new();
+    let mut ad_requests = 0u64;
+    for r in &history.requests {
+        *visits.entry(r.server).or_insert(0) += 1;
+        if r.kind == RequestKind::Ad {
+            ad_requests += 1;
+        }
+    }
+    let total_requests = history.requests.len() as u64;
+    let distinct_servers = visits.len() as u64;
+    let ad_servers = visits
+        .keys()
+        .filter(|s| universe.server(**s).map(|srv| srv.kind) == Some(ServerKind::Ad))
+        .count() as u64;
+    let single_visit_servers = visits.values().filter(|n| **n == 1).count() as u64;
+    let crawlworthy: HashSet<ServerId> = visits
+        .iter()
+        .filter(|(sid, n)| {
+            **n > 1 && universe.server(**sid).map(|srv| srv.kind) != Some(ServerKind::Ad)
+        })
+        .map(|(sid, _)| *sid)
+        .collect();
+    let discoverable_feeds = crawlworthy
+        .iter()
+        .filter_map(|sid| universe.server(*sid))
+        .map(|srv| srv.feeds.len() as u64)
+        .sum();
+    BrowsingStats {
+        total_requests,
+        distinct_servers,
+        ad_servers,
+        ad_request_share: if total_requests == 0 {
+            0.0
+        } else {
+            ad_requests as f64 / total_requests as f64
+        },
+        single_visit_servers,
+        crawlworthy_servers: crawlworthy.len() as u64,
+        discoverable_feeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::browse::generate_history;
+    use crate::config::{BrowseConfig, WebConfig};
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let universe = WebUniverse::generate(WebConfig::default(), 17);
+        let config = BrowseConfig {
+            users: 2,
+            days: 8,
+            mean_page_views_per_day: 30.0,
+            favourites_per_user: 40,
+            ..BrowseConfig::default()
+        };
+        let history = generate_history(&universe, &config, 23);
+        let stats = browsing_stats(&universe, &history);
+        assert_eq!(stats.total_requests as usize, history.requests.len());
+        assert!(stats.ad_servers <= stats.distinct_servers);
+        assert!(stats.crawlworthy_servers <= stats.distinct_servers);
+        assert!((0.0..=1.0).contains(&stats.ad_request_share));
+        // Crawl-worthy excludes ads and single-visit servers.
+        assert!(stats.crawlworthy_servers + stats.ad_servers <= stats.distinct_servers + stats.single_visit_servers);
+    }
+
+    #[test]
+    fn empty_history_yields_zeroes() {
+        let universe = WebUniverse::generate(WebConfig::default(), 17);
+        let history = BrowsingHistory {
+            profiles: Vec::new(),
+            requests: Vec::new(),
+            days: 0,
+        };
+        let stats = browsing_stats(&universe, &history);
+        assert_eq!(stats.total_requests, 0);
+        assert_eq!(stats.ad_request_share, 0.0);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let universe = WebUniverse::generate(WebConfig::default(), 17);
+        let history = generate_history(
+            &universe,
+            &BrowseConfig {
+                users: 1,
+                days: 2,
+                mean_page_views_per_day: 10.0,
+                favourites_per_user: 10,
+                ..BrowseConfig::default()
+            },
+            1,
+        );
+        let text = browsing_stats(&universe, &history).to_string();
+        for label in ["total requests", "ad servers", "discoverable feeds"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Topic model: the generative source of all text in the simulated Web.
+//!
+//! Each topic owns a dedicated vocabulary sampled Zipf-style, on top of a
+//! shared background vocabulary and function words. Documents (pages, feed
+//! items, video-story transcripts) are mixtures of topic text, background
+//! text and stopwords. This construction gives the IR experiments the
+//! structure they need: terms that are frequent for a *user* but rare in
+//! the *background* identify the user's interest topics, which is exactly
+//! the signal Robertson term selection exploits (paper §3.3).
+
+use crate::words::{random_stopword, vocabulary, STOPWORDS};
+use crate::zipf::Zipf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a topic in a [`TopicModel`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TopicId(pub u32);
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topic#{}", self.0)
+    }
+}
+
+/// One topic: a name and a weighted private vocabulary.
+///
+/// The vocabulary can be two-tier: a flat *core* of equally important
+/// terms (the handful of words that identify a news topic) carrying
+/// `core_share` of the topical mass, and a Zipf tail. With
+/// `core_share = 0` the vocabulary is pure Zipf.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    /// Human-readable synthetic name (also the first vocabulary word).
+    pub name: String,
+    terms: Vec<String>,
+    sampler: crate::zipf::Weighted,
+    core_terms: usize,
+}
+
+impl Topic {
+    /// The topic's private vocabulary.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// The core (tier-one) terms of the topic.
+    pub fn core(&self) -> &[String] {
+        &self.terms[..self.core_terms.min(self.terms.len())]
+    }
+
+    /// Draw one term from the topic's distribution.
+    pub fn sample_term<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.terms[self.sampler.sample(rng)]
+    }
+}
+
+/// Configuration for [`TopicModel::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicModelConfig {
+    /// Number of topics.
+    pub topics: usize,
+    /// Terms in each topic's private vocabulary.
+    pub terms_per_topic: usize,
+    /// Terms in the shared background vocabulary.
+    pub background_terms: usize,
+    /// Zipf exponent within a topic vocabulary (applies to the tail when
+    /// a core tier is configured).
+    pub topic_zipf: f64,
+    /// Number of tier-one (core) terms per topic; 0 disables the tier.
+    pub core_terms_per_topic: usize,
+    /// Share of topical mass carried by the core tier (ignored when
+    /// `core_terms_per_topic` is 0).
+    pub core_share: f64,
+    /// Zipf exponent of the background vocabulary.
+    pub background_zipf: f64,
+    /// Probability that a generated content token is a stopword.
+    pub stopword_rate: f64,
+    /// Probability that a non-stopword token is drawn from the background
+    /// (rather than the document's topic mixture).
+    pub background_rate: f64,
+}
+
+impl Default for TopicModelConfig {
+    fn default() -> Self {
+        TopicModelConfig {
+            topics: 20,
+            terms_per_topic: 250,
+            background_terms: 2500,
+            topic_zipf: 1.05,
+            core_terms_per_topic: 0,
+            core_share: 0.0,
+            background_zipf: 1.05,
+            stopword_rate: 0.35,
+            background_rate: 0.45,
+        }
+    }
+}
+
+/// A complete topic model: topics + background vocabulary.
+#[derive(Debug, Clone)]
+pub struct TopicModel {
+    topics: Vec<Topic>,
+    background: Vec<String>,
+    background_zipf: Zipf,
+    config: TopicModelConfig,
+}
+
+impl TopicModel {
+    /// Build a topic model deterministically from a seed namespace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration declares zero topics or empty
+    /// vocabularies.
+    pub fn generate(config: TopicModelConfig, namespace: u64) -> Self {
+        assert!(config.topics > 0, "need at least one topic");
+        assert!(config.terms_per_topic > 0, "topics need terms");
+        assert!(config.background_terms > 0, "background needs terms");
+        let topics = (0..config.topics)
+            .map(|t| {
+                let terms = vocabulary(namespace.wrapping_add(1000 + t as u64), config.terms_per_topic);
+                let core = config.core_terms_per_topic.min(terms.len());
+                let weights: Vec<f64> = if core == 0 || config.core_share <= 0.0 {
+                    let zipf = Zipf::new(terms.len(), config.topic_zipf);
+                    (0..terms.len()).map(|k| zipf.pmf(k)).collect()
+                } else {
+                    // Two-tier: flat core, Zipf tail.
+                    let tail_len = terms.len() - core;
+                    let tail_zipf = if tail_len > 0 {
+                        Some(Zipf::new(tail_len, config.topic_zipf))
+                    } else {
+                        None
+                    };
+                    (0..terms.len())
+                        .map(|k| {
+                            if k < core {
+                                config.core_share / core as f64
+                            } else {
+                                let tz = tail_zipf.as_ref().expect("tail exists");
+                                (1.0 - config.core_share) * tz.pmf(k - core)
+                            }
+                        })
+                        .collect()
+                };
+                Topic {
+                    name: terms[0].clone(),
+                    sampler: crate::zipf::Weighted::new(&weights),
+                    core_terms: core,
+                    terms,
+                }
+            })
+            .collect();
+        let background = vocabulary(namespace, config.background_terms);
+        TopicModel {
+            background_zipf: Zipf::new(background.len(), config.background_zipf),
+            topics,
+            background,
+            config,
+        }
+    }
+
+    /// Number of topics.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Access a topic.
+    pub fn topic(&self, id: TopicId) -> Option<&Topic> {
+        self.topics.get(id.0 as usize)
+    }
+
+    /// All topic ids.
+    pub fn topic_ids(&self) -> impl Iterator<Item = TopicId> {
+        (0..self.topics.len() as u32).map(TopicId)
+    }
+
+    /// The shared background vocabulary.
+    pub fn background_terms(&self) -> &[String] {
+        &self.background
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &TopicModelConfig {
+        &self.config
+    }
+
+    /// Draw one background term.
+    pub fn sample_background<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.background[self.background_zipf.sample(rng)]
+    }
+
+    /// Generate a document of `len` tokens from a topic mixture, using the
+    /// model's configured stopword and background rates.
+    ///
+    /// `mixture` is a list of `(topic, weight)`; weights need not sum to 1.
+    /// Empty mixtures produce pure background text.
+    pub fn sample_text<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mixture: &[(TopicId, f64)],
+        len: usize,
+    ) -> String {
+        self.sample_text_with(
+            rng,
+            mixture,
+            len,
+            self.config.stopword_rate,
+            self.config.background_rate,
+        )
+    }
+
+    /// Generate a document with explicit stopword/background rates.
+    ///
+    /// Used where a document population is noisier than Web pages — e.g.
+    /// ASR transcripts of video stories, where recognition errors and
+    /// studio chatter dilute the topical signal.
+    pub fn sample_text_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mixture: &[(TopicId, f64)],
+        len: usize,
+        stopword_rate: f64,
+        background_rate: f64,
+    ) -> String {
+        let total: f64 = mixture.iter().map(|(_, w)| w.max(0.0)).sum();
+        let mut out = String::with_capacity(len * 7);
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            if rng.gen::<f64>() < stopword_rate {
+                out.push_str(random_stopword(rng));
+                continue;
+            }
+            if total <= 0.0 || rng.gen::<f64>() < background_rate {
+                out.push_str(self.sample_background(rng));
+                continue;
+            }
+            // Pick a topic proportional to mixture weight.
+            let mut x = rng.gen::<f64>() * total;
+            let mut chosen = mixture[0].0;
+            for (t, w) in mixture {
+                let w = w.max(0.0);
+                if x < w {
+                    chosen = *t;
+                    break;
+                }
+                x -= w;
+            }
+            match self.topic(chosen) {
+                Some(topic) => out.push_str(topic.sample_term(rng)),
+                None => out.push_str(self.sample_background(rng)),
+            }
+        }
+        out
+    }
+
+    /// The set of stopwords this model injects (re-exported for consumers).
+    pub fn stopwords() -> &'static [&'static str] {
+        &STOPWORDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn model() -> TopicModel {
+        TopicModel::generate(TopicModelConfig::default(), 42)
+    }
+
+    #[test]
+    fn topics_have_disjoint_vocabularies() {
+        let m = model();
+        let a: HashSet<&String> = m.topic(TopicId(0)).unwrap().terms().iter().collect();
+        let b: HashSet<&String> = m.topic(TopicId(1)).unwrap().terms().iter().collect();
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m1 = model();
+        let m2 = model();
+        assert_eq!(m1.topic(TopicId(3)).unwrap().terms(), m2.topic(TopicId(3)).unwrap().terms());
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let mix = [(TopicId(0), 1.0)];
+        assert_eq!(m1.sample_text(&mut r1, &mix, 50), m2.sample_text(&mut r2, &mix, 50));
+    }
+
+    #[test]
+    fn topical_text_contains_topic_terms() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(6);
+        let text = m.sample_text(&mut rng, &[(TopicId(2), 1.0)], 400);
+        let topic_terms: HashSet<&str> =
+            m.topic(TopicId(2)).unwrap().terms().iter().map(String::as_str).collect();
+        let hits = text.split(' ').filter(|w| topic_terms.contains(w)).count();
+        // With stopword_rate .35 and background_rate .45, roughly a third of
+        // tokens should be topical.
+        assert!(hits > 60, "only {hits} topical tokens in 400");
+    }
+
+    #[test]
+    fn empty_mixture_produces_background_only() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let text = m.sample_text(&mut rng, &[], 100);
+        let all_topic_terms: HashSet<&str> = m
+            .topic_ids()
+            .flat_map(|t| m.topic(t).unwrap().terms().iter().map(String::as_str))
+            .collect();
+        let hits = text.split(' ').filter(|w| all_topic_terms.contains(w)).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn mixture_weights_steer_topic_share() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mix = [(TopicId(0), 0.9), (TopicId(1), 0.1)];
+        let text = m.sample_text(&mut rng, &mix, 2000);
+        let t0: HashSet<&str> = m.topic(TopicId(0)).unwrap().terms().iter().map(String::as_str).collect();
+        let t1: HashSet<&str> = m.topic(TopicId(1)).unwrap().terms().iter().map(String::as_str).collect();
+        let h0 = text.split(' ').filter(|w| t0.contains(w)).count();
+        let h1 = text.split(' ').filter(|w| t1.contains(w)).count();
+        assert!(h0 > h1 * 3, "h0={h0} h1={h1}");
+    }
+
+    #[test]
+    fn sample_text_length_in_tokens() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(9);
+        let text = m.sample_text(&mut rng, &[(TopicId(0), 1.0)], 25);
+        assert_eq!(text.split(' ').count(), 25);
+    }
+}

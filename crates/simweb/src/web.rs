@@ -1,0 +1,669 @@
+//! The simulated Web: servers, pages, and feeds.
+//!
+//! A [`WebUniverse`] is generated deterministically from a [`WebConfig`]
+//! and a seed. It stands in for the live Web of the paper's user study:
+//! the crawler fetches page documents from it, the feed proxy polls feed
+//! URLs on it, and the browsing simulator (see [`crate::browse`]) drives
+//! users over it.
+//!
+//! Server kinds are *not* exposed to the crawler through URLs; ad, spam and
+//! multimedia pages are recognizable only by their content (marker terms,
+//! content types), so the crawler's classifier does real work — the same
+//! decision problem the Reef server faced (§3.1).
+
+use crate::config::WebConfig;
+use crate::topics::{TopicId, TopicModel};
+use crate::words::synth_word;
+use crate::zipf::{sample_burst, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a server in a [`WebUniverse`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u32);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv#{}", self.0)
+    }
+}
+
+/// Identifier of a page.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageId(pub u32);
+
+/// Identifier of a Web feed.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FeedId(pub u32);
+
+impl fmt::Display for FeedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "feed#{}", self.0)
+    }
+}
+
+/// What a server is — ground truth used to *evaluate* the crawler's
+/// classifier, never given to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerKind {
+    /// Ordinary content server.
+    Content,
+    /// Advertisement / tracking server.
+    Ad,
+    /// Spam site.
+    Spam,
+    /// Multimedia (video/audio) server.
+    Multimedia,
+}
+
+impl fmt::Display for ServerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServerKind::Content => "content",
+            ServerKind::Ad => "ad",
+            ServerKind::Spam => "spam",
+            ServerKind::Multimedia => "multimedia",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Marker terms that saturate ad-server responses; the crawler's content
+/// classifier keys on their density.
+pub const AD_MARKERS: [&str; 8] = [
+    "adclick", "banner", "trackpixel", "sponsor", "promo", "impression", "clickthru", "doubleserve",
+];
+
+/// Marker terms that saturate spam pages.
+pub const SPAM_MARKERS: [&str; 8] = [
+    "freemoney", "winbig", "casinox", "pharmadeal", "replica", "lottowin", "hotsingles", "cheapmeds",
+];
+
+/// A server in the universe.
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// Identifier.
+    pub id: ServerId,
+    /// Hostname, e.g. `rukan123.example`.
+    pub host: String,
+    /// Ground-truth kind.
+    pub kind: ServerKind,
+    /// Topic mixture of the server's content (content servers only).
+    pub topics: Vec<(TopicId, f64)>,
+    /// Pages hosted here.
+    pub pages: Vec<PageId>,
+    /// Feeds hosted here.
+    pub feeds: Vec<FeedId>,
+}
+
+/// A page document, as fetched by the crawler or a browser.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Identifier.
+    pub id: PageId,
+    /// Absolute URL.
+    pub url: String,
+    /// Hosting server.
+    pub server: ServerId,
+    /// Topic mixture the body was generated from.
+    pub topics: Vec<(TopicId, f64)>,
+    /// MIME content type (`text/html`, `video/mp4`, `image/gif`, …).
+    pub content_type: &'static str,
+    /// Body text (token stream).
+    pub text: String,
+    /// Feed autodiscovery links (`<link rel="alternate">` equivalents).
+    pub feed_links: Vec<String>,
+    /// Number of ad-server requests a browser triggers when viewing this
+    /// page.
+    pub ad_calls: usize,
+}
+
+/// Syndication format of a feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimFeedFormat {
+    /// RSS 2.0.
+    Rss2,
+    /// Atom 1.0.
+    Atom,
+    /// RSS 1.0 (RDF).
+    Rdf,
+}
+
+/// A feed hosted on some server.
+#[derive(Debug, Clone)]
+pub struct FeedSpec {
+    /// Identifier.
+    pub id: FeedId,
+    /// Absolute URL of the feed document.
+    pub url: String,
+    /// Hosting server.
+    pub server: ServerId,
+    /// Feed title.
+    pub title: String,
+    /// Topic mixture of the feed's items.
+    pub topics: Vec<(TopicId, f64)>,
+    /// Mean new items per day (most feeds update infrequently, cf. Liu et
+    /// al. [13] in the paper).
+    pub daily_rate: f64,
+    /// Syndication format served at the URL.
+    pub format: SimFeedFormat,
+}
+
+/// One item of a feed on a given day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimFeedItem {
+    /// Globally unique item id.
+    pub guid: String,
+    /// Item headline.
+    pub title: String,
+    /// Link to the story.
+    pub link: String,
+    /// Body / description text.
+    pub body: String,
+    /// Day the item appeared.
+    pub published_day: u32,
+}
+
+/// The simulated Web.
+pub struct WebUniverse {
+    seed: u64,
+    model: TopicModel,
+    servers: Vec<Server>,
+    pages: Vec<Page>,
+    feeds: Vec<FeedSpec>,
+    page_by_url: HashMap<String, PageId>,
+    feed_by_url: HashMap<String, FeedId>,
+    config: WebConfig,
+}
+
+impl fmt::Debug for WebUniverse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WebUniverse")
+            .field("servers", &self.servers.len())
+            .field("pages", &self.pages.len())
+            .field("feeds", &self.feeds.len())
+            .finish()
+    }
+}
+
+impl WebUniverse {
+    /// Generate a universe deterministically from `config` and `seed`.
+    pub fn generate(config: WebConfig, seed: u64) -> Self {
+        let model = TopicModel::generate(config.topic_model.clone(), seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0001);
+        let mut servers = Vec::new();
+        let mut pages: Vec<Page> = Vec::new();
+        let mut feeds: Vec<FeedSpec> = Vec::new();
+
+        let add_server = |servers: &mut Vec<Server>, kind: ServerKind, rng: &mut StdRng| {
+            let id = ServerId(servers.len() as u32);
+            let host = format!("{}{}.example", synth_word(seed ^ 0x05f5, servers.len()), id.0);
+            let topics = if kind == ServerKind::Content {
+                let primary = TopicId(rng.gen_range(0..model.topic_count() as u32));
+                if rng.gen::<f64>() < 0.3 {
+                    let secondary = TopicId(rng.gen_range(0..model.topic_count() as u32));
+                    vec![(primary, 0.75), (secondary, 0.25)]
+                } else {
+                    vec![(primary, 1.0)]
+                }
+            } else {
+                Vec::new()
+            };
+            servers.push(Server {
+                id,
+                host,
+                kind,
+                topics,
+                pages: Vec::new(),
+                feeds: Vec::new(),
+            });
+            id
+        };
+
+        // Content servers with pages and feeds.
+        for _ in 0..config.content_servers {
+            let sid = add_server(&mut servers, ServerKind::Content, &mut rng);
+            let n_pages =
+                rng.gen_range(config.min_pages_per_server..=config.max_pages_per_server);
+            // Feeds first so pages can link to them.
+            let n_feeds = if rng.gen::<f64>() < config.feed_probability {
+                1 + sample_burst(&mut rng, config.extra_feed_probability, 3)
+            } else {
+                0
+            };
+            let server_topics = servers[sid.0 as usize].topics.clone();
+            let host = servers[sid.0 as usize].host.clone();
+            for k in 0..n_feeds {
+                let fid = FeedId(feeds.len() as u32);
+                let format = match rng.gen_range(0..10) {
+                    0..=5 => SimFeedFormat::Rss2,
+                    6..=8 => SimFeedFormat::Atom,
+                    _ => SimFeedFormat::Rdf,
+                };
+                let ext = match format {
+                    SimFeedFormat::Rss2 => "rss",
+                    SimFeedFormat::Atom => "atom",
+                    SimFeedFormat::Rdf => "rdf",
+                };
+                let url = format!("http://{host}/feed{k}.{ext}");
+                // Update rates are heavy-tailed: median well below one item
+                // per day, a few very chatty feeds.
+                let daily_rate = match rng.gen_range(0..10) {
+                    0 => 3.0 + rng.gen::<f64>() * 5.0,
+                    1..=3 => 0.5 + rng.gen::<f64>(),
+                    _ => 0.05 + rng.gen::<f64>() * 0.3,
+                };
+                feeds.push(FeedSpec {
+                    id: fid,
+                    url: url.clone(),
+                    server: sid,
+                    title: format!("{} feed {k}", host),
+                    topics: server_topics.clone(),
+                    daily_rate,
+                    format,
+                });
+                servers[sid.0 as usize].feeds.push(fid);
+            }
+            let feed_urls: Vec<String> = servers[sid.0 as usize]
+                .feeds
+                .iter()
+                .map(|f| feeds[f.0 as usize].url.clone())
+                .collect();
+            for j in 0..n_pages {
+                let pid = PageId(pages.len() as u32);
+                let url = format!("http://{host}/p{j}.html");
+                let mut topics = server_topics.clone();
+                // Pages occasionally drift off the server's main topics.
+                if rng.gen::<f64>() < 0.15 {
+                    topics.push((TopicId(rng.gen_range(0..model.topic_count() as u32)), 0.4));
+                }
+                let mut page_rng = StdRng::seed_from_u64(
+                    seed ^ 0x7a6e_0000 ^ (pid.0 as u64).wrapping_mul(0x9e37_79b9),
+                );
+                let text = model.sample_text(&mut page_rng, &topics, config.page_tokens);
+                let ad_calls = sample_ad_calls(&mut rng, config.mean_ad_calls_per_page);
+                pages.push(Page {
+                    id: pid,
+                    url,
+                    server: sid,
+                    topics,
+                    content_type: "text/html",
+                    text,
+                    feed_links: feed_urls.clone(),
+                    ad_calls,
+                });
+                servers[sid.0 as usize].pages.push(pid);
+            }
+        }
+
+        // Ad servers: a single pixel page each, saturated with ad markers.
+        for _ in 0..config.ad_servers {
+            let sid = add_server(&mut servers, ServerKind::Ad, &mut rng);
+            let host = servers[sid.0 as usize].host.clone();
+            let pid = PageId(pages.len() as u32);
+            let mut text = String::new();
+            for i in 0..24 {
+                if i > 0 {
+                    text.push(' ');
+                }
+                text.push_str(AD_MARKERS[rng.gen_range(0..AD_MARKERS.len())]);
+            }
+            pages.push(Page {
+                id: pid,
+                url: format!("http://{host}/pixel.gif"),
+                server: sid,
+                topics: Vec::new(),
+                content_type: "image/gif",
+                text,
+                feed_links: Vec::new(),
+                ad_calls: 0,
+            });
+            servers[sid.0 as usize].pages.push(pid);
+        }
+
+        // Spam servers: a few pages of spam markers mixed with background.
+        for _ in 0..config.spam_servers {
+            let sid = add_server(&mut servers, ServerKind::Spam, &mut rng);
+            let host = servers[sid.0 as usize].host.clone();
+            for j in 0..3 {
+                let pid = PageId(pages.len() as u32);
+                let mut text = String::new();
+                for i in 0..60 {
+                    if i > 0 {
+                        text.push(' ');
+                    }
+                    if i % 3 == 0 {
+                        text.push_str(SPAM_MARKERS[rng.gen_range(0..SPAM_MARKERS.len())]);
+                    } else {
+                        text.push_str(model.sample_background(&mut rng));
+                    }
+                }
+                pages.push(Page {
+                    id: pid,
+                    url: format!("http://{host}/offer{j}.html"),
+                    server: sid,
+                    topics: Vec::new(),
+                    content_type: "text/html",
+                    text,
+                    feed_links: Vec::new(),
+                    ad_calls: 0,
+                });
+                servers[sid.0 as usize].pages.push(pid);
+            }
+        }
+
+        // Multimedia servers: video resources.
+        for _ in 0..config.multimedia_servers {
+            let sid = add_server(&mut servers, ServerKind::Multimedia, &mut rng);
+            let host = servers[sid.0 as usize].host.clone();
+            for j in 0..5 {
+                let pid = PageId(pages.len() as u32);
+                pages.push(Page {
+                    id: pid,
+                    url: format!("http://{host}/clip{j}.mp4"),
+                    server: sid,
+                    topics: Vec::new(),
+                    content_type: "video/mp4",
+                    text: String::new(),
+                    feed_links: Vec::new(),
+                    ad_calls: 0,
+                });
+                servers[sid.0 as usize].pages.push(pid);
+            }
+        }
+
+        let page_by_url = pages
+            .iter()
+            .map(|p| (p.url.clone(), p.id))
+            .collect::<HashMap<_, _>>();
+        let feed_by_url = feeds
+            .iter()
+            .map(|f| (f.url.clone(), f.id))
+            .collect::<HashMap<_, _>>();
+
+        WebUniverse {
+            seed,
+            model,
+            servers,
+            pages,
+            feeds,
+            page_by_url,
+            feed_by_url,
+            config,
+        }
+    }
+
+    /// The topic model text was generated from.
+    pub fn model(&self) -> &TopicModel {
+        &self.model
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &WebConfig {
+        &self.config
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Look up a server.
+    pub fn server(&self, id: ServerId) -> Option<&Server> {
+        self.servers.get(id.0 as usize)
+    }
+
+    /// All pages.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Look up a page by id.
+    pub fn page(&self, id: PageId) -> Option<&Page> {
+        self.pages.get(id.0 as usize)
+    }
+
+    /// Fetch a page by URL — what the crawler and browser do.
+    pub fn fetch(&self, url: &str) -> Option<&Page> {
+        self.page_by_url.get(url).and_then(|id| self.page(*id))
+    }
+
+    /// All feeds.
+    pub fn feeds(&self) -> &[FeedSpec] {
+        &self.feeds
+    }
+
+    /// Look up a feed by id.
+    pub fn feed(&self, id: FeedId) -> Option<&FeedSpec> {
+        self.feeds.get(id.0 as usize)
+    }
+
+    /// Look up a feed by URL.
+    pub fn feed_by_url(&self, url: &str) -> Option<&FeedSpec> {
+        self.feed_by_url.get(url).and_then(|id| self.feed(*id))
+    }
+
+    /// The items a feed has published on `day`. Deterministic in
+    /// `(universe seed, feed, day)`.
+    pub fn feed_items_on_day(&self, feed: FeedId, day: u32) -> Vec<SimFeedItem> {
+        let Some(spec) = self.feed(feed) else {
+            return Vec::new();
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ 0xfeed_0000
+                ^ (feed.0 as u64).wrapping_mul(0x100_0001)
+                ^ (day as u64).wrapping_mul(0x9e37_79b9),
+        );
+        // Item count: Bernoulli for sub-daily rates, Poisson-ish above.
+        let mut count = spec.daily_rate.floor() as usize;
+        if rng.gen::<f64>() < spec.daily_rate.fract() {
+            count += 1;
+        }
+        let mut items = Vec::with_capacity(count);
+        for i in 0..count {
+            let title = self.model.sample_text(&mut rng, &spec.topics, 6);
+            let body = self.model.sample_text(&mut rng, &spec.topics, 40);
+            let host = &self.servers[spec.server.0 as usize].host;
+            items.push(SimFeedItem {
+                guid: format!("{}#d{}i{}", spec.url, day, i),
+                title,
+                link: format!("http://{host}/story-d{day}-{i}.html"),
+                body,
+                published_day: day,
+            });
+        }
+        items
+    }
+
+    /// All items a feed published in `0..=day` (the "current document" a
+    /// poll at `day` would see, windowed to the most recent `window` days).
+    pub fn feed_items_until(&self, feed: FeedId, day: u32, window: u32) -> Vec<SimFeedItem> {
+        let start = day.saturating_sub(window);
+        let mut items: Vec<SimFeedItem> = (start..=day)
+            .flat_map(|d| self.feed_items_on_day(feed, d))
+            .collect();
+        // Newest first, like real feed documents.
+        items.reverse();
+        items
+    }
+
+    /// Ground-truth count of servers by kind (for evaluating the crawler's
+    /// classifier).
+    pub fn server_count(&self, kind: ServerKind) -> usize {
+        self.servers.iter().filter(|s| s.kind == kind).count()
+    }
+}
+
+/// Mean-preserving integer sample of ad calls per page: a page has
+/// `floor(mean)` calls plus one more with probability `fract(mean)`, then
+/// heavy-tailed extras so some pages are tracker-laden.
+fn sample_ad_calls<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    let mut n = base;
+    if rng.gen::<f64>() < mean.fract() {
+        n += 1;
+    }
+    // Shift one call of mass into a tail: ~12% of pages gain 1-3 extras,
+    // balanced by 12% losing one.
+    if rng.gen::<f64>() < 0.12 {
+        n += rng.gen_range(1..=3);
+    } else if n > 0 && rng.gen::<f64>() < 0.12 {
+        n -= 1;
+    }
+    n
+}
+
+
+/// Zipf sampler over the ad-server population, shared by the browser
+/// simulator. Exposed here so browse and tests agree on the distribution.
+pub fn ad_server_sampler(universe: &WebUniverse, exponent: f64) -> (Vec<ServerId>, Zipf) {
+    let ids: Vec<ServerId> = universe
+        .servers()
+        .iter()
+        .filter(|s| s.kind == ServerKind::Ad)
+        .map(|s| s.id)
+        .collect();
+    let zipf = Zipf::new(ids.len().max(1), exponent);
+    (ids, zipf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WebUniverse {
+        WebUniverse::generate(WebConfig::default(), 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.pages().len(), b.pages().len());
+        assert_eq!(a.pages()[10].text, b.pages()[10].text);
+        assert_eq!(a.feeds().len(), b.feeds().len());
+    }
+
+    #[test]
+    fn server_counts_match_config() {
+        let u = small();
+        let c = u.config();
+        assert_eq!(u.server_count(ServerKind::Content), c.content_servers);
+        assert_eq!(u.server_count(ServerKind::Ad), c.ad_servers);
+        assert_eq!(u.server_count(ServerKind::Spam), c.spam_servers);
+        assert_eq!(u.server_count(ServerKind::Multimedia), c.multimedia_servers);
+    }
+
+    #[test]
+    fn fetch_round_trips_urls() {
+        let u = small();
+        for p in u.pages().iter().take(50) {
+            assert_eq!(u.fetch(&p.url).unwrap().id, p.id);
+        }
+        assert!(u.fetch("http://nowhere.example/x.html").is_none());
+    }
+
+    #[test]
+    fn content_pages_advertise_their_servers_feeds() {
+        let u = small();
+        let with_feeds = u
+            .servers()
+            .iter()
+            .find(|s| s.kind == ServerKind::Content && !s.feeds.is_empty())
+            .expect("some server has feeds");
+        let page = u.page(with_feeds.pages[0]).unwrap();
+        assert_eq!(page.feed_links.len(), with_feeds.feeds.len());
+        for link in &page.feed_links {
+            assert!(u.feed_by_url(link).is_some());
+        }
+    }
+
+    #[test]
+    fn ad_pages_are_marker_saturated_gifs() {
+        let u = small();
+        let ad = u
+            .servers()
+            .iter()
+            .find(|s| s.kind == ServerKind::Ad)
+            .unwrap();
+        let page = u.page(ad.pages[0]).unwrap();
+        assert_eq!(page.content_type, "image/gif");
+        assert!(AD_MARKERS.iter().any(|m| page.text.contains(m)));
+    }
+
+    #[test]
+    fn multimedia_pages_have_video_content_type() {
+        let u = small();
+        let mm = u
+            .servers()
+            .iter()
+            .find(|s| s.kind == ServerKind::Multimedia)
+            .unwrap();
+        assert_eq!(u.page(mm.pages[0]).unwrap().content_type, "video/mp4");
+    }
+
+    #[test]
+    fn feed_items_are_deterministic_and_dated() {
+        let u = small();
+        let feed = u.feeds()[0].id;
+        let a = u.feed_items_on_day(feed, 5);
+        let b = u.feed_items_on_day(feed, 5);
+        assert_eq!(a, b);
+        for item in &a {
+            assert_eq!(item.published_day, 5);
+            assert!(item.guid.contains("#d5"));
+        }
+    }
+
+    #[test]
+    fn feed_items_until_windows_history() {
+        let u = small();
+        // Find a chatty feed so the window matters.
+        let feed = u
+            .feeds()
+            .iter()
+            .max_by(|a, b| a.daily_rate.partial_cmp(&b.daily_rate).unwrap())
+            .unwrap()
+            .id;
+        let all = u.feed_items_until(feed, 20, 20);
+        let windowed = u.feed_items_until(feed, 20, 3);
+        assert!(windowed.len() <= all.len());
+        for item in &windowed {
+            assert!(item.published_day >= 17);
+        }
+    }
+
+    #[test]
+    fn feed_rates_are_heavy_tailed() {
+        let u = WebUniverse::generate(WebConfig::paper_e1(), 11);
+        let rates: Vec<f64> = u.feeds().iter().map(|f| f.daily_rate).collect();
+        let slow = rates.iter().filter(|r| **r < 0.5).count();
+        let fast = rates.iter().filter(|r| **r > 2.0).count();
+        assert!(slow > fast * 3, "slow={slow} fast={fast}");
+    }
+
+    #[test]
+    fn hosts_are_unique() {
+        let u = small();
+        let mut hosts: Vec<&str> = u.servers().iter().map(|s| s.host.as_str()).collect();
+        hosts.sort_unstable();
+        let before = hosts.len();
+        hosts.dedup();
+        assert_eq!(hosts.len(), before);
+    }
+}

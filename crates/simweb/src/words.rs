@@ -1,0 +1,110 @@
+//! Deterministic synthetic vocabulary generation.
+//!
+//! The simulated Web needs text whose statistics resemble natural language
+//! closely enough for the IR pipeline (stopword removal, stemming, term
+//! weighting) to behave as it would on real pages: a small set of
+//! very-high-frequency function words, a large shared content vocabulary,
+//! and per-topic technical vocabularies.
+
+use rand::Rng;
+
+/// Function words injected into generated text at high frequency. These are
+/// exactly the kind of tokens Robertson term selection must learn to skip;
+/// the `reef-textindex` stopword list contains all of them.
+pub const STOPWORDS: [&str; 40] = [
+    "the", "a", "an", "of", "to", "and", "in", "is", "it", "that", "for", "on", "was", "with",
+    "as", "by", "at", "from", "this", "are", "be", "or", "not", "have", "has", "had", "but",
+    "they", "you", "we", "his", "her", "its", "were", "been", "their", "which", "will", "would",
+    "there",
+];
+
+const ONSETS: [&str; 16] = [
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st",
+];
+const VOWELS: [&str; 6] = ["a", "e", "i", "o", "u", "ai"];
+const CODAS: [&str; 8] = ["", "n", "r", "s", "l", "m", "t", "k"];
+
+/// Generate the `i`-th synthetic word of a namespace.
+///
+/// The mapping is a pure function of `(namespace, i)`, so vocabularies are
+/// stable across runs without storing them. Words are syllabic
+/// ("rukan", "stelom") and never collide across distinct `(namespace, i)`
+/// pairs within the first ~49k words of a namespace because the index is
+/// encoded positionally.
+pub fn synth_word(namespace: u64, i: usize) -> String {
+    // Mix namespace and index into a deterministic state, then emit 2-3
+    // syllables driven by that state.
+    let mut state = namespace
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i as u64)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let mut next = move |m: usize| {
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x94d0_49bb_1331_11eb);
+        (state >> 33) as usize % m
+    };
+    let syllables = 2 + (i % 2);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[next(ONSETS.len())]);
+        w.push_str(VOWELS[next(VOWELS.len())]);
+    }
+    w.push_str(CODAS[next(CODAS.len())]);
+    // Positional suffix guarantees uniqueness within the namespace.
+    if i >= ONSETS.len() * VOWELS.len() {
+        w.push_str(&format!("{}", i));
+    }
+    w
+}
+
+/// Generate `n` distinct words for a namespace.
+pub fn vocabulary(namespace: u64, n: usize) -> Vec<String> {
+    (0..n).map(|i| synth_word(namespace, i)).collect()
+}
+
+/// Pick a random stopword.
+pub fn random_stopword<R: Rng + ?Sized>(rng: &mut R) -> &'static str {
+    STOPWORDS[rng.gen_range(0..STOPWORDS.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(synth_word(1, 5), synth_word(1, 5));
+        assert_ne!(synth_word(1, 5), synth_word(2, 5));
+    }
+
+    #[test]
+    fn vocabulary_has_no_duplicates() {
+        let v = vocabulary(7, 5000);
+        let set: HashSet<&String> = v.iter().collect();
+        assert_eq!(set.len(), v.len());
+    }
+
+    #[test]
+    fn words_are_lowercase_alphanumeric() {
+        for w in vocabulary(3, 200) {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{w}");
+            assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn vocabularies_do_not_collide_with_stopwords() {
+        let v = vocabulary(11, 2000);
+        for w in &v {
+            assert!(!STOPWORDS.contains(&w.as_str()), "{w} is a stopword");
+        }
+    }
+
+    #[test]
+    fn random_stopword_draws_from_list() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let w = random_stopword(&mut rng);
+        assert!(STOPWORDS.contains(&w));
+    }
+}

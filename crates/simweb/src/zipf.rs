@@ -1,0 +1,218 @@
+//! Zipfian and weighted sampling utilities.
+//!
+//! Web workloads are heavy-tailed: a few servers absorb most requests, a
+//! few terms dominate a topic's vocabulary. The paper's browsing data shows
+//! exactly this shape (70% of requests to ad servers, a third of servers
+//! visited only once), so the workload generator samples almost everything
+//! from Zipf-like distributions. Implemented here from scratch to stay
+//! within the approved dependency set.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k + 1)^s`.
+///
+/// Sampling is O(log n) via binary search over precomputed cumulative
+/// weights.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use reef_simweb::zipf::Zipf;
+///
+/// let z = Zipf::new(100, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let first = (0..1000).filter(|_| z.sample(&mut rng) == 0).count();
+/// let tail = (0..1000).filter(|_| z.sample(&mut rng) == 99).count();
+/// assert!(first > tail);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite(), "zipf exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` when the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        (self.cumulative[k] - prev) / total
+    }
+}
+
+/// Weighted sampling over arbitrary non-negative weights, O(log n) per draw.
+#[derive(Debug, Clone)]
+pub struct Weighted {
+    cumulative: Vec<f64>,
+}
+
+impl Weighted {
+    /// Build from raw weights. Zero-weight entries are never sampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weighted sampler needs weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+        Weighted { cumulative }
+    }
+
+    /// Draw an index in `0..len`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` when there are no entries (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Sample from a geometric-like distribution: number of extra trials before
+/// failure with success probability `p`, capped at `max`. Used for burst
+/// sizes (ad calls per page, items per feed update).
+pub fn sample_burst<R: Rng + ?Sized>(rng: &mut R, p: f64, max: usize) -> usize {
+    let mut n = 0;
+    while n < max && rng.gen::<f64>() < p {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Top-10 ranks should hold a large share under s=1.0, n=1000.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 30_000, "head share was {head}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let w = Weighted::new(&[0.0, 1.0, 9.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > counts[1] * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn weighted_rejects_all_zero() {
+        let _ = Weighted::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn burst_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(sample_burst(&mut rng, 0.9, 5) <= 5);
+        }
+        for _ in 0..1000 {
+            assert_eq!(sample_burst(&mut rng, 0.0, 5), 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(100, 1.1);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

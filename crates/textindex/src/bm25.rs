@@ -1,0 +1,259 @@
+//! Okapi BM25 ranking (Robertson & Walker), the ranking function the paper
+//! used for the video-news experiment (§3.3, footnote 2).
+
+use crate::corpus::{Corpus, DocId, TermId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// BM25 free parameters.
+///
+/// The defaults are the standard `k1 = 1.2`, `b = 0.75`; the paper trained
+/// its parameters on prior relevance-feedback experiments [9], which we
+/// approximate with the standard values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization strength (0 = none, 1 = full).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A weighted query: `(term, weight)` pairs. Weights scale each term's
+/// contribution — Reef feeds Offer-Weight-selected terms in with their
+/// selection weights.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// Query terms with weights.
+    pub terms: Vec<(TermId, f64)>,
+}
+
+impl Query {
+    /// Build an unweighted query from term ids.
+    pub fn from_terms<I: IntoIterator<Item = TermId>>(terms: I) -> Self {
+        Query {
+            terms: terms.into_iter().map(|t| (t, 1.0)).collect(),
+        }
+    }
+
+    /// Build a weighted query.
+    pub fn weighted<I: IntoIterator<Item = (TermId, f64)>>(terms: I) -> Self {
+        Query {
+            terms: terms.into_iter().collect(),
+        }
+    }
+
+    /// Resolve a list of term strings against a corpus dictionary,
+    /// silently dropping out-of-vocabulary terms.
+    pub fn from_strs<'a, I: IntoIterator<Item = &'a str>>(corpus: &Corpus, terms: I) -> Self {
+        Query {
+            terms: terms
+                .into_iter()
+                .filter_map(|t| corpus.term_id(t))
+                .map(|t| (t, 1.0))
+                .collect(),
+        }
+    }
+
+    /// Number of query terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when the query has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Robertson-Sparck-Jones style IDF with the +1 floor that keeps weights
+/// positive: `ln(1 + (N - n + 0.5) / (n + 0.5))`.
+pub fn idf(doc_count: usize, doc_frequency: u32) -> f64 {
+    let n = doc_count as f64;
+    let df = f64::from(doc_frequency);
+    (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+}
+
+/// Score one document against a query.
+pub fn score_doc(corpus: &Corpus, params: Bm25Params, query: &Query, doc: DocId) -> f64 {
+    let avgdl = corpus.avg_doc_len();
+    let dl = f64::from(corpus.doc_len(doc));
+    let mut score = 0.0;
+    for (term, weight) in &query.terms {
+        let tf = f64::from(corpus.term_frequency(doc, *term));
+        if tf == 0.0 {
+            continue;
+        }
+        let idf = idf(corpus.doc_count(), corpus.doc_frequency(*term));
+        let norm = if avgdl > 0.0 {
+            params.k1 * (1.0 - params.b + params.b * dl / avgdl)
+        } else {
+            params.k1
+        };
+        score += weight * idf * tf * (params.k1 + 1.0) / (tf + norm);
+    }
+    score
+}
+
+/// Rank every document in the corpus against `query`, best first. Ties are
+/// broken by ascending [`DocId`] so rankings are deterministic.
+///
+/// Uses the postings lists, so cost is proportional to the total postings
+/// of the query terms, not the corpus size.
+///
+/// # Examples
+///
+/// ```
+/// use reef_textindex::{Bm25Params, Corpus, Query, Tokenizer, rank};
+///
+/// let mut corpus = Corpus::new();
+/// let tok = Tokenizer::new();
+/// corpus.add_text(&tok, "events route through brokers");
+/// corpus.add_text(&tok, "cooking with garlic");
+/// let q = Query::from_strs(&corpus, ["broker"].into_iter().map(|s| s).collect::<Vec<_>>());
+/// let ranked = rank(&corpus, Bm25Params::default(), &q);
+/// assert_eq!(ranked[0].0 .0, 0);
+/// ```
+pub fn rank(corpus: &Corpus, params: Bm25Params, query: &Query) -> Vec<(DocId, f64)> {
+    let avgdl = corpus.avg_doc_len();
+    let mut scores: HashMap<DocId, f64> = HashMap::new();
+    for (term, weight) in &query.terms {
+        let idf = idf(corpus.doc_count(), corpus.doc_frequency(*term));
+        for (doc, tf) in corpus.postings(*term) {
+            let tf = f64::from(*tf);
+            let dl = f64::from(corpus.doc_len(*doc));
+            let norm = if avgdl > 0.0 {
+                params.k1 * (1.0 - params.b + params.b * dl / avgdl)
+            } else {
+                params.k1
+            };
+            *scores.entry(*doc).or_insert(0.0) +=
+                weight * idf * tf * (params.k1 + 1.0) / (tf + norm);
+        }
+    }
+    let mut out: Vec<(DocId, f64)> = scores.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Rank *all* documents: documents matching no query term are appended in
+/// id order with score 0. This produces a total order over the corpus, as
+/// the video-news experiment needs (every story gets a position).
+pub fn rank_all(corpus: &Corpus, params: Bm25Params, query: &Query) -> Vec<(DocId, f64)> {
+    let mut ranked = rank(corpus, params, query);
+    let mut seen = vec![false; corpus.doc_count()];
+    for (doc, _) in &ranked {
+        seen[doc.0 as usize] = true;
+    }
+    for i in 0..corpus.doc_count() {
+        if !seen[i] {
+            ranked.push((DocId(i as u32), 0.0));
+        }
+    }
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::Tokenizer;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        let tok = Tokenizer::plain();
+        c.add_text(&tok, "broker broker broker event");
+        c.add_text(&tok, "broker event subscription");
+        c.add_text(&tok, "cooking garlic dinner recipe");
+        c.add_text(&tok, "event");
+        c
+    }
+
+    #[test]
+    fn tf_increases_score_with_saturation() {
+        let c = corpus();
+        let q = Query::from_strs(&c, vec!["broker"]);
+        let p = Bm25Params { k1: 1.2, b: 0.0 };
+        let s0 = score_doc(&c, p, &q, DocId(0));
+        let s1 = score_doc(&c, p, &q, DocId(1));
+        assert!(s0 > s1);
+        // Saturation: tripling tf must not triple the score.
+        assert!(s0 < s1 * 3.0);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let c = corpus();
+        assert!(
+            idf(c.doc_count(), c.doc_frequency(c.term_id("garlic").unwrap()))
+                > idf(c.doc_count(), c.doc_frequency(c.term_id("event").unwrap()))
+        );
+    }
+
+    #[test]
+    fn length_normalization_penalizes_long_docs() {
+        let mut c = Corpus::new();
+        let tok = Tokenizer::plain();
+        c.add_text(&tok, "topic filler filler filler filler filler filler filler");
+        c.add_text(&tok, "topic filler");
+        let q = Query::from_strs(&c, vec!["topic"]);
+        let p = Bm25Params { k1: 1.2, b: 0.75 };
+        assert!(score_doc(&c, p, &q, DocId(1)) > score_doc(&c, p, &q, DocId(0)));
+    }
+
+    #[test]
+    fn rank_orders_by_score_then_id() {
+        let c = corpus();
+        let q = Query::from_strs(&c, vec!["event"]);
+        let ranked = rank(&c, Bm25Params::default(), &q);
+        assert_eq!(ranked.len(), 3);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn rank_all_covers_every_document() {
+        let c = corpus();
+        let q = Query::from_strs(&c, vec!["garlic"]);
+        let ranked = rank_all(&c, Bm25Params::default(), &q);
+        assert_eq!(ranked.len(), c.doc_count());
+        assert_eq!(ranked[0].0, DocId(2));
+        assert_eq!(ranked.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn weighted_terms_scale_contribution() {
+        let c = corpus();
+        let garlic = c.term_id("garlic").unwrap();
+        let q1 = Query::weighted(vec![(garlic, 1.0)]);
+        let q2 = Query::weighted(vec![(garlic, 2.0)]);
+        let s1 = score_doc(&c, Bm25Params::default(), &q1, DocId(2));
+        let s2 = score_doc(&c, Bm25Params::default(), &q2, DocId(2));
+        assert!((s2 - 2.0 * s1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let c = corpus();
+        assert_eq!(score_doc(&c, Bm25Params::default(), &Query::default(), DocId(0)), 0.0);
+        assert!(rank(&c, Bm25Params::default(), &Query::default()).is_empty());
+    }
+
+    #[test]
+    fn out_of_vocabulary_terms_are_dropped() {
+        let c = corpus();
+        let q = Query::from_strs(&c, vec!["zzz", "broker"]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn idf_is_positive_even_for_ubiquitous_terms() {
+        assert!(idf(10, 10) > 0.0);
+        assert!(idf(10, 1) > idf(10, 5));
+    }
+}

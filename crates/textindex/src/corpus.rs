@@ -1,0 +1,252 @@
+//! Document corpus: term dictionary, frequencies and postings.
+
+use crate::tokenize::Tokenizer;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a document within a [`Corpus`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DocId(pub u32);
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// Identifier of a term in a corpus dictionary.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TermId(pub u32);
+
+/// Per-document data.
+#[derive(Debug, Clone)]
+struct DocEntry {
+    len: u32,
+    tf: HashMap<TermId, u32>,
+}
+
+/// An in-memory document corpus with the statistics BM25 and Robertson
+/// term selection need: term frequencies, document frequencies, document
+/// lengths and postings lists.
+///
+/// # Examples
+///
+/// ```
+/// use reef_textindex::{Corpus, Tokenizer};
+///
+/// let mut corpus = Corpus::new();
+/// let tok = Tokenizer::new();
+/// let d = corpus.add_text(&tok, "brokers route subscriptions to brokers");
+/// assert_eq!(corpus.doc_count(), 1);
+/// let broker = corpus.term_id("broker").unwrap();
+/// assert_eq!(corpus.term_frequency(d, broker), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    terms: Vec<String>,
+    dict: HashMap<String, TermId>,
+    docs: Vec<DocEntry>,
+    /// Document frequency per term.
+    df: Vec<u32>,
+    /// Postings: for each term, (doc, tf) pairs in insertion order.
+    postings: Vec<Vec<(DocId, u32)>>,
+    total_len: u64,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(id) = self.dict.get(term) {
+            return *id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_owned());
+        self.dict.insert(term.to_owned(), id);
+        self.df.push(0);
+        self.postings.push(Vec::new());
+        id
+    }
+
+    /// Look up a term id without interning.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.dict.get(term).copied()
+    }
+
+    /// The string of a term id.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Add a document given pre-tokenized terms.
+    pub fn add_tokens<I, S>(&mut self, tokens: I) -> DocId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let doc = DocId(self.docs.len() as u32);
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        let mut len = 0u32;
+        for t in tokens {
+            let id = self.intern(t.as_ref());
+            *tf.entry(id).or_insert(0) += 1;
+            len += 1;
+        }
+        for (term, count) in &tf {
+            self.df[term.0 as usize] += 1;
+            self.postings[term.0 as usize].push((doc, *count));
+        }
+        self.total_len += u64::from(len);
+        self.docs.push(DocEntry { len, tf });
+        doc
+    }
+
+    /// Tokenize `text` with `tokenizer` and add it as a document.
+    pub fn add_text(&mut self, tokenizer: &Tokenizer, text: &str) -> DocId {
+        self.add_tokens(tokenizer.tokenize(text))
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Length (token count) of a document.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.docs.get(doc.0 as usize).map_or(0, |d| d.len)
+    }
+
+    /// Mean document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_frequency(&self, term: TermId) -> u32 {
+        self.df.get(term.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Term frequency of `term` in `doc`.
+    pub fn term_frequency(&self, doc: DocId, term: TermId) -> u32 {
+        self.docs
+            .get(doc.0 as usize)
+            .and_then(|d| d.tf.get(&term))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total occurrences of a term across the corpus.
+    pub fn collection_frequency(&self, term: TermId) -> u64 {
+        self.postings
+            .get(term.0 as usize)
+            .map_or(0, |p| p.iter().map(|(_, tf)| u64::from(*tf)).sum())
+    }
+
+    /// Postings list of a term: `(doc, tf)` pairs.
+    pub fn postings(&self, term: TermId) -> &[(DocId, u32)] {
+        self.postings
+            .get(term.0 as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate over all `(TermId, term)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+
+    /// Iterate over `(term, tf)` pairs of one document.
+    pub fn doc_terms(&self, doc: DocId) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        self.docs
+            .get(doc.0 as usize)
+            .into_iter()
+            .flat_map(|d| d.tf.iter().map(|(t, c)| (*t, *c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        let tok = Tokenizer::plain();
+        c.add_text(&tok, "alpha beta alpha");
+        c.add_text(&tok, "beta gamma");
+        c.add_text(&tok, "delta");
+        c
+    }
+
+    #[test]
+    fn frequencies_and_lengths() {
+        let c = corpus();
+        assert_eq!(c.doc_count(), 3);
+        assert_eq!(c.term_count(), 4);
+        let alpha = c.term_id("alpha").unwrap();
+        let beta = c.term_id("beta").unwrap();
+        assert_eq!(c.term_frequency(DocId(0), alpha), 2);
+        assert_eq!(c.doc_frequency(alpha), 1);
+        assert_eq!(c.doc_frequency(beta), 2);
+        assert_eq!(c.doc_len(DocId(0)), 3);
+        assert!((c.avg_doc_len() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn postings_track_docs() {
+        let c = corpus();
+        let beta = c.term_id("beta").unwrap();
+        assert_eq!(c.postings(beta), &[(DocId(0), 1), (DocId(1), 1)]);
+        assert_eq!(c.collection_frequency(beta), 2);
+    }
+
+    #[test]
+    fn unknown_terms_have_zero_stats() {
+        let c = corpus();
+        assert!(c.term_id("nope").is_none());
+        assert_eq!(c.doc_frequency(TermId(99)), 0);
+        assert_eq!(c.term_frequency(DocId(0), TermId(99)), 0);
+        assert!(c.postings(TermId(99)).is_empty());
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let mut c = Corpus::new();
+        let a = c.intern("x");
+        let b = c.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(c.term(a), Some("x"));
+    }
+
+    #[test]
+    fn empty_corpus_avgdl_is_zero() {
+        assert_eq!(Corpus::new().avg_doc_len(), 0.0);
+    }
+
+    #[test]
+    fn doc_terms_iterates_document_vocabulary() {
+        let c = corpus();
+        let terms: Vec<(TermId, u32)> = c.doc_terms(DocId(0)).collect();
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms.iter().map(|(_, tf)| tf).sum::<u32>(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! # reef-textindex — the information-retrieval engine behind Reef
+//!
+//! The paper's content-based subscriptions (§3.3) are built with classic
+//! probabilistic IR: terms are selected from a user's browsing history
+//! with *Robertson's Offer Weight* (modified to integrate term frequency,
+//! footnote 1) and video stories are ranked with *BM25* (footnote 2). This
+//! crate implements that pipeline from scratch:
+//!
+//! * [`Tokenizer`] — splitting, lowercasing, stopword removal
+//!   ([`stopwords`]), and the full Porter stemmer ([`stem::porter_stem`]);
+//! * [`Corpus`] — document index with term/document frequencies and
+//!   postings;
+//! * [`select_terms`] — classic and TF-integrated Offer Weight term
+//!   selection;
+//! * [`rank`] / [`rank_all`] — Okapi BM25 ranking with weighted queries;
+//! * [`metrics`] — precision@k, R-precision, average precision, nDCG, and
+//!   the relative-improvement measure the paper reports.
+//!
+//! ```
+//! use reef_textindex::{Corpus, Tokenizer, select_terms, OfferWeightMode};
+//!
+//! let tok = Tokenizer::new();
+//! let mut history = Corpus::new();
+//! history.add_text(&tok, "publish subscribe brokers routing events");
+//! let mut background = Corpus::new();
+//! background.add_text(&tok, "cooking weather sports");
+//! let terms = select_terms(&history, &background, 3, OfferWeightMode::TfIntegrated);
+//! assert!(!terms.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bm25;
+pub mod corpus;
+pub mod metrics;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+pub mod weight;
+
+pub use bm25::{idf, rank, rank_all, score_doc, Bm25Params, Query};
+pub use corpus::{Corpus, DocId, TermId};
+pub use metrics::{
+    average_precision, compare_at_k, ndcg_at_k, precision_at_k, r_precision,
+    relative_improvement_pct, RankingComparison,
+};
+pub use stem::porter_stem;
+pub use tokenize::Tokenizer;
+pub use weight::{relevance_weight, select_terms, OfferWeightMode, SelectedTerm};

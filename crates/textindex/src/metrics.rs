@@ -1,0 +1,190 @@
+//! Ranking-quality metrics.
+//!
+//! The §3.3 experiment measures "how effective the query was at placing
+//! the most interesting stories first as compared to the order in which
+//! the stories originally aired", reporting *precision improvement* — at
+//! the peak, "a third more interesting stories appeared in the front".
+//! These are the metrics behind that sentence.
+
+use serde::{Deserialize, Serialize};
+
+/// Precision at cutoff `k`: fraction of the first `k` items that are
+/// relevant. `relevant` is the ranked relevance vector (best-ranked
+/// first).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn precision_at_k(relevant: &[bool], k: usize) -> f64 {
+    assert!(k > 0, "precision@k needs k > 0");
+    let k = k.min(relevant.len());
+    if k == 0 {
+        return 0.0;
+    }
+    relevant[..k].iter().filter(|r| **r).count() as f64 / k as f64
+}
+
+/// R-precision: precision at the number of relevant documents.
+pub fn r_precision(relevant: &[bool]) -> f64 {
+    let r = relevant.iter().filter(|x| **x).count();
+    if r == 0 {
+        return 0.0;
+    }
+    precision_at_k(relevant, r)
+}
+
+/// Non-interpolated average precision.
+pub fn average_precision(relevant: &[bool]) -> f64 {
+    let total = relevant.iter().filter(|x| **x).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, rel) in relevant.iter().enumerate() {
+        if *rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total as f64
+}
+
+/// Normalized discounted cumulative gain at `k`, for graded relevance.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn ndcg_at_k(gains: &[f64], k: usize) -> f64 {
+    assert!(k > 0, "ndcg@k needs k > 0");
+    let k = k.min(gains.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = gains[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = gains.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg: f64 = ideal[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Relative improvement of `new` over `baseline`, in percent. A +34%
+/// improvement means "a third more interesting stories in the front".
+/// Returns 0 when the baseline is 0 and `new` is too; +∞ never occurs
+/// (a zero baseline with positive `new` reports `new * 100` as if from a
+/// unit baseline, keeping the harness total).
+pub fn relative_improvement_pct(new: f64, baseline: f64) -> f64 {
+    if baseline > 0.0 {
+        (new - baseline) / baseline * 100.0
+    } else if new > 0.0 {
+        new * 100.0
+    } else {
+        0.0
+    }
+}
+
+/// Summary of one ranking evaluated against a baseline ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingComparison {
+    /// Precision@k of the evaluated ranking.
+    pub precision: f64,
+    /// Precision@k of the baseline ordering.
+    pub baseline_precision: f64,
+    /// Relative improvement, percent.
+    pub improvement_pct: f64,
+    /// The cutoff used.
+    pub k: usize,
+}
+
+/// Compare a ranking against a baseline ordering at cutoff `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn compare_at_k(ranked: &[bool], baseline: &[bool], k: usize) -> RankingComparison {
+    let precision = precision_at_k(ranked, k);
+    let baseline_precision = precision_at_k(baseline, k);
+    RankingComparison {
+        precision,
+        baseline_precision,
+        improvement_pct: relative_improvement_pct(precision, baseline_precision),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_at_k_counts_front_hits() {
+        let rel = [true, false, true, true, false];
+        assert!((precision_at_k(&rel, 1) - 1.0).abs() < 1e-9);
+        assert!((precision_at_k(&rel, 2) - 0.5).abs() < 1e-9);
+        assert!((precision_at_k(&rel, 4) - 0.75).abs() < 1e-9);
+        // k beyond length clamps.
+        assert!((precision_at_k(&rel, 100) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn precision_rejects_zero_k() {
+        let _ = precision_at_k(&[true], 0);
+    }
+
+    #[test]
+    fn r_precision_uses_relevant_count() {
+        let rel = [true, true, false, false];
+        assert!((r_precision(&rel) - 1.0).abs() < 1e-9);
+        let rel2 = [false, false, true, true];
+        assert!((r_precision(&rel2) - 0.0).abs() < 1e-9);
+        assert_eq!(r_precision(&[false, false]), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        assert!((average_precision(&[true, true, false, false]) - 1.0).abs() < 1e-9);
+        let ap = average_precision(&[false, false, true, true]);
+        // Hits at ranks 3 and 4: (1/3 + 2/4) / 2.
+        assert!((ap - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-9);
+        assert_eq!(average_precision(&[false, false]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_ideal_ordering() {
+        assert!((ndcg_at_k(&[3.0, 2.0, 1.0, 0.0], 4) - 1.0).abs() < 1e-9);
+        assert!(ndcg_at_k(&[0.0, 1.0, 2.0, 3.0], 4) < 1.0);
+        assert_eq!(ndcg_at_k(&[0.0, 0.0], 2), 0.0);
+    }
+
+    #[test]
+    fn improvement_percentage() {
+        assert!((relative_improvement_pct(0.4, 0.3) - 33.333333).abs() < 1e-3);
+        assert!((relative_improvement_pct(0.3, 0.3)).abs() < 1e-9);
+        assert!(relative_improvement_pct(0.2, 0.3) < 0.0);
+        assert_eq!(relative_improvement_pct(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn compare_at_k_combines_metrics() {
+        let ranked = [true, true, false, false];
+        let baseline = [false, true, true, false];
+        let c = compare_at_k(&ranked, &baseline, 2);
+        assert!((c.precision - 1.0).abs() < 1e-9);
+        assert!((c.baseline_precision - 0.5).abs() < 1e-9);
+        assert!((c.improvement_pct - 100.0).abs() < 1e-9);
+        assert_eq!(c.k, 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+//!
+//! Stemming conflates morphological variants ("subscriptions" →
+//! "subscript") before indexing and term selection, as any BM25-era IR
+//! pipeline — including the one behind the paper's §3.3 experiment — would.
+//!
+//! The implementation follows the original five-step definition, operating
+//! on ASCII lowercase words; non-ASCII or very short words pass through
+//! unchanged.
+
+/// Stem one word with the Porter algorithm.
+///
+/// The input should be lowercase; uppercase ASCII is lowered internally.
+/// Words shorter than 3 characters are returned unchanged, as in the
+/// original definition.
+///
+/// # Examples
+///
+/// ```
+/// use reef_textindex::stem::porter_stem;
+///
+/// assert_eq!(porter_stem("subscriptions"), "subscript");
+/// assert_eq!(porter_stem("caresses"), "caress");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    let mut w: Vec<u8> = word
+        .chars()
+        .filter(char::is_ascii)
+        .map(|c| c.to_ascii_lowercase() as u8)
+        .collect();
+    if w.len() < 3 || !w.iter().all(|b| b.is_ascii_lowercase()) {
+        return String::from_utf8(w).expect("ascii");
+    }
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii")
+}
+
+/// `true` when `w[i]` acts as a consonant.
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// The measure m of `w[..len]`: the number of VC sequences in the
+/// [C](VC)^m[V] decomposition.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // A consonant after vowels closes a VC pair.
+        m += 1;
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// `true` when `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// `true` when `w[..len]` ends with a double consonant.
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// `*o`: stem ends consonant-vowel-consonant where the final consonant is
+/// not w, x or y.
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let last = w[len - 1];
+    is_consonant(w, len - 1)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 3)
+        && last != b'w'
+        && last != b'x'
+        && last != b'y'
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// Replace `suffix` with `replacement` if the stem before the suffix has
+/// measure > `min_measure`. Returns whether the suffix was present (whether
+/// or not the replacement fired).
+fn replace_if_measure(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_measure: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_measure {
+        w.truncate(stem_len);
+        w.extend_from_slice(replacement.as_bytes());
+    }
+    true
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ss") {
+        // keep
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.truncate(w.len() - 1);
+        }
+        return;
+    }
+    let fired = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if fired {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w, w.len()) {
+            let last = w[w.len() - 1];
+            if last != b'l' && last != b's' && last != b'z' {
+                w.truncate(w.len() - 1);
+            }
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut Vec<u8>) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: [(&str, &str); 20] = [
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_measure(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: [(&str, &str); 7] = [
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_measure(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: [&str; 18] = [
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" has an extra condition, handled separately in order: it sits
+    // between "ent" and "ou" in the original definition, but since at most
+    // one suffix can match the longest-match-first scan below is
+    // equivalent, with one exception pair (ement/ment/ent) handled by
+    // ordering.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0 && (w[stem_len - 1] == b's' || w[stem_len - 1] == b't') {
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+    for suffix in SUFFIXES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if ends_with(w, "ll") && measure(w, w.len()) > 1 {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical vectors from Porter's paper and the reference
+    /// implementation's vocabulary.
+    #[test]
+    fn canonical_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controlling", "control"),
+            ("rolling", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_pass_through() {
+        assert_eq!(porter_stem("as"), "as");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("a"), "a");
+    }
+
+    #[test]
+    fn uppercase_is_lowered() {
+        assert_eq!(porter_stem("Caresses"), "caress");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["subscription", "recommendation", "attention", "publisher", "browsing"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but should be stable on
+            // these already-stemmed outputs.
+            assert_eq!(porter_stem(&twice), twice, "{w}");
+        }
+    }
+
+    #[test]
+    fn synthetic_simweb_words_survive() {
+        // Words from the simulated vocabulary should not be destroyed.
+        for w in ["rukan", "stelom", "bailom", "chaivo"] {
+            let s = porter_stem(w);
+            assert!(s.len() >= 3, "{w} -> {s}");
+        }
+    }
+
+    #[test]
+    fn paper_terms() {
+        assert_eq!(porter_stem("subscriptions"), "subscript");
+        assert_eq!(porter_stem("publishing"), "publish");
+        assert_eq!(porter_stem("notifications"), "notif");
+        assert_eq!(porter_stem("recommended"), "recommend");
+    }
+}

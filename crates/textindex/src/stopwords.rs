@@ -1,0 +1,83 @@
+//! Stopword list used by the tokenizer.
+//!
+//! A compact English function-word list in the tradition of the van
+//! Rijsbergen / SMART lists. It is a superset of the words the simulated
+//! Web injects into generated text, so stopword removal does real work in
+//! the reproduction experiments.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The stopword list, alphabetical.
+pub const STOPWORDS: [&str; 121] = [
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just",
+    "me", "more", "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only",
+    "or", "other", "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some",
+    "such", "than", "that", "the", "their", "theirs", "them", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up", "very", "was", "we",
+    "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with",
+    "would", "you", "your", "yours", "yourself",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// `true` when `word` (already lowercase) is a stopword.
+///
+/// # Examples
+///
+/// ```
+/// assert!(reef_textindex::stopwords::is_stopword("the"));
+/// assert!(!reef_textindex::stopwords::is_stopword("broker"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "of", "to", "is", "was", "there", "which"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["subscription", "broker", "event", "video"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), STOPWORDS.len());
+    }
+
+    #[test]
+    fn covers_simweb_injected_stopwords() {
+        // reef-simweb injects these 40 function words into generated text;
+        // the tokenizer must strip all of them.
+        let simweb = [
+            "the", "a", "an", "of", "to", "and", "in", "is", "it", "that", "for", "on", "was",
+            "with", "as", "by", "at", "from", "this", "are", "be", "or", "not", "have", "has",
+            "had", "but", "they", "you", "we", "his", "her", "its", "were", "been", "their",
+            "which", "will", "would", "there",
+        ];
+        for w in simweb {
+            assert!(is_stopword(w), "simweb stopword {w} missing");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Tokenization: text → normalized term stream.
+
+use crate::stem::porter_stem;
+use crate::stopwords::is_stopword;
+
+/// Tokenizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tokenizer {
+    /// Drop stopwords.
+    pub remove_stopwords: bool,
+    /// Apply the Porter stemmer.
+    pub stem: bool,
+    /// Minimum token length (before stemming); shorter tokens are dropped.
+    pub min_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer {
+            remove_stopwords: true,
+            stem: true,
+            min_len: 2,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer with stopword removal and stemming enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tokenizer that only lowercases and splits (no stopwords, no
+    /// stemming) — useful in tests and ablations.
+    pub fn plain() -> Self {
+        Tokenizer {
+            remove_stopwords: false,
+            stem: false,
+            min_len: 1,
+        }
+    }
+
+    /// Tokenize `text`: split on non-alphanumeric characters, lowercase,
+    /// drop short tokens and pure numbers, then (optionally) remove
+    /// stopwords and stem.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reef_textindex::Tokenizer;
+    ///
+    /// let toks = Tokenizer::new().tokenize("The subscriptions were placed!");
+    /// assert_eq!(toks, vec!["subscript", "place"]);
+    /// ```
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for raw in text.split(|c: char| !c.is_alphanumeric()) {
+            if raw.len() < self.min_len {
+                continue;
+            }
+            let lower = raw.to_lowercase();
+            if lower.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if self.remove_stopwords && is_stopword(&lower) {
+                continue;
+            }
+            let term = if self.stem { porter_stem(&lower) } else { lower };
+            if term.is_empty() {
+                continue;
+            }
+            // Stemming can recreate a stopword ("hes" → "he"); filter again.
+            if self.remove_stopwords && is_stopword(&term) {
+                continue;
+            }
+            out.push(term);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        let toks = Tokenizer::plain().tokenize("Hello, World! Foo-bar");
+        assert_eq!(toks, vec!["hello", "world", "foo", "bar"]);
+    }
+
+    #[test]
+    fn removes_stopwords() {
+        let toks = Tokenizer::new().tokenize("the cat and the hat");
+        assert_eq!(toks, vec!["cat", "hat"]);
+    }
+
+    #[test]
+    fn stems_variants_together() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("subscribing")[0], t.tokenize("subscribe")[0]);
+    }
+
+    #[test]
+    fn drops_numbers_and_short_tokens() {
+        let toks = Tokenizer::new().tokenize("x 42 2024 ok subscription");
+        assert!(!toks.contains(&"42".to_owned()));
+        assert!(!toks.contains(&"x".to_owned()));
+        assert!(toks.iter().any(|t| t.starts_with("subscript")));
+    }
+
+    #[test]
+    fn alphanumeric_tokens_survive() {
+        let toks = Tokenizer::new().tokenize("srv42 p3");
+        assert!(toks.contains(&"srv42".to_owned()));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(Tokenizer::new().tokenize("").is_empty());
+        assert!(Tokenizer::new().tokenize("  ,.;:!").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_handled_without_panic() {
+        let toks = Tokenizer::new().tokenize("tromsø université 北京 data");
+        assert!(toks.contains(&"data".to_owned()));
+    }
+}

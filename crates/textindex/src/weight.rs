@@ -1,0 +1,240 @@
+//! Robertson term selection: picking the terms that represent a user's
+//! interests.
+//!
+//! The paper extracts "the most important terms" from a user's browsing
+//! history "using a modified version of Robertson's Offer Weight formula
+//! which integrates the term frequency measure into the ranking process"
+//! (§3.3, footnote 1, citing Robertson & Sparck Jones, *Simple proven
+//! approaches to text retrieval*). Both the classic Offer Weight and the
+//! TF-integrated modification are implemented; experiment **E2** reports
+//! the ablation between them.
+//!
+//! Framing: the user's history documents form the *relevant set* R inside
+//! a combined collection (history + background corpus). For each term,
+//!
+//! * `r` — history documents containing the term,
+//! * `R` — history documents,
+//! * `n` — all documents containing the term,
+//! * `N` — all documents,
+//!
+//! the Robertson/Sparck-Jones relevance weight is
+//! `rw = ln( ((r+0.5)(N-n-R+r+0.5)) / ((n-r+0.5)(R-r+0.5)) )` and the
+//! classic Offer Weight is `OW = r · rw`. The TF-integrated variant
+//! replaces the document count `r` with saturated term-frequency mass
+//! `Σ_d tf/(tf+k)`, rewarding terms the user saw *often*, not merely
+//! *widely*.
+
+use crate::corpus::{Corpus, TermId};
+use serde::{Deserialize, Serialize};
+
+/// Which Offer-Weight variant to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OfferWeightMode {
+    /// Classic `r · rw` (document counts only).
+    Classic,
+    /// The paper's modification: saturated TF mass replaces `r`.
+    #[default]
+    TfIntegrated,
+}
+
+/// Saturation constant for the TF-integrated mode.
+pub const TF_SATURATION_K: f64 = 1.5;
+
+/// The Robertson/Sparck-Jones relevance weight with 0.5 smoothing.
+///
+/// All counts are clamped into valid ranges, so the function is total.
+pub fn relevance_weight(r: f64, big_r: f64, n: f64, big_n: f64) -> f64 {
+    let r = r.max(0.0).min(big_r).min(n);
+    let numerator = (r + 0.5) * (big_n - n - big_r + r + 0.5).max(0.5);
+    let denominator = (n - r + 0.5).max(0.5) * (big_r - r + 0.5).max(0.5);
+    (numerator / denominator).ln()
+}
+
+/// One selected term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectedTerm {
+    /// The term string (from the history corpus dictionary).
+    pub term: String,
+    /// Offer weight.
+    pub weight: f64,
+    /// History documents containing the term.
+    pub history_df: u32,
+    /// Background documents containing the term.
+    pub background_df: u32,
+}
+
+/// Select the top `n` terms of `history` by Offer Weight against
+/// `background`.
+///
+/// Terms with non-positive weight are excluded; ties are broken
+/// alphabetically so selection is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use reef_textindex::{Corpus, Tokenizer, select_terms, OfferWeightMode};
+///
+/// let tok = Tokenizer::new();
+/// let mut history = Corpus::new();
+/// history.add_text(&tok, "brokers brokers routing");
+/// let mut background = Corpus::new();
+/// background.add_text(&tok, "weather cooking gardens");
+/// background.add_text(&tok, "weather sports");
+/// let top = select_terms(&history, &background, 2, OfferWeightMode::TfIntegrated);
+/// assert_eq!(top[0].term, "broker");
+/// ```
+pub fn select_terms(
+    history: &Corpus,
+    background: &Corpus,
+    n: usize,
+    mode: OfferWeightMode,
+) -> Vec<SelectedTerm> {
+    let big_r = history.doc_count() as f64;
+    let big_n = (history.doc_count() + background.doc_count()) as f64;
+    let mut selected: Vec<SelectedTerm> = Vec::with_capacity(history.term_count());
+    for (term_id, term) in history.terms() {
+        let history_df = history.doc_frequency(term_id);
+        if history_df == 0 {
+            continue;
+        }
+        let background_df = background
+            .term_id(term)
+            .map_or(0, |t| background.doc_frequency(t));
+        let r = f64::from(history_df);
+        let n_t = r + f64::from(background_df);
+        let rw = relevance_weight(r, big_r, n_t, big_n);
+        let mass = match mode {
+            OfferWeightMode::Classic => r,
+            OfferWeightMode::TfIntegrated => saturated_tf_mass(history, term_id),
+        };
+        let weight = mass * rw;
+        if weight > 0.0 {
+            selected.push(SelectedTerm {
+                term: term.to_owned(),
+                weight,
+                history_df,
+                background_df,
+            });
+        }
+    }
+    selected.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.term.cmp(&b.term))
+    });
+    selected.truncate(n);
+    selected
+}
+
+/// Saturated term-frequency mass of a term over the history corpus:
+/// `Σ_d tf/(tf + k)`.
+fn saturated_tf_mass(history: &Corpus, term: TermId) -> f64 {
+    history
+        .postings(term)
+        .iter()
+        .map(|(_, tf)| {
+            let tf = f64::from(*tf);
+            tf / (tf + TF_SATURATION_K)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::Tokenizer;
+
+    fn corpora() -> (Corpus, Corpus) {
+        let tok = Tokenizer::plain();
+        let mut history = Corpus::new();
+        history.add_text(&tok, "rust brokers events");
+        history.add_text(&tok, "rust brokers filters");
+        history.add_text(&tok, "rust weather");
+        let mut background = Corpus::new();
+        background.add_text(&tok, "weather cooking");
+        background.add_text(&tok, "weather gardens");
+        background.add_text(&tok, "cooking sports");
+        background.add_text(&tok, "sports scores");
+        (history, background)
+    }
+
+    #[test]
+    fn history_specific_terms_rank_above_shared_ones() {
+        let (history, background) = corpora();
+        let top = select_terms(&history, &background, 10, OfferWeightMode::Classic);
+        let rank_of = |t: &str| top.iter().position(|s| s.term == t);
+        assert!(rank_of("rust").unwrap() < rank_of("weather").unwrap_or(usize::MAX));
+        assert!(rank_of("brokers").unwrap() < rank_of("weather").unwrap_or(usize::MAX));
+    }
+
+    #[test]
+    fn truncates_to_n() {
+        let (history, background) = corpora();
+        assert!(select_terms(&history, &background, 2, OfferWeightMode::Classic).len() <= 2);
+    }
+
+    #[test]
+    fn weights_are_descending() {
+        let (history, background) = corpora();
+        let top = select_terms(&history, &background, 10, OfferWeightMode::TfIntegrated);
+        for w in top.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+    }
+
+    #[test]
+    fn tf_integration_rewards_repeated_terms() {
+        let tok = Tokenizer::plain();
+        let mut history = Corpus::new();
+        // "loud" appears 5 times in one doc; "wide" once in one doc.
+        history.add_text(&tok, "loud loud loud loud loud");
+        history.add_text(&tok, "wide quiet");
+        let background = {
+            let mut b = Corpus::new();
+            b.add_text(&tok, "filler noise");
+            b.add_text(&tok, "other stuff");
+            b
+        };
+        let classic = select_terms(&history, &background, 10, OfferWeightMode::Classic);
+        let tf_mode = select_terms(&history, &background, 10, OfferWeightMode::TfIntegrated);
+        let w = |list: &[SelectedTerm], t: &str| {
+            list.iter().find(|s| s.term == t).map(|s| s.weight).unwrap_or(0.0)
+        };
+        // Classic mode sees identical document counts, so equal weights;
+        // TF mode must favour the repeated term.
+        assert!((w(&classic, "loud") - w(&classic, "wide")).abs() < 1e-9);
+        assert!(w(&tf_mode, "loud") > w(&tf_mode, "wide"));
+    }
+
+    #[test]
+    fn relevance_weight_is_total_on_edge_cases() {
+        assert!(relevance_weight(0.0, 0.0, 0.0, 0.0).is_finite());
+        assert!(relevance_weight(5.0, 3.0, 2.0, 1.0).is_finite());
+        assert!(relevance_weight(1.0, 1.0, 1.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn relevance_weight_grows_with_relevance_concentration() {
+        // Term in all relevant docs, none elsewhere, big collection.
+        let concentrated = relevance_weight(10.0, 10.0, 10.0, 1000.0);
+        // Term spread evenly.
+        let spread = relevance_weight(10.0, 10.0, 500.0, 1000.0);
+        assert!(concentrated > spread);
+    }
+
+    #[test]
+    fn empty_history_selects_nothing() {
+        let (_, background) = corpora();
+        let empty = Corpus::new();
+        assert!(select_terms(&empty, &background, 5, OfferWeightMode::Classic).is_empty());
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let (history, background) = corpora();
+        let a = select_terms(&history, &background, 5, OfferWeightMode::TfIntegrated);
+        let b = select_terms(&history, &background, 5, OfferWeightMode::TfIntegrated);
+        assert_eq!(a, b);
+    }
+}

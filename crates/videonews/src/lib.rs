@@ -1,0 +1,27 @@
+//! # reef-videonews — the video-news ranking study (paper §3.3)
+//!
+//! A synthetic stand-in for the TRECVid-2004 archive the paper used
+//! ([`VideoArchive`]: 500 stories, topic-conditioned transcripts, fixed
+//! airing order) plus the full experiment harness
+//! ([`VideoExperiment`]): Offer-Weight term selection from browsing
+//! history, BM25 ranking of the archive, and the precision-improvement
+//! measure over airing order whose curve the paper reports (+34% at
+//! N=30, +12% at N=5).
+//!
+//! ```
+//! use reef_simweb::{TopicModel, TopicModelConfig};
+//! use reef_videonews::{ArchiveConfig, VideoArchive};
+//!
+//! let model = TopicModel::generate(TopicModelConfig::default(), 1);
+//! let archive = VideoArchive::generate(&model, ArchiveConfig::default(), 1);
+//! assert_eq!(archive.len(), 500);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod archive;
+pub mod experiment;
+
+pub use archive::{ArchiveConfig, Channel, StoryId, VideoArchive, VideoStory};
+pub use experiment::{CurvePoint, ExperimentConfig, VideoExperiment, PAPER_N_SWEEP};

@@ -1,0 +1,63 @@
+//! The §4 design: distributed, privacy-preserving Reef.
+//!
+//! Every user's attention stays on their own host; local peers analyze
+//! the browser cache, recommend subscriptions, and periodically exchange
+//! feed suggestions within interest-similar peer groups (the I-SPY-style
+//! community model of §5.2). Compare the traffic line at the end with
+//! `cargo run --example quickstart`.
+//!
+//! Run with: `cargo run --example distributed_reef`
+
+use reef::core::{DistributedReef, ReefConfig};
+use reef::simweb::browse::generate_history;
+use reef::simweb::{BrowseConfig, WebConfig, WebUniverse};
+
+fn main() {
+    let seed = 1717;
+    let universe = WebUniverse::generate(WebConfig::default(), seed);
+    let browse = BrowseConfig {
+        users: 6,
+        days: 21,
+        mean_page_views_per_day: 45.0,
+        favourites_per_user: 50,
+        ..BrowseConfig::default()
+    };
+    let history = generate_history(&universe, &browse, seed);
+
+    let mut config = ReefConfig::default();
+    config.exchange_every_days = 7;
+    let mut reef = DistributedReef::new(&history.profiles, config, seed);
+    // Peers weigh terms against a public reference corpus, not other
+    // users' data.
+    reef.seed_background(
+        universe
+            .pages()
+            .iter()
+            .filter(|p| p.content_type == "text/html")
+            .step_by(23)
+            .take(300)
+            .map(|p| p.text.as_str()),
+    );
+
+    let mut recs = 0u64;
+    let mut events = 0u64;
+    for day in 0..history.days {
+        let r = reef.run_day(&universe, &history, day);
+        recs += r.subscribe_recs;
+        events += r.events_delivered;
+        if day % 7 == 0 && day > 0 {
+            println!("day {day}: peer-group exchange round completed");
+        }
+    }
+
+    println!("\nsix peers, three weeks:");
+    println!("  feed subscriptions recommended : {recs}");
+    println!("  feed events delivered          : {events}");
+    for (user, active) in reef.subscription_counts() {
+        println!("  {user}: {active} active subscriptions");
+    }
+    println!("\nprivacy & traffic:");
+    println!("  attention held off-host        : {} clicks", reef.server_resident_clicks());
+    println!("  clicks kept on user hosts      : {}", reef.local_clicks());
+    println!("  network traffic                : {}", reef.traffic());
+}

@@ -1,0 +1,47 @@
+//! Quickstart: the smallest complete Reef loop.
+//!
+//! Generates a tiny synthetic Web, lets one user browse it for a week,
+//! and runs the centralized Reef pipeline: the browser extension records
+//! clicks, the server crawls the visited pages, discovers feeds,
+//! recommends subscriptions, the feed proxy polls them, and events land
+//! in the user's sidebar — zero-click subscriptions end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use reef::core::{CentralizedReef, ReefConfig};
+use reef::simweb::browse::generate_history;
+use reef::simweb::{BrowseConfig, WebConfig, WebUniverse};
+
+fn main() {
+    let seed = 7;
+    let universe = WebUniverse::generate(WebConfig::default(), seed);
+    let browse = BrowseConfig {
+        users: 1,
+        days: 7,
+        mean_page_views_per_day: 60.0,
+        favourites_per_user: 40,
+        ..BrowseConfig::default()
+    };
+    let history = generate_history(&universe, &browse, seed);
+    println!(
+        "one user, {} days, {} requests over {} servers",
+        history.days,
+        history.requests.len(),
+        universe.servers().len()
+    );
+
+    let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), seed);
+    for day in 0..history.days {
+        let r = reef.run_day(&universe, &history, day);
+        println!(
+            "day {day}: {} clicks recorded, {} feeds recommended, {} events in sidebar \
+             ({} clicked, {} deleted)",
+            r.clicks, r.subscribe_recs, r.events_delivered, r.clicked, r.deleted
+        );
+    }
+
+    let (user, subs) = reef.subscription_counts()[0];
+    println!("\nafter one week, {user} holds {subs} automatic subscriptions");
+    println!("server-side click database: {} clicks", reef.server_resident_clicks());
+    println!("traffic: {}", reef.traffic());
+}

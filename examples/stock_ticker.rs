@@ -1,0 +1,75 @@
+//! The §2.2 example: "in a publish-subscribe system that delivers stock
+//! quotes, the attention parser would be looking for known stock symbols
+//! in the attention data."
+//!
+//! Demonstrates that Reef's attention parser is generic over any
+//! well-defined publish-subscribe interface: given the stock-quote
+//! schema, it extracts symbol tokens from browsing text, places
+//! subscriptions, and the broker delivers matching quotes — while
+//! rejecting events and filters that violate the schema.
+//!
+//! Run with: `cargo run --example stock_ticker`
+
+use reef::attention::AttentionParser;
+use reef::pubsub::{stock_quote_schema, Broker, Event, Filter, Op};
+use std::collections::BTreeSet;
+
+fn main() {
+    let schema = stock_quote_schema(["ACME", "GLOBEX", "HOOLI"]);
+    let parser = AttentionParser::new(schema.clone());
+
+    // What the user read this morning.
+    let pages = [
+        "Acme Corp beats expectations as acme shares surge on earnings",
+        "Analysts downgrade GLOBEX after supply chain troubles",
+        "Top ten pasta recipes for busy weeknights",
+        "Is hooli overvalued? A contrarian take on HOOLI stock",
+        "ENRON retrospective: lessons from a collapse", // not in the schema domain
+    ];
+
+    let mut symbols: BTreeSet<String> = BTreeSet::new();
+    for page in pages {
+        for pair in parser.parse_text(page) {
+            symbols.insert(pair.value.to_string());
+        }
+    }
+    println!("symbols found in attention data: {symbols:?} (ENRON rejected by schema)");
+
+    // Place one subscription per discovered symbol, plus a price alert.
+    let broker = Broker::builder().schema(schema).build();
+    let (me, inbox) = broker.register();
+    for symbol in &symbols {
+        broker
+            .subscribe(me, Filter::new().and("symbol", Op::Eq, symbol.as_str()))
+            .expect("parser output is schema-valid");
+    }
+    broker
+        .subscribe(
+            me,
+            Filter::new()
+                .and("symbol", Op::Eq, "ACME")
+                .and("price", Op::Gt, 100.0),
+        )
+        .expect("valid alert filter");
+
+    // The market opens.
+    let quotes = [
+        ("ACME", 98.0),
+        ("ACME", 104.5), // also trips the price alert
+        ("GLOBEX", 55.2),
+        ("HOOLI", 310.0),
+        ("INITECH", 1.2), // outside the schema domain: rejected
+    ];
+    for (symbol, price) in quotes {
+        let event = Event::builder().attr("symbol", symbol).attr("price", price).build();
+        match broker.publish(event) {
+            Ok(outcome) => println!("published {symbol} @ {price}: {} deliveries", outcome.delivered),
+            Err(e) => println!("rejected {symbol} @ {price}: {e}"),
+        }
+    }
+
+    println!("\nticker inbox:");
+    for delivery in inbox.drain() {
+        println!("  {delivery}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the full Reef closed loop, both deployments.
+
+use reef::core::{CentralizedReef, DistributedReef, ReefConfig};
+use reef::simweb::browse::generate_history;
+use reef::simweb::{BrowseConfig, BrowsingHistory, WebConfig, WebUniverse};
+
+fn workload(seed: u64) -> (WebUniverse, BrowsingHistory) {
+    let universe = WebUniverse::generate(WebConfig::default(), seed);
+    let browse = BrowseConfig {
+        users: 3,
+        days: 8,
+        mean_page_views_per_day: 35.0,
+        favourites_per_user: 40,
+        ..BrowseConfig::default()
+    };
+    let history = generate_history(&universe, &browse, seed);
+    (universe, history)
+}
+
+#[test]
+fn centralized_loop_is_deterministic() {
+    let (universe, history) = workload(3);
+    let run = || {
+        let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), 3);
+        let mut totals = (0u64, 0u64, 0u64);
+        for day in 0..history.days {
+            let r = reef.run_day(&universe, &history, day);
+            totals.0 += r.subscribe_recs;
+            totals.1 += r.events_delivered;
+            totals.2 += r.clicked;
+        }
+        (totals, reef.traffic())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn subscriptions_only_follow_crawl_worthy_discoveries() {
+    let (universe, history) = workload(5);
+    let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), 5);
+    for day in 0..history.days {
+        reef.run_day(&universe, &history, day);
+    }
+    // Every feed the server discovered exists in the universe and sits on
+    // a content server.
+    assert!(reef.server().feeds_discovered() > 0);
+    for (_user, subs) in reef.subscription_counts() {
+        assert!(subs <= history.days as usize, "rate limit bounds subscriptions");
+    }
+}
+
+#[test]
+fn closed_loop_feedback_reaches_the_server() {
+    let (universe, history) = workload(7);
+    let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), 7);
+    let mut clicked = 0u64;
+    for day in 0..history.days {
+        clicked += reef.run_day(&universe, &history, day).clicked;
+    }
+    if clicked > 0 {
+        // Sidebar clicks upload as attention, so the server click count
+        // must exceed the raw browsing request count.
+        let browsing = history.requests.len() as u64;
+        assert!(
+            reef.server_resident_clicks() > browsing,
+            "server has {} clicks for {} browsing requests",
+            reef.server_resident_clicks(),
+            browsing
+        );
+    }
+}
+
+#[test]
+fn distributed_keeps_every_click_on_host() {
+    let (universe, history) = workload(9);
+    let mut reef = DistributedReef::new(&history.profiles, ReefConfig::default(), 9);
+    for day in 0..history.days {
+        reef.run_day(&universe, &history, day);
+    }
+    assert_eq!(reef.server_resident_clicks(), 0);
+    assert!(reef.local_clicks() >= history.requests.len() as u64);
+    let t = reef.traffic();
+    assert_eq!(t.attention_upload_bytes, 0);
+    assert_eq!(t.crawl_bytes, 0);
+}
+
+#[test]
+fn deployments_have_comparable_recommendation_power() {
+    let (universe, history) = workload(11);
+    let mut central = CentralizedReef::new(&history.profiles, ReefConfig::default(), 11);
+    let mut dist = DistributedReef::new(&history.profiles, ReefConfig::default(), 11);
+    let mut c = 0u64;
+    let mut d = 0u64;
+    for day in 0..history.days {
+        c += central.run_day(&universe, &history, day).subscribe_recs;
+        d += dist.run_day(&universe, &history, day).subscribe_recs;
+    }
+    assert!(c > 0 && d > 0);
+    let ratio = c as f64 / d as f64;
+    assert!((0.5..=2.0).contains(&ratio), "recommendation ratio {ratio}");
+}
+
+#[test]
+fn unsubscribe_loop_eventually_prunes() {
+    let (universe, history) = {
+        let universe = WebUniverse::generate(WebConfig::default(), 13);
+        let browse = BrowseConfig {
+            users: 2,
+            days: 20,
+            mean_page_views_per_day: 40.0,
+            favourites_per_user: 30,
+            ..BrowseConfig::default()
+        };
+        let history = generate_history(&universe, &browse, 13);
+        (universe, history)
+    };
+    let mut reef = CentralizedReef::new(&history.profiles, ReefConfig::default(), 13);
+    let mut unsubs = 0u64;
+    for day in 0..history.days {
+        unsubs += reef.run_day(&universe, &history, day).unsubscribe_recs;
+    }
+    assert!(unsubs > 0, "three weeks must surface some ignored feeds");
+}

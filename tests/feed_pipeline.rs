@@ -1,0 +1,116 @@
+//! Cross-crate integration: simulated Web → XML feed documents → proxy →
+//! broker → subscriber, exercising the full syndication path.
+
+use reef::core::UniverseFeedFetcher;
+use reef::feeds::{parse_feed, FeedEventsProxy, FeedFetcher, FeedFormat};
+use reef::pubsub::{Broker, Filter};
+use reef::simweb::{SimFeedFormat, WebConfig, WebUniverse};
+
+fn universe() -> WebUniverse {
+    WebUniverse::generate(WebConfig::default(), 41)
+}
+
+#[test]
+fn every_simulated_feed_serves_well_formed_xml() {
+    let u = universe();
+    let fetcher = UniverseFeedFetcher::new(&u, 14);
+    for spec in u.feeds().iter().take(120) {
+        let doc = fetcher
+            .fetch_feed(&spec.url, 9)
+            .expect("registered feed must be fetchable");
+        let (format, feed) = parse_feed(&doc)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{doc}", spec.url));
+        let expected = match spec.format {
+            SimFeedFormat::Rss2 => FeedFormat::Rss2,
+            SimFeedFormat::Atom => FeedFormat::Atom,
+            SimFeedFormat::Rdf => FeedFormat::Rdf,
+        };
+        assert_eq!(format, expected, "{}", spec.url);
+        assert_eq!(feed.title, spec.title);
+    }
+}
+
+#[test]
+fn proxy_delivers_each_item_exactly_once_across_days() {
+    let u = universe();
+    // Pick the chattiest feed so items actually appear.
+    let spec = u
+        .feeds()
+        .iter()
+        .max_by(|a, b| a.daily_rate.partial_cmp(&b.daily_rate).expect("rates finite"))
+        .expect("universe has feeds");
+
+    let broker = Broker::new();
+    let (me, inbox) = broker.register();
+    broker.subscribe(me, Filter::topic(&spec.url)).expect("subscribe");
+    let mut proxy = FeedEventsProxy::new();
+    proxy.register(&spec.url);
+
+    let fetcher = UniverseFeedFetcher::new(&u, 30);
+    let mut published = 0usize;
+    for day in 0..20 {
+        published += proxy.poll_due(&fetcher, &broker, day).new_items;
+    }
+    let delivered = inbox.drain();
+    assert_eq!(delivered.len(), published);
+    assert!(published > 0, "a chatty feed publishes in 20 days");
+    // GUIDs are unique across the whole window.
+    let mut guids: Vec<String> = delivered
+        .iter()
+        .map(|e| {
+            e.event
+                .get("guid")
+                .and_then(|v| v.as_str())
+                .expect("feed events carry guids")
+                .to_owned()
+        })
+        .collect();
+    let before = guids.len();
+    guids.sort();
+    guids.dedup();
+    assert_eq!(guids.len(), before, "no duplicate GUIDs delivered");
+}
+
+#[test]
+fn feed_events_validate_against_the_feed_schema() {
+    let u = universe();
+    let broker = Broker::builder().schema(reef::pubsub::feed_events_schema()).build();
+    let mut proxy = FeedEventsProxy::new();
+    for spec in u.feeds().iter().take(30) {
+        proxy.register(&spec.url);
+    }
+    let fetcher = UniverseFeedFetcher::new(&u, 30);
+    // Any schema violation would panic inside the proxy's publish.
+    let report = proxy.poll_all(&fetcher, &broker, 15);
+    assert_eq!(report.parse_errors, 0);
+    assert_eq!(report.unreachable, 0);
+}
+
+#[test]
+fn backoff_reduces_poll_volume_on_quiet_feeds() {
+    let u = universe();
+    let quiet: Vec<&reef::simweb::FeedSpec> = u
+        .feeds()
+        .iter()
+        .filter(|f| f.daily_rate < 0.2)
+        .take(20)
+        .collect();
+    assert!(!quiet.is_empty());
+    let broker = Broker::new();
+    let mut proxy = FeedEventsProxy::new();
+    for spec in &quiet {
+        proxy.register(&spec.url);
+    }
+    let fetcher = UniverseFeedFetcher::new(&u, 30);
+    let mut polled = 0usize;
+    let mut skipped = 0usize;
+    for day in 0..16 {
+        let r = proxy.poll_due(&fetcher, &broker, day);
+        polled += r.polled;
+        skipped += r.skipped;
+    }
+    assert!(
+        skipped > polled,
+        "quiet feeds must be skipped more than polled (polled {polled}, skipped {skipped})"
+    );
+}

@@ -1,0 +1,116 @@
+//! Property-based tests spanning crates.
+
+use proptest::prelude::*;
+use reef::attention::{Click, ClickStore};
+use reef::feeds::{parse_feed, write_feed, Feed, FeedFormat, FeedItem};
+use reef::simweb::UserId;
+use reef::textindex::{porter_stem, Tokenizer};
+
+fn arb_item() -> impl Strategy<Value = FeedItem> {
+    (
+        "[a-z0-9]{1,12}",
+        "[ -~]{0,40}",
+        "[a-z:/.0-9]{0,30}",
+        "[ -~]{0,60}",
+        proptest::option::of(0u32..1000),
+    )
+        .prop_map(|(guid, title, link, description, published_day)| FeedItem {
+            guid,
+            title,
+            link,
+            description,
+            published_day,
+        })
+}
+
+fn arb_feed() -> impl Strategy<Value = Feed> {
+    (
+        "[ -~]{0,30}",
+        "[a-z:/.0-9]{0,30}",
+        "[ -~]{0,40}",
+        prop::collection::vec(arb_item(), 0..6),
+    )
+        .prop_map(|(title, link, description, items)| Feed {
+            title,
+            link,
+            description,
+            items,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any feed serializes to XML that parses back to the same feed, in
+    /// every dialect — arbitrary printable text included.
+    #[test]
+    fn feed_round_trips_all_dialects(feed in arb_feed()) {
+        for format in [FeedFormat::Rss2, FeedFormat::Atom, FeedFormat::Rdf] {
+            let xml = write_feed(&feed, format);
+            let (sniffed, parsed) = parse_feed(&xml)
+                .map_err(|e| TestCaseError::fail(format!("{format}: {e}")))?;
+            prop_assert_eq!(sniffed, format);
+            prop_assert_eq!(parsed.title.trim(), feed.title.trim());
+            prop_assert_eq!(parsed.items.len(), feed.items.len());
+            for (a, b) in parsed.items.iter().zip(&feed.items) {
+                prop_assert_eq!(a.title.trim(), b.title.trim());
+                prop_assert_eq!(a.published_day, b.published_day);
+            }
+        }
+    }
+
+    /// The click store's aggregate counters always reconcile with the raw
+    /// click stream.
+    #[test]
+    fn click_store_counters_reconcile(
+        clicks in prop::collection::vec(
+            (0u32..4, 0u32..30, "[a-z]{1,8}"),
+            0..120,
+        )
+    ) {
+        let mut store = ClickStore::new();
+        for (i, (user, day, host)) in clicks.iter().enumerate() {
+            store.insert(Click {
+                user: UserId(*user),
+                day: *day,
+                tick: i as u64,
+                url: format!("http://{host}.example/p{i}.html"),
+                referrer: None,
+            });
+        }
+        prop_assert_eq!(store.len(), clicks.len() as u64);
+        let per_host_total: u64 = store.hosts().map(|(_, s)| s.visits).sum();
+        prop_assert_eq!(per_host_total, clicks.len() as u64);
+        let per_user_total: usize = store.users().map(|u| store.clicks_of(u).len()).sum();
+        prop_assert_eq!(per_user_total, clicks.len());
+        // Single-visit hosts have exactly one click.
+        let singles: Vec<String> =
+            store.single_visit_hosts().map(str::to_owned).collect();
+        for host in singles {
+            prop_assert_eq!(store.host(&host).map(|s| s.visits), Some(1));
+        }
+    }
+
+    /// The stemmer never panics, never grows a word, and always emits
+    /// lowercase ASCII. (Porter is deliberately *not* idempotent —
+    /// "easee" → "ease" → "eas" — so no stability property is asserted.)
+    #[test]
+    fn stemmer_is_total_and_shrinking(word in "[a-zA-Z]{0,20}") {
+        let stem = porter_stem(&word);
+        prop_assert!(stem.len() <= word.len());
+        prop_assert!(stem.chars().all(|c| c.is_ascii_lowercase()) || stem.is_empty());
+        // Determinism.
+        prop_assert_eq!(porter_stem(&word), stem);
+    }
+
+    /// Tokenization never yields stopwords or empty tokens, whatever the
+    /// input.
+    #[test]
+    fn tokenizer_output_is_clean(text in "[ -~]{0,200}") {
+        let tokenizer = Tokenizer::new();
+        for token in tokenizer.tokenize(&text) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(!reef::textindex::stopwords::is_stopword(&token));
+        }
+    }
+}

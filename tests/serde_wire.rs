@@ -1,0 +1,89 @@
+//! Wire-format round trips: the types that cross process boundaries in a
+//! real deployment (click uploads, events, filters, recommendations) must
+//! survive JSON serialization, since that is the upload format the
+//! paper's browser-extension → LAMP-server path used.
+
+use reef::attention::{Click, ClickBatch};
+use reef::pubsub::{Event, Filter, Op, PublishedEvent, Value};
+use reef::simweb::UserId;
+
+#[test]
+fn click_batch_round_trips() {
+    let batch = ClickBatch {
+        user: UserId(3),
+        clicks: vec![
+            Click {
+                user: UserId(3),
+                day: 12,
+                tick: 99,
+                url: "http://site.example/page?q=1#frag".to_owned(),
+                referrer: Some("http://other.example/".to_owned()),
+            },
+            Click {
+                user: UserId(3),
+                day: 12,
+                tick: 100,
+                url: "http://site.example/ünïcode".to_owned(),
+                referrer: None,
+            },
+        ],
+    };
+    let json = serde_json::to_string(&batch).expect("serialize");
+    let back: ClickBatch = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, batch);
+    assert_eq!(batch.wire_size(), json.len());
+}
+
+#[test]
+fn events_round_trip_with_all_value_types() {
+    let event = Event::builder()
+        .attr("s", "text with \"quotes\" & <markup>")
+        .attr("i", -42)
+        .attr("f", 2.75)
+        .attr("b", true)
+        .build();
+    let json = serde_json::to_string(&event).expect("serialize");
+    let back: Event = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, event);
+    assert_eq!(back.get("i"), Some(&Value::Int(-42)));
+}
+
+#[test]
+fn published_events_round_trip() {
+    let published = PublishedEvent {
+        id: reef::pubsub::EventId(7),
+        published_at: 123,
+        event: Event::topical("http://f.example/feed.rss", "body"),
+    };
+    let json = serde_json::to_string(&published).expect("serialize");
+    let back: PublishedEvent = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, published);
+}
+
+#[test]
+fn filters_round_trip_and_still_match() {
+    let filter = Filter::new()
+        .and("symbol", Op::Eq, "ACME")
+        .and("price", Op::Gt, 10.5)
+        .and("note", Op::Contains, "earn")
+        .and_exists("volume");
+    let json = serde_json::to_string(&filter).expect("serialize");
+    let back: Filter = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, filter);
+    let event = Event::builder()
+        .attr("symbol", "ACME")
+        .attr("price", 11.0)
+        .attr("note", "q3 earnings call")
+        .attr("volume", 9_000)
+        .build();
+    assert!(back.matches(&event));
+}
+
+#[test]
+fn parsed_filter_text_equals_constructed_filter_after_round_trip() {
+    let parsed = reef::pubsub::parse_filter(r#"symbol = "ACME" && price > 10.5"#).expect("parse");
+    let json = serde_json::to_string(&parsed).expect("serialize");
+    let back: Filter = serde_json::from_str(&json).expect("deserialize");
+    let constructed = Filter::new().and("symbol", Op::Eq, "ACME").and("price", Op::Gt, 10.5);
+    assert_eq!(back, constructed);
+}
