@@ -46,7 +46,11 @@ impl Click {
 
 impl fmt::Display for Click {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} d{} t{}] {}", self.user, self.day, self.tick, self.url)
+        write!(
+            f,
+            "[{} d{} t{}] {}",
+            self.user, self.day, self.tick, self.url
+        )
     }
 }
 
@@ -120,8 +124,14 @@ mod tests {
             url: "http://a.example/".to_owned(),
             referrer: None,
         };
-        let small = ClickBatch { user: UserId(0), clicks: vec![click.clone()] };
-        let big = ClickBatch { user: UserId(0), clicks: vec![click.clone(), click] };
+        let small = ClickBatch {
+            user: UserId(0),
+            clicks: vec![click.clone()],
+        };
+        let big = ClickBatch {
+            user: UserId(0),
+            clicks: vec![click.clone(), click],
+        };
         assert!(big.wire_size() > small.wire_size());
         assert!(small.wire_size() > 0);
     }

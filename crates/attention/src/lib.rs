@@ -39,4 +39,4 @@ pub use click::{host_of, Click, ClickBatch};
 pub use parser::{looks_like_feed_url, AttentionParser, CandidatePair, TokenSource};
 pub use reaction::{Reaction, ReactionModel};
 pub use recorder::{AttentionRecorder, BrowserRecorder, NullRecorder, RecorderStats};
-pub use store::{ClickStore, HostStats};
+pub use store::{ClickStore, HostStats, UploadReceipt};

@@ -182,7 +182,9 @@ mod tests {
     #[test]
     fn ordinary_urls_are_not_feeds() {
         let parser = AttentionParser::new(feed_events_schema());
-        assert!(parser.parse_url("http://news.example/story.html").is_empty());
+        assert!(parser
+            .parse_url("http://news.example/story.html")
+            .is_empty());
     }
 
     #[test]

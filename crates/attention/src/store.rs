@@ -11,6 +11,22 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
+/// Receipt returned by [`ClickStore::ingest_upload`]: what the server
+/// accepted from one wire upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadReceipt {
+    /// The uploading user cookie.
+    pub user: UserId,
+    /// Clicks stored from this batch.
+    pub accepted: u64,
+    /// Clicks rejected (user cookie mismatch within the batch).
+    pub rejected: u64,
+    /// JSON wire size of the batch as uploaded.
+    pub wire_bytes: u64,
+    /// Total clicks in the store after ingestion.
+    pub total_stored: u64,
+}
+
 /// Per-host visit statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct HostStats {
@@ -67,6 +83,32 @@ impl ClickStore {
         }
     }
 
+    /// Server-side ingestion of an upload arriving over the wire (the
+    /// extension → server path of §3.1): validates that every click in the
+    /// batch belongs to the uploading user cookie, stores the valid ones,
+    /// and returns an accounting receipt for the transport layer.
+    pub fn ingest_upload(&mut self, batch: ClickBatch) -> UploadReceipt {
+        let wire_bytes = batch.wire_size() as u64;
+        let user = batch.user;
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for click in batch.clicks {
+            if click.user == user {
+                self.insert(click);
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        UploadReceipt {
+            user,
+            accepted,
+            rejected,
+            wire_bytes,
+            total_stored: self.total,
+        }
+    }
+
     /// Total clicks stored.
     pub fn len(&self) -> u64 {
         self.total
@@ -90,7 +132,12 @@ impl ClickStore {
     }
 
     /// Clicks of a user within a day window (inclusive).
-    pub fn clicks_of_in(&self, user: UserId, from_day: u32, to_day: u32) -> impl Iterator<Item = &Click> {
+    pub fn clicks_of_in(
+        &self,
+        user: UserId,
+        from_day: u32,
+        to_day: u32,
+    ) -> impl Iterator<Item = &Click> {
         self.clicks_of(user)
             .iter()
             .filter(move |c| c.day >= from_day && c.day <= to_day)
@@ -121,7 +168,10 @@ impl ClickStore {
 
     /// Distinct hosts one user has visited.
     pub fn hosts_of(&self, user: UserId) -> BTreeSet<&str> {
-        self.clicks_of(user).iter().map(|c| host_of(&c.url)).collect()
+        self.clicks_of(user)
+            .iter()
+            .map(|c| host_of(&c.url))
+            .collect()
     }
 
     /// Visits by one user to one host.

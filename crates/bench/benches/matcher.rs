@@ -11,7 +11,9 @@ use rand::{Rng, SeedableRng};
 use reef_pubsub::{Event, Filter, IndexMatcher, MatchEngine, NaiveMatcher, Op, SubscriptionId};
 use std::hint::black_box;
 
-const ATTRS: [&str; 8] = ["alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta"];
+const ATTRS: [&str; 8] = [
+    "alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta",
+];
 
 fn random_filter(rng: &mut StdRng) -> Filter {
     let mut f = Filter::new();
@@ -32,7 +34,10 @@ fn random_filter(rng: &mut StdRng) -> Filter {
 fn random_event(rng: &mut StdRng) -> Event {
     let mut e = Event::new();
     for _ in 0..rng.gen_range(2..=5) {
-        e.set(ATTRS[rng.gen_range(0..ATTRS.len())], rng.gen_range(0..50i64));
+        e.set(
+            ATTRS[rng.gen_range(0..ATTRS.len())],
+            rng.gen_range(0..50i64),
+        );
     }
     e
 }

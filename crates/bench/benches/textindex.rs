@@ -24,8 +24,16 @@ fn corpora() -> (TopicModel, Vec<String>, Vec<String>) {
 
 fn bench_stemmer(c: &mut Criterion) {
     let words = [
-        "subscriptions", "relational", "publishing", "recommendation", "effectiveness",
-        "notifications", "analyzing", "attention", "architecture", "collaborative",
+        "subscriptions",
+        "relational",
+        "publishing",
+        "recommendation",
+        "effectiveness",
+        "notifications",
+        "analyzing",
+        "attention",
+        "architecture",
+        "collaborative",
     ];
     c.bench_function("porter_stem_10_words", |b| {
         b.iter(|| {

@@ -78,8 +78,16 @@ fn main() {
     print_table(
         "E1 (pipeline): the crawler re-derives the table from content alone",
         &[
-            Row::new("feeds discovered by crawler", "424", server.feeds_discovered()),
-            Row::new("hosts flagged (ad+spam+mm)", "~1713", server.flagged_hosts()),
+            Row::new(
+                "feeds discovered by crawler",
+                "424",
+                server.feeds_discovered(),
+            ),
+            Row::new(
+                "hosts flagged (ad+spam+mm)",
+                "~1713",
+                server.flagged_hosts(),
+            ),
             Row::new("pages fetched", "", crawl.fetched),
             Row::new("fetches skipped (flagged host)", "", crawl.skipped_flagged),
             Row::new("fetch bytes", "", crawl.bytes_fetched),

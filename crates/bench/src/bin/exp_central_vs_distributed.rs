@@ -88,13 +88,41 @@ fn main() {
     print_table(
         "E4: centralized (Fig 1) vs distributed (Fig 2) on the same 10-week workload",
         &[
-            Row::new("feed recommendations", format!("central {}", c.subscribe_recs), format!("distributed {}", d.subscribe_recs)),
-            Row::new("events delivered", format!("central {}", c.events_delivered), format!("distributed {}", d.events_delivered)),
-            Row::new("attention upload bytes", format!("central {}", c.attention_upload_bytes), "distributed 0 (stays on host)"),
-            Row::new("server crawl bytes", format!("central {}", c.crawl_bytes), "distributed 0 (browser cache)"),
-            Row::new("recommendation bytes", format!("central {}", c.recommendation_bytes), "distributed 0 (local)"),
-            Row::new("gossip bytes (peer groups)", "central 0", format!("distributed {}", d.gossip_bytes)),
-            Row::new("attention held server-side", format!("central {} clicks", c.server_resident_clicks), format!("distributed {} clicks", d.server_resident_clicks)),
+            Row::new(
+                "feed recommendations",
+                format!("central {}", c.subscribe_recs),
+                format!("distributed {}", d.subscribe_recs),
+            ),
+            Row::new(
+                "events delivered",
+                format!("central {}", c.events_delivered),
+                format!("distributed {}", d.events_delivered),
+            ),
+            Row::new(
+                "attention upload bytes",
+                format!("central {}", c.attention_upload_bytes),
+                "distributed 0 (stays on host)",
+            ),
+            Row::new(
+                "server crawl bytes",
+                format!("central {}", c.crawl_bytes),
+                "distributed 0 (browser cache)",
+            ),
+            Row::new(
+                "recommendation bytes",
+                format!("central {}", c.recommendation_bytes),
+                "distributed 0 (local)",
+            ),
+            Row::new(
+                "gossip bytes (peer groups)",
+                "central 0",
+                format!("distributed {}", d.gossip_bytes),
+            ),
+            Row::new(
+                "attention held server-side",
+                format!("central {} clicks", c.server_resident_clicks),
+                format!("distributed {} clicks", d.server_resident_clicks),
+            ),
         ],
     );
 
@@ -111,7 +139,11 @@ fn main() {
         100.0 * d.subscribe_recs as f64 / c.subscribe_recs.max(1) as f64
     );
 
-    let result = E4Result { seed, centralized: c, distributed: d };
+    let result = E4Result {
+        seed,
+        centralized: c,
+        distributed: d,
+    };
     if let Some(path) = write_json("e4_central_vs_distributed", &result) {
         println!("\nresult written to {}", path.display());
     }

@@ -13,7 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reef_attention::AttentionParser;
 use reef_bench::{print_table, seed_from_env, write_json, Row};
-use reef_pubsub::{feed_events_schema, stock_quote_schema, AttrSpec, Broker, Event, Filter, Op, Schema, ValueType};
+use reef_pubsub::{
+    feed_events_schema, stock_quote_schema, AttrSpec, Broker, Event, Filter, Op, Schema, ValueType,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -45,7 +47,9 @@ fn main() {
 
     // A browsing session transcript: free text mentioning stock symbols
     // and cities, plus clicked URLs, some of which are feeds.
-    let filler = ["market", "report", "today", "shares", "weather", "flight", "news"];
+    let filler = [
+        "market", "report", "today", "shares", "weather", "flight", "news",
+    ];
     let symbols = ["ACME", "GLOBEX", "INITECH"];
     let cities = ["tromso", "oslo", "unknownville"];
     let mut text = String::new();
@@ -77,31 +81,47 @@ fn main() {
 
     // Subscriptions from the extracted pairs, placed on schema-validating
     // brokers, with live events to prove the loop closes.
-    let stock_broker = Broker::builder().schema(stock_quote_schema(["ACME", "GLOBEX"])).build();
+    let stock_broker = Broker::builder()
+        .schema(stock_quote_schema(["ACME", "GLOBEX"]))
+        .build();
     let (stock_sub, stock_inbox) = stock_broker.register();
     let mut stock_filters = 0usize;
     let mut seen = std::collections::BTreeSet::new();
     for pair in &stock_pairs {
         if seen.insert(pair.value.to_string()) {
             stock_broker
-                .subscribe(stock_sub, Filter::new().and(pair.attr.clone(), Op::Eq, pair.value.clone()))
+                .subscribe(
+                    stock_sub,
+                    Filter::new().and(pair.attr.clone(), Op::Eq, pair.value.clone()),
+                )
                 .expect("parser output is schema-valid");
             stock_filters += 1;
         }
     }
     for (symbol, price) in [("ACME", 12.5), ("GLOBEX", 99.1), ("INITECH", 1.0)] {
         // INITECH is outside the schema domain: the broker must reject it.
-        let ev = Event::builder().attr("symbol", symbol).attr("price", price).build();
+        let ev = Event::builder()
+            .attr("symbol", symbol)
+            .attr("price", price)
+            .build();
         let _ = stock_broker.publish(ev);
     }
 
     let weather_broker = Broker::builder().schema(weather_schema()).build();
     let (wsub, weather_inbox) = weather_broker.register();
     for pair in &weather_pairs {
-        let _ = weather_broker.subscribe(wsub, Filter::new().and(pair.attr.clone(), Op::Eq, pair.value.clone()));
+        let _ = weather_broker.subscribe(
+            wsub,
+            Filter::new().and(pair.attr.clone(), Op::Eq, pair.value.clone()),
+        );
     }
     weather_broker
-        .publish(Event::builder().attr("city", "TROMSO").attr("temp_c", -12.0).build())
+        .publish(
+            Event::builder()
+                .attr("city", "TROMSO")
+                .attr("temp_c", -12.0)
+                .build(),
+        )
         .expect("valid event");
 
     let stock_delivered = stock_inbox.drain().len();
@@ -110,10 +130,18 @@ fn main() {
     print_table(
         "E5: one attention stream, three publish-subscribe interfaces (§2.1)",
         &[
-            Row::new("stock pairs extracted (ACME/GLOBEX only)", "domain-valid only", stock_pairs.len()),
+            Row::new(
+                "stock pairs extracted (ACME/GLOBEX only)",
+                "domain-valid only",
+                stock_pairs.len(),
+            ),
             Row::new("distinct stock subscriptions placed", "", stock_filters),
             Row::new("feed-URL pairs extracted", "2 of 4 urls", feed_pairs.len()),
-            Row::new("weather pairs extracted (TROMSO/OSLO)", "domain-valid only", weather_pairs.len()),
+            Row::new(
+                "weather pairs extracted (TROMSO/OSLO)",
+                "domain-valid only",
+                weather_pairs.len(),
+            ),
             Row::new("stock events delivered", "", stock_delivered),
             Row::new("weather events delivered", "", weather_delivered),
         ],

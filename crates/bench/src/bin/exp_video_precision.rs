@@ -16,7 +16,9 @@
 use reef_bench::{e2_setup, pct, print_table, seed_from_env, write_json, Row};
 use reef_simweb::{RequestKind, TopicId};
 use reef_textindex::OfferWeightMode;
-use reef_videonews::{ArchiveConfig, ExperimentConfig, VideoArchive, VideoExperiment, PAPER_N_SWEEP};
+use reef_videonews::{
+    ArchiveConfig, ExperimentConfig, VideoArchive, VideoExperiment, PAPER_N_SWEEP,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -47,7 +49,11 @@ fn main() {
     let mut seen_urls = std::collections::HashSet::new();
     let mut page_views = 0usize;
     let mut history_texts: Vec<&str> = Vec::new();
-    for r in history.requests.iter().filter(|r| r.kind == RequestKind::Page) {
+    for r in history
+        .requests
+        .iter()
+        .filter(|r| r.kind == RequestKind::Page)
+    {
         page_views += 1;
         if !seen_urls.insert(r.url.as_str()) {
             continue;
@@ -88,8 +94,11 @@ fn main() {
     let draws: Vec<Vec<bool>> = (0..JUDGMENT_DRAWS)
         .map(|d| archive.noisy_judgments(&interests, P_ON, P_OFF, seed.wrapping_add(d * 7919)))
         .collect();
-    let relevant =
-        draws.iter().map(|j| j.iter().filter(|x| **x).count()).sum::<usize>() / draws.len();
+    let relevant = draws
+        .iter()
+        .map(|j| j.iter().filter(|x| **x).count())
+        .sum::<usize>()
+        / draws.len();
 
     let experiment = VideoExperiment::prepare(
         &archive,
@@ -153,7 +162,10 @@ fn main() {
             pct(point.comparison.improvement_pct),
         ));
     }
-    print_table("E2: precision improvement over airing order (paper §3.3)", &rows);
+    print_table(
+        "E2: precision improvement over airing order (paper §3.3)",
+        &rows,
+    );
 
     let peak = curve
         .iter()

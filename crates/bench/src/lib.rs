@@ -64,9 +64,19 @@ impl Row {
 /// Print a paper-vs-measured table to stdout.
 pub fn print_table(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
-    let w_metric = rows.iter().map(|r| r.metric.len()).max().unwrap_or(6).max(6);
+    let w_metric = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
     let w_paper = rows.iter().map(|r| r.paper.len()).max().unwrap_or(5).max(5);
-    let w_meas = rows.iter().map(|r| r.measured.len()).max().unwrap_or(8).max(8);
+    let w_meas = rows
+        .iter()
+        .map(|r| r.measured.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
     println!(
         "{:<w_metric$}  {:>w_paper$}  {:>w_meas$}",
         "metric", "paper", "measured"

@@ -9,7 +9,7 @@
 //! recommendation services; it accounts the bytes that cross the wire so
 //! experiment **E4** can compare it against the distributed design.
 
-use crate::crawler::{CrawlOutcome, Crawler, CrawlStats, PageClass};
+use crate::crawler::{CrawlOutcome, CrawlStats, Crawler, PageClass};
 use crate::recommend::content::ContentRecommender;
 use crate::recommend::topic::{SubscriptionFeedback, TopicRecommender, TopicRecommenderConfig};
 use crate::recommend::Recommendation;
@@ -132,7 +132,12 @@ impl CentralReefServer {
             };
             self.queued_urls.remove(&url);
             match self.crawler.crawl(universe, &url) {
-                CrawlOutcome::Fetched { class, feeds, text, bytes } => {
+                CrawlOutcome::Fetched {
+                    class,
+                    feeds,
+                    text,
+                    bytes,
+                } => {
                     self.traffic.crawl_bytes += bytes as u64;
                     if class == PageClass::Content {
                         for feed in &feeds {
@@ -167,7 +172,9 @@ impl CentralReefServer {
         feedback: &HashMap<String, SubscriptionFeedback>,
         day: u32,
     ) -> Vec<Recommendation> {
-        let recs = self.topic_rec.unsubscribe_recommendations(user, feedback, day);
+        let recs = self
+            .topic_rec
+            .unsubscribe_recommendations(user, feedback, day);
         for rec in &recs {
             self.traffic.recommendations_out_bytes += recommendation_wire_size(rec) as u64;
         }
@@ -320,7 +327,12 @@ mod tests {
         let mut feedback = HashMap::new();
         feedback.insert(
             "http://x/feed0.rss".to_owned(),
-            SubscriptionFeedback { delivered: 30, clicked: 0, deleted: 25, expired: 5 },
+            SubscriptionFeedback {
+                delivered: 30,
+                clicked: 0,
+                deleted: 25,
+                expired: 5,
+            },
         );
         let recs = server.unsubscribe_pass(UserId(0), &feedback, 5);
         assert_eq!(recs.len(), 1);

@@ -265,7 +265,12 @@ mod tests {
             .unwrap();
         let url = u.page(server.pages[0]).unwrap().url.clone();
         match crawler.crawl(&u, &url) {
-            CrawlOutcome::Fetched { class, feeds, text, bytes } => {
+            CrawlOutcome::Fetched {
+                class,
+                feeds,
+                text,
+                bytes,
+            } => {
                 assert_eq!(class, PageClass::Content);
                 assert_eq!(feeds.len(), server.feeds.len());
                 assert!(text.is_some());
@@ -338,7 +343,10 @@ mod tests {
     fn missing_urls_are_counted() {
         let u = universe();
         let mut crawler = Crawler::new();
-        assert_eq!(crawler.crawl(&u, "http://ghost.example/x"), CrawlOutcome::NotFound);
+        assert_eq!(
+            crawler.crawl(&u, "http://ghost.example/x"),
+            CrawlOutcome::NotFound
+        );
         assert_eq!(crawler.stats().not_found, 1);
     }
 

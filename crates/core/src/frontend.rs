@@ -16,7 +16,9 @@ use crate::recommend::topic::SubscriptionFeedback;
 use crate::recommend::{RecAction, Recommendation};
 use rand::Rng;
 use reef_attention::{BrowserRecorder, Click, Reaction, ReactionModel};
-use reef_pubsub::{Broker, BrokerError, Filter, PublishedEvent, SubscriberHandle, SubscriberId, SubscriptionId};
+use reef_pubsub::{
+    Broker, BrokerError, Filter, PublishedEvent, SubscriberHandle, SubscriberId, SubscriptionId,
+};
 use reef_simweb::UserId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -161,7 +163,11 @@ impl SubscriptionFrontend {
     /// # Errors
     ///
     /// Propagates broker errors.
-    pub fn subscribe(&mut self, broker: &Broker, filter: Filter) -> Result<SubscriptionId, BrokerError> {
+    pub fn subscribe(
+        &mut self,
+        broker: &Broker,
+        filter: Filter,
+    ) -> Result<SubscriptionId, BrokerError> {
         let id = broker.subscribe(self.subscriber, filter.clone())?;
         self.active.push((id, filter));
         Ok(id)
@@ -173,7 +179,11 @@ impl SubscriptionFrontend {
     /// # Errors
     ///
     /// Propagates broker errors.
-    pub fn unsubscribe_filter(&mut self, broker: &Broker, filter: &Filter) -> Result<bool, BrokerError> {
+    pub fn unsubscribe_filter(
+        &mut self,
+        broker: &Broker,
+        filter: &Filter,
+    ) -> Result<bool, BrokerError> {
         if let Some(pos) = self.active.iter().position(|(_, f)| f == filter) {
             let (id, _) = self.active.remove(pos);
             broker.unsubscribe(id)?;
@@ -289,7 +299,10 @@ impl SubscriptionFrontend {
     }
 
     fn enforce_capacity(&mut self) {
-        let over = self.sidebar.len().saturating_sub(self.config.sidebar_capacity);
+        let over = self
+            .sidebar
+            .len()
+            .saturating_sub(self.config.sidebar_capacity);
         if over == 0 {
             return;
         }
@@ -304,7 +317,10 @@ impl SubscriptionFrontend {
             }
         });
         // Still over capacity (all fresh): drop oldest fresh.
-        let over = self.sidebar.len().saturating_sub(self.config.sidebar_capacity);
+        let over = self
+            .sidebar
+            .len()
+            .saturating_sub(self.config.sidebar_capacity);
         if over > 0 {
             self.sidebar.drain(..over);
         }
@@ -396,7 +412,9 @@ mod tests {
     #[test]
     fn unsubscribe_unknown_filter_is_noop() {
         let (broker, mut frontend) = setup();
-        assert!(!frontend.unsubscribe_filter(&broker, &Filter::topic("nope")).unwrap());
+        assert!(!frontend
+            .unsubscribe_filter(&broker, &Filter::topic("nope"))
+            .unwrap());
     }
 
     #[test]
@@ -447,11 +465,16 @@ mod tests {
         let mut frontend = SubscriptionFrontend::with_config(
             &broker,
             UserId(0),
-            FrontendConfig { sidebar_ttl_days: 3, sidebar_capacity: 2 },
+            FrontendConfig {
+                sidebar_ttl_days: 3,
+                sidebar_capacity: 2,
+            },
         );
         frontend.subscribe(&broker, Filter::topic("f")).unwrap();
         for i in 0..4 {
-            broker.publish(feed_event("f", &format!("http://x/{i}"))).unwrap();
+            broker
+                .publish(feed_event("f", &format!("http://x/{i}")))
+                .unwrap();
         }
         frontend.pump(0);
         assert_eq!(frontend.sidebar().len(), 2, "capacity enforced");

@@ -118,7 +118,12 @@ impl ReefPeer {
             // Browser-cache read: same analysis as the server crawler, but
             // the bytes are local.
             match self.crawler.crawl(universe, &url) {
-                CrawlOutcome::Fetched { class, feeds, text, bytes } => {
+                CrawlOutcome::Fetched {
+                    class,
+                    feeds,
+                    text,
+                    bytes,
+                } => {
                     self.cache_bytes += bytes as u64;
                     if class == PageClass::Content {
                         for feed in &feeds {
@@ -144,7 +149,8 @@ impl ReefPeer {
         feedback: &HashMap<String, SubscriptionFeedback>,
         day: u32,
     ) -> Vec<Recommendation> {
-        self.topic_rec.unsubscribe_recommendations(self.user, feedback, day)
+        self.topic_rec
+            .unsubscribe_recommendations(self.user, feedback, day)
     }
 
     /// Accept feed suggestions from peer-group exchange; they enter the
@@ -242,7 +248,11 @@ mod tests {
         let u = universe();
         let mut peer = ReefPeer::new(UserId(0));
         let url = {
-            let s = u.servers().iter().find(|s| s.kind == ServerKind::Content).unwrap();
+            let s = u
+                .servers()
+                .iter()
+                .find(|s| s.kind == ServerKind::Content)
+                .unwrap();
             u.page(s.pages[0]).unwrap().url.clone()
         };
         peer.observe_click(click(0, 0, &url));
@@ -278,7 +288,12 @@ mod tests {
         let mut feedback = HashMap::new();
         feedback.insert(
             "f".to_owned(),
-            SubscriptionFeedback { delivered: 30, clicked: 0, deleted: 20, expired: 10 },
+            SubscriptionFeedback {
+                delivered: 30,
+                clicked: 0,
+                deleted: 20,
+                expired: 10,
+            },
         );
         assert_eq!(peer.unsubscribe_pass(&feedback, 3).len(), 1);
     }

@@ -20,11 +20,11 @@ use crate::recommend::{RecAction, Recommendation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reef_attention::{AttentionRecorder, BrowserRecorder, Click, ReactionModel};
-use reef_feeds::{write_feed, Feed, FeedEventsProxy, FeedFetcher, FeedFormat, FeedItem, PollReport};
-use reef_pubsub::{Broker, Filter, Op, PublishedEvent, TOPIC_ATTR};
-use reef_simweb::{
-    BrowsingHistory, SimFeedFormat, TopicId, UserId, UserProfile, WebUniverse,
+use reef_feeds::{
+    write_feed, Feed, FeedEventsProxy, FeedFetcher, FeedFormat, FeedItem, PollReport,
 };
+use reef_pubsub::{Broker, Filter, Op, PublishedEvent, TOPIC_ATTR};
+use reef_simweb::{BrowsingHistory, SimFeedFormat, TopicId, UserId, UserProfile, WebUniverse};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -169,7 +169,10 @@ pub struct TrafficReport {
 impl TrafficReport {
     /// Total bytes.
     pub fn total(&self) -> u64 {
-        self.attention_upload_bytes + self.crawl_bytes + self.recommendation_bytes + self.gossip_bytes
+        self.attention_upload_bytes
+            + self.crawl_bytes
+            + self.recommendation_bytes
+            + self.gossip_bytes
     }
 }
 
@@ -196,7 +199,11 @@ struct UserAgent {
 }
 
 /// `true` when the event's feed covers one of the user's interest topics.
-fn event_relevant(universe: &WebUniverse, interests: &[(TopicId, f64)], event: &PublishedEvent) -> bool {
+fn event_relevant(
+    universe: &WebUniverse,
+    interests: &[(TopicId, f64)],
+    event: &PublishedEvent,
+) -> bool {
     let Some(topic_url) = event.event.topic() else {
         return false;
     };
@@ -289,7 +296,10 @@ impl CentralizedReef {
         history: &BrowsingHistory,
         day: u32,
     ) -> DayReport {
-        let mut report = DayReport { day, ..DayReport::default() };
+        let mut report = DayReport {
+            day,
+            ..DayReport::default()
+        };
 
         // Step 1 (Fig. 1): browsing is recorded and uploaded in batches.
         for request in history.requests.iter().filter(|r| r.day == day) {
@@ -445,7 +455,11 @@ impl DistributedReef {
                     // it is drained every day; the batch size just needs to
                     // exceed a day's clicks.
                     recorder: BrowserRecorder::new(profile.user, 1 << 20),
-                    frontend: SubscriptionFrontend::with_config(&broker, profile.user, config.frontend),
+                    frontend: SubscriptionFrontend::with_config(
+                        &broker,
+                        profile.user,
+                        config.frontend,
+                    ),
                     rng: StdRng::seed_from_u64(seed ^ (0xD15C0 + i as u64)),
                     profile: profile.clone(),
                 },
@@ -507,13 +521,20 @@ impl DistributedReef {
         history: &BrowsingHistory,
         day: u32,
     ) -> DayReport {
-        let mut report = DayReport { day, ..DayReport::default() };
+        let mut report = DayReport {
+            day,
+            ..DayReport::default()
+        };
 
         // Attention stays on the host.
         for request in history.requests.iter().filter(|r| r.day == day) {
             report.clicks += 1;
             let click = Click::from_request(request);
-            if let Some(pa) = self.peers.iter_mut().find(|p| p.agent.profile.user == request.user) {
+            if let Some(pa) = self
+                .peers
+                .iter_mut()
+                .find(|p| p.agent.profile.user == request.user)
+            {
                 pa.peer.observe_click(click);
             }
         }
@@ -533,7 +554,7 @@ impl DistributedReef {
         // exchange of recommendations").
         if self.config.exchange_every_days > 0
             && day > 0
-            && day % self.config.exchange_every_days == 0
+            && day.is_multiple_of(self.config.exchange_every_days)
         {
             self.exchange(&mut report);
         }
@@ -748,12 +769,17 @@ mod tests {
         let doc = fetcher.fetch_feed(&spec.url, 10).expect("feed exists");
         let (_, parsed) = reef_feeds::parse_feed(&doc).expect("well-formed");
         assert_eq!(parsed.title, spec.title);
-        assert!(fetcher.fetch_feed("http://nope.example/feed.rss", 0).is_none());
+        assert!(fetcher
+            .fetch_feed("http://nope.example/feed.rss", 0)
+            .is_none());
     }
 
     #[test]
     fn topic_url_extraction() {
-        assert_eq!(topic_url_of(&Filter::topic("http://f/x.rss")), Some("http://f/x.rss"));
+        assert_eq!(
+            topic_url_of(&Filter::topic("http://f/x.rss")),
+            Some("http://f/x.rss")
+        );
         assert_eq!(topic_url_of(&Filter::new()), None);
         assert_eq!(
             topic_url_of(&Filter::new().and("body", Op::Contains, "x")),

@@ -71,10 +71,7 @@ impl PeerGroups {
 /// *first member* (the group's seed) is at least `threshold`-similar;
 /// otherwise the user seeds a new group. Deterministic in the order of
 /// `profiles`.
-pub fn group_peers(
-    profiles: &[(UserId, HashMap<String, f64>)],
-    threshold: f64,
-) -> PeerGroups {
+pub fn group_peers(profiles: &[(UserId, HashMap<String, f64>)], threshold: f64) -> PeerGroups {
     let mut groups: Vec<(usize, Vec<UserId>)> = Vec::new();
     for (i, (user, vector)) in profiles.iter().enumerate() {
         let mut joined = false;
@@ -190,9 +187,15 @@ mod tests {
         ];
         let groups = group_peers(&profiles, 0.5);
         let mut subs: HashMap<UserId, BTreeSet<String>> = HashMap::new();
-        subs.insert(UserId(0), ["f-a", "f-b"].iter().map(|s| (*s).to_owned()).collect());
+        subs.insert(
+            UserId(0),
+            ["f-a", "f-b"].iter().map(|s| (*s).to_owned()).collect(),
+        );
         subs.insert(UserId(1), ["f-b"].iter().map(|s| (*s).to_owned()).collect());
-        subs.insert(UserId(2), ["f-opera"].iter().map(|s| (*s).to_owned()).collect());
+        subs.insert(
+            UserId(2),
+            ["f-opera"].iter().map(|s| (*s).to_owned()).collect(),
+        );
         let suggestions = exchange_feeds(&groups, &subs);
         assert_eq!(suggestions[&UserId(1)], vec!["f-a".to_owned()]);
         assert!(suggestions[&UserId(0)].is_empty());

@@ -89,7 +89,12 @@ impl ContentRecommender {
     /// In addition to the explicit background corpus, every *other* user's
     /// history serves as background (the centralized server's collaborative
     /// advantage).
-    pub fn interest_terms(&self, user: UserId, n: usize, mode: OfferWeightMode) -> Vec<SelectedTerm> {
+    pub fn interest_terms(
+        &self,
+        user: UserId,
+        n: usize,
+        mode: OfferWeightMode,
+    ) -> Vec<SelectedTerm> {
         let Some(history) = self.history.get(&user) else {
             return Vec::new();
         };
@@ -103,7 +108,7 @@ impl ContentRecommender {
                 let tokens: Vec<&str> = corpus
                     .doc_terms(reef_textindex::DocId(doc as u32))
                     .flat_map(|(t, tf)| {
-                        std::iter::repeat(corpus.term(t).unwrap_or_default()).take(tf as usize)
+                        std::iter::repeat_n(corpus.term(t).unwrap_or_default(), tf as usize)
                     })
                     .collect();
                 combined.add_tokens(tokens);
@@ -174,7 +179,9 @@ mod tests {
         let t0 = r.interest_terms(UserId(0), 3, OfferWeightMode::TfIntegrated);
         let t1 = r.interest_terms(UserId(1), 3, OfferWeightMode::TfIntegrated);
         assert!(t0.iter().any(|t| t.term.starts_with("broker")), "{t0:?}");
-        assert!(t1.iter().any(|t| t.term.starts_with("cook") || t.term.starts_with("garlic")));
+        assert!(t1
+            .iter()
+            .any(|t| t.term.starts_with("cook") || t.term.starts_with("garlic")));
         let terms0: Vec<&str> = t0.iter().map(|t| t.term.as_str()).collect();
         let terms1: Vec<&str> = t1.iter().map(|t| t.term.as_str()).collect();
         assert!(terms0.iter().all(|t| !terms1.contains(t)));
@@ -191,13 +198,19 @@ mod tests {
         let collaborative = r.interest_terms(UserId(0), 10, OfferWeightMode::TfIntegrated);
         let local = r.interest_terms_local(UserId(0), 10, OfferWeightMode::TfIntegrated);
         let weight = |list: &[SelectedTerm], term: &str| {
-            list.iter().find(|t| t.term == term).map_or(0.0, |t| t.weight)
+            list.iter()
+                .find(|t| t.term == term)
+                .map_or(0.0, |t| t.weight)
         };
         // With other users as background, the shared term loses weight
         // relative to the user-specific one.
-        let collab_ratio = weight(&collaborative, "celebr") / weight(&collaborative, "broker").max(1e-9);
+        let collab_ratio =
+            weight(&collaborative, "celebr") / weight(&collaborative, "broker").max(1e-9);
         let local_ratio = weight(&local, "celebr") / weight(&local, "broker").max(1e-9);
-        assert!(collab_ratio < local_ratio, "collab {collab_ratio} vs local {local_ratio}");
+        assert!(
+            collab_ratio < local_ratio,
+            "collab {collab_ratio} vs local {local_ratio}"
+        );
     }
 
     #[test]
@@ -213,8 +226,12 @@ mod tests {
     #[test]
     fn unknown_user_yields_empty() {
         let r = recommender();
-        assert!(r.interest_terms(UserId(9), 5, OfferWeightMode::Classic).is_empty());
-        assert!(r.keyword_filters(UserId(9), 5, "body", OfferWeightMode::Classic).is_empty());
+        assert!(r
+            .interest_terms(UserId(9), 5, OfferWeightMode::Classic)
+            .is_empty());
+        assert!(r
+            .keyword_filters(UserId(9), 5, "body", OfferWeightMode::Classic)
+            .is_empty());
     }
 
     #[test]

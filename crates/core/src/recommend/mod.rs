@@ -41,10 +41,18 @@ impl fmt::Display for Recommendation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.action {
             RecAction::Subscribe(filter) => {
-                write!(f, "[{} d{}] subscribe {} — {}", self.user, self.day, filter, self.reason)
+                write!(
+                    f,
+                    "[{} d{}] subscribe {} — {}",
+                    self.user, self.day, filter, self.reason
+                )
             }
             RecAction::Unsubscribe(filter) => {
-                write!(f, "[{} d{}] unsubscribe {} — {}", self.user, self.day, filter, self.reason)
+                write!(
+                    f,
+                    "[{} d{}] unsubscribe {} — {}",
+                    self.user, self.day, filter, self.reason
+                )
             }
         }
     }

@@ -105,7 +105,9 @@ impl TopicRecommender {
 
     /// `true` when the feed was already recommended to the user.
     pub fn was_recommended(&self, user: UserId, feed: &str) -> bool {
-        self.recommended.get(&user).is_some_and(|s| s.contains(feed))
+        self.recommended
+            .get(&user)
+            .is_some_and(|s| s.contains(feed))
     }
 
     /// Drain up to the daily rate limit of queued feeds into subscribe
@@ -210,15 +212,30 @@ mod tests {
         let mut feedback = HashMap::new();
         feedback.insert(
             "boring".to_owned(),
-            SubscriptionFeedback { delivered: 20, clicked: 0, deleted: 12, expired: 8 },
+            SubscriptionFeedback {
+                delivered: 20,
+                clicked: 0,
+                deleted: 12,
+                expired: 8,
+            },
         );
         feedback.insert(
             "loved".to_owned(),
-            SubscriptionFeedback { delivered: 20, clicked: 15, deleted: 0, expired: 5 },
+            SubscriptionFeedback {
+                delivered: 20,
+                clicked: 15,
+                deleted: 0,
+                expired: 5,
+            },
         );
         feedback.insert(
             "young".to_owned(),
-            SubscriptionFeedback { delivered: 2, clicked: 0, deleted: 2, expired: 0 },
+            SubscriptionFeedback {
+                delivered: 2,
+                clicked: 0,
+                deleted: 2,
+                expired: 0,
+            },
         );
         let recs = rec.unsubscribe_recommendations(user, &feedback, 9);
         assert_eq!(recs.len(), 1);
@@ -228,7 +245,9 @@ mod tests {
             other => panic!("expected unsubscribe, got {other:?}"),
         }
         // Never repeated.
-        assert!(rec.unsubscribe_recommendations(user, &feedback, 10).is_empty());
+        assert!(rec
+            .unsubscribe_recommendations(user, &feedback, 10)
+            .is_empty());
     }
 
     #[test]

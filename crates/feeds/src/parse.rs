@@ -145,7 +145,10 @@ fn parse_rss2(root: &XmlNode) -> Result<Feed, FeedError> {
         title: channel.child_text("title").unwrap_or_default(),
         link: channel.child_text("link").unwrap_or_default(),
         description: channel.child_text("description").unwrap_or_default(),
-        items: channel.children_named("item").map(parse_item_common).collect(),
+        items: channel
+            .children_named("item")
+            .map(parse_item_common)
+            .collect(),
     })
 }
 
@@ -188,7 +191,7 @@ fn parse_rdf(root: &XmlNode) -> Feed {
             // RDF identifies items by rdf:about, which outranks the
             // link-based fallback of the common parser.
             if let Some(about) = node.attr("about") {
-                if node.child_text("guid").map_or(true, |g| g.is_empty()) {
+                if node.child_text("guid").is_none_or(|g| g.is_empty()) {
                     item.guid = about.to_owned();
                 }
             }
@@ -196,8 +199,12 @@ fn parse_rdf(root: &XmlNode) -> Feed {
         })
         .collect();
     Feed {
-        title: channel.and_then(|c| c.child_text("title")).unwrap_or_default(),
-        link: channel.and_then(|c| c.child_text("link")).unwrap_or_default(),
+        title: channel
+            .and_then(|c| c.child_text("title"))
+            .unwrap_or_default(),
+        link: channel
+            .and_then(|c| c.child_text("link"))
+            .unwrap_or_default(),
         description: channel
             .and_then(|c| c.child_text("description"))
             .unwrap_or_default(),
@@ -291,7 +298,10 @@ mod tests {
 
     #[test]
     fn malformed_xml_is_reported() {
-        assert!(matches!(parse_feed("<rss><channel>"), Err(FeedError::Xml(_))));
+        assert!(matches!(
+            parse_feed("<rss><channel>"),
+            Err(FeedError::Xml(_))
+        ));
     }
 
     #[test]

@@ -66,7 +66,11 @@ fn write_atom(feed: &Feed) -> String {
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<feed xmlns=\"http://www.w3.org/2005/Atom\">\n");
     push_tag(&mut out, "  ", "title", &feed.title);
     push_tag(&mut out, "  ", "subtitle", &feed.description);
-    let _ = writeln!(out, "  <link href=\"{}\" rel=\"alternate\"/>", encode_entities(&feed.link));
+    let _ = writeln!(
+        out,
+        "  <link href=\"{}\" rel=\"alternate\"/>",
+        encode_entities(&feed.link)
+    );
     for item in &feed.items {
         out.push_str("  <entry>\n");
         push_tag(&mut out, "    ", "title", &item.title);
@@ -85,7 +89,11 @@ fn write_rdf(feed: &Feed) -> String {
     out.push_str(
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\" xmlns=\"http://purl.org/rss/1.0/\">\n",
     );
-    let _ = writeln!(out, "<channel rdf:about=\"{}\">", encode_entities(&feed.link));
+    let _ = writeln!(
+        out,
+        "<channel rdf:about=\"{}\">",
+        encode_entities(&feed.link)
+    );
     push_tag(&mut out, "  ", "title", &feed.title);
     push_tag(&mut out, "  ", "link", &feed.link);
     push_tag(&mut out, "  ", "description", &feed.description);

@@ -43,7 +43,10 @@ impl fmt::Display for XmlError {
         match self {
             XmlError::UnexpectedEof => write!(f, "unexpected end of xml input"),
             XmlError::MismatchedTag { expected, found } => {
-                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::Malformed { at, what } => write!(f, "malformed xml at byte {at}: {what}"),
             XmlError::NoRoot => write!(f, "document has no root element"),
@@ -176,8 +179,7 @@ impl<'a> XmlPullParser<'a> {
                 self.pos += "<![CDATA[".len();
                 let start = self.pos;
                 self.skip_until("]]>")?;
-                let text =
-                    String::from_utf8_lossy(&self.input[start..self.pos - 3]).into_owned();
+                let text = String::from_utf8_lossy(&self.input[start..self.pos - 3]).into_owned();
                 if text.is_empty() {
                     continue;
                 }
@@ -295,10 +297,14 @@ pub fn decode_entities(s: &str) -> String {
             "gt" => Some('>'),
             "quot" => Some('"'),
             "apos" => Some('\''),
-            _ if entity.starts_with("#x") || entity.starts_with("#X") => u32::from_str_radix(&entity[2..], 16)
-                .ok()
-                .and_then(char::from_u32),
-            _ if entity.starts_with('#') => entity[1..].parse::<u32>().ok().and_then(char::from_u32),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+            }
+            _ if entity.starts_with('#') => {
+                entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+            }
             _ => None,
         };
         match decoded {
@@ -354,7 +360,9 @@ impl XmlNode {
 
     /// All children with the given local name.
     pub fn children_named<'n>(&'n self, name: &'n str) -> impl Iterator<Item = &'n XmlNode> {
-        self.children.iter().filter(move |c| local_name(&c.name) == name)
+        self.children
+            .iter()
+            .filter(move |c| local_name(&c.name) == name)
     }
 
     /// Text of the first child with the given local name, trimmed.
@@ -511,14 +519,23 @@ mod tests {
 
     #[test]
     fn truncated_input_errors() {
-        assert!(matches!(parse_document("<a><b>"), Err(XmlError::UnexpectedEof)));
-        assert!(matches!(parse_document("<a x="), Err(XmlError::UnexpectedEof)));
+        assert!(matches!(
+            parse_document("<a><b>"),
+            Err(XmlError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            parse_document("<a x="),
+            Err(XmlError::UnexpectedEof)
+        ));
     }
 
     #[test]
     fn empty_document_has_no_root() {
         assert!(matches!(parse_document("   "), Err(XmlError::NoRoot)));
-        assert!(matches!(parse_document("<!-- only comment -->"), Err(XmlError::NoRoot)));
+        assert!(matches!(
+            parse_document("<!-- only comment -->"),
+            Err(XmlError::NoRoot)
+        ));
     }
 
     #[test]

@@ -266,7 +266,11 @@ impl Broker {
         self.stats.record_publish();
         self.stats.record_delivery(delivered as u64);
         self.stats.record_drop(dropped as u64);
-        Ok(PublishOutcome { id, delivered, dropped })
+        Ok(PublishOutcome {
+            id,
+            delivered,
+            dropped,
+        })
     }
 
     /// Number of live subscriptions.
@@ -338,7 +342,9 @@ impl BrokerBuilder {
     pub fn build(self) -> Broker {
         Broker {
             inner: RwLock::new(BrokerInner {
-                matcher: self.matcher.unwrap_or_else(|| Box::new(IndexMatcher::new())),
+                matcher: self
+                    .matcher
+                    .unwrap_or_else(|| Box::new(IndexMatcher::new())),
                 subscribers: HashMap::new(),
                 owners: HashMap::new(),
             }),
@@ -370,6 +376,17 @@ impl SubscriberHandle {
     /// Non-blocking receive of the next delivered event.
     pub fn try_recv(&self) -> Option<PublishedEvent> {
         self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive with a deadline: waits up to `timeout` for the next
+    /// delivered event.
+    ///
+    /// This is the drain hook used by networked delivery pumps (e.g.
+    /// `reef-wire`'s per-connection writer threads), which need to park
+    /// until traffic arrives instead of spinning on [`Self::try_recv`].
+    /// Returns `None` on timeout or if the broker side of the queue is gone.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<PublishedEvent> {
+        self.receiver.recv_timeout(timeout).ok()
     }
 
     /// Drain everything currently queued.
@@ -451,7 +468,9 @@ mod tests {
         let broker = Broker::new();
         let (a, ha) = broker.register();
         broker.subscribe(a, Filter::topic("x")).unwrap();
-        broker.subscribe(a, Filter::new().and("body", Op::Contains, "m")).unwrap();
+        broker
+            .subscribe(a, Filter::new().and("body", Op::Contains, "m"))
+            .unwrap();
         let out = broker.publish(Event::topical("x", "m")).unwrap();
         assert_eq!(out.delivered, 2);
         assert_eq!(ha.drain().len(), 2);

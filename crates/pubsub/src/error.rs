@@ -53,14 +53,24 @@ impl fmt::Display for SchemaError {
             SchemaError::UnknownAttr { schema, attr } => {
                 write!(f, "attribute `{attr}` is not declared in schema `{schema}`")
             }
-            SchemaError::TypeMismatch { attr, expected, got } => {
+            SchemaError::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute `{attr}` expects {expected}, got {got}")
             }
             SchemaError::OutOfDomain { attr, value } => {
-                write!(f, "value `{value}` is outside the domain of attribute `{attr}`")
+                write!(
+                    f,
+                    "value `{value}` is outside the domain of attribute `{attr}`"
+                )
             }
             SchemaError::MissingRequired { schema, attr } => {
-                write!(f, "required attribute `{attr}` of schema `{schema}` is missing")
+                write!(
+                    f,
+                    "required attribute `{attr}` of schema `{schema}` is missing"
+                )
             }
             SchemaError::InvalidValue { attr, reason } => {
                 write!(f, "invalid value for attribute `{attr}`: {reason}")
@@ -95,7 +105,10 @@ impl fmt::Display for BrokerError {
             BrokerError::UnknownSubscriber(id) => write!(f, "unknown subscriber {id}"),
             BrokerError::UnknownSubscription(id) => write!(f, "unknown subscription {id}"),
             BrokerError::Schema(e) => write!(f, "schema validation failed: {e}"),
-            BrokerError::QueueFull { subscriber, capacity } => write!(
+            BrokerError::QueueFull {
+                subscriber,
+                capacity,
+            } => write!(
                 f,
                 "delivery queue of subscriber {subscriber} is full (capacity {capacity})"
             ),

@@ -226,7 +226,11 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted_by_name() {
-        let ev = Event::builder().attr("z", 1).attr("a", 2).attr("m", 3).build();
+        let ev = Event::builder()
+            .attr("z", 1)
+            .attr("a", 2)
+            .attr("m", 3)
+            .build();
         let names: Vec<&str> = ev.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "m", "z"]);
     }

@@ -162,10 +162,8 @@ impl Predicate {
         }
         match (self.op, other.op) {
             // x = c implies anything c itself satisfies.
-            (Op::Eq, _) => {
-                Predicate::new(other.attr.clone(), other.op, other.operand.clone())
-                    .eval(&self.operand)
-            }
+            (Op::Eq, _) => Predicate::new(other.attr.clone(), other.op, other.operand.clone())
+                .eval(&self.operand),
             // Range-to-range implications on the same attribute.
             (Op::Lt, Op::Lt) | (Op::Le, Op::Le) | (Op::Le, Op::Lt) => {
                 // x < a ⇒ x < b  iff a <= b; x <= a ⇒ x < b iff a < b.
@@ -201,12 +199,10 @@ impl Predicate {
             },
             (Op::Contains, Op::Contains)
             | (Op::Prefix, Op::Contains)
-            | (Op::Suffix, Op::Contains) => {
-                match (self.operand.as_str(), other.operand.as_str()) {
-                    (Some(a), Some(b)) => a.contains(b),
-                    _ => false,
-                }
-            }
+            | (Op::Suffix, Op::Contains) => match (self.operand.as_str(), other.operand.as_str()) {
+                (Some(a), Some(b)) => a.contains(b),
+                _ => false,
+            },
             _ => false,
         }
     }
@@ -471,8 +467,13 @@ mod tests {
         assert!(
             !Predicate::new("s", Op::Prefix, "ab").implies(&Predicate::new("s", Op::Prefix, "abc"))
         );
-        assert!(Predicate::new("s", Op::Contains, "xyz")
-            .implies(&Predicate::new("s", Op::Contains, "y")));
+        assert!(
+            Predicate::new("s", Op::Contains, "xyz").implies(&Predicate::new(
+                "s",
+                Op::Contains,
+                "y"
+            ))
+        );
     }
 
     #[test]
@@ -484,7 +485,9 @@ mod tests {
     #[test]
     fn filter_covering_basic() {
         let wide = Filter::new().and("price", Op::Gt, 5);
-        let narrow = Filter::new().and("price", Op::Gt, 10).and("sym", Op::Eq, "A");
+        let narrow = Filter::new()
+            .and("price", Op::Gt, 10)
+            .and("sym", Op::Eq, "A");
         assert!(wide.covers(&narrow));
         assert!(!narrow.covers(&wide));
         // Match-all covers everything.

@@ -164,17 +164,26 @@ impl IndexMatcher {
                     self.scan_index
                         .entry(pred.attr.clone())
                         .or_default()
-                        .push(PredEntry { id, pred: pred.clone() });
+                        .push(PredEntry {
+                            id,
+                            pred: pred.clone(),
+                        });
                 }
             }
             Op::Exists => {
-                self.exists_index.entry(pred.attr.clone()).or_default().push(id);
+                self.exists_index
+                    .entry(pred.attr.clone())
+                    .or_default()
+                    .push(id);
             }
             _ => {
                 self.scan_index
                     .entry(pred.attr.clone())
                     .or_default()
-                    .push(PredEntry { id, pred: pred.clone() });
+                    .push(PredEntry {
+                        id,
+                        pred: pred.clone(),
+                    });
             }
         }
     }
@@ -347,7 +356,10 @@ mod tests {
                 SubscriptionId(7),
                 Filter::new().and("x", Op::Gt, 3).and("x", Op::Lt, 7),
             );
-            assert_eq!(m.matches(&ev(&[("x", Value::from(5))])), vec![SubscriptionId(7)]);
+            assert_eq!(
+                m.matches(&ev(&[("x", Value::from(5))])),
+                vec![SubscriptionId(7)]
+            );
             assert!(m.matches(&ev(&[("x", Value::from(3))])).is_empty());
             assert!(m.matches(&ev(&[("x", Value::from(9))])).is_empty());
         }
@@ -384,7 +396,9 @@ mod tests {
     #[test]
     fn remove_unregisters_all_predicates() {
         for mut m in engines() {
-            let f = Filter::new().and("a", Op::Eq, 1).and("b", Op::Contains, "x");
+            let f = Filter::new()
+                .and("a", Op::Eq, 1)
+                .and("b", Op::Contains, "x");
             m.insert(SubscriptionId(1), f.clone());
             assert_eq!(m.remove(SubscriptionId(1)), Some(f));
             assert!(m.remove(SubscriptionId(1)).is_none());
@@ -437,7 +451,9 @@ mod tests {
         let attrs = ["a", "b", "c", "d"];
         let mut x: u64 = 42;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 33
         };
         for i in 0..200u64 {

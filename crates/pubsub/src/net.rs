@@ -191,7 +191,13 @@ impl<M> SimNet<M> {
     ///
     /// * [`NetError::UnknownNode`] if either endpoint does not exist.
     /// * [`NetError::NoLink`] if the endpoints are not connected.
-    pub fn send(&mut self, src: NodeId, dst: NodeId, payload: M, size: usize) -> Result<u64, NetError> {
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: M,
+        size: usize,
+    ) -> Result<u64, NetError> {
         if !self.has_node(src) {
             return Err(NetError::UnknownNode(src));
         }

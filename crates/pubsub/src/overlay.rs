@@ -62,6 +62,7 @@ enum SubOrigin {
 
 /// Messages exchanged between brokers.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::enum_variant_names)]
 enum OverlayMessage {
     /// Advertise a subscription to a neighbor.
     SubFwd { sub: GlobalSubId, filter: Filter },
@@ -300,7 +301,11 @@ impl Overlay {
     ///
     /// Returns [`OverlayError::UnknownClient`] if the client is not
     /// attached.
-    pub fn subscribe(&mut self, client: ClientId, filter: Filter) -> Result<GlobalSubId, OverlayError> {
+    pub fn subscribe(
+        &mut self,
+        client: ClientId,
+        filter: Filter,
+    ) -> Result<GlobalSubId, OverlayError> {
         let broker_id = self
             .clients
             .get(&client)
@@ -308,7 +313,10 @@ impl Overlay {
             .broker;
         let sub = GlobalSubId(self.next_sub);
         self.next_sub += 1;
-        let broker = self.brokers.get_mut(&broker_id).expect("client broker exists");
+        let broker = self
+            .brokers
+            .get_mut(&broker_id)
+            .expect("client broker exists");
         broker.insert_sub(sub, SubOrigin::Local(client), filter);
         self.clients
             .get_mut(&client)
@@ -331,8 +339,15 @@ impl Overlay {
             .find(|(_, c)| c.subs.contains(&sub))
             .map(|(id, c)| (*id, c.broker));
         let (client, broker_id) = owner.ok_or(OverlayError::UnknownClient(ClientId(u64::MAX)))?;
-        self.clients.get_mut(&client).expect("checked").subs.remove(&sub);
-        let broker = self.brokers.get_mut(&broker_id).expect("client broker exists");
+        self.clients
+            .get_mut(&client)
+            .expect("checked")
+            .subs
+            .remove(&sub);
+        let broker = self
+            .brokers
+            .get_mut(&broker_id)
+            .expect("client broker exists");
         broker.remove_sub(sub);
         self.sync_advertisements(broker_id);
         Ok(())
@@ -371,12 +386,10 @@ impl Overlay {
         for m in matched {
             match broker.origin.get(&GlobalSubId(m.0)) {
                 Some(SubOrigin::Local(c)) => local.push(*c),
-                Some(SubOrigin::Neighbor(n)) => {
-                    if Some(*n) != from && !forward.contains(n) {
-                        forward.push(*n);
-                    }
+                Some(SubOrigin::Neighbor(n)) if Some(*n) != from && !forward.contains(n) => {
+                    forward.push(*n);
                 }
-                None => {}
+                Some(SubOrigin::Neighbor(_)) | None => {}
             }
         }
         forward.sort_unstable_by_key(|n| n.0);
@@ -386,7 +399,9 @@ impl Overlay {
             }
         }
         for n in forward {
-            let msg = OverlayMessage::EventFwd { event: event.clone() };
+            let msg = OverlayMessage::EventFwd {
+                event: event.clone(),
+            };
             let size = msg.wire_size();
             self.net.send(at, n, msg, size).expect("linked neighbor");
         }
@@ -427,7 +442,9 @@ impl Overlay {
         }
         for (n, msg) in to_send {
             let size = msg.wire_size();
-            self.net.send(broker_id, n, msg, size).expect("linked neighbor");
+            self.net
+                .send(broker_id, n, msg, size)
+                .expect("linked neighbor");
         }
     }
 
@@ -463,7 +480,10 @@ impl Overlay {
     ///
     /// Returns [`OverlayError::UnknownClient`] if the client is not
     /// attached.
-    pub fn take_delivered(&mut self, client: ClientId) -> Result<Vec<PublishedEvent>, OverlayError> {
+    pub fn take_delivered(
+        &mut self,
+        client: ClientId,
+    ) -> Result<Vec<PublishedEvent>, OverlayError> {
         let state = self
             .clients
             .get_mut(&client)
@@ -605,10 +625,13 @@ mod tests {
         let wide = ov.attach_client(b0).unwrap();
         let narrow = ov.attach_client(b0).unwrap();
         let publisher = ov.attach_client(b1).unwrap();
-        ov.subscribe(wide, Filter::new().and("x", Op::Gt, 0)).unwrap();
-        ov.subscribe(narrow, Filter::new().and("x", Op::Gt, 5)).unwrap();
+        ov.subscribe(wide, Filter::new().and("x", Op::Gt, 0))
+            .unwrap();
+        ov.subscribe(narrow, Filter::new().and("x", Op::Gt, 5))
+            .unwrap();
         ov.run_until_idle();
-        ov.publish(publisher, Event::builder().attr("x", 10).build()).unwrap();
+        ov.publish(publisher, Event::builder().attr("x", 10).build())
+            .unwrap();
         ov.run_until_idle();
         assert_eq!(ov.take_delivered(wide).unwrap().len(), 1);
         assert_eq!(ov.take_delivered(narrow).unwrap().len(), 1);
@@ -630,7 +653,8 @@ mod tests {
         ov.run_until_idle();
         // The narrow filter must now be advertised and still routable.
         assert_eq!(ov.advertisement_count(), 1);
-        ov.publish(c1, Event::builder().attr("x", 10).build()).unwrap();
+        ov.publish(c1, Event::builder().attr("x", 10).build())
+            .unwrap();
         ov.run_until_idle();
         assert_eq!(ov.take_delivered(c0).unwrap().len(), 1);
     }

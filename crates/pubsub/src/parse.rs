@@ -39,7 +39,11 @@ pub struct ParseFilterError {
 
 impl fmt::Display for ParseFilterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "filter parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "filter parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -57,7 +61,10 @@ impl<'a> Lexer<'a> {
 
     fn skip_ws(&mut self) {
         while self.input[self.pos..].starts_with(|c: char| c.is_whitespace()) {
-            self.pos += self.input[self.pos..].chars().next().map_or(1, char::len_utf8);
+            self.pos += self.input[self.pos..]
+                .chars()
+                .next()
+                .map_or(1, char::len_utf8);
         }
     }
 
@@ -274,7 +281,10 @@ mod tests {
     use crate::event::Event;
 
     fn ev(pairs: &[(&str, Value)]) -> Event {
-        pairs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -376,10 +386,7 @@ mod tests {
         // Display of a parsed filter re-parses to an equivalent filter for
         // numeric/bareword operands.
         let f = parse_filter("a = 1 && b > 2.5 && c =~ mid").unwrap();
-        let reparsed = parse_filter(
-            &f.to_string().replace(" ∧ ", " && "),
-        )
-        .unwrap();
+        let reparsed = parse_filter(&f.to_string().replace(" ∧ ", " && ")).unwrap();
         assert_eq!(f, reparsed);
     }
 

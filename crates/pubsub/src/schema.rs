@@ -294,7 +294,9 @@ mod tests {
 
     #[test]
     fn validate_pair_accepts_domain_member() {
-        assert!(schema().validate_pair("symbol", &Value::from("ACME")).is_ok());
+        assert!(schema()
+            .validate_pair("symbol", &Value::from("ACME"))
+            .is_ok());
     }
 
     #[test]
@@ -307,7 +309,9 @@ mod tests {
 
     #[test]
     fn validate_pair_rejects_unknown_attr_when_closed() {
-        let err = schema().validate_pair("color", &Value::from("red")).unwrap_err();
+        let err = schema()
+            .validate_pair("color", &Value::from("red"))
+            .unwrap_err();
         assert!(matches!(err, SchemaError::UnknownAttr { .. }));
     }
 
@@ -319,7 +323,9 @@ mod tests {
 
     #[test]
     fn validate_pair_type_mismatch() {
-        let err = schema().validate_pair("price", &Value::from("ten")).unwrap_err();
+        let err = schema()
+            .validate_pair("price", &Value::from("ten"))
+            .unwrap_err();
         assert!(matches!(err, SchemaError::TypeMismatch { .. }));
         // Int accepted where float declared.
         assert!(schema().validate_pair("price", &Value::from(10)).is_ok());
@@ -330,7 +336,10 @@ mod tests {
         let ev = Event::builder().attr("symbol", "ACME").build();
         let err = schema().validate_event(&ev).unwrap_err();
         assert!(matches!(err, SchemaError::MissingRequired { .. }));
-        let ok = Event::builder().attr("symbol", "ACME").attr("price", 1.0).build();
+        let ok = Event::builder()
+            .attr("symbol", "ACME")
+            .attr("price", 1.0)
+            .build();
         assert!(schema().validate_event(&ok).is_ok());
     }
 
@@ -348,7 +357,9 @@ mod tests {
 
     #[test]
     fn validate_filter_checks_types_and_domain() {
-        let ok = Filter::new().and("symbol", Op::Eq, "ACME").and("price", Op::Gt, 5.0);
+        let ok = Filter::new()
+            .and("symbol", Op::Eq, "ACME")
+            .and("price", Op::Gt, 5.0);
         assert!(schema().validate_filter(&ok).is_ok());
 
         let bad_domain = Filter::new().and("symbol", Op::Eq, "NOPE");

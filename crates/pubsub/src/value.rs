@@ -302,10 +302,7 @@ mod tests {
             ValueKey::of(&Value::from(3)),
             ValueKey::of(&Value::from(3.0))
         );
-        assert_ne!(
-            ValueKey::of(&Value::from(3)),
-            ValueKey::of(&Value::from(4))
-        );
+        assert_ne!(ValueKey::of(&Value::from(3)), ValueKey::of(&Value::from(4)));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the matching engines and the covering relation.
 
 use proptest::prelude::*;
-use reef_pubsub::{Event, Filter, IndexMatcher, MatchEngine, NaiveMatcher, Op, SubscriptionId, Value};
+use reef_pubsub::{
+    Event, Filter, IndexMatcher, MatchEngine, NaiveMatcher, Op, SubscriptionId, Value,
+};
 
 /// Small attribute universe so filters and events actually collide.
 const ATTRS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];

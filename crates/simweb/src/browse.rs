@@ -90,7 +90,8 @@ impl BrowsingHistory {
 
     /// Only the deliberate page views of one user.
     pub fn page_views_of(&self, user: UserId) -> impl Iterator<Item = &Request> {
-        self.requests_of(user).filter(|r| r.kind == RequestKind::Page)
+        self.requests_of(user)
+            .filter(|r| r.kind == RequestKind::Page)
     }
 }
 
@@ -156,11 +157,17 @@ pub fn generate_history(
             .filter(|s| !s.topics.iter().any(|(t, _)| interest_set.contains(t)))
             .map(|s| s.id)
             .collect();
-        while favourites.len() < config.favourites_per_user && !(candidates.is_empty() && others.is_empty())
+        while favourites.len() < config.favourites_per_user
+            && !(candidates.is_empty() && others.is_empty())
         {
             // 80% of favourites are on-interest when available.
-            let from_interest = !candidates.is_empty() && (others.is_empty() || rng.gen::<f64>() < 0.8);
-            let pool = if from_interest { &mut candidates } else { &mut others };
+            let from_interest =
+                !candidates.is_empty() && (others.is_empty() || rng.gen::<f64>() < 0.8);
+            let pool = if from_interest {
+                &mut candidates
+            } else {
+                &mut others
+            };
             let pick = rng.gen_range(0..pool.len());
             favourites.push(pool.swap_remove(pick));
         }
@@ -177,29 +184,57 @@ pub fn generate_history(
     for day in 0..config.days {
         for profile in &profiles {
             // Day-to-day volume varies ±50% around the mean.
-            let views = (config.mean_page_views_per_day * (0.5 + rng.gen::<f64>())).round() as usize;
+            let views =
+                (config.mean_page_views_per_day * (0.5 + rng.gen::<f64>())).round() as usize;
             for _ in 0..views {
                 let roll: f64 = rng.gen();
                 if roll < config.multimedia_rate && !media.is_empty() {
                     let sid = media[rng.gen_range(0..media.len())];
-                    push_page_view(universe, &mut rng, &mut requests, &mut tick, profile.user, day, sid, RequestKind::Media);
+                    push_page_view(
+                        universe,
+                        &mut rng,
+                        &mut requests,
+                        &mut tick,
+                        profile.user,
+                        day,
+                        sid,
+                        RequestKind::Media,
+                    );
                     continue;
                 }
                 if roll < config.multimedia_rate + config.spam_rate && !spam.is_empty() {
                     let sid = spam[rng.gen_range(0..spam.len())];
-                    push_page_view(universe, &mut rng, &mut requests, &mut tick, profile.user, day, sid, RequestKind::Page);
+                    push_page_view(
+                        universe,
+                        &mut rng,
+                        &mut requests,
+                        &mut tick,
+                        profile.user,
+                        day,
+                        sid,
+                        RequestKind::Page,
+                    );
                     continue;
                 }
                 // Choose a content server: favourite / popular / random.
-                let sid = if rng.gen::<f64>() < config.favourite_rate && !profile.favourites.is_empty() {
-                    profile.favourites[favourite_zipf.sample(&mut rng).min(profile.favourites.len() - 1)]
-                } else if rng.gen::<f64>() < config.popular_rate {
-                    content[popular_zipf.sample(&mut rng)].id
-                } else {
-                    content[rng.gen_range(0..content.len())].id
-                };
+                let sid =
+                    if rng.gen::<f64>() < config.favourite_rate && !profile.favourites.is_empty() {
+                        profile.favourites[favourite_zipf
+                            .sample(&mut rng)
+                            .min(profile.favourites.len() - 1)]
+                    } else if rng.gen::<f64>() < config.popular_rate {
+                        content[popular_zipf.sample(&mut rng)].id
+                    } else {
+                        content[rng.gen_range(0..content.len())].id
+                    };
                 let view_url = push_page_view(
-                    universe, &mut rng, &mut requests, &mut tick, profile.user, day, sid,
+                    universe,
+                    &mut rng,
+                    &mut requests,
+                    &mut tick,
+                    profile.user,
+                    day,
+                    sid,
                     RequestKind::Page,
                 );
                 // Ad calls triggered by this page view.
@@ -369,7 +404,11 @@ mod tests {
             ..BrowseConfig::default()
         };
         let h = generate_history(&universe, &config, 1);
-        let ads = h.requests.iter().filter(|r| r.kind == RequestKind::Ad).count();
+        let ads = h
+            .requests
+            .iter()
+            .filter(|r| r.kind == RequestKind::Ad)
+            .count();
         let share = ads as f64 / h.requests.len() as f64;
         assert!((0.6..0.8).contains(&share), "ad share {share}");
     }

@@ -73,10 +73,12 @@ impl WebConfig {
     /// N=30), and longer queries only add background noise terms (the
     /// dilution beyond the peak).
     pub fn paper_e2() -> Self {
-        let mut topic_model = TopicModelConfig::default();
-        topic_model.terms_per_topic = 8;
-        topic_model.core_terms_per_topic = 8;
-        topic_model.core_share = 1.0;
+        let topic_model = TopicModelConfig {
+            terms_per_topic: 8,
+            core_terms_per_topic: 8,
+            core_share: 1.0,
+            ..TopicModelConfig::default()
+        };
         WebConfig {
             topic_model,
             content_servers: 600,
@@ -177,9 +179,14 @@ mod tests {
         let b = BrowseConfig::paper_e1();
         // 5 users * 70 days * 66 views * (1 + 2.33 ads) ≈ 77k requests.
         let w = WebConfig::paper_e1();
-        let requests =
-            b.users as f64 * b.days as f64 * b.mean_page_views_per_day * (1.0 + w.mean_ad_calls_per_page);
-        assert!((70_000.0..90_000.0).contains(&requests), "requests ≈ {requests}");
+        let requests = b.users as f64
+            * b.days as f64
+            * b.mean_page_views_per_day
+            * (1.0 + w.mean_ad_calls_per_page);
+        assert!(
+            (70_000.0..90_000.0).contains(&requests),
+            "requests ≈ {requests}"
+        );
     }
 
     #[test]

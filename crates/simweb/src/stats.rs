@@ -34,7 +34,11 @@ impl fmt::Display for BrowsingStats {
         writeln!(f, "total requests        : {}", self.total_requests)?;
         writeln!(f, "distinct servers      : {}", self.distinct_servers)?;
         writeln!(f, "ad servers            : {}", self.ad_servers)?;
-        writeln!(f, "ad request share      : {:.1}%", self.ad_request_share * 100.0)?;
+        writeln!(
+            f,
+            "ad request share      : {:.1}%",
+            self.ad_request_share * 100.0
+        )?;
         writeln!(f, "single-visit servers  : {}", self.single_visit_servers)?;
         writeln!(f, "crawl-worthy servers  : {}", self.crawlworthy_servers)?;
         write!(f, "discoverable feeds    : {}", self.discoverable_feeds)
@@ -108,7 +112,10 @@ mod tests {
         assert!(stats.crawlworthy_servers <= stats.distinct_servers);
         assert!((0.0..=1.0).contains(&stats.ad_request_share));
         // Crawl-worthy excludes ads and single-visit servers.
-        assert!(stats.crawlworthy_servers + stats.ad_servers <= stats.distinct_servers + stats.single_visit_servers);
+        assert!(
+            stats.crawlworthy_servers + stats.ad_servers
+                <= stats.distinct_servers + stats.single_visit_servers
+        );
     }
 
     #[test]

@@ -122,7 +122,10 @@ impl TopicModel {
         assert!(config.background_terms > 0, "background needs terms");
         let topics = (0..config.topics)
             .map(|t| {
-                let terms = vocabulary(namespace.wrapping_add(1000 + t as u64), config.terms_per_topic);
+                let terms = vocabulary(
+                    namespace.wrapping_add(1000 + t as u64),
+                    config.terms_per_topic,
+                );
                 let core = config.core_terms_per_topic.min(terms.len());
                 let weights: Vec<f64> = if core == 0 || config.core_share <= 0.0 {
                     let zipf = Zipf::new(terms.len(), config.topic_zipf);
@@ -288,11 +291,17 @@ mod tests {
     fn generation_is_deterministic() {
         let m1 = model();
         let m2 = model();
-        assert_eq!(m1.topic(TopicId(3)).unwrap().terms(), m2.topic(TopicId(3)).unwrap().terms());
+        assert_eq!(
+            m1.topic(TopicId(3)).unwrap().terms(),
+            m2.topic(TopicId(3)).unwrap().terms()
+        );
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
         let mix = [(TopicId(0), 1.0)];
-        assert_eq!(m1.sample_text(&mut r1, &mix, 50), m2.sample_text(&mut r2, &mix, 50));
+        assert_eq!(
+            m1.sample_text(&mut r1, &mix, 50),
+            m2.sample_text(&mut r2, &mix, 50)
+        );
     }
 
     #[test]
@@ -300,8 +309,13 @@ mod tests {
         let m = model();
         let mut rng = StdRng::seed_from_u64(6);
         let text = m.sample_text(&mut rng, &[(TopicId(2), 1.0)], 400);
-        let topic_terms: HashSet<&str> =
-            m.topic(TopicId(2)).unwrap().terms().iter().map(String::as_str).collect();
+        let topic_terms: HashSet<&str> = m
+            .topic(TopicId(2))
+            .unwrap()
+            .terms()
+            .iter()
+            .map(String::as_str)
+            .collect();
         let hits = text.split(' ').filter(|w| topic_terms.contains(w)).count();
         // With stopword_rate .35 and background_rate .45, roughly a third of
         // tokens should be topical.
@@ -317,7 +331,10 @@ mod tests {
             .topic_ids()
             .flat_map(|t| m.topic(t).unwrap().terms().iter().map(String::as_str))
             .collect();
-        let hits = text.split(' ').filter(|w| all_topic_terms.contains(w)).count();
+        let hits = text
+            .split(' ')
+            .filter(|w| all_topic_terms.contains(w))
+            .count();
         assert_eq!(hits, 0);
     }
 
@@ -327,8 +344,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mix = [(TopicId(0), 0.9), (TopicId(1), 0.1)];
         let text = m.sample_text(&mut rng, &mix, 2000);
-        let t0: HashSet<&str> = m.topic(TopicId(0)).unwrap().terms().iter().map(String::as_str).collect();
-        let t1: HashSet<&str> = m.topic(TopicId(1)).unwrap().terms().iter().map(String::as_str).collect();
+        let t0: HashSet<&str> = m
+            .topic(TopicId(0))
+            .unwrap()
+            .terms()
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let t1: HashSet<&str> = m
+            .topic(TopicId(1))
+            .unwrap()
+            .terms()
+            .iter()
+            .map(String::as_str)
+            .collect();
         let h0 = text.split(' ').filter(|w| t0.contains(w)).count();
         let h1 = text.split(' ').filter(|w| t1.contains(w)).count();
         assert!(h0 > h1 * 3, "h0={h0} h1={h1}");

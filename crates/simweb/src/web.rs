@@ -80,12 +80,26 @@ impl fmt::Display for ServerKind {
 /// Marker terms that saturate ad-server responses; the crawler's content
 /// classifier keys on their density.
 pub const AD_MARKERS: [&str; 8] = [
-    "adclick", "banner", "trackpixel", "sponsor", "promo", "impression", "clickthru", "doubleserve",
+    "adclick",
+    "banner",
+    "trackpixel",
+    "sponsor",
+    "promo",
+    "impression",
+    "clickthru",
+    "doubleserve",
 ];
 
 /// Marker terms that saturate spam pages.
 pub const SPAM_MARKERS: [&str; 8] = [
-    "freemoney", "winbig", "casinox", "pharmadeal", "replica", "lottowin", "hotsingles", "cheapmeds",
+    "freemoney",
+    "winbig",
+    "casinox",
+    "pharmadeal",
+    "replica",
+    "lottowin",
+    "hotsingles",
+    "cheapmeds",
 ];
 
 /// A server in the universe.
@@ -206,7 +220,11 @@ impl WebUniverse {
 
         let add_server = |servers: &mut Vec<Server>, kind: ServerKind, rng: &mut StdRng| {
             let id = ServerId(servers.len() as u32);
-            let host = format!("{}{}.example", synth_word(seed ^ 0x05f5, servers.len()), id.0);
+            let host = format!(
+                "{}{}.example",
+                synth_word(seed ^ 0x05f5, servers.len()),
+                id.0
+            );
             let topics = if kind == ServerKind::Content {
                 let primary = TopicId(rng.gen_range(0..model.topic_count() as u32));
                 if rng.gen::<f64>() < 0.3 {
@@ -232,8 +250,7 @@ impl WebUniverse {
         // Content servers with pages and feeds.
         for _ in 0..config.content_servers {
             let sid = add_server(&mut servers, ServerKind::Content, &mut rng);
-            let n_pages =
-                rng.gen_range(config.min_pages_per_server..=config.max_pages_per_server);
+            let n_pages = rng.gen_range(config.min_pages_per_server..=config.max_pages_per_server);
             // Feeds first so pages can link to them.
             let n_feeds = if rng.gen::<f64>() < config.feed_probability {
                 1 + sample_burst(&mut rng, config.extra_feed_probability, 3)
@@ -521,13 +538,12 @@ fn sample_ad_calls<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
     // Shift one call of mass into a tail: ~12% of pages gain 1-3 extras,
     // balanced by 12% losing one.
     if rng.gen::<f64>() < 0.12 {
-        n += rng.gen_range(1..=3);
+        n += rng.gen_range(1..=3usize);
     } else if n > 0 && rng.gen::<f64>() < 0.12 {
         n -= 1;
     }
     n
 }
-
 
 /// Zipf sampler over the ad-server population, shared by the browser
 /// simulator. Exposed here so browse and tests agree on the distribution.

@@ -88,7 +88,11 @@ mod tests {
     #[test]
     fn words_are_lowercase_alphanumeric() {
         for w in vocabulary(3, 200) {
-            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{w}");
+            assert!(
+                w.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{w}"
+            );
             assert!(!w.is_empty());
         }
     }

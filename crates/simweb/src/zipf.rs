@@ -64,7 +64,9 @@ impl Zipf {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x: f64 = rng.gen::<f64>() * total;
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability mass of rank `k`.
@@ -93,7 +95,10 @@ impl Weighted {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut total = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
             total += w;
             cumulative.push(total);
         }
@@ -105,7 +110,9 @@ impl Weighted {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x: f64 = rng.gen::<f64>() * total;
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Number of entries.

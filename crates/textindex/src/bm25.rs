@@ -137,7 +137,11 @@ pub fn rank(corpus: &Corpus, params: Bm25Params, query: &Query) -> Vec<(DocId, f
         }
     }
     let mut out: Vec<(DocId, f64)> = scores.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     out
 }
 
@@ -150,8 +154,8 @@ pub fn rank_all(corpus: &Corpus, params: Bm25Params, query: &Query) -> Vec<(DocI
     for (doc, _) in &ranked {
         seen[doc.0 as usize] = true;
     }
-    for i in 0..corpus.doc_count() {
-        if !seen[i] {
+    for (i, seen) in seen.iter().enumerate() {
+        if !seen {
             ranked.push((DocId(i as u32), 0.0));
         }
     }
@@ -198,7 +202,10 @@ mod tests {
     fn length_normalization_penalizes_long_docs() {
         let mut c = Corpus::new();
         let tok = Tokenizer::plain();
-        c.add_text(&tok, "topic filler filler filler filler filler filler filler");
+        c.add_text(
+            &tok,
+            "topic filler filler filler filler filler filler filler",
+        );
         c.add_text(&tok, "topic filler");
         let q = Query::from_strs(&c, vec!["topic"]);
         let p = Bm25Params { k1: 1.2, b: 0.75 };
@@ -240,7 +247,10 @@ mod tests {
     #[test]
     fn empty_query_scores_zero() {
         let c = corpus();
-        assert_eq!(score_doc(&c, Bm25Params::default(), &Query::default(), DocId(0)), 0.0);
+        assert_eq!(
+            score_doc(&c, Bm25Params::default(), &Query::default(), DocId(0)),
+            0.0
+        );
         assert!(rank(&c, Bm25Params::default(), &Query::default()).is_empty());
     }
 

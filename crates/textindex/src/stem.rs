@@ -118,7 +118,12 @@ fn ends_with(w: &[u8], suffix: &str) -> bool {
 /// Replace `suffix` with `replacement` if the stem before the suffix has
 /// measure > `min_measure`. Returns whether the suffix was present (whether
 /// or not the replacement fired).
-fn replace_if_measure(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_measure: usize) -> bool {
+fn replace_if_measure(
+    w: &mut Vec<u8>,
+    suffix: &str,
+    replacement: &str,
+    min_measure: usize,
+) -> bool {
     if !ends_with(w, suffix) {
         return false;
     }
@@ -131,9 +136,7 @@ fn replace_if_measure(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_meas
 }
 
 fn step1a(w: &mut Vec<u8>) {
-    if ends_with(w, "sses") {
-        w.truncate(w.len() - 2);
-    } else if ends_with(w, "ies") {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
         w.truncate(w.len() - 2);
     } else if ends_with(w, "ss") {
         // keep
@@ -173,7 +176,7 @@ fn step1b(w: &mut Vec<u8>) {
     }
 }
 
-fn step1c(w: &mut Vec<u8>) {
+fn step1c(w: &mut [u8]) {
     if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
         let n = w.len();
         w[n - 1] = b'i';
@@ -375,7 +378,13 @@ mod tests {
 
     #[test]
     fn stemming_is_idempotent_on_common_words() {
-        for w in ["subscription", "recommendation", "attention", "publisher", "browsing"] {
+        for w in [
+            "subscription",
+            "recommendation",
+            "attention",
+            "publisher",
+            "browsing",
+        ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);
             // Porter is not idempotent in general, but should be stable on

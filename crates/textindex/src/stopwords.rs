@@ -12,15 +12,15 @@ use std::sync::OnceLock;
 pub const STOPWORDS: [&str; 121] = [
     "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
     "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
-    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
-    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
-    "hers", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just",
-    "me", "more", "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only",
-    "or", "other", "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some",
-    "such", "than", "that", "the", "their", "theirs", "them", "then", "there", "these", "they",
-    "this", "those", "through", "to", "too", "under", "until", "up", "very", "was", "we",
-    "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with",
-    "would", "you", "your", "yours", "yourself",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each", "few",
+    "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
+    "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just", "me", "more",
+    "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other",
+    "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some", "such", "than",
+    "that", "the", "their", "theirs", "them", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when",
+    "where", "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your",
+    "yours", "yourself",
 ];
 
 fn set() -> &'static HashSet<&'static str> {

@@ -65,7 +65,11 @@ impl Tokenizer {
             if self.remove_stopwords && is_stopword(&lower) {
                 continue;
             }
-            let term = if self.stem { porter_stem(&lower) } else { lower };
+            let term = if self.stem {
+                porter_stem(&lower)
+            } else {
+                lower
+            };
             if term.is_empty() {
                 continue;
             }

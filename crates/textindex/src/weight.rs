@@ -199,7 +199,10 @@ mod tests {
         let classic = select_terms(&history, &background, 10, OfferWeightMode::Classic);
         let tf_mode = select_terms(&history, &background, 10, OfferWeightMode::TfIntegrated);
         let w = |list: &[SelectedTerm], t: &str| {
-            list.iter().find(|s| s.term == t).map(|s| s.weight).unwrap_or(0.0)
+            list.iter()
+                .find(|s| s.term == t)
+                .map(|s| s.weight)
+                .unwrap_or(0.0)
         };
         // Classic mode sees identical document counts, so equal weights;
         // TF mode must favour the repeated term.

@@ -139,7 +139,11 @@ impl VideoArchive {
                     title,
                     transcript,
                     topics,
-                    channel: if rng.gen::<bool>() { Channel::Abc } else { Channel::Cnn },
+                    channel: if rng.gen::<bool>() {
+                        Channel::Abc
+                    } else {
+                        Channel::Cnn
+                    },
                 }
             })
             .collect();
@@ -261,9 +265,9 @@ mod tests {
     fn graded_judgments_use_weights() {
         let (_, a) = archive();
         let graded = a.graded_judgments(&[(TopicId(0), 1.0), (TopicId(1), 0.5)]);
-        assert!(graded.iter().any(|g| *g == 1.0));
-        assert!(graded.iter().any(|g| *g == 0.5));
-        assert!(graded.iter().any(|g| *g == 0.0));
+        assert!(graded.contains(&1.0));
+        assert!(graded.contains(&0.5));
+        assert!(graded.contains(&0.0));
     }
 
     #[test]

@@ -163,9 +163,11 @@ impl VideoExperiment {
     pub fn ranked_ids(&self, n_terms: usize, mode: OfferWeightMode) -> Vec<u32> {
         let selected = self.query_terms(n_terms, mode);
         let query = if self.config.weighted_query {
-            Query::weighted(selected.iter().filter_map(|t| {
-                self.story_corpus.term_id(&t.term).map(|id| (id, t.weight))
-            }))
+            Query::weighted(
+                selected
+                    .iter()
+                    .filter_map(|t| self.story_corpus.term_id(&t.term).map(|id| (id, t.weight))),
+            )
         } else {
             Query::from_terms(
                 selected
@@ -187,8 +189,7 @@ impl VideoExperiment {
     /// Panics if `judgments.len()` differs from the archive size.
     pub fn evaluate_ranking(&self, ranked: &[u32], judgments: &[bool]) -> RankingComparison {
         assert_eq!(judgments.len(), self.story_corpus.doc_count());
-        let ranked_judgments: Vec<bool> =
-            ranked.iter().map(|id| judgments[*id as usize]).collect();
+        let ranked_judgments: Vec<bool> = ranked.iter().map(|id| judgments[*id as usize]).collect();
         compare_at_k(&ranked_judgments, judgments, self.config.front_k)
     }
 

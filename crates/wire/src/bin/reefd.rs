@@ -1,0 +1,55 @@
+//! `reefd` — the reef broker daemon.
+//!
+//! Serves a content-based publish-subscribe broker over TCP using the
+//! reef-wire protocol, and ingests uploaded attention data into an
+//! in-memory click store.
+//!
+//! ```text
+//! reefd [ADDR]            # default 127.0.0.1:7474
+//!
+//! Environment:
+//!   REEF_LISTEN           listen address (overridden by ADDR argument)
+//!   REEF_STATS_INTERVAL   seconds between stats lines (default 10, 0 = off)
+//! ```
+
+use reef_wire::BrokerServer;
+use std::time::Duration;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7474";
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("REEF_LISTEN").ok())
+        .unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    if addr == "--help" || addr == "-h" {
+        println!("usage: reefd [ADDR]   (default {DEFAULT_ADDR})");
+        return;
+    }
+    let stats_interval: u64 = std::env::var("REEF_STATS_INTERVAL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    let server = match BrokerServer::builder().name("reefd").bind(&addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("reefd: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("reefd listening on {}", server.local_addr());
+
+    // Serve until killed; periodically report transport and broker health.
+    loop {
+        std::thread::sleep(Duration::from_secs(stats_interval.max(1)));
+        if stats_interval > 0 {
+            println!(
+                "reefd: {} conns | wire {} | broker {}",
+                server.connection_count(),
+                server.stats(),
+                server.broker().stats(),
+            );
+        }
+    }
+}

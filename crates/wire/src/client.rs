@@ -1,0 +1,304 @@
+//! `Client`: a blocking socket client for a [`crate::BrokerServer`].
+//!
+//! The client spawns one reader thread that splits the server's stream into
+//! two queues: replies (matched one-to-one, in order, with requests) and
+//! asynchronous deliveries. Request methods are fully synchronous — send
+//! one frame, wait for its reply — and a mutex serializes concurrent
+//! callers, so a `Client` can be shared behind an `Arc`.
+
+use crate::error::WireError;
+use crate::frame::{Frame, PROTOCOL_VERSION};
+use crate::protocol::{Deliver, Request, Response, ServerMessage};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use reef_attention::{ClickBatch, UploadReceipt};
+use reef_pubsub::{BrokerStatsSnapshot, Event, EventId, Filter, PublishedEvent, SubscriptionId};
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::stats::WireStatsSnapshot;
+
+/// How long request methods wait for their reply before giving up.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Outcome of a [`Client::publish`], mirroring the broker's
+/// `PublishOutcome` across the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemotePublishOutcome {
+    /// Id the broker assigned to the event.
+    pub id: EventId,
+    /// Copies placed on subscriber queues.
+    pub delivered: u64,
+    /// Copies dropped to queue overflow.
+    pub dropped: u64,
+}
+
+/// Combined server statistics returned by [`Client::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Broker operation counters.
+    pub broker: BrokerStatsSnapshot,
+    /// Transport counters.
+    pub wire: WireStatsSnapshot,
+}
+
+/// A blocking reef-wire client connection.
+pub struct Client {
+    /// Held across send + receive so requests/replies stay paired.
+    request_lane: Mutex<TcpStream>,
+    replies: Receiver<Response>,
+    deliveries: Receiver<Deliver>,
+    reader: Option<JoinHandle<()>>,
+    /// Set after a reply timeout: the pairing between requests and replies
+    /// can no longer be trusted, so the connection is dead to us.
+    poisoned: std::sync::atomic::AtomicBool,
+    subscriber: u64,
+    server_name: String,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("subscriber", &self.subscriber)
+            .field("server", &self.server_name)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connect to a server and perform the `Hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, WireError> {
+        Self::connect_as(addr, "reef-wire-client")
+    }
+
+    /// Connect with an explicit client name (shows up in server
+    /// diagnostics).
+    pub fn connect_as(addr: impl ToSocketAddrs, name: &str) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        let (reply_tx, replies) = channel::unbounded();
+        let (deliver_tx, deliveries) = channel::unbounded();
+        let reader = std::thread::Builder::new()
+            .name("reef-wire-client-reader".into())
+            .spawn(move || reader_loop(read_half, reply_tx, deliver_tx))
+            .expect("spawn client reader thread");
+
+        let mut client = Client {
+            request_lane: Mutex::new(stream),
+            replies,
+            deliveries,
+            reader: Some(reader),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            subscriber: 0,
+            server_name: String::new(),
+        };
+        match client.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: name.to_owned(),
+        })? {
+            Response::Hello {
+                version,
+                server,
+                subscriber,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(WireError::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                client.subscriber = subscriber;
+                client.server_name = server;
+                Ok(client)
+            }
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!(
+                "unexpected Hello reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// The subscriber id the server assigned to this connection.
+    pub fn subscriber(&self) -> u64 {
+        self.subscriber
+    }
+
+    /// The server's announced name.
+    pub fn server_name(&self) -> &str {
+        &self.server_name
+    }
+
+    /// Send one request and wait for its reply.
+    fn request(&self, request: &Request) -> Result<Response, WireError> {
+        use std::sync::atomic::Ordering;
+        let mut lane = self.request_lane.lock();
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        Frame::encode(request)?.write_to(&mut *lane)?;
+        match self.replies.recv_timeout(REPLY_TIMEOUT) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                // On a timeout the reply may still arrive later; if we kept
+                // going, it would be handed to the *next* request and every
+                // reply after it would be off by one. Poison the connection
+                // instead: close the socket so the reader thread exits.
+                self.poisoned.store(true, Ordering::SeqCst);
+                let _ = lane.shutdown(Shutdown::Both);
+                match e {
+                    crossbeam::channel::RecvTimeoutError::Timeout => Err(WireError::Protocol(
+                        format!("no reply within {REPLY_TIMEOUT:?}; connection poisoned"),
+                    )),
+                    crossbeam::channel::RecvTimeoutError::Disconnected => Err(WireError::Closed),
+                }
+            }
+        }
+    }
+
+    /// Place a subscription; matching events start flowing to
+    /// [`Client::recv_delivery`] / [`Client::deliveries`].
+    pub fn subscribe(&self, filter: Filter) -> Result<SubscriptionId, WireError> {
+        match self.request(&Request::Subscribe { filter })? {
+            Response::Subscribed { subscription } => Ok(subscription),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Remove a subscription previously placed on this connection;
+    /// returns its filter.
+    pub fn unsubscribe(&self, subscription: SubscriptionId) -> Result<Filter, WireError> {
+        match self.request(&Request::Unsubscribe { subscription })? {
+            Response::Unsubscribed { filter } => Ok(filter),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Publish an event through the server's broker.
+    pub fn publish(&self, event: Event) -> Result<RemotePublishOutcome, WireError> {
+        match self.request(&Request::Publish { event })? {
+            Response::Published {
+                id,
+                delivered,
+                dropped,
+            } => Ok(RemotePublishOutcome {
+                id,
+                delivered,
+                dropped,
+            }),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Upload a batch of attention data to the server's click store.
+    pub fn upload_clicks(&self, batch: ClickBatch) -> Result<UploadReceipt, WireError> {
+        match self.request(&Request::UploadClicks { batch })? {
+            Response::ClicksAccepted { receipt } => Ok(receipt),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Fetch broker and transport statistics from the server.
+    pub fn stats(&self) -> Result<ServerStats, WireError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { broker, wire } => Ok(ServerStats { broker, wire }),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), WireError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Next delivery if one is already queued locally.
+    pub fn try_delivery(&self) -> Option<PublishedEvent> {
+        self.deliveries.try_recv().ok().map(|d| d.event)
+    }
+
+    /// Wait up to `timeout` for the next delivery.
+    pub fn recv_delivery(&self, timeout: Duration) -> Option<PublishedEvent> {
+        self.deliveries.recv_timeout(timeout).ok().map(|d| d.event)
+    }
+
+    /// Blocking iterator over deliveries; ends when the connection closes.
+    pub fn deliveries(&self) -> Deliveries<'_> {
+        Deliveries { client: self }
+    }
+
+    /// Orderly goodbye: tell the server, wait for its `Bye`, close the
+    /// socket and join the reader thread.
+    pub fn close(mut self) -> Result<(), WireError> {
+        let outcome = match self.request(&Request::Bye) {
+            Ok(Response::Bye) => Ok(()),
+            Ok(Response::Error { message }) => Err(WireError::Remote(message)),
+            Ok(other) => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+            Err(e) => Err(e),
+        };
+        self.teardown();
+        outcome
+    }
+
+    fn teardown(&mut self) {
+        let _ = self.request_lane.lock().shutdown(Shutdown::Both);
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// Iterator returned by [`Client::deliveries`].
+#[derive(Debug)]
+pub struct Deliveries<'a> {
+    client: &'a Client,
+}
+
+impl Iterator for Deliveries<'_> {
+    type Item = PublishedEvent;
+
+    fn next(&mut self) -> Option<PublishedEvent> {
+        self.client.deliveries.recv().ok().map(|d| d.event)
+    }
+}
+
+/// The client's reader thread: demultiplex replies from deliveries.
+fn reader_loop(stream: TcpStream, replies: Sender<Response>, deliveries: Sender<Deliver>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        match frame.decode::<ServerMessage>() {
+            Ok(ServerMessage::Reply(response)) => {
+                if replies.send(response).is_err() {
+                    return;
+                }
+            }
+            Ok(ServerMessage::Deliver(deliver)) => {
+                // A slow consumer only backs up its own local queue.
+                if deliveries.send(deliver).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

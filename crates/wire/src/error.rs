@@ -1,0 +1,65 @@
+//! Error type shared by the wire client and server.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent bytes that are not a valid frame or message.
+    Protocol(String),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version this endpoint speaks.
+        ours: u8,
+        /// Version found on the incoming frame.
+        theirs: u8,
+    },
+    /// A frame exceeded [`crate::frame::MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// The server answered a request with an error response.
+    Remote(String),
+    /// The connection is closed (clean EOF or already shut down).
+    Closed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "protocol version mismatch: we speak v{ours}, peer sent v{theirs}"
+                )
+            }
+            WireError::FrameTooLarge(len) => write!(f, "frame of {len} bytes exceeds limit"),
+            WireError::Remote(msg) => write!(f, "server error: {msg}"),
+            WireError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for WireError {
+    fn from(e: serde_json::Error) -> Self {
+        WireError::Protocol(e.to_string())
+    }
+}

@@ -1,0 +1,170 @@
+//! Length-prefixed, versioned framing.
+//!
+//! Every message on a reef-wire socket travels as one frame:
+//!
+//! ```text
+//! +----------------+---------+------------------------+
+//! | length: u32 BE | version | payload (JSON, UTF-8)  |
+//! +----------------+---------+------------------------+
+//! ```
+//!
+//! `length` counts the version byte plus the payload, so a receiver can
+//! skip unknown frames wholesale. The payload is the JSON encoding of one
+//! [`crate::protocol::Request`] or [`crate::protocol::ServerMessage`].
+//! JSON keeps the format debuggable with `nc`/`tcpdump` and reuses the
+//! serde impls the workspace's types already carry — the same trade the
+//! paper's deployment made with its browser-extension → LAMP upload path.
+
+use crate::error::WireError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Version of the wire protocol spoken by this build.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame's length field. Protects the server from a
+/// garbage length prefix allocating gigabytes.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// One decoded frame: the protocol version it was sent under and its
+/// payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version from the frame header.
+    pub version: u8,
+    /// JSON payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Frame a serializable message under the current protocol version.
+    pub fn encode<T: Serialize>(message: &T) -> Result<Frame, WireError> {
+        Ok(Frame {
+            version: PROTOCOL_VERSION,
+            payload: serde_json::to_vec(message)?,
+        })
+    }
+
+    /// Parse the payload as `T`, first checking the version byte.
+    pub fn decode<T: Deserialize>(&self) -> Result<T, WireError> {
+        if self.version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: self.version,
+            });
+        }
+        Ok(serde_json::from_slice(&self.payload)?)
+    }
+
+    /// Bytes this frame occupies on the wire (header included).
+    pub fn wire_len(&self) -> usize {
+        4 + 1 + self.payload.len()
+    }
+
+    /// Write the frame to `w`. Returns the number of bytes written.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<usize, WireError> {
+        let body_len = 1 + self.payload.len();
+        if body_len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(body_len));
+        }
+        w.write_all(&(body_len as u32).to_be_bytes())?;
+        w.write_all(&[self.version])?;
+        w.write_all(&self.payload)?;
+        w.flush()?;
+        Ok(4 + body_len)
+    }
+
+    /// Read one frame from `r`.
+    ///
+    /// Returns `Ok(None)` on clean end-of-stream (EOF before the first
+    /// header byte); a partial header or body is a protocol error.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+        let mut header = [0u8; 4];
+        // Distinguish "no more frames" from "died mid-frame".
+        let mut filled = 0;
+        while filled < header.len() {
+            match r.read(&mut header[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(WireError::Protocol("EOF inside frame header".into())),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        let body_len = u32::from_be_bytes(header) as usize;
+        if body_len == 0 {
+            return Err(WireError::Protocol("zero-length frame".into()));
+        }
+        if body_len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(body_len));
+        }
+        let mid_frame_eof = |e: std::io::Error| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                WireError::Protocol("EOF inside frame body".into())
+            }
+            _ => WireError::Io(e),
+        };
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version).map_err(mid_frame_eof)?;
+        let mut payload = vec![0u8; body_len - 1];
+        r.read_exact(&mut payload).map_err(mid_frame_eof)?;
+        Ok(Some(Frame {
+            version: version[0],
+            payload,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let frame = Frame::encode(&vec![1u32, 2, 3]).unwrap();
+        let mut buf = Vec::new();
+        let written = frame.write_to(&mut buf).unwrap();
+        assert_eq!(written, buf.len());
+        assert_eq!(written, frame.wire_len());
+        let back = Frame::read_from(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, frame);
+        let decoded: Vec<u32> = back.decode().unwrap();
+        assert_eq!(decoded, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        assert!(Frame::read_from(&mut &*empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_is_a_protocol_error() {
+        let bytes: &[u8] = &[0, 0];
+        assert!(matches!(
+            Frame::read_from(&mut &*bytes),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_at_decode() {
+        let mut frame = Frame::encode(&42u64).unwrap();
+        frame.version = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            frame.decode::<u64>(),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.push(PROTOCOL_VERSION);
+        assert!(matches!(
+            Frame::read_from(&mut buf.as_slice()),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+}

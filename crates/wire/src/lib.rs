@@ -1,0 +1,59 @@
+//! # reef-wire — the networked face of the Reef broker
+//!
+//! The paper's deployed Reef ran over the real Internet: a browser
+//! extension uploaded attention data to a server, and notifications flowed
+//! back (§3). This crate gives the reproduction that missing half — real
+//! processes exchanging real bytes over TCP — where the rest of the
+//! workspace simulates everything in-process:
+//!
+//! * [`frame`] — a versioned, length-prefixed JSON framing layer
+//!   ([`Frame`], [`PROTOCOL_VERSION`]);
+//! * [`protocol`] — the message vocabulary ([`Request`], [`Response`],
+//!   [`Deliver`]), reusing the serde impls already on
+//!   [`reef_pubsub::Event`], [`reef_pubsub::Filter`],
+//!   [`reef_pubsub::PublishedEvent`] and [`reef_attention::ClickBatch`];
+//! * [`server`] — [`BrokerServer`], a threaded TCP daemon around a shared
+//!   [`reef_pubsub::Broker`]: one reader thread per connection, a delivery
+//!   pump draining each connection's subscriber queue to its socket,
+//!   graceful shutdown, per-connection and aggregate [`WireStats`];
+//! * [`client`] — [`Client`], a blocking client with
+//!   subscribe / unsubscribe / publish / upload-clicks calls and an
+//!   iterator over deliveries;
+//! * the `reefd` binary — the standalone daemon (`cargo run --bin reefd`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reef_pubsub::{Event, Filter, Op};
+//! use reef_wire::{BrokerServer, Client};
+//! use std::time::Duration;
+//!
+//! // A daemon on an ephemeral port, and two real socket clients.
+//! let server = BrokerServer::bind("127.0.0.1:0").unwrap();
+//! let alice = Client::connect_as(server.local_addr(), "alice").unwrap();
+//! let bob = Client::connect_as(server.local_addr(), "bob").unwrap();
+//!
+//! alice.subscribe(Filter::new().and("price", Op::Gt, 10.0)).unwrap();
+//! bob.publish(Event::builder().attr("price", 12.5).build()).unwrap();
+//!
+//! let delivery = alice.recv_delivery(Duration::from_secs(5)).unwrap();
+//! assert_eq!(delivery.event.get("price").unwrap().as_f64(), Some(12.5));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, Deliveries, RemotePublishOutcome, ServerStats};
+pub use error::WireError;
+pub use frame::{Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use protocol::{Deliver, Request, Response, ServerMessage};
+pub use server::{BrokerServer, BrokerServerBuilder};
+pub use stats::{ConnectionStatsSnapshot, WireStats, WireStatsSnapshot};

@@ -1,0 +1,235 @@
+//! The request/response/delivery vocabulary of the wire protocol.
+//!
+//! Three enums cross the socket, all JSON-encoded inside
+//! [`crate::frame::Frame`]s:
+//!
+//! * [`Request`] — client → server;
+//! * [`Response`] — server → client, exactly one per request, in order;
+//! * [`Deliver`] — server → client, pushed asynchronously whenever a
+//!   published event matches one of the connection's subscriptions.
+//!
+//! Because responses and deliveries share one TCP stream, everything the
+//! server sends is wrapped in [`ServerMessage`], which tags the two apart.
+//! The payload types ([`Event`], [`Filter`], [`PublishedEvent`],
+//! [`ClickBatch`]) are the workspace's own — the wire reuses their serde
+//! impls rather than inventing parallel DTOs.
+
+use reef_attention::{ClickBatch, UploadReceipt};
+use reef_pubsub::{BrokerStatsSnapshot, Event, EventId, Filter, PublishedEvent, SubscriptionId};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::WireStatsSnapshot;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// First message on every connection: announce the client's protocol
+    /// version and a display name for diagnostics.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u8,
+        /// Free-form client name (shows up in server-side diagnostics).
+        client: String,
+    },
+    /// Place a subscription owned by this connection.
+    Subscribe {
+        /// The subscription's filter.
+        filter: Filter,
+    },
+    /// Remove a subscription owned by this connection.
+    Unsubscribe {
+        /// Id returned by a previous `Subscribed` response.
+        subscription: SubscriptionId,
+    },
+    /// Publish an event into the broker.
+    Publish {
+        /// The event payload.
+        event: Event,
+    },
+    /// Upload a batch of attention data (the §3.1 extension → server path).
+    UploadClicks {
+        /// The batch to ingest.
+        batch: ClickBatch,
+    },
+    /// Ask for broker + wire statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Orderly goodbye; the server replies `Bye` and closes.
+    Bye,
+}
+
+/// Server → client replies, one per [`Request`], in request order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to `Hello`.
+    Hello {
+        /// Protocol version the server speaks.
+        version: u8,
+        /// Server build name.
+        server: String,
+        /// Subscriber id assigned to this connection.
+        subscriber: u64,
+    },
+    /// Answer to `Subscribe`.
+    Subscribed {
+        /// Id of the new subscription.
+        subscription: SubscriptionId,
+    },
+    /// Answer to `Unsubscribe`.
+    Unsubscribed {
+        /// The removed subscription's filter.
+        filter: Filter,
+    },
+    /// Answer to `Publish`.
+    Published {
+        /// Id the broker assigned to the event.
+        id: EventId,
+        /// Copies placed on subscriber queues.
+        delivered: u64,
+        /// Copies dropped to queue overflow.
+        dropped: u64,
+    },
+    /// Answer to `UploadClicks`.
+    ClicksAccepted {
+        /// Ingestion receipt from the server's click store.
+        receipt: UploadReceipt,
+    },
+    /// Answer to `Stats`.
+    Stats {
+        /// Broker-side operation counters.
+        broker: BrokerStatsSnapshot,
+        /// Transport-side aggregate counters.
+        wire: WireStatsSnapshot,
+    },
+    /// Answer to `Ping`.
+    Pong,
+    /// Answer to `Bye`; the server closes the connection after sending it.
+    Bye,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// An asynchronous event delivery pushed by the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deliver {
+    /// The matched event, with broker id and timestamp.
+    pub event: PublishedEvent,
+}
+
+/// Everything the server writes to the socket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerMessage {
+    /// A reply to the connection's oldest unanswered request.
+    Reply(Response),
+    /// An asynchronous delivery.
+    Deliver(Deliver),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use reef_pubsub::Op;
+
+    fn round_trip_request(req: &Request) {
+        let frame = Frame::encode(req).unwrap();
+        let back: Request = frame.decode().unwrap();
+        assert_eq!(&back, req);
+    }
+
+    fn round_trip_server(msg: &ServerMessage) {
+        let frame = Frame::encode(msg).unwrap();
+        let back: ServerMessage = frame.decode().unwrap();
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        round_trip_request(&Request::Hello {
+            version: 1,
+            client: "t".into(),
+        });
+        round_trip_request(&Request::Subscribe {
+            filter: Filter::new().and("price", Op::Gt, 10.0),
+        });
+        round_trip_request(&Request::Unsubscribe {
+            subscription: SubscriptionId(7),
+        });
+        round_trip_request(&Request::Publish {
+            event: Event::builder()
+                .attr("price", 12.5)
+                .attr("sym", "ACME")
+                .build(),
+        });
+        round_trip_request(&Request::UploadClicks {
+            batch: ClickBatch {
+                user: reef_simweb_user(3),
+                clicks: vec![],
+            },
+        });
+        round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Ping);
+        round_trip_request(&Request::Bye);
+    }
+
+    fn reef_simweb_user(id: u32) -> reef_simweb::UserId {
+        reef_simweb::UserId(id)
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        for response in [
+            Response::Hello {
+                version: 1,
+                server: "reefd".into(),
+                subscriber: 4,
+            },
+            Response::Subscribed {
+                subscription: SubscriptionId(1),
+            },
+            Response::Unsubscribed {
+                filter: Filter::new(),
+            },
+            Response::Published {
+                id: EventId(9),
+                delivered: 3,
+                dropped: 1,
+            },
+            Response::ClicksAccepted {
+                receipt: UploadReceipt {
+                    user: reef_simweb_user(1),
+                    accepted: 5,
+                    rejected: 0,
+                    wire_bytes: 120,
+                    total_stored: 5,
+                },
+            },
+            Response::Stats {
+                broker: BrokerStatsSnapshot::default(),
+                wire: WireStatsSnapshot::default(),
+            },
+            Response::Pong,
+            Response::Bye,
+            Response::Error {
+                message: "no".into(),
+            },
+        ] {
+            round_trip_server(&ServerMessage::Reply(response));
+        }
+    }
+
+    #[test]
+    fn deliveries_round_trip() {
+        round_trip_server(&ServerMessage::Deliver(Deliver {
+            event: PublishedEvent {
+                id: EventId(4),
+                published_at: 77,
+                event: Event::topical("news", "hello"),
+            },
+        }));
+    }
+}

@@ -1,0 +1,573 @@
+//! `BrokerServer`: the threaded TCP face of a [`reef_pubsub::Broker`].
+//!
+//! One accept thread hands each connection to a dedicated **reader thread**
+//! (parses request frames, executes them against the shared broker, writes
+//! replies) and a dedicated **delivery pump** (parks on the connection's
+//! subscriber queue and streams matching events out as
+//! [`ServerMessage::Deliver`] frames). Replies and deliveries share the
+//! socket through a per-connection write lock, so each frame goes out
+//! whole.
+//!
+//! Shutdown is cooperative: [`BrokerServer::shutdown`] raises a flag, pokes
+//! the accept loop with a loopback connection, closes every live socket
+//! (which unblocks the reader threads) and joins everything.
+
+use crate::error::WireError;
+use crate::frame::{Frame, PROTOCOL_VERSION};
+use crate::protocol::{Deliver, Request, Response, ServerMessage};
+use crate::stats::{ConnectionStatsSnapshot, WireStats, WireStatsSnapshot};
+use parking_lot::Mutex;
+use reef_attention::ClickStore;
+use reef_pubsub::{Broker, SubscriberHandle, SubscriberId, SubscriptionId};
+use std::collections::HashSet;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the delivery pump parks on an idle subscriber queue before
+/// re-checking the shutdown and connection flags.
+const PUMP_PARK: Duration = Duration::from_millis(25);
+
+/// Configures and builds a [`BrokerServer`].
+#[derive(Debug, Default)]
+pub struct BrokerServerBuilder {
+    broker: Option<Arc<Broker>>,
+    name: Option<String>,
+}
+
+impl BrokerServerBuilder {
+    /// Serve an existing (possibly schema-validating, bounded-queue)
+    /// broker instead of a fresh default one.
+    pub fn broker(mut self, broker: Arc<Broker>) -> Self {
+        self.broker = Some(broker);
+        self
+    }
+
+    /// Server name reported in `Hello` responses.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Bind `addr` and start serving.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<BrokerServer, WireError> {
+        BrokerServer::start(
+            addr,
+            self.broker.unwrap_or_else(|| Arc::new(Broker::new())),
+            self.name
+                .unwrap_or_else(|| format!("reefd/{}", env!("CARGO_PKG_VERSION"))),
+        )
+    }
+}
+
+/// State shared with a single connection's two threads.
+struct Connection {
+    peer: SocketAddr,
+    client_name: Mutex<String>,
+    subscriber: SubscriberId,
+    writer: Mutex<TcpStream>,
+    /// Clone of the same socket used only for `shutdown`, so closing never
+    /// has to wait on the writer mutex (a pump blocked mid-write holds it).
+    control: TcpStream,
+    stats: WireStats,
+    closed: AtomicBool,
+}
+
+impl Connection {
+    /// Serialize, frame and write one message, updating both counter sets.
+    fn send(&self, msg: &ServerMessage, aggregate: &WireStats) -> Result<(), WireError> {
+        let frame = Frame::encode(msg)?;
+        let mut writer = self.writer.lock();
+        let written = frame.write_to(&mut *writer)?;
+        self.stats.record_frame_out(written);
+        aggregate.record_frame_out(written);
+        if matches!(msg, ServerMessage::Deliver(_)) {
+            self.stats.record_delivery();
+            aggregate.record_delivery();
+        }
+        Ok(())
+    }
+
+    fn close_socket(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _ = self.control.shutdown(Shutdown::Both);
+    }
+}
+
+/// A TCP publish-subscribe broker daemon.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::{Event, Filter, Op};
+/// use reef_wire::{BrokerServer, Client};
+///
+/// let server = BrokerServer::bind("127.0.0.1:0").unwrap();
+/// let subscriber = Client::connect(server.local_addr()).unwrap();
+/// subscriber.subscribe(Filter::new().and("n", Op::Gt, 1)).unwrap();
+/// let publisher = Client::connect(server.local_addr()).unwrap();
+/// publisher.publish(Event::builder().attr("n", 2).build()).unwrap();
+/// let delivery = subscriber.recv_delivery(std::time::Duration::from_secs(5));
+/// assert!(delivery.is_some());
+/// server.shutdown();
+/// ```
+pub struct BrokerServer {
+    broker: Arc<Broker>,
+    clicks: Arc<Mutex<ClickStore>>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    connections: Arc<Mutex<Vec<Arc<Connection>>>>,
+    stats: Arc<WireStats>,
+}
+
+impl std::fmt::Debug for BrokerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerServer")
+            .field("local_addr", &self.local_addr)
+            .field("connections", &self.connections.lock().len())
+            .finish()
+    }
+}
+
+impl BrokerServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve a fresh
+    /// default broker.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<BrokerServer, WireError> {
+        BrokerServerBuilder::default().bind(addr)
+    }
+
+    /// Start configuring a server.
+    pub fn builder() -> BrokerServerBuilder {
+        BrokerServerBuilder::default()
+    }
+
+    fn start(
+        addr: impl ToSocketAddrs,
+        broker: Arc<Broker>,
+        name: String,
+    ) -> Result<BrokerServer, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let server = BrokerServer {
+            broker,
+            clicks: Arc::new(Mutex::new(ClickStore::new())),
+            local_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            accept_thread: None,
+            conn_threads: Arc::new(Mutex::new(Vec::new())),
+            connections: Arc::new(Mutex::new(Vec::new())),
+            stats: Arc::new(WireStats::new()),
+        };
+
+        let accept = AcceptLoop {
+            listener,
+            broker: Arc::clone(&server.broker),
+            clicks: Arc::clone(&server.clicks),
+            shutdown: Arc::clone(&server.shutdown),
+            conn_threads: Arc::clone(&server.conn_threads),
+            connections: Arc::clone(&server.connections),
+            stats: Arc::clone(&server.stats),
+            name,
+        };
+        let mut server = server;
+        server.accept_thread = Some(
+            std::thread::Builder::new()
+                .name("reefd-accept".into())
+                .spawn(move || accept.run())
+                .expect("spawn accept thread"),
+        );
+        Ok(server)
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The broker being served.
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// The server-side click store fed by `UploadClicks` requests.
+    pub fn click_store(&self) -> Arc<Mutex<ClickStore>> {
+        Arc::clone(&self.clicks)
+    }
+
+    /// Aggregate transport counters.
+    pub fn stats(&self) -> WireStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Transport counters per live connection.
+    pub fn connection_stats(&self) -> Vec<ConnectionStatsSnapshot> {
+        self.connections
+            .lock()
+            .iter()
+            .map(|conn| ConnectionStatsSnapshot {
+                peer: conn.peer.to_string(),
+                client: conn.client_name.lock().clone(),
+                subscriber: conn.subscriber.0,
+                wire: conn.stats.snapshot(),
+            })
+            .collect()
+    }
+
+    /// Number of live connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.lock().len()
+    }
+
+    /// Stop accepting, close every connection, and join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the blocking accept() so the loop observes the flag. A
+        // wildcard bind address is not connectable on every platform, so
+        // aim the poke at loopback in that case.
+        let mut poke_addr = self.local_addr;
+        if poke_addr.ip().is_unspecified() {
+            poke_addr.set_ip(match poke_addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(poke_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for conn in self.connections.lock().iter() {
+            conn.close_socket();
+        }
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BrokerServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Everything the accept thread needs, bundled for the move into its
+/// closure.
+struct AcceptLoop {
+    listener: TcpListener,
+    broker: Arc<Broker>,
+    clicks: Arc<Mutex<ClickStore>>,
+    shutdown: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    connections: Arc<Mutex<Vec<Arc<Connection>>>>,
+    stats: Arc<WireStats>,
+    name: String,
+}
+
+impl AcceptLoop {
+    fn run(self) {
+        loop {
+            let (stream, peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if self.shutdown.load(Ordering::SeqCst) => return,
+                Err(_) => {
+                    // Persistent accept errors (e.g. fd exhaustion) would
+                    // otherwise busy-spin this thread at 100% CPU.
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = stream.set_nodelay(true);
+            if let Err(e) = self.spawn_connection(stream, peer) {
+                // Registration failed (e.g. clone error); drop the socket.
+                let _ = e;
+                self.stats.record_error();
+            }
+        }
+    }
+
+    fn spawn_connection(&self, stream: TcpStream, peer: SocketAddr) -> Result<(), WireError> {
+        let writer = stream.try_clone()?;
+        let control = stream.try_clone()?;
+        let (subscriber, inbox) = self.broker.register();
+        let conn = Arc::new(Connection {
+            peer,
+            client_name: Mutex::new(String::new()),
+            subscriber,
+            writer: Mutex::new(writer),
+            control,
+            stats: WireStats::new(),
+            closed: AtomicBool::new(false),
+        });
+        self.stats.record_open();
+        conn.stats.record_open();
+        self.connections.lock().push(Arc::clone(&conn));
+
+        let reader = ConnectionReader {
+            conn: Arc::clone(&conn),
+            broker: Arc::clone(&self.broker),
+            clicks: Arc::clone(&self.clicks),
+            connections: Arc::clone(&self.connections),
+            aggregate: Arc::clone(&self.stats),
+            shutdown: Arc::clone(&self.shutdown),
+            server_name: self.name.clone(),
+        };
+        let pump = DeliveryPump {
+            inbox,
+            conn,
+            aggregate: Arc::clone(&self.stats),
+            shutdown: Arc::clone(&self.shutdown),
+        };
+        let mut threads = self.conn_threads.lock();
+        // Reap handles of finished connections so a long-running daemon
+        // doesn't accumulate one pair per connection ever accepted.
+        threads.retain(|handle| !handle.is_finished());
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("reefd-read-{peer}"))
+                .spawn(move || reader.run(stream))
+                .expect("spawn reader thread"),
+        );
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("reefd-pump-{peer}"))
+                .spawn(move || pump.run())
+                .expect("spawn pump thread"),
+        );
+        Ok(())
+    }
+}
+
+/// The per-connection request loop.
+struct ConnectionReader {
+    conn: Arc<Connection>,
+    broker: Arc<Broker>,
+    clicks: Arc<Mutex<ClickStore>>,
+    connections: Arc<Mutex<Vec<Arc<Connection>>>>,
+    aggregate: Arc<WireStats>,
+    shutdown: Arc<AtomicBool>,
+    server_name: String,
+}
+
+impl ConnectionReader {
+    fn run(self, stream: TcpStream) {
+        let mut owned: HashSet<SubscriptionId> = HashSet::new();
+        let mut reader = BufReader::new(stream);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || self.conn.closed.load(Ordering::SeqCst) {
+                break;
+            }
+            let frame = match Frame::read_from(&mut reader) {
+                Ok(Some(frame)) => frame,
+                // Clean EOF or a broken socket: either way the conversation
+                // is over.
+                Ok(None) => break,
+                Err(_) => {
+                    self.conn.stats.record_error();
+                    self.aggregate.record_error();
+                    break;
+                }
+            };
+            self.conn.stats.record_frame_in(frame.wire_len());
+            self.aggregate.record_frame_in(frame.wire_len());
+            let request: Request = match frame.decode() {
+                Ok(req) => req,
+                Err(e) => {
+                    self.conn.stats.record_error();
+                    self.aggregate.record_error();
+                    let _ = self.reply(Response::Error {
+                        message: e.to_string(),
+                    });
+                    continue;
+                }
+            };
+            self.conn.stats.record_request();
+            self.aggregate.record_request();
+            let is_bye = matches!(request, Request::Bye);
+            let response = self.handle(request, &mut owned);
+            if matches!(response, Response::Error { .. }) {
+                self.conn.stats.record_error();
+                self.aggregate.record_error();
+            }
+            if self.reply(response).is_err() || is_bye {
+                break;
+            }
+        }
+        self.finish();
+    }
+
+    fn reply(&self, response: Response) -> Result<(), WireError> {
+        self.conn
+            .send(&ServerMessage::Reply(response), &self.aggregate)
+    }
+
+    fn handle(&self, request: Request, owned: &mut HashSet<SubscriptionId>) -> Response {
+        match request {
+            Request::Hello { version, client } => {
+                if version != PROTOCOL_VERSION {
+                    return Response::Error {
+                        message: format!(
+                            "protocol version mismatch: server speaks v{PROTOCOL_VERSION}, client sent v{version}"
+                        ),
+                    };
+                }
+                *self.conn.client_name.lock() = client;
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                    server: self.server_name.clone(),
+                    subscriber: self.conn.subscriber.0,
+                }
+            }
+            Request::Subscribe { filter } => {
+                match self.broker.subscribe(self.conn.subscriber, filter) {
+                    Ok(subscription) => {
+                        owned.insert(subscription);
+                        Response::Subscribed { subscription }
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Unsubscribe { subscription } => {
+                if !owned.contains(&subscription) {
+                    return Response::Error {
+                        message: format!(
+                            "subscription {subscription} is not owned by this connection"
+                        ),
+                    };
+                }
+                match self.broker.unsubscribe(subscription) {
+                    Ok(filter) => {
+                        owned.remove(&subscription);
+                        Response::Unsubscribed { filter }
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Publish { event } => match self.broker.publish(event) {
+                Ok(outcome) => Response::Published {
+                    id: outcome.id,
+                    delivered: outcome.delivered as u64,
+                    dropped: outcome.dropped as u64,
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::UploadClicks { batch } => {
+                let receipt = self.clicks.lock().ingest_upload(batch);
+                Response::ClicksAccepted { receipt }
+            }
+            Request::Stats => Response::Stats {
+                broker: self.broker.stats(),
+                wire: self.aggregate.snapshot(),
+            },
+            Request::Ping => Response::Pong,
+            Request::Bye => Response::Bye,
+        }
+    }
+
+    fn finish(&self) {
+        self.conn.close_socket();
+        let _ = self.broker.deregister(self.conn.subscriber);
+        self.conn.stats.record_close();
+        self.aggregate.record_close();
+        self.connections
+            .lock()
+            .retain(|c| !Arc::ptr_eq(c, &self.conn));
+    }
+}
+
+/// The per-connection delivery pump: subscriber queue → socket.
+struct DeliveryPump {
+    inbox: SubscriberHandle,
+    conn: Arc<Connection>,
+    aggregate: Arc<WireStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl DeliveryPump {
+    fn run(self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || self.conn.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(event) = self.inbox.recv_timeout(PUMP_PARK) else {
+                continue;
+            };
+            let message = ServerMessage::Deliver(Deliver { event });
+            if self.conn.send(&message, &self.aggregate).is_err() {
+                // Peer went away mid-delivery; the reader does the cleanup.
+                self.conn.closed.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn shutdown_returns_even_on_a_wildcard_bind() {
+        let server = BrokerServer::bind("0.0.0.0:0").expect("bind wildcard");
+        let port = server.local_addr().port();
+        let client = Client::connect(("127.0.0.1", port)).expect("connect");
+        client.ping().expect("ping");
+        drop(client);
+        // Must not hang: the shutdown poke has to reach the accept loop
+        // even though 0.0.0.0 is not universally connectable.
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&done);
+        let handle = std::thread::spawn(move || {
+            server.shutdown();
+            flag.store(true, Ordering::SeqCst);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) {
+            assert!(std::time::Instant::now() < deadline, "shutdown hung");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn finished_connection_handles_are_reaped() {
+        let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+        for _ in 0..8 {
+            let client = Client::connect(server.local_addr()).expect("connect");
+            client.close().expect("close");
+        }
+        // Wait for the server side of the closed connections to finish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.connection_count() > 0 {
+            assert!(std::time::Instant::now() < deadline, "connections reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // One more accept triggers the reap; the handle list must not hold
+        // two handles per historical connection.
+        let client = Client::connect(server.local_addr()).expect("connect");
+        client.ping().expect("ping");
+        assert!(server.conn_threads.lock().len() <= 4, "dead handles reaped");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,133 @@
+//! Transport counters, kept per connection and aggregated per server.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free transport counters. The server keeps one aggregate instance
+/// plus one per live connection; every record call updates both.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    requests: AtomicU64,
+    deliveries: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl WireStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count a connection opening.
+    pub fn record_open(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection closing.
+    pub fn record_close(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one received frame of `bytes` total wire bytes.
+    pub fn record_frame_in(&self, bytes: usize) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Count one written frame of `bytes` total wire bytes.
+    pub fn record_frame_out(&self, bytes: usize) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Count one handled request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one pushed delivery.
+    pub fn record_delivery(&self) {
+        self.deliveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one error response or protocol failure.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> WireStatsSnapshot {
+        WireStatsSnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`WireStats`], also used inside
+/// [`crate::protocol::Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WireStatsSnapshot {
+    /// Connections accepted since the server started.
+    pub connections_opened: u64,
+    /// Connections that have finished.
+    pub connections_closed: u64,
+    /// Frames read off sockets.
+    pub frames_in: u64,
+    /// Frames written to sockets.
+    pub frames_out: u64,
+    /// Total bytes read (headers included).
+    pub bytes_in: u64,
+    /// Total bytes written (headers included).
+    pub bytes_out: u64,
+    /// Requests handled.
+    pub requests: u64,
+    /// Deliveries pushed.
+    pub deliveries: u64,
+    /// Errors returned or suffered.
+    pub errors: u64,
+}
+
+impl std::fmt::Display for WireStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conns={}/{} frames={}in/{}out bytes={}in/{}out requests={} deliveries={} errors={}",
+            self.connections_opened,
+            self.connections_closed,
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.requests,
+            self.deliveries,
+            self.errors,
+        )
+    }
+}
+
+/// Per-connection stats snapshot, labelled with who the connection is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionStatsSnapshot {
+    /// Peer address as reported by the OS.
+    pub peer: String,
+    /// Client name from the `Hello` request, if one was sent.
+    pub client: String,
+    /// Broker subscriber id backing this connection.
+    pub subscriber: u64,
+    /// The connection's transport counters.
+    pub wire: WireStatsSnapshot,
+}

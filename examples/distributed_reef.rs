@@ -24,8 +24,10 @@ fn main() {
     };
     let history = generate_history(&universe, &browse, seed);
 
-    let mut config = ReefConfig::default();
-    config.exchange_every_days = 7;
+    let config = ReefConfig {
+        exchange_every_days: 7,
+        ..ReefConfig::default()
+    };
     let mut reef = DistributedReef::new(&history.profiles, config, seed);
     // Peers weigh terms against a public reference corpus, not other
     // users' data.
@@ -57,7 +59,10 @@ fn main() {
         println!("  {user}: {active} active subscriptions");
     }
     println!("\nprivacy & traffic:");
-    println!("  attention held off-host        : {} clicks", reef.server_resident_clicks());
+    println!(
+        "  attention held off-host        : {} clicks",
+        reef.server_resident_clicks()
+    );
     println!("  clicks kept on user hosts      : {}", reef.local_clicks());
     println!("  network traffic                : {}", reef.traffic());
 }

@@ -39,8 +39,14 @@ fn main() {
         total_unsubs += r.unsubscribe_recs;
     }
 
-    println!("feeds discovered by the crawler : {}", reef.server().feeds_discovered());
-    println!("hosts flagged (ad/spam/mm)      : {}", reef.server().flagged_hosts());
+    println!(
+        "feeds discovered by the crawler : {}",
+        reef.server().feeds_discovered()
+    );
+    println!(
+        "hosts flagged (ad/spam/mm)      : {}",
+        reef.server().flagged_hosts()
+    );
     println!("feed subscriptions recommended  : {total_recs}");
     println!("subscriptions removed by loop   : {total_unsubs}");
     println!("feed events delivered           : {total_events}");

@@ -42,6 +42,9 @@ fn main() {
 
     let (user, subs) = reef.subscription_counts()[0];
     println!("\nafter one week, {user} holds {subs} automatic subscriptions");
-    println!("server-side click database: {} clicks", reef.server_resident_clicks());
+    println!(
+        "server-side click database: {} clicks",
+        reef.server_resident_clicks()
+    );
     println!("traffic: {}", reef.traffic());
 }

@@ -1,22 +1,43 @@
-//! The §2.2 example: "in a publish-subscribe system that delivers stock
-//! quotes, the attention parser would be looking for known stock symbols
-//! in the attention data."
+//! The §2.2 example, now served over real sockets: "in a publish-subscribe
+//! system that delivers stock quotes, the attention parser would be looking
+//! for known stock symbols in the attention data."
 //!
-//! Demonstrates that Reef's attention parser is generic over any
-//! well-defined publish-subscribe interface: given the stock-quote
-//! schema, it extracts symbol tokens from browsing text, places
-//! subscriptions, and the broker delivers matching quotes — while
-//! rejecting events and filters that violate the schema.
+//! Where this example used to call a broker in-process, it now spawns the
+//! `reefd` daemon (a `reef_wire::BrokerServer` on an ephemeral loopback
+//! port) and runs **two real TCP clients** against it:
+//!
+//! * a *subscriber* whose attention data yields stock symbols, which it
+//!   turns into subscriptions over the wire;
+//! * a *publisher* feeding the day's quotes into the broker.
+//!
+//! The broker carries the stock-quote schema, so events and filters
+//! outside the interface are rejected server-side, across the socket.
 //!
 //! Run with: `cargo run --example stock_ticker`
 
 use reef::attention::AttentionParser;
 use reef::pubsub::{stock_quote_schema, Broker, Event, Filter, Op};
+use reef::wire::{BrokerServer, Client, WireError};
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let schema = stock_quote_schema(["ACME", "GLOBEX", "HOOLI"]);
     let parser = AttentionParser::new(schema.clone());
+
+    // --- The daemon: a schema-validating broker behind a TCP listener. ---
+    let broker = Arc::new(Broker::builder().schema(schema).build());
+    let server = BrokerServer::builder()
+        .broker(broker)
+        .name("reefd-stock-ticker")
+        .bind("127.0.0.1:0")
+        .expect("spawn daemon on an ephemeral port");
+    println!("reefd listening on {}", server.local_addr());
+
+    // --- The subscriber: attention data in, subscriptions out. ---
+    let ticker = Client::connect_as(server.local_addr(), "ticker").expect("connect subscriber");
+    println!("ticker connected as subscriber #{}", ticker.subscriber());
 
     // What the user read this morning.
     let pages = [
@@ -26,7 +47,6 @@ fn main() {
         "Is hooli overvalued? A contrarian take on HOOLI stock",
         "ENRON retrospective: lessons from a collapse", // not in the schema domain
     ];
-
     let mut symbols: BTreeSet<String> = BTreeSet::new();
     for page in pages {
         for pair in parser.parse_text(page) {
@@ -35,24 +55,28 @@ fn main() {
     }
     println!("symbols found in attention data: {symbols:?} (ENRON rejected by schema)");
 
-    // Place one subscription per discovered symbol, plus a price alert.
-    let broker = Broker::builder().schema(schema).build();
-    let (me, inbox) = broker.register();
+    // Place one subscription per discovered symbol, plus a price alert —
+    // each one a Subscribe frame over the socket.
     for symbol in &symbols {
-        broker
-            .subscribe(me, Filter::new().and("symbol", Op::Eq, symbol.as_str()))
+        ticker
+            .subscribe(Filter::new().and("symbol", Op::Eq, symbol.as_str()))
             .expect("parser output is schema-valid");
     }
-    broker
+    ticker
         .subscribe(
-            me,
             Filter::new()
                 .and("symbol", Op::Eq, "ACME")
                 .and("price", Op::Gt, 100.0),
         )
         .expect("valid alert filter");
+    // The schema also protects the wire: invalid filters bounce.
+    match ticker.subscribe(Filter::new().and("symbol", Op::Eq, "INITECH")) {
+        Err(WireError::Remote(message)) => println!("rejected filter over the wire: {message}"),
+        other => panic!("schema should reject INITECH, got {other:?}"),
+    }
 
-    // The market opens.
+    // --- The publisher: a second process-like client. The market opens. ---
+    let exchange = Client::connect_as(server.local_addr(), "exchange").expect("connect publisher");
     let quotes = [
         ("ACME", 98.0),
         ("ACME", 104.5), // also trips the price alert
@@ -61,15 +85,35 @@ fn main() {
         ("INITECH", 1.2), // outside the schema domain: rejected
     ];
     for (symbol, price) in quotes {
-        let event = Event::builder().attr("symbol", symbol).attr("price", price).build();
-        match broker.publish(event) {
-            Ok(outcome) => println!("published {symbol} @ {price}: {} deliveries", outcome.delivered),
+        let event = Event::builder()
+            .attr("symbol", symbol)
+            .attr("price", price)
+            .build();
+        match exchange.publish(event) {
+            Ok(outcome) => {
+                println!(
+                    "published {symbol} @ {price}: {} deliveries",
+                    outcome.delivered
+                )
+            }
             Err(e) => println!("rejected {symbol} @ {price}: {e}"),
         }
     }
 
+    // --- Deliveries arrive on the subscriber's socket. ---
     println!("\nticker inbox:");
-    for delivery in inbox.drain() {
+    while let Some(delivery) = ticker.recv_delivery(Duration::from_millis(500)) {
         println!("  {delivery}");
     }
+
+    // --- The daemon accounted for every frame and byte. ---
+    let wire = server.stats();
+    println!("\ndaemon wire stats: {wire}");
+    for conn in server.connection_stats() {
+        println!("  {} ({}): {}", conn.client, conn.peer, conn.wire);
+    }
+
+    ticker.close().expect("clean close");
+    exchange.close().expect("clean close");
+    server.shutdown();
 }

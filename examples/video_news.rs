@@ -27,7 +27,11 @@ fn main() {
     // History: the distinct pages the user viewed.
     let mut seen = HashSet::new();
     let mut texts = Vec::new();
-    for r in history.requests.iter().filter(|r| r.kind == RequestKind::Page) {
+    for r in history
+        .requests
+        .iter()
+        .filter(|r| r.kind == RequestKind::Page)
+    {
         if seen.insert(r.url.as_str()) {
             if let Some(p) = universe.fetch(&r.url) {
                 if p.content_type == "text/html" && !p.text.is_empty() {

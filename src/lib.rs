@@ -54,3 +54,4 @@ pub use reef_pubsub as pubsub;
 pub use reef_simweb as simweb;
 pub use reef_textindex as textindex;
 pub use reef_videonews as videonews;
+pub use reef_wire as wire;

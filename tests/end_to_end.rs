@@ -45,7 +45,10 @@ fn subscriptions_only_follow_crawl_worthy_discoveries() {
     // a content server.
     assert!(reef.server().feeds_discovered() > 0);
     for (_user, subs) in reef.subscription_counts() {
-        assert!(subs <= history.days as usize, "rate limit bounds subscriptions");
+        assert!(
+            subs <= history.days as usize,
+            "rate limit bounds subscriptions"
+        );
     }
 }
 

@@ -42,7 +42,11 @@ fn e2_shape_query_beats_airing_order_and_five_terms_undercover() {
 
     let mut seen = HashSet::new();
     let mut texts = Vec::new();
-    for r in history.requests.iter().filter(|r| r.kind == RequestKind::Page) {
+    for r in history
+        .requests
+        .iter()
+        .filter(|r| r.kind == RequestKind::Page)
+    {
         if seen.insert(r.url.as_str()) {
             if let Some(p) = universe.fetch(&r.url) {
                 if p.content_type == "text/html" && !p.text.is_empty() {
@@ -78,11 +82,16 @@ fn e2_shape_query_beats_airing_order_and_five_terms_undercover() {
     for d in 0..draws {
         let judgments = archive.noisy_judgments(&interests, 0.445, 0.25, 1000 + d);
         imp5 += experiment.evaluate_ranking(&r5, &judgments).improvement_pct;
-        imp30 += experiment.evaluate_ranking(&r30, &judgments).improvement_pct;
+        imp30 += experiment
+            .evaluate_ranking(&r30, &judgments)
+            .improvement_pct;
     }
     imp5 /= draws as f64;
     imp30 /= draws as f64;
-    assert!(imp30 > 0.0, "30-term query must beat airing order, got {imp30}");
+    assert!(
+        imp30 > 0.0,
+        "30-term query must beat airing order, got {imp30}"
+    );
     assert!(
         imp30 > imp5,
         "30 terms must beat 5 terms (got {imp5} vs {imp30})"
@@ -95,7 +104,19 @@ fn e1_universe_scale_matches_paper() {
     let history = generate_history(&universe, &BrowseConfig::paper_e1(), 3);
     let stats = browsing_stats(&universe, &history);
     // Within ±15% of the paper's headline scale.
-    assert!((65_000..90_000).contains(&(stats.total_requests as usize)), "{}", stats.total_requests);
-    assert!((2_100..3_000).contains(&(stats.distinct_servers as usize)), "{}", stats.distinct_servers);
-    assert!((350..520).contains(&(stats.discoverable_feeds as usize)), "{}", stats.discoverable_feeds);
+    assert!(
+        (65_000..90_000).contains(&(stats.total_requests as usize)),
+        "{}",
+        stats.total_requests
+    );
+    assert!(
+        (2_100..3_000).contains(&(stats.distinct_servers as usize)),
+        "{}",
+        stats.distinct_servers
+    );
+    assert!(
+        (350..520).contains(&(stats.discoverable_feeds as usize)),
+        "{}",
+        stats.discoverable_feeds
+    );
 }

@@ -18,8 +18,8 @@ fn every_simulated_feed_serves_well_formed_xml() {
         let doc = fetcher
             .fetch_feed(&spec.url, 9)
             .expect("registered feed must be fetchable");
-        let (format, feed) = parse_feed(&doc)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{doc}", spec.url));
+        let (format, feed) =
+            parse_feed(&doc).unwrap_or_else(|e| panic!("{}: {e}\n{doc}", spec.url));
         let expected = match spec.format {
             SimFeedFormat::Rss2 => FeedFormat::Rss2,
             SimFeedFormat::Atom => FeedFormat::Atom,
@@ -37,12 +37,18 @@ fn proxy_delivers_each_item_exactly_once_across_days() {
     let spec = u
         .feeds()
         .iter()
-        .max_by(|a, b| a.daily_rate.partial_cmp(&b.daily_rate).expect("rates finite"))
+        .max_by(|a, b| {
+            a.daily_rate
+                .partial_cmp(&b.daily_rate)
+                .expect("rates finite")
+        })
         .expect("universe has feeds");
 
     let broker = Broker::new();
     let (me, inbox) = broker.register();
-    broker.subscribe(me, Filter::topic(&spec.url)).expect("subscribe");
+    broker
+        .subscribe(me, Filter::topic(&spec.url))
+        .expect("subscribe");
     let mut proxy = FeedEventsProxy::new();
     proxy.register(&spec.url);
 
@@ -74,7 +80,9 @@ fn proxy_delivers_each_item_exactly_once_across_days() {
 #[test]
 fn feed_events_validate_against_the_feed_schema() {
     let u = universe();
-    let broker = Broker::builder().schema(reef::pubsub::feed_events_schema()).build();
+    let broker = Broker::builder()
+        .schema(reef::pubsub::feed_events_schema())
+        .build();
     let mut proxy = FeedEventsProxy::new();
     for spec in u.feeds().iter().take(30) {
         proxy.register(&spec.url);

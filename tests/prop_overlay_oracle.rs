@@ -15,11 +15,7 @@ struct WorkloadSub {
 }
 
 fn arb_filter() -> impl Strategy<Value = Filter> {
-    prop::collection::vec(
-        (0usize..3, 0usize..4, -3i64..4),
-        0..3,
-    )
-    .prop_map(|preds| {
+    prop::collection::vec((0usize..3, 0usize..4, -3i64..4), 0..3).prop_map(|preds| {
         let mut f = Filter::new();
         for (attr, op, val) in preds {
             let op = [Op::Eq, Op::Ne, Op::Lt, Op::Gt][op];

@@ -84,6 +84,134 @@ fn parsed_filter_text_equals_constructed_filter_after_round_trip() {
     let parsed = reef::pubsub::parse_filter(r#"symbol = "ACME" && price > 10.5"#).expect("parse");
     let json = serde_json::to_string(&parsed).expect("serialize");
     let back: Filter = serde_json::from_str(&json).expect("deserialize");
-    let constructed = Filter::new().and("symbol", Op::Eq, "ACME").and("price", Op::Gt, 10.5);
+    let constructed = Filter::new()
+        .and("symbol", Op::Eq, "ACME")
+        .and("price", Op::Gt, 10.5);
     assert_eq!(back, constructed);
+}
+
+// --------------------------------------------------------------------------
+// reef-wire frames: the same types framed as they actually travel over TCP.
+
+mod wire_frames {
+    use super::*;
+    use reef::attention::UploadReceipt;
+    use reef::pubsub::{BrokerStatsSnapshot, EventId, SubscriptionId};
+    use reef::wire::{Deliver, Frame, Request, Response, ServerMessage, WireStatsSnapshot};
+
+    fn frame_round_trip_request(request: Request) {
+        let frame = Frame::encode(&request).expect("encode");
+        let mut bytes = Vec::new();
+        frame.write_to(&mut bytes).expect("write");
+        let back = Frame::read_from(&mut bytes.as_slice())
+            .expect("read")
+            .expect("one frame present");
+        assert_eq!(back.decode::<Request>().expect("decode"), request);
+    }
+
+    fn frame_round_trip_server(message: ServerMessage) {
+        let frame = Frame::encode(&message).expect("encode");
+        let mut bytes = Vec::new();
+        frame.write_to(&mut bytes).expect("write");
+        let back = Frame::read_from(&mut bytes.as_slice())
+            .expect("read")
+            .expect("one frame present");
+        assert_eq!(back.decode::<ServerMessage>().expect("decode"), message);
+    }
+
+    #[test]
+    fn every_request_variant_survives_framing() {
+        for request in [
+            Request::Hello {
+                version: 1,
+                client: "ext".into(),
+            },
+            Request::Subscribe {
+                filter: Filter::new()
+                    .and("price", Op::Gt, 10.0)
+                    .and("symbol", Op::Eq, "ACME"),
+            },
+            Request::Unsubscribe {
+                subscription: SubscriptionId(42),
+            },
+            Request::Publish {
+                event: Event::builder()
+                    .attr("price", 12.5)
+                    .attr("note", "quotes \"and\" unicode: ünïcode")
+                    .attr("up", true)
+                    .attr("volume", -3)
+                    .build(),
+            },
+            Request::UploadClicks {
+                batch: ClickBatch {
+                    user: UserId(3),
+                    clicks: vec![Click {
+                        user: UserId(3),
+                        day: 2,
+                        tick: 17,
+                        url: "http://site.example/p".into(),
+                        referrer: None,
+                    }],
+                },
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Bye,
+        ] {
+            frame_round_trip_request(request);
+        }
+    }
+
+    #[test]
+    fn every_response_variant_survives_framing() {
+        for response in [
+            Response::Hello {
+                version: 1,
+                server: "reefd".into(),
+                subscriber: 9,
+            },
+            Response::Subscribed {
+                subscription: SubscriptionId(1),
+            },
+            Response::Unsubscribed {
+                filter: Filter::topic("news"),
+            },
+            Response::Published {
+                id: EventId(5),
+                delivered: 2,
+                dropped: 0,
+            },
+            Response::ClicksAccepted {
+                receipt: UploadReceipt {
+                    user: UserId(3),
+                    accepted: 1,
+                    rejected: 0,
+                    wire_bytes: 200,
+                    total_stored: 11,
+                },
+            },
+            Response::Stats {
+                broker: BrokerStatsSnapshot::default(),
+                wire: WireStatsSnapshot::default(),
+            },
+            Response::Pong,
+            Response::Bye,
+            Response::Error {
+                message: "schema violation".into(),
+            },
+        ] {
+            frame_round_trip_server(ServerMessage::Reply(response));
+        }
+    }
+
+    #[test]
+    fn deliveries_survive_framing() {
+        frame_round_trip_server(ServerMessage::Deliver(Deliver {
+            event: PublishedEvent {
+                id: EventId(8),
+                published_at: 44,
+                event: Event::builder().attr("price", 10.01).build(),
+            },
+        }));
+    }
 }

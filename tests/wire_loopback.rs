@@ -1,0 +1,248 @@
+//! End-to-end wire protocol test: a real `BrokerServer` on an ephemeral
+//! loopback port, driven by OS-socket clients exchanging frames — the
+//! networked counterpart of `tests/end_to_end.rs`.
+
+use reef::attention::{Click, ClickBatch};
+use reef::pubsub::{Event, Filter, Op};
+use reef::simweb::UserId;
+use reef::wire::{BrokerServer, Client, WireError};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(5);
+
+/// The acceptance scenario: two socket clients, a `price > 10` filter,
+/// exactly the matching events delivered, and wire stats accounting for
+/// the traffic.
+#[test]
+fn two_clients_exchange_matching_events() {
+    let server = BrokerServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let subscriber = Client::connect_as(server.local_addr(), "subscriber").expect("connect");
+    let publisher = Client::connect_as(server.local_addr(), "publisher").expect("connect");
+
+    let sub = subscriber
+        .subscribe(Filter::new().and("price", Op::Gt, 10.0))
+        .expect("subscribe");
+
+    // Publish a mix of matching and non-matching events from the *other*
+    // connection.
+    let quotes = [4.0, 12.5, 9.99, 10.01, 250.0, 10.0];
+    let mut expected = Vec::new();
+    for (i, price) in quotes.into_iter().enumerate() {
+        let outcome = publisher
+            .publish(
+                Event::builder()
+                    .attr("price", price)
+                    .attr("seq", i as i64)
+                    .build(),
+            )
+            .expect("publish");
+        if price > 10.0 {
+            expected.push(i as i64);
+            assert_eq!(
+                outcome.delivered, 1,
+                "price {price} should match the filter"
+            );
+        } else {
+            assert_eq!(outcome.delivered, 0, "price {price} should not match");
+        }
+    }
+
+    // The subscriber receives exactly the matching events, in order.
+    let mut got = Vec::new();
+    for _ in 0..expected.len() {
+        let event = subscriber.recv_delivery(WAIT).expect("delivery arrives");
+        got.push(event.event.get("seq").unwrap().as_f64().unwrap() as i64);
+    }
+    assert_eq!(got, expected);
+    assert!(
+        subscriber
+            .recv_delivery(Duration::from_millis(100))
+            .is_none(),
+        "no extra deliveries"
+    );
+    // The publisher connection has no subscriptions: nothing leaked to it.
+    assert!(publisher.try_delivery().is_none());
+
+    // After unsubscribe, further matches stop flowing.
+    let filter = subscriber.unsubscribe(sub).expect("unsubscribe");
+    assert_eq!(filter, Filter::new().and("price", Op::Gt, 10.0));
+    publisher
+        .publish(Event::builder().attr("price", 99.0).build())
+        .expect("publish after unsubscribe");
+    assert!(subscriber
+        .recv_delivery(Duration::from_millis(200))
+        .is_none());
+
+    // Wire stats saw the traffic: frames and bytes in both directions.
+    let wire = server.stats();
+    assert!(wire.frames_in >= 10, "server read our frames: {wire:?}");
+    assert!(
+        wire.frames_out >= 10,
+        "server wrote replies + deliveries: {wire:?}"
+    );
+    assert!(
+        wire.bytes_in > 0 && wire.bytes_out > 0,
+        "bytes accounted: {wire:?}"
+    );
+    assert_eq!(wire.deliveries, expected.len() as u64, "{wire:?}");
+    assert_eq!(wire.connections_opened, 2, "{wire:?}");
+
+    // Per-connection stats break the same traffic down by peer.
+    let per_conn = server.connection_stats();
+    assert_eq!(per_conn.len(), 2);
+    let by_name = |name: &str| {
+        per_conn
+            .iter()
+            .find(|c| c.client == name)
+            .unwrap_or_else(|| panic!("connection {name} listed"))
+    };
+    assert_eq!(by_name("subscriber").wire.deliveries, expected.len() as u64);
+    assert_eq!(by_name("publisher").wire.deliveries, 0);
+    assert!(by_name("publisher").wire.frames_in >= quotes.len() as u64);
+
+    // Client-visible stats agree on the broker side.
+    let stats = subscriber.stats().expect("stats request");
+    assert_eq!(stats.broker.events_published, quotes.len() as u64 + 1);
+
+    subscriber.close().expect("clean close");
+    publisher.close().expect("clean close");
+    server.shutdown();
+}
+
+/// Multiple subscriptions on one connection each yield their own copy, and
+/// a third client's traffic is isolated.
+#[test]
+fn overlapping_subscriptions_and_isolation() {
+    let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+    let all_news = Client::connect_as(server.local_addr(), "all-news").expect("connect");
+    let keyword = Client::connect_as(server.local_addr(), "keyword").expect("connect");
+    let publisher = Client::connect_as(server.local_addr(), "pub").expect("connect");
+
+    all_news
+        .subscribe(Filter::topic("news"))
+        .expect("subscribe");
+    all_news
+        .subscribe(Filter::new().and("body", Op::Contains, "reef"))
+        .expect("subscribe");
+    keyword
+        .subscribe(Filter::new().and("body", Op::Contains, "coral"))
+        .expect("subscribe");
+
+    let outcome = publisher
+        .publish(Event::topical("news", "the reef report"))
+        .expect("publish");
+    // Both of all_news's subscriptions match: one copy per subscription.
+    assert_eq!(outcome.delivered, 2);
+
+    assert!(all_news.recv_delivery(WAIT).is_some());
+    assert!(all_news.recv_delivery(WAIT).is_some());
+    assert!(keyword.recv_delivery(Duration::from_millis(200)).is_none());
+
+    server.shutdown();
+}
+
+/// The §3.1 upload path: a client ships a click batch; the server's click
+/// store ingests and indexes it.
+#[test]
+fn click_uploads_land_in_the_server_store() {
+    let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+    let extension = Client::connect_as(server.local_addr(), "extension").expect("connect");
+
+    let batch = ClickBatch {
+        user: UserId(7),
+        clicks: vec![
+            Click {
+                user: UserId(7),
+                day: 1,
+                tick: 10,
+                url: "http://news.example/a".into(),
+                referrer: None,
+            },
+            Click {
+                user: UserId(7),
+                day: 1,
+                tick: 11,
+                url: "http://news.example/b".into(),
+                referrer: Some("http://news.example/a".into()),
+            },
+            // Forged cookie: must be rejected server-side.
+            Click {
+                user: UserId(9),
+                day: 1,
+                tick: 12,
+                url: "http://evil.example/".into(),
+                referrer: None,
+            },
+        ],
+    };
+    let wire_bytes = batch.wire_size() as u64;
+    let receipt = extension.upload_clicks(batch).expect("upload");
+    assert_eq!(receipt.user, UserId(7));
+    assert_eq!(receipt.accepted, 2);
+    assert_eq!(receipt.rejected, 1);
+    assert_eq!(receipt.wire_bytes, wire_bytes);
+    assert_eq!(receipt.total_stored, 2);
+
+    let store = server.click_store();
+    let store = store.lock();
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.clicks_of(UserId(7)).len(), 2);
+    assert!(store.clicks_of(UserId(9)).is_empty());
+
+    server.shutdown();
+}
+
+/// Error paths travel the wire without poisoning the connection, and a
+/// connection cannot unsubscribe someone else's subscription.
+#[test]
+fn remote_errors_are_reported_and_survivable() {
+    let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+    let a = Client::connect_as(server.local_addr(), "a").expect("connect");
+    let b = Client::connect_as(server.local_addr(), "b").expect("connect");
+
+    let sub = a.subscribe(Filter::topic("x")).expect("subscribe");
+
+    // b does not own a's subscription.
+    match b.unsubscribe(sub) {
+        Err(WireError::Remote(message)) => {
+            assert!(message.contains("not owned"), "got: {message}")
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+
+    // The failed request did not corrupt b's connection.
+    b.ping().expect("connection still usable");
+    b.publish(Event::topical("x", "still flowing"))
+        .expect("publish");
+    assert!(a.recv_delivery(WAIT).is_some());
+
+    assert!(server.stats().errors >= 1);
+    server.shutdown();
+}
+
+/// Disconnecting a subscriber mid-stream deregisters it: publishes keep
+/// succeeding and the server stays healthy.
+#[test]
+fn abrupt_disconnect_cleans_up() {
+    let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+    let ghost = Client::connect_as(server.local_addr(), "ghost").expect("connect");
+    ghost.subscribe(Filter::new()).expect("subscribe");
+    assert_eq!(server.broker().subscriber_count(), 1);
+    drop(ghost); // no Bye: socket just closes
+
+    let publisher = Client::connect_as(server.local_addr(), "pub").expect("connect");
+    // Wait for the server to reap the ghost connection.
+    let deadline = std::time::Instant::now() + WAIT;
+    while server.broker().subscriber_count() > 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ghost subscriber reaped"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let outcome = publisher
+        .publish(Event::topical("x", "y"))
+        .expect("publish");
+    assert_eq!(outcome.delivered, 0);
+    server.shutdown();
+}

@@ -1,0 +1,437 @@
+//! Offline workspace shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes the reef workspace uses: non-generic structs (named, tuple,
+//! unit) and non-generic enums (unit, newtype, tuple and struct variants),
+//! with serde's externally-tagged enum representation. Parsing is done by
+//! hand over `proc_macro::TokenTree` — no `syn`/`quote`, since the build
+//! environment is offline — and the generated impl is produced as source
+//! text and re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed shape of the item a derive was attached to.
+enum Item {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` — one field is serde's transparent newtype.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let _ = write!(
+                    pushes,
+                    "__m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                );
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            pushes.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(
+                    inits,
+                    "{f}: match ::serde::__get(__m, \"{f}\") {{\n\
+                         Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                         None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                             .map_err(|_| ::serde::DeError::missing_field(\"{name}\", \"{f}\"))?,\n\
+                     }},\n"
+                );
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let __m = __v.as_map().ok_or_else(|| \
+                             ::serde::DeError::type_mismatch(\"object for struct {name}\", __v))?;\n\
+                         Ok({name} {{\n{inits}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let __s = __v.as_seq().ok_or_else(|| \
+                             ::serde::DeError::type_mismatch(\"array for struct {name}\", __v))?;\n\
+                         if __s.len() != {arity} {{\n\
+                             return Err(::serde::DeError::custom(\
+                                 format!(\"expected {arity} elements for {name}, got {{}}\", __s.len())));\n\
+                         }}\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     match __v {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::DeError::type_mismatch(\"null for {name}\", other)),\n\
+                     }}\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                        // Also accept the {"Variant": null} shape.
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" if matches!(__inner, ::serde::Value::Null) => Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            data_arms,
+                            "\"{vn}\" => {{\n\
+                                 let __s = __inner.as_seq().ok_or_else(|| \
+                                     ::serde::DeError::type_mismatch(\"array for variant {vn}\", __inner))?;\n\
+                                 if __s.len() != {n} {{\n\
+                                     return Err(::serde::DeError::custom(\
+                                         \"wrong arity for variant {vn}\".to_string()));\n\
+                                 }}\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            elems.join(", ")
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                inits,
+                                "{f}: match ::serde::__get(__m, \"{f}\") {{\n\
+                                     Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                                     None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                                         .map_err(|_| ::serde::DeError::missing_field(\"{vn}\", \"{f}\"))?,\n\
+                                 }},\n"
+                            );
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "\"{vn}\" => {{\n\
+                                 let __m = __inner.as_map().ok_or_else(|| \
+                                     ::serde::DeError::type_mismatch(\"object for variant {vn}\", __inner))?;\n\
+                                 Ok({name}::{vn} {{\n{inits}\n}})\n\
+                             }},\n"
+                        );
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__map) if __map.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__map[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => Err(::serde::DeError::custom(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             other => Err(::serde::DeError::type_mismatch(\
+                                 \"string or single-key object for enum {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field-list token stream on commas that sit outside `<...>`.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected variant name, got {other}"),
+            };
+            i += 1;
+            let shape = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                // `Variant` or `Variant = 3` — discriminants don't affect the
+                // wire shape under external tagging.
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
