@@ -1,8 +1,13 @@
 //! **B2** — broker publish/deliver throughput and overlay routing, with
-//! the covering ablation.
+//! the covering ablation, plus the sans-io `BrokerNode` core in
+//! isolation (the per-message routing cost a transport driver pays).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use reef_pubsub::{Broker, Event, Filter, Overlay};
+use reef_pubsub::net::NodeId;
+use reef_pubsub::{
+    Broker, BrokerNode, ClientId, Event, EventId, Filter, GlobalSubId, Overlay, PeerMsg,
+    PublishedEvent,
+};
 use std::hint::black_box;
 
 fn bench_local_broker(c: &mut Criterion) {
@@ -89,9 +94,55 @@ fn bench_overlay_construction(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sans-io core alone: one `BrokerNode` with two neighbors and a
+/// populated routing table, fed `EventFwd` messages by hand. This is the
+/// pure routing cost per message — what both `SimTransport` and the TCP
+/// federation pay before any I/O.
+fn bench_broker_node_handle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_node_handle");
+    for &n_subs in &[32usize, 256] {
+        let (upstream, downstream) = (NodeId(1), NodeId(2));
+        let mut node = BrokerNode::new(true);
+        node.add_neighbor(upstream);
+        node.add_neighbor(downstream);
+        for s in 0..n_subs {
+            // Half local, half advertised by the downstream neighbor.
+            let filter = Filter::new().and("x", reef_pubsub::Op::Gt, (s % 40) as i64);
+            if s % 2 == 0 {
+                node.subscribe_local(GlobalSubId(s as u64), ClientId(s as u64), filter);
+            } else {
+                node.handle(
+                    downstream,
+                    PeerMsg::SubFwd {
+                        sub: GlobalSubId(s as u64),
+                        filter,
+                    },
+                );
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("event_fwd", n_subs), &n_subs, |b, _| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                let msg = PeerMsg::EventFwd {
+                    event: PublishedEvent {
+                        id: EventId(i as u64),
+                        published_at: i as u64,
+                        event: Event::builder().attr("x", i % 45).build(),
+                    },
+                    hops: 1,
+                };
+                black_box(node.handle(upstream, msg))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_local_broker, bench_overlay, bench_overlay_construction
+    targets = bench_local_broker, bench_overlay, bench_overlay_construction,
+        bench_broker_node_handle
 }
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! # reef-feeds — Web-feed substrate (WAIF FeedEvents)
 //!
 //! The topic-based case study of the Reef paper (§3.2) subscribes users to
-//! RSS feeds through the *WAIF FeedEvents* service [2]: a push-based proxy
+//! RSS feeds through the *WAIF FeedEvents* service \[2\]: a push-based proxy
 //! that "can poll any RSS, Atom, or RDF feed, and check for updated
 //! content on behalf of many users". This crate implements that substrate
 //! from scratch:

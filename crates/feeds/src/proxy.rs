@@ -1,7 +1,7 @@
 //! The WAIF FeedEvents proxy: wrapping pull-based feeds with a push
 //! interface.
 //!
-//! The paper deploys subscriptions at "WAIF Proxies" [2]: a service that
+//! The paper deploys subscriptions at "WAIF Proxies" \[2\]: a service that
 //! "can poll any RSS, Atom, or RDF feed, and check for updated content on
 //! behalf of many users" (§3.2), publishing new items as events. This
 //! module is that service. It
@@ -14,7 +14,7 @@
 //!   (`topic = feed URL`), so a user's browser extension receives them
 //!   through an ordinary topic subscription, and
 //! * backs off polling of feeds that rarely update (most feeds, per the
-//!   paper's citation of Liu et al. [13]).
+//!   paper's citation of Liu et al. \[13\]).
 
 use crate::model::FeedFormat;
 use crate::parse::parse_feed;

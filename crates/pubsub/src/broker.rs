@@ -23,6 +23,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Default upper bound on how long a publish waits for queue space under
+/// [`OverflowPolicy::Block`] before giving the event up as dropped.
+pub const DEFAULT_BLOCK_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Identifier of a subscriber registered with a [`Broker`].
 #[derive(
@@ -39,12 +44,38 @@ impl fmt::Display for SubscriberId {
 /// What to do when a bounded delivery queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OverflowPolicy {
-    /// Drop the event for that subscriber and count it in the stats.
+    /// Drop the new event for that subscriber and count it in the stats
+    /// (`drop-new`).
     #[default]
     DropAndCount,
+    /// Evict the oldest queued event to make room for the new one
+    /// (`drop-old`). The eviction is counted as a drop. Under this policy
+    /// the broker keeps a handle on each queue's receiving side, so a
+    /// subscriber that silently drops its [`SubscriberHandle`] is not
+    /// detected until it deregisters.
+    DropOldest,
+    /// Block the publisher until space frees up, bounded by the broker's
+    /// block timeout ([`BrokerBuilder::block_timeout`]); on timeout the
+    /// event is dropped and counted. This is real backpressure: one slow
+    /// subscriber throttles publishers.
+    Block,
     /// Abort the publish with [`BrokerError::QueueFull`]. Deliveries already
     /// made to other subscribers are not rolled back.
     Error,
+}
+
+impl OverflowPolicy {
+    /// Parse the CLI spelling used by `reefd --overflow`
+    /// (`drop-new` | `drop-old` | `block` | `error`).
+    pub fn parse(s: &str) -> Option<OverflowPolicy> {
+        match s {
+            "drop-new" => Some(OverflowPolicy::DropAndCount),
+            "drop-old" => Some(OverflowPolicy::DropOldest),
+            "block" => Some(OverflowPolicy::Block),
+            "error" => Some(OverflowPolicy::Error),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of a successful publish.
@@ -52,6 +83,8 @@ pub enum OverflowPolicy {
 pub struct PublishOutcome {
     /// Identifier assigned to the event.
     pub id: EventId,
+    /// Broker-local logical timestamp assigned to the event.
+    pub published_at: u64,
     /// Number of subscribers the event was delivered to.
     pub delivered: usize,
     /// Number of subscribers that lost the event to queue overflow.
@@ -60,6 +93,39 @@ pub struct PublishOutcome {
 
 struct SubscriberEntry {
     sender: Sender<PublishedEvent>,
+    /// Receiving side, held only under [`OverflowPolicy::DropOldest`] so
+    /// the broker can evict the oldest queued event.
+    evictor: Option<Receiver<PublishedEvent>>,
+}
+
+impl SubscriberEntry {
+    /// Cheap clone of the queue endpoints, so events can be offered
+    /// after the broker lock is released.
+    fn queue_handle(&self) -> QueueHandle {
+        QueueHandle {
+            sender: self.sender.clone(),
+            evictor: self.evictor.clone(),
+        }
+    }
+}
+
+/// A snapshot of one subscriber's queue endpoints, detached from the
+/// broker's locked state.
+struct QueueHandle {
+    sender: Sender<PublishedEvent>,
+    evictor: Option<Receiver<PublishedEvent>>,
+}
+
+/// What happened when one event was offered to one subscriber queue.
+enum Offer {
+    /// Placed on the queue.
+    Delivered,
+    /// Placed on the queue after evicting the oldest queued event.
+    DeliveredEvicting,
+    /// Lost: the queue was full and stayed full.
+    DroppedFull,
+    /// Lost: the subscriber's receiving handle is gone.
+    DroppedGone,
 }
 
 struct BrokerInner {
@@ -87,6 +153,7 @@ pub struct Broker {
     schema: Option<Schema>,
     queue_capacity: Option<usize>,
     overflow: OverflowPolicy,
+    block_timeout: Duration,
     stats: BrokerStats,
     next_subscriber: AtomicU64,
     next_subscription: AtomicU64,
@@ -134,10 +201,17 @@ impl Broker {
             Some(cap) => channel::bounded(cap),
             None => channel::unbounded(),
         };
-        self.inner
-            .write()
-            .subscribers
-            .insert(id, SubscriberEntry { sender: tx });
+        let evictor = match self.overflow {
+            OverflowPolicy::DropOldest => Some(rx.clone()),
+            _ => None,
+        };
+        self.inner.write().subscribers.insert(
+            id,
+            SubscriberEntry {
+                sender: tx,
+                evictor,
+            },
+        );
         (id, SubscriberHandle { id, receiver: rx })
     }
 
@@ -231,23 +305,37 @@ impl Broker {
             published_at,
             event,
         };
-        let inner = self.inner.read();
-        let matched = inner.matcher.matches(&published.event);
+        // Match and snapshot the target queues under the read lock, then
+        // release it before offering: under OverflowPolicy::Block an
+        // offer can sleep for the block timeout, and holding the lock
+        // across that would stall every subscribe/deregister (and, via
+        // `deliver`, a federation's routing pump).
+        let targets: Vec<(SubscriberId, QueueHandle)> = {
+            let inner = self.inner.read();
+            inner
+                .matcher
+                .matches(&published.event)
+                .into_iter()
+                .filter_map(|sub| {
+                    let owner = inner.owners.get(&sub)?;
+                    let entry = inner.subscribers.get(owner)?;
+                    Some((*owner, entry.queue_handle()))
+                })
+                .collect()
+        };
         let mut delivered = 0usize;
         let mut dropped = 0usize;
         // One subscriber may hold several matching subscriptions; deliver
         // one copy per matching *subscription*, as real brokers do (the
         // frontend can dedup if it wants to).
-        for sub in matched {
-            let Some(owner) = inner.owners.get(&sub) else {
-                continue;
-            };
-            let Some(entry) = inner.subscribers.get(owner) else {
-                continue;
-            };
-            match entry.sender.try_send(published.clone()) {
-                Ok(()) => delivered += 1,
-                Err(TrySendError::Full(_)) => {
+        for (owner, queue) in &targets {
+            match self.offer(queue, published.clone()) {
+                Offer::Delivered => delivered += 1,
+                Offer::DeliveredEvicting => {
+                    delivered += 1;
+                    dropped += 1;
+                }
+                Offer::DroppedFull => {
                     dropped += 1;
                     if self.overflow == OverflowPolicy::Error {
                         self.stats.record_publish();
@@ -260,7 +348,7 @@ impl Broker {
                     }
                 }
                 // Receiver handle dropped: treat like an implicit deregister.
-                Err(TrySendError::Disconnected(_)) => dropped += 1,
+                Offer::DroppedGone => dropped += 1,
             }
         }
         self.stats.record_publish();
@@ -268,9 +356,110 @@ impl Broker {
         self.stats.record_drop(dropped as u64);
         Ok(PublishOutcome {
             id,
+            published_at,
             delivered,
             dropped,
         })
+    }
+
+    /// Place an already-published event directly on the queue of the
+    /// subscriber owning `sub`, bypassing matching.
+    ///
+    /// This is the delivery half used by federation drivers: a remote
+    /// broker has already matched the event against the forwarded
+    /// subscription, so the local broker only has to find the owner and
+    /// enqueue, preserving the origin broker's event id and timestamp.
+    /// Returns `true` if the event was queued, `false` if it was dropped
+    /// (queue overflow or a vanished subscriber handle); drops are
+    /// counted in the broker stats either way.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::UnknownSubscription`] if `sub` does not exist.
+    /// * [`BrokerError::QueueFull`] under [`OverflowPolicy::Error`] when
+    ///   the owner's queue overflows.
+    pub fn deliver(&self, sub: SubscriptionId, event: PublishedEvent) -> Result<bool, BrokerError> {
+        // Snapshot the queue under the lock, offer outside it (see
+        // `publish` for why).
+        let (owner, queue) = {
+            let inner = self.inner.read();
+            let owner = *inner
+                .owners
+                .get(&sub)
+                .ok_or(BrokerError::UnknownSubscription(sub))?;
+            let Some(entry) = inner.subscribers.get(&owner) else {
+                return Err(BrokerError::UnknownSubscriber(owner));
+            };
+            (owner, entry.queue_handle())
+        };
+        match self.offer(&queue, event) {
+            Offer::Delivered => {
+                self.stats.record_delivery(1);
+                Ok(true)
+            }
+            Offer::DeliveredEvicting => {
+                self.stats.record_delivery(1);
+                self.stats.record_drop(1);
+                Ok(true)
+            }
+            Offer::DroppedFull => {
+                self.stats.record_drop(1);
+                if self.overflow == OverflowPolicy::Error {
+                    return Err(BrokerError::QueueFull {
+                        subscriber: owner,
+                        capacity: self.queue_capacity.unwrap_or(0),
+                    });
+                }
+                Ok(false)
+            }
+            Offer::DroppedGone => {
+                self.stats.record_drop(1);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Offer one event to one subscriber queue under the broker's
+    /// overflow policy. Called without the broker lock held: under
+    /// [`OverflowPolicy::Block`] this may sleep up to the block timeout.
+    fn offer(&self, queue: &QueueHandle, event: PublishedEvent) -> Offer {
+        match queue.sender.try_send(event) {
+            Ok(()) => Offer::Delivered,
+            Err(TrySendError::Full(event)) => match self.overflow {
+                OverflowPolicy::DropAndCount | OverflowPolicy::Error => Offer::DroppedFull,
+                OverflowPolicy::DropOldest => {
+                    let evicted = queue
+                        .evictor
+                        .as_ref()
+                        .is_some_and(|rx| rx.try_recv().is_ok());
+                    match queue.sender.try_send(event) {
+                        Ok(()) if evicted => Offer::DeliveredEvicting,
+                        Ok(()) => Offer::Delivered,
+                        Err(_) => Offer::DroppedFull,
+                    }
+                }
+                OverflowPolicy::Block => match queue.sender.send_timeout(event, self.block_timeout)
+                {
+                    Ok(()) => Offer::Delivered,
+                    Err(channel::SendTimeoutError::Timeout(_)) => Offer::DroppedFull,
+                    Err(channel::SendTimeoutError::Disconnected(_)) => Offer::DroppedGone,
+                },
+            },
+            Err(TrySendError::Disconnected(_)) => Offer::DroppedGone,
+        }
+    }
+
+    /// Start minting event ids from `base` instead of 0, provided no
+    /// event has been published yet. Returns whether the rebase applied.
+    ///
+    /// Federation drivers use this to namespace event ids per broker
+    /// (e.g. `broker_id << 32`), so events forwarded between daemons
+    /// never collide on [`EventId`]. `published_at` timestamps remain
+    /// each broker's private logical clock either way.
+    pub fn namespace_event_ids(&self, base: u64) -> bool {
+        self.next_event
+            .compare_exchange(0, base, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
     }
 
     /// Number of live subscriptions.
@@ -300,6 +489,7 @@ pub struct BrokerBuilder {
     schema: Option<Schema>,
     queue_capacity: Option<usize>,
     overflow: OverflowPolicy,
+    block_timeout: Option<Duration>,
     matcher: Option<Box<dyn MatchEngine>>,
 }
 
@@ -332,6 +522,13 @@ impl BrokerBuilder {
         self
     }
 
+    /// Bound how long a publish may block on a full queue under
+    /// [`OverflowPolicy::Block`] (default [`DEFAULT_BLOCK_TIMEOUT`]).
+    pub fn block_timeout(mut self, timeout: Duration) -> Self {
+        self.block_timeout = Some(timeout);
+        self
+    }
+
     /// Use a custom matching engine (defaults to [`IndexMatcher`]).
     pub fn matcher(mut self, matcher: Box<dyn MatchEngine>) -> Self {
         self.matcher = Some(matcher);
@@ -351,6 +548,7 @@ impl BrokerBuilder {
             schema: self.schema,
             queue_capacity: self.queue_capacity,
             overflow: self.overflow,
+            block_timeout: self.block_timeout.unwrap_or(DEFAULT_BLOCK_TIMEOUT),
             stats: BrokerStats::default(),
             next_subscriber: AtomicU64::new(0),
             next_subscription: AtomicU64::new(0),
@@ -520,6 +718,102 @@ mod tests {
             broker.publish(Event::new()),
             Err(BrokerError::QueueFull { .. })
         ));
+    }
+
+    #[test]
+    fn drop_oldest_policy_keeps_newest_events() {
+        let broker = Broker::builder()
+            .queue_capacity(2)
+            .overflow(OverflowPolicy::DropOldest)
+            .build();
+        let (a, ha) = broker.register();
+        broker.subscribe(a, Filter::new()).unwrap();
+        for i in 0..5i64 {
+            broker
+                .publish(Event::builder().attr("i", i).build())
+                .unwrap();
+        }
+        let got: Vec<i64> = ha
+            .drain()
+            .iter()
+            .map(|e| e.event.get("i").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(got, vec![3, 4], "oldest events were evicted");
+        let stats = broker.stats();
+        assert_eq!(stats.deliveries, 5, "every publish was enqueued");
+        assert_eq!(stats.drops, 3, "three evictions counted as drops");
+    }
+
+    #[test]
+    fn block_policy_waits_for_space_then_drops() {
+        let broker = Broker::builder()
+            .queue_capacity(1)
+            .overflow(OverflowPolicy::Block)
+            .block_timeout(Duration::from_millis(50))
+            .build();
+        let (a, ha) = broker.register();
+        broker.subscribe(a, Filter::new()).unwrap();
+        broker.publish(Event::new()).unwrap();
+        // Queue full, nobody draining: the publish blocks for the timeout
+        // and then counts a drop.
+        let out = broker.publish(Event::new()).unwrap();
+        assert_eq!(out.dropped, 1);
+        // With a draining consumer the publish goes through.
+        let drainer = {
+            let rx = ha.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                rx.drain().len()
+            })
+        };
+        let out = broker.publish(Event::new()).unwrap();
+        assert_eq!(out.delivered, 1);
+        drainer.join().unwrap();
+    }
+
+    #[test]
+    fn deliver_bypasses_matching_and_keeps_event_identity() {
+        let broker = Broker::new();
+        let (a, ha) = broker.register();
+        // The filter would never match this event; deliver ignores it.
+        let sub = broker.subscribe(a, Filter::topic("nope")).unwrap();
+        let remote = PublishedEvent {
+            id: EventId(77),
+            published_at: 123,
+            event: Event::topical("t", "x"),
+        };
+        assert!(broker.deliver(sub, remote.clone()).unwrap());
+        let got = ha.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, EventId(77));
+        assert_eq!(got[0].published_at, 123);
+        assert!(matches!(
+            broker.deliver(SubscriptionId(99), remote),
+            Err(BrokerError::UnknownSubscription(_))
+        ));
+    }
+
+    #[test]
+    fn publish_outcome_reports_timestamp() {
+        let broker = Broker::new();
+        let a = broker.publish(Event::new()).unwrap();
+        let b = broker.publish(Event::new()).unwrap();
+        assert!(b.published_at > a.published_at);
+    }
+
+    #[test]
+    fn overflow_policy_parses_cli_spellings() {
+        assert_eq!(
+            OverflowPolicy::parse("drop-new"),
+            Some(OverflowPolicy::DropAndCount)
+        );
+        assert_eq!(
+            OverflowPolicy::parse("drop-old"),
+            Some(OverflowPolicy::DropOldest)
+        );
+        assert_eq!(OverflowPolicy::parse("block"), Some(OverflowPolicy::Block));
+        assert_eq!(OverflowPolicy::parse("error"), Some(OverflowPolicy::Error));
+        assert_eq!(OverflowPolicy::parse("yolo"), None);
     }
 
     #[test]

@@ -15,10 +15,14 @@
 //!   a common trait ([`MatchEngine`]);
 //! * a thread-safe single-node **broker** ([`Broker`]) with per-subscriber
 //!   delivery queues;
-//! * a deterministic **multi-broker overlay** ([`Overlay`]) with
-//!   subscription forwarding, covering-based pruning and reverse-path
-//!   event routing over a simulated, byte-accounted network
-//!   ([`net::SimNet`]).
+//! * a sans-io **broker routing core** ([`BrokerNode`]) — subscription
+//!   forwarding, covering-based pruning and reverse-path event routing as
+//!   a pure message-in/message-out state machine ([`PeerMsg`]), with no
+//!   I/O and no clock;
+//! * a [`net::Transport`] abstraction over the message plane between
+//!   brokers, and a deterministic **multi-broker overlay** ([`Overlay`])
+//!   driving `BrokerNode`s over the simulated, byte-accounted
+//!   [`net::SimTransport`] (`reef-wire` drives the same core over TCP).
 //!
 //! # Quickstart
 //!
@@ -50,13 +54,14 @@ pub mod value;
 
 pub use broker::{
     Broker, BrokerBuilder, OverflowPolicy, PublishOutcome, SubscriberHandle, SubscriberId,
+    DEFAULT_BLOCK_TIMEOUT,
 };
 pub use error::{BrokerError, OverlayError, SchemaError};
 pub use event::{Event, EventBuilder, EventId, PublishedEvent, TOPIC_ATTR};
 pub use filter::{Filter, Op, Predicate};
 pub use matcher::{IndexMatcher, MatchEngine, NaiveMatcher, SubscriptionId};
-pub use net::{NetStats, NodeId};
-pub use overlay::{ClientId, GlobalSubId, Overlay};
+pub use net::{NetStats, NodeId, SimTransport, Transport, TransportDelivery};
+pub use overlay::{BrokerNode, ClientId, GlobalSubId, NodeOutput, Overlay, PeerMsg, MAX_HOPS};
 pub use parse::{parse_filter, parse_filters, ParseFilterError};
 pub use schema::{feed_events_schema, stock_quote_schema, AttrSpec, Schema, SchemaBuilder};
 pub use stats::BrokerStatsSnapshot;

@@ -1,4 +1,4 @@
-//! Deterministic simulated network.
+//! Deterministic simulated network and the transport abstraction.
 //!
 //! The paper's evaluation ran over the real Internet; we substitute a
 //! virtual-time message-passing network so experiments are reproducible and
@@ -6,7 +6,14 @@
 //! account every byte that crosses the wire. Messages are delivered in
 //! timestamp order with FIFO tie-breaking, so a simulation driven through
 //! [`SimNet::recv_next`] is fully deterministic.
+//!
+//! On top of the raw [`SimNet`] sits the [`Transport`] trait: the message
+//! plane a [`crate::BrokerNode`] driver sends [`crate::PeerMsg`]s through.
+//! [`SimTransport`] is the deterministic in-process implementation used by
+//! [`crate::Overlay`]; `reef-wire` provides a `TcpTransport` that carries
+//! the identical messages between daemons over OS sockets.
 
+use crate::overlay::PeerMsg;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -254,6 +261,121 @@ impl<M> SimNet<M> {
     /// Bytes sent on the directed link `src -> dst` so far.
     pub fn bytes_on_link(&self, src: NodeId, dst: NodeId) -> u64 {
         self.link_bytes.get(&(src, dst)).copied().unwrap_or(0)
+    }
+}
+
+/// One routed broker-to-broker message, as handed to a transport driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportDelivery {
+    /// Sending broker link.
+    pub src: NodeId,
+    /// Receiving broker link.
+    pub dst: NodeId,
+    /// The routing message.
+    pub msg: PeerMsg,
+}
+
+/// The message plane a [`crate::BrokerNode`] driver moves [`PeerMsg`]s
+/// through.
+///
+/// A transport is dumb on purpose: it carries messages between link
+/// endpoints and surfaces what arrived; every routing decision stays in
+/// the sans-io core. Two implementations exist: [`SimTransport`]
+/// (deterministic, virtual-time, in-process) and `reef-wire`'s
+/// `TcpTransport` (real sockets between daemons). Because both move the
+/// same `PeerMsg` values, a workload scripted against one can be replayed
+/// against the other — the transport-equivalence property test does
+/// exactly that.
+pub trait Transport {
+    /// Transport-specific failure type.
+    type Error: Error;
+
+    /// Queue `msg` from link endpoint `src` toward `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; e.g. the endpoints are not connected.
+    fn send(&mut self, src: NodeId, dst: NodeId, msg: PeerMsg) -> Result<(), Self::Error>;
+
+    /// The next message that has arrived, if any.
+    ///
+    /// `None` means "nothing available right now"; for [`SimTransport`]
+    /// that is equivalent to "the network is idle", while a socket-backed
+    /// transport may produce more messages later.
+    fn recv(&mut self) -> Option<TransportDelivery>;
+}
+
+/// The deterministic in-process [`Transport`]: a thin wrapper around
+/// [`SimNet`] that byte-accounts every [`PeerMsg`] and delivers in
+/// virtual-time order.
+///
+/// # Examples
+///
+/// ```
+/// use reef_pubsub::net::{SimTransport, Transport};
+/// use reef_pubsub::{GlobalSubId, PeerMsg};
+///
+/// let mut t = SimTransport::new();
+/// let a = t.add_node();
+/// let b = t.add_node();
+/// t.connect(a, b, 3);
+/// t.send(a, b, PeerMsg::UnsubFwd { sub: GlobalSubId(1) }).unwrap();
+/// let d = t.recv().unwrap();
+/// assert_eq!((d.src, d.dst), (a, b));
+/// assert_eq!(t.now(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimTransport {
+    net: SimNet<PeerMsg>,
+}
+
+impl SimTransport {
+    /// An empty transport with no nodes.
+    pub fn new() -> Self {
+        SimTransport { net: SimNet::new() }
+    }
+
+    /// Add a link endpoint and return its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.net.add_node()
+    }
+
+    /// Create a bidirectional link with the given one-way latency.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, latency: u64) {
+        self.net.connect(a, b, latency);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// Aggregate traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Bytes sent on the directed link `src -> dst` so far.
+    pub fn bytes_on_link(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.net.bytes_on_link(src, dst)
+    }
+}
+
+impl Transport for SimTransport {
+    type Error = NetError;
+
+    fn send(&mut self, src: NodeId, dst: NodeId, msg: PeerMsg) -> Result<(), NetError> {
+        let size = msg.wire_size();
+        self.net.send(src, dst, msg, size)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Option<TransportDelivery> {
+        self.net.recv_next().map(|env| TransportDelivery {
+            src: env.src,
+            dst: env.dst,
+            msg: env.payload,
+        })
     }
 }
 

@@ -2,8 +2,23 @@
 //!
 //! The Reef paper's substrate box (Figures 1 and 2) is a wide-area
 //! publish-subscribe system in the tradition of Siena and Gryphon (§5.3).
-//! This module implements that substrate: a *tree* of brokers connected by
-//! simulated links ([`crate::net::SimNet`]), with
+//! This module implements that substrate as a **sans-io state machine**
+//! plus a simulation driver:
+//!
+//! * [`BrokerNode`] — one broker's routing brain. It owns the routing
+//!   table, advertisement state and covering logic, and communicates
+//!   exclusively through values: every entry point returns the
+//!   [`PeerMsg`]s that must be sent to neighboring brokers, and
+//!   [`BrokerNode::handle`] consumes one incoming message and returns the
+//!   local deliveries plus follow-up messages it caused. The node performs
+//!   no I/O and reads no clock, so the same core can be driven by the
+//!   deterministic [`crate::net::SimNet`] simulation *or* by real sockets
+//!   (see `reef-wire`'s TCP federation).
+//! * [`Overlay`] — the deterministic multi-broker driver: a *tree* of
+//!   [`BrokerNode`]s over a [`crate::net::SimTransport`], with client
+//!   attachment, mailboxes and virtual-time message delivery.
+//!
+//! The routing protocol itself is unchanged from the classic design:
 //!
 //! * **subscription forwarding** — a subscription placed at one broker is
 //!   advertised through the tree so events published anywhere reach it;
@@ -13,16 +28,12 @@
 //!   traffic (ablation in bench **B2**);
 //! * **reverse-path event routing** — an event is forwarded only on links
 //!   from which a matching interest was advertised.
-//!
-//! The overlay is single-threaded and deterministic: operations enqueue
-//! messages, and [`Overlay::run_until_idle`] drains them in virtual-time
-//! order.
 
 use crate::error::OverlayError;
 use crate::event::{Event, EventId, PublishedEvent};
 use crate::filter::Filter;
 use crate::matcher::{IndexMatcher, MatchEngine, SubscriptionId};
-use crate::net::{NetStats, NodeId, SimNet};
+use crate::net::{NetStats, NodeId, SimTransport, Transport};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -40,6 +51,10 @@ impl fmt::Display for ClientId {
 }
 
 /// Overlay-wide subscription identifier.
+///
+/// The sans-io core does not mint these itself: the driver supplies them,
+/// so a simulation can use a dense global counter while a federation of
+/// independent daemons namespaces ids by broker to keep them unique.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
@@ -51,6 +66,11 @@ impl fmt::Display for GlobalSubId {
     }
 }
 
+/// Ceiling on [`PeerMsg::EventFwd`] hop counts. A correctly configured
+/// overlay is a tree and never approaches this; the limit stops an
+/// accidentally cyclic federation from forwarding an event forever.
+pub const MAX_HOPS: u32 = 32;
+
 /// Where a broker learned about a subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SubOrigin {
@@ -61,29 +81,111 @@ enum SubOrigin {
 }
 
 /// Messages exchanged between brokers.
-#[derive(Debug, Clone, PartialEq)]
-#[allow(clippy::enum_variant_names)]
-enum OverlayMessage {
-    /// Advertise a subscription to a neighbor.
-    SubFwd { sub: GlobalSubId, filter: Filter },
+///
+/// This is the complete broker-to-broker vocabulary of the routing
+/// protocol. The enum is serde-serializable so transports can ship it
+/// as-is — the simulation passes it by value, `reef-wire` JSON-encodes it
+/// into peer frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PeerMsg {
+    /// Advertise a subscription to a neighbor (covering-pruned: only
+    /// maximal filters are advertised when pruning is on).
+    SubFwd {
+        /// Overlay-wide id of the advertised subscription.
+        sub: GlobalSubId,
+        /// The subscription's filter.
+        filter: Filter,
+    },
     /// Withdraw a previously advertised subscription.
-    UnsubFwd { sub: GlobalSubId },
+    UnsubFwd {
+        /// Id of the subscription being withdrawn.
+        sub: GlobalSubId,
+    },
     /// Forward a published event along the tree.
-    EventFwd { event: PublishedEvent },
+    EventFwd {
+        /// The event, with origin-broker id and timestamp.
+        event: PublishedEvent,
+        /// Broker-to-broker hops travelled so far (0 = first link).
+        hops: u32,
+    },
 }
 
-impl OverlayMessage {
-    fn wire_size(&self) -> usize {
+impl PeerMsg {
+    /// Accounted size of this message on a byte-counting transport.
+    pub fn wire_size(&self) -> usize {
         match self {
-            OverlayMessage::SubFwd { filter, .. } => filter.wire_size() + 16,
-            OverlayMessage::UnsubFwd { .. } => 16,
-            OverlayMessage::EventFwd { event } => event.event.wire_size() + 24,
+            PeerMsg::SubFwd { filter, .. } => filter.wire_size() + 16,
+            PeerMsg::UnsubFwd { .. } => 16,
+            PeerMsg::EventFwd { event, .. } => event.event.wire_size() + 24,
         }
     }
 }
 
-/// Per-broker state.
-struct BrokerNode {
+/// What a [`BrokerNode`] wants done after processing one input: events to
+/// hand to locally attached clients, and messages to send to neighbors.
+///
+/// The node never performs these effects itself — the driver (simulated
+/// or socket-backed) owns delivery and transmission.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeOutput {
+    /// Events to deliver to local clients, one entry per matching local
+    /// subscription (a client with two matching subscriptions appears
+    /// twice, mirroring the flat broker's per-subscription delivery).
+    pub deliveries: Vec<(ClientId, PublishedEvent)>,
+    /// Messages to transmit, in order, to the named neighbors.
+    pub messages: Vec<(NodeId, PeerMsg)>,
+}
+
+impl NodeOutput {
+    fn from_messages(messages: Vec<(NodeId, PeerMsg)>) -> Self {
+        NodeOutput {
+            deliveries: Vec::new(),
+            messages,
+        }
+    }
+}
+
+/// One broker's routing core: a transport-agnostic, clock-free state
+/// machine.
+///
+/// A `BrokerNode` knows its neighbors only as opaque [`NodeId`] link
+/// handles; what those handles mean (a simulated link, a TCP connection)
+/// is the driver's business. All mutation happens through four entry
+/// points — [`subscribe_local`](Self::subscribe_local),
+/// [`unsubscribe_local`](Self::unsubscribe_local),
+/// [`publish_local`](Self::publish_local) and [`handle`](Self::handle) —
+/// each returning the messages (and, for events, local deliveries) the
+/// driver must carry out.
+///
+/// # Examples
+///
+/// Two nodes wired back-to-back by hand, no transport at all:
+///
+/// ```
+/// use reef_pubsub::net::NodeId;
+/// use reef_pubsub::{BrokerNode, ClientId, Event, EventId, Filter, GlobalSubId, PublishedEvent};
+///
+/// let (a, b) = (NodeId(0), NodeId(1));
+/// let mut node_a = BrokerNode::new(true);
+/// let mut node_b = BrokerNode::new(true);
+/// node_a.add_neighbor(b);
+/// node_b.add_neighbor(a);
+///
+/// // A subscription at B is advertised to A...
+/// let ads = node_b.subscribe_local(GlobalSubId(0), ClientId(0), Filter::topic("t"));
+/// for (_, msg) in ads {
+///     node_a.handle(b, msg);
+/// }
+/// // ...so a publish at A is forwarded to B and delivered there.
+/// let event = PublishedEvent { id: EventId(0), published_at: 0, event: Event::topical("t", "x") };
+/// let out = node_a.publish_local(event);
+/// let (dst, fwd) = out.messages.into_iter().next().unwrap();
+/// assert_eq!(dst, b);
+/// let delivered = node_b.handle(a, fwd);
+/// assert_eq!(delivered.deliveries.len(), 1);
+/// ```
+pub struct BrokerNode {
+    covering: bool,
     neighbors: Vec<NodeId>,
     /// Everything this broker knows: local subs and neighbor advertisements.
     matcher: IndexMatcher,
@@ -93,15 +195,156 @@ struct BrokerNode {
     advertised: HashMap<NodeId, BTreeMap<GlobalSubId, Filter>>,
 }
 
+impl fmt::Debug for BrokerNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerNode")
+            .field("neighbors", &self.neighbors.len())
+            .field("routing_entries", &self.matcher.len())
+            .field("covering", &self.covering)
+            .finish()
+    }
+}
+
 impl BrokerNode {
-    fn new() -> Self {
+    /// An isolated node with no neighbors. `covering` enables
+    /// covering-based advertisement pruning.
+    pub fn new(covering: bool) -> Self {
         BrokerNode {
+            covering,
             neighbors: Vec::new(),
             matcher: IndexMatcher::new(),
             origin: HashMap::new(),
             filters: HashMap::new(),
             advertised: HashMap::new(),
         }
+    }
+
+    /// Whether covering-based pruning is enabled.
+    pub fn covering(&self) -> bool {
+        self.covering
+    }
+
+    /// The node's current neighbor links.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Register a new neighbor link and return the advertisements that
+    /// must be sent to bring it up to date with this node's current
+    /// knowledge (empty when the node knows no subscriptions yet).
+    pub fn add_neighbor(&mut self, neighbor: NodeId) -> Vec<(NodeId, PeerMsg)> {
+        if !self.neighbors.contains(&neighbor) {
+            self.neighbors.push(neighbor);
+        }
+        self.sync_advertisements()
+    }
+
+    /// Drop a neighbor link: forget everything it advertised and
+    /// re-advertise to the remaining neighbors (filters that were pruned
+    /// because the departed neighbor covered them may need to resurface).
+    pub fn remove_neighbor(&mut self, neighbor: NodeId) -> Vec<(NodeId, PeerMsg)> {
+        self.neighbors.retain(|n| *n != neighbor);
+        self.advertised.remove(&neighbor);
+        let gone: Vec<GlobalSubId> = self
+            .origin
+            .iter()
+            .filter(|(_, o)| matches!(o, SubOrigin::Neighbor(n) if *n == neighbor))
+            .map(|(s, _)| *s)
+            .collect();
+        for sub in gone {
+            self.remove_sub(sub);
+        }
+        self.sync_advertisements()
+    }
+
+    /// Place a subscription for a locally attached client. Returns the
+    /// advertisements to propagate.
+    ///
+    /// The caller mints `sub`; it must be unique across the whole overlay
+    /// (a federation of daemons namespaces the id space per broker).
+    pub fn subscribe_local(
+        &mut self,
+        sub: GlobalSubId,
+        client: ClientId,
+        filter: Filter,
+    ) -> Vec<(NodeId, PeerMsg)> {
+        self.insert_sub(sub, SubOrigin::Local(client), filter);
+        self.sync_advertisements()
+    }
+
+    /// Withdraw a locally placed subscription. Returns the control
+    /// messages to propagate. `false` means the id was unknown (no
+    /// messages are produced).
+    pub fn unsubscribe_local(&mut self, sub: GlobalSubId) -> Vec<(NodeId, PeerMsg)> {
+        if self.remove_sub(sub) {
+            self.sync_advertisements()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Route an event published by a locally attached client.
+    ///
+    /// The returned output contains the local deliveries (the publisher's
+    /// own broker may host matching subscribers) and the forwards toward
+    /// interested neighbors, with hop count 0.
+    pub fn publish_local(&mut self, event: PublishedEvent) -> NodeOutput {
+        self.route_event(None, event, 0)
+    }
+
+    /// Process one message received from neighbor `from` and return the
+    /// effects: local deliveries and follow-up messages.
+    pub fn handle(&mut self, from: NodeId, msg: PeerMsg) -> NodeOutput {
+        match msg {
+            PeerMsg::SubFwd { sub, filter } => {
+                // A SubFwd for a subscription this node already knows from
+                // elsewhere is a cycle echo (the overlay is supposed to be
+                // a tree, but a misconfigured federation is not). Adopting
+                // it would overwrite the true origin — destroying a local
+                // subscription or flipping a reverse path — so drop it;
+                // only a re-advertisement from the same neighbor (a link
+                // re-sync) updates the filter.
+                match self.origin.get(&sub) {
+                    Some(SubOrigin::Local(_)) => return NodeOutput::default(),
+                    Some(SubOrigin::Neighbor(n)) if *n != from => {
+                        return NodeOutput::default();
+                    }
+                    _ => {}
+                }
+                self.insert_sub(sub, SubOrigin::Neighbor(from), filter);
+                NodeOutput::from_messages(self.sync_advertisements())
+            }
+            PeerMsg::UnsubFwd { sub } => {
+                if self.remove_sub(sub) {
+                    NodeOutput::from_messages(self.sync_advertisements())
+                } else {
+                    NodeOutput::default()
+                }
+            }
+            PeerMsg::EventFwd { event, hops } => {
+                if hops >= MAX_HOPS {
+                    return NodeOutput::default();
+                }
+                self.route_event(Some(from), event, hops + 1)
+            }
+        }
+    }
+
+    /// Routing-table entries this node holds (local subscriptions plus
+    /// neighbor advertisements).
+    pub fn routing_entries(&self) -> usize {
+        self.matcher.len()
+    }
+
+    /// Advertisements currently held toward neighbors.
+    pub fn advertisement_count(&self) -> usize {
+        self.advertised.values().map(BTreeMap::len).sum()
+    }
+
+    /// Everything this node currently knows: each subscription id with
+    /// its filter, local and neighbor-advertised alike.
+    pub fn knowledge(&self) -> impl Iterator<Item = (GlobalSubId, &Filter)> {
+        self.filters.iter().map(|(sub, f)| (*sub, f))
     }
 
     fn insert_sub(&mut self, sub: GlobalSubId, origin: SubOrigin, filter: Filter) {
@@ -125,7 +368,7 @@ impl BrokerNode {
     /// dropped when another candidate strictly covers it, or when an
     /// equivalent candidate with a smaller id exists (canonical
     /// representative of an equivalence class).
-    fn desired_ads(&self, neighbor: NodeId, covering: bool) -> BTreeMap<GlobalSubId, Filter> {
+    fn desired_ads(&self, neighbor: NodeId) -> BTreeMap<GlobalSubId, Filter> {
         let candidates: BTreeMap<GlobalSubId, &Filter> = self
             .filters
             .iter()
@@ -136,7 +379,7 @@ impl BrokerNode {
             })
             .map(|(sub, f)| (*sub, f))
             .collect();
-        if !covering {
+        if !self.covering {
             return candidates
                 .into_iter()
                 .map(|(s, f)| (s, f.clone()))
@@ -161,6 +404,83 @@ impl BrokerNode {
         }
         out
     }
+
+    /// Diff desired vs actual advertisements toward each neighbor and
+    /// return the control messages closing the gap.
+    fn sync_advertisements(&mut self) -> Vec<(NodeId, PeerMsg)> {
+        let mut to_send: Vec<(NodeId, PeerMsg)> = Vec::new();
+        let neighbors = self.neighbors.clone();
+        for n in neighbors {
+            let desired = self.desired_ads(n);
+            let current = self.advertised.entry(n).or_default();
+            let mut removals: Vec<GlobalSubId> = Vec::new();
+            for sub in current.keys() {
+                if !desired.contains_key(sub) {
+                    removals.push(*sub);
+                }
+            }
+            for sub in removals {
+                current.remove(&sub);
+                to_send.push((n, PeerMsg::UnsubFwd { sub }));
+            }
+            for (sub, filter) in &desired {
+                // Re-send when the id is new to this neighbor *or* the
+                // filter changed: a same-neighbor re-advertisement (a
+                // link re-sync) may update a subscription's filter, and
+                // that update must travel onward, not stop one hop in.
+                if current.get(sub) != Some(filter) {
+                    current.insert(*sub, filter.clone());
+                    to_send.push((
+                        n,
+                        PeerMsg::SubFwd {
+                            sub: *sub,
+                            filter: filter.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        to_send
+    }
+
+    /// Deliver locally and forward along interested links.
+    fn route_event(
+        &mut self,
+        from: Option<NodeId>,
+        event: PublishedEvent,
+        hops: u32,
+    ) -> NodeOutput {
+        let matched = self.matcher.matches(&event.event);
+        let mut local: Vec<ClientId> = Vec::new();
+        let mut forward: Vec<NodeId> = Vec::new();
+        for m in matched {
+            match self.origin.get(&GlobalSubId(m.0)) {
+                Some(SubOrigin::Local(c)) => local.push(*c),
+                Some(SubOrigin::Neighbor(n)) if Some(*n) != from && !forward.contains(n) => {
+                    forward.push(*n);
+                }
+                Some(SubOrigin::Neighbor(_)) | None => {}
+            }
+        }
+        forward.sort_unstable_by_key(|n| n.0);
+        let deliveries = local.into_iter().map(|c| (c, event.clone())).collect();
+        let messages = forward
+            .into_iter()
+            .map(|n| {
+                (
+                    n,
+                    PeerMsg::EventFwd {
+                        event: event.clone(),
+                        hops,
+                    },
+                )
+            })
+            .collect();
+        NodeOutput {
+            deliveries,
+            messages,
+        }
+    }
 }
 
 /// Per-client state: attachment point and mailbox.
@@ -172,6 +492,11 @@ struct ClientState {
 }
 
 /// A deterministic multi-broker publish-subscribe overlay.
+///
+/// `Overlay` is a thin driver: it holds one [`BrokerNode`] per broker and
+/// shuttles [`PeerMsg`]s between them over a [`SimTransport`] in
+/// virtual-time order. All routing decisions live in the nodes; all
+/// delivery and transmission lives here.
 ///
 /// # Examples
 ///
@@ -192,7 +517,7 @@ struct ClientState {
 /// # Ok::<(), reef_pubsub::OverlayError>(())
 /// ```
 pub struct Overlay {
-    net: SimNet<OverlayMessage>,
+    transport: SimTransport,
     brokers: HashMap<NodeId, BrokerNode>,
     clients: HashMap<ClientId, ClientState>,
     covering: bool,
@@ -218,7 +543,7 @@ impl Overlay {
     /// advertisement pruning.
     pub fn new(covering: bool) -> Self {
         Overlay {
-            net: SimNet::new(),
+            transport: SimTransport::new(),
             brokers: HashMap::new(),
             clients: HashMap::new(),
             covering,
@@ -231,8 +556,8 @@ impl Overlay {
 
     /// Add a broker node.
     pub fn add_broker(&mut self) -> NodeId {
-        let id = self.net.add_node();
-        self.brokers.insert(id, BrokerNode::new());
+        let id = self.transport.add_node();
+        self.brokers.insert(id, BrokerNode::new(self.covering));
         self.parent.insert(id, id);
         id
     }
@@ -266,9 +591,11 @@ impl Overlay {
             return Err(OverlayError::WouldCreateCycle(a, b));
         }
         self.parent.insert(ra, rb);
-        self.net.connect(a, b, latency);
-        self.brokers.get_mut(&a).expect("checked").neighbors.push(b);
-        self.brokers.get_mut(&b).expect("checked").neighbors.push(a);
+        self.transport.connect(a, b, latency);
+        let sync_a = self.brokers.get_mut(&a).expect("checked").add_neighbor(b);
+        self.send_all(a, sync_a);
+        let sync_b = self.brokers.get_mut(&b).expect("checked").add_neighbor(a);
+        self.send_all(b, sync_b);
         Ok(())
     }
 
@@ -317,13 +644,13 @@ impl Overlay {
             .brokers
             .get_mut(&broker_id)
             .expect("client broker exists");
-        broker.insert_sub(sub, SubOrigin::Local(client), filter);
+        let messages = broker.subscribe_local(sub, client, filter);
         self.clients
             .get_mut(&client)
             .expect("checked")
             .subs
             .insert(sub);
-        self.sync_advertisements(broker_id);
+        self.send_all(broker_id, messages);
         Ok(sub)
     }
 
@@ -348,8 +675,8 @@ impl Overlay {
             .brokers
             .get_mut(&broker_id)
             .expect("client broker exists");
-        broker.remove_sub(sub);
-        self.sync_advertisements(broker_id);
+        let messages = broker.unsubscribe_local(sub);
+        self.send_all(broker_id, messages);
         Ok(())
     }
 
@@ -370,81 +697,31 @@ impl Overlay {
         self.next_event += 1;
         let published = PublishedEvent {
             id,
-            published_at: self.net.now(),
+            published_at: self.transport.now(),
             event,
         };
-        self.route_event(broker_id, None, published);
+        let output = self
+            .brokers
+            .get_mut(&broker_id)
+            .expect("client broker exists")
+            .publish_local(published);
+        self.apply(broker_id, output);
         Ok(id)
     }
 
-    /// Deliver locally and forward along interested links.
-    fn route_event(&mut self, at: NodeId, from: Option<NodeId>, event: PublishedEvent) {
-        let broker = self.brokers.get_mut(&at).expect("broker exists");
-        let matched = broker.matcher.matches(&event.event);
-        let mut local: Vec<ClientId> = Vec::new();
-        let mut forward: Vec<NodeId> = Vec::new();
-        for m in matched {
-            match broker.origin.get(&GlobalSubId(m.0)) {
-                Some(SubOrigin::Local(c)) => local.push(*c),
-                Some(SubOrigin::Neighbor(n)) if Some(*n) != from && !forward.contains(n) => {
-                    forward.push(*n);
-                }
-                Some(SubOrigin::Neighbor(_)) | None => {}
+    /// Hand a node's requested effects to the mailboxes and the transport.
+    fn apply(&mut self, at: NodeId, output: NodeOutput) {
+        for (client, event) in output.deliveries {
+            if let Some(state) = self.clients.get_mut(&client) {
+                state.mailbox.push(event);
             }
         }
-        forward.sort_unstable_by_key(|n| n.0);
-        for c in local {
-            if let Some(state) = self.clients.get_mut(&c) {
-                state.mailbox.push(event.clone());
-            }
-        }
-        for n in forward {
-            let msg = OverlayMessage::EventFwd {
-                event: event.clone(),
-            };
-            let size = msg.wire_size();
-            self.net.send(at, n, msg, size).expect("linked neighbor");
-        }
+        self.send_all(at, output.messages);
     }
 
-    /// Diff desired vs actual advertisements of `broker_id` toward each
-    /// neighbor and queue the control messages.
-    fn sync_advertisements(&mut self, broker_id: NodeId) {
-        let covering = self.covering;
-        let broker = self.brokers.get_mut(&broker_id).expect("broker exists");
-        let mut to_send: Vec<(NodeId, OverlayMessage)> = Vec::new();
-        let neighbors = broker.neighbors.clone();
-        for n in neighbors {
-            let desired = broker.desired_ads(n, covering);
-            let current = broker.advertised.entry(n).or_default();
-            let mut removals: Vec<GlobalSubId> = Vec::new();
-            for sub in current.keys() {
-                if !desired.contains_key(sub) {
-                    removals.push(*sub);
-                }
-            }
-            for sub in removals {
-                current.remove(&sub);
-                to_send.push((n, OverlayMessage::UnsubFwd { sub }));
-            }
-            for (sub, filter) in &desired {
-                if !current.contains_key(sub) {
-                    current.insert(*sub, filter.clone());
-                    to_send.push((
-                        n,
-                        OverlayMessage::SubFwd {
-                            sub: *sub,
-                            filter: filter.clone(),
-                        },
-                    ));
-                }
-            }
-        }
-        for (n, msg) in to_send {
-            let size = msg.wire_size();
-            self.net
-                .send(broker_id, n, msg, size)
-                .expect("linked neighbor");
+    fn send_all(&mut self, from: NodeId, messages: Vec<(NodeId, PeerMsg)>) {
+        for (to, msg) in messages {
+            self.transport.send(from, to, msg).expect("linked neighbor");
         }
     }
 
@@ -452,24 +729,14 @@ impl Overlay {
     /// of messages processed.
     pub fn run_until_idle(&mut self) -> usize {
         let mut processed = 0;
-        while let Some(env) = self.net.recv_next() {
+        while let Some(delivery) = self.transport.recv() {
             processed += 1;
-            match env.payload {
-                OverlayMessage::SubFwd { sub, filter } => {
-                    let broker = self.brokers.get_mut(&env.dst).expect("broker exists");
-                    broker.insert_sub(sub, SubOrigin::Neighbor(env.src), filter);
-                    self.sync_advertisements(env.dst);
-                }
-                OverlayMessage::UnsubFwd { sub } => {
-                    let broker = self.brokers.get_mut(&env.dst).expect("broker exists");
-                    if broker.remove_sub(sub) {
-                        self.sync_advertisements(env.dst);
-                    }
-                }
-                OverlayMessage::EventFwd { event } => {
-                    self.route_event(env.dst, Some(env.src), event);
-                }
-            }
+            let output = self
+                .brokers
+                .get_mut(&delivery.dst)
+                .expect("broker exists")
+                .handle(delivery.src, delivery.msg);
+            self.apply(delivery.dst, output);
         }
         processed
     }
@@ -493,28 +760,39 @@ impl Overlay {
 
     /// Aggregate network statistics (messages, bytes, in-flight).
     pub fn net_stats(&self) -> NetStats {
-        self.net.stats()
+        self.transport.stats()
     }
 
     /// Total routing-table entries across all brokers (known subscriptions,
     /// local + remote). The covering ablation compares this with covering
     /// on and off.
     pub fn routing_entries(&self) -> usize {
-        self.brokers.values().map(|b| b.matcher.len()).sum()
+        self.brokers.values().map(BrokerNode::routing_entries).sum()
+    }
+
+    /// Routing-table entries held by one broker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownBroker`] if the broker does not exist.
+    pub fn routing_entries_at(&self, broker: NodeId) -> Result<usize, OverlayError> {
+        self.brokers
+            .get(&broker)
+            .map(BrokerNode::routing_entries)
+            .ok_or(OverlayError::UnknownBroker(broker))
     }
 
     /// Total advertisements currently held toward neighbors.
     pub fn advertisement_count(&self) -> usize {
         self.brokers
             .values()
-            .flat_map(|b| b.advertised.values())
-            .map(BTreeMap::len)
+            .map(BrokerNode::advertisement_count)
             .sum()
     }
 
     /// Current virtual time of the underlying network.
     pub fn now(&self) -> u64 {
-        self.net.now()
+        self.transport.now()
     }
 
     /// Number of brokers.
@@ -744,5 +1022,202 @@ mod tests {
         assert_eq!(got.len(), 1);
         // 7 hops * 3 latency each, at minimum.
         assert!(ov.now() >= 21);
+    }
+
+    // ------------------------------------------------------------------
+    // Sans-io BrokerNode unit tests: the core driven entirely by hand,
+    // with no transport at all.
+    // ------------------------------------------------------------------
+
+    fn published(event: Event) -> PublishedEvent {
+        PublishedEvent {
+            id: EventId(0),
+            published_at: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn node_forwards_events_only_toward_advertised_interest() {
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let mut hub = BrokerNode::new(true);
+        hub.add_neighbor(b);
+        hub.add_neighbor(c);
+        // Neighbor b advertises interest in topic t; c stays silent.
+        let out = hub.handle(
+            b,
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(1),
+                filter: Filter::topic("t"),
+            },
+        );
+        // The advertisement is re-advertised to c (not back to b).
+        assert!(out
+            .messages
+            .iter()
+            .all(|(dst, msg)| *dst == c && matches!(msg, PeerMsg::SubFwd { .. })));
+        let out = hub.publish_local(published(Event::topical("t", "x")));
+        assert_eq!(out.deliveries.len(), 0);
+        assert_eq!(out.messages.len(), 1);
+        assert_eq!(out.messages[0].0, b);
+        let _ = a;
+    }
+
+    #[test]
+    fn late_neighbor_receives_existing_advertisements() {
+        let b = NodeId(7);
+        let mut node = BrokerNode::new(true);
+        node.subscribe_local(GlobalSubId(0), ClientId(0), Filter::topic("t"));
+        // No neighbors yet, so nothing was advertised. Linking later must
+        // bring the new neighbor up to date (a TCP peer can join at any
+        // time).
+        let sync = node.add_neighbor(b);
+        assert_eq!(sync.len(), 1);
+        assert!(matches!(sync[0], (n, PeerMsg::SubFwd { .. }) if n == b));
+    }
+
+    #[test]
+    fn removing_neighbor_forgets_its_subscriptions() {
+        let (b, c) = (NodeId(1), NodeId(2));
+        let mut node = BrokerNode::new(true);
+        node.add_neighbor(b);
+        node.add_neighbor(c);
+        node.handle(
+            b,
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(5),
+                filter: Filter::topic("t"),
+            },
+        );
+        assert_eq!(node.routing_entries(), 1);
+        let msgs = node.remove_neighbor(b);
+        assert_eq!(node.routing_entries(), 0);
+        assert_eq!(node.neighbors(), &[c]);
+        // The withdrawn interest is un-advertised toward c.
+        assert!(msgs
+            .iter()
+            .any(|(dst, msg)| *dst == c && matches!(msg, PeerMsg::UnsubFwd { .. })));
+    }
+
+    #[test]
+    fn hop_limit_stops_runaway_events() {
+        let b = NodeId(1);
+        let mut node = BrokerNode::new(true);
+        node.add_neighbor(b);
+        node.subscribe_local(GlobalSubId(0), ClientId(0), Filter::topic("t"));
+        let msg = PeerMsg::EventFwd {
+            event: published(Event::topical("t", "x")),
+            hops: MAX_HOPS,
+        };
+        let out = node.handle(b, msg);
+        assert!(out.deliveries.is_empty(), "event at hop limit is dropped");
+        assert!(out.messages.is_empty());
+    }
+
+    #[test]
+    fn cycle_echoed_subscription_does_not_hijack_origin() {
+        // In a (misconfigured) cyclic federation, a node's own SubFwd can
+        // loop back to it. Adopting it would overwrite the Local origin
+        // and later withdraw the client's live subscription.
+        let b = NodeId(1);
+        let mut node = BrokerNode::new(true);
+        node.add_neighbor(b);
+        node.subscribe_local(GlobalSubId(7), ClientId(0), Filter::topic("t"));
+        let out = node.handle(
+            b,
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(7),
+                filter: Filter::topic("t"),
+            },
+        );
+        assert!(out.messages.is_empty(), "cycle echo is dropped");
+        // The local subscription still routes.
+        let delivered = node.handle(
+            b,
+            PeerMsg::EventFwd {
+                event: published(Event::topical("t", "x")),
+                hops: 0,
+            },
+        );
+        assert_eq!(delivered.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn same_neighbor_filter_update_propagates_onward() {
+        // A link re-sync may re-advertise a subscription with a changed
+        // filter; the update must be forwarded to other neighbors, not
+        // absorbed (the advertisement diff is keyed by id *and* filter).
+        let (a, b) = (NodeId(1), NodeId(2));
+        let mut node = BrokerNode::new(true);
+        node.add_neighbor(a);
+        node.add_neighbor(b);
+        node.handle(
+            a,
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(4),
+                filter: Filter::topic("v1"),
+            },
+        );
+        let out = node.handle(
+            a,
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(4),
+                filter: Filter::topic("v2"),
+            },
+        );
+        assert!(
+            out.messages.iter().any(|(dst, msg)| *dst == b
+                && matches!(msg, PeerMsg::SubFwd { sub, filter }
+                    if *sub == GlobalSubId(4) && *filter == Filter::topic("v2"))),
+            "updated filter re-advertised toward b: {:?}",
+            out.messages
+        );
+    }
+
+    #[test]
+    fn hop_count_increments_on_forward() {
+        let (b, c) = (NodeId(1), NodeId(2));
+        let mut node = BrokerNode::new(true);
+        node.add_neighbor(b);
+        node.add_neighbor(c);
+        node.handle(
+            c,
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(9),
+                filter: Filter::topic("t"),
+            },
+        );
+        let out = node.handle(
+            b,
+            PeerMsg::EventFwd {
+                event: published(Event::topical("t", "x")),
+                hops: 3,
+            },
+        );
+        assert!(matches!(
+            out.messages.as_slice(),
+            [(n, PeerMsg::EventFwd { hops: 4, .. })] if *n == c
+        ));
+    }
+
+    #[test]
+    fn peer_msg_round_trips_through_serde() {
+        for msg in [
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(3),
+                filter: Filter::new().and("x", Op::Gt, 1),
+            },
+            PeerMsg::UnsubFwd {
+                sub: GlobalSubId(3),
+            },
+            PeerMsg::EventFwd {
+                event: published(Event::topical("t", "x")),
+                hops: 2,
+            },
+        ] {
+            let json = serde_json::to_string(&msg).unwrap();
+            let back: PeerMsg = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, msg);
+        }
     }
 }

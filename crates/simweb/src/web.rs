@@ -166,7 +166,7 @@ pub struct FeedSpec {
     /// Topic mixture of the feed's items.
     pub topics: Vec<(TopicId, f64)>,
     /// Mean new items per day (most feeds update infrequently, cf. Liu et
-    /// al. [13] in the paper).
+    /// al. \[13\] in the paper).
     pub daily_rate: f64,
     /// Syndication format served at the URL.
     pub format: SimFeedFormat,

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 /// BM25 free parameters.
 ///
 /// The defaults are the standard `k1 = 1.2`, `b = 0.75`; the paper trained
-/// its parameters on prior relevance-feedback experiments [9], which we
+/// its parameters on prior relevance-feedback experiments \[9\], which we
 /// approximate with the standard values.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Bm25Params {

@@ -1,54 +1,215 @@
 //! `reefd` — the reef broker daemon.
 //!
 //! Serves a content-based publish-subscribe broker over TCP using the
-//! reef-wire protocol, and ingests uploaded attention data into an
-//! in-memory click store.
-//!
-//! ```text
-//! reefd [ADDR]            # default 127.0.0.1:7474
-//!
-//! Environment:
-//!   REEF_LISTEN           listen address (overridden by ADDR argument)
-//!   REEF_STATS_INTERVAL   seconds between stats lines (default 10, 0 = off)
-//! ```
+//! reef-wire protocol, ingests uploaded attention data into an in-memory
+//! click store, and federates with other `reefd` instances over the same
+//! port (`--peer`): subscriptions are forwarded with covering-based
+//! pruning and events routed along the broker tree.
 
+use reef_pubsub::OverflowPolicy;
 use reef_wire::BrokerServer;
 use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7474";
 
-fn main() {
-    let addr = std::env::args()
-        .nth(1)
-        .or_else(|| std::env::var("REEF_LISTEN").ok())
-        .unwrap_or_else(|| DEFAULT_ADDR.to_owned());
-    if addr == "--help" || addr == "-h" {
-        println!("usage: reefd [ADDR]   (default {DEFAULT_ADDR})");
-        return;
-    }
-    let stats_interval: u64 = std::env::var("REEF_STATS_INTERVAL")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+const USAGE: &str = "\
+reefd — reef publish-subscribe broker daemon
 
-    let server = match BrokerServer::builder().name("reefd").bind(&addr) {
+USAGE:
+    reefd [OPTIONS] [ADDR]
+
+ARGS:
+    ADDR                     listen address (default 127.0.0.1:7474;
+                             env REEF_LISTEN)
+
+OPTIONS:
+    -l, --listen ADDR        listen address (same as the positional ADDR)
+        --name NAME          broker name announced to clients and peers
+                             (default \"reefd\")
+        --peer ADDR          federate with the reefd at ADDR; repeat the
+                             flag to peer with several brokers. The
+                             overlay must stay a tree
+        --no-covering        disable covering-based advertisement pruning
+                             toward peers
+        --queue-capacity N   bound each subscriber's delivery queue to N
+                             events (default: unbounded)
+        --overflow POLICY    what to do when a bounded queue is full:
+                             drop-new | drop-old | block | error
+                             (default drop-new; `error` aborts the
+                             publish with an error reply)
+        --peer-queue N       bound each peer link's outgoing event queue
+                             (default 1024)
+        --write-timeout-ms N socket write timeout for delivery and peer
+                             pumps, in milliseconds (default 5000)
+        --stats-interval S   seconds between stats lines, 0 disables
+                             (default 10; env REEF_STATS_INTERVAL)
+    -h, --help               print this help and exit
+";
+
+/// Everything the flags configure.
+struct Config {
+    listen: String,
+    name: String,
+    peers: Vec<String>,
+    covering: bool,
+    queue_capacity: Option<usize>,
+    overflow: OverflowPolicy,
+    peer_queue: usize,
+    write_timeout: Duration,
+    stats_interval: u64,
+}
+
+impl Config {
+    fn default_from_env() -> Config {
+        Config {
+            listen: std::env::var("REEF_LISTEN").unwrap_or_else(|_| DEFAULT_ADDR.to_owned()),
+            name: "reefd".to_owned(),
+            peers: Vec::new(),
+            covering: true,
+            queue_capacity: None,
+            overflow: OverflowPolicy::DropAndCount,
+            peer_queue: 1024,
+            write_timeout: Duration::from_secs(5),
+            stats_interval: std::env::var("REEF_STATS_INTERVAL")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10),
+        }
+    }
+}
+
+fn bail(message: &str) -> ! {
+    eprintln!("reefd: {message}");
+    eprintln!("run `reefd --help` for usage");
+    std::process::exit(2);
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Config {
+    let mut config = Config::default_from_env();
+    let mut args = args.peekable();
+    let mut positional_seen = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "-l" | "--listen" => {
+                config.listen = args
+                    .next()
+                    .unwrap_or_else(|| bail("--listen needs an address"));
+            }
+            "--name" => {
+                config.name = args.next().unwrap_or_else(|| bail("--name needs a value"));
+            }
+            "--peer" => {
+                config.peers.push(
+                    args.next()
+                        .unwrap_or_else(|| bail("--peer needs an address")),
+                );
+            }
+            "--no-covering" => config.covering = false,
+            "--queue-capacity" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--queue-capacity needs a number"));
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => config.queue_capacity = Some(n),
+                    _ => bail("--queue-capacity must be a positive integer"),
+                }
+            }
+            "--overflow" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--overflow needs a policy"));
+                config.overflow = OverflowPolicy::parse(&raw).unwrap_or_else(|| {
+                    bail("--overflow must be one of: drop-new, drop-old, block, error")
+                });
+            }
+            "--peer-queue" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--peer-queue needs a number"));
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => config.peer_queue = n,
+                    _ => bail("--peer-queue must be a positive integer"),
+                }
+            }
+            "--write-timeout-ms" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--write-timeout-ms needs a number"));
+                match raw.parse::<u64>() {
+                    Ok(ms) if ms > 0 => config.write_timeout = Duration::from_millis(ms),
+                    _ => bail("--write-timeout-ms must be a positive integer"),
+                }
+            }
+            "--stats-interval" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--stats-interval needs a number"));
+                match raw.parse::<u64>() {
+                    Ok(secs) => config.stats_interval = secs,
+                    Err(_) => bail("--stats-interval must be an integer"),
+                }
+            }
+            flag if flag.starts_with('-') => {
+                bail(&format!("unknown flag `{flag}`"));
+            }
+            addr => {
+                if positional_seen {
+                    bail("at most one positional ADDR is accepted");
+                }
+                positional_seen = true;
+                config.listen = addr.to_owned();
+            }
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args(std::env::args().skip(1));
+
+    let mut builder = BrokerServer::builder()
+        .name(config.name.clone())
+        .covering(config.covering)
+        .overflow(config.overflow)
+        .peer_queue_capacity(config.peer_queue)
+        .write_timeout(config.write_timeout);
+    if let Some(capacity) = config.queue_capacity {
+        builder = builder.queue_capacity(capacity);
+    }
+    for peer in &config.peers {
+        builder = builder.peer(peer.clone());
+    }
+    let server = match builder.bind(&config.listen) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("reefd: cannot listen on {addr}: {e}");
+            eprintln!("reefd: cannot start on {}: {e}", config.listen);
             std::process::exit(1);
         }
     };
-    println!("reefd listening on {}", server.local_addr());
+    println!(
+        "reefd `{}` listening on {} (broker id {:#010x})",
+        config.name,
+        server.local_addr(),
+        server.federation_stats().broker_id,
+    );
+    for peer in server.peer_stats() {
+        println!("reefd: federated with `{}` at {}", peer.broker, peer.addr);
+    }
 
     // Serve until killed; periodically report transport and broker health.
     loop {
-        std::thread::sleep(Duration::from_secs(stats_interval.max(1)));
-        if stats_interval > 0 {
+        std::thread::sleep(Duration::from_secs(config.stats_interval.max(1)));
+        if config.stats_interval > 0 {
             println!(
-                "reefd: {} conns | wire {} | broker {}",
+                "reefd: {} conns | wire {} | broker {} | federation {}",
                 server.connection_count(),
                 server.stats(),
                 server.broker().stats(),
+                server.federation_stats(),
             );
         }
     }

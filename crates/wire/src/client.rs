@@ -18,7 +18,7 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::stats::WireStatsSnapshot;
+use crate::stats::{FederationStatsSnapshot, WireStatsSnapshot};
 
 /// How long request methods wait for their reply before giving up.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
@@ -42,6 +42,8 @@ pub struct ServerStats {
     pub broker: BrokerStatsSnapshot,
     /// Transport counters.
     pub wire: WireStatsSnapshot,
+    /// Federation routing and peer-link counters.
+    pub federation: FederationStatsSnapshot,
 }
 
 /// A blocking reef-wire client connection.
@@ -204,10 +206,18 @@ impl Client {
         }
     }
 
-    /// Fetch broker and transport statistics from the server.
+    /// Fetch broker, transport and federation statistics from the server.
     pub fn stats(&self) -> Result<ServerStats, WireError> {
         match self.request(&Request::Stats)? {
-            Response::Stats { broker, wire } => Ok(ServerStats { broker, wire }),
+            Response::Stats {
+                broker,
+                wire,
+                federation,
+            } => Ok(ServerStats {
+                broker,
+                wire,
+                federation,
+            }),
             Response::Error { message } => Err(WireError::Remote(message)),
             other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
         }

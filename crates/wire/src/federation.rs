@@ -1,0 +1,690 @@
+//! Broker federation: the sans-io routing core driven over TCP.
+//!
+//! `reef-pubsub` ships the routing brain — [`BrokerNode`], a state machine
+//! that consumes and emits [`PeerMsg`]s but performs no I/O — and drives
+//! it over a simulated network in `Overlay`. This module is the other
+//! driver: the same core, the same messages, but carried between daemons
+//! on OS sockets.
+//!
+//! * [`TcpTransport`] implements [`reef_pubsub::Transport`]: `send`
+//!   enqueues a message on the matching peer link's outgoing queue,
+//!   `recv` pops whatever the peer reader threads have pushed inbound.
+//! * [`Federation`] owns the [`BrokerNode`], the peer links and a pump
+//!   thread that moves messages between the two, mirroring
+//!   `Overlay::run_until_idle` in continuous, wall-clock form.
+//!
+//! # Backpressure
+//!
+//! Each peer link bounds its outgoing *event* queue (control messages —
+//! subscription forwards and cancels — are never dropped, routing state
+//! must stay coherent). A full event queue counts a drop in the link's
+//! [`WireStats`] and the federation totals. Sockets carry a write
+//! timeout, so a stalled peer costs at most `queue capacity × write
+//! timeout` before the link is declared dead and torn down.
+//!
+//! # Identity
+//!
+//! Peers identify themselves at handshake with a broker name and a
+//! federation-wide `broker_id`; subscription ids are namespaced as
+//! `broker_id << 32 | counter` so independently minted ids never collide.
+//! Link endpoints ([`NodeId`]) are purely local handles: `0` is this
+//! broker, `1..` its peer links, exactly as `BrokerNode` expects.
+
+use crate::error::WireError;
+use crate::frame::{Frame, PROTOCOL_VERSION};
+use crate::protocol::{Request, Response, ServerMessage};
+use crate::stats::{FederationStatsSnapshot, PeerStatsSnapshot, WireStats};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use reef_pubsub::net::TransportDelivery;
+use reef_pubsub::{
+    Broker, BrokerNode, ClientId, Event, Filter, GlobalSubId, NodeId, PeerMsg, PublishOutcome,
+    PublishedEvent, SubscriptionId, Transport,
+};
+use std::collections::HashMap;
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Link id of the local broker in its own routing core.
+pub const LOCAL_NODE: NodeId = NodeId(0);
+
+/// How long pumps park on idle queues before re-checking shutdown flags.
+const PUMP_PARK: Duration = Duration::from_millis(10);
+
+/// Read timeout applied during the peer handshake only.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Tunables for a broker's federation layer.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Broker name announced to peers.
+    pub name: String,
+    /// Enable covering-based advertisement pruning (default `true`).
+    pub covering: bool,
+    /// Bound on each peer link's outgoing event queue (default 1024).
+    pub peer_queue_capacity: usize,
+    /// Socket write timeout on peer links and client delivery paths
+    /// (default 5 s).
+    pub write_timeout: Duration,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            name: "reefd".to_owned(),
+            covering: true,
+            peer_queue_capacity: 1024,
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One live broker-to-broker connection.
+struct PeerLink {
+    node: NodeId,
+    broker_name: String,
+    peer_addr: String,
+    writer: Mutex<TcpStream>,
+    /// Clone of the same socket used only for `shutdown`, so closing never
+    /// waits on the writer mutex.
+    control: TcpStream,
+    out_tx: Sender<PeerMsg>,
+    /// Events currently queued on `out_tx` (control messages are exempt
+    /// from the bound).
+    queued_events: AtomicUsize,
+    stats: WireStats,
+    closed: AtomicBool,
+}
+
+impl PeerLink {
+    fn close_socket(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _ = self.control.shutdown(Shutdown::Both);
+    }
+}
+
+/// Registry of live peer links plus the inbound message queue they feed.
+struct Links {
+    map: Mutex<HashMap<NodeId, Arc<PeerLink>>>,
+    incoming_tx: Sender<TransportDelivery>,
+    event_cap: usize,
+    subs_forwarded: AtomicU64,
+    events_forwarded: AtomicU64,
+    events_dropped: AtomicU64,
+}
+
+impl Links {
+    /// Queue one outgoing message toward `dst`. Control messages always
+    /// queue; events are dropped (and counted) when the link's event
+    /// queue is at capacity or the link is gone.
+    fn enqueue(&self, dst: NodeId, msg: PeerMsg) {
+        let link = self.map.lock().get(&dst).cloned();
+        let Some(link) = link else {
+            if matches!(msg, PeerMsg::EventFwd { .. }) {
+                self.events_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        };
+        match msg {
+            PeerMsg::EventFwd { .. } => {
+                if link.queued_events.load(Ordering::Relaxed) >= self.event_cap {
+                    self.events_dropped.fetch_add(1, Ordering::Relaxed);
+                    link.stats.record_delivery_drop();
+                    return;
+                }
+                link.queued_events.fetch_add(1, Ordering::Relaxed);
+                if link.out_tx.try_send(msg).is_err() {
+                    link.queued_events.fetch_sub(1, Ordering::Relaxed);
+                    self.events_dropped.fetch_add(1, Ordering::Relaxed);
+                    link.stats.record_delivery_drop();
+                } else {
+                    self.events_forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ctrl => {
+                if matches!(ctrl, PeerMsg::SubFwd { .. }) {
+                    self.subs_forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = link.out_tx.try_send(ctrl);
+            }
+        }
+    }
+}
+
+/// The socket-backed [`Transport`]: [`PeerMsg`]s between this broker and
+/// its TCP peers.
+///
+/// `send` never blocks — outgoing messages land on per-link queues
+/// drained by writer threads — and `recv` pops what peer reader threads
+/// already parsed. The [`Federation`] pump drives a [`BrokerNode`] over
+/// this exactly the way `Overlay::run_until_idle` drives one over
+/// [`reef_pubsub::SimTransport`].
+pub struct TcpTransport {
+    links: Arc<Links>,
+    incoming: Receiver<TransportDelivery>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("peers", &self.links.map.lock().len())
+            .field("inbound_queued", &self.incoming.len())
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Like [`Transport::recv`], but parks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<TransportDelivery> {
+        self.incoming.recv_timeout(timeout).ok()
+    }
+}
+
+impl Transport for TcpTransport {
+    type Error = WireError;
+
+    /// Queue `msg` toward the peer on link `dst`.
+    ///
+    /// Lossy for events by design: a full link queue drops the event and
+    /// counts it rather than stalling the routing core.
+    fn send(&mut self, _src: NodeId, dst: NodeId, msg: PeerMsg) -> Result<(), WireError> {
+        self.links.enqueue(dst, msg);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Option<TransportDelivery> {
+        self.incoming.try_recv().ok()
+    }
+}
+
+/// A broker's federation layer: the sans-io [`BrokerNode`] routing core,
+/// its TCP peer links, and the pump thread that connects the two.
+///
+/// The [`crate::BrokerServer`] owns one `Federation` and forwards every
+/// local subscribe / unsubscribe / publish into it; the federation takes
+/// care of advertising subscriptions to peers (covering-pruned), routing
+/// remote events into the local [`Broker`]'s subscriber queues, and
+/// forwarding local events toward interested peers.
+pub struct Federation {
+    name: String,
+    broker_id: u32,
+    broker: Arc<Broker>,
+    node: Mutex<BrokerNode>,
+    links: Arc<Links>,
+    sub_map: Mutex<HashMap<SubscriptionId, GlobalSubId>>,
+    next_sub: AtomicU64,
+    next_link: AtomicU32,
+    events_received: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    config: FederationConfig,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("name", &self.name)
+            .field("broker_id", &self.broker_id)
+            .field("peers", &self.links.map.lock().len())
+            .finish()
+    }
+}
+
+impl Federation {
+    /// Create a federation layer around `broker` and start its pump
+    /// thread. `broker_id` must be unique across the federation.
+    ///
+    /// The returned federation must be torn down with
+    /// [`Federation::shutdown`]: its threads each hold an `Arc` to it, so
+    /// merely dropping the caller's handle keeps the pump alive forever.
+    /// ([`crate::BrokerServer`] owns its federation and shuts it down as
+    /// part of server shutdown.)
+    pub fn start(broker: Arc<Broker>, broker_id: u32, config: FederationConfig) -> Arc<Federation> {
+        let (incoming_tx, incoming_rx) = channel::unbounded();
+        let links = Arc::new(Links {
+            map: Mutex::new(HashMap::new()),
+            incoming_tx,
+            event_cap: config.peer_queue_capacity.max(1),
+            subs_forwarded: AtomicU64::new(0),
+            events_forwarded: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+        });
+        let federation = Arc::new(Federation {
+            name: config.name.clone(),
+            broker_id,
+            broker,
+            node: Mutex::new(BrokerNode::new(config.covering)),
+            links: Arc::clone(&links),
+            sub_map: Mutex::new(HashMap::new()),
+            next_sub: AtomicU64::new(0),
+            next_link: AtomicU32::new(LOCAL_NODE.0 + 1),
+            events_received: AtomicU64::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            threads: Mutex::new(Vec::new()),
+            config,
+        });
+        let transport = TcpTransport {
+            links,
+            incoming: incoming_rx,
+        };
+        let pump_self = Arc::clone(&federation);
+        let handle = std::thread::Builder::new()
+            .name("reefd-federation".into())
+            .spawn(move || pump_self.pump(transport))
+            .expect("spawn federation pump");
+        federation.threads.lock().push(handle);
+        federation
+    }
+
+    /// The broker name announced to peers.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This broker's federation-wide id.
+    pub fn broker_id(&self) -> u32 {
+        self.broker_id
+    }
+
+    /// Number of live peer links.
+    pub fn peer_count(&self) -> usize {
+        self.links.map.lock().len()
+    }
+
+    /// Routing and peer-link counters.
+    pub fn snapshot(&self) -> FederationStatsSnapshot {
+        let (routing_entries, advertisements) = {
+            let node = self.node.lock();
+            (node.routing_entries(), node.advertisement_count())
+        };
+        FederationStatsSnapshot {
+            broker_id: self.broker_id,
+            peers: self.links.map.lock().len() as u64,
+            routing_entries: routing_entries as u64,
+            advertisements: advertisements as u64,
+            subs_forwarded: self.links.subs_forwarded.load(Ordering::Relaxed),
+            events_forwarded: self.links.events_forwarded.load(Ordering::Relaxed),
+            events_received: self.events_received.load(Ordering::Relaxed),
+            events_dropped: self.links.events_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The routing core's current knowledge: subscription ids and their
+    /// filters, rendered for diagnostics.
+    pub fn routing_knowledge(&self) -> Vec<(GlobalSubId, String)> {
+        self.node
+            .lock()
+            .knowledge()
+            .map(|(sub, filter)| (sub, filter.to_string()))
+            .collect()
+    }
+
+    /// Transport counters per live peer link.
+    pub fn peer_stats(&self) -> Vec<PeerStatsSnapshot> {
+        self.links
+            .map
+            .lock()
+            .values()
+            .map(|link| PeerStatsSnapshot {
+                broker: link.broker_name.clone(),
+                addr: link.peer_addr.clone(),
+                link: link.node.0,
+                wire: link.stats.snapshot(),
+            })
+            .collect()
+    }
+
+    /// Dial `addr`, perform the `PeerHello`/`PeerWelcome` handshake and
+    /// register the resulting peer link.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the peer is unreachable, or a protocol /
+    /// version error when the remote end is not a compatible broker.
+    pub fn connect_peer(self: &Arc<Self>, addr: &str) -> Result<NodeId, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        let mut hello_lane = stream.try_clone()?;
+        Frame::encode(&Request::PeerHello {
+            version: PROTOCOL_VERSION,
+            broker: self.name.clone(),
+            broker_id: self.broker_id,
+        })?
+        .write_to(&mut hello_lane)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let frame = Frame::read_from(&mut reader)?.ok_or(WireError::Closed)?;
+        let peer_name = match frame.decode::<ServerMessage>()? {
+            ServerMessage::Reply(Response::PeerWelcome {
+                version, broker, ..
+            }) => {
+                if version != PROTOCOL_VERSION {
+                    return Err(WireError::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                broker
+            }
+            ServerMessage::Reply(Response::Error { message }) => {
+                return Err(WireError::Remote(message));
+            }
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "unexpected PeerHello reply: {other:?}"
+                )));
+            }
+        };
+        stream.set_read_timeout(None)?;
+        let (node, link) = self.register_link(stream, peer_name, addr.to_owned())?;
+        let reader_self = Arc::clone(self);
+        let reader_link = Arc::clone(&link);
+        let handle = std::thread::Builder::new()
+            .name(format!("reefd-peer-read-{addr}"))
+            .spawn(move || reader_self.peer_reader(reader_link, reader))
+            .expect("spawn peer reader");
+        self.threads.lock().push(handle);
+        Ok(node)
+    }
+
+    /// Like [`Federation::connect_peer`], retrying while the peer refuses
+    /// connections (it may still be starting up).
+    ///
+    /// # Errors
+    ///
+    /// The last dial error once `attempts` are exhausted.
+    pub fn connect_peer_with_retry(
+        self: &Arc<Self>,
+        addr: &str,
+        attempts: u32,
+        delay: Duration,
+    ) -> Result<NodeId, WireError> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+            }
+            match self.connect_peer(addr) {
+                Ok(node) => return Ok(node),
+                Err(WireError::Io(e)) => last = Some(WireError::Io(e)),
+                // Protocol-level failures will not fix themselves.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(WireError::Closed))
+    }
+
+    /// Adopt an inbound connection that sent `PeerHello` as a peer link.
+    ///
+    /// The caller (the server's connection reader) must already have
+    /// replied `PeerWelcome` on the socket; from here on, the link's
+    /// writer thread owns all writes. The caller keeps reading frames and
+    /// feeds them through [`Federation::incoming`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the socket cannot be cloned.
+    pub fn adopt_inbound(
+        self: &Arc<Self>,
+        stream: TcpStream,
+        peer_broker: String,
+        peer_addr: String,
+    ) -> Result<NodeId, WireError> {
+        let (node, _link) = self.register_link(stream, peer_broker, peer_addr)?;
+        Ok(node)
+    }
+
+    /// Feed one message read off peer link `from` into the routing pump.
+    pub fn incoming(&self, from: NodeId, msg: PeerMsg) {
+        let _ = self.links.incoming_tx.send(TransportDelivery {
+            src: from,
+            dst: LOCAL_NODE,
+            msg,
+        });
+    }
+
+    /// Record a local wire subscription in the routing core and advertise
+    /// it to peers.
+    pub fn local_subscribe(&self, sub: SubscriptionId, filter: Filter) {
+        let gsub = GlobalSubId(
+            ((self.broker_id as u64) << 32) | (self.next_sub.fetch_add(1, Ordering::Relaxed)),
+        );
+        self.sub_map.lock().insert(sub, gsub);
+        let messages = self
+            .node
+            .lock()
+            .subscribe_local(gsub, ClientId(sub.0), filter);
+        self.dispatch(messages);
+    }
+
+    /// Withdraw a local wire subscription from the routing core and
+    /// cancel its advertisements.
+    pub fn local_unsubscribe(&self, sub: SubscriptionId) {
+        let Some(gsub) = self.sub_map.lock().remove(&sub) else {
+            return;
+        };
+        let messages = self.node.lock().unsubscribe_local(gsub);
+        self.dispatch(messages);
+    }
+
+    /// Forward a locally published event toward interested peers. Local
+    /// delivery has already happened inside [`Broker::publish`]; only the
+    /// peer forwards computed by the routing core are acted on.
+    pub fn local_publish(&self, event: Event, outcome: &PublishOutcome) {
+        if self.links.map.lock().is_empty() {
+            return;
+        }
+        let published = PublishedEvent {
+            id: outcome.id,
+            published_at: outcome.published_at,
+            event,
+        };
+        let output = self.node.lock().publish_local(published);
+        self.dispatch(output.messages);
+    }
+
+    /// Tear down a dead peer link: forget its advertisements and
+    /// re-advertise to the remaining peers.
+    pub fn peer_disconnected(&self, node: NodeId) {
+        let Some(link) = self.links.map.lock().remove(&node) else {
+            return;
+        };
+        link.close_socket();
+        link.stats.record_close();
+        let messages = self.node.lock().remove_neighbor(node);
+        self.dispatch(messages);
+    }
+
+    /// Stop the pump, close every peer link and join all threads.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for link in self.links.map.lock().values() {
+            link.close_socket();
+        }
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+
+    fn register_link(
+        self: &Arc<Self>,
+        stream: TcpStream,
+        peer_broker: String,
+        peer_addr: String,
+    ) -> Result<(NodeId, Arc<PeerLink>), WireError> {
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let writer = stream.try_clone()?;
+        let control = stream.try_clone()?;
+        let (out_tx, out_rx) = channel::unbounded();
+        let node = NodeId(self.next_link.fetch_add(1, Ordering::Relaxed));
+        let link = Arc::new(PeerLink {
+            node,
+            broker_name: peer_broker,
+            peer_addr,
+            writer: Mutex::new(writer),
+            control,
+            out_tx,
+            queued_events: AtomicUsize::new(0),
+            stats: WireStats::new(),
+            closed: AtomicBool::new(false),
+        });
+        link.stats.record_open();
+        self.links.map.lock().insert(node, Arc::clone(&link));
+        // Bring the new peer up to date with everything already known.
+        let sync = self.node.lock().add_neighbor(node);
+        let writer_self = Arc::clone(self);
+        let writer_link = Arc::clone(&link);
+        let handle = std::thread::Builder::new()
+            .name(format!("reefd-peer-write-{}", link.peer_addr))
+            .spawn(move || writer_self.peer_writer(writer_link, out_rx))
+            .expect("spawn peer writer");
+        self.threads.lock().push(handle);
+        self.dispatch(sync);
+        Ok((node, link))
+    }
+
+    /// The per-link writer: outgoing queue → socket, one frame at a time.
+    fn peer_writer(self: Arc<Self>, link: Arc<PeerLink>, out_rx: Receiver<PeerMsg>) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || link.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            let msg = match out_rx.recv_timeout(PUMP_PARK) {
+                Ok(msg) => msg,
+                Err(channel::RecvTimeoutError::Timeout) => continue,
+                Err(channel::RecvTimeoutError::Disconnected) => return,
+            };
+            let is_event = matches!(msg, PeerMsg::EventFwd { .. });
+            if is_event {
+                link.queued_events.fetch_sub(1, Ordering::Relaxed);
+            }
+            let frame = match Frame::encode(&msg) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    link.stats.record_error();
+                    continue;
+                }
+            };
+            let written = {
+                let mut writer = link.writer.lock();
+                frame.write_to(&mut *writer)
+            };
+            match written {
+                Ok(n) => link.stats.record_frame_out(n),
+                Err(_) => {
+                    // Write failed or timed out: the peer is stalled or
+                    // gone. Count the loss and tear the link down.
+                    if is_event {
+                        self.links.events_dropped.fetch_add(1, Ordering::Relaxed);
+                        link.stats.record_delivery_drop();
+                    }
+                    link.stats.record_error();
+                    self.peer_disconnected(link.node);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The per-link reader thread body used for *outbound* (dialed)
+    /// peers.
+    fn peer_reader(self: Arc<Self>, link: Arc<PeerLink>, mut reader: BufReader<impl Read>) {
+        self.read_loop(&link, &mut reader);
+        self.peer_disconnected(link.node);
+    }
+
+    /// Run an inbound peer link's read loop on the caller's thread (the
+    /// server's connection reader, after it upgraded the connection and
+    /// registered the link with [`Federation::adopt_inbound`]). Returns
+    /// when the link dies, after tearing it down.
+    pub(crate) fn run_inbound_reader(
+        self: &Arc<Self>,
+        node: NodeId,
+        mut reader: BufReader<TcpStream>,
+    ) {
+        let link = self.links.map.lock().get(&node).cloned();
+        if let Some(link) = link {
+            self.read_loop(&link, &mut reader);
+        }
+        self.peer_disconnected(node);
+    }
+
+    /// The shared peer read loop: frames off the socket, through
+    /// [`Federation::incoming`], until the link closes or a frame fails
+    /// to parse. Dialed and accepted peer links run the identical loop.
+    fn read_loop(&self, link: &PeerLink, reader: &mut BufReader<impl Read>) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || link.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            let frame = match Frame::read_from(reader) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return,
+                Err(_) => {
+                    link.stats.record_error();
+                    return;
+                }
+            };
+            link.stats.record_frame_in(frame.wire_len());
+            match frame.decode::<PeerMsg>() {
+                Ok(msg) => self.incoming(link.node, msg),
+                Err(_) => {
+                    link.stats.record_error();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The routing pump: inbound messages → [`BrokerNode::handle`] →
+    /// local subscriber queues + outgoing link queues.
+    fn pump(self: Arc<Self>, transport: TcpTransport) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(delivery) = transport.recv_timeout(PUMP_PARK) else {
+                continue;
+            };
+            if matches!(delivery.msg, PeerMsg::EventFwd { .. }) {
+                self.events_received.fetch_add(1, Ordering::Relaxed);
+            }
+            let output = self.node.lock().handle(delivery.src, delivery.msg);
+            for (client, event) in output.deliveries {
+                // ClientId in the routing core is the broker-level
+                // subscription id of a local wire subscription.
+                let _ = self.broker.deliver(SubscriptionId(client.0), event);
+            }
+            self.dispatch(output.messages);
+        }
+    }
+
+    fn dispatch(&self, messages: Vec<(NodeId, PeerMsg)>) {
+        for (to, msg) in messages {
+            self.links.enqueue(to, msg);
+        }
+    }
+}
+
+/// Mint a federation-wide broker id from the broker's identity and the
+/// current time. Collisions are possible in principle but vanishingly
+/// unlikely for realistic federation sizes.
+pub fn mint_broker_id(name: &str, salt: u64) -> u32 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    salt.hash(&mut hasher);
+    std::process::id().hash(&mut hasher);
+    if let Ok(elapsed) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        elapsed.subsec_nanos().hash(&mut hasher);
+        elapsed.as_secs().hash(&mut hasher);
+    }
+    hasher.finish() as u32
+}

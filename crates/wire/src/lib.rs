@@ -16,6 +16,11 @@
 //!   [`reef_pubsub::Broker`]: one reader thread per connection, a delivery
 //!   pump draining each connection's subscriber queue to its socket,
 //!   graceful shutdown, per-connection and aggregate [`WireStats`];
+//! * [`federation`] — broker-to-broker links: [`TcpTransport`] implements
+//!   [`reef_pubsub::Transport`] so the sans-io
+//!   [`reef_pubsub::BrokerNode`] routing core (subscription forwarding,
+//!   covering pruning, reverse-path event routing) runs unchanged over OS
+//!   sockets; daemons peer via `reefd --peer ADDR`;
 //! * [`client`] — [`Client`], a blocking client with
 //!   subscribe / unsubscribe / publish / upload-clicks calls and an
 //!   iterator over deliveries;
@@ -46,6 +51,7 @@
 
 pub mod client;
 pub mod error;
+pub mod federation;
 pub mod frame;
 pub mod protocol;
 pub mod server;
@@ -53,7 +59,11 @@ pub mod stats;
 
 pub use client::{Client, Deliveries, RemotePublishOutcome, ServerStats};
 pub use error::WireError;
+pub use federation::{Federation, FederationConfig, TcpTransport, LOCAL_NODE};
 pub use frame::{Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use protocol::{Deliver, Request, Response, ServerMessage};
 pub use server::{BrokerServer, BrokerServerBuilder};
-pub use stats::{ConnectionStatsSnapshot, WireStats, WireStatsSnapshot};
+pub use stats::{
+    ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot, WireStats,
+    WireStatsSnapshot,
+};

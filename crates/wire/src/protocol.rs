@@ -13,12 +13,24 @@
 //! The payload types ([`Event`], [`Filter`], [`PublishedEvent`],
 //! [`ClickBatch`]) are the workspace's own — the wire reuses their serde
 //! impls rather than inventing parallel DTOs.
+//!
+//! # Peer links
+//!
+//! Brokers federate over the same port clients connect to. A dialing
+//! broker's first frame is [`Request::PeerHello`] instead of
+//! [`Request::Hello`]; the server answers [`Response::PeerWelcome`] and
+//! both sides *upgrade* the connection: every subsequent frame in either
+//! direction is one [`reef_pubsub::PeerMsg`] — the exact message type the
+//! sans-io [`reef_pubsub::BrokerNode`] routing core consumes and emits
+//! (subscription forward/cancel with covering-pruned advertisements,
+//! event forward with hop count). Versioning rides on the frame header
+//! plus the version field both `PeerHello` and `PeerWelcome` carry.
 
 use reef_attention::{ClickBatch, UploadReceipt};
 use reef_pubsub::{BrokerStatsSnapshot, Event, EventId, Filter, PublishedEvent, SubscriptionId};
 use serde::{Deserialize, Serialize};
 
-use crate::stats::WireStatsSnapshot;
+use crate::stats::{FederationStatsSnapshot, WireStatsSnapshot};
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +69,18 @@ pub enum Request {
     Ping,
     /// Orderly goodbye; the server replies `Bye` and closes.
     Bye,
+    /// First frame of a broker-to-broker connection: the dialing broker
+    /// announces itself and asks to upgrade the connection to a peer
+    /// link carrying [`reef_pubsub::PeerMsg`] frames.
+    PeerHello {
+        /// Protocol version the dialing broker speaks.
+        version: u8,
+        /// The dialing broker's name.
+        broker: String,
+        /// The dialing broker's federation-wide id (namespaces its
+        /// subscription ids).
+        broker_id: u32,
+    },
 }
 
 /// Server → client replies, one per [`Request`], in request order.
@@ -101,11 +125,23 @@ pub enum Response {
         broker: BrokerStatsSnapshot,
         /// Transport-side aggregate counters.
         wire: WireStatsSnapshot,
+        /// Federation-side routing and peer-link counters.
+        federation: FederationStatsSnapshot,
     },
     /// Answer to `Ping`.
     Pong,
     /// Answer to `Bye`; the server closes the connection after sending it.
     Bye,
+    /// Answer to `PeerHello`: the connection is now a peer link. After
+    /// this reply both directions carry [`reef_pubsub::PeerMsg`] frames.
+    PeerWelcome {
+        /// Protocol version the accepting broker speaks.
+        version: u8,
+        /// The accepting broker's name.
+        broker: String,
+        /// The accepting broker's federation-wide id.
+        broker_id: u32,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Human-readable failure description.
@@ -174,6 +210,11 @@ mod tests {
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Ping);
         round_trip_request(&Request::Bye);
+        round_trip_request(&Request::PeerHello {
+            version: 1,
+            broker: "reefd-b".into(),
+            broker_id: 42,
+        });
     }
 
     fn reef_simweb_user(id: u32) -> reef_simweb::UserId {
@@ -211,14 +252,46 @@ mod tests {
             Response::Stats {
                 broker: BrokerStatsSnapshot::default(),
                 wire: WireStatsSnapshot::default(),
+                federation: FederationStatsSnapshot::default(),
             },
             Response::Pong,
             Response::Bye,
+            Response::PeerWelcome {
+                version: 1,
+                broker: "reefd-a".into(),
+                broker_id: 7,
+            },
             Response::Error {
                 message: "no".into(),
             },
         ] {
             round_trip_server(&ServerMessage::Reply(response));
+        }
+    }
+
+    #[test]
+    fn peer_msg_frames_round_trip() {
+        use reef_pubsub::{GlobalSubId, PeerMsg};
+        for msg in [
+            PeerMsg::SubFwd {
+                sub: GlobalSubId(3),
+                filter: Filter::new().and("price", Op::Gt, 10.0),
+            },
+            PeerMsg::UnsubFwd {
+                sub: GlobalSubId(3),
+            },
+            PeerMsg::EventFwd {
+                event: PublishedEvent {
+                    id: EventId(4),
+                    published_at: 77,
+                    event: Event::topical("news", "hello"),
+                },
+                hops: 2,
+            },
+        ] {
+            let frame = Frame::encode(&msg).unwrap();
+            let back: PeerMsg = frame.decode().unwrap();
+            assert_eq!(back, msg);
         }
     }
 

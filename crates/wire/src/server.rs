@@ -8,17 +8,40 @@
 //! socket through a per-connection write lock, so each frame goes out
 //! whole.
 //!
+//! # Federation
+//!
+//! The server also speaks broker-to-broker: a connection whose first
+//! request is [`Request::PeerHello`] is *upgraded* into a peer link of the
+//! server's [`Federation`] — the sans-io [`reef_pubsub::BrokerNode`]
+//! routing core driven over TCP. Outbound peer links are dialed at startup
+//! from [`BrokerServerBuilder::peer`] addresses. Local subscriptions are
+//! advertised to peers (covering-pruned), and events forwarded both ways.
+//!
+//! # Backpressure
+//!
+//! The delivery path is bounded end to end: the broker's per-subscriber
+//! queues can be capped ([`BrokerServerBuilder::queue_capacity`]) with a
+//! selectable overflow policy, and every socket carries a write timeout
+//! ([`BrokerServerBuilder::write_timeout`]) so one stalled consumer costs
+//! at most `queue capacity × write timeout` before its connection is
+//! dropped. Deliveries lost to a dead or timed-out socket are counted per
+//! connection and in the aggregate [`WireStats`].
+//!
 //! Shutdown is cooperative: [`BrokerServer::shutdown`] raises a flag, pokes
 //! the accept loop with a loopback connection, closes every live socket
 //! (which unblocks the reader threads) and joins everything.
 
 use crate::error::WireError;
+use crate::federation::{Federation, FederationConfig};
 use crate::frame::{Frame, PROTOCOL_VERSION};
 use crate::protocol::{Deliver, Request, Response, ServerMessage};
-use crate::stats::{ConnectionStatsSnapshot, WireStats, WireStatsSnapshot};
+use crate::stats::{
+    ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot, WireStats,
+    WireStatsSnapshot,
+};
 use parking_lot::Mutex;
 use reef_attention::ClickStore;
-use reef_pubsub::{Broker, SubscriberHandle, SubscriberId, SubscriptionId};
+use reef_pubsub::{Broker, NodeId, OverflowPolicy, SubscriberHandle, SubscriberId, SubscriptionId};
 use std::collections::HashSet;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -31,34 +54,110 @@ use std::time::Duration;
 /// re-checking the shutdown and connection flags.
 const PUMP_PARK: Duration = Duration::from_millis(25);
 
+/// Default socket write timeout on delivery and peer paths.
+const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How often and how long startup retries dialing a configured peer that
+/// is not accepting connections yet.
+const PEER_DIAL_ATTEMPTS: u32 = 25;
+const PEER_DIAL_DELAY: Duration = Duration::from_millis(100);
+
 /// Configures and builds a [`BrokerServer`].
 #[derive(Debug, Default)]
 pub struct BrokerServerBuilder {
     broker: Option<Arc<Broker>>,
     name: Option<String>,
+    queue_capacity: Option<usize>,
+    overflow: Option<OverflowPolicy>,
+    peers: Vec<String>,
+    covering: Option<bool>,
+    peer_queue_capacity: Option<usize>,
+    write_timeout: Option<Duration>,
 }
 
 impl BrokerServerBuilder {
     /// Serve an existing (possibly schema-validating, bounded-queue)
-    /// broker instead of a fresh default one.
+    /// broker instead of a fresh default one. Overrides
+    /// [`BrokerServerBuilder::queue_capacity`] and
+    /// [`BrokerServerBuilder::overflow`].
     pub fn broker(mut self, broker: Arc<Broker>) -> Self {
         self.broker = Some(broker);
         self
     }
 
-    /// Server name reported in `Hello` responses.
+    /// Server name reported in `Hello` responses and peer handshakes.
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = Some(name.into());
         self
     }
 
+    /// Bound each subscriber's delivery queue to `capacity` events
+    /// (ignored when an explicit broker is supplied).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Policy applied when a bounded delivery queue overflows (ignored
+    /// when an explicit broker is supplied).
+    pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = Some(policy);
+        self
+    }
+
+    /// Federate with the broker at `addr` (repeatable). The address is
+    /// dialed at startup, with retries while the peer comes up.
+    pub fn peer(mut self, addr: impl Into<String>) -> Self {
+        self.peers.push(addr.into());
+        self
+    }
+
+    /// Enable or disable covering-based advertisement pruning toward
+    /// peers (default on).
+    pub fn covering(mut self, covering: bool) -> Self {
+        self.covering = Some(covering);
+        self
+    }
+
+    /// Bound each peer link's outgoing event queue (default 1024).
+    pub fn peer_queue_capacity(mut self, capacity: usize) -> Self {
+        self.peer_queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Socket write timeout on delivery and peer paths (default 5 s).
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = Some(timeout);
+        self
+    }
+
     /// Bind `addr` and start serving.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the address cannot be bound or a configured
+    /// peer stays unreachable.
     pub fn bind(self, addr: impl ToSocketAddrs) -> Result<BrokerServer, WireError> {
+        let broker = match self.broker {
+            Some(broker) => broker,
+            None => {
+                let mut builder = Broker::builder();
+                if let Some(capacity) = self.queue_capacity {
+                    builder = builder.queue_capacity(capacity);
+                }
+                builder = builder.overflow(self.overflow.unwrap_or_default());
+                Arc::new(builder.build())
+            }
+        };
         BrokerServer::start(
             addr,
-            self.broker.unwrap_or_else(|| Arc::new(Broker::new())),
+            broker,
             self.name
                 .unwrap_or_else(|| format!("reefd/{}", env!("CARGO_PKG_VERSION"))),
+            self.peers,
+            self.covering.unwrap_or(true),
+            self.peer_queue_capacity.unwrap_or(1024),
+            self.write_timeout.unwrap_or(DEFAULT_WRITE_TIMEOUT),
         )
     }
 }
@@ -74,6 +173,9 @@ struct Connection {
     control: TcpStream,
     stats: WireStats,
     closed: AtomicBool,
+    /// Set when the connection turned into a federation peer link; the
+    /// delivery pump bows out and the link's threads own the socket.
+    upgraded: AtomicBool,
 }
 
 impl Connection {
@@ -81,6 +183,14 @@ impl Connection {
     fn send(&self, msg: &ServerMessage, aggregate: &WireStats) -> Result<(), WireError> {
         let frame = Frame::encode(msg)?;
         let mut writer = self.writer.lock();
+        // Once the connection upgraded to a peer link, the socket speaks
+        // `PeerMsg` frames: a straggling delivery (the pump may have
+        // dequeued one just before the upgrade) would corrupt the peer
+        // stream, so drop it here, under the same lock that orders the
+        // writes.
+        if matches!(msg, ServerMessage::Deliver(_)) && self.upgraded.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         let written = frame.write_to(&mut *writer)?;
         self.stats.record_frame_out(written);
         aggregate.record_frame_out(written);
@@ -116,6 +226,7 @@ impl Connection {
 /// ```
 pub struct BrokerServer {
     broker: Arc<Broker>,
+    federation: Arc<Federation>,
     clicks: Arc<Mutex<ClickStore>>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -130,6 +241,7 @@ impl std::fmt::Debug for BrokerServer {
         f.debug_struct("BrokerServer")
             .field("local_addr", &self.local_addr)
             .field("connections", &self.connections.lock().len())
+            .field("peers", &self.federation.peer_count())
             .finish()
     }
 }
@@ -137,6 +249,10 @@ impl std::fmt::Debug for BrokerServer {
 impl BrokerServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and serve a fresh
     /// default broker.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the address cannot be bound.
     pub fn bind(addr: impl ToSocketAddrs) -> Result<BrokerServer, WireError> {
         BrokerServerBuilder::default().bind(addr)
     }
@@ -146,15 +262,37 @@ impl BrokerServer {
         BrokerServerBuilder::default()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start(
         addr: impl ToSocketAddrs,
         broker: Arc<Broker>,
         name: String,
+        peers: Vec<String>,
+        covering: bool,
+        peer_queue_capacity: usize,
+        write_timeout: Duration,
     ) -> Result<BrokerServer, WireError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let broker_id = crate::federation::mint_broker_id(&name, local_addr.port() as u64);
+        // Namespace event ids like subscription ids, so events forwarded
+        // between federated daemons never collide on `EventId`. A
+        // pre-used broker keeps its counter (the rebase only applies to
+        // a fresh one).
+        broker.namespace_event_ids((broker_id as u64) << 32);
+        let federation = Federation::start(
+            Arc::clone(&broker),
+            broker_id,
+            FederationConfig {
+                name: name.clone(),
+                covering,
+                peer_queue_capacity,
+                write_timeout,
+            },
+        );
         let server = BrokerServer {
             broker,
+            federation,
             clicks: Arc::new(Mutex::new(ClickStore::new())),
             local_addr,
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -167,12 +305,14 @@ impl BrokerServer {
         let accept = AcceptLoop {
             listener,
             broker: Arc::clone(&server.broker),
+            federation: Arc::clone(&server.federation),
             clicks: Arc::clone(&server.clicks),
             shutdown: Arc::clone(&server.shutdown),
             conn_threads: Arc::clone(&server.conn_threads),
             connections: Arc::clone(&server.connections),
             stats: Arc::clone(&server.stats),
             name,
+            write_timeout,
         };
         let mut server = server;
         server.accept_thread = Some(
@@ -181,6 +321,11 @@ impl BrokerServer {
                 .spawn(move || accept.run())
                 .expect("spawn accept thread"),
         );
+        for peer in &peers {
+            server
+                .federation
+                .connect_peer_with_retry(peer, PEER_DIAL_ATTEMPTS, PEER_DIAL_DELAY)?;
+        }
         Ok(server)
     }
 
@@ -194,6 +339,21 @@ impl BrokerServer {
         &self.broker
     }
 
+    /// The federation layer: peer links and the sans-io routing core.
+    pub fn federation(&self) -> &Arc<Federation> {
+        &self.federation
+    }
+
+    /// Dial `addr` and add it as a federation peer at runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the peer is unreachable, or a protocol
+    /// error when it is not a compatible broker.
+    pub fn add_peer(&self, addr: &str) -> Result<NodeId, WireError> {
+        self.federation.connect_peer(addr)
+    }
+
     /// The server-side click store fed by `UploadClicks` requests.
     pub fn click_store(&self) -> Arc<Mutex<ClickStore>> {
         Arc::clone(&self.clicks)
@@ -202,6 +362,16 @@ impl BrokerServer {
     /// Aggregate transport counters.
     pub fn stats(&self) -> WireStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Federation routing and peer-link counters.
+    pub fn federation_stats(&self) -> FederationStatsSnapshot {
+        self.federation.snapshot()
+    }
+
+    /// Transport counters per live peer link.
+    pub fn peer_stats(&self) -> Vec<PeerStatsSnapshot> {
+        self.federation.peer_stats()
     }
 
     /// Transport counters per live connection.
@@ -218,12 +388,13 @@ impl BrokerServer {
             .collect()
     }
 
-    /// Number of live connections.
+    /// Number of live client connections (upgraded peer links excluded).
     pub fn connection_count(&self) -> usize {
         self.connections.lock().len()
     }
 
-    /// Stop accepting, close every connection, and join all threads.
+    /// Stop accepting, close every connection and peer link, and join all
+    /// threads.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
@@ -249,6 +420,10 @@ impl BrokerServer {
         for conn in self.connections.lock().iter() {
             conn.close_socket();
         }
+        // Close peer links before joining connection threads: an inbound
+        // peer link's reader is one of those threads, blocked on its
+        // socket until the federation tears it down.
+        self.federation.shutdown();
         let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
         for handle in threads {
             let _ = handle.join();
@@ -267,12 +442,14 @@ impl Drop for BrokerServer {
 struct AcceptLoop {
     listener: TcpListener,
     broker: Arc<Broker>,
+    federation: Arc<Federation>,
     clicks: Arc<Mutex<ClickStore>>,
     shutdown: Arc<AtomicBool>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     connections: Arc<Mutex<Vec<Arc<Connection>>>>,
     stats: Arc<WireStats>,
     name: String,
+    write_timeout: Duration,
 }
 
 impl AcceptLoop {
@@ -292,6 +469,10 @@ impl AcceptLoop {
                 return;
             }
             let _ = stream.set_nodelay(true);
+            // Bound the delivery path: a consumer that stops reading can
+            // stall a write for at most this long before the connection
+            // is declared dead.
+            let _ = stream.set_write_timeout(Some(self.write_timeout));
             if let Err(e) = self.spawn_connection(stream, peer) {
                 // Registration failed (e.g. clone error); drop the socket.
                 let _ = e;
@@ -312,6 +493,7 @@ impl AcceptLoop {
             control,
             stats: WireStats::new(),
             closed: AtomicBool::new(false),
+            upgraded: AtomicBool::new(false),
         });
         self.stats.record_open();
         conn.stats.record_open();
@@ -320,6 +502,7 @@ impl AcceptLoop {
         let reader = ConnectionReader {
             conn: Arc::clone(&conn),
             broker: Arc::clone(&self.broker),
+            federation: Arc::clone(&self.federation),
             clicks: Arc::clone(&self.clicks),
             connections: Arc::clone(&self.connections),
             aggregate: Arc::clone(&self.stats),
@@ -352,10 +535,21 @@ impl AcceptLoop {
     }
 }
 
+/// What the request loop should do after handling one frame.
+enum Step {
+    /// Reply sent (or attempted); keep reading requests.
+    Continue,
+    /// Reply sent; close the conversation.
+    Close,
+    /// The connection upgraded to a peer link; switch to the peer loop.
+    Upgraded { peer_broker: String },
+}
+
 /// The per-connection request loop.
 struct ConnectionReader {
     conn: Arc<Connection>,
     broker: Arc<Broker>,
+    federation: Arc<Federation>,
     clicks: Arc<Mutex<ClickStore>>,
     connections: Arc<Mutex<Vec<Arc<Connection>>>>,
     aggregate: Arc<WireStats>,
@@ -397,17 +591,109 @@ impl ConnectionReader {
             };
             self.conn.stats.record_request();
             self.aggregate.record_request();
-            let is_bye = matches!(request, Request::Bye);
-            let response = self.handle(request, &mut owned);
-            if matches!(response, Response::Error { .. }) {
-                self.conn.stats.record_error();
-                self.aggregate.record_error();
-            }
-            if self.reply(response).is_err() || is_bye {
-                break;
+            match self.step(request, &mut owned) {
+                Step::Continue => {}
+                Step::Close => break,
+                Step::Upgraded { peer_broker } => {
+                    self.run_as_peer(reader, peer_broker, &owned);
+                    return;
+                }
             }
         }
-        self.finish();
+        self.finish(&owned);
+    }
+
+    fn step(&self, request: Request, owned: &mut HashSet<SubscriptionId>) -> Step {
+        if let Request::PeerHello {
+            version,
+            broker,
+            broker_id,
+        } = request
+        {
+            if version != PROTOCOL_VERSION {
+                let _ = self.reply(Response::Error {
+                    message: format!(
+                        "protocol version mismatch: server speaks v{PROTOCOL_VERSION}, peer sent v{version}"
+                    ),
+                });
+                return Step::Close;
+            }
+            let _ = broker_id;
+            // Flip the flag before the welcome goes out: from the
+            // dialer's perspective every frame after `PeerWelcome` must
+            // be a `PeerMsg`, so the delivery pump (which checks the flag
+            // under the shared write lock) must never write a straggling
+            // `Deliver` after it.
+            self.conn.upgraded.store(true, Ordering::SeqCst);
+            let welcome = Response::PeerWelcome {
+                version: PROTOCOL_VERSION,
+                broker: self.federation.name().to_owned(),
+                broker_id: self.federation.broker_id(),
+            };
+            if self.reply(welcome).is_err() {
+                return Step::Close;
+            }
+            return Step::Upgraded {
+                peer_broker: broker,
+            };
+        }
+        let is_bye = matches!(request, Request::Bye);
+        let response = self.handle(request, owned);
+        if matches!(response, Response::Error { .. }) {
+            self.conn.stats.record_error();
+            self.aggregate.record_error();
+        }
+        if self.reply(response).is_err() || is_bye {
+            Step::Close
+        } else {
+            Step::Continue
+        }
+    }
+
+    /// Turn the connection into a federation peer link. The `PeerWelcome`
+    /// reply is already on the wire and `upgraded` is set; from here the
+    /// link's writer thread owns all writes, and this thread runs the
+    /// shared peer read loop until the socket dies.
+    fn run_as_peer(
+        &self,
+        reader: BufReader<TcpStream>,
+        peer_broker: String,
+        owned: &HashSet<SubscriptionId>,
+    ) {
+        // This connection is no longer a client: the delivery pump bows
+        // out, its broker subscriber goes away, and anything it
+        // subscribed while still speaking the client protocol is
+        // withdrawn from the routing core.
+        for sub in owned {
+            self.federation.local_unsubscribe(*sub);
+        }
+        let _ = self.broker.deregister(self.conn.subscriber);
+        self.connections
+            .lock()
+            .retain(|c| !Arc::ptr_eq(c, &self.conn));
+        self.conn.stats.record_close();
+        self.aggregate.record_close();
+        let stream = match reader.get_ref().try_clone() {
+            Ok(stream) => stream,
+            Err(_) => {
+                self.aggregate.record_error();
+                self.conn.close_socket();
+                return;
+            }
+        };
+        let node =
+            match self
+                .federation
+                .adopt_inbound(stream, peer_broker, self.conn.peer.to_string())
+            {
+                Ok(node) => node,
+                Err(_) => {
+                    self.aggregate.record_error();
+                    self.conn.close_socket();
+                    return;
+                }
+            };
+        self.federation.run_inbound_reader(node, reader);
     }
 
     fn reply(&self, response: Response) -> Result<(), WireError> {
@@ -433,9 +719,12 @@ impl ConnectionReader {
                 }
             }
             Request::Subscribe { filter } => {
-                match self.broker.subscribe(self.conn.subscriber, filter) {
+                match self.broker.subscribe(self.conn.subscriber, filter.clone()) {
                     Ok(subscription) => {
                         owned.insert(subscription);
+                        // Mirror into the routing core so the filter is
+                        // advertised to (current and future) peers.
+                        self.federation.local_subscribe(subscription, filter);
                         Response::Subscribed { subscription }
                     }
                     Err(e) => Response::Error {
@@ -454,6 +743,7 @@ impl ConnectionReader {
                 match self.broker.unsubscribe(subscription) {
                     Ok(filter) => {
                         owned.remove(&subscription);
+                        self.federation.local_unsubscribe(subscription);
                         Response::Unsubscribed { filter }
                     }
                     Err(e) => Response::Error {
@@ -461,16 +751,29 @@ impl ConnectionReader {
                     },
                 }
             }
-            Request::Publish { event } => match self.broker.publish(event) {
-                Ok(outcome) => Response::Published {
-                    id: outcome.id,
-                    delivered: outcome.delivered as u64,
-                    dropped: outcome.dropped as u64,
-                },
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
-            },
+            Request::Publish { event } => {
+                // Clone only when there are peers to forward to.
+                let forward = if self.federation.peer_count() > 0 {
+                    Some(event.clone())
+                } else {
+                    None
+                };
+                match self.broker.publish(event) {
+                    Ok(outcome) => {
+                        if let Some(event) = forward {
+                            self.federation.local_publish(event, &outcome);
+                        }
+                        Response::Published {
+                            id: outcome.id,
+                            delivered: outcome.delivered as u64,
+                            dropped: outcome.dropped as u64,
+                        }
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
             Request::UploadClicks { batch } => {
                 let receipt = self.clicks.lock().ingest_upload(batch);
                 Response::ClicksAccepted { receipt }
@@ -478,14 +781,19 @@ impl ConnectionReader {
             Request::Stats => Response::Stats {
                 broker: self.broker.stats(),
                 wire: self.aggregate.snapshot(),
+                federation: self.federation.snapshot(),
             },
             Request::Ping => Response::Pong,
             Request::Bye => Response::Bye,
+            Request::PeerHello { .. } => unreachable!("intercepted in step()"),
         }
     }
 
-    fn finish(&self) {
+    fn finish(&self, owned: &HashSet<SubscriptionId>) {
         self.conn.close_socket();
+        for sub in owned {
+            self.federation.local_unsubscribe(*sub);
+        }
         let _ = self.broker.deregister(self.conn.subscriber);
         self.conn.stats.record_close();
         self.aggregate.record_close();
@@ -506,7 +814,10 @@ struct DeliveryPump {
 impl DeliveryPump {
     fn run(self) {
         loop {
-            if self.shutdown.load(Ordering::SeqCst) || self.conn.closed.load(Ordering::SeqCst) {
+            if self.shutdown.load(Ordering::SeqCst)
+                || self.conn.closed.load(Ordering::SeqCst)
+                || self.conn.upgraded.load(Ordering::SeqCst)
+            {
                 return;
             }
             let Some(event) = self.inbox.recv_timeout(PUMP_PARK) else {
@@ -514,8 +825,13 @@ impl DeliveryPump {
             };
             let message = ServerMessage::Deliver(Deliver { event });
             if self.conn.send(&message, &self.aggregate).is_err() {
-                // Peer went away mid-delivery; the reader does the cleanup.
+                // Write failed or timed out: the consumer is gone or
+                // stalled past the backpressure bound. The delivery is
+                // lost — count it — and the reader does the cleanup.
+                self.conn.stats.record_delivery_drop();
+                self.aggregate.record_delivery_drop();
                 self.conn.closed.store(true, Ordering::SeqCst);
+                let _ = self.conn.control.shutdown(Shutdown::Both);
                 return;
             }
         }
@@ -569,5 +885,54 @@ mod tests {
         client.ping().expect("ping");
         assert!(server.conn_threads.lock().len() <= 4, "dead handles reaped");
         server.shutdown();
+    }
+
+    #[test]
+    fn two_servers_federate_and_cross_deliver() {
+        let a = BrokerServer::builder()
+            .name("fed-a")
+            .bind("127.0.0.1:0")
+            .expect("bind a");
+        let b = BrokerServer::builder()
+            .name("fed-b")
+            .peer(a.local_addr().to_string())
+            .bind("127.0.0.1:0")
+            .expect("bind b");
+        // The dialer registers its link before bind() returns; the
+        // acceptor registers on its connection thread, so poll.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while a.federation_stats().peers < 1 {
+            assert!(std::time::Instant::now() < deadline, "peer link adopted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(b.federation_stats().peers, 1);
+
+        let sub = Client::connect_as(a.local_addr(), "sub").expect("connect sub");
+        sub.subscribe(reef_pubsub::Filter::topic("fed"))
+            .expect("subscribe");
+        let publisher = Client::connect_as(b.local_addr(), "pub").expect("connect pub");
+        // The subscription needs a moment to be advertised across.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.federation_stats().routing_entries == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "advertisement arrived"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        publisher
+            .publish(reef_pubsub::Event::topical("fed", "hello"))
+            .expect("publish");
+        let got = sub.recv_delivery(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(
+            got.event.get(reef_pubsub::TOPIC_ATTR).unwrap().as_str(),
+            Some("fed")
+        );
+        let stats = b.federation_stats();
+        assert_eq!(stats.events_forwarded, 1);
+        drop(sub);
+        drop(publisher);
+        b.shutdown();
+        a.shutdown();
     }
 }

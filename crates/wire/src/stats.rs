@@ -15,6 +15,7 @@ pub struct WireStats {
     bytes_out: AtomicU64,
     requests: AtomicU64,
     deliveries: AtomicU64,
+    delivery_drops: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -56,6 +57,12 @@ impl WireStats {
         self.deliveries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one delivery lost on the wire path (write failure or
+    /// timeout on a backpressured socket, or a full peer-link queue).
+    pub fn record_delivery_drop(&self) {
+        self.delivery_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one error response or protocol failure.
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
@@ -72,6 +79,7 @@ impl WireStats {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             deliveries: self.deliveries.load(Ordering::Relaxed),
+            delivery_drops: self.delivery_drops.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
         }
     }
@@ -97,6 +105,9 @@ pub struct WireStatsSnapshot {
     pub requests: u64,
     /// Deliveries pushed.
     pub deliveries: u64,
+    /// Deliveries lost on the wire path (socket write failures/timeouts
+    /// and full peer-link queues).
+    pub delivery_drops: u64,
     /// Errors returned or suffered.
     pub errors: u64,
 }
@@ -105,7 +116,7 @@ impl std::fmt::Display for WireStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "conns={}/{} frames={}in/{}out bytes={}in/{}out requests={} deliveries={} errors={}",
+            "conns={}/{} frames={}in/{}out bytes={}in/{}out requests={} deliveries={} drops={} errors={}",
             self.connections_opened,
             self.connections_closed,
             self.frames_in,
@@ -114,6 +125,7 @@ impl std::fmt::Display for WireStatsSnapshot {
             self.bytes_out,
             self.requests,
             self.deliveries,
+            self.delivery_drops,
             self.errors,
         )
     }
@@ -129,5 +141,57 @@ pub struct ConnectionStatsSnapshot {
     /// Broker subscriber id backing this connection.
     pub subscriber: u64,
     /// The connection's transport counters.
+    pub wire: WireStatsSnapshot,
+}
+
+/// Point-in-time view of a broker's federation state: peer links and the
+/// sans-io routing core's table sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FederationStatsSnapshot {
+    /// This broker's federation-wide id (namespaces its subscription ids).
+    pub broker_id: u32,
+    /// Live peer links.
+    pub peers: u64,
+    /// Routing-table entries in the sans-io core (local wire
+    /// subscriptions plus covering-pruned peer advertisements).
+    pub routing_entries: u64,
+    /// Advertisements currently held toward peers.
+    pub advertisements: u64,
+    /// Subscription advertisements sent to peers.
+    pub subs_forwarded: u64,
+    /// Events forwarded to peers.
+    pub events_forwarded: u64,
+    /// Events received from peers.
+    pub events_received: u64,
+    /// Events lost because a peer link's bounded queue was full.
+    pub events_dropped: u64,
+}
+
+impl std::fmt::Display for FederationStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peers={} routing={} ads={} subs_fwd={} events={}out/{}in drops={}",
+            self.peers,
+            self.routing_entries,
+            self.advertisements,
+            self.subs_forwarded,
+            self.events_forwarded,
+            self.events_received,
+            self.events_dropped,
+        )
+    }
+}
+
+/// Per-peer-link stats snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerStatsSnapshot {
+    /// The remote broker's announced name.
+    pub broker: String,
+    /// Peer address as reported by the OS.
+    pub addr: String,
+    /// Local link id of this peer in the routing core.
+    pub link: u32,
+    /// The link's transport counters.
     pub wire: WireStatsSnapshot,
 }

@@ -1,0 +1,113 @@
+//! Broker federation over real sockets: the §5.3 wide-area substrate as
+//! deployable daemons.
+//!
+//! Three in-process `BrokerServer`s stand in for three `reefd` instances
+//! on three machines, chained exactly like
+//!
+//! ```text
+//! reefd --name tokyo  --listen A
+//! reefd --name berlin --listen B --peer A
+//! reefd --name boston --listen C --peer B
+//! ```
+//!
+//! A subscriber in Tokyo places one wide filter and several narrow ones;
+//! covering-based pruning means only the wide one is advertised along the
+//! chain, and a publish in Boston still reaches every matching
+//! subscription two broker hops away.
+//!
+//! Run with: `cargo run --example federation`
+
+use reef::pubsub::{Event, Filter, Op};
+use reef::wire::{BrokerServer, Client};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let tokyo = BrokerServer::builder()
+        .name("tokyo")
+        .bind("127.0.0.1:0")
+        .expect("bind tokyo");
+    let berlin = BrokerServer::builder()
+        .name("berlin")
+        .peer(tokyo.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind berlin");
+    let boston = BrokerServer::builder()
+        .name("boston")
+        .peer(berlin.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind boston");
+    println!("three brokers federated:");
+    for server in [&tokyo, &berlin, &boston] {
+        let stats = server.federation_stats();
+        println!(
+            "  {} (broker id {:#010x}), {} peer link(s)",
+            server.local_addr(),
+            stats.broker_id,
+            stats.peers
+        );
+    }
+
+    // A subscriber in Tokyo: one wide filter and three narrow ones the
+    // wide one covers.
+    let subscriber = Client::connect_as(tokyo.local_addr(), "tokyo-sub").expect("connect");
+    subscriber
+        .subscribe(Filter::new().and("price", Op::Gt, 10.0))
+        .expect("wide subscription");
+    for threshold in [50.0, 100.0, 500.0] {
+        subscriber
+            .subscribe(Filter::new().and("price", Op::Gt, threshold))
+            .expect("narrow subscription");
+    }
+
+    // Wait for the advertisement to reach the far end of the chain.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while boston.federation_stats().routing_entries == 0 {
+        assert!(Instant::now() < deadline, "advertisement never arrived");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("\ncovering pruning along the chain (4 local subscriptions):");
+    for (name, server) in [("tokyo", &tokyo), ("berlin", &berlin), ("boston", &boston)] {
+        let stats = server.federation_stats();
+        println!(
+            "  {name}: {} routing entries, {} advertisements held",
+            stats.routing_entries, stats.advertisements
+        );
+    }
+
+    // Publish in Boston; the event crosses two peer links back to Tokyo.
+    let publisher = Client::connect_as(boston.local_addr(), "boston-pub").expect("connect");
+    publisher
+        .publish(
+            Event::builder()
+                .attr("sym", "REEF")
+                .attr("price", 640.25)
+                .build(),
+        )
+        .expect("publish");
+    let mut copies = 0;
+    while let Some(event) = subscriber.recv_delivery(Duration::from_secs(2)) {
+        copies += 1;
+        println!(
+            "\ntokyo subscriber received copy {copies}: sym={} price={}",
+            event.event.get("sym").unwrap(),
+            event.event.get("price").unwrap()
+        );
+        if copies == 4 {
+            break;
+        }
+    }
+    assert_eq!(copies, 4, "one copy per matching subscription");
+
+    let berlin_stats = berlin.federation_stats();
+    println!(
+        "\nberlin relayed {} event(s), forwarded {} subscription advertisement(s)",
+        berlin_stats.events_received, berlin_stats.subs_forwarded
+    );
+
+    drop(subscriber);
+    drop(publisher);
+    boston.shutdown();
+    berlin.shutdown();
+    tokyo.shutdown();
+    println!("all brokers shut down cleanly");
+}

@@ -1,0 +1,158 @@
+//! Transport-equivalence property: the sans-io `BrokerNode` routing core
+//! must behave identically no matter which transport carries its
+//! `PeerMsg`s. For the same scripted workload on the same 3-broker chain,
+//! the `SimTransport`-backed `Overlay` (virtual time, in-process) and a
+//! federation of real `BrokerServer`s over TCP (`TcpTransport`) must
+//! converge to the same routing-table sizes and deliver the same event
+//! sets to the same clients.
+
+use proptest::prelude::*;
+use reef::pubsub::{ClientId, Event, Filter, Op, Overlay, Value};
+use reef::wire::{BrokerServer, Client};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(10);
+const ATTRS: [&str; 3] = ["x", "y", "z"];
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    prop::collection::vec((0usize..3, 0usize..4, -2i64..3), 0..3).prop_map(|preds| {
+        let mut f = Filter::new();
+        for (attr, op, val) in preds {
+            let op = [Op::Eq, Op::Ne, Op::Lt, Op::Gt][op];
+            f = f.and(ATTRS[attr], op, val);
+        }
+        f
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop::collection::vec((0usize..3, -2i64..3), 1..4).prop_map(|pairs| {
+        let mut e = Event::new();
+        for (attr, val) in pairs {
+            e.set(ATTRS[attr], Value::from(val));
+        }
+        e
+    })
+}
+
+type Multiset = BTreeMap<String, usize>;
+
+fn into_multiset(events: impl IntoIterator<Item = Event>) -> Multiset {
+    let mut out = Multiset::new();
+    for event in events {
+        *out.entry(event.to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+proptest! {
+    // Each case spins up three real TCP daemons; keep the case count low
+    // enough that the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sim_and_tcp_transports_deliver_identical_event_sets(
+        covering in any::<bool>(),
+        subs in prop::collection::vec((0usize..3, arb_filter()), 1..6),
+        events in prop::collection::vec((0usize..3, arb_event()), 1..8),
+    ) {
+        // --- Oracle: the SimTransport-backed Overlay on a 3-chain. ---
+        let mut overlay = Overlay::new(covering);
+        let sim_brokers: Vec<_> = (0..3).map(|_| overlay.add_broker()).collect();
+        overlay.link(sim_brokers[0], sim_brokers[1], 1).expect("link");
+        overlay.link(sim_brokers[1], sim_brokers[2], 1).expect("link");
+        let sim_clients: Vec<ClientId> = sim_brokers
+            .iter()
+            .map(|b| overlay.attach_client(*b).expect("attach"))
+            .collect();
+        for (client, filter) in &subs {
+            overlay.subscribe(sim_clients[*client], filter.clone()).expect("subscribe");
+        }
+        overlay.run_until_idle();
+        let sim_entries: Vec<usize> = sim_brokers
+            .iter()
+            .map(|b| overlay.routing_entries_at(*b).expect("entries"))
+            .collect();
+        for (publisher, event) in &events {
+            overlay.publish(sim_clients[*publisher], event.clone()).expect("publish");
+        }
+        overlay.run_until_idle();
+        let expected: Vec<Multiset> = sim_clients
+            .iter()
+            .map(|c| {
+                into_multiset(
+                    overlay
+                        .take_delivered(*c)
+                        .expect("delivered")
+                        .into_iter()
+                        .map(|p| p.event),
+                )
+            })
+            .collect();
+
+        // --- Same workload over TCP: three federated daemons. ---
+        let a = BrokerServer::builder().name("eq-a").covering(covering)
+            .bind("127.0.0.1:0").expect("bind a");
+        let b = BrokerServer::builder().name("eq-b").covering(covering)
+            .peer(a.local_addr().to_string()).bind("127.0.0.1:0").expect("bind b");
+        let c = BrokerServer::builder().name("eq-c").covering(covering)
+            .peer(b.local_addr().to_string()).bind("127.0.0.1:0").expect("bind c");
+        let servers = [&a, &b, &c];
+        let clients: Vec<Client> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Client::connect_as(s.local_addr(), &format!("eq-client-{i}")).expect("connect"))
+            .collect();
+        for (client, filter) in &subs {
+            clients[*client].subscribe(filter.clone()).expect("subscribe");
+        }
+        // Settle: routing entries grow monotonically toward the sim's
+        // final state; equality means advertisement propagation is done.
+        let deadline = Instant::now() + WAIT;
+        loop {
+            let entries: Vec<usize> = servers
+                .iter()
+                .map(|s| s.federation_stats().routing_entries as usize)
+                .collect();
+            if entries == sim_entries {
+                break;
+            }
+            prop_assert!(
+                Instant::now() < deadline,
+                "routing tables never converged: tcp {entries:?} vs sim {sim_entries:?} (covering={covering})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for (publisher, event) in &events {
+            clients[*publisher].publish(event.clone()).expect("publish");
+        }
+        // Collect deliveries until each client saw what the oracle
+        // predicts (or the deadline passes).
+        for (i, client) in clients.iter().enumerate() {
+            let want = &expected[i];
+            let want_total: usize = want.values().sum();
+            let mut got = Vec::new();
+            let deadline = Instant::now() + WAIT;
+            while got.len() < want_total && Instant::now() < deadline {
+                if let Some(delivery) = client.recv_delivery(Duration::from_millis(50)) {
+                    got.push(delivery.event);
+                }
+            }
+            // A short grace period catches spurious extra deliveries.
+            if let Some(extra) = client.recv_delivery(Duration::from_millis(50)) {
+                got.push(extra.event);
+            }
+            let got = into_multiset(got);
+            prop_assert_eq!(
+                &got, want,
+                "client {} deliveries diverge between transports (covering={})",
+                i, covering
+            );
+        }
+        drop(clients);
+        c.shutdown();
+        b.shutdown();
+        a.shutdown();
+    }
+}

@@ -8,6 +8,28 @@ use reef::pubsub::{Event, Filter, Op, PublishedEvent, Value};
 use reef::simweb::UserId;
 
 #[test]
+fn large_u64_ids_round_trip_exactly() {
+    // Federation subscription ids are namespaced `broker_id << 32 |
+    // counter`, which lands above 2^53 (and above i64::MAX for half of
+    // all broker ids). A JSON layer that routes big integers through f64
+    // silently merges adjacent ids — which is exactly the corruption the
+    // routing tables would see, so every bit must survive.
+    use reef::pubsub::GlobalSubId;
+    for id in [
+        (u32::MAX as u64) << 32,
+        ((u32::MAX as u64) << 32) | 1,
+        u64::MAX,
+        u64::MAX - 1,
+        i64::MAX as u64 + 1,
+        (1u64 << 53) + 1,
+    ] {
+        let json = serde_json::to_string(&GlobalSubId(id)).expect("serialize");
+        let back: GlobalSubId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.0, id, "u64 id {id} must round-trip bit-exactly");
+    }
+}
+
+#[test]
 fn click_batch_round_trips() {
     let batch = ClickBatch {
         user: UserId(3),
@@ -97,7 +119,10 @@ mod wire_frames {
     use super::*;
     use reef::attention::UploadReceipt;
     use reef::pubsub::{BrokerStatsSnapshot, EventId, SubscriptionId};
-    use reef::wire::{Deliver, Frame, Request, Response, ServerMessage, WireStatsSnapshot};
+    use reef::wire::{
+        Deliver, FederationStatsSnapshot, Frame, Request, Response, ServerMessage,
+        WireStatsSnapshot,
+    };
 
     fn frame_round_trip_request(request: Request) {
         let frame = Frame::encode(&request).expect("encode");
@@ -193,6 +218,7 @@ mod wire_frames {
             Response::Stats {
                 broker: BrokerStatsSnapshot::default(),
                 wire: WireStatsSnapshot::default(),
+                federation: FederationStatsSnapshot::default(),
             },
             Response::Pong,
             Response::Bye,

@@ -1,0 +1,265 @@
+//! End-to-end federation tests: multiple `reefd`-style broker daemons on
+//! ephemeral loopback ports, peered over real OS sockets, routing
+//! subscriptions (with covering pruning) and events between each other —
+//! the socket-backed counterpart of the simulated `Overlay`.
+
+use reef::pubsub::{Event, Filter, Op, TOPIC_ATTR};
+use reef::wire::{BrokerServer, Client};
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(10);
+
+/// Poll `probe` until it returns true or the deadline passes.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Build the chain a — b — c the way three `reefd` daemons would:
+/// `reefd --name a`, `reefd --name b --peer A`, `reefd --name c --peer B`.
+fn chain(covering: bool) -> (BrokerServer, BrokerServer, BrokerServer) {
+    let a = BrokerServer::builder()
+        .name("chain-a")
+        .covering(covering)
+        .bind("127.0.0.1:0")
+        .expect("bind a");
+    let b = BrokerServer::builder()
+        .name("chain-b")
+        .covering(covering)
+        .peer(a.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind b");
+    let c = BrokerServer::builder()
+        .name("chain-c")
+        .covering(covering)
+        .peer(b.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind c");
+    (a, b, c)
+}
+
+/// The acceptance scenario: subscribe at one end of a 3-broker TCP
+/// chain, publish at the other, and watch the event hop across two peer
+/// links into the subscriber's socket.
+#[test]
+fn three_broker_chain_delivers_across_two_hops() {
+    let (a, b, c) = chain(true);
+    // Dialed links register before bind() returns; accepted links
+    // register on the acceptor's connection thread, so poll.
+    wait_for("all peer links to register", || {
+        a.federation_stats().peers == 1
+            && b.federation_stats().peers == 2
+            && c.federation_stats().peers == 1
+    });
+
+    let subscriber = Client::connect_as(a.local_addr(), "edge-sub").expect("connect to a");
+    subscriber
+        .subscribe(Filter::topic("chain"))
+        .expect("subscribe at a");
+
+    // The advertisement must travel a -> b -> c before a publish at c can
+    // route back.
+    wait_for("advertisement to reach c", || {
+        c.federation_stats().routing_entries >= 1
+    });
+
+    let publisher = Client::connect_as(c.local_addr(), "edge-pub").expect("connect to c");
+    publisher
+        .publish(Event::topical("chain", "end-to-end"))
+        .expect("publish at c");
+
+    let got = subscriber
+        .recv_delivery(WAIT)
+        .expect("cross-broker delivery");
+    assert_eq!(got.event.get(TOPIC_ATTR).unwrap().as_str(), Some("chain"));
+    assert_eq!(got.event.get("body").unwrap().as_str(), Some("end-to-end"));
+
+    // Non-matching traffic published at c must not reach the subscriber.
+    publisher
+        .publish(Event::topical("other", "noise"))
+        .expect("publish noise");
+    assert!(
+        subscriber
+            .recv_delivery(Duration::from_millis(300))
+            .is_none(),
+        "non-matching event must not cross the federation"
+    );
+
+    // Hop accounting: c forwarded toward b, b relayed toward a.
+    let stats_c = c.federation_stats();
+    assert!(stats_c.events_forwarded >= 1, "c forwarded the event");
+    let stats_b = b.federation_stats();
+    assert!(stats_b.events_received >= 1, "b received the event");
+    assert!(stats_b.events_forwarded >= 1, "b relayed the event");
+
+    drop(subscriber);
+    drop(publisher);
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+/// Covering pruning must be observable in federation routing stats: a
+/// wide filter plus many narrow filters it covers produce far fewer
+/// routing entries on remote brokers than the same workload with pruning
+/// disabled.
+#[test]
+fn covering_pruning_shrinks_remote_routing_tables() {
+    let run = |covering: bool| -> u64 {
+        let (a, b, c) = chain(covering);
+        let client = Client::connect_as(a.local_addr(), "coverer").expect("connect to a");
+        // One wide filter plus narrow ones it strictly covers.
+        client
+            .subscribe(Filter::new().and("x", Op::Gt, 0))
+            .expect("wide");
+        for i in 1..10i64 {
+            client
+                .subscribe(Filter::new().and("x", Op::Gt, 0).and("y", Op::Eq, i))
+                .expect("narrow");
+        }
+        // Settle: wait until c has as many entries as it is ever going to
+        // get for this workload (1 with covering, 10 without), then read
+        // the remote table sizes.
+        let expected_at_c = if covering { 1 } else { 10 };
+        let deadline = Instant::now() + WAIT;
+        while c.federation_stats().routing_entries < expected_at_c {
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for routing entries at c (covering={covering})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let remote_entries =
+            b.federation_stats().routing_entries + c.federation_stats().routing_entries;
+        drop(client);
+        c.shutdown();
+        b.shutdown();
+        a.shutdown();
+        remote_entries
+    };
+    let pruned = run(true);
+    let flooded = run(false);
+    assert_eq!(pruned, 2, "one covering entry at b and at c");
+    assert_eq!(flooded, 20, "all ten filters at b and at c");
+    assert!(
+        pruned < flooded,
+        "covering pruning keeps routing tables below the no-pruning count"
+    );
+}
+
+/// Covering must not lose deliveries across the federation: a covered
+/// subscriber behind the same broker still receives events forwarded for
+/// the covering filter.
+#[test]
+fn covered_subscription_still_delivers_across_federation() {
+    let (a, b, c) = chain(true);
+    let wide = Client::connect_as(a.local_addr(), "wide").expect("connect wide");
+    let narrow = Client::connect_as(a.local_addr(), "narrow").expect("connect narrow");
+    wide.subscribe(Filter::new().and("x", Op::Gt, 0))
+        .expect("wide sub");
+    narrow
+        .subscribe(Filter::new().and("x", Op::Gt, 5))
+        .expect("narrow sub");
+    wait_for("advertisement to reach c", || {
+        c.federation_stats().routing_entries >= 1
+    });
+    // Only the wide filter is advertised remotely.
+    assert_eq!(c.federation_stats().routing_entries, 1);
+
+    let publisher = Client::connect_as(c.local_addr(), "pub").expect("connect pub");
+    publisher
+        .publish(Event::builder().attr("x", 10).build())
+        .expect("publish");
+    assert!(
+        wide.recv_delivery(WAIT).is_some(),
+        "wide subscriber delivered"
+    );
+    assert!(
+        narrow.recv_delivery(WAIT).is_some(),
+        "narrow subscriber delivered"
+    );
+
+    drop(wide);
+    drop(narrow);
+    drop(publisher);
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+/// Unsubscribing (here: dropping the subscriber's connection) must
+/// withdraw the advertisement across the federation.
+#[test]
+fn disconnecting_subscriber_withdraws_remote_interest() {
+    let (a, b, c) = chain(true);
+    let subscriber = Client::connect_as(a.local_addr(), "sub").expect("connect sub");
+    subscriber
+        .subscribe(Filter::topic("gone"))
+        .expect("subscribe");
+    wait_for("advertisement to reach c", || {
+        c.federation_stats().routing_entries >= 1
+    });
+    subscriber.close().expect("orderly goodbye");
+    wait_for("withdrawal to reach c", || {
+        c.federation_stats().routing_entries == 0
+    });
+    assert_eq!(b.federation_stats().routing_entries, 0);
+
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+/// The `Stats` request surfaces federation state to remote clients, and
+/// delivery drops appear in the wire snapshot when a bounded-queue broker
+/// overflows.
+#[test]
+fn stats_request_reports_federation_and_backpressure() {
+    let a = BrokerServer::builder()
+        .name("stats-a")
+        .queue_capacity(1)
+        .bind("127.0.0.1:0")
+        .expect("bind a");
+    let b = BrokerServer::builder()
+        .name("stats-b")
+        .peer(a.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind b");
+
+    let client = Client::connect_as(a.local_addr(), "stats-client").expect("connect");
+    // a is the accepting side of the peer link; poll until its
+    // connection thread has registered it.
+    wait_for("peer link visible in stats", || {
+        client.stats().expect("stats").federation.peers == 1
+    });
+    let stats = client.stats().expect("stats");
+    assert_ne!(stats.federation.broker_id, 0);
+
+    // Overflow the 1-slot queue deterministically: register a subscriber
+    // directly on the broker (no delivery pump drains it) and flood it
+    // from a wire client.
+    let (slow, slow_handle) = a.broker().register();
+    a.broker()
+        .subscribe(slow, Filter::new())
+        .expect("subscribe slow consumer");
+    let publisher = Client::connect_as(a.local_addr(), "flooder").expect("connect flooder");
+    let mut dropped = 0;
+    for i in 0..5i64 {
+        let out = publisher
+            .publish(Event::builder().attr("i", i).build())
+            .expect("publish");
+        dropped += out.dropped;
+    }
+    assert_eq!(dropped, 4, "everything past the first event was dropped");
+    let stats = client.stats().expect("stats after flood");
+    assert_eq!(stats.broker.drops, 4, "drops surfaced in broker stats");
+    assert_eq!(slow_handle.pending(), 1, "the queue held exactly its bound");
+
+    drop(client);
+    drop(publisher);
+    b.shutdown();
+    a.shutdown();
+}

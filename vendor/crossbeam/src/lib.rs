@@ -70,6 +70,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error for [`Sender::send_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The timeout elapsed with the channel still full; the item is
+        /// handed back.
+        Timeout(T),
+        /// Every receiver is gone; the item is handed back.
+        Disconnected(T),
+    }
+
     /// Error for [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -133,6 +143,37 @@ pub mod channel {
                 match self.shared.cap {
                     Some(cap) if inner.queue.len() >= cap => {
                         inner = self.shared.on_send.wait(inner).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(item);
+            drop(inner);
+            self.shared.on_recv.notify_one();
+            Ok(())
+        }
+
+        /// Queue `item`, blocking at most `timeout` while a bounded channel
+        /// is full.
+        pub fn send_timeout(&self, item: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(item));
+                }
+                match self.shared.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(item));
+                        }
+                        let (guard, _) = self
+                            .shared
+                            .on_send
+                            .wait_timeout(inner, deadline - now)
+                            .unwrap();
+                        inner = guard;
                     }
                     _ => break,
                 }

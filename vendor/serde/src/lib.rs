@@ -27,6 +27,10 @@ pub enum Value {
     Bool(bool),
     /// Integer number (JSON numbers without fraction or exponent).
     Int(i64),
+    /// Non-negative integer above `i64::MAX` (a large `u64`). Kept
+    /// separate from [`Value::Int`] so 64-bit ids round-trip exactly
+    /// instead of degrading to float precision.
+    UInt(u64),
     /// Floating-point number.
     Float(f64),
     /// String.
@@ -80,7 +84,7 @@ impl DeError {
         let kind = match got {
             Value::Null => "null",
             Value::Bool(_) => "bool",
-            Value::Int(_) => "integer",
+            Value::Int(_) | Value::UInt(_) => "integer",
             Value::Float(_) => "float",
             Value::Str(_) => "string",
             Value::Seq(_) => "array",
@@ -126,6 +130,10 @@ macro_rules! impl_int {
                         .map_err(|_| DeError::custom(format!(
                             "integer {} out of range for {}", i, stringify!($t)
                         ))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::custom(format!(
+                            "integer {} out of range for {}", u, stringify!($t)
+                        ))),
                     // Accept floats with integral values (e.g. round-tripped
                     // through a float-producing serializer).
                     Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
@@ -143,7 +151,9 @@ impl Serialize for u64 {
         if *self <= i64::MAX as u64 {
             Value::Int(*self as i64)
         } else {
-            Value::Float(*self as f64)
+            // Above i64::MAX the value must not degrade to f64: 64-bit
+            // ids (e.g. namespaced subscription ids) need every bit.
+            Value::UInt(*self)
         }
     }
 }
@@ -153,6 +163,7 @@ impl Deserialize for u64 {
         match v {
             Value::Int(i) if *i >= 0 => Ok(*i as u64),
             Value::Int(i) => Err(DeError::custom(format!("negative integer {i} for u64"))),
+            Value::UInt(u) => Ok(*u),
             Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as u64),
             other => Err(DeError::type_mismatch("u64", other)),
         }
@@ -163,6 +174,8 @@ impl Serialize for u128 {
     fn to_value(&self) -> Value {
         if *self <= i64::MAX as u128 {
             Value::Int(*self as i64)
+        } else if *self <= u64::MAX as u128 {
+            Value::UInt(*self as u64)
         } else {
             Value::Float(*self as f64)
         }
@@ -180,6 +193,7 @@ impl Deserialize for f64 {
         match v {
             Value::Float(f) => Ok(*f),
             Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
             other => Err(DeError::type_mismatch("f64", other)),
         }
     }

@@ -90,6 +90,9 @@ fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) 
         Value::Int(i) => {
             let _ = fmt::write(out, format_args!("{i}"));
         }
+        Value::UInt(u) => {
+            let _ = fmt::write(out, format_args!("{u}"));
+        }
         Value::Float(f) => {
             if !f.is_finite() {
                 return Err(Error::new("JSON cannot represent NaN or infinity"));
@@ -385,11 +388,16 @@ impl<'a> Parser<'a> {
         } else {
             match text.parse::<i64>() {
                 Ok(i) => Ok(Value::Int(i)),
-                // Larger than i64 (e.g. a u64): keep the magnitude as float.
-                Err(_) => text
-                    .parse::<f64>()
-                    .map(Value::Float)
-                    .map_err(|e| Error::new(format!("invalid number `{text}`: {e}"))),
+                // Larger than i64: keep full u64 precision when possible
+                // (64-bit ids must round-trip exactly), float only as the
+                // last resort.
+                Err(_) => match text.parse::<u64>() {
+                    Ok(u) => Ok(Value::UInt(u)),
+                    Err(_) => text
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|e| Error::new(format!("invalid number `{text}`: {e}"))),
+                },
             }
         }
     }
