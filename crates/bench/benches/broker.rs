@@ -1,6 +1,8 @@
 //! **B2** — broker publish/deliver throughput and overlay routing, with
 //! the covering ablation, plus the sans-io `BrokerNode` core in
-//! isolation (the per-message routing cost a transport driver pays).
+//! isolation (the per-message routing cost a transport driver pays) and
+//! the wire codecs (JSON v1 vs binary v2 encode/decode throughput and
+//! bytes per frame on publish and click-upload payloads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reef_pubsub::net::NodeId;
@@ -139,10 +141,76 @@ fn bench_broker_node_handle(c: &mut Criterion) {
     group.finish();
 }
 
+/// The wire codecs head to head: encode and decode throughput for the
+/// two frame payloads that dominate real traffic — publishes (the
+/// high-volume broker path) and click uploads (the paper's §3.1
+/// extension → server path) — plus a bytes-per-frame report, which is
+/// the number that caps broker-to-broker link scale.
+fn bench_wire_codecs(c: &mut Criterion) {
+    use reef_wire::{ClientFrame, CodecKind, Request};
+
+    let publish = ClientFrame {
+        corr: 7,
+        request: Request::Publish {
+            event: Event::builder()
+                .attr("topic", "http://feed.example/markets.rss")
+                .attr("body", "ACME beats estimates; shares jump in late trading")
+                .attr("price", 127.42)
+                .attr("volume", 1_250_000)
+                .attr("halted", false)
+                .build(),
+        },
+    };
+    let upload = ClientFrame {
+        corr: 8,
+        request: Request::UploadClicks {
+            batch: reef_attention::ClickBatch {
+                user: reef_simweb::UserId(42),
+                clicks: (0..20)
+                    .map(|i| reef_attention::Click {
+                        user: reef_simweb::UserId(42),
+                        day: 3,
+                        tick: 1_000 + i,
+                        url: format!("http://news.example/story-{i}.html"),
+                        referrer: (i % 2 == 0).then(|| "http://portal.example/".to_owned()),
+                    })
+                    .collect(),
+            },
+        },
+    };
+
+    let mut group = c.benchmark_group("wire_codec");
+    for (payload_name, frame) in [("publish", &publish), ("click_upload", &upload)] {
+        for kind in [CodecKind::Json, CodecKind::Binary] {
+            let codec = kind.codec();
+            let encoded = codec.encode_client(frame).expect("encode");
+            // The headline number: wire bytes per frame, per codec.
+            eprintln!(
+                "wire_codec/{payload_name}/{}: {} bytes/frame",
+                kind.name(),
+                encoded.wire_len()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_{payload_name}"), kind.name()),
+                &kind,
+                |b, _| b.iter(|| black_box(codec.encode_client(black_box(frame)).expect("encode"))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("decode_{payload_name}"), kind.name()),
+                &kind,
+                |b, _| {
+                    b.iter(|| black_box(codec.decode_client(black_box(&encoded)).expect("decode")))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_local_broker, bench_overlay, bench_overlay_construction,
-        bench_broker_node_handle
+        bench_broker_node_handle, bench_wire_codecs
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! pruning and events routed along the broker tree.
 
 use reef_pubsub::OverflowPolicy;
-use reef_wire::BrokerServer;
+use reef_wire::{BrokerServer, CodecKind};
 use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7474";
@@ -29,6 +29,13 @@ OPTIONS:
         --peer ADDR          federate with the reefd at ADDR; repeat the
                              flag to peer with several brokers. The
                              overlay must stay a tree
+        --peer-retry         re-dial dead peer links with capped
+                             exponential backoff (handshake and codec
+                             negotiation re-run on reconnect)
+        --codec CODEC        wire codec used when dialing peers:
+                             json (v1) | binary (v2, default). Inbound
+                             clients and peers always negotiate their
+                             own codec per connection
         --no-covering        disable covering-based advertisement pruning
                              toward peers
         --queue-capacity N   bound each subscriber's delivery queue to N
@@ -51,6 +58,8 @@ struct Config {
     listen: String,
     name: String,
     peers: Vec<String>,
+    peer_retry: bool,
+    codec: CodecKind,
     covering: bool,
     queue_capacity: Option<usize>,
     overflow: OverflowPolicy,
@@ -65,6 +74,8 @@ impl Config {
             listen: std::env::var("REEF_LISTEN").unwrap_or_else(|_| DEFAULT_ADDR.to_owned()),
             name: "reefd".to_owned(),
             peers: Vec::new(),
+            peer_retry: false,
+            codec: CodecKind::default(),
             covering: true,
             queue_capacity: None,
             overflow: OverflowPolicy::DropAndCount,
@@ -107,6 +118,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Config {
                     args.next()
                         .unwrap_or_else(|| bail("--peer needs an address")),
                 );
+            }
+            "--peer-retry" => config.peer_retry = true,
+            "--codec" => {
+                let raw = args.next().unwrap_or_else(|| bail("--codec needs a value"));
+                config.codec = CodecKind::parse(&raw)
+                    .unwrap_or_else(|| bail("--codec must be one of: json, binary"));
             }
             "--no-covering" => config.covering = false,
             "--queue-capacity" => {
@@ -176,7 +193,9 @@ fn main() {
         .covering(config.covering)
         .overflow(config.overflow)
         .peer_queue_capacity(config.peer_queue)
-        .write_timeout(config.write_timeout);
+        .write_timeout(config.write_timeout)
+        .codec(config.codec)
+        .peer_retry(config.peer_retry);
     if let Some(capacity) = config.queue_capacity {
         builder = builder.queue_capacity(capacity);
     }
@@ -197,7 +216,10 @@ fn main() {
         server.federation_stats().broker_id,
     );
     for peer in server.peer_stats() {
-        println!("reefd: federated with `{}` at {}", peer.broker, peer.addr);
+        println!(
+            "reefd: federated with `{}` at {} ({} codec)",
+            peer.broker, peer.addr, peer.codec
+        );
     }
 
     // Serve until killed; periodically report transport and broker health.

@@ -1,26 +1,48 @@
-//! `Client`: a blocking socket client for a [`crate::BrokerServer`].
+//! `Client`: a pipelined socket client for a [`crate::BrokerServer`].
 //!
-//! The client spawns one reader thread that splits the server's stream into
-//! two queues: replies (matched one-to-one, in order, with requests) and
-//! asynchronous deliveries. Request methods are fully synchronous — send
-//! one frame, wait for its reply — and a mutex serializes concurrent
-//! callers, so a `Client` can be shared behind an `Arc`.
+//! The client spawns one reader thread that demultiplexes the server's
+//! stream by **correlation id**: every request goes out tagged with a
+//! client-assigned id, and the matching reply — whenever it arrives,
+//! whatever else is in flight — resolves that request's pending slot.
+//! Deliveries flow into their own queue. Requests therefore never block
+//! each other: any number can be on the wire at once, from any number of
+//! threads sharing the `Client` behind an `Arc`.
+//!
+//! The familiar methods ([`Client::subscribe`], [`Client::publish`], …)
+//! keep their blocking send-and-wait surface. The pipelined core shows
+//! through in [`Client::publish_nowait`], which returns a
+//! [`PendingPublish`] handle immediately — batch publishers fire a
+//! window of requests and collect the outcomes afterwards.
+//!
+//! # Codecs
+//!
+//! A client speaks one [`CodecKind`] for the connection's lifetime,
+//! chosen before connecting ([`ClientBuilder::codec`]; the default is
+//! the compact v2 binary codec). On a v1 JSON connection correlation
+//! ids do not exist on the wire and replies pair with requests by order
+//! — the demux falls back to FIFO, which is sound because the server
+//! answers in order.
 
+use crate::codec::{CodecKind, WireCodec};
 use crate::error::WireError;
-use crate::frame::{Frame, PROTOCOL_VERSION};
-use crate::protocol::{Deliver, Request, Response, ServerMessage};
+use crate::frame::{Frame, PROTOCOL_V1_JSON};
+use crate::protocol::{ClientFrame, Deliver, Request, Response, ServerFrame};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use reef_attention::{ClickBatch, UploadReceipt};
 use reef_pubsub::{BrokerStatsSnapshot, Event, EventId, Filter, PublishedEvent, SubscriptionId};
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::stats::{FederationStatsSnapshot, WireStatsSnapshot};
 
-/// How long request methods wait for their reply before giving up.
+/// How long blocking request methods wait for their reply before giving
+/// up.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Outcome of a [`Client::publish`], mirroring the broker's
@@ -40,22 +62,66 @@ pub struct RemotePublishOutcome {
 pub struct ServerStats {
     /// Broker operation counters.
     pub broker: BrokerStatsSnapshot,
-    /// Transport counters.
+    /// Transport counters (with per-codec frame/byte breakdown).
     pub wire: WireStatsSnapshot,
     /// Federation routing and peer-link counters.
     pub federation: FederationStatsSnapshot,
 }
 
-/// A blocking reef-wire client connection.
+/// Requests that have been written to the socket but not yet answered.
+/// Order is wire order, which is what v1 FIFO pairing relies on.
+type PendingQueue = Mutex<VecDeque<(u64, Sender<Response>)>>;
+
+/// Configures and connects a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    name: String,
+    codec: CodecKind,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            name: "reef-wire-client".to_owned(),
+            codec: CodecKind::default(),
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// Client name shown in server-side diagnostics.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Codec (and thereby protocol version) to speak. Defaults to
+    /// [`CodecKind::Binary`] (v2); pick [`CodecKind::Json`] to talk like
+    /// a v1 client.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Connect and perform the `Hello` handshake under the chosen codec.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the server is unreachable, or a protocol /
+    /// version error when the handshake fails.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> Result<Client, WireError> {
+        Client::handshake(addr, &self.name, self.codec)
+    }
+}
+
+/// A pipelined reef-wire client connection.
 pub struct Client {
-    /// Held across send + receive so requests/replies stay paired.
-    request_lane: Mutex<TcpStream>,
-    replies: Receiver<Response>,
+    codec: &'static dyn WireCodec,
+    writer: Mutex<TcpStream>,
+    pending: Arc<PendingQueue>,
+    next_corr: AtomicU64,
     deliveries: Receiver<Deliver>,
     reader: Option<JoinHandle<()>>,
-    /// Set after a reply timeout: the pairing between requests and replies
-    /// can no longer be trusted, so the connection is dead to us.
-    poisoned: std::sync::atomic::AtomicBool,
     subscriber: u64,
     server_name: String,
 }
@@ -65,50 +131,72 @@ impl std::fmt::Debug for Client {
         f.debug_struct("Client")
             .field("subscriber", &self.subscriber)
             .field("server", &self.server_name)
+            .field("codec", &self.codec.kind().name())
+            .field("in_flight", &self.pending.lock().len())
             .finish()
     }
 }
 
 impl Client {
-    /// Connect to a server and perform the `Hello` handshake.
+    /// Connect to a server with the default codec and perform the
+    /// `Hello` handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, WireError> {
-        Self::connect_as(addr, "reef-wire-client")
+        Client::builder().connect(addr)
     }
 
     /// Connect with an explicit client name (shows up in server
     /// diagnostics).
     pub fn connect_as(addr: impl ToSocketAddrs, name: &str) -> Result<Client, WireError> {
+        Client::builder().name(name).connect(addr)
+    }
+
+    /// Start configuring a client (name, codec).
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        kind: CodecKind,
+    ) -> Result<Client, WireError> {
+        let codec = kind.codec();
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone()?;
-        let (reply_tx, replies) = channel::unbounded();
+        let pending: Arc<PendingQueue> = Arc::new(Mutex::new(VecDeque::new()));
         let (deliver_tx, deliveries) = channel::unbounded();
+        let reader_pending = Arc::clone(&pending);
         let reader = std::thread::Builder::new()
             .name("reef-wire-client-reader".into())
-            .spawn(move || reader_loop(read_half, reply_tx, deliver_tx))
+            .spawn(move || reader_loop(read_half, codec, reader_pending, deliver_tx))
             .expect("spawn client reader thread");
 
         let mut client = Client {
-            request_lane: Mutex::new(stream),
-            replies,
+            codec,
+            writer: Mutex::new(stream),
+            pending,
+            next_corr: AtomicU64::new(1),
             deliveries,
             reader: Some(reader),
-            poisoned: std::sync::atomic::AtomicBool::new(false),
             subscriber: 0,
             server_name: String::new(),
         };
-        match client.request(&Request::Hello {
-            version: PROTOCOL_VERSION,
-            client: name.to_owned(),
-        })? {
+        let hello = client
+            .send_request(Request::Hello {
+                version: codec.version(),
+                client: name.to_owned(),
+            })?
+            .wait(REPLY_TIMEOUT)?;
+        match hello {
             Response::Hello {
                 version,
                 server,
                 subscriber,
             } => {
-                if version != PROTOCOL_VERSION {
+                if version != codec.version() {
                     return Err(WireError::VersionMismatch {
-                        ours: PROTOCOL_VERSION,
+                        ours: codec.version(),
                         theirs: version,
                     });
                 }
@@ -133,37 +221,43 @@ impl Client {
         &self.server_name
     }
 
+    /// The codec this connection negotiated.
+    pub fn codec(&self) -> CodecKind {
+        self.codec.kind()
+    }
+
+    /// Number of requests written but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Write one request to the socket and register its reply slot; the
+    /// returned handle resolves when the reader thread sees the matching
+    /// reply. Does not wait.
+    fn send_request(&self, request: Request) -> Result<PendingReply, WireError> {
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(1);
+        let frame = self.codec.encode_client(&ClientFrame { corr, request })?;
+        let mut writer = self.writer.lock();
+        // Register under the writer lock: queue order must equal wire
+        // order, or v1's FIFO reply pairing would mismatch.
+        self.pending.lock().push_back((corr, tx));
+        if let Err(e) = frame.write_to(&mut *writer) {
+            self.pending.lock().retain(|(c, _)| *c != corr);
+            return Err(e);
+        }
+        Ok(PendingReply { rx })
+    }
+
     /// Send one request and wait for its reply.
-    fn request(&self, request: &Request) -> Result<Response, WireError> {
-        use std::sync::atomic::Ordering;
-        let mut lane = self.request_lane.lock();
-        if self.poisoned.load(Ordering::SeqCst) {
-            return Err(WireError::Closed);
-        }
-        Frame::encode(request)?.write_to(&mut *lane)?;
-        match self.replies.recv_timeout(REPLY_TIMEOUT) {
-            Ok(response) => Ok(response),
-            Err(e) => {
-                // On a timeout the reply may still arrive later; if we kept
-                // going, it would be handed to the *next* request and every
-                // reply after it would be off by one. Poison the connection
-                // instead: close the socket so the reader thread exits.
-                self.poisoned.store(true, Ordering::SeqCst);
-                let _ = lane.shutdown(Shutdown::Both);
-                match e {
-                    crossbeam::channel::RecvTimeoutError::Timeout => Err(WireError::Protocol(
-                        format!("no reply within {REPLY_TIMEOUT:?}; connection poisoned"),
-                    )),
-                    crossbeam::channel::RecvTimeoutError::Disconnected => Err(WireError::Closed),
-                }
-            }
-        }
+    fn request(&self, request: Request) -> Result<Response, WireError> {
+        self.send_request(request)?.wait(REPLY_TIMEOUT)
     }
 
     /// Place a subscription; matching events start flowing to
     /// [`Client::recv_delivery`] / [`Client::deliveries`].
     pub fn subscribe(&self, filter: Filter) -> Result<SubscriptionId, WireError> {
-        match self.request(&Request::Subscribe { filter })? {
+        match self.request(Request::Subscribe { filter })? {
             Response::Subscribed { subscription } => Ok(subscription),
             Response::Error { message } => Err(WireError::Remote(message)),
             other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
@@ -173,33 +267,35 @@ impl Client {
     /// Remove a subscription previously placed on this connection;
     /// returns its filter.
     pub fn unsubscribe(&self, subscription: SubscriptionId) -> Result<Filter, WireError> {
-        match self.request(&Request::Unsubscribe { subscription })? {
+        match self.request(Request::Unsubscribe { subscription })? {
             Response::Unsubscribed { filter } => Ok(filter),
             Response::Error { message } => Err(WireError::Remote(message)),
             other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
         }
     }
 
-    /// Publish an event through the server's broker.
+    /// Publish an event through the server's broker and wait for the
+    /// outcome.
     pub fn publish(&self, event: Event) -> Result<RemotePublishOutcome, WireError> {
-        match self.request(&Request::Publish { event })? {
-            Response::Published {
-                id,
-                delivered,
-                dropped,
-            } => Ok(RemotePublishOutcome {
-                id,
-                delivered,
-                dropped,
-            }),
-            Response::Error { message } => Err(WireError::Remote(message)),
-            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
-        }
+        self.publish_nowait(event)?.wait()
+    }
+
+    /// Publish without waiting: the request is on the wire when this
+    /// returns, and the broker's outcome can be collected later from the
+    /// returned handle (or dropped if the caller doesn't care).
+    ///
+    /// This is the batch-friendly path: fire a window of publishes back
+    /// to back, then harvest the outcomes — the socket round-trip is
+    /// paid once per window instead of once per event.
+    pub fn publish_nowait(&self, event: Event) -> Result<PendingPublish, WireError> {
+        Ok(PendingPublish {
+            reply: self.send_request(Request::Publish { event })?,
+        })
     }
 
     /// Upload a batch of attention data to the server's click store.
     pub fn upload_clicks(&self, batch: ClickBatch) -> Result<UploadReceipt, WireError> {
-        match self.request(&Request::UploadClicks { batch })? {
+        match self.request(Request::UploadClicks { batch })? {
             Response::ClicksAccepted { receipt } => Ok(receipt),
             Response::Error { message } => Err(WireError::Remote(message)),
             other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
@@ -208,7 +304,7 @@ impl Client {
 
     /// Fetch broker, transport and federation statistics from the server.
     pub fn stats(&self) -> Result<ServerStats, WireError> {
-        match self.request(&Request::Stats)? {
+        match self.request(Request::Stats)? {
             Response::Stats {
                 broker,
                 wire,
@@ -225,7 +321,7 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&self) -> Result<(), WireError> {
-        match self.request(&Request::Ping)? {
+        match self.request(Request::Ping)? {
             Response::Pong => Ok(()),
             Response::Error { message } => Err(WireError::Remote(message)),
             other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
@@ -250,7 +346,7 @@ impl Client {
     /// Orderly goodbye: tell the server, wait for its `Bye`, close the
     /// socket and join the reader thread.
     pub fn close(mut self) -> Result<(), WireError> {
-        let outcome = match self.request(&Request::Bye) {
+        let outcome = match self.request(Request::Bye) {
             Ok(Response::Bye) => Ok(()),
             Ok(Response::Error { message }) => Err(WireError::Remote(message)),
             Ok(other) => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
@@ -261,7 +357,7 @@ impl Client {
     }
 
     fn teardown(&mut self) {
-        let _ = self.request_lane.lock().shutdown(Shutdown::Both);
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
         if let Some(handle) = self.reader.take() {
             let _ = handle.join();
         }
@@ -271,6 +367,51 @@ impl Client {
 impl Drop for Client {
     fn drop(&mut self) {
         self.teardown();
+    }
+}
+
+/// A reply slot for one in-flight request.
+#[derive(Debug)]
+struct PendingReply {
+    rx: Receiver<Response>,
+}
+
+impl PendingReply {
+    fn wait(self, timeout: Duration) -> Result<Response, WireError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(response) => Ok(response),
+            Err(channel::RecvTimeoutError::Timeout) => {
+                Err(WireError::Protocol(format!("no reply within {timeout:?}")))
+            }
+            // The reader thread exited and dropped the pending queue.
+            Err(channel::RecvTimeoutError::Disconnected) => Err(WireError::Closed),
+        }
+    }
+}
+
+/// Handle for a [`Client::publish_nowait`] still in flight. Dropping it
+/// discards the outcome (the publish itself is already on the wire).
+#[derive(Debug)]
+pub struct PendingPublish {
+    reply: PendingReply,
+}
+
+impl PendingPublish {
+    /// Wait for the broker's outcome for this publish.
+    pub fn wait(self) -> Result<RemotePublishOutcome, WireError> {
+        match self.reply.wait(REPLY_TIMEOUT)? {
+            Response::Published {
+                id,
+                delivered,
+                dropped,
+            } => Ok(RemotePublishOutcome {
+                id,
+                delivered,
+                dropped,
+            }),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
     }
 }
 
@@ -288,27 +429,48 @@ impl Iterator for Deliveries<'_> {
     }
 }
 
-/// The client's reader thread: demultiplex replies from deliveries.
-fn reader_loop(stream: TcpStream, replies: Sender<Response>, deliveries: Sender<Deliver>) {
+/// The client's reader thread: demultiplex replies (by correlation id,
+/// or FIFO on v1) from deliveries.
+fn reader_loop(
+    stream: TcpStream,
+    codec: &'static dyn WireCodec,
+    pending: Arc<PendingQueue>,
+    deliveries: Sender<Deliver>,
+) {
     let mut reader = BufReader::new(stream);
-    loop {
-        let frame = match Frame::read_from(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) | Err(_) => return,
-        };
-        match frame.decode::<ServerMessage>() {
-            Ok(ServerMessage::Reply(response)) => {
-                if replies.send(response).is_err() {
-                    return;
+    while let Ok(Some(frame)) = Frame::read_from(&mut reader) {
+        match codec.decode_server(&frame) {
+            Ok(ServerFrame::Reply { corr, response }) => {
+                let slot = {
+                    let mut queue = pending.lock();
+                    if codec.version() == PROTOCOL_V1_JSON {
+                        // v1 carries no ids; the server replies in
+                        // request order.
+                        queue.pop_front()
+                    } else {
+                        queue
+                            .iter()
+                            .position(|(c, _)| *c == corr)
+                            .and_then(|i| queue.remove(i))
+                    }
+                };
+                // An unmatched reply (caller gave up and its slot was
+                // dropped) is discarded; a matched one whose receiver is
+                // gone fails the send harmlessly.
+                if let Some((_, tx)) = slot {
+                    let _ = tx.send(response);
                 }
             }
-            Ok(ServerMessage::Deliver(deliver)) => {
+            Ok(ServerFrame::Deliver(deliver)) => {
                 // A slow consumer only backs up its own local queue.
                 if deliveries.send(deliver).is_err() {
-                    return;
+                    break;
                 }
             }
-            Err(_) => return,
+            Err(_) => break,
         }
     }
+    // Unblock every waiter: dropping the senders turns their waits into
+    // `WireError::Closed`.
+    pending.lock().clear();
 }

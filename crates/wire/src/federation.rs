@@ -29,10 +29,31 @@
 //! `broker_id << 32 | counter` so independently minted ids never collide.
 //! Link endpoints ([`NodeId`]) are purely local handles: `0` is this
 //! broker, `1..` its peer links, exactly as `BrokerNode` expects.
+//!
+//! # Codecs
+//!
+//! Each peer link negotiates its codec like any other connection: the
+//! dialing broker's `PeerHello` frame carries its configured codec's
+//! version byte ([`FederationConfig::codec`], default binary), the
+//! acceptor adopts it, and every `PeerMsg` frame on the link uses it
+//! from then on. Per-codec frame/byte counters aggregate across links
+//! into [`FederationStatsSnapshot`].
+//!
+//! # Duplicate-subscription aggregation
+//!
+//! Identical filters from many local clients collapse into **one**
+//! routing-core entry with a reference count: the first subscription
+//! advertises the filter to peers, later identical ones only bump the
+//! count (counted as `subs_aggregated`), and the advertisement is
+//! withdrawn only when the count returns to zero. Remote events matching
+//! the shared entry fan out to every member subscription on delivery, so
+//! aggregation is invisible to subscribers — it only shrinks peer-link
+//! churn.
 
+use crate::codec::CodecKind;
 use crate::error::WireError;
-use crate::frame::{Frame, PROTOCOL_VERSION};
-use crate::protocol::{Request, Response, ServerMessage};
+use crate::frame::Frame;
+use crate::protocol::{ClientFrame, Request, Response, ServerFrame};
 use crate::stats::{FederationStatsSnapshot, PeerStatsSnapshot, WireStats};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
@@ -58,6 +79,17 @@ const PUMP_PARK: Duration = Duration::from_millis(10);
 /// Read timeout applied during the peer handshake only.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// First redial delay after a dialed peer link dies (doubles per failed
+/// attempt).
+const REDIAL_INITIAL: Duration = Duration::from_millis(100);
+
+/// Cap on the exponential redial backoff.
+const REDIAL_CAP: Duration = Duration::from_secs(5);
+
+/// Slice length for interruptible backoff sleeps, so shutdown never
+/// waits out a full backoff period.
+const REDIAL_SLICE: Duration = Duration::from_millis(25);
+
 /// Tunables for a broker's federation layer.
 #[derive(Debug, Clone)]
 pub struct FederationConfig {
@@ -70,6 +102,12 @@ pub struct FederationConfig {
     /// Socket write timeout on peer links and client delivery paths
     /// (default 5 s).
     pub write_timeout: Duration,
+    /// Codec used when dialing peers (default binary). Accepted peers
+    /// negotiate their own codec per link.
+    pub codec: CodecKind,
+    /// Re-dial dead dialed links with capped exponential backoff
+    /// (default `false`).
+    pub peer_retry: bool,
 }
 
 impl Default for FederationConfig {
@@ -79,6 +117,8 @@ impl Default for FederationConfig {
             covering: true,
             peer_queue_capacity: 1024,
             write_timeout: Duration::from_secs(5),
+            codec: CodecKind::default(),
+            peer_retry: false,
         }
     }
 }
@@ -88,6 +128,11 @@ struct PeerLink {
     node: NodeId,
     broker_name: String,
     peer_addr: String,
+    /// Codec negotiated at handshake; every frame on the link uses it.
+    codec: CodecKind,
+    /// `Some(addr)` when this end dialed the link — the address a redial
+    /// loop re-targets when the link dies and `peer_retry` is on.
+    dialed_addr: Option<String>,
     writer: Mutex<TcpStream>,
     /// Clone of the same socket used only for `shutdown`, so closing never
     /// waits on the writer mutex.
@@ -115,6 +160,10 @@ struct Links {
     subs_forwarded: AtomicU64,
     events_forwarded: AtomicU64,
     events_dropped: AtomicU64,
+    /// Aggregate transport counters across all peer links, live and
+    /// dead (per-link stats die with their link; these persist and feed
+    /// the per-codec federation totals).
+    wire: WireStats,
 }
 
 impl Links {
@@ -215,13 +264,42 @@ pub struct Federation {
     broker: Arc<Broker>,
     node: Mutex<BrokerNode>,
     links: Arc<Links>,
-    sub_map: Mutex<HashMap<SubscriptionId, GlobalSubId>>,
+    /// Count-based aggregation of identical local filters (never locked
+    /// while `node` is held).
+    agg: Mutex<SubAggregation>,
+    subs_aggregated: AtomicU64,
     next_sub: AtomicU64,
     next_link: AtomicU32,
     events_received: AtomicU64,
     shutdown: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     config: FederationConfig,
+}
+
+/// One advertised filter shared by every local subscription with an
+/// identical filter.
+struct AggGroup {
+    /// Canonical serialized form of the filter (the aggregation key).
+    key: String,
+    /// Local wire subscriptions sharing the filter; remote deliveries
+    /// fan out to each.
+    members: Vec<SubscriptionId>,
+}
+
+/// Count-based duplicate-subscription aggregation: identical filters map
+/// to one [`GlobalSubId`], advertised once and withdrawn only when the
+/// last member unsubscribes.
+#[derive(Default)]
+struct SubAggregation {
+    by_filter: HashMap<String, GlobalSubId>,
+    groups: HashMap<GlobalSubId, AggGroup>,
+    by_sub: HashMap<SubscriptionId, GlobalSubId>,
+}
+
+/// Canonical aggregation key for a filter: its serialized form, which is
+/// deterministic (predicates keep their order, values their type tags).
+fn filter_key(filter: &Filter) -> String {
+    serde_json::to_string(filter).unwrap_or_else(|_| filter.to_string())
 }
 
 impl std::fmt::Debug for Federation {
@@ -252,6 +330,7 @@ impl Federation {
             subs_forwarded: AtomicU64::new(0),
             events_forwarded: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
+            wire: WireStats::new(),
         });
         let federation = Arc::new(Federation {
             name: config.name.clone(),
@@ -259,7 +338,8 @@ impl Federation {
             broker,
             node: Mutex::new(BrokerNode::new(config.covering)),
             links: Arc::clone(&links),
-            sub_map: Mutex::new(HashMap::new()),
+            agg: Mutex::new(SubAggregation::default()),
+            subs_aggregated: AtomicU64::new(0),
             next_sub: AtomicU64::new(0),
             next_link: AtomicU32::new(LOCAL_NODE.0 + 1),
             events_received: AtomicU64::new(0),
@@ -301,15 +381,19 @@ impl Federation {
             let node = self.node.lock();
             (node.routing_entries(), node.advertisement_count())
         };
+        let wire = self.links.wire.snapshot();
         FederationStatsSnapshot {
             broker_id: self.broker_id,
             peers: self.links.map.lock().len() as u64,
             routing_entries: routing_entries as u64,
             advertisements: advertisements as u64,
             subs_forwarded: self.links.subs_forwarded.load(Ordering::Relaxed),
+            subs_aggregated: self.subs_aggregated.load(Ordering::Relaxed),
             events_forwarded: self.links.events_forwarded.load(Ordering::Relaxed),
             events_received: self.events_received.load(Ordering::Relaxed),
             events_dropped: self.links.events_dropped.load(Ordering::Relaxed),
+            json: wire.json,
+            binary: wire.binary,
         }
     }
 
@@ -333,6 +417,7 @@ impl Federation {
                 broker: link.broker_name.clone(),
                 addr: link.peer_addr.clone(),
                 link: link.node.0,
+                codec: link.codec.name().to_owned(),
                 wire: link.stats.snapshot(),
             })
             .collect()
@@ -346,31 +431,48 @@ impl Federation {
     /// [`WireError::Io`] when the peer is unreachable, or a protocol /
     /// version error when the remote end is not a compatible broker.
     pub fn connect_peer(self: &Arc<Self>, addr: &str) -> Result<NodeId, WireError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        let codec = self.config.codec.codec();
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
         let mut hello_lane = stream.try_clone()?;
-        Frame::encode(&Request::PeerHello {
-            version: PROTOCOL_VERSION,
-            broker: self.name.clone(),
-            broker_id: self.broker_id,
-        })?
-        .write_to(&mut hello_lane)?;
+        // The version byte of this frame is what the acceptor negotiates
+        // the link's codec from.
+        codec
+            .encode_client(&ClientFrame {
+                corr: 0,
+                request: Request::PeerHello {
+                    version: codec.version(),
+                    broker: self.name.clone(),
+                    broker_id: self.broker_id,
+                },
+            })?
+            .write_to(&mut hello_lane)?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let frame = Frame::read_from(&mut reader)?.ok_or(WireError::Closed)?;
-        let peer_name = match frame.decode::<ServerMessage>()? {
-            ServerMessage::Reply(Response::PeerWelcome {
-                version, broker, ..
-            }) => {
-                if version != PROTOCOL_VERSION {
+        let peer_name = match codec.decode_server(&frame)? {
+            ServerFrame::Reply {
+                response:
+                    Response::PeerWelcome {
+                        version, broker, ..
+                    },
+                ..
+            } => {
+                if version != codec.version() {
                     return Err(WireError::VersionMismatch {
-                        ours: PROTOCOL_VERSION,
+                        ours: codec.version(),
                         theirs: version,
                     });
                 }
                 broker
             }
-            ServerMessage::Reply(Response::Error { message }) => {
+            ServerFrame::Reply {
+                response: Response::Error { message },
+                ..
+            } => {
                 return Err(WireError::Remote(message));
             }
             other => {
@@ -380,14 +482,26 @@ impl Federation {
             }
         };
         stream.set_read_timeout(None)?;
-        let (node, link) = self.register_link(stream, peer_name, addr.to_owned())?;
+        let (node, link) = self.register_link(
+            stream,
+            peer_name,
+            addr.to_owned(),
+            self.config.codec,
+            Some(addr.to_owned()),
+        )?;
         let reader_self = Arc::clone(self);
         let reader_link = Arc::clone(&link);
         let handle = std::thread::Builder::new()
             .name(format!("reefd-peer-read-{addr}"))
             .spawn(move || reader_self.peer_reader(reader_link, reader))
             .expect("spawn peer reader");
-        self.threads.lock().push(handle);
+        self.track_thread(handle);
+        // A shutdown that raced this dial has already taken the link map
+        // snapshot it will close; close the newcomer ourselves.
+        if self.shutdown.load(Ordering::SeqCst) {
+            self.peer_disconnected(node);
+            return Err(WireError::Closed);
+        }
         Ok(node)
     }
 
@@ -433,8 +547,9 @@ impl Federation {
         stream: TcpStream,
         peer_broker: String,
         peer_addr: String,
+        codec: CodecKind,
     ) -> Result<NodeId, WireError> {
-        let (node, _link) = self.register_link(stream, peer_broker, peer_addr)?;
+        let (node, _link) = self.register_link(stream, peer_broker, peer_addr, codec, None)?;
         Ok(node)
     }
 
@@ -449,23 +564,64 @@ impl Federation {
 
     /// Record a local wire subscription in the routing core and advertise
     /// it to peers.
+    ///
+    /// Identical filters aggregate: only the first subscription with a
+    /// given filter enters the routing core (and is advertised); later
+    /// ones join its group and merely bump the reference count.
     pub fn local_subscribe(&self, sub: SubscriptionId, filter: Filter) {
-        let gsub = GlobalSubId(
-            ((self.broker_id as u64) << 32) | (self.next_sub.fetch_add(1, Ordering::Relaxed)),
-        );
-        self.sub_map.lock().insert(sub, gsub);
-        let messages = self
-            .node
-            .lock()
-            .subscribe_local(gsub, ClientId(sub.0), filter);
-        self.dispatch(messages);
+        let key = filter_key(&filter);
+        {
+            let mut agg = self.agg.lock();
+            if let Some(&gsub) = agg.by_filter.get(&key) {
+                let group = agg.groups.get_mut(&gsub).expect("group exists for key");
+                group.members.push(sub);
+                agg.by_sub.insert(sub, gsub);
+                self.subs_aggregated.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let gsub = GlobalSubId(
+                ((self.broker_id as u64) << 32) | (self.next_sub.fetch_add(1, Ordering::Relaxed)),
+            );
+            agg.by_filter.insert(key.clone(), gsub);
+            agg.groups.insert(
+                gsub,
+                AggGroup {
+                    key,
+                    members: vec![sub],
+                },
+            );
+            agg.by_sub.insert(sub, gsub);
+            // Fall through with `agg` released: the routing core is never
+            // locked while the aggregation table is held.
+            let gsub_for_node = gsub;
+            drop(agg);
+            let messages =
+                self.node
+                    .lock()
+                    .subscribe_local(gsub_for_node, ClientId(gsub_for_node.0), filter);
+            self.dispatch(messages);
+        }
     }
 
-    /// Withdraw a local wire subscription from the routing core and
-    /// cancel its advertisements.
+    /// Withdraw a local wire subscription. The shared advertisement is
+    /// cancelled only when the last subscription of its group goes.
     pub fn local_unsubscribe(&self, sub: SubscriptionId) {
-        let Some(gsub) = self.sub_map.lock().remove(&sub) else {
-            return;
+        let gsub = {
+            let mut agg = self.agg.lock();
+            let Some(gsub) = agg.by_sub.remove(&sub) else {
+                return;
+            };
+            let Some(group) = agg.groups.get_mut(&gsub) else {
+                return;
+            };
+            group.members.retain(|member| *member != sub);
+            if !group.members.is_empty() {
+                return;
+            }
+            let key = group.key.clone();
+            agg.groups.remove(&gsub);
+            agg.by_filter.remove(&key);
+            gsub
         };
         let messages = self.node.lock().unsubscribe_local(gsub);
         self.dispatch(messages);
@@ -488,15 +644,56 @@ impl Federation {
     }
 
     /// Tear down a dead peer link: forget its advertisements and
-    /// re-advertise to the remaining peers.
-    pub fn peer_disconnected(&self, node: NodeId) {
+    /// re-advertise to the remaining peers. When the link was dialed and
+    /// [`FederationConfig::peer_retry`] is on, a redial loop with capped
+    /// exponential backoff takes over (re-running the full `PeerHello`
+    /// handshake, codec negotiation included, on success).
+    pub fn peer_disconnected(self: &Arc<Self>, node: NodeId) {
         let Some(link) = self.links.map.lock().remove(&node) else {
             return;
         };
         link.close_socket();
         link.stats.record_close();
+        self.links.wire.record_close();
         let messages = self.node.lock().remove_neighbor(node);
         self.dispatch(messages);
+        if self.config.peer_retry && !self.shutdown.load(Ordering::SeqCst) {
+            if let Some(addr) = &link.dialed_addr {
+                self.spawn_redial(addr.clone());
+            }
+        }
+    }
+
+    /// Keep redialing `addr` until the link is back or the federation
+    /// shuts down. Backoff doubles from [`REDIAL_INITIAL`] up to
+    /// [`REDIAL_CAP`], sleeping in slices so shutdown stays prompt.
+    fn spawn_redial(self: &Arc<Self>, addr: String) {
+        let federation = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("reefd-peer-redial-{addr}"))
+            .spawn(move || {
+                let mut backoff = REDIAL_INITIAL;
+                loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < backoff {
+                        if federation.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let slice = REDIAL_SLICE.min(backoff - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if federation.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match federation.connect_peer(&addr) {
+                        Ok(_) => return,
+                        Err(_) => backoff = (backoff * 2).min(REDIAL_CAP),
+                    }
+                }
+            })
+            .expect("spawn peer redial thread");
+        self.track_thread(handle);
     }
 
     /// Stop the pump, close every peer link and join all threads.
@@ -513,11 +710,23 @@ impl Federation {
         }
     }
 
+    /// Keep `handle` for the shutdown join, first dropping handles of
+    /// threads that already finished — a flapping `--peer-retry` link
+    /// spawns a redial, reader and writer thread per reconnect, and a
+    /// long-lived daemon must not hoard one handle per historical link.
+    fn track_thread(&self, handle: JoinHandle<()>) {
+        let mut threads = self.threads.lock();
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+    }
+
     fn register_link(
         self: &Arc<Self>,
         stream: TcpStream,
         peer_broker: String,
         peer_addr: String,
+        codec: CodecKind,
+        dialed_addr: Option<String>,
     ) -> Result<(NodeId, Arc<PeerLink>), WireError> {
         stream.set_write_timeout(Some(self.config.write_timeout))?;
         let writer = stream.try_clone()?;
@@ -528,6 +737,8 @@ impl Federation {
             node,
             broker_name: peer_broker,
             peer_addr,
+            codec,
+            dialed_addr,
             writer: Mutex::new(writer),
             control,
             out_tx,
@@ -536,6 +747,7 @@ impl Federation {
             closed: AtomicBool::new(false),
         });
         link.stats.record_open();
+        self.links.wire.record_open();
         self.links.map.lock().insert(node, Arc::clone(&link));
         // Bring the new peer up to date with everything already known.
         let sync = self.node.lock().add_neighbor(node);
@@ -545,7 +757,7 @@ impl Federation {
             .name(format!("reefd-peer-write-{}", link.peer_addr))
             .spawn(move || writer_self.peer_writer(writer_link, out_rx))
             .expect("spawn peer writer");
-        self.threads.lock().push(handle);
+        self.track_thread(handle);
         self.dispatch(sync);
         Ok((node, link))
     }
@@ -565,7 +777,7 @@ impl Federation {
             if is_event {
                 link.queued_events.fetch_sub(1, Ordering::Relaxed);
             }
-            let frame = match Frame::encode(&msg) {
+            let frame = match link.codec.codec().encode_peer(&msg) {
                 Ok(frame) => frame,
                 Err(_) => {
                     link.stats.record_error();
@@ -577,7 +789,10 @@ impl Federation {
                 frame.write_to(&mut *writer)
             };
             match written {
-                Ok(n) => link.stats.record_frame_out(n),
+                Ok(n) => {
+                    link.stats.record_frame_out(frame.version, n);
+                    self.links.wire.record_frame_out(frame.version, n);
+                }
                 Err(_) => {
                     // Write failed or timed out: the peer is stalled or
                     // gone. Count the loss and tear the link down.
@@ -632,8 +847,13 @@ impl Federation {
                     return;
                 }
             };
-            link.stats.record_frame_in(frame.wire_len());
-            match frame.decode::<PeerMsg>() {
+            link.stats.record_frame_in(frame.version, frame.wire_len());
+            self.links
+                .wire
+                .record_frame_in(frame.version, frame.wire_len());
+            // The link's codec was fixed at handshake; `decode_peer`
+            // rejects any frame whose version byte disagrees.
+            match link.codec.codec().decode_peer(&frame) {
                 Ok(msg) => self.incoming(link.node, msg),
                 Err(_) => {
                     link.stats.record_error();
@@ -658,9 +878,22 @@ impl Federation {
             }
             let output = self.node.lock().handle(delivery.src, delivery.msg);
             for (client, event) in output.deliveries {
-                // ClientId in the routing core is the broker-level
-                // subscription id of a local wire subscription.
-                let _ = self.broker.deliver(SubscriptionId(client.0), event);
+                // ClientId in the routing core is the GlobalSubId of an
+                // aggregation group; fan the event out to every member
+                // subscription (one broker-level delivery each).
+                let members = {
+                    let agg = self.agg.lock();
+                    agg.groups
+                        .get(&GlobalSubId(client.0))
+                        .map(|group| group.members.clone())
+                };
+                // A `None` here raced an unsubscribe: the group is gone
+                // and the event has nowhere local to go.
+                if let Some(members) = members {
+                    for sub in members {
+                        let _ = self.broker.deliver(sub, event.clone());
+                    }
+                }
             }
             self.dispatch(output.messages);
         }

@@ -4,23 +4,61 @@
 //!
 //! ```text
 //! +----------------+---------+------------------------+
-//! | length: u32 BE | version | payload (JSON, UTF-8)  |
+//! | length: u32 BE | version | payload                |
 //! +----------------+---------+------------------------+
 //! ```
 //!
 //! `length` counts the version byte plus the payload, so a receiver can
-//! skip unknown frames wholesale. The payload is the JSON encoding of one
-//! [`crate::protocol::Request`] or [`crate::protocol::ServerMessage`].
-//! JSON keeps the format debuggable with `nc`/`tcpdump` and reuses the
-//! serde impls the workspace's types already carry — the same trade the
-//! paper's deployment made with its browser-extension → LAMP upload path.
+//! skip unknown frames wholesale. The **version byte selects the codec**
+//! that produced the payload:
+//!
+//! * **v1 (JSON)** — the payload is the JSON encoding of one
+//!   [`crate::protocol::Request`] or [`crate::protocol::ServerMessage`],
+//!   exactly as the first protocol generation shipped it. Debuggable
+//!   with `nc`/`tcpdump`, byte-compatible with old clients, no
+//!   correlation ids: replies pair with requests by order.
+//! * **v2 (binary)** — the payload is the compact tag/varint encoding of
+//!   one [`crate::protocol::ClientFrame`] (a correlation id plus the
+//!   request) or [`crate::protocol::ServerFrame`] (a reply echoing the
+//!   request's correlation id, or a delivery). See [`crate::codec`] for
+//!   the byte-level layout.
+//!
+//! # Codec negotiation
+//!
+//! The codec is negotiated **per connection** by the version byte of the
+//! first frame (the `Hello` or `PeerHello`): the server adopts whatever
+//! codec that frame was encoded with and answers in it, and every later
+//! frame in either direction must carry the same version byte — a
+//! mid-stream switch is a protocol error that closes the connection. A
+//! frame with a version byte the server does not recognise is answered
+//! with a v1 JSON error (the one encoding every client can read) and the
+//! connection is closed. v1 peers therefore keep working against v2
+//! builds unchanged: nothing about the v1 byte stream has moved.
+//!
+//! # Correlation ids
+//!
+//! On v2 connections every request carries a client-assigned `corr` id,
+//! and its reply echoes that id. Responses are thereby decoupled from
+//! deliveries *and* from request order on the socket, which is what lets
+//! [`crate::Client`] pipeline requests ([`crate::Client::publish_nowait`])
+//! and a future event-loop transport reply out of order. Ids are scoped
+//! to the connection; the client picks them (the stock client uses a
+//! counter) and the server treats them as opaque.
 
 use crate::error::WireError;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
-/// Version of the wire protocol spoken by this build.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Frame version byte of the JSON codec (protocol v1), which is also the
+/// version this build's [`Frame::encode`]/[`Frame::decode`] speak.
+pub const PROTOCOL_V1_JSON: u8 = 1;
+
+/// Frame version byte of the compact binary codec (protocol v2).
+pub const PROTOCOL_V2_BINARY: u8 = 2;
+
+/// Version of the legacy lock-step JSON protocol. Kept as the version
+/// [`Frame::encode`] stamps so pre-codec call sites stay byte-compatible.
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_V1_JSON;
 
 /// Upper bound on a frame's length field. Protects the server from a
 /// garbage length prefix allocating gigabytes.
@@ -30,14 +68,15 @@ pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 /// payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    /// Protocol version from the frame header.
+    /// Protocol version from the frame header (selects the codec).
     pub version: u8,
-    /// JSON payload bytes.
+    /// Payload bytes in the codec named by `version`.
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// Frame a serializable message under the current protocol version.
+    /// Frame a serializable message as v1 JSON (the legacy encoding; v2
+    /// frames are built by [`crate::codec::BinaryCodec`]).
     pub fn encode<T: Serialize>(message: &T) -> Result<Frame, WireError> {
         Ok(Frame {
             version: PROTOCOL_VERSION,
@@ -45,7 +84,8 @@ impl Frame {
         })
     }
 
-    /// Parse the payload as `T`, first checking the version byte.
+    /// Parse the payload as v1 JSON `T`, first checking the version byte
+    /// (a v2 frame must go through its codec instead).
     pub fn decode<T: Deserialize>(&self) -> Result<T, WireError> {
         if self.version != PROTOCOL_VERSION {
             return Err(WireError::VersionMismatch {

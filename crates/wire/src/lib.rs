@@ -6,24 +6,33 @@
 //! processes exchanging real bytes over TCP — where the rest of the
 //! workspace simulates everything in-process:
 //!
-//! * [`frame`] — a versioned, length-prefixed JSON framing layer
-//!   ([`Frame`], [`PROTOCOL_VERSION`]);
+//! * [`frame`] — a versioned, length-prefixed framing layer ([`Frame`]);
+//!   the frame version byte doubles as the **codec negotiation** channel;
+//! * [`codec`] — the [`WireCodec`] trait with two implementations:
+//!   [`codec::JsonCodec`] (protocol v1, byte-compatible with old
+//!   clients) and [`codec::BinaryCodec`] (protocol v2, compact
+//!   hand-rolled tag/varint encoding with correlation ids);
 //! * [`protocol`] — the message vocabulary ([`Request`], [`Response`],
-//!   [`Deliver`]), reusing the serde impls already on
-//!   [`reef_pubsub::Event`], [`reef_pubsub::Filter`],
-//!   [`reef_pubsub::PublishedEvent`] and [`reef_attention::ClickBatch`];
+//!   [`Deliver`], correlation-carrying [`ClientFrame`]/[`ServerFrame`]),
+//!   reusing the serde impls already on [`reef_pubsub::Event`],
+//!   [`reef_pubsub::Filter`], [`reef_pubsub::PublishedEvent`] and
+//!   [`reef_attention::ClickBatch`];
 //! * [`server`] — [`BrokerServer`], a threaded TCP daemon around a shared
 //!   [`reef_pubsub::Broker`]: one reader thread per connection, a delivery
 //!   pump draining each connection's subscriber queue to its socket,
-//!   graceful shutdown, per-connection and aggregate [`WireStats`];
+//!   graceful shutdown, per-connection and aggregate [`WireStats`] with
+//!   per-codec frame/byte counters;
 //! * [`federation`] — broker-to-broker links: [`TcpTransport`] implements
 //!   [`reef_pubsub::Transport`] so the sans-io
 //!   [`reef_pubsub::BrokerNode`] routing core (subscription forwarding,
 //!   covering pruning, reverse-path event routing) runs unchanged over OS
-//!   sockets; daemons peer via `reefd --peer ADDR`;
-//! * [`client`] — [`Client`], a blocking client with
-//!   subscribe / unsubscribe / publish / upload-clicks calls and an
-//!   iterator over deliveries;
+//!   sockets; daemons peer via `reefd --peer ADDR`, re-dial dead links
+//!   with `--peer-retry`, and aggregate identical local filters into one
+//!   refcounted advertisement;
+//! * [`client`] — [`Client`], a pipelined client with the familiar
+//!   blocking subscribe / unsubscribe / publish / upload-clicks surface,
+//!   a batch-friendly [`Client::publish_nowait`], and an iterator over
+//!   deliveries;
 //! * the `reefd` binary — the standalone daemon (`cargo run --bin reefd`).
 //!
 //! # Quickstart
@@ -50,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod codec;
 pub mod error;
 pub mod federation;
 pub mod frame;
@@ -57,13 +67,16 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, Deliveries, RemotePublishOutcome, ServerStats};
+pub use client::{
+    Client, ClientBuilder, Deliveries, PendingPublish, RemotePublishOutcome, ServerStats,
+};
+pub use codec::{CodecKind, WireCodec};
 pub use error::WireError;
 pub use federation::{Federation, FederationConfig, TcpTransport, LOCAL_NODE};
-pub use frame::{Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use protocol::{Deliver, Request, Response, ServerMessage};
+pub use frame::{Frame, MAX_FRAME_LEN, PROTOCOL_V1_JSON, PROTOCOL_V2_BINARY, PROTOCOL_VERSION};
+pub use protocol::{ClientFrame, Deliver, Request, Response, ServerFrame, ServerMessage};
 pub use server::{BrokerServer, BrokerServerBuilder};
 pub use stats::{
-    ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot, WireStats,
-    WireStatsSnapshot,
+    CodecStatsSnapshot, ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot,
+    WireStats, WireStatsSnapshot,
 };

@@ -1,15 +1,21 @@
 //! The request/response/delivery vocabulary of the wire protocol.
 //!
-//! Three enums cross the socket, all JSON-encoded inside
-//! [`crate::frame::Frame`]s:
+//! Three enums cross the socket, encoded by the connection's negotiated
+//! [`crate::codec::WireCodec`] inside [`crate::frame::Frame`]s:
 //!
 //! * [`Request`] — client → server;
-//! * [`Response`] — server → client, exactly one per request, in order;
+//! * [`Response`] — server → client, exactly one per request;
 //! * [`Deliver`] — server → client, pushed asynchronously whenever a
 //!   published event matches one of the connection's subscriptions.
 //!
-//! Because responses and deliveries share one TCP stream, everything the
-//! server sends is wrapped in [`ServerMessage`], which tags the two apart.
+//! On the wire, requests travel as [`ClientFrame`]s (a client-assigned
+//! correlation id plus the request) and everything the server sends as
+//! [`ServerFrame`]s (a reply echoing its request's correlation id, or a
+//! delivery), so responses are decoupled from deliveries *and* from
+//! request order. The v1 JSON codec is the exception, for byte
+//! compatibility with old clients: it strips the correlation id
+//! (requests go out as bare [`Request`] JSON, server traffic as
+//! [`ServerMessage`] JSON) and pairing falls back to request order.
 //! The payload types ([`Event`], [`Filter`], [`PublishedEvent`],
 //! [`ClickBatch`]) are the workspace's own — the wire reuses their serde
 //! impls rather than inventing parallel DTOs.
@@ -83,7 +89,11 @@ pub enum Request {
     },
 }
 
-/// Server → client replies, one per [`Request`], in request order.
+/// Server → client replies, one per [`Request`].
+// The `Stats` variant dwarfs the others (three full counter snapshots),
+// but responses are transient stack values encoded straight onto the
+// wire — boxing would only add an allocation per reply.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Answer to `Hello`.
@@ -156,12 +166,46 @@ pub struct Deliver {
     pub event: PublishedEvent,
 }
 
-/// Everything the server writes to the socket.
+/// Everything the server writes on a **v1 (JSON)** connection. Replies
+/// carry no correlation id; they answer the connection's oldest
+/// unanswered request.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServerMessage {
     /// A reply to the connection's oldest unanswered request.
     Reply(Response),
     /// An asynchronous delivery.
+    Deliver(Deliver),
+}
+
+/// One client → server frame: a request plus the correlation id its
+/// reply will echo.
+///
+/// The client assigns `corr` (any value; the stock [`crate::Client`]
+/// uses a per-connection counter) and the server treats it as opaque.
+/// The v1 JSON codec drops it on encode and synthesizes `0` on decode —
+/// v1 pairing is by request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientFrame {
+    /// Client-assigned correlation id, echoed by the reply.
+    pub corr: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// One server → client frame: a correlated reply or an asynchronous
+/// delivery.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// A reply to the request that carried `corr`.
+    Reply {
+        /// Correlation id copied from the request's [`ClientFrame`].
+        corr: u64,
+        /// The response payload.
+        response: Response,
+    },
+    /// An asynchronous delivery (never correlated).
     Deliver(Deliver),
 }
 

@@ -1,12 +1,13 @@
 //! `BrokerServer`: the threaded TCP face of a [`reef_pubsub::Broker`].
 //!
 //! One accept thread hands each connection to a dedicated **reader thread**
-//! (parses request frames, executes them against the shared broker, writes
-//! replies) and a dedicated **delivery pump** (parks on the connection's
-//! subscriber queue and streams matching events out as
-//! [`ServerMessage::Deliver`] frames). Replies and deliveries share the
-//! socket through a per-connection write lock, so each frame goes out
-//! whole.
+//! (negotiates the connection's codec from the first frame's version
+//! byte, parses request frames, executes them against the shared broker,
+//! writes correlation-id-echoing replies) and a dedicated **delivery
+//! pump** (parks on the connection's subscriber queue and streams
+//! matching events out as [`ServerFrame::Deliver`] frames). Replies and
+//! deliveries share the socket through a per-connection write lock, so
+//! each frame goes out whole.
 //!
 //! # Federation
 //!
@@ -31,10 +32,11 @@
 //! the accept loop with a loopback connection, closes every live socket
 //! (which unblocks the reader threads) and joins everything.
 
+use crate::codec::{CodecKind, WireCodec};
 use crate::error::WireError;
 use crate::federation::{Federation, FederationConfig};
-use crate::frame::{Frame, PROTOCOL_VERSION};
-use crate::protocol::{Deliver, Request, Response, ServerMessage};
+use crate::frame::Frame;
+use crate::protocol::{Deliver, Request, Response, ServerFrame};
 use crate::stats::{
     ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot, WireStats,
     WireStatsSnapshot,
@@ -45,7 +47,7 @@ use reef_pubsub::{Broker, NodeId, OverflowPolicy, SubscriberHandle, SubscriberId
 use std::collections::HashSet;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -73,6 +75,8 @@ pub struct BrokerServerBuilder {
     covering: Option<bool>,
     peer_queue_capacity: Option<usize>,
     write_timeout: Option<Duration>,
+    codec: Option<CodecKind>,
+    peer_retry: Option<bool>,
 }
 
 impl BrokerServerBuilder {
@@ -131,6 +135,22 @@ impl BrokerServerBuilder {
         self
     }
 
+    /// Codec spoken when *dialing* peers (default binary/v2). Inbound
+    /// connections — clients and peers alike — always negotiate their
+    /// own codec via the first frame's version byte.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// Re-dial dead *dialed* peer links with capped exponential backoff
+    /// (default off). The `PeerHello` handshake — codec negotiation
+    /// included — is re-run on every reconnect.
+    pub fn peer_retry(mut self, retry: bool) -> Self {
+        self.peer_retry = Some(retry);
+        self
+    }
+
     /// Bind `addr` and start serving.
     ///
     /// # Errors
@@ -158,6 +178,8 @@ impl BrokerServerBuilder {
             self.covering.unwrap_or(true),
             self.peer_queue_capacity.unwrap_or(1024),
             self.write_timeout.unwrap_or(DEFAULT_WRITE_TIMEOUT),
+            self.codec.unwrap_or_default(),
+            self.peer_retry.unwrap_or(false),
         )
     }
 }
@@ -176,25 +198,47 @@ struct Connection {
     /// Set when the connection turned into a federation peer link; the
     /// delivery pump bows out and the link's threads own the socket.
     upgraded: AtomicBool,
+    /// Frame version byte of the codec negotiated by the connection's
+    /// first frame; 0 until then.
+    codec_version: AtomicU8,
 }
 
 impl Connection {
-    /// Serialize, frame and write one message, updating both counter sets.
-    fn send(&self, msg: &ServerMessage, aggregate: &WireStats) -> Result<(), WireError> {
-        let frame = Frame::encode(msg)?;
+    /// The negotiated codec. Before negotiation (no frame seen yet — so
+    /// nothing has been sent either) this defaults to JSON, the one
+    /// encoding every client generation can read.
+    fn codec(&self) -> &'static dyn WireCodec {
+        CodecKind::for_version(self.codec_version.load(Ordering::SeqCst))
+            .unwrap_or(CodecKind::Json)
+            .codec()
+    }
+
+    /// Human-readable name of the negotiated codec, `-` before the first
+    /// frame.
+    fn codec_name(&self) -> &'static str {
+        match CodecKind::for_version(self.codec_version.load(Ordering::SeqCst)) {
+            Some(kind) => kind.name(),
+            None => "-",
+        }
+    }
+
+    /// Encode with the negotiated codec, frame and write one message,
+    /// updating both counter sets.
+    fn send(&self, msg: &ServerFrame, aggregate: &WireStats) -> Result<(), WireError> {
+        let frame = self.codec().encode_server(msg)?;
         let mut writer = self.writer.lock();
         // Once the connection upgraded to a peer link, the socket speaks
         // `PeerMsg` frames: a straggling delivery (the pump may have
         // dequeued one just before the upgrade) would corrupt the peer
         // stream, so drop it here, under the same lock that orders the
         // writes.
-        if matches!(msg, ServerMessage::Deliver(_)) && self.upgraded.load(Ordering::SeqCst) {
+        if matches!(msg, ServerFrame::Deliver(_)) && self.upgraded.load(Ordering::SeqCst) {
             return Ok(());
         }
         let written = frame.write_to(&mut *writer)?;
-        self.stats.record_frame_out(written);
-        aggregate.record_frame_out(written);
-        if matches!(msg, ServerMessage::Deliver(_)) {
+        self.stats.record_frame_out(frame.version, written);
+        aggregate.record_frame_out(frame.version, written);
+        if matches!(msg, ServerFrame::Deliver(_)) {
             self.stats.record_delivery();
             aggregate.record_delivery();
         }
@@ -271,6 +315,8 @@ impl BrokerServer {
         covering: bool,
         peer_queue_capacity: usize,
         write_timeout: Duration,
+        codec: CodecKind,
+        peer_retry: bool,
     ) -> Result<BrokerServer, WireError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -288,6 +334,8 @@ impl BrokerServer {
                 covering,
                 peer_queue_capacity,
                 write_timeout,
+                codec,
+                peer_retry,
             },
         );
         let server = BrokerServer {
@@ -382,6 +430,7 @@ impl BrokerServer {
             .map(|conn| ConnectionStatsSnapshot {
                 peer: conn.peer.to_string(),
                 client: conn.client_name.lock().clone(),
+                codec: conn.codec_name().to_owned(),
                 subscriber: conn.subscriber.0,
                 wire: conn.stats.snapshot(),
             })
@@ -494,6 +543,7 @@ impl AcceptLoop {
             stats: WireStats::new(),
             closed: AtomicBool::new(false),
             upgraded: AtomicBool::new(false),
+            codec_version: AtomicU8::new(0),
         });
         self.stats.record_open();
         conn.stats.record_open();
@@ -576,22 +626,69 @@ impl ConnectionReader {
                     break;
                 }
             };
-            self.conn.stats.record_frame_in(frame.wire_len());
-            self.aggregate.record_frame_in(frame.wire_len());
-            let request: Request = match frame.decode() {
-                Ok(req) => req,
+            self.conn
+                .stats
+                .record_frame_in(frame.version, frame.wire_len());
+            self.aggregate
+                .record_frame_in(frame.version, frame.wire_len());
+            // Codec negotiation: the first frame's version byte picks the
+            // codec for the connection's lifetime; later frames must not
+            // switch.
+            let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
+            if negotiated == 0 {
+                if CodecKind::for_version(frame.version).is_none() {
+                    self.conn.stats.record_error();
+                    self.aggregate.record_error();
+                    // Answer in JSON, the one encoding any client can
+                    // read, then give up on the stream (unknown-version
+                    // payloads cannot be framed reliably).
+                    let _ = self.reply(0, Response::Error {
+                        message: format!(
+                            "unsupported protocol version {}; this server speaks v1 (json) and v2 (binary)",
+                            frame.version
+                        ),
+                    });
+                    break;
+                }
+                self.conn
+                    .codec_version
+                    .store(frame.version, Ordering::SeqCst);
+            } else if frame.version != negotiated {
+                self.conn.stats.record_error();
+                self.aggregate.record_error();
+                let _ = self.reply(0, Response::Error {
+                    message: format!(
+                        "codec switched mid-stream: connection negotiated v{negotiated}, frame carries v{}",
+                        frame.version
+                    ),
+                });
+                break;
+            }
+            let client_frame = match self.conn.codec().decode_client(&frame) {
+                Ok(client_frame) => client_frame,
                 Err(e) => {
                     self.conn.stats.record_error();
                     self.aggregate.record_error();
-                    let _ = self.reply(Response::Error {
-                        message: e.to_string(),
-                    });
-                    continue;
+                    let _ = self.reply(
+                        0,
+                        Response::Error {
+                            message: e.to_string(),
+                        },
+                    );
+                    // On v1 the error reply pairs by order, so the
+                    // conversation can continue. On v2 the real
+                    // correlation id is unrecoverable — a reply with a
+                    // synthesized id could mis-pair with (or never reach)
+                    // an in-flight request — so close instead.
+                    if frame.version == crate::frame::PROTOCOL_V1_JSON {
+                        continue;
+                    }
+                    break;
                 }
             };
             self.conn.stats.record_request();
             self.aggregate.record_request();
-            match self.step(request, &mut owned) {
+            match self.step(client_frame.corr, client_frame.request, &mut owned) {
                 Step::Continue => {}
                 Step::Close => break,
                 Step::Upgraded { peer_broker } => {
@@ -603,17 +700,18 @@ impl ConnectionReader {
         self.finish(&owned);
     }
 
-    fn step(&self, request: Request, owned: &mut HashSet<SubscriptionId>) -> Step {
+    fn step(&self, corr: u64, request: Request, owned: &mut HashSet<SubscriptionId>) -> Step {
         if let Request::PeerHello {
             version,
             broker,
             broker_id,
         } = request
         {
-            if version != PROTOCOL_VERSION {
-                let _ = self.reply(Response::Error {
+            let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
+            if version != negotiated {
+                let _ = self.reply(corr, Response::Error {
                     message: format!(
-                        "protocol version mismatch: server speaks v{PROTOCOL_VERSION}, peer sent v{version}"
+                        "PeerHello version field v{version} disagrees with the frame codec v{negotiated}"
                     ),
                 });
                 return Step::Close;
@@ -626,11 +724,11 @@ impl ConnectionReader {
             // `Deliver` after it.
             self.conn.upgraded.store(true, Ordering::SeqCst);
             let welcome = Response::PeerWelcome {
-                version: PROTOCOL_VERSION,
+                version: negotiated,
                 broker: self.federation.name().to_owned(),
                 broker_id: self.federation.broker_id(),
             };
-            if self.reply(welcome).is_err() {
+            if self.reply(corr, welcome).is_err() {
                 return Step::Close;
             }
             return Step::Upgraded {
@@ -643,7 +741,7 @@ impl ConnectionReader {
             self.conn.stats.record_error();
             self.aggregate.record_error();
         }
-        if self.reply(response).is_err() || is_bye {
+        if self.reply(corr, response).is_err() || is_bye {
             Step::Close
         } else {
             Step::Continue
@@ -681,39 +779,43 @@ impl ConnectionReader {
                 return;
             }
         };
-        let node =
-            match self
-                .federation
-                .adopt_inbound(stream, peer_broker, self.conn.peer.to_string())
-            {
-                Ok(node) => node,
-                Err(_) => {
-                    self.aggregate.record_error();
-                    self.conn.close_socket();
-                    return;
-                }
-            };
+        let codec = CodecKind::for_version(self.conn.codec_version.load(Ordering::SeqCst))
+            .unwrap_or(CodecKind::Json);
+        let node = match self.federation.adopt_inbound(
+            stream,
+            peer_broker,
+            self.conn.peer.to_string(),
+            codec,
+        ) {
+            Ok(node) => node,
+            Err(_) => {
+                self.aggregate.record_error();
+                self.conn.close_socket();
+                return;
+            }
+        };
         self.federation.run_inbound_reader(node, reader);
     }
 
-    fn reply(&self, response: Response) -> Result<(), WireError> {
+    fn reply(&self, corr: u64, response: Response) -> Result<(), WireError> {
         self.conn
-            .send(&ServerMessage::Reply(response), &self.aggregate)
+            .send(&ServerFrame::Reply { corr, response }, &self.aggregate)
     }
 
     fn handle(&self, request: Request, owned: &mut HashSet<SubscriptionId>) -> Response {
         match request {
             Request::Hello { version, client } => {
-                if version != PROTOCOL_VERSION {
+                let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
+                if version != negotiated {
                     return Response::Error {
                         message: format!(
-                            "protocol version mismatch: server speaks v{PROTOCOL_VERSION}, client sent v{version}"
+                            "Hello version field v{version} disagrees with the frame codec v{negotiated}"
                         ),
                     };
                 }
                 *self.conn.client_name.lock() = client;
                 Response::Hello {
-                    version: PROTOCOL_VERSION,
+                    version: negotiated,
                     server: self.server_name.clone(),
                     subscriber: self.conn.subscriber.0,
                 }
@@ -823,7 +925,7 @@ impl DeliveryPump {
             let Some(event) = self.inbox.recv_timeout(PUMP_PARK) else {
                 continue;
             };
-            let message = ServerMessage::Deliver(Deliver { event });
+            let message = ServerFrame::Deliver(Deliver { event });
             if self.conn.send(&message, &self.aggregate).is_err() {
                 // Write failed or timed out: the consumer is gone or
                 // stalled past the backpressure bound. The delivery is

@@ -3,8 +3,74 @@
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::frame::{PROTOCOL_V1_JSON, PROTOCOL_V2_BINARY};
+
+/// Frame and byte counters for one codec (one protocol version).
+#[derive(Debug, Default)]
+pub struct CodecStats {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl CodecStats {
+    fn record_in(&self, bytes: usize) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn record_out(&self, bytes: usize) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the codec's counters.
+    pub fn snapshot(&self) -> CodecStatsSnapshot {
+        CodecStatsSnapshot {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`CodecStats`]: the traffic one codec carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CodecStatsSnapshot {
+    /// Frames read under this codec.
+    pub frames_in: u64,
+    /// Frames written under this codec.
+    pub frames_out: u64,
+    /// Bytes read under this codec (headers included).
+    pub bytes_in: u64,
+    /// Bytes written under this codec (headers included).
+    pub bytes_out: u64,
+}
+
+impl CodecStatsSnapshot {
+    /// Average wire bytes per written frame, 0 when no frames were
+    /// counted.
+    pub fn bytes_per_frame_out(&self) -> u64 {
+        self.bytes_out.checked_div(self.frames_out).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for CodecStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frames={}in/{}out bytes={}in/{}out",
+            self.frames_in, self.frames_out, self.bytes_in, self.bytes_out,
+        )
+    }
+}
+
 /// Lock-free transport counters. The server keeps one aggregate instance
-/// plus one per live connection; every record call updates both.
+/// plus one per live connection; every record call updates both. Frame
+/// and byte totals are additionally broken down per codec so the JSON
+/// vs binary trade is measurable from `Response::Stats`.
 #[derive(Debug, Default)]
 pub struct WireStats {
     connections_opened: AtomicU64,
@@ -17,6 +83,8 @@ pub struct WireStats {
     deliveries: AtomicU64,
     delivery_drops: AtomicU64,
     errors: AtomicU64,
+    json: CodecStats,
+    binary: CodecStats,
 }
 
 impl WireStats {
@@ -35,16 +103,28 @@ impl WireStats {
         self.connections_closed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count one received frame of `bytes` total wire bytes.
-    pub fn record_frame_in(&self, bytes: usize) {
+    /// Count one received frame of `bytes` total wire bytes, sent under
+    /// protocol `version` (which attributes it to a codec).
+    pub fn record_frame_in(&self, version: u8, bytes: usize) {
         self.frames_in.fetch_add(1, Ordering::Relaxed);
         self.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+        match version {
+            PROTOCOL_V1_JSON => self.json.record_in(bytes),
+            PROTOCOL_V2_BINARY => self.binary.record_in(bytes),
+            _ => {}
+        }
     }
 
-    /// Count one written frame of `bytes` total wire bytes.
-    pub fn record_frame_out(&self, bytes: usize) {
+    /// Count one written frame of `bytes` total wire bytes under
+    /// protocol `version`.
+    pub fn record_frame_out(&self, version: u8, bytes: usize) {
         self.frames_out.fetch_add(1, Ordering::Relaxed);
         self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+        match version {
+            PROTOCOL_V1_JSON => self.json.record_out(bytes),
+            PROTOCOL_V2_BINARY => self.binary.record_out(bytes),
+            _ => {}
+        }
     }
 
     /// Count one handled request.
@@ -81,6 +161,8 @@ impl WireStats {
             deliveries: self.deliveries.load(Ordering::Relaxed),
             delivery_drops: self.delivery_drops.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            json: self.json.snapshot(),
+            binary: self.binary.snapshot(),
         }
     }
 }
@@ -110,19 +192,27 @@ pub struct WireStatsSnapshot {
     pub delivery_drops: u64,
     /// Errors returned or suffered.
     pub errors: u64,
+    /// The subset of frame/byte traffic carried by the v1 JSON codec.
+    pub json: CodecStatsSnapshot,
+    /// The subset of frame/byte traffic carried by the v2 binary codec.
+    pub binary: CodecStatsSnapshot,
 }
 
 impl std::fmt::Display for WireStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "conns={}/{} frames={}in/{}out bytes={}in/{}out requests={} deliveries={} drops={} errors={}",
+            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={}",
             self.connections_opened,
             self.connections_closed,
             self.frames_in,
             self.frames_out,
             self.bytes_in,
             self.bytes_out,
+            self.json.bytes_in,
+            self.json.bytes_out,
+            self.binary.bytes_in,
+            self.binary.bytes_out,
             self.requests,
             self.deliveries,
             self.delivery_drops,
@@ -138,6 +228,9 @@ pub struct ConnectionStatsSnapshot {
     pub peer: String,
     /// Client name from the `Hello` request, if one was sent.
     pub client: String,
+    /// Codec the connection negotiated (`json`, `binary`, or `-` before
+    /// the first frame).
+    pub codec: String,
     /// Broker subscriber id backing this connection.
     pub subscriber: u64,
     /// The connection's transport counters.
@@ -159,26 +252,37 @@ pub struct FederationStatsSnapshot {
     pub advertisements: u64,
     /// Subscription advertisements sent to peers.
     pub subs_forwarded: u64,
+    /// Local subscriptions merged into an existing identical
+    /// advertisement instead of being forwarded again (count-based
+    /// duplicate aggregation).
+    pub subs_aggregated: u64,
     /// Events forwarded to peers.
     pub events_forwarded: u64,
     /// Events received from peers.
     pub events_received: u64,
     /// Events lost because a peer link's bounded queue was full.
     pub events_dropped: u64,
+    /// Peer-link frame/byte traffic carried by the v1 JSON codec.
+    pub json: CodecStatsSnapshot,
+    /// Peer-link frame/byte traffic carried by the v2 binary codec.
+    pub binary: CodecStatsSnapshot,
 }
 
 impl std::fmt::Display for FederationStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "peers={} routing={} ads={} subs_fwd={} events={}out/{}in drops={}",
+            "peers={} routing={} ads={} subs_fwd={} subs_agg={} events={}out/{}in drops={} json[{}] binary[{}]",
             self.peers,
             self.routing_entries,
             self.advertisements,
             self.subs_forwarded,
+            self.subs_aggregated,
             self.events_forwarded,
             self.events_received,
             self.events_dropped,
+            self.json,
+            self.binary,
         )
     }
 }
@@ -192,6 +296,8 @@ pub struct PeerStatsSnapshot {
     pub addr: String,
     /// Local link id of this peer in the routing core.
     pub link: u32,
+    /// Codec the link negotiated at handshake.
+    pub codec: String,
     /// The link's transport counters.
     pub wire: WireStatsSnapshot,
 }

@@ -75,8 +75,17 @@ fn main() {
         other => panic!("schema should reject INITECH, got {other:?}"),
     }
 
-    // --- The publisher: a second process-like client. The market opens. ---
+    // --- The publisher: a second process-like client. The market opens.
+    // The whole day's tape goes out as one pipelined window
+    // (`publish_nowait`): every quote is on the wire before the first
+    // broker outcome is awaited, so the socket round-trip is paid once
+    // per window instead of once per quote.
     let exchange = Client::connect_as(server.local_addr(), "exchange").expect("connect publisher");
+    println!(
+        "exchange speaks the {} codec (protocol v{})",
+        exchange.codec(),
+        exchange.codec().version()
+    );
     let quotes = [
         ("ACME", 98.0),
         ("ACME", 104.5), // also trips the price alert
@@ -84,12 +93,18 @@ fn main() {
         ("HOOLI", 310.0),
         ("INITECH", 1.2), // outside the schema domain: rejected
     ];
-    for (symbol, price) in quotes {
-        let event = Event::builder()
-            .attr("symbol", symbol)
-            .attr("price", price)
-            .build();
-        match exchange.publish(event) {
+    let in_flight: Vec<_> = quotes
+        .iter()
+        .map(|(symbol, price)| {
+            let event = Event::builder()
+                .attr("symbol", *symbol)
+                .attr("price", *price)
+                .build();
+            exchange.publish_nowait(event).expect("frame written")
+        })
+        .collect();
+    for ((symbol, price), pending) in quotes.iter().zip(in_flight) {
+        match pending.wait() {
             Ok(outcome) => {
                 println!(
                     "published {symbol} @ {price}: {} deliveries",

@@ -241,3 +241,325 @@ mod wire_frames {
         }));
     }
 }
+
+// --------------------------------------------------------------------------
+// Codec equivalence: random protocol values must decode identically from
+// both the v1 JSON codec and the v2 binary codec.
+
+mod codec_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+    use reef::attention::UploadReceipt;
+    use reef::pubsub::{
+        BrokerStatsSnapshot, EventId, GlobalSubId, Op, PeerMsg, Predicate, SubscriptionId,
+    };
+    use reef::wire::{
+        ClientFrame, CodecKind, CodecStatsSnapshot, Deliver, FederationStatsSnapshot, Request,
+        Response, ServerFrame, WireStatsSnapshot,
+    };
+
+    const BOTH: [CodecKind; 2] = [CodecKind::Json, CodecKind::Binary];
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            "[ -~]{0,16}".prop_map(Value::Str),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Float),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    fn arb_filter() -> impl Strategy<Value = Filter> {
+        prop::collection::vec(("[a-z]{1,8}", 0usize..Op::ALL.len(), arb_value()), 0..4).prop_map(
+            |predicates| {
+                predicates
+                    .into_iter()
+                    .map(|(attr, op, operand)| Predicate::new(attr, Op::ALL[op], operand))
+                    .collect()
+            },
+        )
+    }
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        prop::collection::vec(("[a-z]{1,8}", arb_value()), 0..5)
+            .prop_map(|attrs| attrs.into_iter().collect())
+    }
+
+    fn arb_published() -> impl Strategy<Value = PublishedEvent> {
+        (any::<u64>(), any::<u64>(), arb_event()).prop_map(|(id, published_at, event)| {
+            PublishedEvent {
+                id: EventId(id),
+                published_at,
+                event,
+            }
+        })
+    }
+
+    fn arb_batch() -> impl Strategy<Value = ClickBatch> {
+        (
+            any::<u32>(),
+            prop::collection::vec(
+                (
+                    any::<u32>(),
+                    any::<u32>(),
+                    any::<u64>(),
+                    "[ -~]{0,24}",
+                    proptest::option::of("[ -~]{0,12}"),
+                ),
+                0..4,
+            ),
+        )
+            .prop_map(|(user, clicks)| ClickBatch {
+                user: UserId(user),
+                clicks: clicks
+                    .into_iter()
+                    .map(|(user, day, tick, url, referrer)| Click {
+                        user: UserId(user),
+                        day,
+                        tick,
+                        url,
+                        referrer,
+                    })
+                    .collect(),
+            })
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            (any::<u8>(), "[ -~]{0,12}")
+                .prop_map(|(version, client)| Request::Hello { version, client }),
+            arb_filter().prop_map(|filter| Request::Subscribe { filter }),
+            any::<u64>().prop_map(|id| Request::Unsubscribe {
+                subscription: SubscriptionId(id),
+            }),
+            arb_event().prop_map(|event| Request::Publish { event }),
+            arb_batch().prop_map(|batch| Request::UploadClicks { batch }),
+            Just(Request::Stats),
+            Just(Request::Ping),
+            Just(Request::Bye),
+            (any::<u8>(), "[ -~]{0,12}", any::<u32>()).prop_map(|(version, broker, broker_id)| {
+                Request::PeerHello {
+                    version,
+                    broker,
+                    broker_id,
+                }
+            }),
+        ]
+    }
+
+    /// Derive full stats snapshots from two seeds: every field gets a
+    /// distinct mixed value, which exercises all varint widths without a
+    /// 20-arity tuple strategy.
+    fn mixed(seed: u64, lane: u64) -> u64 {
+        seed.wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(lane.wrapping_mul(0xd1342543de82ef95))
+    }
+
+    fn codec_stats(seed: u64, lane: u64) -> CodecStatsSnapshot {
+        CodecStatsSnapshot {
+            frames_in: mixed(seed, lane),
+            frames_out: mixed(seed, lane + 1),
+            bytes_in: mixed(seed, lane + 2),
+            bytes_out: mixed(seed, lane + 3),
+        }
+    }
+
+    fn arb_response() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            (any::<u8>(), "[ -~]{0,12}", any::<u64>()).prop_map(|(version, server, subscriber)| {
+                Response::Hello {
+                    version,
+                    server,
+                    subscriber,
+                }
+            }),
+            any::<u64>().prop_map(|id| Response::Subscribed {
+                subscription: SubscriptionId(id),
+            }),
+            arb_filter().prop_map(|filter| Response::Unsubscribed { filter }),
+            (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(id, delivered, dropped)| {
+                Response::Published {
+                    id: EventId(id),
+                    delivered,
+                    dropped,
+                }
+            }),
+            (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(user, accepted, rejected)| {
+                Response::ClicksAccepted {
+                    receipt: UploadReceipt {
+                        user: UserId(user),
+                        accepted,
+                        rejected,
+                        wire_bytes: accepted ^ rejected,
+                        total_stored: accepted.wrapping_add(rejected),
+                    },
+                }
+            }),
+            (any::<u64>(), any::<u32>()).prop_map(|(seed, broker_id)| Response::Stats {
+                broker: BrokerStatsSnapshot {
+                    events_published: mixed(seed, 0),
+                    deliveries: mixed(seed, 1),
+                    drops: mixed(seed, 2),
+                    subscribes: mixed(seed, 3),
+                    unsubscribes: mixed(seed, 4),
+                },
+                wire: WireStatsSnapshot {
+                    connections_opened: mixed(seed, 5),
+                    connections_closed: mixed(seed, 6),
+                    frames_in: mixed(seed, 7),
+                    frames_out: mixed(seed, 8),
+                    bytes_in: mixed(seed, 9),
+                    bytes_out: mixed(seed, 10),
+                    requests: mixed(seed, 11),
+                    deliveries: mixed(seed, 12),
+                    delivery_drops: mixed(seed, 13),
+                    errors: mixed(seed, 14),
+                    json: codec_stats(seed, 15),
+                    binary: codec_stats(seed, 19),
+                },
+                federation: FederationStatsSnapshot {
+                    broker_id,
+                    peers: mixed(seed, 23),
+                    routing_entries: mixed(seed, 24),
+                    advertisements: mixed(seed, 25),
+                    subs_forwarded: mixed(seed, 26),
+                    subs_aggregated: mixed(seed, 27),
+                    events_forwarded: mixed(seed, 28),
+                    events_received: mixed(seed, 29),
+                    events_dropped: mixed(seed, 30),
+                    json: codec_stats(seed, 31),
+                    binary: codec_stats(seed, 35),
+                },
+            }),
+            Just(Response::Pong),
+            Just(Response::Bye),
+            (any::<u8>(), "[ -~]{0,12}", any::<u32>()).prop_map(|(version, broker, broker_id)| {
+                Response::PeerWelcome {
+                    version,
+                    broker,
+                    broker_id,
+                }
+            }),
+            "[ -~]{0,40}".prop_map(|message| Response::Error { message }),
+        ]
+    }
+
+    fn arb_peer_msg() -> impl Strategy<Value = PeerMsg> {
+        prop_oneof![
+            (any::<u64>(), arb_filter()).prop_map(|(sub, filter)| PeerMsg::SubFwd {
+                sub: GlobalSubId(sub),
+                filter,
+            }),
+            any::<u64>().prop_map(|sub| PeerMsg::UnsubFwd {
+                sub: GlobalSubId(sub),
+            }),
+            (arb_published(), any::<u32>())
+                .prop_map(|(event, hops)| PeerMsg::EventFwd { event, hops }),
+        ]
+    }
+
+    fn fail(e: impl std::fmt::Display) -> TestCaseError {
+        TestCaseError::fail(e.to_string())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Any request decodes to the same value from both codecs; the
+        /// binary codec additionally preserves the correlation id.
+        #[test]
+        fn requests_decode_identically_from_both_codecs(
+            corr in any::<u64>(),
+            request in arb_request(),
+        ) {
+            let frame = ClientFrame { corr, request };
+            for kind in BOTH {
+                let codec = kind.codec();
+                let encoded = codec.encode_client(&frame).map_err(fail)?;
+                prop_assert_eq!(encoded.version, kind.version());
+                let back = codec.decode_client(&encoded).map_err(fail)?;
+                prop_assert_eq!(&back.request, &frame.request);
+                if kind == CodecKind::Binary {
+                    prop_assert_eq!(back.corr, frame.corr);
+                }
+            }
+        }
+
+        /// Any reply and any delivery decode to the same value from both
+        /// codecs.
+        #[test]
+        fn server_frames_decode_identically_from_both_codecs(
+            corr in any::<u64>(),
+            response in arb_response(),
+            delivery in arb_published(),
+        ) {
+            let reply = ServerFrame::Reply { corr, response };
+            let deliver = ServerFrame::Deliver(Deliver { event: delivery });
+            for kind in BOTH {
+                let codec = kind.codec();
+                for frame in [&reply, &deliver] {
+                    let encoded = codec.encode_server(frame).map_err(fail)?;
+                    let back = codec.decode_server(&encoded).map_err(fail)?;
+                    match (&back, frame) {
+                        (
+                            ServerFrame::Reply { corr: got_corr, response: got },
+                            ServerFrame::Reply { corr: want_corr, response: want },
+                        ) => {
+                            prop_assert_eq!(got, want);
+                            if kind == CodecKind::Binary {
+                                prop_assert_eq!(got_corr, want_corr);
+                            }
+                        }
+                        (ServerFrame::Deliver(got), ServerFrame::Deliver(want)) => {
+                            prop_assert_eq!(got, want);
+                        }
+                        _ => return Err(TestCaseError::fail("frame kind changed in transit")),
+                    }
+                }
+            }
+        }
+
+        /// Any routing message decodes to the same value from both codecs
+        /// — this is what keeps mixed-codec federations coherent.
+        #[test]
+        fn peer_msgs_decode_identically_from_both_codecs(msg in arb_peer_msg()) {
+            for kind in BOTH {
+                let codec = kind.codec();
+                let encoded = codec.encode_peer(&msg).map_err(fail)?;
+                prop_assert_eq!(encoded.version, kind.version());
+                let back = codec.decode_peer(&encoded).map_err(fail)?;
+                prop_assert_eq!(&back, &msg);
+            }
+        }
+
+        /// Binary publish frames are never larger than their JSON
+        /// equivalents on realistic (topical, stock-quote-like) events.
+        #[test]
+        fn binary_publish_frames_beat_json_on_realistic_events(
+            topic in "[a-z]{3,12}",
+            body in "[ -~]{0,60}",
+            price in 0.0f64..10_000.0,
+            volume in any::<u32>(),
+        ) {
+            let frame = ClientFrame {
+                corr: 1,
+                request: Request::Publish {
+                    event: Event::builder()
+                        .attr("topic", topic)
+                        .attr("body", body)
+                        .attr("price", price)
+                        .attr("volume", i64::from(volume))
+                        .build(),
+                },
+            };
+            let json = CodecKind::Json.codec().encode_client(&frame).map_err(fail)?;
+            let binary = CodecKind::Binary.codec().encode_client(&frame).map_err(fail)?;
+            prop_assert!(
+                binary.wire_len() < json.wire_len(),
+                "binary {} >= json {}",
+                binary.wire_len(),
+                json.wire_len()
+            );
+        }
+    }
+}

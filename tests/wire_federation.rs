@@ -3,8 +3,8 @@
 //! subscriptions (with covering pruning) and events between each other —
 //! the socket-backed counterpart of the simulated `Overlay`.
 
-use reef::pubsub::{Event, Filter, Op, TOPIC_ATTR};
-use reef::wire::{BrokerServer, Client};
+use reef::pubsub::{Event, Filter, NodeId, Op, TOPIC_ATTR};
+use reef::wire::{BrokerServer, Client, CodecKind};
 use std::time::{Duration, Instant};
 
 const WAIT: Duration = Duration::from_secs(10);
@@ -211,6 +211,198 @@ fn disconnecting_subscriber_withdraws_remote_interest() {
     c.shutdown();
     b.shutdown();
     a.shutdown();
+}
+
+/// Count-based duplicate-subscription aggregation: identical filters
+/// from many clients forward ONE advertisement over the peer link, the
+/// withdrawal happens only when the count returns to zero, and remote
+/// events still fan out to every member.
+#[test]
+fn duplicate_filters_aggregate_on_peer_links() {
+    let a = BrokerServer::builder()
+        .name("agg-a")
+        .bind("127.0.0.1:0")
+        .expect("bind a");
+    let b = BrokerServer::builder()
+        .name("agg-b")
+        .peer(a.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind b");
+    wait_for("peer link", || a.federation_stats().peers == 1);
+
+    // Five clients at b place the *identical* filter.
+    let clients: Vec<Client> = (0..5)
+        .map(|i| Client::connect_as(b.local_addr(), &format!("dup-{i}")).expect("connect"))
+        .collect();
+    let subs: Vec<_> = clients
+        .iter()
+        .map(|c| c.subscribe(Filter::topic("agg")).expect("subscribe"))
+        .collect();
+
+    // Routing-stats assertion: exactly one advertisement crossed, the
+    // other four merged into the refcount.
+    wait_for("advertisement at a", || {
+        a.federation_stats().routing_entries == 1
+    });
+    let stats_b = b.federation_stats();
+    assert_eq!(stats_b.subs_forwarded, 1, "identical filters forward once");
+    assert_eq!(stats_b.subs_aggregated, 4, "four joined the group");
+    assert_eq!(stats_b.routing_entries, 1, "one shared routing entry at b");
+
+    // A remote event fans out to every member of the group.
+    let publisher = Client::connect_as(a.local_addr(), "pub").expect("connect pub");
+    publisher
+        .publish(Event::topical("agg", "fan-out"))
+        .expect("publish");
+    for client in &clients {
+        let got = client.recv_delivery(WAIT).expect("member delivered");
+        assert_eq!(got.event.get(TOPIC_ATTR).unwrap().as_str(), Some("agg"));
+    }
+
+    // Withdrawing four of five must NOT withdraw the advertisement...
+    for (client, sub) in clients.iter().zip(&subs).take(4) {
+        client.unsubscribe(*sub).expect("unsubscribe");
+    }
+    publisher
+        .publish(Event::topical("agg", "still-routed"))
+        .expect("publish after partial unsubscribe");
+    let got = clients[4].recv_delivery(WAIT).expect("survivor delivered");
+    assert_eq!(
+        got.event.get("body").unwrap().as_str(),
+        Some("still-routed")
+    );
+    assert_eq!(
+        a.federation_stats().routing_entries,
+        1,
+        "advertisement survives while the count is nonzero"
+    );
+
+    // ...but the last unsubscribe drops the count to zero and withdraws.
+    clients[4].unsubscribe(subs[4]).expect("last unsubscribe");
+    wait_for("withdrawal at a", || {
+        a.federation_stats().routing_entries == 0
+    });
+
+    drop(publisher);
+    drop(clients);
+    b.shutdown();
+    a.shutdown();
+}
+
+/// Peer-link reconnect: when a dialed link dies, `--peer-retry` re-dials
+/// with backoff, re-runs the `PeerHello` handshake, and routing resyncs.
+#[test]
+fn dead_peer_link_redials_and_resyncs() {
+    let hub = BrokerServer::builder()
+        .name("redial-hub")
+        .bind("127.0.0.1:0")
+        .expect("bind hub");
+    let dialer = BrokerServer::builder()
+        .name("redial-dialer")
+        .peer(hub.local_addr().to_string())
+        .peer_retry(true)
+        .bind("127.0.0.1:0")
+        .expect("bind dialer");
+    wait_for("initial link", || {
+        hub.federation_stats().peers == 1 && dialer.federation_stats().peers == 1
+    });
+
+    // Kill the link from the hub's side (its listener stays up); the
+    // dialer must notice the dead socket and re-dial on its own.
+    let link = hub.federation().peer_stats()[0].link;
+    hub.federation().peer_disconnected(NodeId(link));
+    wait_for("link re-established", || {
+        hub.federation_stats().peers == 1 && dialer.federation_stats().peers == 1
+    });
+
+    // The re-run handshake must leave a fully working federation: a
+    // subscription placed after the reconnect routes events across.
+    let subscriber = Client::connect_as(dialer.local_addr(), "sub").expect("connect sub");
+    subscriber
+        .subscribe(Filter::topic("redial"))
+        .expect("subscribe");
+    wait_for("advertisement crosses the new link", || {
+        hub.federation_stats().routing_entries >= 1
+    });
+    let publisher = Client::connect_as(hub.local_addr(), "pub").expect("connect pub");
+    publisher
+        .publish(Event::topical("redial", "after-reconnect"))
+        .expect("publish");
+    let got = subscriber.recv_delivery(WAIT).expect("delivery");
+    assert_eq!(
+        got.event.get("body").unwrap().as_str(),
+        Some("after-reconnect")
+    );
+
+    drop(subscriber);
+    drop(publisher);
+    dialer.shutdown();
+    hub.shutdown();
+}
+
+/// Codec negotiation on peer links: a JSON-dialing broker federates with
+/// a binary-default one, each link keeping the dialer's codec, and the
+/// per-codec federation counters attribute the traffic.
+#[test]
+fn json_and_binary_peer_links_coexist() {
+    let hub = BrokerServer::builder()
+        .name("codec-hub")
+        .bind("127.0.0.1:0")
+        .expect("bind hub");
+    let json_peer = BrokerServer::builder()
+        .name("codec-json")
+        .codec(CodecKind::Json)
+        .peer(hub.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind json peer");
+    let binary_peer = BrokerServer::builder()
+        .name("codec-binary")
+        .peer(hub.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind binary peer");
+    wait_for("both links", || hub.federation_stats().peers == 2);
+
+    // The hub adopted each link under the dialer's codec.
+    let mut codecs: Vec<String> = hub.peer_stats().into_iter().map(|p| p.codec).collect();
+    codecs.sort();
+    assert_eq!(codecs, ["binary", "json"]);
+
+    // Subscribe behind each spoke; the hub's advertisements go out once
+    // per link, one in each codec.
+    let json_sub = Client::connect_as(json_peer.local_addr(), "jsub").expect("connect");
+    json_sub.subscribe(Filter::topic("codecs")).expect("sub");
+    let binary_sub = Client::connect_as(binary_peer.local_addr(), "bsub").expect("connect");
+    binary_sub.subscribe(Filter::topic("codecs")).expect("sub");
+    wait_for("advertisements at hub", || {
+        hub.federation_stats().routing_entries == 2
+    });
+
+    let publisher = Client::connect_as(hub.local_addr(), "pub").expect("connect pub");
+    publisher
+        .publish(Event::topical("codecs", "both"))
+        .expect("publish");
+    assert!(
+        json_sub.recv_delivery(WAIT).is_some(),
+        "json spoke delivered"
+    );
+    assert!(
+        binary_sub.recv_delivery(WAIT).is_some(),
+        "binary spoke delivered"
+    );
+
+    // Per-codec federation counters saw traffic on both codecs.
+    let stats = hub.federation_stats();
+    assert!(stats.json.frames_out >= 1, "json link carried frames");
+    assert!(stats.binary.frames_out >= 1, "binary link carried frames");
+    assert!(stats.json.bytes_in > 0, "json link ingress counted");
+    assert!(stats.binary.bytes_in > 0, "binary link ingress counted");
+
+    drop(json_sub);
+    drop(binary_sub);
+    drop(publisher);
+    binary_peer.shutdown();
+    json_peer.shutdown();
+    hub.shutdown();
 }
 
 /// The `Stats` request surfaces federation state to remote clients, and

@@ -5,7 +5,7 @@
 use reef::attention::{Click, ClickBatch};
 use reef::pubsub::{Event, Filter, Op};
 use reef::simweb::UserId;
-use reef::wire::{BrokerServer, Client, WireError};
+use reef::wire::{BrokerServer, Client, CodecKind, WireError};
 use std::time::Duration;
 
 const WAIT: Duration = Duration::from_secs(5);
@@ -217,6 +217,155 @@ fn remote_errors_are_reported_and_survivable() {
     assert!(a.recv_delivery(WAIT).is_some());
 
     assert!(server.stats().errors >= 1);
+    server.shutdown();
+}
+
+/// The acceptance scenario for wire protocol v2: a v1 (JSON) client and
+/// a v2 (binary) client interoperate against one daemon, the server's
+/// per-codec counters see both codecs, and the binary encoding of the
+/// same publish is strictly smaller than the JSON one.
+#[test]
+fn v1_and_v2_clients_interoperate_on_one_daemon() {
+    let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+    let legacy = Client::builder()
+        .name("legacy-v1")
+        .codec(CodecKind::Json)
+        .connect(server.local_addr())
+        .expect("connect v1");
+    let modern = Client::builder()
+        .name("modern-v2")
+        .codec(CodecKind::Binary)
+        .connect(server.local_addr())
+        .expect("connect v2");
+    assert_eq!(legacy.codec(), CodecKind::Json);
+    assert_eq!(modern.codec(), CodecKind::Binary);
+
+    // Both directions across the codec boundary.
+    legacy.subscribe(Filter::topic("mixed")).expect("v1 sub");
+    modern.subscribe(Filter::topic("mixed")).expect("v2 sub");
+    let out = modern
+        .publish(Event::topical("mixed", "from-v2"))
+        .expect("v2 publish");
+    assert_eq!(out.delivered, 2);
+    let out = legacy
+        .publish(Event::topical("mixed", "from-v1"))
+        .expect("v1 publish");
+    assert_eq!(out.delivered, 2);
+    for client in [&legacy, &modern] {
+        let mut bodies: Vec<String> = (0..2)
+            .map(|_| {
+                client
+                    .recv_delivery(WAIT)
+                    .expect("delivery")
+                    .event
+                    .get("body")
+                    .and_then(|v| v.as_str())
+                    .expect("body attr")
+                    .to_owned()
+            })
+            .collect();
+        bodies.sort();
+        assert_eq!(bodies, ["from-v1", "from-v2"]);
+    }
+
+    // The server labels each connection with its negotiated codec.
+    let conns = server.connection_stats();
+    let by_name = |name: &str| {
+        conns
+            .iter()
+            .find(|c| c.client == name)
+            .unwrap_or_else(|| panic!("connection {name} listed"))
+    };
+    assert_eq!(by_name("legacy-v1").codec, "json");
+    assert_eq!(by_name("modern-v2").codec, "binary");
+
+    // Byte accounting: publish the identical event once per codec and
+    // compare the per-connection ingress deltas — exactly one frame each.
+    let event = Event::builder()
+        .attr("topic", "mixed")
+        .attr("price", 12.5)
+        .attr("volume", 90_000)
+        .build();
+    let ingress = |name: &str| {
+        let conn = server.connection_stats();
+        let snap = conn
+            .iter()
+            .find(|c| c.client == name)
+            .expect("connection listed")
+            .wire;
+        (snap.frames_in, snap.bytes_in)
+    };
+    let before_v1 = ingress("legacy-v1");
+    legacy.publish(event.clone()).expect("v1 publish");
+    let after_v1 = ingress("legacy-v1");
+    let before_v2 = ingress("modern-v2");
+    modern.publish(event).expect("v2 publish");
+    let after_v2 = ingress("modern-v2");
+    assert_eq!(after_v1.0 - before_v1.0, 1, "one v1 frame");
+    assert_eq!(after_v2.0 - before_v2.0, 1, "one v2 frame");
+    let json_bytes = after_v1.1 - before_v1.1;
+    let binary_bytes = after_v2.1 - before_v2.1;
+    assert!(
+        binary_bytes < json_bytes,
+        "binary publish frame ({binary_bytes} B) must be strictly smaller than JSON ({json_bytes} B)"
+    );
+
+    // `Response::Stats` surfaces the per-codec split to any client.
+    let stats = modern.stats().expect("stats over v2");
+    assert!(stats.wire.json.frames_in >= 4, "{:?}", stats.wire.json);
+    assert!(stats.wire.binary.frames_in >= 4, "{:?}", stats.wire.binary);
+    assert!(stats.wire.json.bytes_in > 0 && stats.wire.binary.bytes_in > 0);
+    assert_eq!(
+        stats.wire.frames_in,
+        stats.wire.json.frames_in + stats.wire.binary.frames_in,
+        "codec split accounts for every frame"
+    );
+
+    legacy.close().expect("clean v1 close");
+    modern.close().expect("clean v2 close");
+    server.shutdown();
+}
+
+/// The pipelined client: a window of `publish_nowait` calls is on the
+/// wire before any outcome is awaited, outcomes resolve by correlation
+/// id, and interleaved blocking requests stay correctly paired.
+#[test]
+fn pipelined_publishes_resolve_out_of_band() {
+    let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+    let subscriber = Client::connect_as(server.local_addr(), "sub").expect("connect");
+    subscriber
+        .subscribe(Filter::new().and("i", Op::Ge, 0))
+        .expect("subscribe");
+    let publisher = Client::connect_as(server.local_addr(), "pipeline").expect("connect");
+
+    const WINDOW: i64 = 50;
+    let mut pending = Vec::new();
+    for i in 0..WINDOW {
+        pending.push(
+            publisher
+                .publish_nowait(Event::builder().attr("i", i).build())
+                .expect("publish_nowait"),
+        );
+    }
+    // A blocking request issued mid-window must get *its* reply, not one
+    // of the fifty publish outcomes.
+    publisher.ping().expect("interleaved ping");
+    let mut ids = Vec::new();
+    for handle in pending {
+        let outcome = handle.wait().expect("outcome");
+        assert_eq!(outcome.delivered, 1);
+        ids.push(outcome.id);
+    }
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), WINDOW as usize, "every publish got its own id");
+    assert_eq!(publisher.in_flight(), 0, "window fully drained");
+
+    // Every event arrived, in publish order.
+    for i in 0..WINDOW {
+        let got = subscriber.recv_delivery(WAIT).expect("delivery");
+        assert_eq!(got.event.get("i").unwrap().as_i64(), Some(i));
+    }
     server.shutdown();
 }
 
