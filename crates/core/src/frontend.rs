@@ -214,6 +214,10 @@ impl SubscriptionFrontend {
     pub fn pump(&mut self, day: u32) -> usize {
         let mut n = 0;
         while let Some(event) = self.handle.try_recv() {
+            // The sidebar keeps its own owned copy; with a single
+            // recipient the unwrap is free (no other handle exists).
+            let event =
+                std::sync::Arc::try_unwrap(event).unwrap_or_else(|shared| (*shared).clone());
             let key = feedback_key(&event);
             self.feedback.entry(key).or_default().delivered += 1;
             self.sidebar.push(SidebarEntry {

@@ -9,6 +9,15 @@
 //! The broker is thread-safe: `publish` takes `&self`, so producers on
 //! multiple threads can publish concurrently while subscribers drain their
 //! queues through [`SubscriberHandle`]s (crossbeam channels).
+//!
+//! # Zero-copy fan-out
+//!
+//! A published event is wrapped in one [`Arc`] and every matching
+//! subscriber queue receives a clone of the *pointer*, not of the event:
+//! fan-out to a thousand subscribers costs a thousand reference-count
+//! bumps instead of a thousand deep copies of the attribute map.
+//! Networked delivery pumps encode frames straight from the shared
+//! borrow.
 
 use crate::error::BrokerError;
 use crate::event::{Event, EventId, PublishedEvent};
@@ -19,7 +28,7 @@ use crate::stats::{BrokerStats, BrokerStatsSnapshot};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,6 +37,19 @@ use std::time::Duration;
 /// Default upper bound on how long a publish waits for queue space under
 /// [`OverflowPolicy::Block`] before giving the event up as dropped.
 pub const DEFAULT_BLOCK_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Observer of successful deliveries, registered with
+/// [`Broker::set_delivery_notifier`].
+///
+/// Readiness-driven transports (e.g. `reef-wire`'s epoll event loop)
+/// register one so a publish executed on *any* thread can wake the I/O
+/// loop that drains the target subscriber's queue. The hook is called
+/// after the event is on the queue, outside the broker's lock, at most
+/// once per subscriber per publish.
+pub trait DeliveryNotifier: Send + Sync {
+    /// One or more events were queued for `subscriber`.
+    fn notify(&self, subscriber: SubscriberId);
+}
 
 /// Identifier of a subscriber registered with a [`Broker`].
 #[derive(
@@ -92,10 +114,10 @@ pub struct PublishOutcome {
 }
 
 struct SubscriberEntry {
-    sender: Sender<PublishedEvent>,
+    sender: Sender<Arc<PublishedEvent>>,
     /// Receiving side, held only under [`OverflowPolicy::DropOldest`] so
     /// the broker can evict the oldest queued event.
-    evictor: Option<Receiver<PublishedEvent>>,
+    evictor: Option<Receiver<Arc<PublishedEvent>>>,
 }
 
 impl SubscriberEntry {
@@ -112,8 +134,8 @@ impl SubscriberEntry {
 /// A snapshot of one subscriber's queue endpoints, detached from the
 /// broker's locked state.
 struct QueueHandle {
-    sender: Sender<PublishedEvent>,
-    evictor: Option<Receiver<PublishedEvent>>,
+    sender: Sender<Arc<PublishedEvent>>,
+    evictor: Option<Receiver<Arc<PublishedEvent>>>,
 }
 
 /// What happened when one event was offered to one subscriber queue.
@@ -155,6 +177,8 @@ pub struct Broker {
     overflow: OverflowPolicy,
     block_timeout: Duration,
     stats: BrokerStats,
+    /// Delivery observer for readiness-driven transports, if any.
+    notifier: RwLock<Option<Arc<dyn DeliveryNotifier>>>,
     next_subscriber: AtomicU64,
     next_subscription: AtomicU64,
     next_event: AtomicU64,
@@ -285,8 +309,22 @@ impl Broker {
         Ok(filter)
     }
 
-    /// Publish an event: match it against all subscriptions and place a copy
-    /// on each matching subscriber's queue.
+    /// Register an observer called (outside the broker lock) whenever a
+    /// delivery lands on a subscriber queue. Replaces any previous
+    /// notifier; pass this before wiring the broker into a
+    /// readiness-driven transport.
+    pub fn set_delivery_notifier(&self, notifier: Arc<dyn DeliveryNotifier>) {
+        *self.notifier.write() = Some(notifier);
+    }
+
+    /// Remove the delivery observer, if one was registered.
+    pub fn clear_delivery_notifier(&self) {
+        *self.notifier.write() = None;
+    }
+
+    /// Publish an event: match it against all subscriptions and place a
+    /// shared handle to it on each matching subscriber's queue (the event
+    /// itself is stored once; see the module notes on zero-copy fan-out).
     ///
     /// # Errors
     ///
@@ -300,11 +338,11 @@ impl Broker {
         }
         let id = EventId(self.next_event.fetch_add(1, Ordering::Relaxed));
         let published_at = self.clock.fetch_add(1, Ordering::Relaxed);
-        let published = PublishedEvent {
+        let published = Arc::new(PublishedEvent {
             id,
             published_at,
             event,
-        };
+        });
         // Match and snapshot the target queues under the read lock, then
         // release it before offering: under OverflowPolicy::Block an
         // offer can sleep for the block timeout, and holding the lock
@@ -325,11 +363,13 @@ impl Broker {
         };
         let mut delivered = 0usize;
         let mut dropped = 0usize;
+        let notifier = self.notifier.read().clone();
+        let mut touched: HashSet<SubscriberId> = HashSet::new();
         // One subscriber may hold several matching subscriptions; deliver
         // one copy per matching *subscription*, as real brokers do (the
         // frontend can dedup if it wants to).
         for (owner, queue) in &targets {
-            match self.offer(queue, published.clone()) {
+            match self.offer(queue, Arc::clone(&published)) {
                 Offer::Delivered => delivered += 1,
                 Offer::DeliveredEvicting => {
                     delivered += 1;
@@ -341,25 +381,48 @@ impl Broker {
                         self.stats.record_publish();
                         self.stats.record_delivery(delivered as u64);
                         self.stats.record_drop(dropped as u64);
+                        self.notify_all(&notifier, &touched);
                         return Err(BrokerError::QueueFull {
                             subscriber: *owner,
                             capacity: self.queue_capacity.unwrap_or(0),
                         });
                     }
+                    continue;
                 }
                 // Receiver handle dropped: treat like an implicit deregister.
-                Offer::DroppedGone => dropped += 1,
+                Offer::DroppedGone => {
+                    dropped += 1;
+                    continue;
+                }
+            }
+            if notifier.is_some() {
+                touched.insert(*owner);
             }
         }
         self.stats.record_publish();
         self.stats.record_delivery(delivered as u64);
         self.stats.record_drop(dropped as u64);
+        self.notify_all(&notifier, &touched);
         Ok(PublishOutcome {
             id,
             published_at,
             delivered,
             dropped,
         })
+    }
+
+    /// Fire the delivery notifier once per subscriber that received
+    /// something in this publish.
+    fn notify_all(
+        &self,
+        notifier: &Option<Arc<dyn DeliveryNotifier>>,
+        touched: &HashSet<SubscriberId>,
+    ) {
+        if let Some(notifier) = notifier {
+            for subscriber in touched {
+                notifier.notify(*subscriber);
+            }
+        }
     }
 
     /// Place an already-published event directly on the queue of the
@@ -378,7 +441,16 @@ impl Broker {
     /// * [`BrokerError::UnknownSubscription`] if `sub` does not exist.
     /// * [`BrokerError::QueueFull`] under [`OverflowPolicy::Error`] when
     ///   the owner's queue overflows.
-    pub fn deliver(&self, sub: SubscriptionId, event: PublishedEvent) -> Result<bool, BrokerError> {
+    ///
+    /// Accepts either an owned [`PublishedEvent`] or an
+    /// `Arc<PublishedEvent>`; federation drivers fanning one remote event
+    /// out to several member subscriptions pass clones of one `Arc` so
+    /// the event is never deep-copied.
+    pub fn deliver(
+        &self,
+        sub: SubscriptionId,
+        event: impl Into<Arc<PublishedEvent>>,
+    ) -> Result<bool, BrokerError> {
         // Snapshot the queue under the lock, offer outside it (see
         // `publish` for why).
         let (owner, queue) = {
@@ -392,14 +464,21 @@ impl Broker {
             };
             (owner, entry.queue_handle())
         };
-        match self.offer(&queue, event) {
+        let notify = |broker: &Broker| {
+            if let Some(notifier) = broker.notifier.read().clone() {
+                notifier.notify(owner);
+            }
+        };
+        match self.offer(&queue, event.into()) {
             Offer::Delivered => {
                 self.stats.record_delivery(1);
+                notify(self);
                 Ok(true)
             }
             Offer::DeliveredEvicting => {
                 self.stats.record_delivery(1);
                 self.stats.record_drop(1);
+                notify(self);
                 Ok(true)
             }
             Offer::DroppedFull => {
@@ -422,7 +501,7 @@ impl Broker {
     /// Offer one event to one subscriber queue under the broker's
     /// overflow policy. Called without the broker lock held: under
     /// [`OverflowPolicy::Block`] this may sleep up to the block timeout.
-    fn offer(&self, queue: &QueueHandle, event: PublishedEvent) -> Offer {
+    fn offer(&self, queue: &QueueHandle, event: Arc<PublishedEvent>) -> Offer {
         match queue.sender.try_send(event) {
             Ok(()) => Offer::Delivered,
             Err(TrySendError::Full(event)) => match self.overflow {
@@ -550,6 +629,7 @@ impl BrokerBuilder {
             overflow: self.overflow,
             block_timeout: self.block_timeout.unwrap_or(DEFAULT_BLOCK_TIMEOUT),
             stats: BrokerStats::default(),
+            notifier: RwLock::new(None),
             next_subscriber: AtomicU64::new(0),
             next_subscription: AtomicU64::new(0),
             next_event: AtomicU64::new(0),
@@ -559,10 +639,15 @@ impl BrokerBuilder {
 }
 
 /// Receiving side of a subscriber's delivery queue.
+///
+/// Deliveries arrive as `Arc<PublishedEvent>` — shared handles onto the
+/// single event stored at publish time. Consumers that need an owned
+/// event can `Arc::try_unwrap` (free when this subscriber was the only
+/// recipient) or deep-clone explicitly.
 #[derive(Debug, Clone)]
 pub struct SubscriberHandle {
     id: SubscriberId,
-    receiver: Receiver<PublishedEvent>,
+    receiver: Receiver<Arc<PublishedEvent>>,
 }
 
 impl SubscriberHandle {
@@ -572,7 +657,7 @@ impl SubscriberHandle {
     }
 
     /// Non-blocking receive of the next delivered event.
-    pub fn try_recv(&self) -> Option<PublishedEvent> {
+    pub fn try_recv(&self) -> Option<Arc<PublishedEvent>> {
         self.receiver.try_recv().ok()
     }
 
@@ -583,12 +668,12 @@ impl SubscriberHandle {
     /// `reef-wire`'s per-connection writer threads), which need to park
     /// until traffic arrives instead of spinning on [`Self::try_recv`].
     /// Returns `None` on timeout or if the broker side of the queue is gone.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<PublishedEvent> {
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Arc<PublishedEvent>> {
         self.receiver.recv_timeout(timeout).ok()
     }
 
     /// Drain everything currently queued.
-    pub fn drain(&self) -> Vec<PublishedEvent> {
+    pub fn drain(&self) -> Vec<Arc<PublishedEvent>> {
         let mut out = Vec::new();
         while let Ok(ev) = self.receiver.try_recv() {
             out.push(ev);

@@ -53,8 +53,8 @@ pub mod stats;
 pub mod value;
 
 pub use broker::{
-    Broker, BrokerBuilder, OverflowPolicy, PublishOutcome, SubscriberHandle, SubscriberId,
-    DEFAULT_BLOCK_TIMEOUT,
+    Broker, BrokerBuilder, DeliveryNotifier, OverflowPolicy, PublishOutcome, SubscriberHandle,
+    SubscriberId, DEFAULT_BLOCK_TIMEOUT,
 };
 pub use error::{BrokerError, OverlayError, SchemaError};
 pub use event::{Event, EventBuilder, EventId, PublishedEvent, TOPIC_ATTR};

@@ -7,7 +7,7 @@
 //! pruning and events routed along the broker tree.
 
 use reef_pubsub::OverflowPolicy;
-use reef_wire::{BrokerServer, CodecKind};
+use reef_wire::{BrokerServer, CodecKind, TransportKind};
 use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7474";
@@ -26,6 +26,9 @@ OPTIONS:
     -l, --listen ADDR        listen address (same as the positional ADDR)
         --name NAME          broker name announced to clients and peers
                              (default \"reefd\")
+        --transport KIND     server core: epoll (one readiness event loop
+                             for every socket; Linux-only, the default)
+                             | threads (2 OS threads per connection)
         --peer ADDR          federate with the reefd at ADDR; repeat the
                              flag to peer with several brokers. The
                              overlay must stay a tree
@@ -57,6 +60,7 @@ OPTIONS:
 struct Config {
     listen: String,
     name: String,
+    transport: TransportKind,
     peers: Vec<String>,
     peer_retry: bool,
     codec: CodecKind,
@@ -73,6 +77,7 @@ impl Config {
         Config {
             listen: std::env::var("REEF_LISTEN").unwrap_or_else(|_| DEFAULT_ADDR.to_owned()),
             name: "reefd".to_owned(),
+            transport: TransportKind::default(),
             peers: Vec::new(),
             peer_retry: false,
             codec: CodecKind::default(),
@@ -112,6 +117,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Config {
             }
             "--name" => {
                 config.name = args.next().unwrap_or_else(|| bail("--name needs a value"));
+            }
+            "--transport" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--transport needs a value"));
+                config.transport = TransportKind::parse(&raw)
+                    .unwrap_or_else(|| bail("--transport must be one of: threads, epoll"));
             }
             "--peer" => {
                 config.peers.push(
@@ -190,6 +202,7 @@ fn main() {
 
     let mut builder = BrokerServer::builder()
         .name(config.name.clone())
+        .transport(config.transport)
         .covering(config.covering)
         .overflow(config.overflow)
         .peer_queue_capacity(config.peer_queue)
@@ -210,9 +223,10 @@ fn main() {
         }
     };
     println!(
-        "reefd `{}` listening on {} (broker id {:#010x})",
+        "reefd `{}` listening on {} ({} transport, broker id {:#010x})",
         config.name,
         server.local_addr(),
+        server.transport(),
         server.federation_stats().broker_id,
     );
     for peer in server.peer_stats() {

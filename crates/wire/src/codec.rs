@@ -115,6 +115,15 @@ pub trait WireCodec: Send + Sync {
     /// Encode one server → client frame (reply or delivery).
     fn encode_server(&self, frame: &ServerFrame) -> Result<Frame, WireError>;
 
+    /// Encode one delivery straight from a borrowed event.
+    ///
+    /// This is the hot path of event fan-out: the broker hands transports
+    /// a shared `Arc<PublishedEvent>` per matching subscriber, and this
+    /// method frames it without ever building an owned
+    /// [`ServerFrame::Deliver`] (which would deep-clone the event per
+    /// subscriber).
+    fn encode_deliver(&self, event: &PublishedEvent) -> Result<Frame, WireError>;
+
     /// Decode one server → client frame.
     fn decode_server(&self, frame: &Frame) -> Result<ServerFrame, WireError>;
 
@@ -148,17 +157,21 @@ pub struct JsonCodec;
 /// does not deep-clone the response or the delivered event (the delivery
 /// pump pays this per event per v1 subscriber). Serializes to byte-
 /// identical JSON: the derive encodes a newtype variant as a one-entry
-/// map, mirrored here by hand.
+/// map and the `Deliver` struct as a one-field map, both mirrored here
+/// by hand.
 enum ServerMessageRef<'a> {
     Reply(&'a Response),
-    Deliver(&'a Deliver),
+    Deliver(&'a PublishedEvent),
 }
 
 impl serde::Serialize for ServerMessageRef<'_> {
     fn to_value(&self) -> serde::Value {
         let (tag, value) = match self {
             ServerMessageRef::Reply(response) => ("Reply", response.to_value()),
-            ServerMessageRef::Deliver(deliver) => ("Deliver", deliver.to_value()),
+            ServerMessageRef::Deliver(event) => (
+                "Deliver",
+                serde::Value::Map(vec![("event".to_string(), event.to_value())]),
+            ),
         };
         serde::Value::Map(vec![(tag.to_string(), value)])
     }
@@ -189,11 +202,18 @@ impl WireCodec for JsonCodec {
     fn encode_server(&self, frame: &ServerFrame) -> Result<Frame, WireError> {
         let message = match frame {
             ServerFrame::Reply { response, .. } => ServerMessageRef::Reply(response),
-            ServerFrame::Deliver(deliver) => ServerMessageRef::Deliver(deliver),
+            ServerFrame::Deliver(deliver) => ServerMessageRef::Deliver(&deliver.event),
         };
         Ok(Frame {
             version: PROTOCOL_V1_JSON,
             payload: serde_json::to_vec(&message)?,
+        })
+    }
+
+    fn encode_deliver(&self, event: &PublishedEvent) -> Result<Frame, WireError> {
+        Ok(Frame {
+            version: PROTOCOL_V1_JSON,
+            payload: serde_json::to_vec(&ServerMessageRef::Deliver(event))?,
         })
     }
 
@@ -264,6 +284,16 @@ impl WireCodec for BinaryCodec {
                 put_published(&mut w, &deliver.event);
             }
         }
+        Ok(Frame {
+            version: PROTOCOL_V2_BINARY,
+            payload: w.into_bytes(),
+        })
+    }
+
+    fn encode_deliver(&self, event: &PublishedEvent) -> Result<Frame, WireError> {
+        let mut w = Writer::new();
+        w.tag(1);
+        put_published(&mut w, event);
         Ok(Frame {
             version: PROTOCOL_V2_BINARY,
             payload: w.into_bytes(),
@@ -680,6 +710,13 @@ fn get_codec_stats(r: &mut Reader<'_>) -> Result<CodecStatsSnapshot, WireError> 
     })
 }
 
+// NOTE: the stats payloads below are diagnostics, not a stable contract:
+// fields are read positionally, so adding a counter changes the v2 layout
+// without a version-byte bump. Two daemons from different builds exchange
+// garbled/failing `Stats` replies only — the protocol paths (publish,
+// subscribe, deliver, peer routing) are unaffected. A cross-build-stable
+// stats encoding (tagged fields) is future work if mixed-build
+// federations ever need remote stats.
 fn put_wire_stats(w: &mut Writer, s: &WireStatsSnapshot) {
     w.u64(s.connections_opened);
     w.u64(s.connections_closed);
@@ -691,6 +728,10 @@ fn put_wire_stats(w: &mut Writer, s: &WireStatsSnapshot) {
     w.u64(s.deliveries);
     w.u64(s.delivery_drops);
     w.u64(s.errors);
+    w.u64(s.loop_wakeups);
+    w.u64(s.loop_read_events);
+    w.u64(s.loop_write_events);
+    w.u64(s.writes_coalesced);
     put_codec_stats(w, &s.json);
     put_codec_stats(w, &s.binary);
 }
@@ -707,6 +748,10 @@ fn get_wire_stats(r: &mut Reader<'_>) -> Result<WireStatsSnapshot, WireError> {
         deliveries: r.u64()?,
         delivery_drops: r.u64()?,
         errors: r.u64()?,
+        loop_wakeups: r.u64()?,
+        loop_read_events: r.u64()?,
+        loop_write_events: r.u64()?,
+        writes_coalesced: r.u64()?,
         json: get_codec_stats(r)?,
         binary: get_codec_stats(r)?,
     })
@@ -1113,6 +1158,29 @@ mod tests {
             binary.wire_len(),
             json.wire_len()
         );
+    }
+
+    #[test]
+    fn encode_deliver_matches_owned_deliver_bytes() {
+        // The borrow-based fan-out path must stay byte-identical to the
+        // owned `ServerFrame::Deliver` encoding under both codecs.
+        let event = PublishedEvent {
+            id: EventId(1 << 40),
+            published_at: 9,
+            event: Event::builder()
+                .attr("price", 12.5)
+                .attr("sym", "ACME")
+                .build(),
+        };
+        for codec in both() {
+            let borrowed = codec.encode_deliver(&event).unwrap();
+            let owned = codec
+                .encode_server(&ServerFrame::Deliver(Deliver {
+                    event: event.clone(),
+                }))
+                .unwrap();
+            assert_eq!(borrowed, owned, "{} deliver bytes diverge", codec.kind());
+        }
     }
 
     #[test]

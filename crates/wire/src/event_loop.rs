@@ -1,0 +1,1128 @@
+//! The epoll event-loop transport: every socket the daemon owns —
+//! listener, client connections, federation peer links — on one
+//! readiness-driven thread.
+//!
+//! # Shape
+//!
+//! The loop parks in `epoll_wait` and reacts to four kinds of readiness:
+//!
+//! * **listener** — accept until `EWOULDBLOCK`, register each socket
+//!   nonblocking;
+//! * **wakeup eventfd** — another thread has work for the loop: the
+//!   broker queued deliveries ([`reef_pubsub::DeliveryNotifier`]), the
+//!   federation enqueued peer messages or dialed a socket to adopt, or
+//!   the server wants to shut down;
+//! * **connection readable** — drain the socket into the connection's
+//!   [`FrameDecoder`] (partial reads split frames at arbitrary byte
+//!   boundaries) and execute every complete frame;
+//! * **connection writable** — flush the connection's outbound buffer.
+//!
+//! # Outbound buffers and backpressure
+//!
+//! Every connection owns an outbound byte buffer. Replies and deliveries
+//! are *encoded into* the buffer and flushed with as few `write` calls
+//! as the socket accepts — a fan-out burst of deliveries coalesces into
+//! one syscall (counted as `writes_coalesced`). The buffer is bounded by
+//! a high watermark: when a consumer stops reading, the buffer fills,
+//! the loop stops draining that subscriber's broker queue, the bounded
+//! queue fills, and the broker's `--overflow` policy (drop-new /
+//! drop-old / block / error) applies exactly as on the threaded
+//! transport. A connection whose pending bytes make no progress for
+//! `--write-timeout-ms` is evicted.
+//!
+//! One semantic caveat, documented in the README: under
+//! `--overflow block` a publish executed on the loop cannot be overtaken
+//! by the drain (same thread), so a full queue always waits out the
+//! block timeout before dropping — the bound holds, the early-wake path
+//! does not exist.
+//!
+//! # Federation on the loop
+//!
+//! Peer links are connections in `Peer` role: frames decode into
+//! [`reef_pubsub::PeerMsg`]s fed through `Federation::incoming` and the
+//! routing queue is drained inline (`Federation::drain_incoming`) — no
+//! pump thread, no per-link writer threads. Dialed sockets (startup,
+//! `add_peer`, redial) are handed over through [`LoopShared`]'s adoption
+//! queue; an inbound client connection that sends `PeerHello` upgrades
+//! in place and keeps its socket on the loop.
+
+use crate::codec::CodecKind;
+use crate::error::WireError;
+use crate::federation::{PeerLink, PeerLoopHook};
+use crate::frame::{Frame, FrameDecoder, PROTOCOL_V1_JSON};
+use crate::poll::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::protocol::{Request, Response, ServerFrame};
+use crate::server::{Connection, LoopControl, ServerCore};
+use parking_lot::Mutex;
+use reef_pubsub::{
+    DeliveryNotifier, NodeId, PeerMsg, SubscriberHandle, SubscriberId, SubscriptionId,
+};
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Token of the wakeup eventfd.
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to a connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// How much is read per `read` call on a readable socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Upper bound on bytes read from one connection per readiness event,
+/// so a firehose sender cannot starve the rest of the loop.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Outbound buffer high watermark: past this many pending bytes the loop
+/// stops moving deliveries/peer messages into the buffer, letting
+/// backpressure reach the bounded broker queues.
+const OUTBUF_HIGH_WATER: usize = 64 * 1024;
+
+/// Upper bound on one `epoll_wait` park, so shutdown checks and
+/// write-timeout sweeps stay prompt even on an idle daemon.
+const LOOP_PARK_MS: i32 = 50;
+
+/// State other threads use to reach the loop. Implements every hook the
+/// rest of the system signals the loop through: delivery notifications
+/// from the broker, link-queue wakes and socket adoption from the
+/// federation, shutdown wakes from the server.
+pub(crate) struct LoopShared {
+    wakeup: EventFd,
+    /// Set while a wake is already pending, so a 1000-subscriber fan-out
+    /// costs one eventfd syscall instead of one per delivery. The loop
+    /// clears it right after draining the eventfd.
+    wake_pending: AtomicBool,
+    /// Subscribers whose broker queues received deliveries since the
+    /// loop last drained them.
+    dirty: Mutex<HashSet<SubscriberId>>,
+    /// Dialed peer sockets waiting to be registered on the loop.
+    adopted: Mutex<Vec<(NodeId, TcpStream)>>,
+}
+
+impl LoopShared {
+    /// Wake the loop unless a wake is already pending.
+    fn wake_once(&self) {
+        if !self.wake_pending.swap(true, Ordering::SeqCst) {
+            self.wakeup.wake();
+        }
+    }
+}
+
+impl std::fmt::Debug for LoopShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopShared")
+            .field("dirty", &self.dirty.lock().len())
+            .field("adopted", &self.adopted.lock().len())
+            .finish()
+    }
+}
+
+impl DeliveryNotifier for LoopShared {
+    fn notify(&self, subscriber: SubscriberId) {
+        self.dirty.lock().insert(subscriber);
+        self.wake_once();
+    }
+}
+
+impl PeerLoopHook for LoopShared {
+    fn adopt_socket(&self, node: NodeId, stream: TcpStream) {
+        self.adopted.lock().push((node, stream));
+        self.wake_once();
+    }
+
+    fn wake(&self) {
+        self.wake_once();
+    }
+}
+
+impl LoopControl for LoopShared {
+    fn wake_loop(&self) {
+        // Shutdown must always get through, pending flag or not.
+        self.wake_pending.store(true, Ordering::SeqCst);
+        self.wakeup.wake();
+    }
+}
+
+/// Outbound byte buffer with a consumed-prefix cursor, so partial writes
+/// never shift remaining bytes.
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Append one encoded frame; returns its wire length.
+    fn push_frame(&mut self, frame: &Frame) -> usize {
+        // Writing into a Vec cannot fail.
+        frame.write_to(&mut self.buf).expect("write frame to Vec")
+    }
+
+    fn unsent(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= OUTBUF_HIGH_WATER {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// What a registered socket is.
+enum ConnRole {
+    /// A client connection: requests in, replies and deliveries out.
+    Client {
+        /// Identity and counters shared with `connection_stats`.
+        shared: Arc<Connection>,
+        /// The broker-side delivery queue backing this connection.
+        inbox: SubscriberHandle,
+        /// Subscriptions placed by this connection.
+        owned: HashSet<SubscriptionId>,
+        /// `true` while the broker queue may hold deliveries the
+        /// watermark kept out of the outbound buffer.
+        hungry: bool,
+    },
+    /// A federation peer link: `PeerMsg` frames both ways.
+    Peer { link: Arc<PeerLink> },
+}
+
+/// One socket registered on the loop.
+struct LoopConn {
+    stream: TcpStream,
+    token: u64,
+    peer: SocketAddr,
+    decoder: FrameDecoder,
+    out: OutBuf,
+    role: ConnRole,
+    /// Whether the epoll registration currently includes `EPOLLOUT`.
+    want_write: bool,
+    /// Set when a flush made no progress with bytes pending; cleared on
+    /// progress. Drives write-timeout eviction.
+    stalled_since: Option<Instant>,
+    /// Event deliveries (client Deliver frames / peer EventFwd frames)
+    /// somewhere in the unflushed buffer — a write failure loses data,
+    /// not just replies or control traffic, only while this is nonzero.
+    buffered_deliveries: usize,
+    /// Close once the outbound buffer drains (orderly `Bye`, fatal
+    /// protocol error after the error reply).
+    close_after_flush: bool,
+}
+
+/// Start the event loop on its own thread.
+///
+/// Registers the loop as the broker's delivery notifier and the
+/// federation's peer hook before the thread starts, so nothing published
+/// or dialed in the startup window is missed.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    core: Arc<ServerCore>,
+) -> Result<(JoinHandle<()>, Arc<dyn LoopControl>), WireError> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let shared = Arc::new(LoopShared {
+        wakeup: EventFd::new()?,
+        wake_pending: AtomicBool::new(false),
+        dirty: Mutex::new(HashSet::new()),
+        adopted: Mutex::new(Vec::new()),
+    });
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(shared.wakeup.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+    core.broker
+        .set_delivery_notifier(Arc::clone(&shared) as Arc<dyn DeliveryNotifier>);
+    core.federation
+        .set_loop_hook(Arc::clone(&shared) as Arc<dyn PeerLoopHook>);
+    let event_loop = EventLoop {
+        core,
+        shared: Arc::clone(&shared),
+        epoll,
+        listener,
+        conns: HashMap::new(),
+        by_subscriber: HashMap::new(),
+        by_node: HashMap::new(),
+        next_token: TOKEN_FIRST_CONN,
+    };
+    let thread = std::thread::Builder::new()
+        .name("reefd-event-loop".into())
+        .spawn(move || event_loop.run())
+        .expect("spawn event loop thread");
+    Ok((thread, shared as Arc<dyn LoopControl>))
+}
+
+struct EventLoop {
+    core: Arc<ServerCore>,
+    shared: Arc<LoopShared>,
+    epoll: Epoll,
+    listener: TcpListener,
+    conns: HashMap<u64, LoopConn>,
+    by_subscriber: HashMap<SubscriberId, u64>,
+    by_node: HashMap<NodeId, u64>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::default(); 1024];
+        loop {
+            if self.core.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let n = match self.epoll.wait(&mut events, LOOP_PARK_MS) {
+                Ok(n) => n,
+                Err(_) => {
+                    self.core.stats.record_error();
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.core.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if n > 0 {
+                self.core.stats.record_loop_wakeup();
+            }
+            for event in events.iter().take(n) {
+                let token = event.data();
+                let ready = event.readiness();
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => {
+                        self.shared.wakeup.drain();
+                        // Re-arm before the tail processing: a notify
+                        // landing after this point wakes the next
+                        // iteration, one landing before it is covered by
+                        // the drain below either way.
+                        self.shared.wake_pending.store(false, Ordering::SeqCst);
+                    }
+                    token => self.conn_ready(token, ready),
+                }
+            }
+            self.adopt_dialed_peers();
+            self.drain_dirty_subscribers();
+            self.pump_all_peer_queues();
+            // Peer frames read this iteration were queued into the
+            // routing core's inbound queue; route them now, on this
+            // thread — the loop *is* the federation pump in this mode.
+            self.core.federation.drain_incoming();
+            self.sweep_stalled_writers();
+        }
+        // Orderly teardown: deregister every client like a normal
+        // disconnect would, so a broker outliving the server is clean.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
+        }
+    }
+
+    // -- accept ----------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if self.core.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if self.register_client(stream, peer).is_err() {
+                        self.core.stats.record_error();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // Persistent accept failure (e.g. fd exhaustion):
+                    // level-triggered epoll would re-report the pending
+                    // connection immediately and spin the loop at 100%
+                    // CPU, so back off briefly — the same mitigation the
+                    // threaded accept loop uses.
+                    self.core.stats.record_error();
+                    std::thread::sleep(Duration::from_millis(50));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn register_client(&mut self, stream: TcpStream, peer: SocketAddr) -> Result<(), WireError> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        // One fd-clone only (the shutdown control); the loop never writes
+        // through the shared Connection, so no writer clone is paid.
+        let control = stream.try_clone()?;
+        let (subscriber, inbox) = self.core.broker.register();
+        let shared = Arc::new(Connection::new(peer, subscriber, None, control));
+        self.core.stats.record_open();
+        shared.stats.record_open();
+        self.core.connections.lock().push(Arc::clone(&shared));
+        let token = self.next_token;
+        self.next_token += 1;
+        self.epoll
+            .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)?;
+        self.by_subscriber.insert(subscriber, token);
+        self.conns.insert(
+            token,
+            LoopConn {
+                stream,
+                token,
+                peer,
+                decoder: FrameDecoder::new(),
+                out: OutBuf::default(),
+                role: ConnRole::Client {
+                    shared,
+                    inbox,
+                    owned: HashSet::new(),
+                    hungry: false,
+                },
+                want_write: false,
+                stalled_since: None,
+                buffered_deliveries: 0,
+                close_after_flush: false,
+            },
+        );
+        Ok(())
+    }
+
+    // -- readiness dispatch ----------------------------------------------
+
+    fn conn_ready(&mut self, token: u64, ready: u32) {
+        if !self.conns.contains_key(&token) {
+            // Closed earlier in this same event batch.
+            return;
+        }
+        if ready & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.core.stats.record_loop_read_events(1);
+            self.read_ready(token);
+        }
+        if self.conns.contains_key(&token) && ready & EPOLLOUT != 0 {
+            self.core.stats.record_loop_write_events(1);
+            self.flush(token);
+        }
+        // A pure error/hangup with nothing readable: tear down. (If data
+        // was readable, the read path already saw the EOF or error.)
+        if ready & (EPOLLERR | EPOLLHUP) != 0
+            && ready & EPOLLIN == 0
+            && self.conns.contains_key(&token)
+        {
+            self.close_conn(token);
+        }
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        let mut scratch = [0u8; READ_CHUNK];
+        // Per-readiness read budget: one endless sender must not pin the
+        // loop inside this function and starve every other connection,
+        // the delivery pumps and the stall sweep. Level-triggered epoll
+        // re-reports whatever is left for the next iteration.
+        let mut budget = READ_BUDGET;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    // A closing conversation ignores further input:
+                    // discard the bytes (still draining the socket so
+                    // level-triggered readiness goes quiet) instead of
+                    // buffering them without bound while the error reply
+                    // waits to flush.
+                    if !conn.close_after_flush {
+                        conn.decoder.extend(&scratch[..n]);
+                        // Frames are executed as soon as they are
+                        // complete, so one endless sender cannot buffer
+                        // unboundedly.
+                        if !self.process_frames(token) {
+                            return;
+                        }
+                    }
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.record_conn_error(token);
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        self.flush(token);
+    }
+
+    /// Execute every complete frame buffered on `token`. Returns `false`
+    /// when the connection was closed.
+    fn process_frames(&mut self, token: u64) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if conn.close_after_flush {
+                // The conversation is over; anything further is ignored.
+                return true;
+            }
+            let frame = match conn.decoder.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return true,
+                Err(_) => {
+                    self.record_conn_error(token);
+                    self.close_conn(token);
+                    return false;
+                }
+            };
+            let wire_len = frame.wire_len();
+            match &conn.role {
+                ConnRole::Client { shared, .. } => {
+                    shared.stats.record_frame_in(frame.version, wire_len);
+                    self.core.stats.record_frame_in(frame.version, wire_len);
+                    if !self.handle_client_frame(token, frame) {
+                        return false;
+                    }
+                }
+                ConnRole::Peer { link } => {
+                    link.stats.record_frame_in(frame.version, wire_len);
+                    self.core
+                        .federation
+                        .links
+                        .wire
+                        .record_frame_in(frame.version, wire_len);
+                    if !self.handle_peer_frame(token, frame) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    // -- client protocol -------------------------------------------------
+
+    /// Handle one frame on a client connection. Returns `false` when the
+    /// connection was closed.
+    fn handle_client_frame(&mut self, token: u64, frame: Frame) -> bool {
+        let conn = self.conns.get_mut(&token).expect("caller checked");
+        let ConnRole::Client { shared, .. } = &conn.role else {
+            unreachable!("caller matched Client");
+        };
+        let shared = Arc::clone(shared);
+        // Codec negotiation: the first frame's version byte picks the
+        // codec for the connection's lifetime; later frames must not
+        // switch.
+        let negotiated = shared.codec_version.load(Ordering::SeqCst);
+        if negotiated == 0 {
+            if CodecKind::for_version(frame.version).is_none() {
+                self.record_conn_error(token);
+                // Answer in JSON, the one encoding any client can read,
+                // then give up on the stream (unknown-version payloads
+                // cannot be framed reliably).
+                let message = format!(
+                    "unsupported protocol version {}; this server speaks v1 (json) and v2 (binary)",
+                    frame.version
+                );
+                self.queue_reply(token, 0, Response::Error { message });
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.close_after_flush = true;
+                }
+                self.flush(token);
+                return self.conns.contains_key(&token);
+            }
+            shared.codec_version.store(frame.version, Ordering::SeqCst);
+        } else if frame.version != negotiated {
+            self.record_conn_error(token);
+            let message = format!(
+                "codec switched mid-stream: connection negotiated v{negotiated}, frame carries v{}",
+                frame.version
+            );
+            self.queue_reply(token, 0, Response::Error { message });
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.close_after_flush = true;
+            }
+            self.flush(token);
+            return self.conns.contains_key(&token);
+        }
+        let client_frame = match shared.codec().decode_client(&frame) {
+            Ok(client_frame) => client_frame,
+            Err(e) => {
+                self.record_conn_error(token);
+                self.queue_reply(
+                    token,
+                    0,
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                // On v1 the error reply pairs by order, so the
+                // conversation can continue. On v2 the real correlation
+                // id is unrecoverable — close instead.
+                if frame.version != PROTOCOL_V1_JSON {
+                    if let Some(c) = self.conns.get_mut(&token) {
+                        c.close_after_flush = true;
+                    }
+                    self.flush(token);
+                    return self.conns.contains_key(&token);
+                }
+                return true;
+            }
+        };
+        shared.stats.record_request();
+        self.core.stats.record_request();
+
+        if let Request::PeerHello {
+            version,
+            broker,
+            broker_id,
+        } = client_frame.request
+        {
+            let _ = broker_id;
+            return self.upgrade_to_peer(token, client_frame.corr, version, broker);
+        }
+
+        let is_bye = matches!(client_frame.request, Request::Bye);
+        let response = {
+            let conn = self.conns.get_mut(&token).expect("conn still live");
+            let ConnRole::Client { owned, .. } = &mut conn.role else {
+                unreachable!("still a client");
+            };
+            // `owned` borrows the connection while the broker executes
+            // the request; the core never reaches back into the loop.
+            let mut owned_taken = std::mem::take(owned);
+            let response =
+                self.core
+                    .handle_request(&shared, &mut owned_taken, client_frame.request);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if let ConnRole::Client { owned, .. } = &mut conn.role {
+                    *owned = owned_taken;
+                }
+            }
+            response
+        };
+        if matches!(response, Response::Error { .. }) {
+            self.record_conn_error(token);
+        }
+        self.queue_reply(token, client_frame.corr, response);
+        if is_bye {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.close_after_flush = true;
+            }
+            self.flush(token);
+        }
+        // Ordinary replies stay buffered: the read path flushes once per
+        // readiness batch, so a pipelined request burst answers with one
+        // coalesced write instead of one syscall per request.
+        self.conns.contains_key(&token)
+    }
+
+    /// Append one correlated reply to the connection's outbound buffer.
+    fn queue_reply(&mut self, token: u64, corr: u64, response: Response) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let ConnRole::Client { shared, .. } = &conn.role else {
+            return;
+        };
+        let message = ServerFrame::Reply { corr, response };
+        match shared.codec().encode_server(&message) {
+            Ok(frame) => {
+                let written = conn.out.push_frame(&frame);
+                shared.stats.record_frame_out(frame.version, written);
+                self.core.stats.record_frame_out(frame.version, written);
+            }
+            Err(_) => {
+                shared.stats.record_error();
+                self.core.stats.record_error();
+            }
+        }
+    }
+
+    /// Turn a client connection into a federation peer link in place:
+    /// the socket stays on the loop, only its role changes.
+    fn upgrade_to_peer(&mut self, token: u64, corr: u64, version: u8, peer_broker: String) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let ConnRole::Client { shared, owned, .. } = &conn.role else {
+            return true;
+        };
+        let shared = Arc::clone(shared);
+        let owned = owned.clone();
+        let negotiated = shared.codec_version.load(Ordering::SeqCst);
+        if version != negotiated {
+            let message = format!(
+                "PeerHello version field v{version} disagrees with the frame codec v{negotiated}"
+            );
+            self.queue_reply(token, corr, Response::Error { message });
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.close_after_flush = true;
+            }
+            self.flush(token);
+            return self.conns.contains_key(&token);
+        }
+        shared.upgraded.store(true, Ordering::SeqCst);
+        let welcome = Response::PeerWelcome {
+            version: negotiated,
+            broker: self.core.federation.name().to_owned(),
+            broker_id: self.core.federation.broker_id(),
+        };
+        self.queue_reply(token, corr, welcome);
+        // No longer a client: withdraw its subscriptions, drop its broker
+        // subscriber, leave the client registry.
+        for sub in &owned {
+            self.core.federation.local_unsubscribe(*sub);
+        }
+        let _ = self.core.broker.deregister(shared.subscriber);
+        self.by_subscriber.remove(&shared.subscriber);
+        self.core
+            .connections
+            .lock()
+            .retain(|c| !Arc::ptr_eq(c, &shared));
+        shared.stats.record_close();
+        self.core.stats.record_close();
+        let codec = CodecKind::for_version(negotiated).unwrap_or(CodecKind::Json);
+        let conn = self.conns.get_mut(&token).expect("conn still live");
+        let control = match conn.stream.try_clone() {
+            Ok(control) => control,
+            Err(_) => {
+                self.core.stats.record_error();
+                self.drop_conn_raw(token);
+                return false;
+            }
+        };
+        match self.core.federation.adopt_inbound_link(
+            control,
+            peer_broker,
+            conn.peer.to_string(),
+            codec,
+        ) {
+            Ok((node, link)) => {
+                conn.role = ConnRole::Peer { link };
+                self.by_node.insert(node, token);
+                // Advertisement sync for the new neighbor is already on
+                // the link queue; move it behind the PeerWelcome bytes.
+                self.pump_peer_queue(token);
+                true
+            }
+            Err(_) => {
+                self.core.stats.record_error();
+                self.drop_conn_raw(token);
+                false
+            }
+        }
+    }
+
+    /// Tear down a half-upgraded connection whose client-side
+    /// bookkeeping (deregistration, close accounting) already ran —
+    /// going through [`EventLoop::close_conn`] would count the close a
+    /// second time.
+    fn drop_conn_raw(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    // -- peer protocol ---------------------------------------------------
+
+    /// Handle one frame on a peer link. Returns `false` when the
+    /// connection was closed.
+    fn handle_peer_frame(&mut self, token: u64, frame: Frame) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let ConnRole::Peer { link } = &conn.role else {
+            return true;
+        };
+        // The link's codec was fixed at handshake; `decode_peer` rejects
+        // any frame whose version byte disagrees.
+        match link.codec.codec().decode_peer(&frame) {
+            Ok(msg) => {
+                self.core.federation.incoming(link.node, msg);
+                true
+            }
+            Err(_) => {
+                link.stats.record_error();
+                self.core.stats.record_error();
+                self.close_conn(token);
+                false
+            }
+        }
+    }
+
+    /// Register a freshly dialed peer socket handed over by the
+    /// federation (startup dial, `add_peer`, redial).
+    fn adopt_dialed_peers(&mut self) {
+        let adopted: Vec<(NodeId, TcpStream)> = std::mem::take(&mut *self.shared.adopted.lock());
+        for (node, stream) in adopted {
+            let Some(link) = self.core.federation.link(node) else {
+                // The link died before the loop saw it.
+                continue;
+            };
+            let peer = match stream.peer_addr() {
+                Ok(peer) => peer,
+                Err(_) => {
+                    self.core.federation.peer_disconnected(node);
+                    continue;
+                }
+            };
+            if stream.set_nonblocking(true).is_err() {
+                self.core.federation.peer_disconnected(node);
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .epoll
+                .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                .is_err()
+            {
+                self.core.federation.peer_disconnected(node);
+                continue;
+            }
+            self.by_node.insert(node, token);
+            self.conns.insert(
+                token,
+                LoopConn {
+                    stream,
+                    token,
+                    peer,
+                    decoder: FrameDecoder::new(),
+                    out: OutBuf::default(),
+                    role: ConnRole::Peer { link },
+                    want_write: false,
+                    stalled_since: None,
+                    buffered_deliveries: 0,
+                    close_after_flush: false,
+                },
+            );
+            // Neighbor sync enqueued at registration is waiting.
+            self.pump_peer_queue(token);
+        }
+    }
+
+    /// Move queued `PeerMsg`s from every link queue into the owning
+    /// connection's outbound buffer.
+    fn pump_all_peer_queues(&mut self) {
+        let tokens: Vec<u64> = self.by_node.values().copied().collect();
+        for token in tokens {
+            self.pump_peer_queue(token);
+        }
+    }
+
+    fn pump_peer_queue(&mut self, token: u64) {
+        loop {
+            let mut moved = 0usize;
+            loop {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                let ConnRole::Peer { link } = &conn.role else {
+                    return;
+                };
+                if conn.out.pending() >= OUTBUF_HIGH_WATER {
+                    break;
+                }
+                let Ok(msg) = link.out_rx.try_recv() else {
+                    break;
+                };
+                let is_event = matches!(msg, PeerMsg::EventFwd { .. });
+                if is_event {
+                    link.queued_events.fetch_sub(1, Ordering::Relaxed);
+                }
+                match link.codec.codec().encode_peer(&msg) {
+                    Ok(frame) => {
+                        let written = conn.out.push_frame(&frame);
+                        if is_event {
+                            conn.buffered_deliveries += 1;
+                        }
+                        link.stats.record_frame_out(frame.version, written);
+                        self.core
+                            .federation
+                            .links
+                            .wire
+                            .record_frame_out(frame.version, written);
+                        moved += 1;
+                    }
+                    Err(_) => {
+                        link.stats.record_error();
+                    }
+                }
+            }
+            if moved > 1 {
+                self.core.stats.record_write_coalesced();
+            }
+            if moved == 0 {
+                return;
+            }
+            self.write_out(token);
+            // Keep going only if the socket drained the watermark away
+            // and the queue may still hold messages.
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            if conn.out.pending() >= OUTBUF_HIGH_WATER {
+                return;
+            }
+        }
+    }
+
+    // -- deliveries ------------------------------------------------------
+
+    /// Drain the broker queues of every subscriber the notifier flagged.
+    fn drain_dirty_subscribers(&mut self) {
+        let dirty: Vec<SubscriberId> = {
+            let mut set = self.shared.dirty.lock();
+            if set.is_empty() {
+                return;
+            }
+            set.drain().collect()
+        };
+        for subscriber in dirty {
+            // Unknown ids are subscribers registered directly on the
+            // broker (embedding code, tests): not the loop's to serve.
+            if let Some(&token) = self.by_subscriber.get(&subscriber) {
+                self.pump_deliveries(token);
+            }
+        }
+    }
+
+    /// Encode queued deliveries for one connection into its outbound
+    /// buffer, up to the watermark, and flush with as few writes as the
+    /// socket accepts — the coalescing path.
+    fn pump_deliveries(&mut self, token: u64) {
+        loop {
+            let mut batched = 0usize;
+            loop {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                let ConnRole::Client {
+                    shared,
+                    inbox,
+                    hungry,
+                    ..
+                } = &mut conn.role
+                else {
+                    return;
+                };
+                if conn.out.pending() >= OUTBUF_HIGH_WATER {
+                    // Watermark: leave the rest on the bounded broker
+                    // queue and come back when the socket drains.
+                    *hungry = true;
+                    break;
+                }
+                let Some(event) = inbox.try_recv() else {
+                    *hungry = false;
+                    break;
+                };
+                match shared.codec().encode_deliver(&event) {
+                    Ok(frame) => {
+                        let written = conn.out.push_frame(&frame);
+                        conn.buffered_deliveries += 1;
+                        shared.stats.record_frame_out(frame.version, written);
+                        self.core.stats.record_frame_out(frame.version, written);
+                        shared.stats.record_delivery();
+                        self.core.stats.record_delivery();
+                        batched += 1;
+                    }
+                    Err(_) => {
+                        shared.stats.record_error();
+                        self.core.stats.record_error();
+                    }
+                }
+            }
+            if batched > 1 {
+                self.core.stats.record_write_coalesced();
+            }
+            if batched == 0 {
+                return;
+            }
+            self.write_out(token);
+            // Another round only when the socket drained the buffer and
+            // the broker queue may still be holding events back.
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            let still_hungry = matches!(conn.role, ConnRole::Client { hungry: true, .. });
+            if !still_hungry || conn.out.pending() >= OUTBUF_HIGH_WATER {
+                return;
+            }
+        }
+    }
+
+    // -- writes ----------------------------------------------------------
+
+    /// Write as much pending output as the socket accepts, then top the
+    /// buffer back up from whatever the watermark held back.
+    fn flush(&mut self, token: u64) {
+        self.write_out(token);
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        let is_hungry_client = matches!(conn.role, ConnRole::Client { hungry: true, .. });
+        let is_peer = matches!(conn.role, ConnRole::Peer { .. });
+        if conn.out.pending() < OUTBUF_HIGH_WATER {
+            if is_hungry_client {
+                self.pump_deliveries(token);
+            } else if is_peer {
+                self.pump_peer_queue(token);
+            }
+        }
+    }
+
+    /// The raw write half of [`EventLoop::flush`]: drain pending bytes,
+    /// manage `EPOLLOUT` interest and the stall clock, never re-pump.
+    fn write_out(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.out.pending() == 0 {
+                break;
+            }
+            match conn.stream.write(conn.out.unsent()) {
+                Ok(0) => {
+                    self.record_conn_error(token);
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.out.consume(n);
+                    conn.stalled_since = None;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if conn.stalled_since.is_none() {
+                        conn.stalled_since = Some(Instant::now());
+                    }
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let fd = conn.stream.as_raw_fd();
+                        let _ = self
+                            .epoll
+                            .modify(fd, EPOLLIN | EPOLLRDHUP | EPOLLOUT, token);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.record_delivery_drop(token);
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        // Fully flushed.
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.stalled_since = None;
+        conn.buffered_deliveries = 0;
+        if conn.want_write {
+            conn.want_write = false;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.epoll.modify(fd, EPOLLIN | EPOLLRDHUP, token);
+        }
+        if conn.close_after_flush {
+            self.close_conn(token);
+        }
+    }
+
+    /// Evict connections whose pending bytes made no progress for the
+    /// configured write timeout — the slow-consumer bound.
+    fn sweep_stalled_writers(&mut self) {
+        let timeout = self.core.write_timeout;
+        let stalled: Vec<u64> = self
+            .conns
+            .values()
+            .filter(|conn| {
+                conn.stalled_since
+                    .is_some_and(|since| since.elapsed() >= timeout)
+            })
+            .map(|conn| conn.token)
+            .collect();
+        for token in stalled {
+            self.record_delivery_drop(token);
+            self.close_conn(token);
+        }
+    }
+
+    // -- teardown and accounting -----------------------------------------
+
+    fn record_conn_error(&self, token: u64) {
+        self.core.stats.record_error();
+        if let Some(conn) = self.conns.get(&token) {
+            match &conn.role {
+                ConnRole::Client { shared, .. } => shared.stats.record_error(),
+                ConnRole::Peer { link } => link.stats.record_error(),
+            }
+        }
+    }
+
+    /// Count undeliverable pending output against the right counters.
+    fn record_delivery_drop(&self, token: u64) {
+        self.core.stats.record_error();
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        // Only charge a delivery drop when the doomed buffer actually
+        // held deliveries — a stalled Stats reply or advertisement sync
+        // is an error, not lost event data.
+        let lost_deliveries = conn.buffered_deliveries > 0;
+        if lost_deliveries {
+            self.core.stats.record_delivery_drop();
+        }
+        match &conn.role {
+            ConnRole::Client { shared, .. } => {
+                shared.stats.record_error();
+                if lost_deliveries {
+                    shared.stats.record_delivery_drop();
+                }
+            }
+            ConnRole::Peer { link } => {
+                link.stats.record_error();
+                if lost_deliveries {
+                    link.stats.record_delivery_drop();
+                }
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        match conn.role {
+            ConnRole::Client { shared, owned, .. } => {
+                self.by_subscriber.remove(&shared.subscriber);
+                self.core.finish_connection(&shared, &owned);
+            }
+            ConnRole::Peer { link } => {
+                let node = link.node;
+                self.by_node.remove(&node);
+                drop(link);
+                // Withdraw the peer's advertisements, re-advertise to the
+                // remaining links, maybe kick off a redial.
+                self.core.federation.peer_disconnected(node);
+            }
+        }
+    }
+}

@@ -108,6 +108,13 @@ pub struct FederationConfig {
     /// Re-dial dead dialed links with capped exponential backoff
     /// (default `false`).
     pub peer_retry: bool,
+    /// `true` when an epoll event loop owns the peer sockets: the
+    /// federation then spawns **no** per-link writer threads and no
+    /// routing pump — the loop drains the link queues, reads the
+    /// sockets, and calls `Federation::drain_incoming` itself. Dialed
+    /// sockets are handed to the loop through the registered
+    /// `PeerLoopHook`. Default `false` (threaded transport).
+    pub event_loop: bool,
 }
 
 impl Default for FederationConfig {
@@ -119,17 +126,29 @@ impl Default for FederationConfig {
             write_timeout: Duration::from_secs(5),
             codec: CodecKind::default(),
             peer_retry: false,
+            event_loop: false,
         }
     }
 }
 
+/// Hook a readiness event loop registers with
+/// [`Federation::set_loop_hook`] so peer links reach it: freshly dialed
+/// sockets are adopted onto the loop, and every enqueue on a link's
+/// outgoing queue wakes it.
+pub(crate) trait PeerLoopHook: Send + Sync {
+    /// Take ownership of a dialed peer socket for link `node`.
+    fn adopt_socket(&self, node: NodeId, stream: TcpStream);
+    /// Wake the loop: link queues or the inbound routing queue have work.
+    fn wake(&self);
+}
+
 /// One live broker-to-broker connection.
-struct PeerLink {
-    node: NodeId,
+pub(crate) struct PeerLink {
+    pub(crate) node: NodeId,
     broker_name: String,
     peer_addr: String,
     /// Codec negotiated at handshake; every frame on the link uses it.
-    codec: CodecKind,
+    pub(crate) codec: CodecKind,
     /// `Some(addr)` when this end dialed the link — the address a redial
     /// loop re-targets when the link dies and `peer_retry` is on.
     dialed_addr: Option<String>,
@@ -138,10 +157,14 @@ struct PeerLink {
     /// waits on the writer mutex.
     control: TcpStream,
     out_tx: Sender<PeerMsg>,
+    /// Receiving side of the outgoing queue. The per-link writer thread
+    /// drains it on the threaded transport; the epoll event loop drains
+    /// it directly in loop mode.
+    pub(crate) out_rx: Receiver<PeerMsg>,
     /// Events currently queued on `out_tx` (control messages are exempt
     /// from the bound).
-    queued_events: AtomicUsize,
-    stats: WireStats,
+    pub(crate) queued_events: AtomicUsize,
+    pub(crate) stats: WireStats,
     closed: AtomicBool,
 }
 
@@ -153,17 +176,20 @@ impl PeerLink {
 }
 
 /// Registry of live peer links plus the inbound message queue they feed.
-struct Links {
+pub(crate) struct Links {
     map: Mutex<HashMap<NodeId, Arc<PeerLink>>>,
     incoming_tx: Sender<TransportDelivery>,
     event_cap: usize,
     subs_forwarded: AtomicU64,
-    events_forwarded: AtomicU64,
-    events_dropped: AtomicU64,
+    pub(crate) events_forwarded: AtomicU64,
+    pub(crate) events_dropped: AtomicU64,
     /// Aggregate transport counters across all peer links, live and
     /// dead (per-link stats die with their link; these persist and feed
     /// the per-codec federation totals).
-    wire: WireStats,
+    pub(crate) wire: WireStats,
+    /// Wakes the epoll event loop after an enqueue; `None` on the
+    /// threaded transport, where writer threads park on the queues.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl Links {
@@ -200,6 +226,11 @@ impl Links {
                 }
                 let _ = link.out_tx.try_send(ctrl);
             }
+        }
+        // In loop mode nothing parks on the queue; poke the loop so it
+        // drains what was just enqueued.
+        if let Some(waker) = self.waker.lock().clone() {
+            waker();
         }
     }
 }
@@ -263,7 +294,13 @@ pub struct Federation {
     broker_id: u32,
     broker: Arc<Broker>,
     node: Mutex<BrokerNode>,
-    links: Arc<Links>,
+    pub(crate) links: Arc<Links>,
+    /// Receiving side of the inbound routing queue; the pump thread
+    /// drains it on the threaded transport, `Federation::drain_incoming`
+    /// in loop mode.
+    incoming_rx: Receiver<TransportDelivery>,
+    /// The epoll loop's adoption/wake hook, registered in loop mode.
+    loop_hook: Mutex<Option<Arc<dyn PeerLoopHook>>>,
     /// Count-based aggregation of identical local filters (never locked
     /// while `node` is held).
     agg: Mutex<SubAggregation>,
@@ -331,13 +368,17 @@ impl Federation {
             events_forwarded: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
             wire: WireStats::new(),
+            waker: Mutex::new(None),
         });
+        let event_loop = config.event_loop;
         let federation = Arc::new(Federation {
             name: config.name.clone(),
             broker_id,
             broker,
             node: Mutex::new(BrokerNode::new(config.covering)),
             links: Arc::clone(&links),
+            incoming_rx: incoming_rx.clone(),
+            loop_hook: Mutex::new(None),
             agg: Mutex::new(SubAggregation::default()),
             subs_aggregated: AtomicU64::new(0),
             next_sub: AtomicU64::new(0),
@@ -347,17 +388,36 @@ impl Federation {
             threads: Mutex::new(Vec::new()),
             config,
         });
-        let transport = TcpTransport {
-            links,
-            incoming: incoming_rx,
-        };
-        let pump_self = Arc::clone(&federation);
-        let handle = std::thread::Builder::new()
-            .name("reefd-federation".into())
-            .spawn(move || pump_self.pump(transport))
-            .expect("spawn federation pump");
-        federation.threads.lock().push(handle);
+        // In loop mode the event loop is the pump: it reads peer frames,
+        // feeds them through `incoming`, and drains the routing queue
+        // inline, so no pump thread is spawned at all.
+        if !event_loop {
+            let transport = TcpTransport {
+                links,
+                incoming: incoming_rx,
+            };
+            let pump_self = Arc::clone(&federation);
+            let handle = std::thread::Builder::new()
+                .name("reefd-federation".into())
+                .spawn(move || pump_self.pump(transport))
+                .expect("spawn federation pump");
+            federation.threads.lock().push(handle);
+        }
         federation
+    }
+
+    /// Register the epoll event loop's hook: dialed peer sockets are
+    /// adopted onto the loop and every link-queue enqueue wakes it. Must
+    /// be called before any peer is dialed in loop mode.
+    pub(crate) fn set_loop_hook(&self, hook: Arc<dyn PeerLoopHook>) {
+        let waker_hook = Arc::clone(&hook);
+        *self.links.waker.lock() = Some(Arc::new(move || waker_hook.wake()));
+        *self.loop_hook.lock() = Some(hook);
+    }
+
+    /// The live link registered under `node`, if any.
+    pub(crate) fn link(&self, node: NodeId) -> Option<Arc<PeerLink>> {
+        self.links.map.lock().get(&node).cloned()
     }
 
     /// The broker name announced to peers.
@@ -451,8 +511,10 @@ impl Federation {
                 },
             })?
             .write_to(&mut hello_lane)?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let frame = Frame::read_from(&mut reader)?.ok_or(WireError::Closed)?;
+        // Read the welcome straight off the socket, unbuffered: any bytes
+        // the peer sends right after it (advertisement sync) must stay in
+        // the kernel buffer so an adopting event loop sees them too.
+        let frame = Frame::read_from(&mut hello_lane)?.ok_or(WireError::Closed)?;
         let peer_name = match codec.decode_server(&frame)? {
             ServerFrame::Reply {
                 response:
@@ -489,13 +551,19 @@ impl Federation {
             self.config.codec,
             Some(addr.to_owned()),
         )?;
-        let reader_self = Arc::clone(self);
-        let reader_link = Arc::clone(&link);
-        let handle = std::thread::Builder::new()
-            .name(format!("reefd-peer-read-{addr}"))
-            .spawn(move || reader_self.peer_reader(reader_link, reader))
-            .expect("spawn peer reader");
-        self.track_thread(handle);
+        // Threaded transport: a dedicated reader thread parks on the
+        // socket. Loop mode: the event loop adopted the socket inside
+        // `register_link` and reads it on readiness.
+        if !self.config.event_loop {
+            let reader_self = Arc::clone(self);
+            let reader_link = Arc::clone(&link);
+            let reader = BufReader::new(hello_lane);
+            let handle = std::thread::Builder::new()
+                .name(format!("reefd-peer-read-{addr}"))
+                .spawn(move || reader_self.peer_reader(reader_link, reader))
+                .expect("spawn peer reader");
+            self.track_thread(handle);
+        }
         // A shutdown that raced this dial has already taken the link map
         // snapshot it will close; close the newcomer ourselves.
         if self.shutdown.load(Ordering::SeqCst) {
@@ -551,6 +619,19 @@ impl Federation {
     ) -> Result<NodeId, WireError> {
         let (node, _link) = self.register_link(stream, peer_broker, peer_addr, codec, None)?;
         Ok(node)
+    }
+
+    /// Like [`Federation::adopt_inbound`], returning the link handle —
+    /// the event loop upgrading a client connection in place keeps it to
+    /// drain the link's outgoing queue itself.
+    pub(crate) fn adopt_inbound_link(
+        self: &Arc<Self>,
+        stream: TcpStream,
+        peer_broker: String,
+        peer_addr: String,
+        codec: CodecKind,
+    ) -> Result<(NodeId, Arc<PeerLink>), WireError> {
+        self.register_link(stream, peer_broker, peer_addr, codec, None)
     }
 
     /// Feed one message read off peer link `from` into the routing pump.
@@ -733,6 +814,7 @@ impl Federation {
         let control = stream.try_clone()?;
         let (out_tx, out_rx) = channel::unbounded();
         let node = NodeId(self.next_link.fetch_add(1, Ordering::Relaxed));
+        let dialed = dialed_addr.is_some();
         let link = Arc::new(PeerLink {
             node,
             broker_name: peer_broker,
@@ -742,6 +824,7 @@ impl Federation {
             writer: Mutex::new(writer),
             control,
             out_tx,
+            out_rx,
             queued_events: AtomicUsize::new(0),
             stats: WireStats::new(),
             closed: AtomicBool::new(false),
@@ -749,15 +832,29 @@ impl Federation {
         link.stats.record_open();
         self.links.wire.record_open();
         self.links.map.lock().insert(node, Arc::clone(&link));
+        if self.config.event_loop {
+            // The event loop owns the socket: hand it a dialed stream
+            // (an inbound one is already registered there — the loop is
+            // the caller upgrading a client connection in place).
+            if dialed {
+                let hook = self.loop_hook.lock().clone();
+                if let Some(hook) = hook {
+                    hook.adopt_socket(node, stream);
+                    hook.wake();
+                }
+            }
+        } else {
+            let writer_self = Arc::clone(self);
+            let writer_link = Arc::clone(&link);
+            let writer_rx = link.out_rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("reefd-peer-write-{}", link.peer_addr))
+                .spawn(move || writer_self.peer_writer(writer_link, writer_rx))
+                .expect("spawn peer writer");
+            self.track_thread(handle);
+        }
         // Bring the new peer up to date with everything already known.
         let sync = self.node.lock().add_neighbor(node);
-        let writer_self = Arc::clone(self);
-        let writer_link = Arc::clone(&link);
-        let handle = std::thread::Builder::new()
-            .name(format!("reefd-peer-write-{}", link.peer_addr))
-            .spawn(move || writer_self.peer_writer(writer_link, out_rx))
-            .expect("spawn peer writer");
-        self.track_thread(handle);
         self.dispatch(sync);
         Ok((node, link))
     }
@@ -873,30 +970,47 @@ impl Federation {
             let Some(delivery) = transport.recv_timeout(PUMP_PARK) else {
                 continue;
             };
-            if matches!(delivery.msg, PeerMsg::EventFwd { .. }) {
-                self.events_received.fetch_add(1, Ordering::Relaxed);
-            }
-            let output = self.node.lock().handle(delivery.src, delivery.msg);
-            for (client, event) in output.deliveries {
-                // ClientId in the routing core is the GlobalSubId of an
-                // aggregation group; fan the event out to every member
-                // subscription (one broker-level delivery each).
-                let members = {
-                    let agg = self.agg.lock();
-                    agg.groups
-                        .get(&GlobalSubId(client.0))
-                        .map(|group| group.members.clone())
-                };
-                // A `None` here raced an unsubscribe: the group is gone
-                // and the event has nowhere local to go.
-                if let Some(members) = members {
-                    for sub in members {
-                        let _ = self.broker.deliver(sub, event.clone());
-                    }
+            self.process_delivery(delivery);
+        }
+    }
+
+    /// Drain the inbound routing queue inline. This is the loop-mode
+    /// replacement for the pump thread: the event loop calls it after
+    /// feeding freshly read peer frames through [`Federation::incoming`].
+    pub(crate) fn drain_incoming(&self) {
+        while let Ok(delivery) = self.incoming_rx.try_recv() {
+            self.process_delivery(delivery);
+        }
+    }
+
+    /// Route one inbound peer message: through [`BrokerNode::handle`],
+    /// then local subscriber queues and outgoing link queues.
+    fn process_delivery(&self, delivery: TransportDelivery) {
+        if matches!(delivery.msg, PeerMsg::EventFwd { .. }) {
+            self.events_received.fetch_add(1, Ordering::Relaxed);
+        }
+        let output = self.node.lock().handle(delivery.src, delivery.msg);
+        for (client, event) in output.deliveries {
+            // ClientId in the routing core is the GlobalSubId of an
+            // aggregation group; fan the event out to every member
+            // subscription — clones of one shared `Arc`, the event is
+            // stored once however many members there are.
+            let members = {
+                let agg = self.agg.lock();
+                agg.groups
+                    .get(&GlobalSubId(client.0))
+                    .map(|group| group.members.clone())
+            };
+            // A `None` here raced an unsubscribe: the group is gone
+            // and the event has nowhere local to go.
+            if let Some(members) = members {
+                let event = Arc::new(event);
+                for sub in members {
+                    let _ = self.broker.deliver(sub, Arc::clone(&event));
                 }
             }
-            self.dispatch(output.messages);
         }
+        self.dispatch(output.messages);
     }
 
     fn dispatch(&self, messages: Vec<(NodeId, PeerMsg)>) {

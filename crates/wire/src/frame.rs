@@ -155,6 +155,95 @@ impl Frame {
     }
 }
 
+/// Incremental frame parser for nonblocking transports.
+///
+/// A readiness-driven reader hands whatever bytes the socket had —
+/// which may split a frame at any byte boundary, or carry several frames
+/// at once — to [`FrameDecoder::extend`], then pops complete frames with
+/// [`FrameDecoder::next_frame`]. The decoder produces exactly the frames
+/// [`Frame::read_from`] would have read from the concatenated stream,
+/// and raises the same errors (zero-length frame, oversized length
+/// prefix) as soon as the offending header is complete.
+///
+/// # Examples
+///
+/// ```
+/// use reef_wire::frame::{Frame, FrameDecoder};
+///
+/// let frame = Frame::encode(&vec![1u32, 2, 3]).unwrap();
+/// let mut bytes = Vec::new();
+/// frame.write_to(&mut bytes).unwrap();
+/// let mut decoder = FrameDecoder::new();
+/// let (head, tail) = bytes.split_at(3); // split mid-header
+/// decoder.extend(head);
+/// assert!(decoder.next_frame().unwrap().is_none());
+/// decoder.extend(tail);
+/// assert_eq!(decoder.next_frame().unwrap(), Some(frame));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames; compacted
+    /// away once the parsed prefix grows past a threshold.
+    pos: usize,
+}
+
+/// Compact the decoder's buffer once this many consumed bytes accumulate.
+const DECODER_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a returned frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pop the next complete frame, if the buffer holds one.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on a zero-length frame and
+    /// [`WireError::FrameTooLarge`] on an oversized length prefix — the
+    /// stream is corrupt and the connection should be dropped, exactly as
+    /// [`Frame::read_from`] would decide.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let body_len =
+            u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if body_len == 0 {
+            return Err(WireError::Protocol("zero-length frame".into()));
+        }
+        if body_len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(body_len));
+        }
+        if pending.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let version = pending[4];
+        let payload = pending[5..4 + body_len].to_vec();
+        self.pos += 4 + body_len;
+        if self.pos >= DECODER_COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(Frame { version, payload }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +283,45 @@ mod tests {
         assert!(matches!(
             frame.decode::<u64>(),
             Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_by_byte() {
+        let frames = [
+            Frame::encode(&vec![1u32, 2, 3]).unwrap(),
+            Frame {
+                version: PROTOCOL_V2_BINARY,
+                payload: vec![0xAB; 300],
+            },
+            Frame::encode(&"tail").unwrap(),
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            frame.write_to(&mut stream).unwrap();
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            decoder.extend(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_corrupt_headers() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&[0, 0, 0, 0]);
+        assert!(matches!(decoder.next_frame(), Err(WireError::Protocol(_))));
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(WireError::FrameTooLarge(_))
         ));
     }
 

@@ -17,11 +17,17 @@
 //!   reusing the serde impls already on [`reef_pubsub::Event`],
 //!   [`reef_pubsub::Filter`], [`reef_pubsub::PublishedEvent`] and
 //!   [`reef_attention::ClickBatch`];
-//! * [`server`] — [`BrokerServer`], a threaded TCP daemon around a shared
-//!   [`reef_pubsub::Broker`]: one reader thread per connection, a delivery
-//!   pump draining each connection's subscriber queue to its socket,
+//! * [`server`] — [`BrokerServer`], a TCP daemon around a shared
+//!   [`reef_pubsub::Broker`] with two cores behind one protocol
+//!   ([`TransportKind`]): an **epoll event loop** (Linux, the default —
+//!   every socket on one readiness thread, incremental frame decoding
+//!   via [`FrameDecoder`], per-connection outbound buffers that coalesce
+//!   delivery bursts) and the original **thread-per-connection** core;
 //!   graceful shutdown, per-connection and aggregate [`WireStats`] with
-//!   per-codec frame/byte counters;
+//!   per-codec frame/byte and event-loop counters;
+//! * [`poll`] — the minimal Linux `epoll`/`eventfd` bindings the event
+//!   loop stands on (no `libc` in the offline build, so the handful of
+//!   syscalls are declared directly);
 //! * [`federation`] — broker-to-broker links: [`TcpTransport`] implements
 //!   [`reef_pubsub::Transport`] so the sans-io
 //!   [`reef_pubsub::BrokerNode`] routing core (subscription forwarding,
@@ -61,8 +67,12 @@
 pub mod client;
 pub mod codec;
 pub mod error;
+#[cfg(target_os = "linux")]
+mod event_loop;
 pub mod federation;
 pub mod frame;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -73,9 +83,11 @@ pub use client::{
 pub use codec::{CodecKind, WireCodec};
 pub use error::WireError;
 pub use federation::{Federation, FederationConfig, TcpTransport, LOCAL_NODE};
-pub use frame::{Frame, MAX_FRAME_LEN, PROTOCOL_V1_JSON, PROTOCOL_V2_BINARY, PROTOCOL_VERSION};
+pub use frame::{
+    Frame, FrameDecoder, MAX_FRAME_LEN, PROTOCOL_V1_JSON, PROTOCOL_V2_BINARY, PROTOCOL_VERSION,
+};
 pub use protocol::{ClientFrame, Deliver, Request, Response, ServerFrame, ServerMessage};
-pub use server::{BrokerServer, BrokerServerBuilder};
+pub use server::{BrokerServer, BrokerServerBuilder, TransportKind};
 pub use stats::{
     CodecStatsSnapshot, ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot,
     WireStats, WireStatsSnapshot,

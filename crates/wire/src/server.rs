@@ -1,13 +1,23 @@
-//! `BrokerServer`: the threaded TCP face of a [`reef_pubsub::Broker`].
+//! `BrokerServer`: the TCP face of a [`reef_pubsub::Broker`], with two
+//! interchangeable cores behind one wire protocol ([`TransportKind`]).
 //!
-//! One accept thread hands each connection to a dedicated **reader thread**
-//! (negotiates the connection's codec from the first frame's version
-//! byte, parses request frames, executes them against the shared broker,
-//! writes correlation-id-echoing replies) and a dedicated **delivery
-//! pump** (parks on the connection's subscriber queue and streams
-//! matching events out as [`ServerFrame::Deliver`] frames). Replies and
-//! deliveries share the socket through a per-connection write lock, so
-//! each frame goes out whole.
+//! **Epoll (Linux, the default).** One readiness-driven thread owns the
+//! listener, every client socket and every federation peer link:
+//! nonblocking I/O, incremental frame reassembly, per-connection
+//! outbound buffers that coalesce delivery bursts into single writes.
+//! See the `event_loop` module for the full design.
+//!
+//! **Threads.** One accept thread hands each connection to a dedicated
+//! **reader thread** (negotiates the connection's codec from the first
+//! frame's version byte, parses request frames, executes them against
+//! the shared broker, writes correlation-id-echoing replies) and a
+//! dedicated **delivery pump** (parks on the connection's subscriber
+//! queue and streams matching events out as [`ServerFrame::Deliver`]
+//! frames). Replies and deliveries share the socket through a
+//! per-connection write lock, so each frame goes out whole.
+//!
+//! Both cores execute requests through one shared request-handling core,
+//! so protocol semantics cannot drift between them.
 //!
 //! # Federation
 //!
@@ -36,7 +46,7 @@ use crate::codec::{CodecKind, WireCodec};
 use crate::error::WireError;
 use crate::federation::{Federation, FederationConfig};
 use crate::frame::Frame;
-use crate::protocol::{Deliver, Request, Response, ServerFrame};
+use crate::protocol::{Request, Response, ServerFrame};
 use crate::stats::{
     ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot, WireStats,
     WireStatsSnapshot,
@@ -64,6 +74,57 @@ const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 const PEER_DIAL_ATTEMPTS: u32 = 25;
 const PEER_DIAL_DELAY: Duration = Duration::from_millis(100);
 
+/// Which server core moves the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Two OS threads per connection (reader + delivery pump) plus two
+    /// per peer link. Simple and portable; caps out at hundreds of
+    /// concurrent subscribers.
+    Threads,
+    /// One epoll readiness loop owning the listener, every client
+    /// socket, and every peer link (Linux only). Two threads total
+    /// however many connections are live, nonblocking sockets,
+    /// per-connection outbound buffers that coalesce deliveries.
+    Epoll,
+}
+
+impl Default for TransportKind {
+    /// Epoll where it exists (Linux), threads elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            TransportKind::Epoll
+        } else {
+            TransportKind::Threads
+        }
+    }
+}
+
+impl TransportKind {
+    /// Parse the CLI spelling used by `reefd --transport`
+    /// (`threads` | `epoll`).
+    pub fn parse(raw: &str) -> Option<TransportKind> {
+        match raw {
+            "threads" | "thread" => Some(TransportKind::Threads),
+            "epoll" | "event-loop" => Some(TransportKind::Epoll),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (`threads` / `epoll`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Threads => "threads",
+            TransportKind::Epoll => "epoll",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configures and builds a [`BrokerServer`].
 #[derive(Debug, Default)]
 pub struct BrokerServerBuilder {
@@ -77,6 +138,7 @@ pub struct BrokerServerBuilder {
     write_timeout: Option<Duration>,
     codec: Option<CodecKind>,
     peer_retry: Option<bool>,
+    transport: Option<TransportKind>,
 }
 
 impl BrokerServerBuilder {
@@ -151,6 +213,14 @@ impl BrokerServerBuilder {
         self
     }
 
+    /// Server core: [`TransportKind::Epoll`] (the default on Linux) or
+    /// [`TransportKind::Threads`]. Both speak the identical wire
+    /// protocol; the choice is invisible to clients and peers.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Bind `addr` and start serving.
     ///
     /// # Errors
@@ -180,34 +250,63 @@ impl BrokerServerBuilder {
             self.write_timeout.unwrap_or(DEFAULT_WRITE_TIMEOUT),
             self.codec.unwrap_or_default(),
             self.peer_retry.unwrap_or(false),
+            self.transport.unwrap_or_default(),
         )
     }
 }
 
-/// State shared with a single connection's two threads.
-struct Connection {
-    peer: SocketAddr,
-    client_name: Mutex<String>,
-    subscriber: SubscriberId,
-    writer: Mutex<TcpStream>,
+/// State shared with a single connection's two threads (threaded
+/// transport) or with the event loop (epoll transport). Identity and
+/// counters live here so [`BrokerServer::connection_stats`] reads one
+/// registry whichever core is moving the bytes.
+pub(crate) struct Connection {
+    pub(crate) peer: SocketAddr,
+    pub(crate) client_name: Mutex<String>,
+    pub(crate) subscriber: SubscriberId,
+    /// Write half used by the threaded transport's reader and pump
+    /// threads; `None` on the epoll transport (the loop writes through
+    /// its own outbound buffers), which saves one fd per connection.
+    writer: Mutex<Option<TcpStream>>,
     /// Clone of the same socket used only for `shutdown`, so closing never
     /// has to wait on the writer mutex (a pump blocked mid-write holds it).
     control: TcpStream,
-    stats: WireStats,
-    closed: AtomicBool,
+    pub(crate) stats: WireStats,
+    pub(crate) closed: AtomicBool,
     /// Set when the connection turned into a federation peer link; the
     /// delivery pump bows out and the link's threads own the socket.
-    upgraded: AtomicBool,
+    pub(crate) upgraded: AtomicBool,
     /// Frame version byte of the codec negotiated by the connection's
     /// first frame; 0 until then.
-    codec_version: AtomicU8,
+    pub(crate) codec_version: AtomicU8,
 }
 
 impl Connection {
+    /// Create the shared state for one accepted socket. `writer` and
+    /// `control` are fd-clones of the transport's stream; the epoll
+    /// transport passes no writer (it never writes through this struct).
+    pub(crate) fn new(
+        peer: SocketAddr,
+        subscriber: SubscriberId,
+        writer: Option<TcpStream>,
+        control: TcpStream,
+    ) -> Connection {
+        Connection {
+            peer,
+            client_name: Mutex::new(String::new()),
+            subscriber,
+            writer: Mutex::new(writer),
+            control,
+            stats: WireStats::new(),
+            closed: AtomicBool::new(false),
+            upgraded: AtomicBool::new(false),
+            codec_version: AtomicU8::new(0),
+        }
+    }
+
     /// The negotiated codec. Before negotiation (no frame seen yet — so
     /// nothing has been sent either) this defaults to JSON, the one
     /// encoding every client generation can read.
-    fn codec(&self) -> &'static dyn WireCodec {
+    pub(crate) fn codec(&self) -> &'static dyn WireCodec {
         CodecKind::for_version(self.codec_version.load(Ordering::SeqCst))
             .unwrap_or(CodecKind::Json)
             .codec()
@@ -222,30 +321,47 @@ impl Connection {
         }
     }
 
-    /// Encode with the negotiated codec, frame and write one message,
-    /// updating both counter sets.
+    /// Encode a reply with the negotiated codec, frame and write it,
+    /// updating both counter sets (threaded transport only; the event
+    /// loop writes through its outbound buffers).
     fn send(&self, msg: &ServerFrame, aggregate: &WireStats) -> Result<(), WireError> {
         let frame = self.codec().encode_server(msg)?;
         let mut writer = self.writer.lock();
+        let writer = writer.as_mut().ok_or(WireError::Closed)?;
+        let written = frame.write_to(writer)?;
+        self.stats.record_frame_out(frame.version, written);
+        aggregate.record_frame_out(frame.version, written);
+        Ok(())
+    }
+
+    /// Encode one delivery straight from the shared event and write it.
+    /// The borrow matters: fan-out to N subscribers encodes from one
+    /// `Arc<PublishedEvent>` instead of deep-cloning the event N times.
+    fn send_deliver(
+        &self,
+        event: &reef_pubsub::PublishedEvent,
+        aggregate: &WireStats,
+    ) -> Result<(), WireError> {
+        let frame = self.codec().encode_deliver(event)?;
+        let mut writer = self.writer.lock();
+        let writer = writer.as_mut().ok_or(WireError::Closed)?;
         // Once the connection upgraded to a peer link, the socket speaks
         // `PeerMsg` frames: a straggling delivery (the pump may have
         // dequeued one just before the upgrade) would corrupt the peer
         // stream, so drop it here, under the same lock that orders the
         // writes.
-        if matches!(msg, ServerFrame::Deliver(_)) && self.upgraded.load(Ordering::SeqCst) {
+        if self.upgraded.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let written = frame.write_to(&mut *writer)?;
+        let written = frame.write_to(writer)?;
         self.stats.record_frame_out(frame.version, written);
         aggregate.record_frame_out(frame.version, written);
-        if matches!(msg, ServerFrame::Deliver(_)) {
-            self.stats.record_delivery();
-            aggregate.record_delivery();
-        }
+        self.stats.record_delivery();
+        aggregate.record_delivery();
         Ok(())
     }
 
-    fn close_socket(&self) {
+    pub(crate) fn close_socket(&self) {
         self.closed.store(true, Ordering::SeqCst);
         let _ = self.control.shutdown(Shutdown::Both);
     }
@@ -269,543 +385,52 @@ impl Connection {
 /// server.shutdown();
 /// ```
 pub struct BrokerServer {
-    broker: Arc<Broker>,
-    federation: Arc<Federation>,
-    clicks: Arc<Mutex<ClickStore>>,
+    core: Arc<ServerCore>,
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    transport: TransportKind,
+    /// Accept thread (threads transport) or the event-loop thread (epoll).
+    main_thread: Option<JoinHandle<()>>,
+    /// Wakes the event loop so it observes the shutdown flag (epoll only).
+    loop_control: Option<Arc<dyn LoopControl>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    connections: Arc<Mutex<Vec<Arc<Connection>>>>,
-    stats: Arc<WireStats>,
 }
 
-impl std::fmt::Debug for BrokerServer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BrokerServer")
-            .field("local_addr", &self.local_addr)
-            .field("connections", &self.connections.lock().len())
-            .field("peers", &self.federation.peer_count())
-            .finish()
-    }
+/// Handle the server keeps to its event loop: enough to wake it at
+/// shutdown. Implemented by the loop's shared state.
+pub(crate) trait LoopControl: Send + Sync {
+    /// Force the loop out of `epoll_wait` so it re-checks its flags.
+    fn wake_loop(&self);
 }
 
-impl BrokerServer {
-    /// Bind `addr` (use port 0 for an ephemeral port) and serve a fresh
-    /// default broker.
-    ///
-    /// # Errors
-    ///
-    /// [`WireError::Io`] when the address cannot be bound.
-    pub fn bind(addr: impl ToSocketAddrs) -> Result<BrokerServer, WireError> {
-        BrokerServerBuilder::default().bind(addr)
-    }
-
-    /// Start configuring a server.
-    pub fn builder() -> BrokerServerBuilder {
-        BrokerServerBuilder::default()
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn start(
-        addr: impl ToSocketAddrs,
-        broker: Arc<Broker>,
-        name: String,
-        peers: Vec<String>,
-        covering: bool,
-        peer_queue_capacity: usize,
-        write_timeout: Duration,
-        codec: CodecKind,
-        peer_retry: bool,
-    ) -> Result<BrokerServer, WireError> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        let broker_id = crate::federation::mint_broker_id(&name, local_addr.port() as u64);
-        // Namespace event ids like subscription ids, so events forwarded
-        // between federated daemons never collide on `EventId`. A
-        // pre-used broker keeps its counter (the rebase only applies to
-        // a fresh one).
-        broker.namespace_event_ids((broker_id as u64) << 32);
-        let federation = Federation::start(
-            Arc::clone(&broker),
-            broker_id,
-            FederationConfig {
-                name: name.clone(),
-                covering,
-                peer_queue_capacity,
-                write_timeout,
-                codec,
-                peer_retry,
-            },
-        );
-        let server = BrokerServer {
-            broker,
-            federation,
-            clicks: Arc::new(Mutex::new(ClickStore::new())),
-            local_addr,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            accept_thread: None,
-            conn_threads: Arc::new(Mutex::new(Vec::new())),
-            connections: Arc::new(Mutex::new(Vec::new())),
-            stats: Arc::new(WireStats::new()),
-        };
-
-        let accept = AcceptLoop {
-            listener,
-            broker: Arc::clone(&server.broker),
-            federation: Arc::clone(&server.federation),
-            clicks: Arc::clone(&server.clicks),
-            shutdown: Arc::clone(&server.shutdown),
-            conn_threads: Arc::clone(&server.conn_threads),
-            connections: Arc::clone(&server.connections),
-            stats: Arc::clone(&server.stats),
-            name,
-            write_timeout,
-        };
-        let mut server = server;
-        server.accept_thread = Some(
-            std::thread::Builder::new()
-                .name("reefd-accept".into())
-                .spawn(move || accept.run())
-                .expect("spawn accept thread"),
-        );
-        for peer in &peers {
-            server
-                .federation
-                .connect_peer_with_retry(peer, PEER_DIAL_ATTEMPTS, PEER_DIAL_DELAY)?;
-        }
-        Ok(server)
-    }
-
-    /// The address the server is listening on.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
-    }
-
-    /// The broker being served.
-    pub fn broker(&self) -> &Arc<Broker> {
-        &self.broker
-    }
-
-    /// The federation layer: peer links and the sans-io routing core.
-    pub fn federation(&self) -> &Arc<Federation> {
-        &self.federation
-    }
-
-    /// Dial `addr` and add it as a federation peer at runtime.
-    ///
-    /// # Errors
-    ///
-    /// [`WireError::Io`] when the peer is unreachable, or a protocol
-    /// error when it is not a compatible broker.
-    pub fn add_peer(&self, addr: &str) -> Result<NodeId, WireError> {
-        self.federation.connect_peer(addr)
-    }
-
-    /// The server-side click store fed by `UploadClicks` requests.
-    pub fn click_store(&self) -> Arc<Mutex<ClickStore>> {
-        Arc::clone(&self.clicks)
-    }
-
-    /// Aggregate transport counters.
-    pub fn stats(&self) -> WireStatsSnapshot {
-        self.stats.snapshot()
-    }
-
-    /// Federation routing and peer-link counters.
-    pub fn federation_stats(&self) -> FederationStatsSnapshot {
-        self.federation.snapshot()
-    }
-
-    /// Transport counters per live peer link.
-    pub fn peer_stats(&self) -> Vec<PeerStatsSnapshot> {
-        self.federation.peer_stats()
-    }
-
-    /// Transport counters per live connection.
-    pub fn connection_stats(&self) -> Vec<ConnectionStatsSnapshot> {
-        self.connections
-            .lock()
-            .iter()
-            .map(|conn| ConnectionStatsSnapshot {
-                peer: conn.peer.to_string(),
-                client: conn.client_name.lock().clone(),
-                codec: conn.codec_name().to_owned(),
-                subscriber: conn.subscriber.0,
-                wire: conn.stats.snapshot(),
-            })
-            .collect()
-    }
-
-    /// Number of live client connections (upgraded peer links excluded).
-    pub fn connection_count(&self) -> usize {
-        self.connections.lock().len()
-    }
-
-    /// Stop accepting, close every connection and peer link, and join all
-    /// threads.
-    pub fn shutdown(mut self) {
-        self.shutdown_in_place();
-    }
-
-    fn shutdown_in_place(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Poke the blocking accept() so the loop observes the flag. A
-        // wildcard bind address is not connectable on every platform, so
-        // aim the poke at loopback in that case.
-        let mut poke_addr = self.local_addr;
-        if poke_addr.ip().is_unspecified() {
-            poke_addr.set_ip(match poke_addr.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(poke_addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        for conn in self.connections.lock().iter() {
-            conn.close_socket();
-        }
-        // Close peer links before joining connection threads: an inbound
-        // peer link's reader is one of those threads, blocked on its
-        // socket until the federation tears it down.
-        self.federation.shutdown();
-        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
-        for handle in threads {
-            let _ = handle.join();
-        }
-    }
+/// Everything both transports share: the broker, the federation layer,
+/// the click store, the connection registry, the aggregate counters and
+/// the request semantics. The threaded reader threads and the epoll
+/// event loop both execute requests through [`ServerCore::handle_request`],
+/// so the two cores cannot drift apart behaviorally.
+pub(crate) struct ServerCore {
+    pub(crate) broker: Arc<Broker>,
+    pub(crate) federation: Arc<Federation>,
+    pub(crate) clicks: Arc<Mutex<ClickStore>>,
+    pub(crate) connections: Mutex<Vec<Arc<Connection>>>,
+    pub(crate) stats: WireStats,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) name: String,
+    pub(crate) write_timeout: Duration,
 }
 
-impl Drop for BrokerServer {
-    fn drop(&mut self) {
-        self.shutdown_in_place();
-    }
-}
-
-/// Everything the accept thread needs, bundled for the move into its
-/// closure.
-struct AcceptLoop {
-    listener: TcpListener,
-    broker: Arc<Broker>,
-    federation: Arc<Federation>,
-    clicks: Arc<Mutex<ClickStore>>,
-    shutdown: Arc<AtomicBool>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    connections: Arc<Mutex<Vec<Arc<Connection>>>>,
-    stats: Arc<WireStats>,
-    name: String,
-    write_timeout: Duration,
-}
-
-impl AcceptLoop {
-    fn run(self) {
-        loop {
-            let (stream, peer) = match self.listener.accept() {
-                Ok(pair) => pair,
-                Err(_) if self.shutdown.load(Ordering::SeqCst) => return,
-                Err(_) => {
-                    // Persistent accept errors (e.g. fd exhaustion) would
-                    // otherwise busy-spin this thread at 100% CPU.
-                    std::thread::sleep(Duration::from_millis(50));
-                    continue;
-                }
-            };
-            if self.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            let _ = stream.set_nodelay(true);
-            // Bound the delivery path: a consumer that stops reading can
-            // stall a write for at most this long before the connection
-            // is declared dead.
-            let _ = stream.set_write_timeout(Some(self.write_timeout));
-            if let Err(e) = self.spawn_connection(stream, peer) {
-                // Registration failed (e.g. clone error); drop the socket.
-                let _ = e;
-                self.stats.record_error();
-            }
-        }
-    }
-
-    fn spawn_connection(&self, stream: TcpStream, peer: SocketAddr) -> Result<(), WireError> {
-        let writer = stream.try_clone()?;
-        let control = stream.try_clone()?;
-        let (subscriber, inbox) = self.broker.register();
-        let conn = Arc::new(Connection {
-            peer,
-            client_name: Mutex::new(String::new()),
-            subscriber,
-            writer: Mutex::new(writer),
-            control,
-            stats: WireStats::new(),
-            closed: AtomicBool::new(false),
-            upgraded: AtomicBool::new(false),
-            codec_version: AtomicU8::new(0),
-        });
-        self.stats.record_open();
-        conn.stats.record_open();
-        self.connections.lock().push(Arc::clone(&conn));
-
-        let reader = ConnectionReader {
-            conn: Arc::clone(&conn),
-            broker: Arc::clone(&self.broker),
-            federation: Arc::clone(&self.federation),
-            clicks: Arc::clone(&self.clicks),
-            connections: Arc::clone(&self.connections),
-            aggregate: Arc::clone(&self.stats),
-            shutdown: Arc::clone(&self.shutdown),
-            server_name: self.name.clone(),
-        };
-        let pump = DeliveryPump {
-            inbox,
-            conn,
-            aggregate: Arc::clone(&self.stats),
-            shutdown: Arc::clone(&self.shutdown),
-        };
-        let mut threads = self.conn_threads.lock();
-        // Reap handles of finished connections so a long-running daemon
-        // doesn't accumulate one pair per connection ever accepted.
-        threads.retain(|handle| !handle.is_finished());
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("reefd-read-{peer}"))
-                .spawn(move || reader.run(stream))
-                .expect("spawn reader thread"),
-        );
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("reefd-pump-{peer}"))
-                .spawn(move || pump.run())
-                .expect("spawn pump thread"),
-        );
-        Ok(())
-    }
-}
-
-/// What the request loop should do after handling one frame.
-enum Step {
-    /// Reply sent (or attempted); keep reading requests.
-    Continue,
-    /// Reply sent; close the conversation.
-    Close,
-    /// The connection upgraded to a peer link; switch to the peer loop.
-    Upgraded { peer_broker: String },
-}
-
-/// The per-connection request loop.
-struct ConnectionReader {
-    conn: Arc<Connection>,
-    broker: Arc<Broker>,
-    federation: Arc<Federation>,
-    clicks: Arc<Mutex<ClickStore>>,
-    connections: Arc<Mutex<Vec<Arc<Connection>>>>,
-    aggregate: Arc<WireStats>,
-    shutdown: Arc<AtomicBool>,
-    server_name: String,
-}
-
-impl ConnectionReader {
-    fn run(self, stream: TcpStream) {
-        let mut owned: HashSet<SubscriptionId> = HashSet::new();
-        let mut reader = BufReader::new(stream);
-        loop {
-            if self.shutdown.load(Ordering::SeqCst) || self.conn.closed.load(Ordering::SeqCst) {
-                break;
-            }
-            let frame = match Frame::read_from(&mut reader) {
-                Ok(Some(frame)) => frame,
-                // Clean EOF or a broken socket: either way the conversation
-                // is over.
-                Ok(None) => break,
-                Err(_) => {
-                    self.conn.stats.record_error();
-                    self.aggregate.record_error();
-                    break;
-                }
-            };
-            self.conn
-                .stats
-                .record_frame_in(frame.version, frame.wire_len());
-            self.aggregate
-                .record_frame_in(frame.version, frame.wire_len());
-            // Codec negotiation: the first frame's version byte picks the
-            // codec for the connection's lifetime; later frames must not
-            // switch.
-            let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
-            if negotiated == 0 {
-                if CodecKind::for_version(frame.version).is_none() {
-                    self.conn.stats.record_error();
-                    self.aggregate.record_error();
-                    // Answer in JSON, the one encoding any client can
-                    // read, then give up on the stream (unknown-version
-                    // payloads cannot be framed reliably).
-                    let _ = self.reply(0, Response::Error {
-                        message: format!(
-                            "unsupported protocol version {}; this server speaks v1 (json) and v2 (binary)",
-                            frame.version
-                        ),
-                    });
-                    break;
-                }
-                self.conn
-                    .codec_version
-                    .store(frame.version, Ordering::SeqCst);
-            } else if frame.version != negotiated {
-                self.conn.stats.record_error();
-                self.aggregate.record_error();
-                let _ = self.reply(0, Response::Error {
-                    message: format!(
-                        "codec switched mid-stream: connection negotiated v{negotiated}, frame carries v{}",
-                        frame.version
-                    ),
-                });
-                break;
-            }
-            let client_frame = match self.conn.codec().decode_client(&frame) {
-                Ok(client_frame) => client_frame,
-                Err(e) => {
-                    self.conn.stats.record_error();
-                    self.aggregate.record_error();
-                    let _ = self.reply(
-                        0,
-                        Response::Error {
-                            message: e.to_string(),
-                        },
-                    );
-                    // On v1 the error reply pairs by order, so the
-                    // conversation can continue. On v2 the real
-                    // correlation id is unrecoverable — a reply with a
-                    // synthesized id could mis-pair with (or never reach)
-                    // an in-flight request — so close instead.
-                    if frame.version == crate::frame::PROTOCOL_V1_JSON {
-                        continue;
-                    }
-                    break;
-                }
-            };
-            self.conn.stats.record_request();
-            self.aggregate.record_request();
-            match self.step(client_frame.corr, client_frame.request, &mut owned) {
-                Step::Continue => {}
-                Step::Close => break,
-                Step::Upgraded { peer_broker } => {
-                    self.run_as_peer(reader, peer_broker, &owned);
-                    return;
-                }
-            }
-        }
-        self.finish(&owned);
-    }
-
-    fn step(&self, corr: u64, request: Request, owned: &mut HashSet<SubscriptionId>) -> Step {
-        if let Request::PeerHello {
-            version,
-            broker,
-            broker_id,
-        } = request
-        {
-            let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
-            if version != negotiated {
-                let _ = self.reply(corr, Response::Error {
-                    message: format!(
-                        "PeerHello version field v{version} disagrees with the frame codec v{negotiated}"
-                    ),
-                });
-                return Step::Close;
-            }
-            let _ = broker_id;
-            // Flip the flag before the welcome goes out: from the
-            // dialer's perspective every frame after `PeerWelcome` must
-            // be a `PeerMsg`, so the delivery pump (which checks the flag
-            // under the shared write lock) must never write a straggling
-            // `Deliver` after it.
-            self.conn.upgraded.store(true, Ordering::SeqCst);
-            let welcome = Response::PeerWelcome {
-                version: negotiated,
-                broker: self.federation.name().to_owned(),
-                broker_id: self.federation.broker_id(),
-            };
-            if self.reply(corr, welcome).is_err() {
-                return Step::Close;
-            }
-            return Step::Upgraded {
-                peer_broker: broker,
-            };
-        }
-        let is_bye = matches!(request, Request::Bye);
-        let response = self.handle(request, owned);
-        if matches!(response, Response::Error { .. }) {
-            self.conn.stats.record_error();
-            self.aggregate.record_error();
-        }
-        if self.reply(corr, response).is_err() || is_bye {
-            Step::Close
-        } else {
-            Step::Continue
-        }
-    }
-
-    /// Turn the connection into a federation peer link. The `PeerWelcome`
-    /// reply is already on the wire and `upgraded` is set; from here the
-    /// link's writer thread owns all writes, and this thread runs the
-    /// shared peer read loop until the socket dies.
-    fn run_as_peer(
+impl ServerCore {
+    /// Execute one non-`PeerHello` request against the broker and
+    /// federation. Transport-agnostic: the caller owns framing, codec
+    /// negotiation and reply delivery.
+    pub(crate) fn handle_request(
         &self,
-        reader: BufReader<TcpStream>,
-        peer_broker: String,
-        owned: &HashSet<SubscriptionId>,
-    ) {
-        // This connection is no longer a client: the delivery pump bows
-        // out, its broker subscriber goes away, and anything it
-        // subscribed while still speaking the client protocol is
-        // withdrawn from the routing core.
-        for sub in owned {
-            self.federation.local_unsubscribe(*sub);
-        }
-        let _ = self.broker.deregister(self.conn.subscriber);
-        self.connections
-            .lock()
-            .retain(|c| !Arc::ptr_eq(c, &self.conn));
-        self.conn.stats.record_close();
-        self.aggregate.record_close();
-        let stream = match reader.get_ref().try_clone() {
-            Ok(stream) => stream,
-            Err(_) => {
-                self.aggregate.record_error();
-                self.conn.close_socket();
-                return;
-            }
-        };
-        let codec = CodecKind::for_version(self.conn.codec_version.load(Ordering::SeqCst))
-            .unwrap_or(CodecKind::Json);
-        let node = match self.federation.adopt_inbound(
-            stream,
-            peer_broker,
-            self.conn.peer.to_string(),
-            codec,
-        ) {
-            Ok(node) => node,
-            Err(_) => {
-                self.aggregate.record_error();
-                self.conn.close_socket();
-                return;
-            }
-        };
-        self.federation.run_inbound_reader(node, reader);
-    }
-
-    fn reply(&self, corr: u64, response: Response) -> Result<(), WireError> {
-        self.conn
-            .send(&ServerFrame::Reply { corr, response }, &self.aggregate)
-    }
-
-    fn handle(&self, request: Request, owned: &mut HashSet<SubscriptionId>) -> Response {
+        conn: &Connection,
+        owned: &mut HashSet<SubscriptionId>,
+        request: Request,
+    ) -> Response {
         match request {
             Request::Hello { version, client } => {
-                let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
+                let negotiated = conn.codec_version.load(Ordering::SeqCst);
                 if version != negotiated {
                     return Response::Error {
                         message: format!(
@@ -813,15 +438,15 @@ impl ConnectionReader {
                         ),
                     };
                 }
-                *self.conn.client_name.lock() = client;
+                *conn.client_name.lock() = client;
                 Response::Hello {
                     version: negotiated,
-                    server: self.server_name.clone(),
-                    subscriber: self.conn.subscriber.0,
+                    server: self.name.clone(),
+                    subscriber: conn.subscriber.0,
                 }
             }
             Request::Subscribe { filter } => {
-                match self.broker.subscribe(self.conn.subscriber, filter.clone()) {
+                match self.broker.subscribe(conn.subscriber, filter.clone()) {
                     Ok(subscription) => {
                         owned.insert(subscription);
                         // Mirror into the routing core so the filter is
@@ -882,26 +507,572 @@ impl ConnectionReader {
             }
             Request::Stats => Response::Stats {
                 broker: self.broker.stats(),
-                wire: self.aggregate.snapshot(),
+                wire: self.stats.snapshot(),
                 federation: self.federation.snapshot(),
             },
             Request::Ping => Response::Pong,
             Request::Bye => Response::Bye,
-            Request::PeerHello { .. } => unreachable!("intercepted in step()"),
+            Request::PeerHello { .. } => unreachable!("intercepted by the transport"),
         }
     }
 
-    fn finish(&self, owned: &HashSet<SubscriptionId>) {
-        self.conn.close_socket();
+    /// Deregister a finished client connection: withdraw its
+    /// subscriptions from the routing core, drop its broker subscriber
+    /// and remove it from the registry.
+    pub(crate) fn finish_connection(
+        &self,
+        conn: &Arc<Connection>,
+        owned: &HashSet<SubscriptionId>,
+    ) {
+        conn.close_socket();
         for sub in owned {
             self.federation.local_unsubscribe(*sub);
         }
-        let _ = self.broker.deregister(self.conn.subscriber);
-        self.conn.stats.record_close();
-        self.aggregate.record_close();
-        self.connections
+        let _ = self.broker.deregister(conn.subscriber);
+        conn.stats.record_close();
+        self.stats.record_close();
+        self.connections.lock().retain(|c| !Arc::ptr_eq(c, conn));
+    }
+}
+
+impl std::fmt::Debug for BrokerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerServer")
+            .field("local_addr", &self.local_addr)
+            .field("transport", &self.transport)
+            .field("connections", &self.core.connections.lock().len())
+            .field("peers", &self.core.federation.peer_count())
+            .finish()
+    }
+}
+
+impl BrokerServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve a fresh
+    /// default broker.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<BrokerServer, WireError> {
+        BrokerServerBuilder::default().bind(addr)
+    }
+
+    /// Start configuring a server.
+    pub fn builder() -> BrokerServerBuilder {
+        BrokerServerBuilder::default()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start(
+        addr: impl ToSocketAddrs,
+        broker: Arc<Broker>,
+        name: String,
+        peers: Vec<String>,
+        covering: bool,
+        peer_queue_capacity: usize,
+        write_timeout: Duration,
+        codec: CodecKind,
+        peer_retry: bool,
+        transport: TransportKind,
+    ) -> Result<BrokerServer, WireError> {
+        if transport == TransportKind::Epoll && !cfg!(target_os = "linux") {
+            return Err(WireError::Protocol(
+                "the epoll transport requires Linux; use TransportKind::Threads".into(),
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let broker_id = crate::federation::mint_broker_id(&name, local_addr.port() as u64);
+        // Namespace event ids like subscription ids, so events forwarded
+        // between federated daemons never collide on `EventId`. A
+        // pre-used broker keeps its counter (the rebase only applies to
+        // a fresh one).
+        broker.namespace_event_ids((broker_id as u64) << 32);
+        let federation = Federation::start(
+            Arc::clone(&broker),
+            broker_id,
+            FederationConfig {
+                name: name.clone(),
+                covering,
+                peer_queue_capacity,
+                write_timeout,
+                codec,
+                peer_retry,
+                event_loop: transport == TransportKind::Epoll,
+            },
+        );
+        let core = Arc::new(ServerCore {
+            broker,
+            federation,
+            clicks: Arc::new(Mutex::new(ClickStore::new())),
+            connections: Mutex::new(Vec::new()),
+            stats: WireStats::new(),
+            shutdown: AtomicBool::new(false),
+            name,
+            write_timeout,
+        });
+        let mut server = BrokerServer {
+            core: Arc::clone(&core),
+            local_addr,
+            transport,
+            main_thread: None,
+            loop_control: None,
+            conn_threads: Arc::new(Mutex::new(Vec::new())),
+        };
+        match transport {
+            TransportKind::Threads => {
+                let accept = AcceptLoop {
+                    listener,
+                    core,
+                    conn_threads: Arc::clone(&server.conn_threads),
+                };
+                server.main_thread = Some(
+                    std::thread::Builder::new()
+                        .name("reefd-accept".into())
+                        .spawn(move || accept.run())
+                        .expect("spawn accept thread"),
+                );
+            }
+            TransportKind::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    let (thread, control) = crate::event_loop::spawn(listener, core)?;
+                    server.main_thread = Some(thread);
+                    server.loop_control = Some(control);
+                }
+                #[cfg(not(target_os = "linux"))]
+                unreachable!("rejected above");
+            }
+        }
+        for peer in &peers {
+            server.core.federation.connect_peer_with_retry(
+                peer,
+                PEER_DIAL_ATTEMPTS,
+                PEER_DIAL_DELAY,
+            )?;
+        }
+        Ok(server)
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Which transport core is serving.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// The broker being served.
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.core.broker
+    }
+
+    /// The federation layer: peer links and the sans-io routing core.
+    pub fn federation(&self) -> &Arc<Federation> {
+        &self.core.federation
+    }
+
+    /// Dial `addr` and add it as a federation peer at runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the peer is unreachable, or a protocol
+    /// error when it is not a compatible broker.
+    pub fn add_peer(&self, addr: &str) -> Result<NodeId, WireError> {
+        self.core.federation.connect_peer(addr)
+    }
+
+    /// The server-side click store fed by `UploadClicks` requests.
+    pub fn click_store(&self) -> Arc<Mutex<ClickStore>> {
+        Arc::clone(&self.core.clicks)
+    }
+
+    /// Aggregate transport counters.
+    pub fn stats(&self) -> WireStatsSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// Federation routing and peer-link counters.
+    pub fn federation_stats(&self) -> FederationStatsSnapshot {
+        self.core.federation.snapshot()
+    }
+
+    /// Transport counters per live peer link.
+    pub fn peer_stats(&self) -> Vec<PeerStatsSnapshot> {
+        self.core.federation.peer_stats()
+    }
+
+    /// Transport counters per live connection.
+    pub fn connection_stats(&self) -> Vec<ConnectionStatsSnapshot> {
+        self.core
+            .connections
+            .lock()
+            .iter()
+            .map(|conn| ConnectionStatsSnapshot {
+                peer: conn.peer.to_string(),
+                client: conn.client_name.lock().clone(),
+                codec: conn.codec_name().to_owned(),
+                subscriber: conn.subscriber.0,
+                wire: conn.stats.snapshot(),
+            })
+            .collect()
+    }
+
+    /// Number of live client connections (upgraded peer links excluded).
+    pub fn connection_count(&self) -> usize {
+        self.core.connections.lock().len()
+    }
+
+    /// Stop accepting, close every connection and peer link, and join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.core.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The broker may outlive the server; stop routing delivery
+        // notifications at a loop that is about to exit.
+        self.core.broker.clear_delivery_notifier();
+        match self.transport {
+            TransportKind::Threads => {
+                // Poke the blocking accept() so the loop observes the
+                // flag. A wildcard bind address is not connectable on
+                // every platform, so aim the poke at loopback in that
+                // case.
+                let mut poke_addr = self.local_addr;
+                if poke_addr.ip().is_unspecified() {
+                    poke_addr.set_ip(match poke_addr.ip() {
+                        std::net::IpAddr::V4(_) => {
+                            std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+                        }
+                        std::net::IpAddr::V6(_) => {
+                            std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+                        }
+                    });
+                }
+                let _ = TcpStream::connect(poke_addr);
+            }
+            TransportKind::Epoll => {
+                if let Some(control) = &self.loop_control {
+                    control.wake_loop();
+                }
+            }
+        }
+        if let Some(handle) = self.main_thread.take() {
+            let _ = handle.join();
+        }
+        for conn in self.core.connections.lock().iter() {
+            conn.close_socket();
+        }
+        // Close peer links before joining connection threads: an inbound
+        // peer link's reader is one of those threads, blocked on its
+        // socket until the federation tears it down.
+        self.core.federation.shutdown();
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BrokerServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Everything the accept thread needs, bundled for the move into its
+/// closure.
+struct AcceptLoop {
+    listener: TcpListener,
+    core: Arc<ServerCore>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AcceptLoop {
+    fn run(self) {
+        loop {
+            let (stream, peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if self.core.shutdown.load(Ordering::SeqCst) => return,
+                Err(_) => {
+                    // Persistent accept errors (e.g. fd exhaustion) would
+                    // otherwise busy-spin this thread at 100% CPU.
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            };
+            if self.core.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = stream.set_nodelay(true);
+            // Bound the delivery path: a consumer that stops reading can
+            // stall a write for at most this long before the connection
+            // is declared dead.
+            let _ = stream.set_write_timeout(Some(self.core.write_timeout));
+            if let Err(e) = self.spawn_connection(stream, peer) {
+                // Registration failed (e.g. clone error); drop the socket.
+                let _ = e;
+                self.core.stats.record_error();
+            }
+        }
+    }
+
+    fn spawn_connection(&self, stream: TcpStream, peer: SocketAddr) -> Result<(), WireError> {
+        let writer = stream.try_clone()?;
+        let control = stream.try_clone()?;
+        let (subscriber, inbox) = self.core.broker.register();
+        let conn = Arc::new(Connection::new(peer, subscriber, Some(writer), control));
+        self.core.stats.record_open();
+        conn.stats.record_open();
+        self.core.connections.lock().push(Arc::clone(&conn));
+
+        let reader = ConnectionReader {
+            conn: Arc::clone(&conn),
+            core: Arc::clone(&self.core),
+        };
+        let pump = DeliveryPump {
+            inbox,
+            conn,
+            core: Arc::clone(&self.core),
+        };
+        let mut threads = self.conn_threads.lock();
+        // Reap handles of finished connections so a long-running daemon
+        // doesn't accumulate one pair per connection ever accepted.
+        threads.retain(|handle| !handle.is_finished());
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("reefd-read-{peer}"))
+                .spawn(move || reader.run(stream))
+                .expect("spawn reader thread"),
+        );
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("reefd-pump-{peer}"))
+                .spawn(move || pump.run())
+                .expect("spawn pump thread"),
+        );
+        Ok(())
+    }
+}
+
+/// What the request loop should do after handling one frame.
+enum Step {
+    /// Reply sent (or attempted); keep reading requests.
+    Continue,
+    /// Reply sent; close the conversation.
+    Close,
+    /// The connection upgraded to a peer link; switch to the peer loop.
+    Upgraded { peer_broker: String },
+}
+
+/// The per-connection request loop.
+struct ConnectionReader {
+    conn: Arc<Connection>,
+    core: Arc<ServerCore>,
+}
+
+impl ConnectionReader {
+    fn run(self, stream: TcpStream) {
+        let mut owned: HashSet<SubscriptionId> = HashSet::new();
+        let mut reader = BufReader::new(stream);
+        loop {
+            if self.core.shutdown.load(Ordering::SeqCst) || self.conn.closed.load(Ordering::SeqCst)
+            {
+                break;
+            }
+            let frame = match Frame::read_from(&mut reader) {
+                Ok(Some(frame)) => frame,
+                // Clean EOF or a broken socket: either way the conversation
+                // is over.
+                Ok(None) => break,
+                Err(_) => {
+                    self.conn.stats.record_error();
+                    self.core.stats.record_error();
+                    break;
+                }
+            };
+            self.conn
+                .stats
+                .record_frame_in(frame.version, frame.wire_len());
+            self.core
+                .stats
+                .record_frame_in(frame.version, frame.wire_len());
+            // Codec negotiation: the first frame's version byte picks the
+            // codec for the connection's lifetime; later frames must not
+            // switch.
+            let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
+            if negotiated == 0 {
+                if CodecKind::for_version(frame.version).is_none() {
+                    self.conn.stats.record_error();
+                    self.core.stats.record_error();
+                    // Answer in JSON, the one encoding any client can
+                    // read, then give up on the stream (unknown-version
+                    // payloads cannot be framed reliably).
+                    let _ = self.reply(0, Response::Error {
+                        message: format!(
+                            "unsupported protocol version {}; this server speaks v1 (json) and v2 (binary)",
+                            frame.version
+                        ),
+                    });
+                    break;
+                }
+                self.conn
+                    .codec_version
+                    .store(frame.version, Ordering::SeqCst);
+            } else if frame.version != negotiated {
+                self.conn.stats.record_error();
+                self.core.stats.record_error();
+                let _ = self.reply(0, Response::Error {
+                    message: format!(
+                        "codec switched mid-stream: connection negotiated v{negotiated}, frame carries v{}",
+                        frame.version
+                    ),
+                });
+                break;
+            }
+            let client_frame = match self.conn.codec().decode_client(&frame) {
+                Ok(client_frame) => client_frame,
+                Err(e) => {
+                    self.conn.stats.record_error();
+                    self.core.stats.record_error();
+                    let _ = self.reply(
+                        0,
+                        Response::Error {
+                            message: e.to_string(),
+                        },
+                    );
+                    // On v1 the error reply pairs by order, so the
+                    // conversation can continue. On v2 the real
+                    // correlation id is unrecoverable — a reply with a
+                    // synthesized id could mis-pair with (or never reach)
+                    // an in-flight request — so close instead.
+                    if frame.version == crate::frame::PROTOCOL_V1_JSON {
+                        continue;
+                    }
+                    break;
+                }
+            };
+            self.conn.stats.record_request();
+            self.core.stats.record_request();
+            match self.step(client_frame.corr, client_frame.request, &mut owned) {
+                Step::Continue => {}
+                Step::Close => break,
+                Step::Upgraded { peer_broker } => {
+                    self.run_as_peer(reader, peer_broker, &owned);
+                    return;
+                }
+            }
+        }
+        self.core.finish_connection(&self.conn, &owned);
+    }
+
+    fn step(&self, corr: u64, request: Request, owned: &mut HashSet<SubscriptionId>) -> Step {
+        if let Request::PeerHello {
+            version,
+            broker,
+            broker_id,
+        } = request
+        {
+            let negotiated = self.conn.codec_version.load(Ordering::SeqCst);
+            if version != negotiated {
+                let _ = self.reply(corr, Response::Error {
+                    message: format!(
+                        "PeerHello version field v{version} disagrees with the frame codec v{negotiated}"
+                    ),
+                });
+                return Step::Close;
+            }
+            let _ = broker_id;
+            // Flip the flag before the welcome goes out: from the
+            // dialer's perspective every frame after `PeerWelcome` must
+            // be a `PeerMsg`, so the delivery pump (which checks the flag
+            // under the shared write lock) must never write a straggling
+            // `Deliver` after it.
+            self.conn.upgraded.store(true, Ordering::SeqCst);
+            let welcome = Response::PeerWelcome {
+                version: negotiated,
+                broker: self.core.federation.name().to_owned(),
+                broker_id: self.core.federation.broker_id(),
+            };
+            if self.reply(corr, welcome).is_err() {
+                return Step::Close;
+            }
+            return Step::Upgraded {
+                peer_broker: broker,
+            };
+        }
+        let is_bye = matches!(request, Request::Bye);
+        let response = self.core.handle_request(&self.conn, owned, request);
+        if matches!(response, Response::Error { .. }) {
+            self.conn.stats.record_error();
+            self.core.stats.record_error();
+        }
+        if self.reply(corr, response).is_err() || is_bye {
+            Step::Close
+        } else {
+            Step::Continue
+        }
+    }
+
+    /// Turn the connection into a federation peer link. The `PeerWelcome`
+    /// reply is already on the wire and `upgraded` is set; from here the
+    /// link's writer thread owns all writes, and this thread runs the
+    /// shared peer read loop until the socket dies.
+    fn run_as_peer(
+        &self,
+        reader: BufReader<TcpStream>,
+        peer_broker: String,
+        owned: &HashSet<SubscriptionId>,
+    ) {
+        // This connection is no longer a client: the delivery pump bows
+        // out, its broker subscriber goes away, and anything it
+        // subscribed while still speaking the client protocol is
+        // withdrawn from the routing core.
+        for sub in owned {
+            self.core.federation.local_unsubscribe(*sub);
+        }
+        let _ = self.core.broker.deregister(self.conn.subscriber);
+        self.core
+            .connections
             .lock()
             .retain(|c| !Arc::ptr_eq(c, &self.conn));
+        self.conn.stats.record_close();
+        self.core.stats.record_close();
+        let stream = match reader.get_ref().try_clone() {
+            Ok(stream) => stream,
+            Err(_) => {
+                self.core.stats.record_error();
+                self.conn.close_socket();
+                return;
+            }
+        };
+        let codec = CodecKind::for_version(self.conn.codec_version.load(Ordering::SeqCst))
+            .unwrap_or(CodecKind::Json);
+        let node = match self.core.federation.adopt_inbound(
+            stream,
+            peer_broker,
+            self.conn.peer.to_string(),
+            codec,
+        ) {
+            Ok(node) => node,
+            Err(_) => {
+                self.core.stats.record_error();
+                self.conn.close_socket();
+                return;
+            }
+        };
+        self.core.federation.run_inbound_reader(node, reader);
+    }
+
+    fn reply(&self, corr: u64, response: Response) -> Result<(), WireError> {
+        self.conn
+            .send(&ServerFrame::Reply { corr, response }, &self.core.stats)
     }
 }
 
@@ -909,14 +1080,13 @@ impl ConnectionReader {
 struct DeliveryPump {
     inbox: SubscriberHandle,
     conn: Arc<Connection>,
-    aggregate: Arc<WireStats>,
-    shutdown: Arc<AtomicBool>,
+    core: Arc<ServerCore>,
 }
 
 impl DeliveryPump {
     fn run(self) {
         loop {
-            if self.shutdown.load(Ordering::SeqCst)
+            if self.core.shutdown.load(Ordering::SeqCst)
                 || self.conn.closed.load(Ordering::SeqCst)
                 || self.conn.upgraded.load(Ordering::SeqCst)
             {
@@ -925,15 +1095,15 @@ impl DeliveryPump {
             let Some(event) = self.inbox.recv_timeout(PUMP_PARK) else {
                 continue;
             };
-            let message = ServerFrame::Deliver(Deliver { event });
-            if self.conn.send(&message, &self.aggregate).is_err() {
+            // `event` is the shared Arc the broker fanned out; encode
+            // from the borrow, never cloning the payload.
+            if self.conn.send_deliver(&event, &self.core.stats).is_err() {
                 // Write failed or timed out: the consumer is gone or
                 // stalled past the backpressure bound. The delivery is
                 // lost — count it — and the reader does the cleanup.
                 self.conn.stats.record_delivery_drop();
-                self.aggregate.record_delivery_drop();
-                self.conn.closed.store(true, Ordering::SeqCst);
-                let _ = self.conn.control.shutdown(Shutdown::Both);
+                self.core.stats.record_delivery_drop();
+                self.conn.close_socket();
                 return;
             }
         }
@@ -947,7 +1117,12 @@ mod tests {
 
     #[test]
     fn shutdown_returns_even_on_a_wildcard_bind() {
-        let server = BrokerServer::bind("0.0.0.0:0").expect("bind wildcard");
+        // The loopback poke is the *threaded* accept loop's unblocking
+        // mechanism; the epoll loop is woken through its eventfd instead.
+        let server = BrokerServer::builder()
+            .transport(TransportKind::Threads)
+            .bind("0.0.0.0:0")
+            .expect("bind wildcard");
         let port = server.local_addr().port();
         let client = Client::connect(("127.0.0.1", port)).expect("connect");
         client.ping().expect("ping");
@@ -970,7 +1145,12 @@ mod tests {
 
     #[test]
     fn finished_connection_handles_are_reaped() {
-        let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+        // Thread-handle reaping only exists on the threaded transport;
+        // the event loop spawns no per-connection threads at all.
+        let server = BrokerServer::builder()
+            .transport(TransportKind::Threads)
+            .bind("127.0.0.1:0")
+            .expect("bind");
         for _ in 0..8 {
             let client = Client::connect(server.local_addr()).expect("connect");
             client.close().expect("close");

@@ -83,6 +83,10 @@ pub struct WireStats {
     deliveries: AtomicU64,
     delivery_drops: AtomicU64,
     errors: AtomicU64,
+    loop_wakeups: AtomicU64,
+    loop_read_events: AtomicU64,
+    loop_write_events: AtomicU64,
+    writes_coalesced: AtomicU64,
     json: CodecStats,
     binary: CodecStats,
 }
@@ -148,6 +152,28 @@ impl WireStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one event-loop wakeup (an `epoll_wait` return that reported
+    /// at least one readiness event or a pending wake signal).
+    pub fn record_loop_wakeup(&self) {
+        self.loop_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count read-readiness events handed to the event loop.
+    pub fn record_loop_read_events(&self, n: u64) {
+        self.loop_read_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count write-readiness events handed to the event loop.
+    pub fn record_loop_write_events(&self, n: u64) {
+        self.loop_write_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one coalesced write: a single socket flush that carried more
+    /// than one frame.
+    pub fn record_write_coalesced(&self) {
+        self.writes_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> WireStatsSnapshot {
         WireStatsSnapshot {
@@ -161,6 +187,10 @@ impl WireStats {
             deliveries: self.deliveries.load(Ordering::Relaxed),
             delivery_drops: self.delivery_drops.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+            loop_read_events: self.loop_read_events.load(Ordering::Relaxed),
+            loop_write_events: self.loop_write_events.load(Ordering::Relaxed),
+            writes_coalesced: self.writes_coalesced.load(Ordering::Relaxed),
             json: self.json.snapshot(),
             binary: self.binary.snapshot(),
         }
@@ -192,6 +222,15 @@ pub struct WireStatsSnapshot {
     pub delivery_drops: u64,
     /// Errors returned or suffered.
     pub errors: u64,
+    /// Event-loop wakeups (epoll transport only; zero under threads).
+    pub loop_wakeups: u64,
+    /// Read-readiness events the event loop handled.
+    pub loop_read_events: u64,
+    /// Write-readiness events the event loop handled.
+    pub loop_write_events: u64,
+    /// Socket flushes that carried more than one frame (delivery
+    /// coalescing on the epoll transport).
+    pub writes_coalesced: u64,
     /// The subset of frame/byte traffic carried by the v1 JSON codec.
     pub json: CodecStatsSnapshot,
     /// The subset of frame/byte traffic carried by the v2 binary codec.
@@ -202,7 +241,7 @@ impl std::fmt::Display for WireStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={}",
+            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={} loop={}wake/{}r/{}w/{}coal",
             self.connections_opened,
             self.connections_closed,
             self.frames_in,
@@ -217,6 +256,10 @@ impl std::fmt::Display for WireStatsSnapshot {
             self.deliveries,
             self.delivery_drops,
             self.errors,
+            self.loop_wakeups,
+            self.loop_read_events,
+            self.loop_write_events,
+            self.writes_coalesced,
         )
     }
 }

@@ -107,22 +107,51 @@ proptest! {
         for (client, filter) in &subs {
             clients[*client].subscribe(filter.clone()).expect("subscribe");
         }
-        // Settle: routing entries grow monotonically toward the sim's
-        // final state; equality means advertisement propagation is done.
+        // Settle: routing-entry counts must reach the sim's final state
+        // AND the federation must be quiescent. Matching counts alone are
+        // not enough: a covering replacement (SubFwd + UnsubFwd) keeps a
+        // downstream broker's entry count constant while its *content* is
+        // still in flight, and an event published in that window is
+        // (correctly) not forwarded — so wait until advertisement
+        // traffic stops moving too.
         let deadline = Instant::now() + WAIT;
-        loop {
-            let entries: Vec<usize> = servers
+        let fingerprint = || -> Vec<u64> {
+            servers
                 .iter()
-                .map(|s| s.federation_stats().routing_entries as usize)
-                .collect();
-            if entries == sim_entries {
-                break;
+                .flat_map(|s| {
+                    let fed = s.federation_stats();
+                    [
+                        fed.routing_entries,
+                        fed.advertisements,
+                        fed.subs_forwarded,
+                        fed.json.frames_in,
+                        fed.json.frames_out,
+                        fed.binary.frames_in,
+                        fed.binary.frames_out,
+                    ]
+                })
+                .collect()
+        };
+        let mut last = fingerprint();
+        let mut stable = 0u32;
+        loop {
+            std::thread::sleep(Duration::from_millis(5));
+            let now = fingerprint();
+            let entries: Vec<usize> = now.iter().step_by(7).map(|&e| e as usize).collect();
+            if entries == sim_entries && now == last {
+                stable += 1;
+                // ~50 ms with no advertisement traffic: quiesced.
+                if stable >= 10 {
+                    break;
+                }
+            } else {
+                stable = 0;
             }
+            last = now;
             prop_assert!(
                 Instant::now() < deadline,
                 "routing tables never converged: tcp {entries:?} vs sim {sim_entries:?} (covering={covering})"
             );
-            std::thread::sleep(Duration::from_millis(5));
         }
         for (publisher, event) in &events {
             clients[*publisher].publish(event.clone()).expect("publish");

@@ -414,6 +414,10 @@ mod codec_equivalence {
                     deliveries: mixed(seed, 12),
                     delivery_drops: mixed(seed, 13),
                     errors: mixed(seed, 14),
+                    loop_wakeups: mixed(seed, 39),
+                    loop_read_events: mixed(seed, 40),
+                    loop_write_events: mixed(seed, 41),
+                    writes_coalesced: mixed(seed, 42),
                     json: codec_stats(seed, 15),
                     binary: codec_stats(seed, 19),
                 },
@@ -560,6 +564,112 @@ mod codec_equivalence {
                 binary.wire_len(),
                 json.wire_len()
             );
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Incremental decoding: the event loop's partial-frame reader must produce
+// exactly the frames a whole-buffer reader would, no matter where the
+// network splits the byte stream.
+
+mod incremental_decode {
+    use super::*;
+    use proptest::prelude::*;
+    use reef::wire::{ClientFrame, CodecKind, Frame, FrameDecoder, Request};
+
+    /// Small but structurally varied requests; payload content is
+    /// irrelevant to framing, boundary coverage is what matters.
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            (any::<u8>(), "[ -~]{0,24}")
+                .prop_map(|(version, client)| Request::Hello { version, client }),
+            Just(Request::Ping),
+            Just(Request::Stats),
+            prop::collection::vec(("[a-z]{1,6}", any::<i64>()), 0..6).prop_map(|attrs| {
+                let mut builder = Event::builder();
+                for (name, value) in attrs {
+                    builder = builder.attr(name, value);
+                }
+                Request::Publish {
+                    event: builder.build(),
+                }
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Mixed v1/v2 frame streams split at arbitrary byte boundaries
+        /// reassemble into exactly the whole-buffer decode.
+        #[test]
+        fn split_streams_decode_identically(
+            frames in prop::collection::vec((any::<bool>(), any::<u64>(), arb_request()), 1..8),
+            cuts in prop::collection::vec(any::<u32>(), 0..24),
+        ) {
+            // Encode the conversation the way real connections do.
+            let mut encoded: Vec<Frame> = Vec::new();
+            let mut stream: Vec<u8> = Vec::new();
+            for (binary, corr, request) in &frames {
+                let kind = if *binary { CodecKind::Binary } else { CodecKind::Json };
+                let frame = kind
+                    .codec()
+                    .encode_client(&ClientFrame { corr: *corr, request: request.clone() })
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                frame
+                    .write_to(&mut stream)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                encoded.push(frame);
+            }
+
+            // The oracle: the blocking whole-buffer reader.
+            let mut whole = Vec::new();
+            let mut cursor: &[u8] = &stream;
+            while let Some(frame) = Frame::read_from(&mut cursor)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?
+            {
+                whole.push(frame);
+            }
+            prop_assert_eq!(&whole, &encoded);
+
+            // Split the identical bytes at random boundaries and feed the
+            // chunks through the incremental decoder.
+            let mut boundaries: Vec<usize> = cuts
+                .into_iter()
+                .map(|c| c as usize % (stream.len() + 1))
+                .collect();
+            boundaries.push(0);
+            boundaries.push(stream.len());
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            let mut decoder = FrameDecoder::new();
+            let mut incremental = Vec::new();
+            for window in boundaries.windows(2) {
+                decoder.extend(&stream[window[0]..window[1]]);
+                while let Some(frame) = decoder
+                    .next_frame()
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?
+                {
+                    incremental.push(frame);
+                }
+            }
+            prop_assert_eq!(&incremental, &encoded);
+            prop_assert_eq!(decoder.buffered(), 0);
+
+            // Each reassembled frame still decodes under its codec.
+            for (frame, (_, corr, request)) in incremental.iter().zip(&frames) {
+                let kind = CodecKind::for_version(frame.version)
+                    .ok_or_else(|| TestCaseError::fail("unknown version"))?;
+                let back = kind
+                    .codec()
+                    .decode_client(frame)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert_eq!(&back.request, request);
+                if kind == CodecKind::Binary {
+                    prop_assert_eq!(back.corr, *corr);
+                }
+            }
         }
     }
 }

@@ -395,3 +395,255 @@ fn abrupt_disconnect_cleans_up() {
     assert_eq!(outcome.delivered, 0);
     server.shutdown();
 }
+
+// --------------------------------------------------------------------------
+// Slow-consumer eviction on the epoll transport: the event loop's own
+// outbound buffers make a stalled subscriber deterministic without OS
+// send-buffer tricks — once the socket and the loop's buffer are full,
+// backpressure reaches the bounded broker queue and `--overflow` applies.
+
+mod slow_consumer {
+    use super::*;
+    use reef::pubsub::{Broker, OverflowPolicy};
+    use reef::wire::{ClientFrame, CodecKind, Frame, Request, TransportKind};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// A raw socket that handshakes, subscribes to everything, and then
+    /// never reads again — a genuinely stalled consumer ([`Client`] would
+    /// keep draining the socket from its reader thread).
+    fn stalled_subscriber(addr: std::net::SocketAddr) -> TcpStream {
+        let mut stream = TcpStream::connect(addr).expect("connect stalled subscriber");
+        let codec = CodecKind::Binary.codec();
+        for (corr, request) in [
+            (
+                1,
+                Request::Hello {
+                    version: 2,
+                    client: "stalled".to_owned(),
+                },
+            ),
+            (
+                2,
+                Request::Subscribe {
+                    filter: Filter::new(),
+                },
+            ),
+        ] {
+            codec
+                .encode_client(&ClientFrame { corr, request })
+                .expect("encode")
+                .write_to(&mut stream)
+                .expect("write");
+            Frame::read_from(&mut stream)
+                .expect("read reply")
+                .expect("reply frame");
+        }
+        stream
+    }
+
+    /// Event payload used to saturate the delivery path quickly: 64 KiB
+    /// per event means a handful of frames fill the kernel socket
+    /// buffers, the loop's outbound buffer, and the broker queue.
+    const PAD: usize = 64 * 1024;
+
+    fn pad_event() -> Event {
+        Event::builder().attr("pad", "x".repeat(PAD)).build()
+    }
+
+    /// Publish big events until `consecutive` publishes in a row report a
+    /// drop — the point where socket buffer, loop outbound buffer and
+    /// broker queue are all full and stay full. Returns how many
+    /// publishes it took.
+    fn flood_until_saturated(publisher: &Client, consecutive: u64) -> usize {
+        let mut streak = 0;
+        for i in 0..2000 {
+            let out = publisher.publish(pad_event()).expect("publish");
+            streak = if out.dropped > 0 { streak + 1 } else { 0 };
+            if streak >= consecutive {
+                return i + 1;
+            }
+        }
+        panic!("no sustained drops after 2000 publishes");
+    }
+
+    /// drop-new: a stalled subscriber fills socket buffer → loop outbound
+    /// buffer → bounded broker queue, then publishes report drops — and
+    /// once nothing moves for the write timeout, the connection is
+    /// evicted and counted.
+    #[test]
+    fn stalled_subscriber_drops_new_then_is_evicted() {
+        let server = BrokerServer::builder()
+            .transport(TransportKind::Epoll)
+            .queue_capacity(4)
+            .overflow(OverflowPolicy::DropAndCount)
+            .write_timeout(Duration::from_millis(500))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let stalled = stalled_subscriber(server.local_addr());
+        let publisher = Client::connect_as(server.local_addr(), "flooder").expect("connect");
+
+        flood_until_saturated(&publisher, 5);
+        assert!(
+            server.broker().stats().drops > 0,
+            "queue overflow surfaced in broker stats"
+        );
+
+        // Keep a trickle of publishes flowing so the outbound buffer
+        // stays pending; with the consumer stalled, those bytes make no
+        // progress and the write-timeout sweep evicts the connection.
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while server.connection_count() > 1 {
+            assert!(Instant::now() < deadline, "stalled connection evicted");
+            let _ = publisher.publish(pad_event());
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let wire = server.stats();
+        assert!(
+            wire.delivery_drops >= 1,
+            "eviction counted as a delivery drop: {wire:?}"
+        );
+        assert!(wire.loop_wakeups > 0, "event loop accounted wakeups");
+        drop(stalled);
+        server.shutdown();
+    }
+
+    /// A pipelined burst of small publishes lands several deliveries on
+    /// the subscriber's queue within one loop iteration; the loop encodes
+    /// them into one outbound buffer and flushes them together, counted
+    /// as a coalesced write.
+    #[test]
+    fn pipelined_fanout_coalesces_writes() {
+        let server = BrokerServer::builder()
+            .transport(TransportKind::Epoll)
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let subscriber = Client::connect_as(server.local_addr(), "sub").expect("connect");
+        subscriber.subscribe(Filter::new()).expect("subscribe");
+        let publisher = Client::connect_as(server.local_addr(), "burst").expect("connect");
+
+        let mut received = 0usize;
+        for _round in 0..10 {
+            let pending: Vec<_> = (0..50)
+                .map(|i| {
+                    publisher
+                        .publish_nowait(Event::builder().attr("i", i).build())
+                        .expect("publish_nowait")
+                })
+                .collect();
+            for handle in pending {
+                handle.wait().expect("outcome");
+            }
+            while subscriber.recv_delivery(WAIT).is_some() {
+                received += 1;
+                if received.is_multiple_of(50) {
+                    break;
+                }
+            }
+            if server.stats().writes_coalesced > 0 {
+                break;
+            }
+        }
+        assert!(
+            server.stats().writes_coalesced > 0,
+            "no burst coalesced: {:?}",
+            server.stats()
+        );
+        server.shutdown();
+    }
+
+    /// drop-old: the eviction policy keeps the queue at capacity while
+    /// counting one drop per displaced event; the connection survives
+    /// while its socket still makes progress.
+    #[test]
+    fn stalled_subscriber_drop_old_counts_evictions() {
+        let server = BrokerServer::builder()
+            .transport(TransportKind::Epoll)
+            .queue_capacity(4)
+            .overflow(OverflowPolicy::DropOldest)
+            .write_timeout(Duration::from_secs(30))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let stalled = stalled_subscriber(server.local_addr());
+        let publisher = Client::connect_as(server.local_addr(), "flooder").expect("connect");
+
+        flood_until_saturated(&publisher, 5);
+        let broker = server.broker().stats();
+        assert!(broker.drops > 0, "evictions counted: {broker:?}");
+        // Under drop-old every publish still lands on the queue.
+        assert!(
+            broker.deliveries > broker.drops,
+            "newest events kept: {broker:?}"
+        );
+        assert_eq!(server.connection_count(), 2, "no eviction yet");
+        drop(stalled);
+        server.shutdown();
+    }
+
+    /// block: with the queue full and the consumer stalled, a publish
+    /// waits out the broker's block timeout on a real socket and then
+    /// reports the drop.
+    #[test]
+    fn stalled_subscriber_block_policy_times_out() {
+        let block_timeout = Duration::from_millis(150);
+        let broker = Arc::new(
+            Broker::builder()
+                .queue_capacity(1)
+                .overflow(OverflowPolicy::Block)
+                .block_timeout(block_timeout)
+                .build(),
+        );
+        let server = BrokerServer::builder()
+            .transport(TransportKind::Epoll)
+            .broker(broker)
+            .write_timeout(Duration::from_secs(30))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let stalled = stalled_subscriber(server.local_addr());
+        let publisher = Client::connect_as(server.local_addr(), "flooder").expect("connect");
+
+        flood_until_saturated(&publisher, 5);
+        // Saturated: a publish that finds the queue still full must wait
+        // out the block timeout before giving the event up. (TCP window
+        // autotuning can open a slot between publishes, letting one
+        // through instantly; retry until one actually blocks.)
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let elapsed = loop {
+            let start = Instant::now();
+            let out = publisher.publish(pad_event()).expect("publish");
+            if out.dropped == 1 {
+                break start.elapsed();
+            }
+            assert!(Instant::now() < deadline, "saturation never re-reached");
+        };
+        assert!(
+            elapsed >= block_timeout - Duration::from_millis(30),
+            "publish waited out the block timeout, took {elapsed:?}"
+        );
+        drop(stalled);
+        server.shutdown();
+    }
+
+    /// The threaded transport still serves the identical protocol — the
+    /// `--transport` flag changes scheduling, not semantics.
+    #[test]
+    fn threads_transport_smoke() {
+        let server = BrokerServer::builder()
+            .transport(TransportKind::Threads)
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        assert_eq!(server.transport(), TransportKind::Threads);
+        let subscriber = Client::connect_as(server.local_addr(), "sub").expect("connect");
+        subscriber.subscribe(Filter::topic("t")).expect("subscribe");
+        let publisher = Client::connect_as(server.local_addr(), "pub").expect("connect");
+        let out = publisher
+            .publish(Event::topical("t", "body"))
+            .expect("publish");
+        assert_eq!(out.delivered, 1);
+        assert!(subscriber.recv_delivery(WAIT).is_some());
+        let wire = server.stats();
+        assert_eq!(wire.loop_wakeups, 0, "no event loop under threads");
+        server.shutdown();
+    }
+}
