@@ -70,6 +70,25 @@ impl ClickBatch {
     pub fn wire_size(&self) -> usize {
         serde_json::to_vec(self).map_or(0, |v| v.len())
     }
+
+    /// Server-side upload validation (§3.1): split the batch into the
+    /// clicks that genuinely carry the uploading user's cookie and the
+    /// count of forged-cookie rejects. The single source of truth for
+    /// the rule — both the in-memory and the durable ingestion paths go
+    /// through here.
+    pub fn partition_valid(self) -> (Vec<Click>, u64) {
+        let user = self.user;
+        let mut accepted = Vec::with_capacity(self.clicks.len());
+        let mut rejected = 0u64;
+        for click in self.clicks {
+            if click.user == user {
+                accepted.push(click);
+            } else {
+                rejected += 1;
+            }
+        }
+        (accepted, rejected)
+    }
 }
 
 /// Extract the host of an URL (`http://host/path` → `host`). Unparseable

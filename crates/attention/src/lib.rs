@@ -11,6 +11,9 @@
 //!   batching, upload accounting;
 //! * [`ClickStore`] — the server-side click database with per-user and
 //!   per-host indexes;
+//! * [`DurableClickStore`] — the same store behind a segmented,
+//!   checksummed write-ahead log with snapshot compaction, so attention
+//!   data survives daemon restarts and crashes;
 //! * [`AttentionParser`] — the schema-driven token scanner turning
 //!   attention into *valid name-value pairs* for any well-defined
 //!   publish-subscribe interface (stock symbols, feed URLs, keywords);
@@ -31,12 +34,16 @@
 
 pub mod click;
 pub mod parser;
+pub mod persist;
 pub mod reaction;
 pub mod recorder;
 pub mod store;
 
 pub use click::{host_of, Click, ClickBatch};
 pub use parser::{looks_like_feed_url, AttentionParser, CandidatePair, TokenSource};
+pub use persist::{
+    DurableClickStore, PersistConfig, PersistStats, DEFAULT_SEGMENT_BYTES, DEFAULT_SNAPSHOT_EVERY,
+};
 pub use reaction::{Reaction, ReactionModel};
 pub use recorder::{AttentionRecorder, BrowserRecorder, NullRecorder, RecorderStats};
 pub use store::{ClickStore, HostStats, UploadReceipt};

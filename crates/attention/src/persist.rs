@@ -1,0 +1,1140 @@
+//! Durable click storage: a segmented write-ahead log plus snapshot
+//! compaction for the server-side [`ClickStore`].
+//!
+//! The paper's clicks "are stored in a database" (§3.1); this module is
+//! that database's persistence layer. Every acknowledged upload is first
+//! appended to an on-disk log and only then applied to the in-memory
+//! indexes, so a daemon restart (or crash) recovers exactly the
+//! acknowledged prefix of the upload stream.
+//!
+//! # On-disk layout
+//!
+//! A data directory holds two kinds of files, both named by a
+//! monotonically increasing hex sequence number:
+//!
+//! * `wal-<seq>.log` — **segments** of the append-only log. Each starts
+//!   with an 8-byte magic and then carries records framed as
+//!   `[payload_len: u32 LE][crc32(payload): u32 LE][payload]`. One record
+//!   is one validated upload batch (the accepted clicks only), encoded
+//!   with the same LEB128-varint/length-delimited-string idiom as the
+//!   wire's v2 binary codec.
+//! * `snapshot-<seq>.snap` — a full-store **snapshot**, one checksummed
+//!   blob framed the same way. Snapshot `S` contains every record of every
+//!   segment with sequence number `< S`, so recovery is "load snapshot
+//!   `S`, replay segments `>= S`".
+//!
+//! # Compaction
+//!
+//! Every [`PersistConfig::snapshot_every`] ingested batches the store
+//! seals the active segment, writes a snapshot at the next sequence
+//! number (via a temp file + rename), and deletes segments and snapshots
+//! older than the *previous* snapshot. Keeping one snapshot generation of
+//! history means a snapshot whose checksum fails at recovery can fall
+//! back to its predecessor without losing data.
+//!
+//! # Recovery rules
+//!
+//! 1. The newest snapshot whose checksum verifies is loaded; corrupt
+//!    snapshots are deleted and the next older one is tried.
+//! 2. Segments at or after the snapshot's sequence number are replayed in
+//!    order. A record that is incomplete (torn mid-write) or fails its
+//!    checksum ends the replay: the segment is truncated to the last
+//!    valid record and any later segments are discarded. Recovery never
+//!    fails on torn or flipped bytes — it keeps exactly the checksummed
+//!    prefix.
+//! 3. Appends resume on the highest surviving segment.
+//!
+//! Appends are flushed to the OS before the upload is acknowledged, so
+//! acknowledged data survives a process crash (`kill -9`). Surviving an
+//! OS crash or power loss would additionally need an `fsync` per append
+//! (or group commit), which is deliberately not paid yet.
+
+use crate::click::{Click, ClickBatch};
+use crate::store::{ClickStore, UploadReceipt};
+use reef_simweb::UserId;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Default segment rotation threshold (8 MiB).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Default snapshot cadence, in ingested batches.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
+/// First bytes of every WAL segment.
+const SEGMENT_MAGIC: &[u8; 8] = b"REEFWAL\x01";
+
+/// First bytes of every snapshot file.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"REEFSNP\x01";
+
+/// Bytes of `[payload_len][crc]` framing in front of every record.
+const RECORD_HEADER: u64 = 8;
+
+/// Upper bound on one record's payload; a corrupt length prefix must not
+/// allocate gigabytes.
+const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
+
+/// Record tag: one validated upload batch.
+const RECORD_BATCH: u8 = 1;
+
+/// Where and how the click store persists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// Data directory (created if missing). One store per directory.
+    pub dir: PathBuf,
+    /// Rotate the active WAL segment once it grows past this many bytes.
+    pub segment_bytes: u64,
+    /// Write a snapshot (and compact older files) every this many
+    /// ingested batches; `0` disables snapshots.
+    pub snapshot_every: u64,
+}
+
+impl PersistConfig {
+    /// Config for `dir` with the default segment size and snapshot
+    /// cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> PersistConfig {
+        PersistConfig {
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+}
+
+/// Point-in-time persistence counters of a [`DurableClickStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistStats {
+    /// Bytes currently held across live WAL segments.
+    pub wal_bytes: u64,
+    /// Live WAL segment files.
+    pub segments: u64,
+    /// Snapshots written since this store was opened.
+    pub snapshots: u64,
+    /// Clicks restored at open (snapshot plus replayed segments).
+    pub recovered_clicks: u64,
+    /// Bytes discarded at open as a torn or corrupt log tail.
+    pub truncated_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Binary primitives: the same LEB128/length-delimited idiom as the wire's
+// v2 codec, mirrored here because `reef-wire` depends on this crate (the
+// dependency cannot point the other way).
+
+/// Byte-buffer writer for WAL records and snapshots.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn tag(&mut self, tag: u8) {
+        self.buf.push(tag);
+    }
+
+    /// LEB128 unsigned varint.
+    fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Length-delimited UTF-8.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over a record payload. Any malformed read means
+/// the record is corrupt; the caller treats that as the end of the valid
+/// log prefix.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// "This payload is corrupt" — carries no detail because the only
+/// response is truncation.
+struct Corrupt;
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn byte(&mut self) -> Result<u8, Corrupt> {
+        let b = *self.buf.get(self.pos).ok_or(Corrupt)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, Corrupt> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift == 63 && byte > 1 {
+                return Err(Corrupt);
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(Corrupt);
+            }
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, Corrupt> {
+        u32::try_from(self.u64()?).map_err(|_| Corrupt)
+    }
+
+    fn str(&mut self) -> Result<String, Corrupt> {
+        let len = self.u64()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(Corrupt)?;
+        let s = std::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|_| Corrupt)?
+            .to_owned();
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn finish(&self) -> Result<(), Corrupt> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Corrupt)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table built at compile time — no external crates in the
+// offline build.
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Record and snapshot encoding
+
+fn put_click(w: &mut Writer, click: &Click) {
+    w.u64(u64::from(click.user.0));
+    w.u64(u64::from(click.day));
+    w.u64(click.tick);
+    w.str(&click.url);
+    match &click.referrer {
+        Some(referrer) => {
+            w.tag(1);
+            w.str(referrer);
+        }
+        None => w.tag(0),
+    }
+}
+
+fn get_click(r: &mut Reader<'_>) -> Result<Click, Corrupt> {
+    Ok(Click {
+        user: UserId(r.u32()?),
+        day: r.u32()?,
+        tick: r.u64()?,
+        url: r.str()?,
+        referrer: match r.byte()? {
+            0 => None,
+            1 => Some(r.str()?),
+            _ => return Err(Corrupt),
+        },
+    })
+}
+
+/// Encode one validated batch (accepted clicks only) as a record payload.
+fn encode_batch_record(user: UserId, clicks: &[Click]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.tag(RECORD_BATCH);
+    w.u64(u64::from(user.0));
+    w.u64(clicks.len() as u64);
+    for click in clicks {
+        put_click(&mut w, click);
+    }
+    w.into_bytes()
+}
+
+fn decode_batch_record(payload: &[u8]) -> Result<Vec<Click>, Corrupt> {
+    let mut r = Reader::new(payload);
+    if r.byte()? != RECORD_BATCH {
+        return Err(Corrupt);
+    }
+    let _user = r.u64()?;
+    let n = r.u64()?;
+    let mut clicks = Vec::new();
+    for _ in 0..n {
+        clicks.push(get_click(&mut r)?);
+    }
+    r.finish()?;
+    Ok(clicks)
+}
+
+/// Encode the full store as a snapshot payload: per-user click vectors in
+/// insertion order (every derived index is rebuilt by re-inserting).
+fn encode_snapshot(store: &ClickStore) -> Vec<u8> {
+    let users: Vec<UserId> = store.users().collect();
+    let mut w = Writer::new();
+    w.u64(users.len() as u64);
+    for user in users {
+        let clicks = store.clicks_of(user);
+        w.u64(u64::from(user.0));
+        w.u64(clicks.len() as u64);
+        for click in clicks {
+            put_click(&mut w, click);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_snapshot(payload: &[u8]) -> Result<Vec<Click>, Corrupt> {
+    let mut r = Reader::new(payload);
+    let users = r.u64()?;
+    let mut clicks = Vec::new();
+    for _ in 0..users {
+        let _user = r.u64()?;
+        let n = r.u64()?;
+        for _ in 0..n {
+            clicks.push(get_click(&mut r)?);
+        }
+    }
+    r.finish()?;
+    Ok(clicks)
+}
+
+// ---------------------------------------------------------------------------
+// The WAL proper
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:016x}.log"))
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq:016x}.snap"))
+}
+
+/// Parse a `wal-…` / `snapshot-…` sequence number out of a file name.
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let hex = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// The segmented write-ahead log behind a [`DurableClickStore`].
+#[derive(Debug)]
+struct Wal {
+    cfg: PersistConfig,
+    active: File,
+    active_seq: u64,
+    active_len: u64,
+    /// Sequence numbers of live segments, ascending (last == active).
+    segment_seqs: Vec<u64>,
+    /// Sequence numbers of live snapshots, ascending.
+    snapshot_seqs: Vec<u64>,
+    batches_since_snapshot: u64,
+    /// Set when a failed append could not be rolled back to a record
+    /// boundary; every further append is refused (acknowledging writes
+    /// after torn bytes would violate the acknowledged-prefix
+    /// guarantee).
+    poisoned: bool,
+    wal_bytes: u64,
+    snapshots_written: u64,
+    recovered_clicks: u64,
+    truncated_bytes: u64,
+}
+
+impl Wal {
+    /// Open `cfg.dir`, recover the store state into `store`, and leave the
+    /// log ready to append.
+    fn open(cfg: PersistConfig, store: &mut ClickStore) -> io::Result<Wal> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut segment_seqs: Vec<u64> = Vec::new();
+        let mut snapshot_seqs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&cfg.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = parse_seq(name, "wal-", ".log") {
+                segment_seqs.push(seq);
+            } else if let Some(seq) = parse_seq(name, "snapshot-", ".snap") {
+                snapshot_seqs.push(seq);
+            } else if name.ends_with(".tmp") {
+                // A snapshot that died before its rename; never valid.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        segment_seqs.sort_unstable();
+        snapshot_seqs.sort_unstable();
+        let mut recovered_clicks = 0u64;
+        let mut truncated_bytes = 0u64;
+
+        // 1. Newest snapshot whose checksum verifies wins; corrupt ones
+        //    are deleted so a later compaction never trusts them.
+        let mut base_seq = 0u64;
+        while let Some(&seq) = snapshot_seqs.last() {
+            let path = snapshot_path(&cfg.dir, seq);
+            let loaded = read_checked_blob(&path, SNAPSHOT_MAGIC)
+                .and_then(|p| decode_snapshot(&p).map_err(|Corrupt| ()));
+            match loaded {
+                Ok(clicks) => {
+                    recovered_clicks += clicks.len() as u64;
+                    store.extend(clicks);
+                    base_seq = seq;
+                    break;
+                }
+                Err(()) => {
+                    let _ = fs::remove_file(&path);
+                    snapshot_seqs.pop();
+                }
+            }
+        }
+        // 2. Segments before the snapshot are fully contained in it.
+        while segment_seqs.first().is_some_and(|&s| s < base_seq) {
+            let seq = segment_seqs.remove(0);
+            let _ = fs::remove_file(segment_path(&cfg.dir, seq));
+        }
+        // 3. Replay everything after the snapshot, stopping (and
+        //    truncating) at the first torn or corrupt record.
+        let mut stop_at: Option<usize> = None;
+        for (i, &seq) in segment_seqs.iter().enumerate() {
+            let path = segment_path(&cfg.dir, seq);
+            let bytes = fs::read(&path)?;
+            let (valid, clicks) = replay_segment(&bytes, store);
+            recovered_clicks += clicks;
+            if valid < bytes.len() as u64 {
+                // Torn/corrupt tail: keep the checksummed prefix.
+                truncated_bytes += bytes.len() as u64 - valid;
+                truncate_segment(&path, valid)?;
+                stop_at = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = stop_at {
+            // Anything after a corrupt segment is past the valid prefix.
+            for &seq in &segment_seqs[i + 1..] {
+                let path = segment_path(&cfg.dir, seq);
+                truncated_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let _ = fs::remove_file(path);
+            }
+            segment_seqs.truncate(i + 1);
+        }
+        // 4. Re-open (or create) the active segment.
+        let (active, active_seq, active_len) = match segment_seqs.last().copied() {
+            Some(seq) => {
+                let path = segment_path(&cfg.dir, seq);
+                let len = fs::metadata(&path)?.len();
+                (OpenOptions::new().append(true).open(path)?, seq, len)
+            }
+            None => {
+                let seq = base_seq.max(1);
+                let (file, len) = new_segment_file(&cfg.dir, seq)?;
+                segment_seqs.push(seq);
+                (file, seq, len)
+            }
+        };
+        let wal_bytes = segment_seqs
+            .iter()
+            .map(|&seq| {
+                fs::metadata(segment_path(&cfg.dir, seq))
+                    .map(|m| m.len())
+                    .unwrap_or(0)
+            })
+            .sum();
+        Ok(Wal {
+            cfg,
+            active,
+            active_seq,
+            active_len,
+            segment_seqs,
+            snapshot_seqs,
+            batches_since_snapshot: 0,
+            poisoned: false,
+            wal_bytes,
+            snapshots_written: 0,
+            recovered_clicks,
+            truncated_bytes,
+        })
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        let seq = self.active_seq + 1;
+        let (file, len) = new_segment_file(&self.cfg.dir, seq)?;
+        self.active = file;
+        self.active_seq = seq;
+        self.active_len = len;
+        self.wal_bytes += len;
+        self.segment_seqs.push(seq);
+        Ok(())
+    }
+
+    /// Append one validated batch record and flush it to the OS. The
+    /// caller only applies the batch to the in-memory store (and only
+    /// acknowledges the upload) after this returns `Ok`.
+    fn append_batch(&mut self, user: UserId, clicks: &[Click]) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "WAL poisoned by an earlier partial write that could not be rolled back",
+            ));
+        }
+        let payload = encode_batch_record(user, clicks);
+        if payload.len() > MAX_RECORD_LEN {
+            // Refuse rather than acknowledge: a record past the replay
+            // limit would be written fine but rejected at recovery —
+            // acknowledged-then-lost, the exact failure the WAL exists
+            // to rule out. (The wire codec caps batches well below
+            // this, so the path is unreachable through `reefd`.)
+            return Err(io::Error::other(format!(
+                "click batch encodes to {} bytes, past the {MAX_RECORD_LEN}-byte record limit",
+                payload.len()
+            )));
+        }
+        let record_len = RECORD_HEADER + payload.len() as u64;
+        if self.active_len > SEGMENT_MAGIC.len() as u64
+            && self.active_len + record_len > self.cfg.segment_bytes
+        {
+            self.rotate()?;
+        }
+        let mut frame = Vec::with_capacity(record_len as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if let Err(e) = self
+            .active
+            .write_all(&frame)
+            .and_then(|()| self.active.flush())
+        {
+            // A failed write_all may have left a torn partial record on
+            // disk. Roll the segment back to the last record boundary:
+            // otherwise the next successful (and acknowledged) append
+            // would land *after* the garbage, and recovery — which stops
+            // at the first corrupt record — would silently discard it,
+            // breaking the acknowledged-prefix guarantee.
+            if self.active.set_len(self.active_len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.active_len += record_len;
+        self.wal_bytes += record_len;
+        Ok(())
+    }
+
+    /// Snapshot-cadence bookkeeping, run after every applied batch.
+    /// Snapshot failures are deliberately swallowed: the data is already
+    /// safe in the WAL, and the next cadence tick retries.
+    fn note_batch(&mut self, store: &ClickStore) {
+        self.batches_since_snapshot += 1;
+        if self.cfg.snapshot_every > 0 && self.batches_since_snapshot >= self.cfg.snapshot_every {
+            self.batches_since_snapshot = 0;
+            let _ = self.write_snapshot(store);
+        }
+    }
+
+    /// Seal the active segment, write a full-store snapshot at the new
+    /// sequence number, and compact files older than the previous
+    /// snapshot.
+    fn write_snapshot(&mut self, store: &ClickStore) -> io::Result<()> {
+        let payload = encode_snapshot(store);
+        if payload.len() > MAX_RECORD_LEN {
+            // A snapshot past the recovery read limit would "succeed"
+            // here, be unreadable at restart, and — worse — authorize
+            // compaction of the segments it supposedly covers. Refuse
+            // instead: the WAL keeps growing but stays authoritative.
+            return Err(io::Error::other(format!(
+                "store snapshot encodes to {} bytes, past the {MAX_RECORD_LEN}-byte limit; \
+                 keeping the WAL uncompacted",
+                payload.len()
+            )));
+        }
+        if self.active_len > SEGMENT_MAGIC.len() as u64 {
+            self.rotate()?;
+        }
+        let seq = self.active_seq;
+        let tmp = self.cfg.dir.join(format!("snapshot-{seq:016x}.tmp"));
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(SNAPSHOT_MAGIC)?;
+            file.write_all(&(payload.len() as u32).to_le_bytes())?;
+            file.write_all(&crc32(&payload).to_le_bytes())?;
+            file.write_all(&payload)?;
+            file.flush()?;
+        }
+        let path = snapshot_path(&self.cfg.dir, seq);
+        fs::rename(&tmp, &path)?;
+        // Compaction below deletes the segments this snapshot covers, so
+        // never run it on a snapshot that has not been proven readable.
+        if read_checked_blob(&path, SNAPSHOT_MAGIC).is_err() {
+            let _ = fs::remove_file(&path);
+            return Err(io::Error::other(
+                "snapshot failed read-back verification; keeping the WAL uncompacted",
+            ));
+        }
+        self.snapshot_seqs.push(seq);
+        self.snapshots_written += 1;
+        // Compaction: keep this snapshot and its predecessor (the
+        // checksum-fallback generation); everything older goes.
+        if self.snapshot_seqs.len() >= 2 {
+            let prev = self.snapshot_seqs[self.snapshot_seqs.len() - 2];
+            while self.snapshot_seqs.first().is_some_and(|&s| s < prev) {
+                let old = self.snapshot_seqs.remove(0);
+                let _ = fs::remove_file(snapshot_path(&self.cfg.dir, old));
+            }
+            while self.segment_seqs.first().is_some_and(|&s| s < prev) {
+                let old = self.segment_seqs.remove(0);
+                let path = segment_path(&self.cfg.dir, old);
+                self.wal_bytes = self
+                    .wal_bytes
+                    .saturating_sub(fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> PersistStats {
+        PersistStats {
+            wal_bytes: self.wal_bytes,
+            segments: self.segment_seqs.len() as u64,
+            snapshots: self.snapshots_written,
+            recovered_clicks: self.recovered_clicks,
+            truncated_bytes: self.truncated_bytes,
+        }
+    }
+}
+
+/// Replay one segment's records into `store`. Returns the byte length of
+/// the valid prefix and the number of clicks applied.
+fn replay_segment(bytes: &[u8], store: &mut ClickStore) -> (u64, u64) {
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return (0, 0);
+    }
+    let mut pos = SEGMENT_MAGIC.len() as u64;
+    let mut applied = 0u64;
+    loop {
+        let rest = &bytes[pos as usize..];
+        if (rest.len() as u64) < RECORD_HEADER {
+            return (pos, applied);
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let want_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len == 0 || len > MAX_RECORD_LEN || rest.len() < RECORD_HEADER as usize + len {
+            return (pos, applied);
+        }
+        let payload = &rest[RECORD_HEADER as usize..RECORD_HEADER as usize + len];
+        if crc32(payload) != want_crc {
+            return (pos, applied);
+        }
+        let Ok(clicks) = decode_batch_record(payload) else {
+            return (pos, applied);
+        };
+        applied += clicks.len() as u64;
+        store.extend(clicks);
+        pos += RECORD_HEADER + len as u64;
+    }
+}
+
+/// Create a fresh segment file with its magic written; returns the open
+/// append handle and the current length.
+fn new_segment_file(dir: &Path, seq: u64) -> io::Result<(File, u64)> {
+    let path = segment_path(dir, seq);
+    let mut file = OpenOptions::new().append(true).create(true).open(path)?;
+    file.write_all(SEGMENT_MAGIC)?;
+    file.flush()?;
+    Ok((file, SEGMENT_MAGIC.len() as u64))
+}
+
+/// Read a `[magic][len][crc][payload]` file and return the payload iff
+/// every check passes.
+fn read_checked_blob(path: &Path, magic: &[u8; 8]) -> Result<Vec<u8>, ()> {
+    let bytes = fs::read(path).map_err(|_| ())?;
+    if bytes.len() < magic.len() + RECORD_HEADER as usize || &bytes[..magic.len()] != magic {
+        return Err(());
+    }
+    let header = &bytes[magic.len()..];
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let want_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let payload = &header[RECORD_HEADER as usize..];
+    if len != payload.len() || len > MAX_RECORD_LEN || crc32(payload) != want_crc {
+        return Err(());
+    }
+    Ok(payload.to_vec())
+}
+
+/// Cut a segment file back to its valid prefix. A prefix shorter than the
+/// magic means the whole file is garbage: reset it to an empty segment.
+fn truncate_segment(path: &Path, valid: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    if valid < SEGMENT_MAGIC.len() as u64 {
+        file.set_len(0)?;
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.write_all(SEGMENT_MAGIC)?;
+        file.flush()?;
+    } else {
+        file.set_len(valid)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// DurableClickStore
+
+/// A [`ClickStore`] whose ingested uploads survive process restarts.
+///
+/// Wraps the in-memory store behind the same `ingest_upload` surface:
+/// every validated batch is appended to the WAL (and flushed) *before* it
+/// is applied and acknowledged, so the store recovered from disk is
+/// always exactly the acknowledged prefix of the upload stream. Opened
+/// without a data directory ([`DurableClickStore::in_memory`]) it
+/// degrades to the plain in-memory store.
+///
+/// Read queries go through `Deref<Target = ClickStore>`; mutation must go
+/// through the ingest methods so the log stays authoritative.
+#[derive(Debug)]
+pub struct DurableClickStore {
+    store: ClickStore,
+    wal: Option<Wal>,
+}
+
+impl DurableClickStore {
+    /// A purely in-memory store: same surface, no disk.
+    pub fn in_memory() -> DurableClickStore {
+        DurableClickStore {
+            store: ClickStore::new(),
+            wal: None,
+        }
+    }
+
+    /// Open (or create) the store persisted under `cfg.dir`, recovering
+    /// snapshot + log into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating or reading the data directory.
+    /// Torn or corrupt log tails are *not* errors: they are truncated and
+    /// counted in [`PersistStats::truncated_bytes`].
+    pub fn open(cfg: PersistConfig) -> io::Result<DurableClickStore> {
+        let mut store = ClickStore::new();
+        let wal = Wal::open(cfg, &mut store)?;
+        Ok(DurableClickStore {
+            store,
+            wal: Some(wal),
+        })
+    }
+
+    /// Ingest one upload, reporting `wire_bytes` in the receipt as the
+    /// actual frame size the transport measured.
+    ///
+    /// # Errors
+    ///
+    /// An I/O failure appending to the WAL; the batch is then **not**
+    /// applied and must not be acknowledged.
+    pub fn ingest_upload_sized(
+        &mut self,
+        batch: ClickBatch,
+        wire_bytes: u64,
+    ) -> io::Result<UploadReceipt> {
+        let user = batch.user;
+        let (accepted, rejected) = batch.partition_valid();
+        if let Some(wal) = &mut self.wal {
+            if !accepted.is_empty() {
+                wal.append_batch(user, &accepted)?;
+            }
+        }
+        let n_accepted = accepted.len() as u64;
+        self.store.extend(accepted);
+        if let Some(wal) = &mut self.wal {
+            wal.note_batch(&self.store);
+        }
+        Ok(UploadReceipt {
+            user,
+            accepted: n_accepted,
+            rejected,
+            wire_bytes,
+            total_stored: self.store.len(),
+        })
+    }
+
+    /// Ingest one upload, reporting the batch's JSON size as
+    /// `wire_bytes` (callers with no transport framing in hand).
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableClickStore::ingest_upload_sized`].
+    pub fn ingest_upload(&mut self, batch: ClickBatch) -> io::Result<UploadReceipt> {
+        let wire_bytes = batch.wire_size() as u64;
+        self.ingest_upload_sized(batch, wire_bytes)
+    }
+
+    /// The wrapped in-memory store.
+    pub fn store(&self) -> &ClickStore {
+        &self.store
+    }
+
+    /// Persistence counters; all-zero for an in-memory store.
+    pub fn persist_stats(&self) -> PersistStats {
+        self.wal.as_ref().map(Wal::stats).unwrap_or_default()
+    }
+
+    /// Force a snapshot + compaction now, regardless of cadence. No-op
+    /// in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the snapshot.
+    pub fn snapshot_now(&mut self) -> io::Result<()> {
+        match &mut self.wal {
+            Some(wal) => wal.write_snapshot(&self.store),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::ops::Deref for DurableClickStore {
+    type Target = ClickStore;
+
+    fn deref(&self) -> &ClickStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique temp directory, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(label: &str) -> TempDir {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("reef-persist-{label}-{}-{n}", std::process::id()));
+            fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn click(user: u32, tick: u64, url: &str) -> Click {
+        Click {
+            user: UserId(user),
+            day: (tick / 10) as u32,
+            tick,
+            url: url.to_owned(),
+            referrer: (tick.is_multiple_of(2)).then(|| format!("http://ref.example/{tick}")),
+        }
+    }
+
+    fn batch(user: u32, ticks: std::ops::Range<u64>) -> ClickBatch {
+        ClickBatch {
+            user: UserId(user),
+            clicks: ticks
+                .map(|t| click(user, t, &format!("http://host{}.example/p{t}", user % 3)))
+                .collect(),
+        }
+    }
+
+    fn cfg(dir: &Path, segment_bytes: u64, snapshot_every: u64) -> PersistConfig {
+        PersistConfig {
+            dir: dir.to_path_buf(),
+            segment_bytes,
+            snapshot_every,
+        }
+    }
+
+    fn wal_files(dir: &Path) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = fs::read_dir(dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").path())
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
+            .collect();
+        files.sort();
+        files
+    }
+
+    fn snapshot_files(dir: &Path) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = fs::read_dir(dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").path())
+            .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+            .collect();
+        files.sort();
+        files
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn reopen_recovers_every_acknowledged_batch() {
+        let dir = TempDir::new("reopen");
+        let mut oracle = ClickStore::new();
+        {
+            let mut store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("open");
+            for i in 0..10u64 {
+                let b = batch((i % 3) as u32, i * 10..i * 10 + 4);
+                oracle.ingest_upload(b.clone());
+                store.ingest_upload(b).expect("ingest");
+            }
+            assert_eq!(store.len(), oracle.len());
+        }
+        let store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("reopen");
+        assert_eq!(*store.store(), oracle);
+        assert_eq!(store.persist_stats().recovered_clicks, oracle.len());
+        assert_eq!(store.persist_stats().truncated_bytes, 0);
+    }
+
+    #[test]
+    fn forged_cookie_clicks_are_rejected_not_persisted() {
+        let dir = TempDir::new("forged");
+        {
+            let mut store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("open");
+            let mut b = batch(1, 0..2);
+            b.clicks.push(click(9, 99, "http://evil.example/"));
+            let receipt = store.ingest_upload(b).expect("ingest");
+            assert_eq!(receipt.accepted, 2);
+            assert_eq!(receipt.rejected, 1);
+        }
+        let store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert!(store.clicks_of(UserId(9)).is_empty());
+    }
+
+    #[test]
+    fn segments_rotate_and_snapshots_compact() {
+        let dir = TempDir::new("compact");
+        let mut store = DurableClickStore::open(cfg(dir.path(), 256, 4)).expect("open");
+        for i in 0..20u64 {
+            store
+                .ingest_upload(batch(0, i * 10..i * 10 + 3))
+                .expect("ingest");
+        }
+        let stats = store.persist_stats();
+        assert!(stats.snapshots >= 2, "snapshots written: {stats:?}");
+        // Compaction keeps at most the fallback generation of snapshots.
+        assert!(snapshot_files(dir.path()).len() <= 2);
+        // Segments before the previous snapshot are gone.
+        assert!(
+            wal_files(dir.path()).len() as u64 <= stats.segments + 1,
+            "stale segments compacted"
+        );
+        drop(store);
+        let reopened = DurableClickStore::open(cfg(dir.path(), 256, 4)).expect("reopen");
+        assert_eq!(reopened.len(), 60);
+    }
+
+    #[test]
+    fn torn_tail_truncation_keeps_exact_checksummed_prefix_at_every_offset() {
+        let dir = TempDir::new("torn");
+        // Build a small single-segment log, remembering the store state
+        // after each batch (the prefix oracle) and each record boundary.
+        let mut boundaries = vec![SEGMENT_MAGIC.len() as u64];
+        let mut oracles = vec![ClickStore::new()];
+        {
+            let mut store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("open");
+            for i in 0..4u64 {
+                store
+                    .ingest_upload(batch(0, i * 10..i * 10 + 2))
+                    .expect("ingest");
+                boundaries.push(store.persist_stats().wal_bytes);
+                oracles.push(store.store().clone());
+            }
+        }
+        let path = wal_files(dir.path()).pop().expect("one segment");
+        let full = fs::read(&path).expect("read wal");
+        assert_eq!(*boundaries.last().unwrap(), full.len() as u64);
+
+        for cut in 0..=full.len() {
+            fs::write(&path, &full[..cut]).expect("truncate");
+            let store =
+                DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("recover never fails");
+            // Expected: the batches whose records end at or before `cut`;
+            // a cut inside the magic voids the whole file.
+            let (keep, valid_prefix) = if (cut as u64) < SEGMENT_MAGIC.len() as u64 {
+                (0usize, 0u64)
+            } else {
+                let keep = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+                (keep, boundaries[keep])
+            };
+            assert_eq!(
+                *store.store(),
+                oracles[keep],
+                "cut at {cut} must keep exactly {keep} batches"
+            );
+            assert_eq!(
+                store.persist_stats().truncated_bytes,
+                cut as u64 - valid_prefix,
+                "cut at {cut}"
+            );
+            drop(store);
+            // Recovery truncated the file in place; restore for the next
+            // iteration.
+            fs::write(&path, &full).expect("restore");
+        }
+    }
+
+    #[test]
+    fn flipped_bytes_never_panic_and_never_fabricate_clicks() {
+        let dir = TempDir::new("flip");
+        let mut oracles = vec![ClickStore::new()];
+        let mut boundaries = vec![SEGMENT_MAGIC.len() as u64];
+        {
+            let mut store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("open");
+            for i in 0..3u64 {
+                store
+                    .ingest_upload(batch(1, i * 10..i * 10 + 2))
+                    .expect("ingest");
+                boundaries.push(store.persist_stats().wal_bytes);
+                oracles.push(store.store().clone());
+            }
+        }
+        let path = wal_files(dir.path()).pop().expect("one segment");
+        let full = fs::read(&path).expect("read wal");
+
+        for flip in 0..full.len() {
+            let mut corrupt = full.clone();
+            corrupt[flip] ^= 0x5a;
+            fs::write(&path, &corrupt).expect("write corrupt");
+            let store =
+                DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("recover never fails");
+            // The record containing the flipped byte (and everything
+            // after it) must be dropped; everything before must survive.
+            let keep = boundaries
+                .iter()
+                .filter(|&&b| b <= flip as u64)
+                .count()
+                .saturating_sub(1);
+            assert_eq!(
+                *store.store(),
+                oracles[keep],
+                "flip at {flip} must keep exactly {keep} batches"
+            );
+            drop(store);
+            fs::write(&path, &full).expect("restore");
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous_generation() {
+        let dir = TempDir::new("snapfall");
+        let mut oracle = ClickStore::new();
+        {
+            let mut store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 3)).expect("open");
+            for i in 0..9u64 {
+                let b = batch(2, i * 10..i * 10 + 2);
+                oracle.ingest_upload(b.clone());
+                store.ingest_upload(b).expect("ingest");
+            }
+            assert!(store.persist_stats().snapshots >= 2);
+        }
+        // Corrupt the newest snapshot's payload.
+        let newest = snapshot_files(dir.path()).pop().expect("snapshot present");
+        let mut bytes = fs::read(&newest).expect("read snapshot");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&newest, &bytes).expect("write corrupt snapshot");
+
+        let store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 3)).expect("reopen");
+        // Fallback: previous snapshot + the segments kept since it replay
+        // to the identical full state.
+        assert_eq!(*store.store(), oracle);
+        // The corrupt snapshot was deleted so compaction never trusts it.
+        assert!(!newest.exists());
+    }
+
+    #[test]
+    fn in_memory_store_matches_plain_ingestion() {
+        let mut durable = DurableClickStore::in_memory();
+        let mut plain = ClickStore::new();
+        for i in 0..5u64 {
+            let b = batch((i % 2) as u32, i * 10..i * 10 + 3);
+            let r1 = durable.ingest_upload(b.clone()).expect("ingest");
+            let r2 = plain.ingest_upload(b);
+            assert_eq!(r1, r2);
+        }
+        assert_eq!(*durable.store(), plain);
+        assert_eq!(durable.persist_stats(), PersistStats::default());
+    }
+
+    #[test]
+    fn snapshot_now_compacts_on_demand() {
+        let dir = TempDir::new("snapnow");
+        let mut store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("open");
+        for i in 0..6u64 {
+            store
+                .ingest_upload(batch(0, i * 10..i * 10 + 2))
+                .expect("ingest");
+        }
+        store.snapshot_now().expect("snapshot");
+        store.snapshot_now().expect("snapshot again");
+        assert_eq!(store.persist_stats().snapshots, 2);
+        drop(store);
+        let reopened = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("reopen");
+        assert_eq!(reopened.len(), 12);
+    }
+}

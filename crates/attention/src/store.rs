@@ -21,7 +21,10 @@ pub struct UploadReceipt {
     pub accepted: u64,
     /// Clicks rejected (user cookie mismatch within the batch).
     pub rejected: u64,
-    /// JSON wire size of the batch as uploaded.
+    /// Size of the upload as it actually crossed the wire: the frame
+    /// byte count when the transport threads it through
+    /// ([`ClickStore::ingest_upload_sized`]), the batch's JSON size as a
+    /// fallback ([`ClickStore::ingest_upload`]).
     pub wire_bytes: u64,
     /// Total clicks in the store after ingestion.
     pub total_stored: u64,
@@ -42,7 +45,10 @@ pub struct HostStats {
 
 /// In-memory click store with the per-user and per-host indexes the
 /// analysis pipeline queries.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares full contents (per-user click logs and every
+/// derived index) — the oracle comparison the persistence tests build on.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClickStore {
     by_user: HashMap<UserId, Vec<Click>>,
     host_stats: BTreeMap<String, HostStats>,
@@ -89,20 +95,22 @@ impl ClickStore {
     /// and returns an accounting receipt for the transport layer.
     pub fn ingest_upload(&mut self, batch: ClickBatch) -> UploadReceipt {
         let wire_bytes = batch.wire_size() as u64;
+        self.ingest_upload_sized(batch, wire_bytes)
+    }
+
+    /// Like [`ClickStore::ingest_upload`], but reports `wire_bytes` in
+    /// the receipt as the actual frame size the transport measured —
+    /// binary and compressed codecs ship far fewer bytes than the batch's
+    /// JSON rendering, and the receipt must account for what really
+    /// crossed the wire.
+    pub fn ingest_upload_sized(&mut self, batch: ClickBatch, wire_bytes: u64) -> UploadReceipt {
         let user = batch.user;
-        let mut accepted = 0u64;
-        let mut rejected = 0u64;
-        for click in batch.clicks {
-            if click.user == user {
-                self.insert(click);
-                accepted += 1;
-            } else {
-                rejected += 1;
-            }
-        }
+        let (accepted, rejected) = batch.partition_valid();
+        let n_accepted = accepted.len() as u64;
+        self.extend(accepted);
         UploadReceipt {
             user,
-            accepted,
+            accepted: n_accepted,
             rejected,
             wire_bytes,
             total_stored: self.total,

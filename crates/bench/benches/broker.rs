@@ -204,7 +204,116 @@ fn bench_wire_codecs(c: &mut Criterion) {
             );
         }
     }
+
+    // Click-upload compression ablation: the v2 codec delta/prefix-codes
+    // click batches; measure it against the pre-compression v2 layout
+    // (and assert the win, which is this bench's acceptance number).
+    let plain_codec = reef_wire::codec::BinaryCodec;
+    let compressed = CodecKind::Binary
+        .codec()
+        .encode_client(&upload)
+        .expect("encode");
+    let plain = plain_codec
+        .encode_client_uncompressed(&upload)
+        .expect("encode plain");
+    eprintln!(
+        "wire_codec/click_upload/binary-plain: {} bytes/frame (compressed v2 {} = {:.0}%)",
+        plain.wire_len(),
+        compressed.wire_len(),
+        100.0 * compressed.wire_len() as f64 / plain.wire_len() as f64,
+    );
+    assert!(
+        compressed.wire_len() < plain.wire_len(),
+        "compressed v2 click upload ({}) must beat plain v2 ({})",
+        compressed.wire_len(),
+        plain.wire_len()
+    );
+    group.bench_function(
+        BenchmarkId::new("encode_click_upload", "binary-plain"),
+        |b| {
+            b.iter(|| {
+                black_box(
+                    plain_codec
+                        .encode_client_uncompressed(black_box(&upload))
+                        .expect("encode"),
+                )
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("decode_click_upload", "binary-plain"),
+        |b| {
+            b.iter(|| {
+                black_box(
+                    plain_codec
+                        .decode_client_uncompressed(black_box(&plain))
+                        .expect("decode"),
+                )
+            })
+        },
+    );
     group.finish();
+}
+
+/// The durable click store's disk path: WAL append cost per upload batch
+/// (what every acknowledged upload now pays) and full recovery cost
+/// (snapshot + segment replay at daemon startup).
+fn bench_click_wal(c: &mut Criterion) {
+    use reef_attention::{Click, ClickBatch, DurableClickStore, PersistConfig};
+    use reef_simweb::UserId;
+
+    let dir = std::env::temp_dir().join(format!("reef-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = PersistConfig {
+        dir: dir.clone(),
+        segment_bytes: 1 << 20,
+        snapshot_every: 256,
+    };
+    let batch = |base: u64| ClickBatch {
+        user: UserId(7),
+        clicks: (0..20)
+            .map(|i| Click {
+                user: UserId(7),
+                day: (base / 100) as u32,
+                tick: base + i,
+                url: format!("http://news.example/story-{}.html", base + i),
+                referrer: (i % 2 == 0).then(|| "http://portal.example/".to_owned()),
+            })
+            .collect(),
+    };
+
+    let mut group = c.benchmark_group("click_wal");
+    group.bench_function("append_20_click_batch", |b| {
+        let mut store = DurableClickStore::open(cfg.clone()).expect("open");
+        let mut base = 0u64;
+        b.iter(|| {
+            base += 100;
+            black_box(store.ingest_upload(batch(base)).expect("ingest"));
+        })
+    });
+
+    // Recovery: replay a store of 200 batches (snapshots disabled so the
+    // whole log replays — the worst case).
+    let recover_dir = dir.join("recover");
+    let recover_cfg = PersistConfig {
+        dir: recover_dir,
+        segment_bytes: 1 << 20,
+        snapshot_every: 0,
+    };
+    {
+        let mut store = DurableClickStore::open(recover_cfg.clone()).expect("open");
+        for i in 0..200u64 {
+            store.ingest_upload(batch(i * 100)).expect("ingest");
+        }
+    }
+    group.bench_function("recover_200_batches", |b| {
+        b.iter(|| {
+            let store = DurableClickStore::open(recover_cfg.clone()).expect("recover");
+            black_box(store.len())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Connection scaling: one daemon holding many idle subscribers, measured
@@ -307,6 +416,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_local_broker, bench_overlay, bench_overlay_construction,
-        bench_broker_node_handle, bench_wire_codecs, bench_wire_connections
+        bench_broker_node_handle, bench_wire_codecs, bench_click_wal,
+        bench_wire_connections
 }
 criterion_main!(benches);

@@ -1,13 +1,15 @@
 //! `reefd` — the reef broker daemon.
 //!
 //! Serves a content-based publish-subscribe broker over TCP using the
-//! reef-wire protocol, ingests uploaded attention data into an in-memory
-//! click store, and federates with other `reefd` instances over the same
-//! port (`--peer`): subscriptions are forwarded with covering-based
-//! pruning and events routed along the broker tree.
+//! reef-wire protocol, ingests uploaded attention data into a click
+//! store (durable under `--data-dir`: segmented WAL + snapshot
+//! compaction, recovered on restart), and federates with other `reefd`
+//! instances over the same port (`--peer`): subscriptions are forwarded
+//! with covering-based pruning and events routed along the broker tree.
 
 use reef_pubsub::OverflowPolicy;
 use reef_wire::{BrokerServer, CodecKind, TransportKind};
+use std::path::PathBuf;
 use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7474";
@@ -39,6 +41,16 @@ OPTIONS:
                              json (v1) | binary (v2, default). Inbound
                              clients and peers always negotiate their
                              own codec per connection
+        --data-dir DIR       persist the click store under DIR (segmented
+                             WAL + snapshots); a restart on the same DIR
+                             recovers every acknowledged upload. Default:
+                             in-memory, nothing survives a restart
+        --wal-segment-bytes N
+                             rotate WAL segments past N bytes
+                             (default 8388608; needs --data-dir)
+        --snapshot-every N   write a click-store snapshot and compact old
+                             segments every N upload batches; 0 disables
+                             (default 256; needs --data-dir)
         --no-covering        disable covering-based advertisement pruning
                              toward peers
         --queue-capacity N   bound each subscriber's delivery queue to N
@@ -70,6 +82,9 @@ struct Config {
     peer_queue: usize,
     write_timeout: Duration,
     stats_interval: u64,
+    data_dir: Option<PathBuf>,
+    wal_segment_bytes: Option<u64>,
+    snapshot_every: Option<u64>,
 }
 
 impl Config {
@@ -90,6 +105,9 @@ impl Config {
                 .ok()
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(10),
+            data_dir: None,
+            wal_segment_bytes: None,
+            snapshot_every: None,
         }
     }
 }
@@ -136,6 +154,30 @@ fn parse_args(args: impl Iterator<Item = String>) -> Config {
                 let raw = args.next().unwrap_or_else(|| bail("--codec needs a value"));
                 config.codec = CodecKind::parse(&raw)
                     .unwrap_or_else(|| bail("--codec must be one of: json, binary"));
+            }
+            "--data-dir" => {
+                config.data_dir = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| bail("--data-dir needs a directory")),
+                ));
+            }
+            "--wal-segment-bytes" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--wal-segment-bytes needs a number"));
+                match raw.parse::<u64>() {
+                    Ok(n) if n > 0 => config.wal_segment_bytes = Some(n),
+                    _ => bail("--wal-segment-bytes must be a positive integer"),
+                }
+            }
+            "--snapshot-every" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--snapshot-every needs a number"));
+                match raw.parse::<u64>() {
+                    Ok(n) => config.snapshot_every = Some(n),
+                    Err(_) => bail("--snapshot-every must be an integer (0 disables)"),
+                }
             }
             "--no-covering" => config.covering = false,
             "--queue-capacity" => {
@@ -212,6 +254,15 @@ fn main() {
     if let Some(capacity) = config.queue_capacity {
         builder = builder.queue_capacity(capacity);
     }
+    if let Some(dir) = &config.data_dir {
+        builder = builder.data_dir(dir.clone());
+    }
+    if let Some(bytes) = config.wal_segment_bytes {
+        builder = builder.wal_segment_bytes(bytes);
+    }
+    if let Some(batches) = config.snapshot_every {
+        builder = builder.snapshot_every(batches);
+    }
     for peer in &config.peers {
         builder = builder.peer(peer.clone());
     }
@@ -229,6 +280,20 @@ fn main() {
         server.transport(),
         server.federation_stats().broker_id,
     );
+    if let Some(dir) = &config.data_dir {
+        let wire = server.stats();
+        println!(
+            "reefd: durable click store at {} — recovered {} clicks from {} segment(s){}",
+            dir.display(),
+            wire.recovered_clicks,
+            wire.wal_segments,
+            if wire.wal_truncated_bytes > 0 {
+                format!(", truncated {} torn bytes", wire.wal_truncated_bytes)
+            } else {
+                String::new()
+            },
+        );
+    }
     for peer in server.peer_stats() {
         println!(
             "reefd: federated with `{}` at {} ({} codec)",

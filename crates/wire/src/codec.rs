@@ -364,6 +364,57 @@ impl WireCodec for BinaryCodec {
     }
 }
 
+impl BinaryCodec {
+    /// Encode a client frame using the **pre-compression** v2 click-batch
+    /// layout (absolute days/ticks, full URL and referrer strings).
+    /// Non-upload requests encode identically to
+    /// [`WireCodec::encode_client`].
+    ///
+    /// Benchmark/migration reference only: frames produced here do *not*
+    /// decode through [`WireCodec::decode_client`] — pair them with
+    /// [`BinaryCodec::decode_client_uncompressed`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors the trait surface.
+    pub fn encode_client_uncompressed(&self, frame: &ClientFrame) -> Result<Frame, WireError> {
+        match &frame.request {
+            Request::UploadClicks { batch } => {
+                let mut w = Writer::new();
+                w.u64(frame.corr);
+                w.tag(UPLOAD_CLICKS_TAG);
+                put_batch_plain(&mut w, batch);
+                Ok(Frame {
+                    version: PROTOCOL_V2_BINARY,
+                    payload: w.into_bytes(),
+                })
+            }
+            _ => self.encode_client(frame),
+        }
+    }
+
+    /// Decode a frame produced by
+    /// [`BinaryCodec::encode_client_uncompressed`].
+    ///
+    /// # Errors
+    ///
+    /// The same protocol errors as [`WireCodec::decode_client`].
+    pub fn decode_client_uncompressed(&self, frame: &Frame) -> Result<ClientFrame, WireError> {
+        check_version(self, frame)?;
+        let mut r = Reader::new(&frame.payload);
+        let corr = r.u64()?;
+        if r.tag("Request")? != UPLOAD_CLICKS_TAG {
+            return self.decode_client(frame);
+        }
+        let batch = get_batch_plain(&mut r)?;
+        r.finish()?;
+        Ok(ClientFrame {
+            corr,
+            request: Request::UploadClicks { batch },
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Binary primitives
 
@@ -624,7 +675,181 @@ fn get_published(r: &mut Reader<'_>) -> Result<PublishedEvent, WireError> {
     })
 }
 
+// -- click batches ----------------------------------------------------------
+//
+// Click uploads are the fattest frames on the wire and their content is
+// massively redundant: consecutive clicks share URI prefixes (same site),
+// referrers repeat earlier URLs, ticks and days are near-monotonic, and
+// the per-click user cookie almost always equals the batch's. The v2
+// layout therefore delta-codes each click against its predecessor:
+//
+// * a flags byte (`CLICK_*` bits below);
+// * the user cookie only when it differs from the batch user;
+// * day and tick as zigzag varint deltas from the previous click
+//   (wrapping, so arbitrary values still round-trip bit-exactly);
+// * the URL as `shared-prefix-length + suffix` against the previous
+//   click's URL;
+// * the referrer (when present) as `shared-prefix-length + suffix`
+//   against either the previous click's URL or the previous referrer —
+//   whichever shares more — selected by a flag bit (a two-entry
+//   dictionary covering both "referrer is the page I came from" and
+//   "same referrer as last time").
+//
+// The pre-compression layout survives as `put_batch_plain`, reachable
+// through [`BinaryCodec::encode_client_uncompressed`], so the size win
+// stays measurable in `benches/broker.rs`.
+
+/// Upper bound on the cumulative decoded URL + referrer bytes of one
+/// click batch. Prefix reuse means a small frame can expand to far more
+/// string bytes than it carries on the wire; without a cap a malicious
+/// 16 MiB frame could demand terabytes of allocations. Real recorder
+/// batches are kilobytes; 32 MiB is orders of magnitude of headroom and
+/// stays below the WAL's per-record limit.
+const MAX_DECODED_CLICK_BYTES: usize = 32 * 1024 * 1024;
+
+/// Flag bit: the click carries a referrer.
+const CLICK_HAS_REFERRER: u8 = 1 << 0;
+/// Flag bit: the click's user cookie differs from the batch user.
+const CLICK_USER_DIFFERS: u8 = 1 << 1;
+/// Flag bit: the referrer prefix references the previous referrer
+/// instead of the previous click's URL.
+const CLICK_REF_VS_PREV_REFERRER: u8 = 1 << 2;
+
+/// Longest shared byte prefix of `a` and `b` that ends on a char
+/// boundary. (Equal prefix bytes form complete UTF-8 sequences in both
+/// strings, so a boundary in one is a boundary in the other.)
+fn common_prefix(a: &str, b: &str) -> usize {
+    let mut n = a
+        .as_bytes()
+        .iter()
+        .zip(b.as_bytes())
+        .take_while(|(x, y)| x == y)
+        .count();
+    while !a.is_char_boundary(n) {
+        n -= 1;
+    }
+    n
+}
+
+/// Decode a `prefix length + suffix` string against its reference.
+fn get_prefixed_str(r: &mut Reader<'_>, reference: &str) -> Result<String, WireError> {
+    let prefix = r.u64()? as usize;
+    if prefix > reference.len() || !reference.is_char_boundary(prefix) {
+        return Err(WireError::Protocol(
+            "string prefix length exceeds its reference".into(),
+        ));
+    }
+    let suffix = r.str()?;
+    let mut out = String::with_capacity(prefix + suffix.len());
+    out.push_str(&reference[..prefix]);
+    out.push_str(&suffix);
+    Ok(out)
+}
+
 fn put_batch(w: &mut Writer, batch: &ClickBatch) {
+    w.u64(u64::from(batch.user.0));
+    w.u64(batch.clicks.len() as u64);
+    let (mut prev_url, mut prev_ref) = ("", "");
+    let (mut prev_day, mut prev_tick) = (0u32, 0u64);
+    for click in &batch.clicks {
+        let mut flags = 0u8;
+        let user_differs = click.user != batch.user;
+        if user_differs {
+            flags |= CLICK_USER_DIFFERS;
+        }
+        let mut referrer_vs_prev_ref = false;
+        if let Some(referrer) = &click.referrer {
+            flags |= CLICK_HAS_REFERRER;
+            referrer_vs_prev_ref =
+                common_prefix(referrer, prev_ref) > common_prefix(referrer, prev_url);
+            if referrer_vs_prev_ref {
+                flags |= CLICK_REF_VS_PREV_REFERRER;
+            }
+        }
+        w.tag(flags);
+        if user_differs {
+            w.u64(u64::from(click.user.0));
+        }
+        w.i64(click.day.wrapping_sub(prev_day) as i32 as i64);
+        w.i64(click.tick.wrapping_sub(prev_tick) as i64);
+        let url_prefix = common_prefix(&click.url, prev_url);
+        w.u64(url_prefix as u64);
+        w.str(&click.url[url_prefix..]);
+        if let Some(referrer) = &click.referrer {
+            let reference = if referrer_vs_prev_ref {
+                prev_ref
+            } else {
+                prev_url
+            };
+            let ref_prefix = common_prefix(referrer, reference);
+            w.u64(ref_prefix as u64);
+            w.str(&referrer[ref_prefix..]);
+            prev_ref = referrer;
+        }
+        prev_url = &click.url;
+        prev_day = click.day;
+        prev_tick = click.tick;
+    }
+}
+
+fn get_batch(r: &mut Reader<'_>) -> Result<ClickBatch, WireError> {
+    let user = UserId(r.u32()?);
+    let n = r.u64()?;
+    let mut clicks: Vec<Click> = Vec::new();
+    let (mut prev_url, mut prev_ref) = (String::new(), String::new());
+    let (mut prev_day, mut prev_tick) = (0u32, 0u64);
+    let mut decoded_bytes = 0usize;
+    for _ in 0..n {
+        let flags = r.tag("Click flags")?;
+        if flags & !(CLICK_HAS_REFERRER | CLICK_USER_DIFFERS | CLICK_REF_VS_PREV_REFERRER) != 0 {
+            return Err(bad_tag("Click flags", flags));
+        }
+        let click_user = if flags & CLICK_USER_DIFFERS != 0 {
+            UserId(r.u32()?)
+        } else {
+            user
+        };
+        let day_delta = r.i64()?;
+        let day_delta = i32::try_from(day_delta)
+            .map_err(|_| WireError::Protocol("day delta overflows u32".into()))?;
+        let day = prev_day.wrapping_add(day_delta as u32);
+        let tick = prev_tick.wrapping_add(r.i64()? as u64);
+        let url = get_prefixed_str(r, &prev_url)?;
+        let referrer = if flags & CLICK_HAS_REFERRER != 0 {
+            let reference = if flags & CLICK_REF_VS_PREV_REFERRER != 0 {
+                &prev_ref
+            } else {
+                &prev_url
+            };
+            let referrer = get_prefixed_str(r, reference)?;
+            prev_ref.clone_from(&referrer);
+            Some(referrer)
+        } else {
+            None
+        };
+        decoded_bytes += url.len() + referrer.as_ref().map_or(0, String::len);
+        if decoded_bytes > MAX_DECODED_CLICK_BYTES {
+            return Err(WireError::Protocol(format!(
+                "click batch expands past {MAX_DECODED_CLICK_BYTES} decoded bytes"
+            )));
+        }
+        prev_url.clone_from(&url);
+        prev_day = day;
+        prev_tick = tick;
+        clicks.push(Click {
+            user: click_user,
+            day,
+            tick,
+            url,
+            referrer,
+        });
+    }
+    Ok(ClickBatch { user, clicks })
+}
+
+/// The pre-compression v2 click-batch layout: absolute fields, full
+/// strings. Kept so the compression win is measurable.
+fn put_batch_plain(w: &mut Writer, batch: &ClickBatch) {
     w.u64(u64::from(batch.user.0));
     w.u64(batch.clicks.len() as u64);
     for click in &batch.clicks {
@@ -642,7 +867,7 @@ fn put_batch(w: &mut Writer, batch: &ClickBatch) {
     }
 }
 
-fn get_batch(r: &mut Reader<'_>) -> Result<ClickBatch, WireError> {
+fn get_batch_plain(r: &mut Reader<'_>) -> Result<ClickBatch, WireError> {
     let user = UserId(r.u32()?);
     let n = r.u64()?;
     let mut clicks = Vec::new();
@@ -732,6 +957,11 @@ fn put_wire_stats(w: &mut Writer, s: &WireStatsSnapshot) {
     w.u64(s.loop_read_events);
     w.u64(s.loop_write_events);
     w.u64(s.writes_coalesced);
+    w.u64(s.wal_bytes);
+    w.u64(s.wal_segments);
+    w.u64(s.wal_snapshots);
+    w.u64(s.recovered_clicks);
+    w.u64(s.wal_truncated_bytes);
     put_codec_stats(w, &s.json);
     put_codec_stats(w, &s.binary);
 }
@@ -752,6 +982,11 @@ fn get_wire_stats(r: &mut Reader<'_>) -> Result<WireStatsSnapshot, WireError> {
         loop_read_events: r.u64()?,
         loop_write_events: r.u64()?,
         writes_coalesced: r.u64()?,
+        wal_bytes: r.u64()?,
+        wal_segments: r.u64()?,
+        wal_snapshots: r.u64()?,
+        recovered_clicks: r.u64()?,
+        wal_truncated_bytes: r.u64()?,
         json: get_codec_stats(r)?,
         binary: get_codec_stats(r)?,
     })
@@ -787,6 +1022,10 @@ fn get_federation_stats(r: &mut Reader<'_>) -> Result<FederationStatsSnapshot, W
     })
 }
 
+/// Request-enum tag of `UploadClicks`, shared with the uncompressed
+/// encode path.
+const UPLOAD_CLICKS_TAG: u8 = 4;
+
 fn put_request(w: &mut Writer, request: &Request) {
     match request {
         Request::Hello { version, client } => {
@@ -807,7 +1046,7 @@ fn put_request(w: &mut Writer, request: &Request) {
             put_event(w, event);
         }
         Request::UploadClicks { batch } => {
-            w.tag(4);
+            w.tag(UPLOAD_CLICKS_TAG);
             put_batch(w, batch);
         }
         Request::Stats => w.tag(5),
@@ -1180,6 +1419,162 @@ mod tests {
                 }))
                 .unwrap();
             assert_eq!(borrowed, owned, "{} deliver bytes diverge", codec.kind());
+        }
+    }
+
+    fn upload_frame(batch: ClickBatch) -> ClientFrame {
+        ClientFrame {
+            corr: 9,
+            request: Request::UploadClicks { batch },
+        }
+    }
+
+    #[test]
+    fn compressed_click_batches_round_trip_edge_cases() {
+        use reef_attention::{Click, ClickBatch};
+        let batches = [
+            // Empty batch.
+            ClickBatch {
+                user: UserId(0),
+                clicks: vec![],
+            },
+            // Shared prefixes, repeated referrers, forged cookie,
+            // multi-byte UTF-8 diverging inside a character, wrapping
+            // tick deltas.
+            ClickBatch {
+                user: UserId(7),
+                clicks: vec![
+                    Click {
+                        user: UserId(7),
+                        day: 3,
+                        tick: u64::MAX - 1,
+                        url: "http://news.example/a/α".into(),
+                        referrer: None,
+                    },
+                    Click {
+                        user: UserId(7),
+                        day: 3,
+                        tick: 2, // wraps past u64::MAX
+                        url: "http://news.example/a/β".into(),
+                        referrer: Some("http://news.example/a/α".into()),
+                    },
+                    Click {
+                        user: UserId(9), // forged cookie still encodes
+                        day: 0,          // day goes backwards
+                        tick: 1,
+                        url: "completely-different".into(),
+                        referrer: Some("http://news.example/a/α".into()),
+                    },
+                    Click {
+                        user: UserId(7),
+                        day: u32::MAX,
+                        tick: 0,
+                        url: String::new(),
+                        referrer: Some(String::new()),
+                    },
+                ],
+            },
+        ];
+        for batch in batches {
+            let frame = upload_frame(batch);
+            let encoded = BinaryCodec.encode_client(&frame).unwrap();
+            let back = BinaryCodec.decode_client(&encoded).unwrap();
+            assert_eq!(back.request, frame.request);
+            assert_eq!(back.corr, frame.corr);
+        }
+    }
+
+    #[test]
+    fn compressed_click_batches_beat_plain_v2_and_json() {
+        use reef_attention::{Click, ClickBatch};
+        // A realistic browsing batch: one site, sequential ticks, the
+        // referrer chain following the clicks.
+        let clicks: Vec<Click> = (0..20)
+            .map(|i| Click {
+                user: UserId(42),
+                day: 3,
+                tick: 1_000 + i,
+                url: format!("http://news.example/story-{i}.html"),
+                referrer: (i > 0).then(|| format!("http://news.example/story-{}.html", i - 1)),
+            })
+            .collect();
+        let frame = upload_frame(ClickBatch {
+            user: UserId(42),
+            clicks,
+        });
+        let compressed = BinaryCodec.encode_client(&frame).unwrap();
+        let plain = BinaryCodec.encode_client_uncompressed(&frame).unwrap();
+        let json = JsonCodec.encode_client(&frame).unwrap();
+        assert!(
+            compressed.wire_len() < plain.wire_len(),
+            "compressed {} must beat plain v2 {}",
+            compressed.wire_len(),
+            plain.wire_len()
+        );
+        assert!(
+            plain.wire_len() < json.wire_len(),
+            "plain v2 {} must beat json {}",
+            plain.wire_len(),
+            json.wire_len()
+        );
+        // Both v2 layouts decode to the identical batch.
+        let back_plain = BinaryCodec.decode_client_uncompressed(&plain).unwrap();
+        assert_eq!(back_plain.request, frame.request);
+        assert_eq!(
+            BinaryCodec.decode_client(&compressed).unwrap().request,
+            frame.request
+        );
+    }
+
+    #[test]
+    fn decoder_caps_prefix_amplification() {
+        use reef_attention::{Click, ClickBatch};
+        // 150 clicks sharing one 300 KiB URL: a few hundred KiB on the
+        // wire, ~45 MiB decoded — past the amplification cap. The
+        // decoder must fail cleanly instead of allocating it all
+        // (a hostile frame could push the ratio arbitrarily high).
+        let url = format!("http://big.example/{}", "x".repeat(300 * 1024));
+        let frame = upload_frame(ClickBatch {
+            user: UserId(1),
+            clicks: (0..150)
+                .map(|i| Click {
+                    user: UserId(1),
+                    day: 0,
+                    tick: i,
+                    url: url.clone(),
+                    referrer: None,
+                })
+                .collect(),
+        });
+        let encoded = BinaryCodec.encode_client(&frame).unwrap();
+        assert!(encoded.payload.len() < 2 * 1024 * 1024, "wire stays small");
+        assert!(matches!(
+            BinaryCodec.decode_client(&encoded),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_prefix_lengths_are_protocol_errors() {
+        use reef_attention::{Click, ClickBatch};
+        let frame = upload_frame(ClickBatch {
+            user: UserId(1),
+            clicks: vec![Click {
+                user: UserId(1),
+                day: 0,
+                tick: 0,
+                url: "http://a.example/".into(),
+                referrer: None,
+            }],
+        });
+        let encoded = BinaryCodec.encode_client(&frame).unwrap();
+        // Fuzz every byte: decoding must fail cleanly or produce some
+        // batch — never panic (prefix lengths are validated against
+        // their reference strings).
+        for i in 0..encoded.payload.len() {
+            let mut corrupt = encoded.clone();
+            corrupt.payload[i] = corrupt.payload[i].wrapping_add(0x41);
+            let _ = BinaryCodec.decode_client(&corrupt);
         }
     }
 

@@ -519,6 +519,7 @@ impl EventLoop {
     /// Handle one frame on a client connection. Returns `false` when the
     /// connection was closed.
     fn handle_client_frame(&mut self, token: u64, frame: Frame) -> bool {
+        let frame_wire_len = frame.wire_len();
         let conn = self.conns.get_mut(&token).expect("caller checked");
         let ConnRole::Client { shared, .. } = &conn.role else {
             unreachable!("caller matched Client");
@@ -605,9 +606,12 @@ impl EventLoop {
             // `owned` borrows the connection while the broker executes
             // the request; the core never reaches back into the loop.
             let mut owned_taken = std::mem::take(owned);
-            let response =
-                self.core
-                    .handle_request(&shared, &mut owned_taken, client_frame.request);
+            let response = self.core.handle_request(
+                &shared,
+                &mut owned_taken,
+                client_frame.request,
+                frame_wire_len,
+            );
             if let Some(conn) = self.conns.get_mut(&token) {
                 if let ConnRole::Client { owned, .. } = &mut conn.role {
                     *owned = owned_taken;

@@ -52,11 +52,12 @@ use crate::stats::{
     WireStatsSnapshot,
 };
 use parking_lot::Mutex;
-use reef_attention::ClickStore;
+use reef_attention::{DurableClickStore, PersistConfig};
 use reef_pubsub::{Broker, NodeId, OverflowPolicy, SubscriberHandle, SubscriberId, SubscriptionId};
 use std::collections::HashSet;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -139,6 +140,9 @@ pub struct BrokerServerBuilder {
     codec: Option<CodecKind>,
     peer_retry: Option<bool>,
     transport: Option<TransportKind>,
+    data_dir: Option<PathBuf>,
+    wal_segment_bytes: Option<u64>,
+    snapshot_every: Option<u64>,
 }
 
 impl BrokerServerBuilder {
@@ -221,6 +225,35 @@ impl BrokerServerBuilder {
         self
     }
 
+    /// Persist the click store under `dir`: uploads are appended to a
+    /// segmented, checksummed WAL before they are acknowledged, and a
+    /// restart on the same directory recovers them. Without a data dir
+    /// the store is in-memory and a restart starts empty.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Rotate WAL segments past this many bytes (default 8 MiB; only
+    /// meaningful with [`BrokerServerBuilder::data_dir`]).
+    pub fn wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.wal_segment_bytes = Some(bytes);
+        self
+    }
+
+    /// Snapshot + compact the click store every `batches` ingested
+    /// upload batches; `0` disables snapshots (default 256; only
+    /// meaningful with [`BrokerServerBuilder::data_dir`]).
+    ///
+    /// The snapshot is written synchronously inside the triggering
+    /// upload request, so at very large store sizes a low cadence
+    /// briefly stalls request handling; see ROADMAP for the
+    /// background-snapshot follow-on.
+    pub fn snapshot_every(mut self, batches: u64) -> Self {
+        self.snapshot_every = Some(batches);
+        self
+    }
+
     /// Bind `addr` and start serving.
     ///
     /// # Errors
@@ -239,9 +272,23 @@ impl BrokerServerBuilder {
                 Arc::new(builder.build())
             }
         };
+        let clicks = match self.data_dir {
+            Some(dir) => {
+                let mut cfg = PersistConfig::new(dir);
+                if let Some(bytes) = self.wal_segment_bytes {
+                    cfg.segment_bytes = bytes;
+                }
+                if let Some(batches) = self.snapshot_every {
+                    cfg.snapshot_every = batches;
+                }
+                DurableClickStore::open(cfg)?
+            }
+            None => DurableClickStore::in_memory(),
+        };
         BrokerServer::start(
             addr,
             broker,
+            clicks,
             self.name
                 .unwrap_or_else(|| format!("reefd/{}", env!("CARGO_PKG_VERSION"))),
             self.peers,
@@ -410,7 +457,7 @@ pub(crate) trait LoopControl: Send + Sync {
 pub(crate) struct ServerCore {
     pub(crate) broker: Arc<Broker>,
     pub(crate) federation: Arc<Federation>,
-    pub(crate) clicks: Arc<Mutex<ClickStore>>,
+    pub(crate) clicks: Arc<Mutex<DurableClickStore>>,
     pub(crate) connections: Mutex<Vec<Arc<Connection>>>,
     pub(crate) stats: WireStats,
     pub(crate) shutdown: AtomicBool,
@@ -421,12 +468,15 @@ pub(crate) struct ServerCore {
 impl ServerCore {
     /// Execute one non-`PeerHello` request against the broker and
     /// federation. Transport-agnostic: the caller owns framing, codec
-    /// negotiation and reply delivery.
+    /// negotiation and reply delivery. `request_wire_len` is the size of
+    /// the request frame as it crossed the wire (header included), which
+    /// upload receipts report back to the client.
     pub(crate) fn handle_request(
         &self,
         conn: &Connection,
         owned: &mut HashSet<SubscriptionId>,
         request: Request,
+        request_wire_len: usize,
     ) -> Response {
         match request {
             Request::Hello { version, client } => {
@@ -502,8 +552,19 @@ impl ServerCore {
                 }
             }
             Request::UploadClicks { batch } => {
-                let receipt = self.clicks.lock().ingest_upload(batch);
-                Response::ClicksAccepted { receipt }
+                let mut clicks = self.clicks.lock();
+                // The WAL append happens (and is flushed) before the
+                // receipt exists: an acknowledged upload is a durable
+                // upload. A persistence failure refuses the batch.
+                match clicks.ingest_upload_sized(batch, request_wire_len as u64) {
+                    Ok(receipt) => {
+                        self.stats.record_persist(&clicks.persist_stats());
+                        Response::ClicksAccepted { receipt }
+                    }
+                    Err(e) => Response::Error {
+                        message: format!("click store persistence failed: {e}"),
+                    },
+                }
             }
             Request::Stats => Response::Stats {
                 broker: self.broker.stats(),
@@ -566,6 +627,7 @@ impl BrokerServer {
     fn start(
         addr: impl ToSocketAddrs,
         broker: Arc<Broker>,
+        clicks: DurableClickStore,
         name: String,
         peers: Vec<String>,
         covering: bool,
@@ -601,12 +663,16 @@ impl BrokerServer {
                 event_loop: transport == TransportKind::Epoll,
             },
         );
+        let stats = WireStats::new();
+        // Surface what recovery found (clicks restored, torn bytes
+        // truncated) from the first stats snapshot on.
+        stats.record_persist(&clicks.persist_stats());
         let core = Arc::new(ServerCore {
             broker,
             federation,
-            clicks: Arc::new(Mutex::new(ClickStore::new())),
+            clicks: Arc::new(Mutex::new(clicks)),
             connections: Mutex::new(Vec::new()),
-            stats: WireStats::new(),
+            stats,
             shutdown: AtomicBool::new(false),
             name,
             write_timeout,
@@ -684,8 +750,11 @@ impl BrokerServer {
         self.core.federation.connect_peer(addr)
     }
 
-    /// The server-side click store fed by `UploadClicks` requests.
-    pub fn click_store(&self) -> Arc<Mutex<ClickStore>> {
+    /// The server-side click store fed by `UploadClicks` requests. Read
+    /// queries deref to the in-memory [`reef_attention::ClickStore`];
+    /// with [`BrokerServerBuilder::data_dir`] configured the store is
+    /// WAL-backed and survives restarts.
+    pub fn click_store(&self) -> Arc<Mutex<DurableClickStore>> {
         Arc::clone(&self.core.clicks)
     }
 
@@ -960,7 +1029,12 @@ impl ConnectionReader {
             };
             self.conn.stats.record_request();
             self.core.stats.record_request();
-            match self.step(client_frame.corr, client_frame.request, &mut owned) {
+            match self.step(
+                client_frame.corr,
+                client_frame.request,
+                frame.wire_len(),
+                &mut owned,
+            ) {
                 Step::Continue => {}
                 Step::Close => break,
                 Step::Upgraded { peer_broker } => {
@@ -972,7 +1046,13 @@ impl ConnectionReader {
         self.core.finish_connection(&self.conn, &owned);
     }
 
-    fn step(&self, corr: u64, request: Request, owned: &mut HashSet<SubscriptionId>) -> Step {
+    fn step(
+        &self,
+        corr: u64,
+        request: Request,
+        request_wire_len: usize,
+        owned: &mut HashSet<SubscriptionId>,
+    ) -> Step {
         if let Request::PeerHello {
             version,
             broker,
@@ -1008,7 +1088,9 @@ impl ConnectionReader {
             };
         }
         let is_bye = matches!(request, Request::Bye);
-        let response = self.core.handle_request(&self.conn, owned, request);
+        let response = self
+            .core
+            .handle_request(&self.conn, owned, request, request_wire_len);
         if matches!(response, Response::Error { .. }) {
             self.conn.stats.record_error();
             self.core.stats.record_error();

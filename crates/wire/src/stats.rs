@@ -87,6 +87,11 @@ pub struct WireStats {
     loop_read_events: AtomicU64,
     loop_write_events: AtomicU64,
     writes_coalesced: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_segments: AtomicU64,
+    wal_snapshots: AtomicU64,
+    recovered_clicks: AtomicU64,
+    wal_truncated_bytes: AtomicU64,
     json: CodecStats,
     binary: CodecStats,
 }
@@ -174,6 +179,21 @@ impl WireStats {
         self.writes_coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Publish the click store's persistence gauges (WAL size, segment
+    /// and snapshot counts, recovery numbers). Unlike the counters above
+    /// these are set, not incremented — the persistence layer owns the
+    /// running totals.
+    pub fn record_persist(&self, persist: &reef_attention::PersistStats) {
+        self.wal_bytes.store(persist.wal_bytes, Ordering::Relaxed);
+        self.wal_segments.store(persist.segments, Ordering::Relaxed);
+        self.wal_snapshots
+            .store(persist.snapshots, Ordering::Relaxed);
+        self.recovered_clicks
+            .store(persist.recovered_clicks, Ordering::Relaxed);
+        self.wal_truncated_bytes
+            .store(persist.truncated_bytes, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> WireStatsSnapshot {
         WireStatsSnapshot {
@@ -191,6 +211,11 @@ impl WireStats {
             loop_read_events: self.loop_read_events.load(Ordering::Relaxed),
             loop_write_events: self.loop_write_events.load(Ordering::Relaxed),
             writes_coalesced: self.writes_coalesced.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_segments: self.wal_segments.load(Ordering::Relaxed),
+            wal_snapshots: self.wal_snapshots.load(Ordering::Relaxed),
+            recovered_clicks: self.recovered_clicks.load(Ordering::Relaxed),
+            wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
             json: self.json.snapshot(),
             binary: self.binary.snapshot(),
         }
@@ -231,6 +256,17 @@ pub struct WireStatsSnapshot {
     /// Socket flushes that carried more than one frame (delivery
     /// coalescing on the epoll transport).
     pub writes_coalesced: u64,
+    /// Bytes currently held across the click store's live WAL segments
+    /// (zero without `--data-dir`).
+    pub wal_bytes: u64,
+    /// Live WAL segment files of the click store.
+    pub wal_segments: u64,
+    /// Click-store snapshots written since the daemon started.
+    pub wal_snapshots: u64,
+    /// Clicks recovered from disk when the daemon started.
+    pub recovered_clicks: u64,
+    /// Bytes discarded at startup as a torn or corrupt WAL tail.
+    pub wal_truncated_bytes: u64,
     /// The subset of frame/byte traffic carried by the v1 JSON codec.
     pub json: CodecStatsSnapshot,
     /// The subset of frame/byte traffic carried by the v2 binary codec.
@@ -241,7 +277,7 @@ impl std::fmt::Display for WireStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={} loop={}wake/{}r/{}w/{}coal",
+            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={} loop={}wake/{}r/{}w/{}coal wal={}B/{}seg/{}snap recovered={}clicks/{}torn-B",
             self.connections_opened,
             self.connections_closed,
             self.frames_in,
@@ -260,6 +296,11 @@ impl std::fmt::Display for WireStatsSnapshot {
             self.loop_read_events,
             self.loop_write_events,
             self.writes_coalesced,
+            self.wal_bytes,
+            self.wal_segments,
+            self.wal_snapshots,
+            self.recovered_clicks,
+            self.wal_truncated_bytes,
         )
     }
 }

@@ -1,0 +1,41 @@
+//! Helpers shared by the integration tests (not itself a test target).
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique temporary directory, removed on drop.
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    /// Create `$TMPDIR/reef-<label>-<pid>-<n>`.
+    pub fn new(label: &str) -> TempDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("reef-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The WAL segment files under `dir`, sorted by name (= by sequence).
+pub fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read data dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    files.sort();
+    files
+}

@@ -1,0 +1,100 @@
+//! WAL round-trip equivalence: any sequence of `ingest_upload` calls,
+//! replayed from disk through any segment-size and snapshot-cadence
+//! configuration, yields a `ClickStore` with contents identical to the
+//! purely in-memory ingestion of the same sequence — per-user click
+//! logs, per-host statistics, every derived index (`ClickStore`'s
+//! `PartialEq` compares them all, order-insensitively where the store
+//! itself is order-insensitive).
+
+mod common;
+
+use common::TempDir;
+use proptest::prelude::*;
+use reef::attention::{Click, ClickBatch, ClickStore, DurableClickStore, PersistConfig};
+use reef::simweb::UserId;
+
+/// Printable-ASCII plus a few multi-byte URLs, so prefix handling and
+/// UTF-8 boundaries get exercised on the disk path too.
+fn arb_url() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[ -~]{0,24}",
+        "[a-z]{1,6}".prop_map(|s| format!("http://{s}.example/päge/ünïcode")),
+    ]
+}
+
+fn arb_batch() -> impl Strategy<Value = ClickBatch> {
+    (
+        0u32..4,
+        prop::collection::vec(
+            (
+                0u32..6, // click user: may disagree with the batch user (rejected)
+                any::<u32>(),
+                any::<u64>(),
+                arb_url(),
+                proptest::option::of(arb_url()),
+            ),
+            0..5,
+        ),
+    )
+        .prop_map(|(user, clicks)| ClickBatch {
+            user: UserId(user),
+            clicks: clicks
+                .into_iter()
+                .map(|(user, day, tick, url, referrer)| Click {
+                    user: UserId(user),
+                    day,
+                    tick,
+                    url,
+                    referrer,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wal_replay_equals_in_memory_ingestion(
+        batches in prop::collection::vec(arb_batch(), 1..12),
+        segment_bytes in 64u64..4096,
+        snapshot_every in 0u64..5,
+    ) {
+        let dir = TempDir::new("wal-roundtrip");
+        let cfg = PersistConfig {
+            dir: dir.path().to_path_buf(),
+            segment_bytes,
+            snapshot_every,
+        };
+
+        // Ingest the identical sequence in memory (the oracle) and
+        // through the WAL.
+        let mut oracle = ClickStore::new();
+        {
+            let mut durable = DurableClickStore::open(cfg.clone()).map_err(|e| {
+                TestCaseError::fail(e.to_string())
+            })?;
+            for batch in &batches {
+                let want = oracle.ingest_upload(batch.clone());
+                let got = durable
+                    .ingest_upload(batch.clone())
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert_eq!(got, want, "receipts must agree batch by batch");
+            }
+            prop_assert_eq!(durable.store(), &oracle, "live store matches before restart");
+        }
+
+        // First recovery: identical contents, full click count restored.
+        let reopened = DurableClickStore::open(cfg.clone())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(reopened.store(), &oracle);
+        prop_assert_eq!(reopened.persist_stats().recovered_clicks, oracle.len());
+        prop_assert_eq!(reopened.persist_stats().truncated_bytes, 0);
+        drop(reopened);
+
+        // Recovery is idempotent: a second restart changes nothing.
+        let again = DurableClickStore::open(cfg)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(again.store(), &oracle);
+    }
+}

@@ -418,6 +418,11 @@ mod codec_equivalence {
                     loop_read_events: mixed(seed, 40),
                     loop_write_events: mixed(seed, 41),
                     writes_coalesced: mixed(seed, 42),
+                    wal_bytes: mixed(seed, 43),
+                    wal_segments: mixed(seed, 44),
+                    wal_snapshots: mixed(seed, 45),
+                    recovered_clicks: mixed(seed, 46),
+                    wal_truncated_bytes: mixed(seed, 47),
                     json: codec_stats(seed, 15),
                     binary: codec_stats(seed, 19),
                 },
@@ -565,6 +570,139 @@ mod codec_equivalence {
                 json.wire_len()
             );
         }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Upload accounting: the receipt's `wire_bytes` must report what actually
+// crossed the wire — the encoded frame's size under the connection's
+// negotiated codec — not the batch's JSON rendering.
+
+mod upload_accounting {
+    use super::*;
+    use reef::wire::{BrokerServer, ClientFrame, CodecKind, Frame, Request, Response, ServerFrame};
+    use std::net::TcpStream;
+
+    fn roundtrip(
+        stream: &mut TcpStream,
+        codec: &dyn reef::wire::WireCodec,
+        corr: u64,
+        request: Request,
+    ) -> (usize, Response) {
+        let frame = codec
+            .encode_client(&ClientFrame { corr, request })
+            .expect("encode");
+        let sent = frame.write_to(stream).expect("write");
+        let reply = Frame::read_from(stream)
+            .expect("read")
+            .expect("reply frame");
+        match codec.decode_server(&reply).expect("decode reply") {
+            ServerFrame::Reply {
+                corr: got,
+                response,
+            } => {
+                // v1 carries no correlation ids on the wire (pairing is
+                // by order); v2 must echo ours.
+                if codec.kind() == CodecKind::Binary {
+                    assert_eq!(got, corr, "reply pairs by correlation id");
+                }
+                (sent, response)
+            }
+            other => panic!("expected a reply, got {other:?}"),
+        }
+    }
+
+    /// On a binary (v2, compressed) connection the receipt accounts the
+    /// actual frame bytes, which are far fewer than the JSON size the
+    /// receipt used to report.
+    #[test]
+    fn receipt_wire_bytes_reports_actual_frame_size() {
+        let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+        let codec = CodecKind::Binary.codec();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+        let (_, hello) = roundtrip(
+            &mut stream,
+            codec,
+            1,
+            Request::Hello {
+                version: 2,
+                client: "accounting".into(),
+            },
+        );
+        assert!(matches!(hello, Response::Hello { .. }), "got {hello:?}");
+
+        let batch = ClickBatch {
+            user: UserId(5),
+            clicks: (0..10)
+                .map(|i| Click {
+                    user: UserId(5),
+                    day: 2,
+                    tick: 100 + i,
+                    url: format!("http://site.example/page-{i}.html"),
+                    referrer: (i > 0).then(|| format!("http://site.example/page-{}.html", i - 1)),
+                })
+                .collect(),
+        };
+        let json_size = batch.wire_size() as u64;
+        let (sent, response) = roundtrip(
+            &mut stream,
+            codec,
+            2,
+            Request::UploadClicks {
+                batch: batch.clone(),
+            },
+        );
+        let Response::ClicksAccepted { receipt } = response else {
+            panic!("expected ClicksAccepted, got {response:?}");
+        };
+        assert_eq!(receipt.accepted, 10);
+        assert_eq!(
+            receipt.wire_bytes, sent as u64,
+            "receipt must account the frame bytes the codec produced"
+        );
+        assert!(
+            receipt.wire_bytes < json_size,
+            "compressed v2 upload ({} B) must undercut the JSON size ({json_size} B) \
+             the receipt used to report",
+            receipt.wire_bytes
+        );
+        server.shutdown();
+    }
+
+    /// A v1 JSON connection reports the JSON frame size — which includes
+    /// the frame header, so it too differs from the bare batch JSON.
+    #[test]
+    fn receipt_wire_bytes_reports_v1_frame_size_too() {
+        let server = BrokerServer::bind("127.0.0.1:0").expect("bind");
+        let codec = CodecKind::Json.codec();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let (_, hello) = roundtrip(
+            &mut stream,
+            codec,
+            1,
+            Request::Hello {
+                version: 1,
+                client: "legacy".into(),
+            },
+        );
+        assert!(matches!(hello, Response::Hello { .. }), "got {hello:?}");
+        let batch = ClickBatch {
+            user: UserId(1),
+            clicks: vec![Click {
+                user: UserId(1),
+                day: 0,
+                tick: 1,
+                url: "http://a.example/".into(),
+                referrer: None,
+            }],
+        };
+        let (sent, response) = roundtrip(&mut stream, codec, 2, Request::UploadClicks { batch });
+        let Response::ClicksAccepted { receipt } = response else {
+            panic!("expected ClicksAccepted, got {response:?}");
+        };
+        assert_eq!(receipt.wire_bytes, sent as u64);
+        server.shutdown();
     }
 }
 
