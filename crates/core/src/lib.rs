@@ -59,6 +59,9 @@ pub use pipeline::{
     topic_url_of, CentralizedReef, DayReport, DistributedReef, ReefConfig, TrafficReport,
     UniverseFeedFetcher,
 };
+pub use recommend::autosub::{
+    AutoSubConfig, AutoSubDiff, AutoSubEngine, AutoSubMode, DerivedFilter,
+};
 pub use recommend::collab::{cosine_similarity, exchange_feeds, group_peers, PeerGroups};
 pub use recommend::content::ContentRecommender;
 pub use recommend::topic::{SubscriptionFeedback, TopicRecommender, TopicRecommenderConfig};

@@ -5,6 +5,7 @@
 //! recommendations on what subscriptions to place and which to remove."
 //! (§2.2)
 
+pub mod autosub;
 pub mod collab;
 pub mod content;
 pub mod topic;

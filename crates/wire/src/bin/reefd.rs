@@ -7,8 +7,9 @@
 //! instances over the same port (`--peer`): subscriptions are forwarded
 //! with covering-based pruning and events routed along the broker tree.
 
+use reef_core::AutoSubMode;
 use reef_pubsub::OverflowPolicy;
-use reef_wire::{BrokerServer, CodecKind, TransportKind};
+use reef_wire::{AutoSubPolicy, AutosubOptions, BrokerServer, CodecKind, TransportKind};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -63,6 +64,21 @@ OPTIONS:
                              (default 1024)
         --write-timeout-ms N socket write timeout for delivery and peer
                              pumps, in milliseconds (default 5000)
+        --autosub            enable automatic subscriptions: clients
+                             enroll users with AutoSubscribe, the daemon
+                             mines their uploaded clicks and installs /
+                             retires the derived filters as live broker
+                             subscriptions, pushing FeedChanged notices
+        --autosub-recommender KIND
+                             recommender deriving the filters:
+                             topic (feed-URL voting, default) | content
+                             (keyword mining over clicked URLs)
+        --autosub-refresh-ms N
+                             milliseconds between autosub refresh cycles
+                             (decay + re-derivation; default 1000)
+        --autosub-half-life S
+                             interest decay half-life in seconds; 0
+                             disables decay (default 600)
         --stats-interval S   seconds between stats lines, 0 disables
                              (default 10; env REEF_STATS_INTERVAL)
     -h, --help               print this help and exit
@@ -85,6 +101,10 @@ struct Config {
     data_dir: Option<PathBuf>,
     wal_segment_bytes: Option<u64>,
     snapshot_every: Option<u64>,
+    autosub: bool,
+    autosub_recommender: AutoSubMode,
+    autosub_refresh: Duration,
+    autosub_half_life: f64,
 }
 
 impl Config {
@@ -108,6 +128,10 @@ impl Config {
             data_dir: None,
             wal_segment_bytes: None,
             snapshot_every: None,
+            autosub: false,
+            autosub_recommender: AutoSubMode::default(),
+            autosub_refresh: Duration::from_millis(1000),
+            autosub_half_life: 600.0,
         }
     }
 }
@@ -215,6 +239,33 @@ fn parse_args(args: impl Iterator<Item = String>) -> Config {
                     _ => bail("--write-timeout-ms must be a positive integer"),
                 }
             }
+            "--autosub" => config.autosub = true,
+            "--autosub-recommender" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--autosub-recommender needs a value"));
+                config.autosub_recommender = AutoSubMode::parse(&raw).unwrap_or_else(|| {
+                    bail("--autosub-recommender must be one of: topic, content")
+                });
+            }
+            "--autosub-refresh-ms" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--autosub-refresh-ms needs a number"));
+                match raw.parse::<u64>() {
+                    Ok(ms) if ms > 0 => config.autosub_refresh = Duration::from_millis(ms),
+                    _ => bail("--autosub-refresh-ms must be a positive integer"),
+                }
+            }
+            "--autosub-half-life" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--autosub-half-life needs a number"));
+                match raw.parse::<f64>() {
+                    Ok(secs) if secs >= 0.0 => config.autosub_half_life = secs,
+                    _ => bail("--autosub-half-life must be a non-negative number of seconds"),
+                }
+            }
             "--stats-interval" => {
                 let raw = args
                     .next()
@@ -266,6 +317,16 @@ fn main() {
     for peer in &config.peers {
         builder = builder.peer(peer.clone());
     }
+    builder = builder.autosub(
+        AutosubOptions::default()
+            .enabled(config.autosub)
+            .default_policy(AutoSubPolicy {
+                recommender: config.autosub_recommender,
+                half_life_secs: config.autosub_half_life,
+                ..AutoSubPolicy::default()
+            })
+            .refresh_interval(config.autosub_refresh),
+    );
     let server = match builder.bind(&config.listen) {
         Ok(server) => server,
         Err(e) => {
@@ -292,6 +353,14 @@ fn main() {
             } else {
                 String::new()
             },
+        );
+    }
+    if config.autosub {
+        println!(
+            "reefd: automatic subscriptions on ({} recommender, {}ms refresh, {}s half-life)",
+            config.autosub_recommender,
+            config.autosub_refresh.as_millis(),
+            config.autosub_half_life,
         );
     }
     for peer in server.peer_stats() {

@@ -26,11 +26,14 @@
 use crate::codec::{CodecKind, WireCodec};
 use crate::error::WireError;
 use crate::frame::{Frame, PROTOCOL_V1_JSON};
-use crate::protocol::{ClientFrame, Deliver, Request, Response, ServerFrame};
+use crate::protocol::{
+    AutoSubPolicy, AutoSubReceipt, ClientFrame, Deliver, FeedChange, Request, Response, ServerFrame,
+};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use reef_attention::{ClickBatch, UploadReceipt};
 use reef_pubsub::{BrokerStatsSnapshot, Event, EventId, Filter, PublishedEvent, SubscriptionId};
+use reef_simweb::UserId;
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
@@ -121,6 +124,7 @@ pub struct Client {
     pending: Arc<PendingQueue>,
     next_corr: AtomicU64,
     deliveries: Receiver<Deliver>,
+    feed_changes: Receiver<FeedChange>,
     reader: Option<JoinHandle<()>>,
     subscriber: u64,
     server_name: String,
@@ -166,10 +170,11 @@ impl Client {
         let read_half = stream.try_clone()?;
         let pending: Arc<PendingQueue> = Arc::new(Mutex::new(VecDeque::new()));
         let (deliver_tx, deliveries) = channel::unbounded();
+        let (feed_tx, feed_changes) = channel::unbounded();
         let reader_pending = Arc::clone(&pending);
         let reader = std::thread::Builder::new()
             .name("reef-wire-client-reader".into())
-            .spawn(move || reader_loop(read_half, codec, reader_pending, deliver_tx))
+            .spawn(move || reader_loop(read_half, codec, reader_pending, deliver_tx, feed_tx))
             .expect("spawn client reader thread");
 
         let mut client = Client {
@@ -178,6 +183,7 @@ impl Client {
             pending,
             next_corr: AtomicU64::new(1),
             deliveries,
+            feed_changes,
             reader: Some(reader),
             subscriber: 0,
             server_name: String::new(),
@@ -300,6 +306,50 @@ impl Client {
             Response::Error { message } => Err(WireError::Remote(message)),
             other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
         }
+    }
+
+    /// Enroll `user` in the server-side automatic-subscription engine:
+    /// the daemon mines the user's uploaded clicks with its recommenders
+    /// and installs the derived filters as subscriptions owned by *this
+    /// connection* — matching events arrive at [`Client::recv_delivery`]
+    /// without any manual [`Client::subscribe`]. Pass `None` to accept
+    /// the daemon's default policy. The receipt lists what the engine
+    /// derives right now; later installs/retires arrive as unsolicited
+    /// notices on [`Client::recv_feed_change`].
+    pub fn auto_subscribe(
+        &self,
+        user: UserId,
+        policy: Option<AutoSubPolicy>,
+    ) -> Result<AutoSubReceipt, WireError> {
+        match self.request(Request::AutoSubscribe { user, policy })? {
+            Response::AutoSubscribed { receipt } => Ok(receipt),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Withdraw `user` from the automatic-subscription engine; every
+    /// filter it had installed for the user is retired from the broker.
+    /// The receipt lists what was just retired (empty if the user was
+    /// not enrolled).
+    pub fn auto_unsubscribe(&self, user: UserId) -> Result<AutoSubReceipt, WireError> {
+        match self.request(Request::AutoUnsubscribe { user })? {
+            Response::AutoUnsubscribed { receipt } => Ok(receipt),
+            Response::Error { message } => Err(WireError::Remote(message)),
+            other => Err(WireError::Protocol(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Next autosub `FeedChanged` notice if one is already queued
+    /// locally.
+    pub fn try_feed_change(&self) -> Option<FeedChange> {
+        self.feed_changes.try_recv().ok()
+    }
+
+    /// Wait up to `timeout` for the next autosub `FeedChanged` notice
+    /// (only ever sent after [`Client::auto_subscribe`]).
+    pub fn recv_feed_change(&self, timeout: Duration) -> Option<FeedChange> {
+        self.feed_changes.recv_timeout(timeout).ok()
     }
 
     /// Fetch broker, transport and federation statistics from the server.
@@ -436,6 +486,7 @@ fn reader_loop(
     codec: &'static dyn WireCodec,
     pending: Arc<PendingQueue>,
     deliveries: Sender<Deliver>,
+    feed_changes: Sender<FeedChange>,
 ) {
     let mut reader = BufReader::new(stream);
     while let Ok(Some(frame)) = Frame::read_from(&mut reader) {
@@ -466,6 +517,11 @@ fn reader_loop(
                 if deliveries.send(deliver).is_err() {
                     break;
                 }
+            }
+            Ok(ServerFrame::FeedChanged(change)) => {
+                // Unsolicited autosub notices get their own queue so a
+                // caller polling deliveries never swallows them.
+                let _ = feed_changes.send(change);
             }
             Err(_) => break,
         }

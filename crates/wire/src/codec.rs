@@ -20,12 +20,37 @@
 //! whatever version the first frame (`Hello` / `PeerHello`) carries is
 //! the codec both directions speak for the connection's lifetime. See
 //! [`crate::frame`] for the negotiation rules.
+//!
+//! # v2 tag assignments
+//!
+//! Enum variants travel as single tag bytes. Tags are append-only — new
+//! variants take the next free number and existing tags never renumber,
+//! so older v2 parties reject unknown traffic cleanly instead of
+//! misreading it:
+//!
+//! | enum | tag → variant |
+//! |---|---|
+//! | `Request` | 0 `Hello`, 1 `Subscribe`, 2 `Unsubscribe`, 3 `Publish`, 4 `UploadClicks`, 5 `Stats`, 6 `Ping`, 7 `Bye`, 8 `PeerHello`, 9 `AutoSubscribe`, 10 `AutoUnsubscribe` |
+//! | `Response` | 0 `Hello`, 1 `Subscribed`, 2 `Unsubscribed`, 3 `Published`, 4 `ClicksAccepted`, 5 `Stats`, 6 `Pong`, 7 `Bye`, 8 `PeerWelcome`, 9 `Error`, 10 `AutoSubscribed`, 11 `AutoUnsubscribed` |
+//! | `ServerFrame` | 0 `Reply`, 1 `Deliver`, 2 `FeedChanged` |
+//! | `PeerMsg` | 0 `SubFwd`, 1 `UnsubFwd`, 2 `EventFwd` |
+//! | `Value` | 0 `Str`, 1 `Int`, 2 `Float`, 3 `Bool` |
+//! | `AutoSubMode` | 0 `Topic`, 1 `Content` |
+//!
+//! `Op` travels as its index in `Op::ALL`, and the auto-subscription
+//! payloads (`AutoSubPolicy`, `AutoSubReceipt`, `FeedChange`) are plain
+//! field sequences in declaration order, entries length-prefixed like
+//! every other vector.
 
 use crate::error::WireError;
 use crate::frame::{Frame, PROTOCOL_V1_JSON, PROTOCOL_V2_BINARY};
-use crate::protocol::{ClientFrame, Deliver, Request, Response, ServerFrame, ServerMessage};
+use crate::protocol::{
+    AutoSubEntry, AutoSubPolicy, AutoSubReceipt, ClientFrame, Deliver, FeedChange, Request,
+    Response, ServerFrame, ServerMessage,
+};
 use crate::stats::{CodecStatsSnapshot, FederationStatsSnapshot, WireStatsSnapshot};
 use reef_attention::{Click, ClickBatch, UploadReceipt};
+use reef_core::AutoSubMode;
 use reef_pubsub::{
     BrokerStatsSnapshot, Event, EventId, Filter, GlobalSubId, Op, PeerMsg, Predicate,
     PublishedEvent, SubscriptionId, Value,
@@ -162,6 +187,7 @@ pub struct JsonCodec;
 enum ServerMessageRef<'a> {
     Reply(&'a Response),
     Deliver(&'a PublishedEvent),
+    FeedChanged(&'a FeedChange),
 }
 
 impl serde::Serialize for ServerMessageRef<'_> {
@@ -172,6 +198,7 @@ impl serde::Serialize for ServerMessageRef<'_> {
                 "Deliver",
                 serde::Value::Map(vec![("event".to_string(), event.to_value())]),
             ),
+            ServerMessageRef::FeedChanged(change) => ("FeedChanged", change.to_value()),
         };
         serde::Value::Map(vec![(tag.to_string(), value)])
     }
@@ -203,6 +230,7 @@ impl WireCodec for JsonCodec {
         let message = match frame {
             ServerFrame::Reply { response, .. } => ServerMessageRef::Reply(response),
             ServerFrame::Deliver(deliver) => ServerMessageRef::Deliver(&deliver.event),
+            ServerFrame::FeedChanged(change) => ServerMessageRef::FeedChanged(change),
         };
         Ok(Frame {
             version: PROTOCOL_V1_JSON,
@@ -223,6 +251,7 @@ impl WireCodec for JsonCodec {
             match serde_json::from_slice::<ServerMessage>(&frame.payload)? {
                 ServerMessage::Reply(response) => ServerFrame::Reply { corr: 0, response },
                 ServerMessage::Deliver(deliver) => ServerFrame::Deliver(deliver),
+                ServerMessage::FeedChanged(change) => ServerFrame::FeedChanged(change),
             },
         )
     }
@@ -283,6 +312,10 @@ impl WireCodec for BinaryCodec {
                 w.tag(1);
                 put_published(&mut w, &deliver.event);
             }
+            ServerFrame::FeedChanged(change) => {
+                w.tag(2);
+                put_feed_change(&mut w, change);
+            }
         }
         Ok(Frame {
             version: PROTOCOL_V2_BINARY,
@@ -312,6 +345,7 @@ impl WireCodec for BinaryCodec {
             1 => ServerFrame::Deliver(Deliver {
                 event: get_published(&mut r)?,
             }),
+            2 => ServerFrame::FeedChanged(get_feed_change(&mut r)?),
             t => return Err(bad_tag("ServerFrame", t)),
         };
         r.finish()?;
@@ -901,6 +935,86 @@ fn get_receipt(r: &mut Reader<'_>) -> Result<UploadReceipt, WireError> {
     })
 }
 
+/// `AutoSubMode` travels as a single tag byte.
+fn put_mode(w: &mut Writer, mode: AutoSubMode) {
+    w.tag(match mode {
+        AutoSubMode::Topic => 0,
+        AutoSubMode::Content => 1,
+    });
+}
+
+fn get_mode(r: &mut Reader<'_>) -> Result<AutoSubMode, WireError> {
+    Ok(match r.tag("AutoSubMode")? {
+        0 => AutoSubMode::Topic,
+        1 => AutoSubMode::Content,
+        t => return Err(bad_tag("AutoSubMode", t)),
+    })
+}
+
+fn put_policy(w: &mut Writer, policy: &AutoSubPolicy) {
+    put_mode(w, policy.recommender);
+    w.u64(u64::from(policy.max_filters));
+    w.f64(policy.half_life_secs);
+    w.f64(policy.min_score);
+}
+
+fn get_policy(r: &mut Reader<'_>) -> Result<AutoSubPolicy, WireError> {
+    Ok(AutoSubPolicy {
+        recommender: get_mode(r)?,
+        max_filters: r.u32()?,
+        half_life_secs: r.f64()?,
+        min_score: r.f64()?,
+    })
+}
+
+fn put_autosub_entries(w: &mut Writer, entries: &[AutoSubEntry]) {
+    w.u64(entries.len() as u64);
+    for entry in entries {
+        put_filter(w, &entry.filter);
+        w.str(&entry.reason);
+        w.f64(entry.score);
+    }
+}
+
+fn get_autosub_entries(r: &mut Reader<'_>) -> Result<Vec<AutoSubEntry>, WireError> {
+    let len = r.u64()?;
+    let mut entries = Vec::with_capacity(len.min(1024) as usize);
+    for _ in 0..len {
+        entries.push(AutoSubEntry {
+            filter: get_filter(r)?,
+            reason: r.str()?,
+            score: r.f64()?,
+        });
+    }
+    Ok(entries)
+}
+
+fn put_autosub_receipt(w: &mut Writer, receipt: &AutoSubReceipt) {
+    w.u64(u64::from(receipt.user.0));
+    put_autosub_entries(w, &receipt.entries);
+}
+
+fn get_autosub_receipt(r: &mut Reader<'_>) -> Result<AutoSubReceipt, WireError> {
+    Ok(AutoSubReceipt {
+        user: UserId(r.u32()?),
+        entries: get_autosub_entries(r)?,
+    })
+}
+
+fn put_feed_change(w: &mut Writer, change: &FeedChange) {
+    w.u64(u64::from(change.user.0));
+    put_autosub_entries(w, &change.installed);
+    put_autosub_entries(w, &change.retired);
+}
+
+fn get_feed_change(r: &mut Reader<'_>) -> Result<FeedChange, WireError> {
+    Ok(FeedChange {
+        user: UserId(r.u32()?),
+        installed: get_autosub_entries(r)?,
+        retired: get_autosub_entries(r)?,
+    })
+}
+
 fn put_broker_stats(w: &mut Writer, s: &BrokerStatsSnapshot) {
     w.u64(s.events_published);
     w.u64(s.deliveries);
@@ -962,6 +1076,11 @@ fn put_wire_stats(w: &mut Writer, s: &WireStatsSnapshot) {
     w.u64(s.wal_snapshots);
     w.u64(s.recovered_clicks);
     w.u64(s.wal_truncated_bytes);
+    w.u64(s.autosub_users);
+    w.u64(s.autosub_active);
+    w.u64(s.autosub_derived);
+    w.u64(s.autosub_retired);
+    w.u64(s.autosub_last_refresh_us);
     put_codec_stats(w, &s.json);
     put_codec_stats(w, &s.binary);
 }
@@ -987,6 +1106,11 @@ fn get_wire_stats(r: &mut Reader<'_>) -> Result<WireStatsSnapshot, WireError> {
         wal_snapshots: r.u64()?,
         recovered_clicks: r.u64()?,
         wal_truncated_bytes: r.u64()?,
+        autosub_users: r.u64()?,
+        autosub_active: r.u64()?,
+        autosub_derived: r.u64()?,
+        autosub_retired: r.u64()?,
+        autosub_last_refresh_us: r.u64()?,
         json: get_codec_stats(r)?,
         binary: get_codec_stats(r)?,
     })
@@ -1049,6 +1173,21 @@ fn put_request(w: &mut Writer, request: &Request) {
             w.tag(UPLOAD_CLICKS_TAG);
             put_batch(w, batch);
         }
+        Request::AutoSubscribe { user, policy } => {
+            w.tag(9);
+            w.u64(u64::from(user.0));
+            match policy {
+                Some(policy) => {
+                    w.bool(true);
+                    put_policy(w, policy);
+                }
+                None => w.bool(false),
+            }
+        }
+        Request::AutoUnsubscribe { user } => {
+            w.tag(10);
+            w.u64(u64::from(user.0));
+        }
         Request::Stats => w.tag(5),
         Request::Ping => w.tag(6),
         Request::Bye => w.tag(7),
@@ -1092,6 +1231,17 @@ fn get_request(r: &mut Reader<'_>) -> Result<Request, WireError> {
                 .map_err(|_| WireError::Protocol("PeerHello version overflows u8".into()))?,
             broker: r.str()?,
             broker_id: r.u32()?,
+        },
+        9 => Request::AutoSubscribe {
+            user: UserId(r.u32()?),
+            policy: if r.bool()? {
+                Some(get_policy(r)?)
+            } else {
+                None
+            },
+        },
+        10 => Request::AutoUnsubscribe {
+            user: UserId(r.u32()?),
         },
         t => return Err(bad_tag("Request", t)),
     })
@@ -1157,6 +1307,14 @@ fn put_response(w: &mut Writer, response: &Response) {
             w.tag(9);
             w.str(message);
         }
+        Response::AutoSubscribed { receipt } => {
+            w.tag(10);
+            put_autosub_receipt(w, receipt);
+        }
+        Response::AutoUnsubscribed { receipt } => {
+            w.tag(11);
+            put_autosub_receipt(w, receipt);
+        }
     }
 }
 
@@ -1196,6 +1354,12 @@ fn get_response(r: &mut Reader<'_>) -> Result<Response, WireError> {
             broker_id: r.u32()?,
         },
         9 => Response::Error { message: r.str()? },
+        10 => Response::AutoSubscribed {
+            receipt: get_autosub_receipt(r)?,
+        },
+        11 => Response::AutoUnsubscribed {
+            receipt: get_autosub_receipt(r)?,
+        },
         t => return Err(bad_tag("Response", t)),
     })
 }

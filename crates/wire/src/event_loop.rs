@@ -315,6 +315,7 @@ impl EventLoop {
             }
             self.adopt_dialed_peers();
             self.drain_dirty_subscribers();
+            self.push_feed_notices();
             self.pump_all_peer_queues();
             // Peer frames read this iteration were queued into the
             // routing core's inbound queue; route them now, on this
@@ -637,13 +638,18 @@ impl EventLoop {
 
     /// Append one correlated reply to the connection's outbound buffer.
     fn queue_reply(&mut self, token: u64, corr: u64, response: Response) {
+        self.queue_server_frame(token, ServerFrame::Reply { corr, response });
+    }
+
+    /// Append one server frame (reply or unsolicited notice) to a client
+    /// connection's outbound buffer.
+    fn queue_server_frame(&mut self, token: u64, message: ServerFrame) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         let ConnRole::Client { shared, .. } = &conn.role else {
             return;
         };
-        let message = ServerFrame::Reply { corr, response };
         match shared.codec().encode_server(&message) {
             Ok(frame) => {
                 let written = conn.out.push_frame(&frame);
@@ -689,6 +695,9 @@ impl EventLoop {
         self.queue_reply(token, corr, welcome);
         // No longer a client: withdraw its subscriptions, drop its broker
         // subscriber, leave the client registry.
+        self.core
+            .autosub
+            .drop_subscriber(&self.core, shared.subscriber);
         for sub in &owned {
             self.core.federation.local_unsubscribe(*sub);
         }
@@ -888,6 +897,30 @@ impl EventLoop {
     }
 
     // -- deliveries ------------------------------------------------------
+
+    /// Push queued autosub `FeedChanged` notices into their owning
+    /// connections' outbound buffers. The loop's park bound
+    /// (`LOOP_PARK_MS`) caps notice latency without a dedicated wake.
+    fn push_feed_notices(&mut self) {
+        if !self.core.autosub.has_notices() {
+            return;
+        }
+        let targets: Vec<(SubscriberId, u64)> = self
+            .by_subscriber
+            .iter()
+            .map(|(subscriber, token)| (*subscriber, *token))
+            .collect();
+        for (subscriber, token) in targets {
+            let changes = self.core.autosub.take_notices(subscriber);
+            if changes.is_empty() {
+                continue;
+            }
+            for change in changes {
+                self.queue_server_frame(token, ServerFrame::FeedChanged(change));
+            }
+            self.flush(token);
+        }
+    }
 
     /// Drain the broker queues of every subscriber the notifier flagged.
     fn drain_dirty_subscribers(&mut self) {

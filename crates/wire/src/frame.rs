@@ -20,8 +20,9 @@
 //! * **v2 (binary)** — the payload is the compact tag/varint encoding of
 //!   one [`crate::protocol::ClientFrame`] (a correlation id plus the
 //!   request) or [`crate::protocol::ServerFrame`] (a reply echoing the
-//!   request's correlation id, or a delivery). See [`crate::codec`] for
-//!   the byte-level layout.
+//!   request's correlation id, a delivery, or an unsolicited `FeedChanged`
+//!   auto-subscription notice). See [`crate::codec`] for the byte-level
+//!   layout and the full v2 tag table.
 //!
 //! # Codec negotiation
 //!

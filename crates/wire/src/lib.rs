@@ -39,6 +39,12 @@
 //!   blocking subscribe / unsubscribe / publish / upload-clicks surface,
 //!   a batch-friendly [`Client::publish_nowait`], and an iterator over
 //!   deliveries;
+//! * [`autosub`] — the server-side **automatic subscription** engine
+//!   (the paper's headline loop, §2.2): clients enroll users with
+//!   [`Request::AutoSubscribe`], the daemon runs the `reef-core`
+//!   recommenders over uploaded clicks on a background refresh task and
+//!   installs/retires the derived filters as real broker subscriptions,
+//!   pushing [`protocol::FeedChange`] notices as the set changes;
 //! * the `reefd` binary — the standalone daemon (`cargo run --bin reefd`).
 //!
 //! # Quickstart
@@ -64,6 +70,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod autosub;
 pub mod client;
 pub mod codec;
 pub mod error;
@@ -77,6 +84,7 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
+pub use autosub::AutosubOptions;
 pub use client::{
     Client, ClientBuilder, Deliveries, PendingPublish, RemotePublishOutcome, ServerStats,
 };
@@ -86,9 +94,12 @@ pub use federation::{Federation, FederationConfig, TcpTransport, LOCAL_NODE};
 pub use frame::{
     Frame, FrameDecoder, MAX_FRAME_LEN, PROTOCOL_V1_JSON, PROTOCOL_V2_BINARY, PROTOCOL_VERSION,
 };
-pub use protocol::{ClientFrame, Deliver, Request, Response, ServerFrame, ServerMessage};
+pub use protocol::{
+    AutoSubEntry, AutoSubPolicy, AutoSubReceipt, ClientFrame, Deliver, FeedChange, Request,
+    Response, ServerFrame, ServerMessage,
+};
 pub use server::{BrokerServer, BrokerServerBuilder, TransportKind};
 pub use stats::{
-    CodecStatsSnapshot, ConnectionStatsSnapshot, FederationStatsSnapshot, PeerStatsSnapshot,
-    WireStats, WireStatsSnapshot,
+    AutosubGauges, CodecStatsSnapshot, ConnectionStatsSnapshot, FederationStatsSnapshot,
+    PeerStatsSnapshot, WireStats, WireStatsSnapshot,
 };

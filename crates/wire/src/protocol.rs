@@ -33,10 +33,78 @@
 //! plus the version field both `PeerHello` and `PeerWelcome` carry.
 
 use reef_attention::{ClickBatch, UploadReceipt};
+use reef_core::AutoSubMode;
 use reef_pubsub::{BrokerStatsSnapshot, Event, EventId, Filter, PublishedEvent, SubscriptionId};
+use reef_simweb::UserId;
 use serde::{Deserialize, Serialize};
 
 use crate::stats::{FederationStatsSnapshot, WireStatsSnapshot};
+
+/// How the server-side auto-subscription engine should treat one user,
+/// sent with [`Request::AutoSubscribe`].
+///
+/// `None` in the request means "use the daemon's defaults" (the
+/// `reefd --autosub-*` flags); an explicit policy overrides them per
+/// enrollment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoSubPolicy {
+    /// Recommender deriving the filters.
+    pub recommender: AutoSubMode,
+    /// At most this many derived filters at once.
+    pub max_filters: u32,
+    /// Interest half-life in seconds (non-positive disables decay).
+    pub half_life_secs: f64,
+    /// Install/retire score threshold.
+    pub min_score: f64,
+}
+
+impl Default for AutoSubPolicy {
+    fn default() -> Self {
+        let c = reef_core::AutoSubConfig::default();
+        AutoSubPolicy {
+            recommender: c.mode,
+            max_filters: c.max_filters as u32,
+            half_life_secs: c.half_life_secs,
+            min_score: c.min_score,
+        }
+    }
+}
+
+/// One filter the engine currently derives for a user, with the reason
+/// shown in receipts and [`FeedChange`] notices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoSubEntry {
+    /// The derived filter.
+    pub filter: Filter,
+    /// Human-readable derivation reason.
+    pub reason: String,
+    /// Interest score at derivation time.
+    pub score: f64,
+}
+
+/// Answer payload for [`Request::AutoSubscribe`] /
+/// [`Request::AutoUnsubscribe`]: the filters currently derived for the
+/// user (after enrollment: what is installed; after unenrollment: what
+/// was just retired).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoSubReceipt {
+    /// The enrolled user.
+    pub user: UserId,
+    /// Derived filters with reasons, strongest first.
+    pub entries: Vec<AutoSubEntry>,
+}
+
+/// Unsolicited notice pushed when the engine installs or retires derived
+/// filters for a user enrolled on this connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedChange {
+    /// The user whose derived feed set changed.
+    pub user: UserId,
+    /// Filters the engine just installed.
+    pub installed: Vec<AutoSubEntry>,
+    /// Filters the engine just retired.
+    pub retired: Vec<AutoSubEntry>,
+}
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,6 +136,20 @@ pub enum Request {
     UploadClicks {
         /// The batch to ingest.
         batch: ClickBatch,
+    },
+    /// Enroll a user in server-side automatic subscriptions: the engine
+    /// derives filters from the user's uploaded clicks and installs them
+    /// as subscriptions owned by this connection.
+    AutoSubscribe {
+        /// The user whose clicks drive the derivation.
+        user: UserId,
+        /// Per-enrollment policy; `None` uses the daemon's defaults.
+        policy: Option<AutoSubPolicy>,
+    },
+    /// Unenroll a user: every derived filter is retired from the broker.
+    AutoUnsubscribe {
+        /// The user to unenroll.
+        user: UserId,
     },
     /// Ask for broker + wire statistics.
     Stats,
@@ -138,6 +220,16 @@ pub enum Response {
         /// Federation-side routing and peer-link counters.
         federation: FederationStatsSnapshot,
     },
+    /// Answer to `AutoSubscribe`: what the engine currently derives.
+    AutoSubscribed {
+        /// Enrollment receipt listing the derived filters with reasons.
+        receipt: AutoSubReceipt,
+    },
+    /// Answer to `AutoUnsubscribe`: what was just retired.
+    AutoUnsubscribed {
+        /// Unenrollment receipt listing the retired filters.
+        receipt: AutoSubReceipt,
+    },
     /// Answer to `Ping`.
     Pong,
     /// Answer to `Bye`; the server closes the connection after sending it.
@@ -176,6 +268,10 @@ pub enum ServerMessage {
     Reply(Response),
     /// An asynchronous delivery.
     Deliver(Deliver),
+    /// An asynchronous auto-subscription change notice. Only sent to
+    /// connections that issued [`Request::AutoSubscribe`], so pre-autosub
+    /// v1 clients never see the (new) variant.
+    FeedChanged(FeedChange),
 }
 
 /// One client → server frame: a request plus the correlation id its
@@ -207,6 +303,10 @@ pub enum ServerFrame {
     },
     /// An asynchronous delivery (never correlated).
     Deliver(Deliver),
+    /// An asynchronous auto-subscription change notice (never
+    /// correlated; only sent after an `AutoSubscribe` on the
+    /// connection).
+    FeedChanged(FeedChange),
 }
 
 #[cfg(test)]
@@ -250,6 +350,22 @@ mod tests {
                 user: reef_simweb_user(3),
                 clicks: vec![],
             },
+        });
+        round_trip_request(&Request::AutoSubscribe {
+            user: reef_simweb_user(4),
+            policy: None,
+        });
+        round_trip_request(&Request::AutoSubscribe {
+            user: reef_simweb_user(4),
+            policy: Some(AutoSubPolicy {
+                recommender: AutoSubMode::Content,
+                max_filters: 3,
+                half_life_secs: 90.0,
+                min_score: 1.5,
+            }),
+        });
+        round_trip_request(&Request::AutoUnsubscribe {
+            user: reef_simweb_user(4),
         });
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Ping);
@@ -298,6 +414,22 @@ mod tests {
                 wire: WireStatsSnapshot::default(),
                 federation: FederationStatsSnapshot::default(),
             },
+            Response::AutoSubscribed {
+                receipt: AutoSubReceipt {
+                    user: reef_simweb_user(2),
+                    entries: vec![AutoSubEntry {
+                        filter: Filter::topic("http://news.example/feed.xml"),
+                        reason: "topic: 5 clicks on news.example".into(),
+                        score: 5.0,
+                    }],
+                },
+            },
+            Response::AutoUnsubscribed {
+                receipt: AutoSubReceipt {
+                    user: reef_simweb_user(2),
+                    entries: vec![],
+                },
+            },
             Response::Pong,
             Response::Bye,
             Response::PeerWelcome {
@@ -337,6 +469,23 @@ mod tests {
             let back: PeerMsg = frame.decode().unwrap();
             assert_eq!(back, msg);
         }
+    }
+
+    #[test]
+    fn feed_change_notices_round_trip() {
+        round_trip_server(&ServerMessage::FeedChanged(FeedChange {
+            user: reef_simweb_user(9),
+            installed: vec![AutoSubEntry {
+                filter: Filter::keyword("body", "broker"),
+                reason: "content: 3 clicks on broker".into(),
+                score: 3.0,
+            }],
+            retired: vec![AutoSubEntry {
+                filter: Filter::topic("http://old.example/feed.xml"),
+                reason: "topic: 2 clicks on old.example".into(),
+                score: 0.1,
+            }],
+        }));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! the accept loop with a loopback connection, closes every live socket
 //! (which unblocks the reader threads) and joins everything.
 
+use crate::autosub::{AutosubOptions, AutosubRuntime};
 use crate::codec::{CodecKind, WireCodec};
 use crate::error::WireError;
 use crate::federation::{Federation, FederationConfig};
@@ -143,6 +144,7 @@ pub struct BrokerServerBuilder {
     data_dir: Option<PathBuf>,
     wal_segment_bytes: Option<u64>,
     snapshot_every: Option<u64>,
+    autosub: Option<AutosubOptions>,
 }
 
 impl BrokerServerBuilder {
@@ -254,6 +256,14 @@ impl BrokerServerBuilder {
         self
     }
 
+    /// Configure the automatic-subscription subsystem (default: enabled
+    /// with [`AutosubOptions::default`]). The `reefd` binary flips the
+    /// default off and re-enables it with `--autosub`.
+    pub fn autosub(mut self, options: AutosubOptions) -> Self {
+        self.autosub = Some(options);
+        self
+    }
+
     /// Bind `addr` and start serving.
     ///
     /// # Errors
@@ -298,6 +308,7 @@ impl BrokerServerBuilder {
             self.codec.unwrap_or_default(),
             self.peer_retry.unwrap_or(false),
             self.transport.unwrap_or_default(),
+            self.autosub.unwrap_or_default(),
         )
     }
 }
@@ -439,6 +450,8 @@ pub struct BrokerServer {
     main_thread: Option<JoinHandle<()>>,
     /// Wakes the event loop so it observes the shutdown flag (epoll only).
     loop_control: Option<Arc<dyn LoopControl>>,
+    /// The autosub refresh thread; `None` when the subsystem is disabled.
+    autosub_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -463,6 +476,7 @@ pub(crate) struct ServerCore {
     pub(crate) shutdown: AtomicBool,
     pub(crate) name: String,
     pub(crate) write_timeout: Duration,
+    pub(crate) autosub: AutosubRuntime,
 }
 
 impl ServerCore {
@@ -566,6 +580,18 @@ impl ServerCore {
                     },
                 }
             }
+            Request::AutoSubscribe { user, policy } => {
+                match self.autosub.enroll(self, conn.subscriber, user, policy) {
+                    Ok(receipt) => Response::AutoSubscribed { receipt },
+                    Err(message) => Response::Error { message },
+                }
+            }
+            Request::AutoUnsubscribe { user } => {
+                match self.autosub.unenroll(self, conn.subscriber, user) {
+                    Ok(receipt) => Response::AutoUnsubscribed { receipt },
+                    Err(message) => Response::Error { message },
+                }
+            }
             Request::Stats => Response::Stats {
                 broker: self.broker.stats(),
                 wire: self.stats.snapshot(),
@@ -586,6 +612,11 @@ impl ServerCore {
         owned: &HashSet<SubscriptionId>,
     ) {
         conn.close_socket();
+        // Engine-installed subscriptions first: each needs its own
+        // routing-core withdrawal, and the broker deregistration below
+        // would otherwise leave the autosub registry pointing at dead
+        // subscription ids.
+        self.autosub.drop_subscriber(self, conn.subscriber);
         for sub in owned {
             self.federation.local_unsubscribe(*sub);
         }
@@ -636,6 +667,7 @@ impl BrokerServer {
         codec: CodecKind,
         peer_retry: bool,
         transport: TransportKind,
+        autosub: AutosubOptions,
     ) -> Result<BrokerServer, WireError> {
         if transport == TransportKind::Epoll && !cfg!(target_os = "linux") {
             return Err(WireError::Protocol(
@@ -676,6 +708,7 @@ impl BrokerServer {
             shutdown: AtomicBool::new(false),
             name,
             write_timeout,
+            autosub: AutosubRuntime::new(autosub),
         });
         let mut server = BrokerServer {
             core: Arc::clone(&core),
@@ -683,6 +716,7 @@ impl BrokerServer {
             transport,
             main_thread: None,
             loop_control: None,
+            autosub_thread: spawn_autosub_refresh(&core),
             conn_threads: Arc::new(Mutex::new(Vec::new())),
         };
         match transport {
@@ -835,6 +869,9 @@ impl BrokerServer {
         if let Some(handle) = self.main_thread.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.autosub_thread.take() {
+            let _ = handle.join();
+        }
         for conn in self.core.connections.lock().iter() {
             conn.close_socket();
         }
@@ -853,6 +890,41 @@ impl Drop for BrokerServer {
     fn drop(&mut self) {
         self.shutdown_in_place();
     }
+}
+
+/// Spawn the background refresh thread of the autosub subsystem: on the
+/// configured cadence it re-observes uploaded clicks for every enrolled
+/// user, applies decay, installs/retires the derived broker
+/// subscriptions and queues `FeedChanged` notices for the transports to
+/// push. Returns `None` (no thread) when the subsystem is disabled.
+fn spawn_autosub_refresh(core: &Arc<ServerCore>) -> Option<JoinHandle<()>> {
+    if !core.autosub.enabled() {
+        return None;
+    }
+    let core = Arc::clone(core);
+    let interval = core.autosub.refresh_interval();
+    // Sleep in short ticks so shutdown stays prompt even under a long
+    // refresh interval.
+    let tick = interval
+        .min(Duration::from_millis(25))
+        .max(Duration::from_millis(1));
+    let handle = std::thread::Builder::new()
+        .name("reefd-autosub".into())
+        .spawn(move || {
+            let mut last = std::time::Instant::now();
+            loop {
+                if core.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if last.elapsed() >= interval {
+                    core.autosub.refresh(&core);
+                    last = std::time::Instant::now();
+                }
+                std::thread::sleep(tick);
+            }
+        })
+        .expect("spawn autosub refresh thread");
+    Some(handle)
 }
 
 /// Everything the accept thread needs, bundled for the move into its
@@ -1116,6 +1188,9 @@ impl ConnectionReader {
         // out, its broker subscriber goes away, and anything it
         // subscribed while still speaking the client protocol is
         // withdrawn from the routing core.
+        self.core
+            .autosub
+            .drop_subscriber(&self.core, self.conn.subscriber);
         for sub in owned {
             self.core.federation.local_unsubscribe(*sub);
         }
@@ -1173,6 +1248,18 @@ impl DeliveryPump {
                 || self.conn.upgraded.load(Ordering::SeqCst)
             {
                 return;
+            }
+            // Unsolicited FeedChanged notices ride the delivery path:
+            // the pump's park bound caps their latency at PUMP_PARK.
+            for change in self.core.autosub.take_notices(self.conn.subscriber) {
+                if self
+                    .conn
+                    .send(&ServerFrame::FeedChanged(change), &self.core.stats)
+                    .is_err()
+                {
+                    self.conn.close_socket();
+                    return;
+                }
             }
             let Some(event) = self.inbox.recv_timeout(PUMP_PARK) else {
                 continue;

@@ -92,6 +92,11 @@ pub struct WireStats {
     wal_snapshots: AtomicU64,
     recovered_clicks: AtomicU64,
     wal_truncated_bytes: AtomicU64,
+    autosub_users: AtomicU64,
+    autosub_active: AtomicU64,
+    autosub_derived: AtomicU64,
+    autosub_retired: AtomicU64,
+    autosub_last_refresh_us: AtomicU64,
     json: CodecStats,
     binary: CodecStats,
 }
@@ -194,6 +199,20 @@ impl WireStats {
             .store(persist.truncated_bytes, Ordering::Relaxed);
     }
 
+    /// Publish the auto-subscription engine's gauges after a refresh
+    /// pass. Like [`WireStats::record_persist`] these are set, not
+    /// incremented — the engine owns the running totals.
+    pub fn record_autosub(&self, gauges: &AutosubGauges) {
+        self.autosub_users.store(gauges.users, Ordering::Relaxed);
+        self.autosub_active.store(gauges.active, Ordering::Relaxed);
+        self.autosub_derived
+            .store(gauges.derived, Ordering::Relaxed);
+        self.autosub_retired
+            .store(gauges.retired, Ordering::Relaxed);
+        self.autosub_last_refresh_us
+            .store(gauges.last_refresh_us, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> WireStatsSnapshot {
         WireStatsSnapshot {
@@ -216,10 +235,31 @@ impl WireStats {
             wal_snapshots: self.wal_snapshots.load(Ordering::Relaxed),
             recovered_clicks: self.recovered_clicks.load(Ordering::Relaxed),
             wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
+            autosub_users: self.autosub_users.load(Ordering::Relaxed),
+            autosub_active: self.autosub_active.load(Ordering::Relaxed),
+            autosub_derived: self.autosub_derived.load(Ordering::Relaxed),
+            autosub_retired: self.autosub_retired.load(Ordering::Relaxed),
+            autosub_last_refresh_us: self.autosub_last_refresh_us.load(Ordering::Relaxed),
             json: self.json.snapshot(),
             binary: self.binary.snapshot(),
         }
     }
+}
+
+/// Gauge values published by the auto-subscription engine after each
+/// refresh pass (see [`WireStats::record_autosub`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutosubGauges {
+    /// Users currently enrolled.
+    pub users: u64,
+    /// Derived filters currently installed as broker subscriptions.
+    pub active: u64,
+    /// Filters derived and installed since the server started.
+    pub derived: u64,
+    /// Filters retired (decay or displacement) since the server started.
+    pub retired: u64,
+    /// Wall-clock duration of the last refresh pass, in microseconds.
+    pub last_refresh_us: u64,
 }
 
 /// Point-in-time copy of [`WireStats`], also used inside
@@ -267,6 +307,16 @@ pub struct WireStatsSnapshot {
     pub recovered_clicks: u64,
     /// Bytes discarded at startup as a torn or corrupt WAL tail.
     pub wal_truncated_bytes: u64,
+    /// Users currently enrolled in automatic subscriptions.
+    pub autosub_users: u64,
+    /// Derived filters currently installed as broker subscriptions.
+    pub autosub_active: u64,
+    /// Filters the auto-subscription engine installed since start.
+    pub autosub_derived: u64,
+    /// Filters the auto-subscription engine retired since start.
+    pub autosub_retired: u64,
+    /// Duration of the engine's last refresh pass, in microseconds.
+    pub autosub_last_refresh_us: u64,
     /// The subset of frame/byte traffic carried by the v1 JSON codec.
     pub json: CodecStatsSnapshot,
     /// The subset of frame/byte traffic carried by the v2 binary codec.
@@ -277,7 +327,7 @@ impl std::fmt::Display for WireStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={} loop={}wake/{}r/{}w/{}coal wal={}B/{}seg/{}snap recovered={}clicks/{}torn-B",
+            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={} loop={}wake/{}r/{}w/{}coal wal={}B/{}seg/{}snap recovered={}clicks/{}torn-B autosub={}users/{}active/{}+/{}-/{}us",
             self.connections_opened,
             self.connections_closed,
             self.frames_in,
@@ -301,6 +351,11 @@ impl std::fmt::Display for WireStatsSnapshot {
             self.wal_snapshots,
             self.recovered_clicks,
             self.wal_truncated_bytes,
+            self.autosub_users,
+            self.autosub_active,
+            self.autosub_derived,
+            self.autosub_retired,
+            self.autosub_last_refresh_us,
         )
     }
 }

@@ -120,8 +120,8 @@ mod wire_frames {
     use reef::attention::UploadReceipt;
     use reef::pubsub::{BrokerStatsSnapshot, EventId, SubscriptionId};
     use reef::wire::{
-        Deliver, FederationStatsSnapshot, Frame, Request, Response, ServerMessage,
-        WireStatsSnapshot,
+        AutoSubEntry, AutoSubPolicy, AutoSubReceipt, Deliver, FederationStatsSnapshot, FeedChange,
+        Frame, Request, Response, ServerMessage, WireStatsSnapshot,
     };
 
     fn frame_round_trip_request(request: Request) {
@@ -179,6 +179,20 @@ mod wire_frames {
                     }],
                 },
             },
+            Request::AutoSubscribe {
+                user: UserId(7),
+                policy: None,
+            },
+            Request::AutoSubscribe {
+                user: UserId(7),
+                policy: Some(AutoSubPolicy {
+                    recommender: reef::core::AutoSubMode::Content,
+                    max_filters: 2,
+                    half_life_secs: 30.0,
+                    min_score: 1.5,
+                }),
+            },
+            Request::AutoUnsubscribe { user: UserId(7) },
             Request::Stats,
             Request::Ping,
             Request::Bye,
@@ -220,6 +234,22 @@ mod wire_frames {
                 wire: WireStatsSnapshot::default(),
                 federation: FederationStatsSnapshot::default(),
             },
+            Response::AutoSubscribed {
+                receipt: AutoSubReceipt {
+                    user: UserId(7),
+                    entries: vec![AutoSubEntry {
+                        filter: Filter::topic("http://news.example/feed.xml"),
+                        reason: "topic: 5 clicks on news.example".into(),
+                        score: 5.0,
+                    }],
+                },
+            },
+            Response::AutoUnsubscribed {
+                receipt: AutoSubReceipt {
+                    user: UserId(7),
+                    entries: Vec::new(),
+                },
+            },
             Response::Pong,
             Response::Bye,
             Response::Error {
@@ -228,6 +258,23 @@ mod wire_frames {
         ] {
             frame_round_trip_server(ServerMessage::Reply(response));
         }
+    }
+
+    #[test]
+    fn feed_changes_survive_framing() {
+        frame_round_trip_server(ServerMessage::FeedChanged(FeedChange {
+            user: UserId(11),
+            installed: vec![AutoSubEntry {
+                filter: Filter::topic("http://a.example/feed.rss"),
+                reason: "topic: 3 clicks on a.example".into(),
+                score: 3.0,
+            }],
+            retired: vec![AutoSubEntry {
+                filter: Filter::keyword("body", "broker"),
+                reason: "content: 4 clicks on broker".into(),
+                score: 0.5,
+            }],
+        }));
     }
 
     #[test]
@@ -250,12 +297,14 @@ mod codec_equivalence {
     use super::*;
     use proptest::prelude::*;
     use reef::attention::UploadReceipt;
+    use reef::core::AutoSubMode;
     use reef::pubsub::{
         BrokerStatsSnapshot, EventId, GlobalSubId, Op, PeerMsg, Predicate, SubscriptionId,
     };
     use reef::wire::{
-        ClientFrame, CodecKind, CodecStatsSnapshot, Deliver, FederationStatsSnapshot, Request,
-        Response, ServerFrame, WireStatsSnapshot,
+        AutoSubEntry, AutoSubPolicy, AutoSubReceipt, ClientFrame, CodecKind, CodecStatsSnapshot,
+        Deliver, FederationStatsSnapshot, FeedChange, Request, Response, ServerFrame,
+        WireStatsSnapshot,
     };
 
     const BOTH: [CodecKind; 2] = [CodecKind::Json, CodecKind::Binary];
@@ -324,10 +373,62 @@ mod codec_equivalence {
             })
     }
 
+    fn arb_policy() -> impl Strategy<Value = AutoSubPolicy> {
+        (any::<bool>(), any::<u32>(), any::<f64>(), any::<f64>()).prop_map(
+            |(content, max_filters, half_life_secs, min_score)| AutoSubPolicy {
+                recommender: if content {
+                    AutoSubMode::Content
+                } else {
+                    AutoSubMode::Topic
+                },
+                max_filters,
+                half_life_secs,
+                min_score,
+            },
+        )
+    }
+
+    fn arb_autosub_entries() -> impl Strategy<Value = Vec<AutoSubEntry>> {
+        prop::collection::vec(
+            (arb_filter(), "[ -~]{0,24}", any::<f64>()).prop_map(|(filter, reason, score)| {
+                AutoSubEntry {
+                    filter,
+                    reason,
+                    score,
+                }
+            }),
+            0..3,
+        )
+    }
+
+    fn arb_receipt() -> impl Strategy<Value = AutoSubReceipt> {
+        (any::<u32>(), arb_autosub_entries()).prop_map(|(user, entries)| AutoSubReceipt {
+            user: UserId(user),
+            entries,
+        })
+    }
+
+    fn arb_feed_change() -> impl Strategy<Value = FeedChange> {
+        (any::<u32>(), arb_autosub_entries(), arb_autosub_entries()).prop_map(
+            |(user, installed, retired)| FeedChange {
+                user: UserId(user),
+                installed,
+                retired,
+            },
+        )
+    }
+
     fn arb_request() -> impl Strategy<Value = Request> {
         prop_oneof![
             (any::<u8>(), "[ -~]{0,12}")
                 .prop_map(|(version, client)| Request::Hello { version, client }),
+            (any::<u32>(), proptest::option::of(arb_policy())).prop_map(|(user, policy)| {
+                Request::AutoSubscribe {
+                    user: UserId(user),
+                    policy,
+                }
+            }),
+            any::<u32>().prop_map(|user| Request::AutoUnsubscribe { user: UserId(user) }),
             arb_filter().prop_map(|filter| Request::Subscribe { filter }),
             any::<u64>().prop_map(|id| Request::Unsubscribe {
                 subscription: SubscriptionId(id),
@@ -423,6 +524,11 @@ mod codec_equivalence {
                     wal_snapshots: mixed(seed, 45),
                     recovered_clicks: mixed(seed, 46),
                     wal_truncated_bytes: mixed(seed, 47),
+                    autosub_users: mixed(seed, 48),
+                    autosub_active: mixed(seed, 49),
+                    autosub_derived: mixed(seed, 50),
+                    autosub_retired: mixed(seed, 51),
+                    autosub_last_refresh_us: mixed(seed, 52),
                     json: codec_stats(seed, 15),
                     binary: codec_stats(seed, 19),
                 },
@@ -440,6 +546,8 @@ mod codec_equivalence {
                     binary: codec_stats(seed, 35),
                 },
             }),
+            arb_receipt().prop_map(|receipt| Response::AutoSubscribed { receipt }),
+            arb_receipt().prop_map(|receipt| Response::AutoUnsubscribed { receipt }),
             Just(Response::Pong),
             Just(Response::Bye),
             (any::<u8>(), "[ -~]{0,12}", any::<u32>()).prop_map(|(version, broker, broker_id)| {
@@ -501,12 +609,14 @@ mod codec_equivalence {
             corr in any::<u64>(),
             response in arb_response(),
             delivery in arb_published(),
+            change in arb_feed_change(),
         ) {
             let reply = ServerFrame::Reply { corr, response };
             let deliver = ServerFrame::Deliver(Deliver { event: delivery });
+            let feed = ServerFrame::FeedChanged(change);
             for kind in BOTH {
                 let codec = kind.codec();
-                for frame in [&reply, &deliver] {
+                for frame in [&reply, &deliver, &feed] {
                     let encoded = codec.encode_server(frame).map_err(fail)?;
                     let back = codec.decode_server(&encoded).map_err(fail)?;
                     match (&back, frame) {
@@ -520,6 +630,9 @@ mod codec_equivalence {
                             }
                         }
                         (ServerFrame::Deliver(got), ServerFrame::Deliver(want)) => {
+                            prop_assert_eq!(got, want);
+                        }
+                        (ServerFrame::FeedChanged(got), ServerFrame::FeedChanged(want)) => {
                             prop_assert_eq!(got, want);
                         }
                         _ => return Err(TestCaseError::fail("frame kind changed in transit")),
