@@ -1,0 +1,236 @@
+//! **E6** — mesh failover over live daemons: a 3-broker `--mesh` ring on
+//! real TCP sockets, publish-to-deliver latency measured with both paths
+//! up, then the direct link killed mid-run, then steady-state on the
+//! surviving two-hop path.
+//!
+//! The subscriber sits on broker `a`, the publisher on broker `c`; the
+//! ring gives `c` a direct route `[a]` and a failover alternate
+//! `[a, b]`. Killing the direct link exercises the path-vector layer's
+//! self-stabilization: the blackout window until the first delivery over
+//! the promoted alternate is the *failover gap*, and the before/after
+//! latency distributions quantify the price of the extra hop.
+
+use reef_bench::{print_table, write_json, Row};
+use reef_pubsub::{Event, Filter, NodeId};
+use reef_wire::{BrokerServer, Client};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(10);
+/// Publishes measured per steady-state phase.
+const SAMPLES: usize = 200;
+
+#[derive(Serialize)]
+struct Phase {
+    publishes: usize,
+    delivered: usize,
+    mean_us: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+#[derive(Serialize)]
+struct E6Result {
+    brokers: usize,
+    topology: &'static str,
+    direct_path_up: Phase,
+    after_failover: Phase,
+    failover_gap_ms: f64,
+    probes_lost_in_gap: usize,
+    reroutes_at_publisher: u64,
+    duplicates_suppressed_at_subscriber: u64,
+    alternates_before_kill: u64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Poll `probe` until it returns true or the deadline passes.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Publish `SAMPLES` events at `publisher` and clock each one into the
+/// subscriber's socket. Exactly-once is asserted as a side effect: every
+/// publish waits for precisely one delivery.
+fn measure_phase(publisher: &Client, subscriber: &Client, tag: &str) -> Phase {
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(SAMPLES);
+    let mut delivered = 0usize;
+    for i in 0..SAMPLES {
+        let started = Instant::now();
+        publisher
+            .publish(Event::topical("mesh-bench", &format!("{tag}-{i}")))
+            .expect("publish");
+        if subscriber.recv_delivery(WAIT).is_some() {
+            delivered += 1;
+            latencies_us.push(started.elapsed().as_micros() as u64);
+        }
+    }
+    latencies_us.sort_unstable();
+    Phase {
+        publishes: SAMPLES,
+        delivered,
+        mean_us: latencies_us.iter().sum::<u64>() as f64 / latencies_us.len().max(1) as f64,
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+    }
+}
+
+fn main() {
+    // The ring: a, b — a, c — a + b (the third dial closes the cycle).
+    let a = BrokerServer::builder()
+        .name("bench-mesh-a")
+        .mesh(true)
+        .bind("127.0.0.1:0")
+        .expect("bind a");
+    let b = BrokerServer::builder()
+        .name("bench-mesh-b")
+        .mesh(true)
+        .peer(a.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind b");
+    let c = BrokerServer::builder()
+        .name("bench-mesh-c")
+        .mesh(true)
+        .peer(a.local_addr().to_string())
+        .peer(b.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind c");
+    wait_for("ring links", || {
+        a.federation_stats().peers == 2
+            && b.federation_stats().peers == 2
+            && c.federation_stats().peers == 2
+    });
+
+    let subscriber = Client::connect_as(a.local_addr(), "bench-sub").expect("connect sub");
+    subscriber
+        .subscribe(Filter::topic("mesh-bench"))
+        .expect("subscribe");
+    wait_for("route + alternate at the publisher", || {
+        let stats = c.federation_stats();
+        stats.routing_entries >= 1 && stats.mesh_alternates >= 1
+    });
+    let alternates_before_kill = c.federation_stats().mesh_alternates;
+    let publisher = Client::connect_as(c.local_addr(), "bench-pub").expect("connect pub");
+
+    let direct_path_up = measure_phase(&publisher, &subscriber, "up");
+
+    // Kill the direct a — c link from a's side mid-run, then hammer the
+    // ring with probes until one crosses the promoted two-hop path: that
+    // window is the failover gap.
+    let direct = a
+        .federation()
+        .peer_stats()
+        .into_iter()
+        .find(|p| p.broker == "bench-mesh-c")
+        .expect("a's link to c")
+        .link;
+    let killed = Instant::now();
+    a.federation().peer_disconnected(NodeId(direct));
+    let mut probes = 0usize;
+    let failover_gap_ms = loop {
+        publisher
+            .publish(Event::topical("mesh-bench", &format!("probe-{probes}")))
+            .expect("probe publish");
+        probes += 1;
+        if subscriber
+            .recv_delivery(Duration::from_millis(10))
+            .is_some()
+        {
+            break killed.elapsed().as_secs_f64() * 1e3;
+        }
+        assert!(
+            killed.elapsed() < WAIT,
+            "failover never delivered a probe through the alternate path"
+        );
+    };
+    // Late copies of probes routed before the teardown finished may still
+    // trickle in; drain them so the after-phase latencies are clean.
+    while subscriber
+        .recv_delivery(Duration::from_millis(100))
+        .is_some()
+    {}
+
+    let after_failover = measure_phase(&publisher, &subscriber, "rerouted");
+
+    let reroutes_at_publisher = c.federation_stats().mesh_reroutes;
+    let duplicates_suppressed_at_subscriber = a.federation_stats().mesh_duplicates_suppressed;
+
+    print_table(
+        "E6: mesh failover on a 3-broker TCP ring (direct path vs promoted alternate)",
+        &[
+            Row::new(
+                "publish→deliver p50",
+                format!("direct {} us", direct_path_up.p50_us),
+                format!("rerouted {} us", after_failover.p50_us),
+            ),
+            Row::new(
+                "publish→deliver p95",
+                format!("direct {} us", direct_path_up.p95_us),
+                format!("rerouted {} us", after_failover.p95_us),
+            ),
+            Row::new(
+                "publish→deliver p99",
+                format!("direct {} us", direct_path_up.p99_us),
+                format!("rerouted {} us", after_failover.p99_us),
+            ),
+            Row::new(
+                "deliveries",
+                format!("direct {}/{}", direct_path_up.delivered, SAMPLES),
+                format!("rerouted {}/{}", after_failover.delivered, SAMPLES),
+            ),
+            Row::new(
+                "failover gap",
+                "",
+                format!("{failover_gap_ms:.1} ms ({probes} probes)"),
+            ),
+            Row::new(
+                "reroutes at publisher",
+                "",
+                format!("{reroutes_at_publisher}"),
+            ),
+            Row::new(
+                "ring duplicates suppressed",
+                "",
+                format!("{duplicates_suppressed_at_subscriber}"),
+            ),
+        ],
+    );
+    println!(
+        "\nthe ring survives losing its direct link: {}/{} deliveries after failover, \
+         a {:.1} ms blackout, and the seen-cache ate {} duplicate copies on the way.",
+        after_failover.delivered, SAMPLES, failover_gap_ms, duplicates_suppressed_at_subscriber,
+    );
+
+    let result = E6Result {
+        brokers: 3,
+        topology: "ring",
+        direct_path_up,
+        after_failover,
+        failover_gap_ms,
+        probes_lost_in_gap: probes.saturating_sub(1),
+        reroutes_at_publisher,
+        duplicates_suppressed_at_subscriber,
+        alternates_before_kill,
+    };
+    if let Some(path) = write_json("BENCH_mesh", &result) {
+        println!("result written to {}", path.display());
+    }
+
+    drop(subscriber);
+    drop(publisher);
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}

@@ -140,6 +140,11 @@ pub enum OverlayError {
     UnknownClient(crate::overlay::ClientId),
     /// Adding the link would create a cycle (the overlay must stay a tree).
     WouldCreateCycle(crate::net::NodeId, crate::net::NodeId),
+    /// The operation (link removal, broker crash) needs a mesh overlay;
+    /// a tree overlay cannot survive it.
+    RequiresMesh,
+    /// The two brokers are not linked.
+    NoSuchLink(crate::net::NodeId, crate::net::NodeId),
     /// A broker-level error occurred while handling an overlay operation.
     Broker(BrokerError),
 }
@@ -152,6 +157,13 @@ impl fmt::Display for OverlayError {
             OverlayError::WouldCreateCycle(a, b) => {
                 write!(f, "link {a}-{b} would create a cycle in the broker tree")
             }
+            OverlayError::RequiresMesh => {
+                write!(
+                    f,
+                    "operation requires a mesh overlay (tree overlays cannot lose links)"
+                )
+            }
+            OverlayError::NoSuchLink(a, b) => write!(f, "brokers {a} and {b} are not linked"),
             OverlayError::Broker(e) => write!(f, "broker error: {e}"),
         }
     }

@@ -48,6 +48,7 @@ pub mod matcher;
 pub mod net;
 pub mod overlay;
 pub mod parse;
+pub mod routing;
 pub mod schema;
 pub mod stats;
 pub mod value;
@@ -63,6 +64,7 @@ pub use matcher::{IndexMatcher, MatchEngine, NaiveMatcher, SubscriptionId};
 pub use net::{NetStats, NodeId, SimTransport, Transport, TransportDelivery};
 pub use overlay::{BrokerNode, ClientId, GlobalSubId, NodeOutput, Overlay, PeerMsg, MAX_HOPS};
 pub use parse::{parse_filter, parse_filters, ParseFilterError};
+pub use routing::MeshRouter;
 pub use schema::{feed_events_schema, stock_quote_schema, AttrSpec, Schema, SchemaBuilder};
 pub use stats::BrokerStatsSnapshot;
 pub use value::{Value, ValueType};

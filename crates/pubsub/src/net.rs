@@ -186,6 +186,26 @@ impl<M> SimNet<M> {
         self.links.get(&(a, b)).copied()
     }
 
+    /// Kill the link between `a` and `b`. Messages already in flight on
+    /// the link are **lost**, in both directions — a dead wire delivers
+    /// nothing, which is exactly the failure a mesh overlay's routing
+    /// layer must survive. Returns `false` when no such link existed.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> bool {
+        let existed = self.links.remove(&(a, b)).is_some();
+        self.links.remove(&(b, a));
+        if existed {
+            let survivors: BinaryHeap<Reverse<Scheduled<M>>> = std::mem::take(&mut self.queue)
+                .into_iter()
+                .filter(|Reverse(s)| {
+                    let (src, dst) = (s.envelope.src, s.envelope.dst);
+                    !((src == a && dst == b) || (src == b && dst == a))
+                })
+                .collect();
+            self.queue = survivors;
+        }
+        existed
+    }
+
     /// Current virtual time (advanced by [`SimNet::recv_next`]).
     pub fn now(&self) -> u64 {
         self.clock
@@ -343,6 +363,13 @@ impl SimTransport {
     /// Create a bidirectional link with the given one-way latency.
     pub fn connect(&mut self, a: NodeId, b: NodeId, latency: u64) {
         self.net.connect(a, b, latency);
+    }
+
+    /// Kill the link between `a` and `b`, losing in-flight messages on
+    /// it (see [`SimNet::disconnect`]). Returns `false` when no such
+    /// link existed.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.net.disconnect(a, b)
     }
 
     /// Current virtual time.

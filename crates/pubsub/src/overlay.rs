@@ -34,6 +34,7 @@ use crate::event::{Event, EventId, PublishedEvent};
 use crate::filter::Filter;
 use crate::matcher::{IndexMatcher, MatchEngine, SubscriptionId};
 use crate::net::{NetStats, NodeId, SimTransport, Transport};
+use crate::routing::{MeshRouter, RouteRemoval};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -108,6 +109,31 @@ pub enum PeerMsg {
         /// Broker-to-broker hops travelled so far (0 = first link).
         hops: u32,
     },
+    /// Path-vector advertisement of a subscription (mesh mode): the
+    /// filter plus the broker-id path the advertisement travelled,
+    /// sender last. A receiver whose id is already on the path drops it
+    /// — that is what lets mesh overlays contain cycles.
+    SubAdv {
+        /// Overlay-wide id of the advertised subscription.
+        sub: GlobalSubId,
+        /// The subscription's filter.
+        filter: Filter,
+        /// Broker ids traversed so far, the advertising broker last.
+        path: Vec<u32>,
+    },
+    /// Keepalive probe on an idle peer link; the receiver echoes the
+    /// nonce back as [`PeerMsg::Pong`]. Carried as a control message so
+    /// it is never dropped by event backpressure.
+    Ping {
+        /// Opaque value echoed back unchanged.
+        nonce: u64,
+    },
+    /// Keepalive reply; any traffic (this included) proves the link is
+    /// alive.
+    Pong {
+        /// The probed nonce, returned unchanged.
+        nonce: u64,
+    },
 }
 
 impl PeerMsg {
@@ -117,6 +143,8 @@ impl PeerMsg {
             PeerMsg::SubFwd { filter, .. } => filter.wire_size() + 16,
             PeerMsg::UnsubFwd { .. } => 16,
             PeerMsg::EventFwd { event, .. } => event.event.wire_size() + 24,
+            PeerMsg::SubAdv { filter, path, .. } => filter.wire_size() + 24 + 4 * path.len(),
+            PeerMsg::Ping { .. } | PeerMsg::Pong { .. } => 16,
         }
     }
 }
@@ -193,6 +221,9 @@ pub struct BrokerNode {
     filters: HashMap<GlobalSubId, Filter>,
     /// What this broker has advertised to each neighbor.
     advertised: HashMap<NodeId, BTreeMap<GlobalSubId, Filter>>,
+    /// Path-vector routing state; `Some` makes this a mesh-mode node
+    /// that tolerates cycles and redundant links.
+    mesh: Option<MeshRouter>,
 }
 
 impl fmt::Debug for BrokerNode {
@@ -201,6 +232,7 @@ impl fmt::Debug for BrokerNode {
             .field("neighbors", &self.neighbors.len())
             .field("routing_entries", &self.matcher.len())
             .field("covering", &self.covering)
+            .field("mesh", &self.mesh.is_some())
             .finish()
     }
 }
@@ -216,12 +248,39 @@ impl BrokerNode {
             origin: HashMap::new(),
             filters: HashMap::new(),
             advertised: HashMap::new(),
+            mesh: None,
+        }
+    }
+
+    /// An isolated **mesh-mode** node: subscriptions travel as
+    /// path-vector advertisements ([`PeerMsg::SubAdv`]), cycles and
+    /// redundant links are tolerated (shortest live path is the fast
+    /// path, the rest failover alternates), and duplicate events are
+    /// suppressed by a bounded seen-cache instead of relying on
+    /// [`MAX_HOPS`]. `broker_id` must be unique across the federation —
+    /// it is the id rejected in incoming advertisement paths. Mesh mode
+    /// advertises every known subscription (no covering pruning: a
+    /// covering filter and its coveree may route along different paths).
+    pub fn new_mesh(broker_id: u32) -> Self {
+        BrokerNode {
+            covering: false,
+            neighbors: Vec::new(),
+            matcher: IndexMatcher::new(),
+            origin: HashMap::new(),
+            filters: HashMap::new(),
+            advertised: HashMap::new(),
+            mesh: Some(MeshRouter::new(broker_id)),
         }
     }
 
     /// Whether covering-based pruning is enabled.
     pub fn covering(&self) -> bool {
         self.covering
+    }
+
+    /// Whether this node routes in mesh (path-vector) mode.
+    pub fn is_mesh(&self) -> bool {
+        self.mesh.is_some()
     }
 
     /// The node's current neighbor links.
@@ -232,18 +291,49 @@ impl BrokerNode {
     /// Register a new neighbor link and return the advertisements that
     /// must be sent to bring it up to date with this node's current
     /// knowledge (empty when the node knows no subscriptions yet).
+    ///
+    /// Tree mode only; mesh nodes must use
+    /// [`BrokerNode::add_mesh_neighbor`], which also records the remote
+    /// broker id the path vectors need.
     pub fn add_neighbor(&mut self, neighbor: NodeId) -> Vec<(NodeId, PeerMsg)> {
+        debug_assert!(self.mesh.is_none(), "mesh nodes use add_mesh_neighbor");
         if !self.neighbors.contains(&neighbor) {
             self.neighbors.push(neighbor);
         }
         self.sync_advertisements()
     }
 
+    /// Mesh-mode counterpart of [`BrokerNode::add_neighbor`]: registers
+    /// the link together with the remote end's federation-wide broker
+    /// id (learned at handshake) and returns the path-vector
+    /// advertisements bringing the new neighbor up to date.
+    pub fn add_mesh_neighbor(&mut self, neighbor: NodeId, broker: u32) -> Vec<(NodeId, PeerMsg)> {
+        let router = self.mesh.as_mut().expect("add_mesh_neighbor on mesh node");
+        router.add_neighbor(neighbor, broker);
+        if !self.neighbors.contains(&neighbor) {
+            self.neighbors.push(neighbor);
+        }
+        self.mesh_sync()
+    }
+
     /// Drop a neighbor link: forget everything it advertised and
     /// re-advertise to the remaining neighbors (filters that were pruned
     /// because the departed neighbor covered them may need to resurface).
+    ///
+    /// In mesh mode this is the self-stabilization step: routes learned
+    /// through the lost link are torn down *immediately*, surviving
+    /// alternates are promoted to fast path, subscriptions with no
+    /// remaining route are withdrawn from the remaining neighbors, and
+    /// changed fast paths are re-advertised — the routing diff of the
+    /// link's death, pushed without waiting for any timer.
     pub fn remove_neighbor(&mut self, neighbor: NodeId) -> Vec<(NodeId, PeerMsg)> {
         self.neighbors.retain(|n| *n != neighbor);
+        if let Some(router) = self.mesh.as_mut() {
+            for sub in router.remove_neighbor(neighbor) {
+                self.remove_sub(sub);
+            }
+            return self.mesh_sync();
+        }
         self.advertised.remove(&neighbor);
         let gone: Vec<GlobalSubId> = self
             .origin
@@ -255,6 +345,20 @@ impl BrokerNode {
             self.remove_sub(sub);
         }
         self.sync_advertisements()
+    }
+
+    /// Re-send every current advertisement (mesh mode): the periodic
+    /// refresh that lets routing tables converge after arbitrary
+    /// join/leave/crash churn even if a peer missed a diff. No-op on
+    /// tree nodes, whose diffs are lossless by construction.
+    pub fn refresh(&mut self) -> Vec<(NodeId, PeerMsg)> {
+        match self.mesh.as_mut() {
+            Some(router) => {
+                router.clear_advertised();
+                self.mesh_sync()
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Place a subscription for a locally attached client. Returns the
@@ -269,7 +373,11 @@ impl BrokerNode {
         filter: Filter,
     ) -> Vec<(NodeId, PeerMsg)> {
         self.insert_sub(sub, SubOrigin::Local(client), filter);
-        self.sync_advertisements()
+        if self.mesh.is_some() {
+            self.mesh_sync()
+        } else {
+            self.sync_advertisements()
+        }
     }
 
     /// Withdraw a locally placed subscription. Returns the control
@@ -277,7 +385,11 @@ impl BrokerNode {
     /// messages are produced).
     pub fn unsubscribe_local(&mut self, sub: GlobalSubId) -> Vec<(NodeId, PeerMsg)> {
         if self.remove_sub(sub) {
-            self.sync_advertisements()
+            if self.mesh.is_some() {
+                self.mesh_sync()
+            } else {
+                self.sync_advertisements()
+            }
         } else {
             Vec::new()
         }
@@ -289,14 +401,27 @@ impl BrokerNode {
     /// own broker may host matching subscribers) and the forwards toward
     /// interested neighbors, with hop count 0.
     pub fn publish_local(&mut self, event: PublishedEvent) -> NodeOutput {
+        if let Some(router) = self.mesh.as_mut() {
+            // Mark the id seen so a copy echoed back over a cycle is
+            // suppressed (and counted) instead of re-delivered.
+            let _ = router.first_sight(event.id);
+            return self.route_event_mesh(None, event, 0);
+        }
         self.route_event(None, event, 0)
     }
 
     /// Process one message received from neighbor `from` and return the
     /// effects: local deliveries and follow-up messages.
+    ///
+    /// Tree advertisements ([`PeerMsg::SubFwd`]) are ignored by mesh
+    /// nodes and path-vector ones ([`PeerMsg::SubAdv`]) by tree nodes: a
+    /// mixed-mode federation must not corrupt either routing table.
     pub fn handle(&mut self, from: NodeId, msg: PeerMsg) -> NodeOutput {
         match msg {
             PeerMsg::SubFwd { sub, filter } => {
+                if self.mesh.is_some() {
+                    return NodeOutput::default();
+                }
                 // A SubFwd for a subscription this node already knows from
                 // elsewhere is a cycle echo (the overlay is supposed to be
                 // a tree, but a misconfigured federation is not). Adopting
@@ -314,7 +439,33 @@ impl BrokerNode {
                 self.insert_sub(sub, SubOrigin::Neighbor(from), filter);
                 NodeOutput::from_messages(self.sync_advertisements())
             }
+            PeerMsg::SubAdv { sub, filter, path } => {
+                // A SubAdv for a local subscription can only be a forged
+                // or corrupted echo — the path check would catch the
+                // honest case, but never risk hijacking a local origin.
+                if matches!(self.origin.get(&sub), Some(SubOrigin::Local(_))) {
+                    return NodeOutput::default();
+                }
+                let Some(router) = self.mesh.as_mut() else {
+                    return NodeOutput::default();
+                };
+                if !router.insert_route(from, sub, filter.clone(), path) {
+                    return NodeOutput::default();
+                }
+                self.insert_sub(sub, SubOrigin::Neighbor(from), filter);
+                NodeOutput::from_messages(self.mesh_sync())
+            }
             PeerMsg::UnsubFwd { sub } => {
+                if let Some(router) = self.mesh.as_mut() {
+                    return match router.remove_route(from, sub) {
+                        RouteRemoval::NotFound => NodeOutput::default(),
+                        RouteRemoval::Changed => NodeOutput::from_messages(self.mesh_sync()),
+                        RouteRemoval::Gone => {
+                            self.remove_sub(sub);
+                            NodeOutput::from_messages(self.mesh_sync())
+                        }
+                    };
+                }
                 if self.remove_sub(sub) {
                     NodeOutput::from_messages(self.sync_advertisements())
                 } else {
@@ -325,8 +476,18 @@ impl BrokerNode {
                 if hops >= MAX_HOPS {
                     return NodeOutput::default();
                 }
+                if let Some(router) = self.mesh.as_mut() {
+                    if !router.first_sight(event.id) {
+                        return NodeOutput::default();
+                    }
+                    return self.route_event_mesh(Some(from), event, hops + 1);
+                }
                 self.route_event(Some(from), event, hops + 1)
             }
+            PeerMsg::Ping { nonce } => {
+                NodeOutput::from_messages(vec![(from, PeerMsg::Pong { nonce })])
+            }
+            PeerMsg::Pong { .. } => NodeOutput::default(),
         }
     }
 
@@ -338,7 +499,30 @@ impl BrokerNode {
 
     /// Advertisements currently held toward neighbors.
     pub fn advertisement_count(&self) -> usize {
-        self.advertised.values().map(BTreeMap::len).sum()
+        match &self.mesh {
+            Some(router) => router.advertisement_count(),
+            None => self.advertised.values().map(BTreeMap::len).sum(),
+        }
+    }
+
+    /// Failover routes held beyond each subscription's fast path.
+    /// Always 0 on tree nodes.
+    pub fn mesh_alternates(&self) -> usize {
+        self.mesh.as_ref().map_or(0, MeshRouter::alternates)
+    }
+
+    /// Times a dead fast path was replaced by a surviving alternate.
+    /// Always 0 on tree nodes.
+    pub fn mesh_reroutes(&self) -> u64 {
+        self.mesh.as_ref().map_or(0, MeshRouter::reroutes)
+    }
+
+    /// Duplicate event copies dropped by the mesh seen-cache. Always 0
+    /// on tree nodes.
+    pub fn mesh_duplicates_suppressed(&self) -> u64 {
+        self.mesh
+            .as_ref()
+            .map_or(0, MeshRouter::duplicates_suppressed)
     }
 
     /// Everything this node currently knows: each subscription id with
@@ -443,6 +627,73 @@ impl BrokerNode {
         to_send
     }
 
+    /// Mesh counterpart of [`BrokerNode::sync_advertisements`]: hand the
+    /// router the current locals and neighbors and let it diff what each
+    /// neighbor should see (fast paths + split horizon) against what was
+    /// already sent.
+    fn mesh_sync(&mut self) -> Vec<(NodeId, PeerMsg)> {
+        let locals: Vec<(GlobalSubId, Filter)> = self
+            .filters
+            .iter()
+            .filter(|(sub, _)| matches!(self.origin.get(*sub), Some(SubOrigin::Local(_))))
+            .map(|(sub, filter)| (*sub, filter.clone()))
+            .collect();
+        let neighbors = self.neighbors.clone();
+        self.mesh
+            .as_mut()
+            .expect("mesh_sync on mesh node")
+            .sync(&neighbors, &locals)
+    }
+
+    /// Mesh event routing: deliver locally, then forward over **every**
+    /// live route of each matching remote subscription (except the link
+    /// the event came in on). The fast path delivers first; redundant
+    /// copies are suppressed by the receivers' seen-caches, which is
+    /// what lets delivery survive a link dying mid-event.
+    fn route_event_mesh(
+        &mut self,
+        from: Option<NodeId>,
+        event: PublishedEvent,
+        hops: u32,
+    ) -> NodeOutput {
+        let router = self.mesh.as_ref().expect("mesh routing on mesh node");
+        let matched = self.matcher.matches(&event.event);
+        let mut local: Vec<ClientId> = Vec::new();
+        let mut forward: Vec<NodeId> = Vec::new();
+        for m in matched {
+            let sub = GlobalSubId(m.0);
+            match self.origin.get(&sub) {
+                Some(SubOrigin::Local(c)) => local.push(*c),
+                Some(SubOrigin::Neighbor(_)) => {
+                    for link in router.via_links(sub) {
+                        if Some(link) != from && !forward.contains(&link) {
+                            forward.push(link);
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        forward.sort_unstable_by_key(|n| n.0);
+        let deliveries = local.into_iter().map(|c| (c, event.clone())).collect();
+        let messages = forward
+            .into_iter()
+            .map(|n| {
+                (
+                    n,
+                    PeerMsg::EventFwd {
+                        event: event.clone(),
+                        hops,
+                    },
+                )
+            })
+            .collect();
+        NodeOutput {
+            deliveries,
+            messages,
+        }
+    }
+
     /// Deliver locally and forward along interested links.
     fn route_event(
         &mut self,
@@ -521,10 +772,12 @@ pub struct Overlay {
     brokers: HashMap<NodeId, BrokerNode>,
     clients: HashMap<ClientId, ClientState>,
     covering: bool,
+    /// Mesh overlays route by path vector and accept cyclic links.
+    mesh: bool,
     next_client: u64,
     next_sub: u64,
     next_event: u64,
-    /// Union-find over broker ids for cycle prevention.
+    /// Union-find over broker ids for cycle prevention (tree mode only).
     parent: HashMap<NodeId, NodeId>,
 }
 
@@ -547,6 +800,7 @@ impl Overlay {
             brokers: HashMap::new(),
             clients: HashMap::new(),
             covering,
+            mesh: false,
             next_client: 0,
             next_sub: 0,
             next_event: 0,
@@ -554,10 +808,40 @@ impl Overlay {
         }
     }
 
+    /// Create an empty **mesh** overlay: links may form cycles and
+    /// redundant paths, brokers route by path-vector advertisement
+    /// ([`BrokerNode::new_mesh`]), and [`Overlay::unlink`] /
+    /// [`Overlay::crash_broker`] model churn the routing layer must
+    /// survive. In the simulation a broker's federation-wide id is its
+    /// [`NodeId`] value.
+    pub fn new_mesh() -> Self {
+        Overlay {
+            transport: SimTransport::new(),
+            brokers: HashMap::new(),
+            clients: HashMap::new(),
+            covering: false,
+            mesh: true,
+            next_client: 0,
+            next_sub: 0,
+            next_event: 0,
+            parent: HashMap::new(),
+        }
+    }
+
+    /// Whether this overlay routes in mesh (path-vector) mode.
+    pub fn is_mesh(&self) -> bool {
+        self.mesh
+    }
+
     /// Add a broker node.
     pub fn add_broker(&mut self) -> NodeId {
         let id = self.transport.add_node();
-        self.brokers.insert(id, BrokerNode::new(self.covering));
+        let node = if self.mesh {
+            BrokerNode::new_mesh(id.0)
+        } else {
+            BrokerNode::new(self.covering)
+        };
+        self.brokers.insert(id, node);
         self.parent.insert(id, id);
         id
     }
@@ -577,14 +861,31 @@ impl Overlay {
     ///
     /// * [`OverlayError::UnknownBroker`] if either endpoint does not exist.
     /// * [`OverlayError::WouldCreateCycle`] if the link would close a loop
-    ///   (the overlay must remain a tree for reverse-path routing to be
-    ///   duplicate-free).
+    ///   in a **tree** overlay (reverse-path routing must stay
+    ///   duplicate-free). Mesh overlays accept cyclic links — that is
+    ///   their point.
     pub fn link(&mut self, a: NodeId, b: NodeId, latency: u64) -> Result<(), OverlayError> {
         if !self.brokers.contains_key(&a) {
             return Err(OverlayError::UnknownBroker(a));
         }
         if !self.brokers.contains_key(&b) {
             return Err(OverlayError::UnknownBroker(b));
+        }
+        if self.mesh {
+            self.transport.connect(a, b, latency);
+            let sync_a = self
+                .brokers
+                .get_mut(&a)
+                .expect("checked")
+                .add_mesh_neighbor(b, b.0);
+            self.send_all(a, sync_a);
+            let sync_b = self
+                .brokers
+                .get_mut(&b)
+                .expect("checked")
+                .add_mesh_neighbor(a, a.0);
+            self.send_all(b, sync_b);
+            return Ok(());
         }
         let (ra, rb) = (self.find_root(a), self.find_root(b));
         if ra == rb {
@@ -597,6 +898,95 @@ impl Overlay {
         let sync_b = self.brokers.get_mut(&b).expect("checked").add_neighbor(a);
         self.send_all(b, sync_b);
         Ok(())
+    }
+
+    /// Kill the link between two brokers (mesh only): in-flight messages
+    /// on the link are lost, both ends tear down routes learned through
+    /// it and push the routing diff to their surviving neighbors.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::RequiresMesh`] on a tree overlay,
+    /// [`OverlayError::UnknownBroker`] / [`OverlayError::NoSuchLink`] for
+    /// bad endpoints.
+    pub fn unlink(&mut self, a: NodeId, b: NodeId) -> Result<(), OverlayError> {
+        if !self.mesh {
+            return Err(OverlayError::RequiresMesh);
+        }
+        if !self.brokers.contains_key(&a) {
+            return Err(OverlayError::UnknownBroker(a));
+        }
+        if !self.brokers.contains_key(&b) {
+            return Err(OverlayError::UnknownBroker(b));
+        }
+        if !self.transport.disconnect(a, b) {
+            return Err(OverlayError::NoSuchLink(a, b));
+        }
+        let out_a = self
+            .brokers
+            .get_mut(&a)
+            .expect("checked")
+            .remove_neighbor(b);
+        self.send_all(a, out_a);
+        let out_b = self
+            .brokers
+            .get_mut(&b)
+            .expect("checked")
+            .remove_neighbor(a);
+        self.send_all(b, out_b);
+        Ok(())
+    }
+
+    /// Crash a broker (mesh only): every link it held dies as in
+    /// [`Overlay::unlink`], its clients (and their subscriptions) vanish
+    /// with it, and the surviving brokers converge on routes that avoid
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::RequiresMesh`] on a tree overlay,
+    /// [`OverlayError::UnknownBroker`] if the broker does not exist.
+    pub fn crash_broker(&mut self, broker: NodeId) -> Result<(), OverlayError> {
+        if !self.mesh {
+            return Err(OverlayError::RequiresMesh);
+        }
+        if !self.brokers.contains_key(&broker) {
+            return Err(OverlayError::UnknownBroker(broker));
+        }
+        let peers: Vec<NodeId> = self
+            .brokers
+            .iter()
+            .filter(|(id, node)| **id != broker && node.neighbors().contains(&broker))
+            .map(|(id, _)| *id)
+            .collect();
+        for peer in peers {
+            self.transport.disconnect(peer, broker);
+            let out = self
+                .brokers
+                .get_mut(&peer)
+                .expect("peer exists")
+                .remove_neighbor(broker);
+            self.send_all(peer, out);
+        }
+        self.brokers.remove(&broker);
+        self.clients.retain(|_, state| state.broker != broker);
+        Ok(())
+    }
+
+    /// Drive one periodic refresh round: every broker re-sends its
+    /// current advertisements (no-op per node on tree overlays). Call
+    /// [`Overlay::run_until_idle`] afterwards to let tables converge.
+    pub fn refresh_all(&mut self) {
+        let mut ids: Vec<NodeId> = self.brokers.keys().copied().collect();
+        ids.sort_unstable_by_key(|n| n.0);
+        for id in ids {
+            let messages = self
+                .brokers
+                .get_mut(&id)
+                .expect("listed broker exists")
+                .refresh();
+            self.send_all(id, messages);
+        }
     }
 
     /// Attach a client to a broker.
@@ -787,6 +1177,25 @@ impl Overlay {
         self.brokers
             .values()
             .map(BrokerNode::advertisement_count)
+            .sum()
+    }
+
+    /// Failover routes held beyond fast paths, summed across brokers
+    /// (mesh overlays; always 0 on trees).
+    pub fn mesh_alternates(&self) -> usize {
+        self.brokers.values().map(BrokerNode::mesh_alternates).sum()
+    }
+
+    /// Fast-path promotions after route loss, summed across brokers.
+    pub fn mesh_reroutes(&self) -> u64 {
+        self.brokers.values().map(BrokerNode::mesh_reroutes).sum()
+    }
+
+    /// Duplicate event copies suppressed, summed across brokers.
+    pub fn mesh_duplicates_suppressed(&self) -> u64 {
+        self.brokers
+            .values()
+            .map(BrokerNode::mesh_duplicates_suppressed)
             .sum()
     }
 
@@ -1200,6 +1609,142 @@ mod tests {
         ));
     }
 
+    // ------------------------------------------------------------------
+    // Mesh overlay: cyclic topologies, link loss, failover.
+    // ------------------------------------------------------------------
+
+    /// 3-broker ring b0 - b1 - b2 - b0 with one client per broker.
+    fn mesh_ring() -> (Overlay, Vec<NodeId>, Vec<ClientId>) {
+        let mut ov = Overlay::new_mesh();
+        let brokers: Vec<NodeId> = (0..3).map(|_| ov.add_broker()).collect();
+        ov.link(brokers[0], brokers[1], 5).unwrap();
+        ov.link(brokers[1], brokers[2], 5).unwrap();
+        ov.link(brokers[2], brokers[0], 5).unwrap();
+        let clients: Vec<ClientId> = brokers
+            .iter()
+            .map(|b| ov.attach_client(*b).unwrap())
+            .collect();
+        (ov, brokers, clients)
+    }
+
+    #[test]
+    fn mesh_accepts_cyclic_links() {
+        let (ov, _b, _c) = mesh_ring();
+        assert!(ov.is_mesh());
+    }
+
+    #[test]
+    fn mesh_ring_delivers_exactly_once_and_suppresses_duplicates() {
+        let (mut ov, _b, c) = mesh_ring();
+        ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        // The subscriber's broker holds an alternate route somewhere in
+        // the ring (two disjoint paths from any publisher).
+        assert!(ov.mesh_alternates() > 0, "ring yields redundant routes");
+        ov.publish(c[0], Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.take_delivered(c[2]).unwrap().len(), 1, "exactly once");
+        assert!(
+            ov.mesh_duplicates_suppressed() > 0,
+            "the redundant copy was suppressed, not delivered"
+        );
+    }
+
+    #[test]
+    fn mesh_link_kill_fails_over_to_alternate_path() {
+        let (mut ov, b, c) = mesh_ring();
+        ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        // Kill the direct b0-b2 link; the b0-b1-b2 path must take over.
+        ov.unlink(b[0], b[2]).unwrap();
+        ov.run_until_idle();
+        ov.publish(c[0], Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.take_delivered(c[2]).unwrap().len(), 1);
+        assert!(ov.mesh_reroutes() > 0, "losing the fast path is a reroute");
+    }
+
+    #[test]
+    fn mesh_unsubscribe_withdraws_all_routes() {
+        let (mut ov, _b, c) = mesh_ring();
+        let sub = ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        assert!(ov.routing_entries() > 0);
+        ov.unsubscribe(sub).unwrap();
+        ov.run_until_idle();
+        assert_eq!(ov.routing_entries(), 0);
+        ov.publish(c[0], Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        assert!(ov.take_delivered(c[2]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mesh_crash_reroutes_around_dead_broker() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3. Subscriber at 3, publisher at 0.
+        let mut ov = Overlay::new_mesh();
+        let b: Vec<NodeId> = (0..4).map(|_| ov.add_broker()).collect();
+        ov.link(b[0], b[1], 1).unwrap();
+        ov.link(b[0], b[2], 1).unwrap();
+        ov.link(b[1], b[3], 1).unwrap();
+        ov.link(b[2], b[3], 1).unwrap();
+        let publisher = ov.attach_client(b[0]).unwrap();
+        let subscriber = ov.attach_client(b[3]).unwrap();
+        ov.subscribe(subscriber, Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        ov.crash_broker(b[1]).unwrap();
+        ov.run_until_idle();
+        ov.publish(publisher, Event::topical("t", "x")).unwrap();
+        ov.run_until_idle();
+        assert_eq!(
+            ov.take_delivered(subscriber).unwrap().len(),
+            1,
+            "delivery survives the crash via 0-2-3"
+        );
+        assert_eq!(ov.broker_count(), 3);
+    }
+
+    #[test]
+    fn mesh_refresh_is_idempotent_when_converged() {
+        let (mut ov, _b, c) = mesh_ring();
+        ov.subscribe(c[2], Filter::topic("t")).unwrap();
+        ov.run_until_idle();
+        let entries = ov.routing_entries();
+        let ads = ov.advertisement_count();
+        ov.refresh_all();
+        ov.run_until_idle();
+        assert_eq!(ov.routing_entries(), entries);
+        assert_eq!(ov.advertisement_count(), ads);
+    }
+
+    #[test]
+    fn tree_overlay_rejects_mesh_churn_operations() {
+        let (mut ov, b, _c) = chain();
+        assert!(matches!(
+            ov.unlink(b[0], b[1]),
+            Err(OverlayError::RequiresMesh)
+        ));
+        assert!(matches!(
+            ov.crash_broker(b[0]),
+            Err(OverlayError::RequiresMesh)
+        ));
+    }
+
+    #[test]
+    fn node_answers_ping_with_pong() {
+        let b = NodeId(1);
+        let mut node = BrokerNode::new(true);
+        node.add_neighbor(b);
+        let out = node.handle(b, PeerMsg::Ping { nonce: 42 });
+        assert!(matches!(
+            out.messages.as_slice(),
+            [(n, PeerMsg::Pong { nonce: 42 })] if *n == b
+        ));
+        assert!(node
+            .handle(b, PeerMsg::Pong { nonce: 42 })
+            .messages
+            .is_empty());
+    }
+
     #[test]
     fn peer_msg_round_trips_through_serde() {
         for msg in [
@@ -1214,6 +1759,13 @@ mod tests {
                 event: published(Event::topical("t", "x")),
                 hops: 2,
             },
+            PeerMsg::SubAdv {
+                sub: GlobalSubId(4),
+                filter: Filter::topic("t"),
+                path: vec![3, 1, 2],
+            },
+            PeerMsg::Ping { nonce: 7 },
+            PeerMsg::Pong { nonce: 7 },
         ] {
             let json = serde_json::to_string(&msg).unwrap();
             let back: PeerMsg = serde_json::from_str(&json).unwrap();

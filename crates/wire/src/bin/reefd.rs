@@ -5,7 +5,9 @@
 //! store (durable under `--data-dir`: segmented WAL + snapshot
 //! compaction, recovered on restart), and federates with other `reefd`
 //! instances over the same port (`--peer`): subscriptions are forwarded
-//! with covering-based pruning and events routed along the broker tree.
+//! with covering-based pruning and events routed along the broker tree,
+//! or — with `--mesh` — advertised as path vectors over an arbitrary
+//! mesh that survives link loss and cycles.
 
 use reef_core::AutoSubMode;
 use reef_pubsub::OverflowPolicy;
@@ -33,11 +35,24 @@ OPTIONS:
                              for every socket; Linux-only, the default)
                              | threads (2 OS threads per connection)
         --peer ADDR          federate with the reefd at ADDR; repeat the
-                             flag to peer with several brokers. The
-                             overlay must stay a tree
+                             flag to peer with several brokers. Without
+                             --mesh the overlay must stay a tree; with
+                             --mesh cycles and redundant links are fine
         --peer-retry         re-dial dead peer links with capped
                              exponential backoff (handshake and codec
                              negotiation re-run on reconnect)
+        --mesh               path-vector mesh routing: advertisements
+                             carry broker-id paths, duplicate events are
+                             suppressed by a seen-cache, and a dead link
+                             fails over to the best alternate path. All
+                             federated brokers must agree on this flag;
+                             implies --no-covering
+        --route-refresh-ms N milliseconds between periodic full route
+                             re-advertisements in mesh mode; 0 disables
+                             (default 5000)
+        --peer-timeout-ms N  declare a peer link dead after N ms of
+                             silence (pinged at N/3); 0 disables
+                             keepalive (default 10000)
         --codec CODEC        wire codec used when dialing peers:
                              json (v1) | binary (v2, default). Inbound
                              clients and peers always negotiate their
@@ -91,6 +106,9 @@ struct Config {
     transport: TransportKind,
     peers: Vec<String>,
     peer_retry: bool,
+    mesh: bool,
+    route_refresh: Duration,
+    peer_timeout: Option<Duration>,
     codec: CodecKind,
     covering: bool,
     queue_capacity: Option<usize>,
@@ -115,6 +133,9 @@ impl Config {
             transport: TransportKind::default(),
             peers: Vec::new(),
             peer_retry: false,
+            mesh: false,
+            route_refresh: Duration::from_millis(5000),
+            peer_timeout: Some(Duration::from_millis(10_000)),
             codec: CodecKind::default(),
             covering: true,
             queue_capacity: None,
@@ -174,6 +195,26 @@ fn parse_args(args: impl Iterator<Item = String>) -> Config {
                 );
             }
             "--peer-retry" => config.peer_retry = true,
+            "--mesh" => config.mesh = true,
+            "--route-refresh-ms" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--route-refresh-ms needs a number"));
+                match raw.parse::<u64>() {
+                    Ok(ms) => config.route_refresh = Duration::from_millis(ms),
+                    Err(_) => bail("--route-refresh-ms must be an integer (0 disables)"),
+                }
+            }
+            "--peer-timeout-ms" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--peer-timeout-ms needs a number"));
+                match raw.parse::<u64>() {
+                    Ok(0) => config.peer_timeout = None,
+                    Ok(ms) => config.peer_timeout = Some(Duration::from_millis(ms)),
+                    Err(_) => bail("--peer-timeout-ms must be an integer (0 disables)"),
+                }
+            }
             "--codec" => {
                 let raw = args.next().unwrap_or_else(|| bail("--codec needs a value"));
                 config.codec = CodecKind::parse(&raw)
@@ -301,7 +342,10 @@ fn main() {
         .peer_queue_capacity(config.peer_queue)
         .write_timeout(config.write_timeout)
         .codec(config.codec)
-        .peer_retry(config.peer_retry);
+        .peer_retry(config.peer_retry)
+        .mesh(config.mesh)
+        .route_refresh(config.route_refresh)
+        .peer_timeout(config.peer_timeout);
     if let Some(capacity) = config.queue_capacity {
         builder = builder.queue_capacity(capacity);
     }
@@ -341,6 +385,19 @@ fn main() {
         server.transport(),
         server.federation_stats().broker_id,
     );
+    if config.mesh {
+        println!(
+            "reefd: mesh routing on (path-vector advertisements, {} route refresh, {} peer timeout)",
+            match config.route_refresh.as_millis() {
+                0 => "no".to_owned(),
+                ms => format!("{ms}ms"),
+            },
+            match config.peer_timeout {
+                None => "no".to_owned(),
+                Some(t) => format!("{}ms", t.as_millis()),
+            },
+        );
+    }
     if let Some(dir) = &config.data_dir {
         let wire = server.stats();
         println!(

@@ -369,6 +369,23 @@ impl WireCodec for BinaryCodec {
                 put_published(&mut w, event);
                 w.u64(u64::from(*hops));
             }
+            PeerMsg::SubAdv { sub, filter, path } => {
+                w.tag(3);
+                w.u64(sub.0);
+                put_filter(&mut w, filter);
+                w.u64(path.len() as u64);
+                for hop in path {
+                    w.u64(u64::from(*hop));
+                }
+            }
+            PeerMsg::Ping { nonce } => {
+                w.tag(4);
+                w.u64(*nonce);
+            }
+            PeerMsg::Pong { nonce } => {
+                w.tag(5);
+                w.u64(*nonce);
+            }
         }
         Ok(Frame {
             version: PROTOCOL_V2_BINARY,
@@ -391,6 +408,18 @@ impl WireCodec for BinaryCodec {
                 event: get_published(&mut r)?,
                 hops: r.u32()?,
             },
+            3 => {
+                let sub = GlobalSubId(r.u64()?);
+                let filter = get_filter(&mut r)?;
+                let len = r.u64()? as usize;
+                let mut path = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    path.push(r.u32()?);
+                }
+                PeerMsg::SubAdv { sub, filter, path }
+            }
+            4 => PeerMsg::Ping { nonce: r.u64()? },
+            5 => PeerMsg::Pong { nonce: r.u64()? },
             t => return Err(bad_tag("PeerMsg", t)),
         };
         r.finish()?;
@@ -1126,6 +1155,9 @@ fn put_federation_stats(w: &mut Writer, s: &FederationStatsSnapshot) {
     w.u64(s.events_forwarded);
     w.u64(s.events_received);
     w.u64(s.events_dropped);
+    w.u64(s.mesh_alternates);
+    w.u64(s.mesh_reroutes);
+    w.u64(s.mesh_duplicates_suppressed);
     put_codec_stats(w, &s.json);
     put_codec_stats(w, &s.binary);
 }
@@ -1141,6 +1173,9 @@ fn get_federation_stats(r: &mut Reader<'_>) -> Result<FederationStatsSnapshot, W
         events_forwarded: r.u64()?,
         events_received: r.u64()?,
         events_dropped: r.u64()?,
+        mesh_alternates: r.u64()?,
+        mesh_reroutes: r.u64()?,
+        mesh_duplicates_suppressed: r.u64()?,
         json: get_codec_stats(r)?,
         binary: get_codec_stats(r)?,
     })

@@ -321,6 +321,7 @@ impl EventLoop {
             // routing core's inbound queue; route them now, on this
             // thread — the loop *is* the federation pump in this mode.
             self.core.federation.drain_incoming();
+            self.core.federation.tick();
             self.sweep_stalled_writers();
         }
         // Orderly teardown: deregister every client like a normal
@@ -594,8 +595,7 @@ impl EventLoop {
             broker_id,
         } = client_frame.request
         {
-            let _ = broker_id;
-            return self.upgrade_to_peer(token, client_frame.corr, version, broker);
+            return self.upgrade_to_peer(token, client_frame.corr, version, broker, broker_id);
         }
 
         let is_bye = matches!(client_frame.request, Request::Bye);
@@ -665,7 +665,14 @@ impl EventLoop {
 
     /// Turn a client connection into a federation peer link in place:
     /// the socket stays on the loop, only its role changes.
-    fn upgrade_to_peer(&mut self, token: u64, corr: u64, version: u8, peer_broker: String) -> bool {
+    fn upgrade_to_peer(
+        &mut self,
+        token: u64,
+        corr: u64,
+        version: u8,
+        peer_broker: String,
+        peer_broker_id: u32,
+    ) -> bool {
         let Some(conn) = self.conns.get_mut(&token) else {
             return false;
         };
@@ -722,6 +729,7 @@ impl EventLoop {
         match self.core.federation.adopt_inbound_link(
             control,
             peer_broker,
+            peer_broker_id,
             conn.peer.to_string(),
             codec,
         ) {

@@ -115,6 +115,22 @@ pub struct FederationConfig {
     /// sockets are handed to the loop through the registered
     /// `PeerLoopHook`. Default `false` (threaded transport).
     pub event_loop: bool,
+    /// Route in mesh (path-vector) mode: the overlay may contain cycles
+    /// and redundant links, advertisements carry broker-id paths, and
+    /// duplicate events are suppressed by a bounded seen-cache. All
+    /// federated brokers must agree on this flag. Default `false`
+    /// (tree).
+    pub mesh: bool,
+    /// Interval between periodic full re-advertisements in mesh mode,
+    /// so routing tables converge after arbitrary churn even if a peer
+    /// missed a diff. `Duration::ZERO` disables the refresh. Ignored in
+    /// tree mode. Default 5 s.
+    pub route_refresh: Duration,
+    /// Keepalive deadline on peer links: a link idle for a third of
+    /// this is pinged, and one silent past the full deadline is
+    /// declared dead and torn down (failover then promotes alternate
+    /// routes in mesh mode). `None` disables keepalive. Default 10 s.
+    pub peer_timeout: Option<Duration>,
 }
 
 impl Default for FederationConfig {
@@ -127,6 +143,9 @@ impl Default for FederationConfig {
             codec: CodecKind::default(),
             peer_retry: false,
             event_loop: false,
+            mesh: false,
+            route_refresh: Duration::from_secs(5),
+            peer_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -166,6 +185,12 @@ pub(crate) struct PeerLink {
     pub(crate) queued_events: AtomicUsize,
     pub(crate) stats: WireStats,
     closed: AtomicBool,
+    /// Milliseconds (since the federation's epoch) a frame was last read
+    /// off this link — any inbound traffic counts as proof of life.
+    last_rx: AtomicU64,
+    /// When the last keepalive probe went out, so an idle link is pinged
+    /// once per probe window rather than once per tick.
+    last_ping: AtomicU64,
 }
 
 impl PeerLink {
@@ -311,6 +336,10 @@ pub struct Federation {
     shutdown: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     config: FederationConfig,
+    /// Wall-clock origin for link keepalive and refresh bookkeeping.
+    epoch: std::time::Instant,
+    /// Milliseconds (since `epoch`) of the last mesh route refresh.
+    last_refresh: AtomicU64,
 }
 
 /// One advertised filter shared by every local subscription with an
@@ -371,11 +400,16 @@ impl Federation {
             waker: Mutex::new(None),
         });
         let event_loop = config.event_loop;
+        let node = if config.mesh {
+            BrokerNode::new_mesh(broker_id)
+        } else {
+            BrokerNode::new(config.covering)
+        };
         let federation = Arc::new(Federation {
             name: config.name.clone(),
             broker_id,
             broker,
-            node: Mutex::new(BrokerNode::new(config.covering)),
+            node: Mutex::new(node),
             links: Arc::clone(&links),
             incoming_rx: incoming_rx.clone(),
             loop_hook: Mutex::new(None),
@@ -387,6 +421,8 @@ impl Federation {
             shutdown: Arc::new(AtomicBool::new(false)),
             threads: Mutex::new(Vec::new()),
             config,
+            epoch: std::time::Instant::now(),
+            last_refresh: AtomicU64::new(0),
         });
         // In loop mode the event loop is the pump: it reads peer frames,
         // feeds them through `incoming`, and drains the routing queue
@@ -437,9 +473,15 @@ impl Federation {
 
     /// Routing and peer-link counters.
     pub fn snapshot(&self) -> FederationStatsSnapshot {
-        let (routing_entries, advertisements) = {
+        let (routing_entries, advertisements, alternates, reroutes, duplicates) = {
             let node = self.node.lock();
-            (node.routing_entries(), node.advertisement_count())
+            (
+                node.routing_entries(),
+                node.advertisement_count(),
+                node.mesh_alternates(),
+                node.mesh_reroutes(),
+                node.mesh_duplicates_suppressed(),
+            )
         };
         let wire = self.links.wire.snapshot();
         FederationStatsSnapshot {
@@ -452,6 +494,9 @@ impl Federation {
             events_forwarded: self.links.events_forwarded.load(Ordering::Relaxed),
             events_received: self.events_received.load(Ordering::Relaxed),
             events_dropped: self.links.events_dropped.load(Ordering::Relaxed),
+            mesh_alternates: alternates as u64,
+            mesh_reroutes: reroutes,
+            mesh_duplicates_suppressed: duplicates,
             json: wire.json,
             binary: wire.binary,
         }
@@ -515,11 +560,13 @@ impl Federation {
         // the peer sends right after it (advertisement sync) must stay in
         // the kernel buffer so an adopting event loop sees them too.
         let frame = Frame::read_from(&mut hello_lane)?.ok_or(WireError::Closed)?;
-        let peer_name = match codec.decode_server(&frame)? {
+        let (peer_name, peer_broker_id) = match codec.decode_server(&frame)? {
             ServerFrame::Reply {
                 response:
                     Response::PeerWelcome {
-                        version, broker, ..
+                        version,
+                        broker,
+                        broker_id,
                     },
                 ..
             } => {
@@ -529,7 +576,7 @@ impl Federation {
                         theirs: version,
                     });
                 }
-                broker
+                (broker, broker_id)
             }
             ServerFrame::Reply {
                 response: Response::Error { message },
@@ -547,6 +594,7 @@ impl Federation {
         let (node, link) = self.register_link(
             stream,
             peer_name,
+            peer_broker_id,
             addr.to_owned(),
             self.config.codec,
             Some(addr.to_owned()),
@@ -614,10 +662,12 @@ impl Federation {
         self: &Arc<Self>,
         stream: TcpStream,
         peer_broker: String,
+        peer_broker_id: u32,
         peer_addr: String,
         codec: CodecKind,
     ) -> Result<NodeId, WireError> {
-        let (node, _link) = self.register_link(stream, peer_broker, peer_addr, codec, None)?;
+        let (node, _link) =
+            self.register_link(stream, peer_broker, peer_broker_id, peer_addr, codec, None)?;
         Ok(node)
     }
 
@@ -628,19 +678,88 @@ impl Federation {
         self: &Arc<Self>,
         stream: TcpStream,
         peer_broker: String,
+        peer_broker_id: u32,
         peer_addr: String,
         codec: CodecKind,
     ) -> Result<(NodeId, Arc<PeerLink>), WireError> {
-        self.register_link(stream, peer_broker, peer_addr, codec, None)
+        self.register_link(stream, peer_broker, peer_broker_id, peer_addr, codec, None)
     }
 
     /// Feed one message read off peer link `from` into the routing pump.
+    /// Any inbound frame also refreshes the link's keepalive clock.
     pub fn incoming(&self, from: NodeId, msg: PeerMsg) {
+        if let Some(link) = self.links.map.lock().get(&from) {
+            link.last_rx.store(self.now_ms(), Ordering::Relaxed);
+        }
         let _ = self.links.incoming_tx.send(TransportDelivery {
             src: from,
             dst: LOCAL_NODE,
             msg,
         });
+    }
+
+    /// Milliseconds since this federation's epoch.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Periodic maintenance, called from the routing pump (threaded
+    /// transport) or the event loop (epoll transport): keepalive probes
+    /// and dead-link detection on every peer link, plus the mesh route
+    /// refresh. Cheap when nothing is due.
+    pub(crate) fn tick(self: &Arc<Self>) {
+        self.maybe_refresh();
+        let Some(timeout) = self.config.peer_timeout else {
+            return;
+        };
+        let timeout_ms = (timeout.as_millis() as u64).max(1);
+        // Probe at a third of the deadline: a live peer gets two more
+        // chances to answer before the link is declared dead.
+        let probe_ms = (timeout_ms / 3).max(1);
+        let now = self.now_ms();
+        let links: Vec<Arc<PeerLink>> = self.links.map.lock().values().cloned().collect();
+        for link in links {
+            let idle = now.saturating_sub(link.last_rx.load(Ordering::Relaxed));
+            if idle >= timeout_ms {
+                // Silent past the deadline: dead. Tear it down now —
+                // this is what promotes failover routes in bounded time
+                // instead of waiting for a write error.
+                link.stats.record_error();
+                self.peer_disconnected(link.node);
+            } else if idle >= probe_ms {
+                let last_ping = link.last_ping.load(Ordering::Relaxed);
+                if now.saturating_sub(last_ping) >= probe_ms {
+                    link.last_ping.store(now, Ordering::Relaxed);
+                    self.links.enqueue(link.node, PeerMsg::Ping { nonce: now });
+                }
+            }
+        }
+    }
+
+    /// Re-send the full advertisement set when the mesh refresh interval
+    /// elapsed (self-stabilization against missed diffs).
+    fn maybe_refresh(&self) {
+        if !self.config.mesh {
+            return;
+        }
+        let interval = self.config.route_refresh.as_millis() as u64;
+        if interval == 0 {
+            return;
+        }
+        let now = self.now_ms();
+        let last = self.last_refresh.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < interval {
+            return;
+        }
+        if self
+            .last_refresh
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let messages = self.node.lock().refresh();
+        self.dispatch(messages);
     }
 
     /// Record a local wire subscription in the routing core and advertise
@@ -805,6 +924,7 @@ impl Federation {
         self: &Arc<Self>,
         stream: TcpStream,
         peer_broker: String,
+        peer_broker_id: u32,
         peer_addr: String,
         codec: CodecKind,
         dialed_addr: Option<String>,
@@ -815,6 +935,7 @@ impl Federation {
         let (out_tx, out_rx) = channel::unbounded();
         let node = NodeId(self.next_link.fetch_add(1, Ordering::Relaxed));
         let dialed = dialed_addr.is_some();
+        let now = self.now_ms();
         let link = Arc::new(PeerLink {
             node,
             broker_name: peer_broker,
@@ -828,6 +949,8 @@ impl Federation {
             queued_events: AtomicUsize::new(0),
             stats: WireStats::new(),
             closed: AtomicBool::new(false),
+            last_rx: AtomicU64::new(now),
+            last_ping: AtomicU64::new(now),
         });
         link.stats.record_open();
         self.links.wire.record_open();
@@ -854,7 +977,14 @@ impl Federation {
             self.track_thread(handle);
         }
         // Bring the new peer up to date with everything already known.
-        let sync = self.node.lock().add_neighbor(node);
+        let sync = {
+            let mut routing = self.node.lock();
+            if self.config.mesh {
+                routing.add_mesh_neighbor(node, peer_broker_id)
+            } else {
+                routing.add_neighbor(node)
+            }
+        };
         self.dispatch(sync);
         Ok((node, link))
     }
@@ -967,6 +1097,7 @@ impl Federation {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
+            self.tick();
             let Some(delivery) = transport.recv_timeout(PUMP_PARK) else {
                 continue;
             };

@@ -140,6 +140,9 @@ pub struct BrokerServerBuilder {
     write_timeout: Option<Duration>,
     codec: Option<CodecKind>,
     peer_retry: Option<bool>,
+    mesh: Option<bool>,
+    route_refresh: Option<Duration>,
+    peer_timeout: Option<Option<Duration>>,
     transport: Option<TransportKind>,
     data_dir: Option<PathBuf>,
     wal_segment_bytes: Option<u64>,
@@ -216,6 +219,35 @@ impl BrokerServerBuilder {
     /// included — is re-run on every reconnect.
     pub fn peer_retry(mut self, retry: bool) -> Self {
         self.peer_retry = Some(retry);
+        self
+    }
+
+    /// Route in mesh (path-vector) mode instead of tree mode (default
+    /// off). A mesh overlay may contain cycles and redundant links:
+    /// advertisements carry broker-id paths, duplicate events are
+    /// suppressed by a bounded seen-cache, and a dead link fails over
+    /// to the best surviving alternate path. Every federated broker
+    /// must agree on this flag; covering-based pruning is disabled in
+    /// mesh mode.
+    pub fn mesh(mut self, mesh: bool) -> Self {
+        self.mesh = Some(mesh);
+        self
+    }
+
+    /// Interval between periodic full route re-advertisements in mesh
+    /// mode (default 5 s); `Duration::ZERO` disables the refresh.
+    /// Ignored in tree mode.
+    pub fn route_refresh(mut self, interval: Duration) -> Self {
+        self.route_refresh = Some(interval);
+        self
+    }
+
+    /// Keepalive deadline on peer links (default 10 s): an idle link is
+    /// pinged at a third of this, and one silent past the full deadline
+    /// is torn down (mesh mode then promotes alternate routes). `None`
+    /// disables keepalive.
+    pub fn peer_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.peer_timeout = Some(timeout);
         self
     }
 
@@ -307,6 +339,9 @@ impl BrokerServerBuilder {
             self.write_timeout.unwrap_or(DEFAULT_WRITE_TIMEOUT),
             self.codec.unwrap_or_default(),
             self.peer_retry.unwrap_or(false),
+            self.mesh.unwrap_or(false),
+            self.route_refresh.unwrap_or(Duration::from_secs(5)),
+            self.peer_timeout.unwrap_or(Some(Duration::from_secs(10))),
             self.transport.unwrap_or_default(),
             self.autosub.unwrap_or_default(),
         )
@@ -666,6 +701,9 @@ impl BrokerServer {
         write_timeout: Duration,
         codec: CodecKind,
         peer_retry: bool,
+        mesh: bool,
+        route_refresh: Duration,
+        peer_timeout: Option<Duration>,
         transport: TransportKind,
         autosub: AutosubOptions,
     ) -> Result<BrokerServer, WireError> {
@@ -693,6 +731,9 @@ impl BrokerServer {
                 codec,
                 peer_retry,
                 event_loop: transport == TransportKind::Epoll,
+                mesh,
+                route_refresh,
+                peer_timeout,
             },
         );
         let stats = WireStats::new();
@@ -1009,7 +1050,10 @@ enum Step {
     /// Reply sent; close the conversation.
     Close,
     /// The connection upgraded to a peer link; switch to the peer loop.
-    Upgraded { peer_broker: String },
+    Upgraded {
+        peer_broker: String,
+        peer_broker_id: u32,
+    },
 }
 
 /// The per-connection request loop.
@@ -1109,8 +1153,11 @@ impl ConnectionReader {
             ) {
                 Step::Continue => {}
                 Step::Close => break,
-                Step::Upgraded { peer_broker } => {
-                    self.run_as_peer(reader, peer_broker, &owned);
+                Step::Upgraded {
+                    peer_broker,
+                    peer_broker_id,
+                } => {
+                    self.run_as_peer(reader, peer_broker, peer_broker_id, &owned);
                     return;
                 }
             }
@@ -1140,7 +1187,6 @@ impl ConnectionReader {
                 });
                 return Step::Close;
             }
-            let _ = broker_id;
             // Flip the flag before the welcome goes out: from the
             // dialer's perspective every frame after `PeerWelcome` must
             // be a `PeerMsg`, so the delivery pump (which checks the flag
@@ -1157,6 +1203,7 @@ impl ConnectionReader {
             }
             return Step::Upgraded {
                 peer_broker: broker,
+                peer_broker_id: broker_id,
             };
         }
         let is_bye = matches!(request, Request::Bye);
@@ -1182,6 +1229,7 @@ impl ConnectionReader {
         &self,
         reader: BufReader<TcpStream>,
         peer_broker: String,
+        peer_broker_id: u32,
         owned: &HashSet<SubscriptionId>,
     ) {
         // This connection is no longer a client: the delivery pump bows
@@ -1214,6 +1262,7 @@ impl ConnectionReader {
         let node = match self.core.federation.adopt_inbound(
             stream,
             peer_broker,
+            peer_broker_id,
             self.conn.peer.to_string(),
             codec,
         ) {

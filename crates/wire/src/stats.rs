@@ -401,6 +401,15 @@ pub struct FederationStatsSnapshot {
     pub events_received: u64,
     /// Events lost because a peer link's bounded queue was full.
     pub events_dropped: u64,
+    /// Failover routes held beyond each subscription's fast path
+    /// (mesh routing; 0 on tree federations).
+    pub mesh_alternates: u64,
+    /// Times a dead fast path was replaced by a surviving alternate
+    /// (mesh routing; 0 on tree federations).
+    pub mesh_reroutes: u64,
+    /// Duplicate event copies dropped by the mesh seen-cache
+    /// (mesh routing; 0 on tree federations).
+    pub mesh_duplicates_suppressed: u64,
     /// Peer-link frame/byte traffic carried by the v1 JSON codec.
     pub json: CodecStatsSnapshot,
     /// Peer-link frame/byte traffic carried by the v2 binary codec.
@@ -411,7 +420,7 @@ impl std::fmt::Display for FederationStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "peers={} routing={} ads={} subs_fwd={} subs_agg={} events={}out/{}in drops={} json[{}] binary[{}]",
+            "peers={} routing={} ads={} subs_fwd={} subs_agg={} events={}out/{}in drops={} alts={} reroutes={} dups={} json[{}] binary[{}]",
             self.peers,
             self.routing_entries,
             self.advertisements,
@@ -420,6 +429,9 @@ impl std::fmt::Display for FederationStatsSnapshot {
             self.events_forwarded,
             self.events_received,
             self.events_dropped,
+            self.mesh_alternates,
+            self.mesh_reroutes,
+            self.mesh_duplicates_suppressed,
             self.json,
             self.binary,
         )

@@ -1,0 +1,163 @@
+//! Mesh self-stabilization under churn: on the simulated transport, a
+//! mesh overlay whose links are killed and re-joined at random must keep
+//! delivering events **exactly once** to every subscriber whose broker is
+//! reachable from the publisher in the *current* link graph, deliver
+//! nothing to unreachable brokers, and converge to a routing state that a
+//! further refresh round no longer changes.
+
+use proptest::prelude::*;
+use reef::pubsub::{ClientId, Event, Filter, NodeId, Overlay, TOPIC_ATTR};
+use std::collections::BTreeSet;
+
+const BROKERS: usize = 4;
+
+/// One churn step: flip a link, then publish from one broker.
+#[derive(Debug, Clone)]
+struct Step {
+    /// Edge to toggle, as an index into the distinct unordered pairs of
+    /// `BROKERS` brokers (kill it when present, join it when absent).
+    edge: usize,
+    /// Broker whose client publishes after the flip settles.
+    publisher: usize,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    let pairs = BROKERS * (BROKERS - 1) / 2;
+    prop::collection::vec(
+        (0..pairs, 0..BROKERS).prop_map(|(edge, publisher)| Step { edge, publisher }),
+        1..12,
+    )
+}
+
+/// All distinct unordered broker pairs, the edge universe churn picks from.
+fn edge_universe() -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for a in 0..BROKERS {
+        for b in (a + 1)..BROKERS {
+            pairs.push((a, b));
+        }
+    }
+    pairs
+}
+
+/// Brokers reachable from `from` over the current undirected edge set.
+fn reachable(edges: &BTreeSet<(usize, usize)>, from: usize) -> BTreeSet<usize> {
+    let mut seen = BTreeSet::from([from]);
+    let mut frontier = vec![from];
+    while let Some(node) = frontier.pop() {
+        for &(a, b) in edges {
+            let next = match () {
+                _ if a == node => b,
+                _ if b == node => a,
+                _ => continue,
+            };
+            if seen.insert(next) {
+                frontier.push(next);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mesh_survives_link_churn_with_exactly_once_delivery(steps in arb_steps()) {
+        let universe = edge_universe();
+        let mut overlay = Overlay::new_mesh();
+        let brokers: Vec<NodeId> = (0..BROKERS).map(|_| overlay.add_broker()).collect();
+        let clients: Vec<ClientId> = brokers
+            .iter()
+            .map(|b| overlay.attach_client(*b).expect("attach"))
+            .collect();
+        for client in &clients {
+            overlay
+                .subscribe(*client, Filter::topic("churn"))
+                .expect("subscribe");
+        }
+
+        // Start from a ring: every broker reachable, every route redundant.
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for i in 0..BROKERS {
+            let (a, b) = (i.min((i + 1) % BROKERS), i.max((i + 1) % BROKERS));
+            overlay.link(brokers[a], brokers[b], 1).expect("ring link");
+            edges.insert((a, b));
+        }
+        overlay.run_until_idle();
+
+        for (round, step) in steps.iter().enumerate() {
+            // Churn: kill the edge if it is up, join it if it is down.
+            let (a, b) = universe[step.edge];
+            if edges.remove(&(a, b)) {
+                overlay.unlink(brokers[a], brokers[b]).expect("unlink");
+            } else {
+                overlay.link(brokers[a], brokers[b], 1).expect("link");
+                edges.insert((a, b));
+            }
+            // Let the withdrawal/advertisement wave settle, then run one
+            // refresh round — the self-stabilization path a real daemon
+            // drives on a timer.
+            overlay.run_until_idle();
+            overlay.refresh_all();
+            overlay.run_until_idle();
+
+            // Oracle: exactly-once to reachable brokers, nothing elsewhere.
+            let body = format!("round-{round}");
+            overlay
+                .publish(clients[step.publisher], Event::topical("churn", &body))
+                .expect("publish");
+            overlay.run_until_idle();
+            let expect = reachable(&edges, step.publisher);
+            for (i, client) in clients.iter().enumerate() {
+                let got = overlay.take_delivered(*client).expect("take");
+                let copies = got
+                    .iter()
+                    .filter(|p| p.event.get("body").and_then(|v| v.as_str()) == Some(&body))
+                    .count();
+                let want = usize::from(expect.contains(&i));
+                prop_assert_eq!(
+                    copies,
+                    want,
+                    "round {}: broker {} got {} copies, expected {} (publisher {}, edges {:?})",
+                    round,
+                    i,
+                    copies,
+                    want,
+                    step.publisher,
+                    edges
+                );
+                prop_assert!(
+                    got.iter().all(|p| {
+                        p.event.get(TOPIC_ATTR).and_then(|v| v.as_str()) == Some("churn")
+                    }),
+                    "round {}: broker {} received a non-matching event",
+                    round,
+                    i
+                );
+            }
+        }
+
+        // Convergence: once churn stops, a further refresh round is a
+        // no-op — routing tables and gauges no longer move.
+        overlay.refresh_all();
+        overlay.run_until_idle();
+        let settled: Vec<usize> = brokers
+            .iter()
+            .map(|b| overlay.routing_entries_at(*b).expect("entries"))
+            .collect();
+        let alternates = overlay.mesh_alternates();
+        overlay.refresh_all();
+        overlay.run_until_idle();
+        let again: Vec<usize> = brokers
+            .iter()
+            .map(|b| overlay.routing_entries_at(*b).expect("entries"))
+            .collect();
+        prop_assert_eq!(settled, again, "routing tables moved on an idle refresh");
+        prop_assert_eq!(
+            alternates,
+            overlay.mesh_alternates(),
+            "alternate-route count moved on an idle refresh"
+        );
+    }
+}

@@ -184,4 +184,146 @@ proptest! {
         b.shutdown();
         a.shutdown();
     }
+
+    /// The same equivalence on a *cyclic* topology: a 3-broker mesh ring
+    /// (path-vector routing, duplicate suppression, redundant paths)
+    /// must deliver the same event multisets over SimTransport and TCP.
+    #[test]
+    fn sim_and_tcp_mesh_rings_deliver_identical_event_sets(
+        subs in prop::collection::vec((0usize..3, arb_filter()), 1..6),
+        events in prop::collection::vec((0usize..3, arb_event()), 1..8),
+    ) {
+        // The TCP federation aggregates identical filters placed through
+        // the same daemon into one advertisement; the sim overlay keeps
+        // them distinct. Dedup the workload so routing-entry counts are
+        // comparable across transports.
+        let mut seen = std::collections::BTreeSet::new();
+        let subs: Vec<(usize, Filter)> = subs
+            .into_iter()
+            .filter(|(client, filter)| seen.insert((*client, filter.to_string())))
+            .collect();
+
+        // --- Oracle: the SimTransport-backed mesh Overlay on a ring. ---
+        let mut overlay = Overlay::new_mesh();
+        let sim_brokers: Vec<_> = (0..3).map(|_| overlay.add_broker()).collect();
+        overlay.link(sim_brokers[0], sim_brokers[1], 1).expect("link");
+        overlay.link(sim_brokers[1], sim_brokers[2], 1).expect("link");
+        overlay.link(sim_brokers[2], sim_brokers[0], 1).expect("link");
+        let sim_clients: Vec<ClientId> = sim_brokers
+            .iter()
+            .map(|b| overlay.attach_client(*b).expect("attach"))
+            .collect();
+        for (client, filter) in &subs {
+            overlay.subscribe(sim_clients[*client], filter.clone()).expect("subscribe");
+        }
+        overlay.run_until_idle();
+        let sim_entries: Vec<usize> = sim_brokers
+            .iter()
+            .map(|b| overlay.routing_entries_at(*b).expect("entries"))
+            .collect();
+        for (publisher, event) in &events {
+            overlay.publish(sim_clients[*publisher], event.clone()).expect("publish");
+        }
+        overlay.run_until_idle();
+        let expected: Vec<Multiset> = sim_clients
+            .iter()
+            .map(|c| {
+                into_multiset(
+                    overlay
+                        .take_delivered(*c)
+                        .expect("delivered")
+                        .into_iter()
+                        .map(|p| p.event),
+                )
+            })
+            .collect();
+
+        // --- Same workload over TCP: a ring of --mesh daemons. ---
+        let a = BrokerServer::builder().name("meq-a").mesh(true)
+            .bind("127.0.0.1:0").expect("bind a");
+        let b = BrokerServer::builder().name("meq-b").mesh(true)
+            .peer(a.local_addr().to_string()).bind("127.0.0.1:0").expect("bind b");
+        let c = BrokerServer::builder().name("meq-c").mesh(true)
+            .peer(a.local_addr().to_string())
+            .peer(b.local_addr().to_string())
+            .bind("127.0.0.1:0").expect("bind c");
+        let servers = [&a, &b, &c];
+        let clients: Vec<Client> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Client::connect_as(s.local_addr(), &format!("meq-client-{i}")).expect("connect"))
+            .collect();
+        for (client, filter) in &subs {
+            clients[*client].subscribe(filter.clone()).expect("subscribe");
+        }
+        // Settle exactly like the chain variant: counts match the sim AND
+        // advertisement traffic has stopped moving.
+        let deadline = Instant::now() + WAIT;
+        let fingerprint = || -> Vec<u64> {
+            servers
+                .iter()
+                .flat_map(|s| {
+                    let fed = s.federation_stats();
+                    [
+                        fed.routing_entries,
+                        fed.advertisements,
+                        fed.subs_forwarded,
+                        fed.json.frames_in,
+                        fed.json.frames_out,
+                        fed.binary.frames_in,
+                        fed.binary.frames_out,
+                    ]
+                })
+                .collect()
+        };
+        let mut last = fingerprint();
+        let mut stable = 0u32;
+        loop {
+            std::thread::sleep(Duration::from_millis(5));
+            let now = fingerprint();
+            let entries: Vec<usize> = now.iter().step_by(7).map(|&e| e as usize).collect();
+            if entries == sim_entries && now == last {
+                stable += 1;
+                if stable >= 10 {
+                    break;
+                }
+            } else {
+                stable = 0;
+            }
+            last = now;
+            prop_assert!(
+                Instant::now() < deadline,
+                "mesh routing tables never converged: tcp {entries:?} vs sim {sim_entries:?}"
+            );
+        }
+        for (publisher, event) in &events {
+            clients[*publisher].publish(event.clone()).expect("publish");
+        }
+        for (i, client) in clients.iter().enumerate() {
+            let want = &expected[i];
+            let want_total: usize = want.values().sum();
+            let mut got = Vec::new();
+            let deadline = Instant::now() + WAIT;
+            while got.len() < want_total && Instant::now() < deadline {
+                if let Some(delivery) = client.recv_delivery(Duration::from_millis(50)) {
+                    got.push(delivery.event);
+                }
+            }
+            // The grace period is where a duplicate-suppression bug would
+            // surface: the ring's second copy arriving as an extra event.
+            if let Some(extra) = client.recv_delivery(Duration::from_millis(50)) {
+                got.push(extra.event);
+            }
+            let got = into_multiset(got);
+            prop_assert_eq!(
+                &got, want,
+                "client {} deliveries diverge between mesh transports",
+                i
+            );
+        }
+        drop(clients);
+        c.shutdown();
+        b.shutdown();
+        a.shutdown();
+    }
 }

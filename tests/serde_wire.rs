@@ -542,6 +542,9 @@ mod codec_equivalence {
                     events_forwarded: mixed(seed, 28),
                     events_received: mixed(seed, 29),
                     events_dropped: mixed(seed, 30),
+                    mesh_alternates: mixed(seed, 53),
+                    mesh_reroutes: mixed(seed, 54),
+                    mesh_duplicates_suppressed: mixed(seed, 55),
                     json: codec_stats(seed, 31),
                     binary: codec_stats(seed, 35),
                 },
@@ -572,6 +575,18 @@ mod codec_equivalence {
             }),
             (arb_published(), any::<u32>())
                 .prop_map(|(event, hops)| PeerMsg::EventFwd { event, hops }),
+            (
+                any::<u64>(),
+                arb_filter(),
+                prop::collection::vec(any::<u32>(), 0..6)
+            )
+                .prop_map(|(sub, filter, path)| PeerMsg::SubAdv {
+                    sub: GlobalSubId(sub),
+                    filter,
+                    path,
+                }),
+            any::<u64>().prop_map(|nonce| PeerMsg::Ping { nonce }),
+            any::<u64>().prop_map(|nonce| PeerMsg::Pong { nonce }),
         ]
     }
 

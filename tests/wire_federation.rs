@@ -4,7 +4,7 @@
 //! the socket-backed counterpart of the simulated `Overlay`.
 
 use reef::pubsub::{Event, Filter, NodeId, Op, TOPIC_ATTR};
-use reef::wire::{BrokerServer, Client, CodecKind};
+use reef::wire::{BrokerServer, Client, CodecKind, TransportKind};
 use std::time::{Duration, Instant};
 
 const WAIT: Duration = Duration::from_secs(10);
@@ -403,6 +403,185 @@ fn json_and_binary_peer_links_coexist() {
     binary_peer.shutdown();
     json_peer.shutdown();
     hub.shutdown();
+}
+
+/// Build the 3-broker mesh ring a — b — c — a the way three
+/// `reefd --mesh` daemons would. The third dial (c → a) closes the
+/// cycle a tree overlay must never contain.
+fn mesh_ring(transport: TransportKind) -> (BrokerServer, BrokerServer, BrokerServer) {
+    let a = BrokerServer::builder()
+        .name("mesh-a")
+        .mesh(true)
+        .transport(transport)
+        .bind("127.0.0.1:0")
+        .expect("bind a");
+    let b = BrokerServer::builder()
+        .name("mesh-b")
+        .mesh(true)
+        .transport(transport)
+        .peer(a.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind b");
+    let c = BrokerServer::builder()
+        .name("mesh-c")
+        .mesh(true)
+        .transport(transport)
+        .peer(a.local_addr().to_string())
+        .peer(b.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind c");
+    wait_for("ring links to register", || {
+        a.federation_stats().peers == 2
+            && b.federation_stats().peers == 2
+            && c.federation_stats().peers == 2
+    });
+    (a, b, c)
+}
+
+/// The mesh acceptance scenario: a subscription at one broker of a
+/// 3-broker ring is reachable over two distinct paths, events arrive
+/// exactly once while both are up (the seen-cache eats the ring's
+/// duplicate), and killing the direct link mid-run fails over onto the
+/// surviving two-hop path without losing an event.
+fn ring_failover(transport: TransportKind) {
+    let (a, b, c) = mesh_ring(transport);
+
+    let subscriber = Client::connect_as(a.local_addr(), "mesh-sub").expect("connect to a");
+    subscriber
+        .subscribe(Filter::topic("mesh"))
+        .expect("subscribe at a");
+
+    // The path-vector advertisement floods the ring: everyone learns the
+    // route, and the publisher-side broker holds a failover alternate
+    // (direct [a] plus two-hop [a, b]).
+    wait_for("advertisement to flood the ring", || {
+        b.federation_stats().routing_entries >= 1 && c.federation_stats().routing_entries >= 1
+    });
+    wait_for("alternate path at c", || {
+        c.federation_stats().mesh_alternates >= 1
+    });
+
+    let publisher = Client::connect_as(c.local_addr(), "mesh-pub").expect("connect to c");
+    publisher
+        .publish(Event::topical("mesh", "both-paths-up"))
+        .expect("publish at c");
+    let got = subscriber.recv_delivery(WAIT).expect("ring delivery");
+    assert_eq!(
+        got.event.get("body").unwrap().as_str(),
+        Some("both-paths-up")
+    );
+    // The event travelled both arms of the ring; the subscriber-side
+    // seen-cache must have eaten the copy relayed through b.
+    wait_for("duplicate suppressed at a", || {
+        a.federation_stats().mesh_duplicates_suppressed >= 1
+    });
+    assert!(
+        subscriber
+            .recv_delivery(Duration::from_millis(300))
+            .is_none(),
+        "the ring's duplicate copy must not reach the subscriber"
+    );
+
+    // Kill the direct a — c link mid-run (a's side; the socket shutdown
+    // propagates to c). No redial is configured: delivery now depends on
+    // self-stabilization promoting c's alternate route through b.
+    let direct = a
+        .federation()
+        .peer_stats()
+        .into_iter()
+        .find(|p| p.broker == "mesh-c")
+        .expect("a knows its link to c")
+        .link;
+    a.federation().peer_disconnected(NodeId(direct));
+    wait_for(
+        "c to notice the dead link and promote the alternate",
+        || {
+            let stats = c.federation_stats();
+            stats.peers == 1 && stats.mesh_reroutes >= 1
+        },
+    );
+
+    publisher
+        .publish(Event::topical("mesh", "around-the-ring"))
+        .expect("publish after link kill");
+    let got = subscriber.recv_delivery(WAIT).expect("failover delivery");
+    assert_eq!(
+        got.event.get("body").unwrap().as_str(),
+        Some("around-the-ring")
+    );
+    assert!(
+        subscriber
+            .recv_delivery(Duration::from_millis(300))
+            .is_none(),
+        "failover must stay exactly-once"
+    );
+
+    drop(subscriber);
+    drop(publisher);
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+#[test]
+fn mesh_ring_fails_over_on_threads_transport() {
+    ring_failover(TransportKind::Threads);
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn mesh_ring_fails_over_on_epoll_transport() {
+    ring_failover(TransportKind::Epoll);
+}
+
+/// Keepalive: an idle peer link outlives many multiples of the peer
+/// timeout because pings flow and pongs answer — and it still routes
+/// events afterwards. (A broken ping/pong path would tear the link down
+/// as dead within one timeout.)
+#[test]
+fn keepalive_holds_an_idle_peer_link_open() {
+    let timeout = Duration::from_millis(400);
+    let a = BrokerServer::builder()
+        .name("ka-a")
+        .peer_timeout(Some(timeout))
+        .bind("127.0.0.1:0")
+        .expect("bind a");
+    let b = BrokerServer::builder()
+        .name("ka-b")
+        .peer_timeout(Some(timeout))
+        .peer(a.local_addr().to_string())
+        .bind("127.0.0.1:0")
+        .expect("bind b");
+    wait_for("peer link", || {
+        a.federation_stats().peers == 1 && b.federation_stats().peers == 1
+    });
+
+    // Four timeouts of silence: only keepalive traffic crosses the link.
+    std::thread::sleep(4 * timeout);
+    assert_eq!(a.federation_stats().peers, 1, "link survived idling at a");
+    assert_eq!(b.federation_stats().peers, 1, "link survived idling at b");
+
+    // The probed link still routes.
+    let subscriber = Client::connect_as(a.local_addr(), "ka-sub").expect("connect sub");
+    subscriber
+        .subscribe(Filter::topic("keepalive"))
+        .expect("subscribe");
+    wait_for("advertisement crosses", || {
+        b.federation_stats().routing_entries >= 1
+    });
+    let publisher = Client::connect_as(b.local_addr(), "ka-pub").expect("connect pub");
+    publisher
+        .publish(Event::topical("keepalive", "still-here"))
+        .expect("publish");
+    assert!(
+        subscriber.recv_delivery(WAIT).is_some(),
+        "delivery after idle period"
+    );
+
+    drop(subscriber);
+    drop(publisher);
+    b.shutdown();
+    a.shutdown();
 }
 
 /// The `Stats` request surfaces federation state to remote clients, and
