@@ -16,7 +16,7 @@
 //! auto-derived subscriptions, attention locality, and peer-link bytes.
 
 use reef_attention::{Click, ClickBatch};
-use reef_bench::{e1_setup, print_table, seed_from_env, write_json, Row};
+use reef_bench::{e1_setup, emit_json, print_table, seed_from_env, Row};
 use reef_pubsub::{Event, TOPIC_ATTR};
 use reef_simweb::UserId;
 use reef_wire::{AutosubOptions, BrokerServer, Client};
@@ -308,7 +308,7 @@ fn main() {
         centralized,
         distributed,
     };
-    if let Some(path) = write_json("BENCH_autosub", &result) {
+    if let Some(path) = emit_json("BENCH_autosub", &result) {
         println!("result written to {}", path.display());
     }
 }

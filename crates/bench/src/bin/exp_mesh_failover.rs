@@ -10,7 +10,7 @@
 //! the promoted alternate is the *failover gap*, and the before/after
 //! latency distributions quantify the price of the extra hop.
 
-use reef_bench::{print_table, write_json, Row};
+use reef_bench::{emit_json, print_table, Row};
 use reef_pubsub::{Event, Filter, NodeId};
 use reef_wire::{BrokerServer, Client};
 use serde::Serialize;
@@ -224,7 +224,7 @@ fn main() {
         duplicates_suppressed_at_subscriber,
         alternates_before_kill,
     };
-    if let Some(path) = write_json("BENCH_mesh", &result) {
+    if let Some(path) = emit_json("BENCH_mesh", &result) {
         println!("result written to {}", path.display());
     }
 

@@ -101,6 +101,51 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
     Some(path)
 }
 
+/// Label identifying the build a result came from: `REEF_BENCH_LABEL`
+/// when set, else `git describe --always --dirty`, else `"unknown"`.
+pub fn bench_label() -> String {
+    if let Ok(label) = std::env::var("REEF_BENCH_LABEL") {
+        if !label.is_empty() {
+            return label;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The envelope [`emit_json`] wraps every experiment result in, so all
+/// `results/*.json` files share a `{name, label, metrics}` shape.
+struct ResultEnvelope {
+    envelope: serde::Value,
+}
+
+impl Serialize for ResultEnvelope {
+    fn to_value(&self) -> serde::Value {
+        self.envelope.clone()
+    }
+}
+
+/// Write an experiment result under `results/<name>.json`, wrapped in the
+/// shared `{name, label, metrics}` envelope (label from [`bench_label`]).
+/// Returns the path written, or `None` if writing failed.
+pub fn emit_json<T: Serialize>(name: &str, metrics: &T) -> Option<PathBuf> {
+    let envelope = ResultEnvelope {
+        envelope: serde::Value::Map(vec![
+            ("name".to_owned(), serde::Value::Str(name.to_owned())),
+            ("label".to_owned(), serde::Value::Str(bench_label())),
+            ("metrics".to_owned(), metrics.to_value()),
+        ]),
+    };
+    write_json(name, &envelope)
+}
+
 /// Format a percent value with sign.
 pub fn pct(x: f64) -> String {
     format!("{x:+.1}%")
@@ -129,5 +174,10 @@ mod tests {
     fn pct_formats_with_sign() {
         assert_eq!(pct(34.0), "+34.0%");
         assert_eq!(pct(-2.5), "-2.5%");
+    }
+
+    #[test]
+    fn bench_label_is_never_empty() {
+        assert!(!bench_label().is_empty());
     }
 }

@@ -18,6 +18,18 @@
 //! bumps instead of a thousand deep copies of the attribute map.
 //! Networked delivery pumps encode frames straight from the shared
 //! borrow.
+//!
+//! # Read-mostly subscription index
+//!
+//! Matching never takes the broker's write lock. Writers maintain the
+//! master state under `inner`'s write lock and *publish* an immutable
+//! `IndexSnapshot` (swap-on-write, epoch-style): an `Arc` to an indexed
+//! base plus a bounded delta of recent ops. `publish`/`deliver` clone
+//! that `Arc` out of a momentary read lock and match against it, so a
+//! publish storm proceeds at full speed while subscribe/unsubscribe churn
+//! swaps snapshots underneath it. Every `DELTA_MATERIALIZE` ops a writer
+//! pays the O(subscriptions) cost of materializing a fresh base; between
+//! materializations writers only clone the bounded delta.
 
 use crate::error::BrokerError;
 use crate::event::{Event, EventId, PublishedEvent};
@@ -49,6 +61,16 @@ pub const DEFAULT_BLOCK_TIMEOUT: Duration = Duration::from_secs(1);
 pub trait DeliveryNotifier: Send + Sync {
     /// One or more events were queued for `subscriber`.
     fn notify(&self, subscriber: SubscriberId);
+
+    /// One publish queued events for every subscriber in `subscribers`
+    /// (each listed at most once). Sharded transports override this to
+    /// group the wakeups per event loop — one eventfd write per shard
+    /// instead of one per subscriber.
+    fn notify_batch(&self, subscribers: &[SubscriberId]) {
+        for subscriber in subscribers {
+            self.notify(*subscriber);
+        }
+    }
 }
 
 /// Identifier of a subscriber registered with a [`Broker`].
@@ -114,28 +136,201 @@ pub struct PublishOutcome {
 }
 
 struct SubscriberEntry {
+    slot: Arc<QueueSlot>,
+}
+
+impl SubscriberEntry {
+    /// Cheap clone of the shared queue slot, so events can be offered
+    /// after the broker lock is released.
+    fn queue_handle(&self) -> QueueHandle {
+        QueueHandle {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+/// The channel endpoints of one live subscriber.
+struct QueueEndpoints {
     sender: Sender<Arc<PublishedEvent>>,
     /// Receiving side, held only under [`OverflowPolicy::DropOldest`] so
     /// the broker can evict the oldest queued event.
     evictor: Option<Receiver<Arc<PublishedEvent>>>,
 }
 
-impl SubscriberEntry {
-    /// Cheap clone of the queue endpoints, so events can be offered
-    /// after the broker lock is released.
-    fn queue_handle(&self) -> QueueHandle {
-        QueueHandle {
-            sender: self.sender.clone(),
-            evictor: self.evictor.clone(),
+/// One subscriber's queue slot, shared between the master state and
+/// every published index snapshot. Deregistration *empties* the slot
+/// instead of waiting for stale snapshots to forget it, so the sender is
+/// dropped — and the subscriber's receiving handle observes
+/// disconnection — immediately, however many index snapshots still point
+/// at the slot.
+struct QueueSlot {
+    endpoints: RwLock<Option<QueueEndpoints>>,
+}
+
+/// A snapshot of one subscriber's queue slot, detached from the broker's
+/// locked state.
+#[derive(Clone)]
+struct QueueHandle {
+    slot: Arc<QueueSlot>,
+}
+
+/// How many delta ops a published [`IndexSnapshot`] may accumulate before
+/// a writer materializes a fresh base instead of growing the delta.
+///
+/// The trade: every writer below the threshold only clones the (bounded)
+/// delta vec, while every publish overlays at most this many ops on top
+/// of the indexed base — so the publish-side overlay scan stays O(256)
+/// however large the subscription set grows, and the O(n) matcher clone
+/// is paid once per 256 writes instead of on every write.
+const DELTA_MATERIALIZE: usize = 256;
+
+/// The immutable, indexed foundation of a published snapshot: a deep
+/// clone of the master matcher/owner/queue state as of the last
+/// materialization.
+struct IndexBase {
+    matcher: Box<dyn MatchEngine>,
+    owners: HashMap<SubscriptionId, SubscriberId>,
+    queues: HashMap<SubscriberId, QueueHandle>,
+}
+
+/// One writer mutation layered on top of an [`IndexBase`].
+///
+/// Subscriber and subscription ids are minted from monotonic counters and
+/// never reused, which keeps replay trivial: an id can be added at most
+/// once and removed at most once across base + delta, so the overlay
+/// needs no op ordering beyond "removed wins".
+#[derive(Clone)]
+enum IndexOp {
+    Register {
+        subscriber: SubscriberId,
+        queue: QueueHandle,
+    },
+    Deregister {
+        subscriber: SubscriberId,
+    },
+    Subscribe {
+        sub: SubscriptionId,
+        owner: SubscriberId,
+        filter: Filter,
+    },
+    Unsubscribe {
+        sub: SubscriptionId,
+    },
+}
+
+/// The read-mostly subscription index: an immutable base plus a bounded
+/// delta of writer ops, published as one `Arc` that the hot paths
+/// (`publish`, `deliver`) clone out of a momentary read lock.
+///
+/// Writers (subscribe/unsubscribe/register/deregister) never mutate a
+/// published snapshot: they build the next one — swap-on-write,
+/// epoch-style — so matching proceeds against the old snapshot while the
+/// swap happens and never contends on the master write lock.
+struct IndexSnapshot {
+    base: Arc<IndexBase>,
+    delta: Vec<IndexOp>,
+    /// Delivery observer, carried in the snapshot so the publish path
+    /// reads exactly one lock for index *and* notifier.
+    notifier: Option<Arc<dyn DeliveryNotifier>>,
+}
+
+/// The delta folded into lookup tables for one publish/deliver.
+struct DeltaView<'a> {
+    removed_subs: HashSet<SubscriptionId>,
+    added_subs: Vec<(SubscriptionId, SubscriberId, &'a Filter)>,
+    removed_subscribers: HashSet<SubscriberId>,
+    added_queues: HashMap<SubscriberId, &'a QueueHandle>,
+}
+
+impl<'a> DeltaView<'a> {
+    fn build(delta: &'a [IndexOp]) -> DeltaView<'a> {
+        let mut view = DeltaView {
+            removed_subs: HashSet::new(),
+            added_subs: Vec::new(),
+            removed_subscribers: HashSet::new(),
+            added_queues: HashMap::new(),
+        };
+        for op in delta {
+            match op {
+                IndexOp::Register { subscriber, queue } => {
+                    view.added_queues.insert(*subscriber, queue);
+                }
+                IndexOp::Deregister { subscriber } => {
+                    view.removed_subscribers.insert(*subscriber);
+                }
+                IndexOp::Subscribe { sub, owner, filter } => {
+                    view.added_subs.push((*sub, *owner, filter));
+                }
+                IndexOp::Unsubscribe { sub } => {
+                    view.removed_subs.insert(*sub);
+                }
+            }
         }
+        view
+    }
+
+    /// The live queue of `owner`, checking the delta before the base;
+    /// `None` when the subscriber was deregistered in the delta.
+    fn queue_for(&self, owner: SubscriberId, base: &'a IndexBase) -> Option<&'a QueueHandle> {
+        if self.removed_subscribers.contains(&owner) {
+            return None;
+        }
+        self.added_queues
+            .get(&owner)
+            .copied()
+            .or_else(|| base.queues.get(&owner))
     }
 }
 
-/// A snapshot of one subscriber's queue endpoints, detached from the
-/// broker's locked state.
-struct QueueHandle {
-    sender: Sender<Arc<PublishedEvent>>,
-    evictor: Option<Receiver<Arc<PublishedEvent>>>,
+impl IndexSnapshot {
+    /// Every `(owner, queue)` the event must be offered to: the indexed
+    /// base matches overlaid with the delta (delta subscriptions are
+    /// filter-evaluated directly — the delta is bounded, so this is at
+    /// most [`DELTA_MATERIALIZE`] evaluations).
+    fn targets(&self, event: &Event) -> Vec<(SubscriberId, QueueHandle)> {
+        let view = DeltaView::build(&self.delta);
+        let mut out = Vec::new();
+        for sub in self.base.matcher.matches(event) {
+            if view.removed_subs.contains(&sub) {
+                continue;
+            }
+            let Some(owner) = self.base.owners.get(&sub).copied() else {
+                continue;
+            };
+            if let Some(queue) = view.queue_for(owner, &self.base) {
+                out.push((owner, queue.clone()));
+            }
+        }
+        for (sub, owner, filter) in &view.added_subs {
+            if view.removed_subs.contains(sub) || !filter.matches(event) {
+                continue;
+            }
+            if let Some(queue) = view.queue_for(*owner, &self.base) {
+                out.push((*owner, queue.clone()));
+            }
+        }
+        out
+    }
+
+    /// Resolve one subscription to its owner and queue (the `deliver`
+    /// path, which bypasses matching).
+    fn route(&self, sub: SubscriptionId) -> Result<(SubscriberId, QueueHandle), BrokerError> {
+        let view = DeltaView::build(&self.delta);
+        if view.removed_subs.contains(&sub) {
+            return Err(BrokerError::UnknownSubscription(sub));
+        }
+        let owner = view
+            .added_subs
+            .iter()
+            .find(|(s, _, _)| *s == sub)
+            .map(|(_, owner, _)| *owner)
+            .or_else(|| self.base.owners.get(&sub).copied())
+            .ok_or(BrokerError::UnknownSubscription(sub))?;
+        match view.queue_for(owner, &self.base) {
+            Some(queue) => Ok((owner, queue.clone())),
+            None => Err(BrokerError::UnknownSubscriber(owner)),
+        }
+    }
 }
 
 /// What happened when one event was offered to one subscriber queue.
@@ -177,8 +372,13 @@ pub struct Broker {
     overflow: OverflowPolicy,
     block_timeout: Duration,
     stats: BrokerStats,
-    /// Delivery observer for readiness-driven transports, if any.
-    notifier: RwLock<Option<Arc<dyn DeliveryNotifier>>>,
+    /// The published read-mostly index. Hot paths clone the `Arc` out of
+    /// a momentary read lock; writers (already serialized by `inner`'s
+    /// write lock) swap in a whole new snapshot.
+    snapshot: RwLock<Arc<IndexSnapshot>>,
+    /// How many snapshots have been published (delta extensions and
+    /// materializations alike).
+    snapshot_swaps: AtomicU64,
     next_subscriber: AtomicU64,
     next_subscription: AtomicU64,
     next_event: AtomicU64,
@@ -229,13 +429,25 @@ impl Broker {
             OverflowPolicy::DropOldest => Some(rx.clone()),
             _ => None,
         };
-        self.inner.write().subscribers.insert(
-            id,
-            SubscriberEntry {
-                sender: tx,
-                evictor,
-            },
+        let entry = SubscriberEntry {
+            slot: Arc::new(QueueSlot {
+                endpoints: RwLock::new(Some(QueueEndpoints {
+                    sender: tx,
+                    evictor,
+                })),
+            }),
+        };
+        let queue = entry.queue_handle();
+        let mut inner = self.inner.write();
+        inner.subscribers.insert(id, entry);
+        self.swap_snapshot(
+            &inner,
+            [IndexOp::Register {
+                subscriber: id,
+                queue,
+            }],
         );
+        drop(inner);
         (id, SubscriberHandle { id, receiver: rx })
     }
 
@@ -248,9 +460,13 @@ impl Broker {
     /// registered.
     pub fn deregister(&self, id: SubscriberId) -> Result<usize, BrokerError> {
         let mut inner = self.inner.write();
-        if inner.subscribers.remove(&id).is_none() {
+        let Some(entry) = inner.subscribers.remove(&id) else {
             return Err(BrokerError::UnknownSubscriber(id));
-        }
+        };
+        // Empty the shared slot now rather than waiting for published
+        // snapshots to age out: dropping the sender disconnects the
+        // channel, so a receiver parked on the queue wakes immediately.
+        *entry.slot.endpoints.write() = None;
         let owned: Vec<SubscriptionId> = inner
             .owners
             .iter()
@@ -262,6 +478,11 @@ impl Broker {
             inner.owners.remove(sub);
             self.stats.record_unsubscribe();
         }
+        let ops = owned
+            .iter()
+            .map(|sub| IndexOp::Unsubscribe { sub: *sub })
+            .chain([IndexOp::Deregister { subscriber: id }]);
+        self.swap_snapshot(&inner, ops);
         Ok(owned.len())
     }
 
@@ -286,9 +507,17 @@ impl Broker {
             return Err(BrokerError::UnknownSubscriber(subscriber));
         }
         let sub = SubscriptionId(self.next_subscription.fetch_add(1, Ordering::Relaxed));
-        inner.matcher.insert(sub, filter);
+        inner.matcher.insert(sub, filter.clone());
         inner.owners.insert(sub, subscriber);
         self.stats.record_subscribe();
+        self.swap_snapshot(
+            &inner,
+            [IndexOp::Subscribe {
+                sub,
+                owner: subscriber,
+                filter,
+            }],
+        );
         Ok(sub)
     }
 
@@ -306,20 +535,76 @@ impl Broker {
             .ok_or(BrokerError::UnknownSubscription(sub))?;
         inner.owners.remove(&sub);
         self.stats.record_unsubscribe();
+        self.swap_snapshot(&inner, [IndexOp::Unsubscribe { sub }]);
         Ok(filter)
     }
 
-    /// Register an observer called (outside the broker lock) whenever a
+    /// Publish the next index snapshot: the current one plus `ops`, or a
+    /// freshly materialized base when the delta would cross
+    /// [`DELTA_MATERIALIZE`]. Must be called with the master write lock
+    /// held (`inner`), which serializes swaps.
+    fn swap_snapshot(&self, inner: &BrokerInner, ops: impl IntoIterator<Item = IndexOp>) {
+        let current = self.snapshot.read().clone();
+        let mut delta = current.delta.clone();
+        delta.extend(ops);
+        let next = if delta.len() >= DELTA_MATERIALIZE {
+            IndexSnapshot {
+                base: Arc::new(IndexBase {
+                    matcher: inner.matcher.clone_box(),
+                    owners: inner.owners.clone(),
+                    queues: inner
+                        .subscribers
+                        .iter()
+                        .map(|(id, entry)| (*id, entry.queue_handle()))
+                        .collect(),
+                }),
+                delta: Vec::new(),
+                notifier: current.notifier.clone(),
+            }
+        } else {
+            IndexSnapshot {
+                base: Arc::clone(&current.base),
+                delta,
+                notifier: current.notifier.clone(),
+            }
+        };
+        *self.snapshot.write() = Arc::new(next);
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Swap a snapshot that differs from the current one only in its
+    /// notifier (index base and delta are shared).
+    fn swap_notifier(&self, notifier: Option<Arc<dyn DeliveryNotifier>>) {
+        // The master write lock serializes this against index writers.
+        let inner = self.inner.write();
+        let current = self.snapshot.read().clone();
+        let next = IndexSnapshot {
+            base: Arc::clone(&current.base),
+            delta: current.delta.clone(),
+            notifier,
+        };
+        *self.snapshot.write() = Arc::new(next);
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+    }
+
+    /// Register an observer called (outside any broker lock) whenever a
     /// delivery lands on a subscriber queue. Replaces any previous
     /// notifier; pass this before wiring the broker into a
     /// readiness-driven transport.
     pub fn set_delivery_notifier(&self, notifier: Arc<dyn DeliveryNotifier>) {
-        *self.notifier.write() = Some(notifier);
+        self.swap_notifier(Some(notifier));
     }
 
     /// Remove the delivery observer, if one was registered.
     pub fn clear_delivery_notifier(&self) {
-        *self.notifier.write() = None;
+        self.swap_notifier(None);
+    }
+
+    /// How many index snapshots have been published since the broker was
+    /// built. Transports surface this as the matcher snapshot-swap gauge.
+    pub fn snapshot_swaps(&self) -> u64 {
+        self.snapshot_swaps.load(Ordering::Relaxed)
     }
 
     /// Publish an event: match it against all subscriptions and place a
@@ -343,27 +628,16 @@ impl Broker {
             published_at,
             event,
         });
-        // Match and snapshot the target queues under the read lock, then
-        // release it before offering: under OverflowPolicy::Block an
-        // offer can sleep for the block timeout, and holding the lock
-        // across that would stall every subscribe/deregister (and, via
-        // `deliver`, a federation's routing pump).
-        let targets: Vec<(SubscriberId, QueueHandle)> = {
-            let inner = self.inner.read();
-            inner
-                .matcher
-                .matches(&published.event)
-                .into_iter()
-                .filter_map(|sub| {
-                    let owner = inner.owners.get(&sub)?;
-                    let entry = inner.subscribers.get(owner)?;
-                    Some((*owner, entry.queue_handle()))
-                })
-                .collect()
-        };
+        // Matching runs against the published snapshot — an immutable
+        // `Arc` cloned out of a momentary read lock — so a publish storm
+        // never contends with subscribe/unsubscribe churn on the master
+        // write lock, and an offer sleeping under OverflowPolicy::Block
+        // stalls nobody but its own publisher.
+        let snap = self.snapshot.read().clone();
+        let targets = snap.targets(&published.event);
+        let notifier = &snap.notifier;
         let mut delivered = 0usize;
         let mut dropped = 0usize;
-        let notifier = self.notifier.read().clone();
         let mut touched: HashSet<SubscriberId> = HashSet::new();
         // One subscriber may hold several matching subscriptions; deliver
         // one copy per matching *subscription*, as real brokers do (the
@@ -381,7 +655,7 @@ impl Broker {
                         self.stats.record_publish();
                         self.stats.record_delivery(delivered as u64);
                         self.stats.record_drop(dropped as u64);
-                        self.notify_all(&notifier, &touched);
+                        Self::notify_all(notifier, &touched);
                         return Err(BrokerError::QueueFull {
                             subscriber: *owner,
                             capacity: self.queue_capacity.unwrap_or(0),
@@ -402,7 +676,7 @@ impl Broker {
         self.stats.record_publish();
         self.stats.record_delivery(delivered as u64);
         self.stats.record_drop(dropped as u64);
-        self.notify_all(&notifier, &touched);
+        Self::notify_all(notifier, &touched);
         Ok(PublishOutcome {
             id,
             published_at,
@@ -411,16 +685,14 @@ impl Broker {
         })
     }
 
-    /// Fire the delivery notifier once per subscriber that received
-    /// something in this publish.
-    fn notify_all(
-        &self,
-        notifier: &Option<Arc<dyn DeliveryNotifier>>,
-        touched: &HashSet<SubscriberId>,
-    ) {
+    /// Fire the delivery notifier once for the whole publish, listing
+    /// each subscriber that received something at most once. Batched so a
+    /// shard-aware notifier can coalesce the wakeups per event loop.
+    fn notify_all(notifier: &Option<Arc<dyn DeliveryNotifier>>, touched: &HashSet<SubscriberId>) {
         if let Some(notifier) = notifier {
-            for subscriber in touched {
-                notifier.notify(*subscriber);
+            if !touched.is_empty() {
+                let subscribers: Vec<SubscriberId> = touched.iter().copied().collect();
+                notifier.notify_batch(&subscribers);
             }
         }
     }
@@ -451,21 +723,12 @@ impl Broker {
         sub: SubscriptionId,
         event: impl Into<Arc<PublishedEvent>>,
     ) -> Result<bool, BrokerError> {
-        // Snapshot the queue under the lock, offer outside it (see
-        // `publish` for why).
-        let (owner, queue) = {
-            let inner = self.inner.read();
-            let owner = *inner
-                .owners
-                .get(&sub)
-                .ok_or(BrokerError::UnknownSubscription(sub))?;
-            let Some(entry) = inner.subscribers.get(&owner) else {
-                return Err(BrokerError::UnknownSubscriber(owner));
-            };
-            (owner, entry.queue_handle())
-        };
-        let notify = |broker: &Broker| {
-            if let Some(notifier) = broker.notifier.read().clone() {
+        // Resolve against the published snapshot, offer outside any lock
+        // (see `publish` for why).
+        let snap = self.snapshot.read().clone();
+        let (owner, queue) = snap.route(sub)?;
+        let notify = |_: &Broker| {
+            if let Some(notifier) = &snap.notifier {
                 notifier.notify(owner);
             }
         };
@@ -502,23 +765,32 @@ impl Broker {
     /// overflow policy. Called without the broker lock held: under
     /// [`OverflowPolicy::Block`] this may sleep up to the block timeout.
     fn offer(&self, queue: &QueueHandle, event: Arc<PublishedEvent>) -> Offer {
-        match queue.sender.try_send(event) {
+        // Clone the endpoints out of a momentary read lock rather than
+        // holding it across the send: a Block-policy offer may sleep,
+        // and deregister (which empties the slot under its write lock)
+        // must never wait on an offer in flight.
+        let Some((sender, evictor)) = queue
+            .slot
+            .endpoints
+            .read()
+            .as_ref()
+            .map(|e| (e.sender.clone(), e.evictor.clone()))
+        else {
+            return Offer::DroppedGone;
+        };
+        match sender.try_send(event) {
             Ok(()) => Offer::Delivered,
             Err(TrySendError::Full(event)) => match self.overflow {
                 OverflowPolicy::DropAndCount | OverflowPolicy::Error => Offer::DroppedFull,
                 OverflowPolicy::DropOldest => {
-                    let evicted = queue
-                        .evictor
-                        .as_ref()
-                        .is_some_and(|rx| rx.try_recv().is_ok());
-                    match queue.sender.try_send(event) {
+                    let evicted = evictor.as_ref().is_some_and(|rx| rx.try_recv().is_ok());
+                    match sender.try_send(event) {
                         Ok(()) if evicted => Offer::DeliveredEvicting,
                         Ok(()) => Offer::Delivered,
                         Err(_) => Offer::DroppedFull,
                     }
                 }
-                OverflowPolicy::Block => match queue.sender.send_timeout(event, self.block_timeout)
-                {
+                OverflowPolicy::Block => match sender.send_timeout(event, self.block_timeout) {
                     Ok(()) => Offer::Delivered,
                     Err(channel::SendTimeoutError::Timeout(_)) => Offer::DroppedFull,
                     Err(channel::SendTimeoutError::Disconnected(_)) => Offer::DroppedGone,
@@ -616,11 +888,22 @@ impl BrokerBuilder {
 
     /// Build the broker.
     pub fn build(self) -> Broker {
+        let matcher = self
+            .matcher
+            .unwrap_or_else(|| Box::new(IndexMatcher::new()));
+        // The first published snapshot is the empty master state.
+        let snapshot = IndexSnapshot {
+            base: Arc::new(IndexBase {
+                matcher: matcher.clone_box(),
+                owners: HashMap::new(),
+                queues: HashMap::new(),
+            }),
+            delta: Vec::new(),
+            notifier: None,
+        };
         Broker {
             inner: RwLock::new(BrokerInner {
-                matcher: self
-                    .matcher
-                    .unwrap_or_else(|| Box::new(IndexMatcher::new())),
+                matcher,
                 subscribers: HashMap::new(),
                 owners: HashMap::new(),
             }),
@@ -629,7 +912,8 @@ impl BrokerBuilder {
             overflow: self.overflow,
             block_timeout: self.block_timeout.unwrap_or(DEFAULT_BLOCK_TIMEOUT),
             stats: BrokerStats::default(),
-            notifier: RwLock::new(None),
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            snapshot_swaps: AtomicU64::new(0),
             next_subscriber: AtomicU64::new(0),
             next_subscription: AtomicU64::new(0),
             next_event: AtomicU64::new(0),
@@ -933,6 +1217,78 @@ mod tests {
         }
         assert_eq!(ha.drain().len(), 400);
         assert_eq!(broker.stats().events_published, 400);
+    }
+
+    #[test]
+    fn delta_materializes_into_a_fresh_base() {
+        // Cross the DELTA_MATERIALIZE threshold several times over and
+        // verify matching stays exact on both sides of each swap.
+        let broker = Broker::new();
+        let (a, ha) = broker.register();
+        let mut subs = Vec::new();
+        for i in 0..(3 * DELTA_MATERIALIZE as i64) {
+            subs.push(
+                broker
+                    .subscribe(a, Filter::new().and("i", Op::Eq, i))
+                    .unwrap(),
+            );
+        }
+        let out = broker
+            .publish(Event::builder().attr("i", 5i64).build())
+            .unwrap();
+        assert_eq!(out.delivered, 1);
+        assert_eq!(ha.drain().len(), 1);
+        assert!(broker.snapshot_swaps() >= 3 * DELTA_MATERIALIZE as u64);
+        // Unsubscribe half and re-check: removals must be visible too.
+        for sub in subs.iter().step_by(2) {
+            broker.unsubscribe(*sub).unwrap();
+        }
+        let even = broker
+            .publish(Event::builder().attr("i", 4i64).build())
+            .unwrap();
+        assert_eq!(even.delivered, 0, "even-indexed filters were removed");
+        let odd = broker
+            .publish(Event::builder().attr("i", 5i64).build())
+            .unwrap();
+        assert_eq!(odd.delivered, 1);
+    }
+
+    #[test]
+    fn publish_storm_survives_subscription_churn() {
+        // The acceptance property of the read-mostly index: a publish
+        // storm concurrent with subscribe/unsubscribe churn never stalls
+        // on the writers (matching takes no write lock) and every publish
+        // still reaches the stable subscriber.
+        let broker: SharedBroker = Arc::new(Broker::new());
+        let (stable, handle) = broker.register();
+        broker.subscribe(stable, Filter::topic("storm")).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churners: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&broker);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let (churn, _h) = b.register();
+                    while !stop.load(Ordering::Relaxed) {
+                        let sub = b.subscribe(churn, Filter::topic("churn")).unwrap();
+                        b.unsubscribe(sub).unwrap();
+                    }
+                })
+            })
+            .collect();
+        const STORM: usize = 2000;
+        for i in 0..STORM {
+            let out = broker
+                .publish(Event::topical("storm", &i.to_string()))
+                .unwrap();
+            assert_eq!(out.delivered, 1, "publish {i} missed the stable subscriber");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in churners {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.drain().len(), STORM);
+        assert!(broker.snapshot_swaps() > 0, "churn published snapshots");
     }
 
     #[test]

@@ -60,10 +60,16 @@ pub trait MatchEngine: fmt::Debug + Send + Sync {
 
     /// Look up the filter registered under `id`.
     fn filter(&self, id: SubscriptionId) -> Option<&Filter>;
+
+    /// Deep-copy the engine behind a fresh box. Read-mostly callers (the
+    /// broker's snapshot index) clone the engine to build an immutable
+    /// published view, so matching never has to share a lock with
+    /// writers.
+    fn clone_box(&self) -> Box<dyn MatchEngine>;
 }
 
 /// Linear-scan matcher: evaluates every filter per event.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NaiveMatcher {
     filters: HashMap<SubscriptionId, Filter>,
 }
@@ -102,6 +108,10 @@ impl MatchEngine for NaiveMatcher {
     fn filter(&self, id: SubscriptionId) -> Option<&Filter> {
         self.filters.get(&id)
     }
+
+    fn clone_box(&self) -> Box<dyn MatchEngine> {
+        Box::new(self.clone())
+    }
 }
 
 /// Internal record of one indexed predicate: which filter it belongs to.
@@ -128,7 +138,7 @@ struct PredEntry {
 /// predicates were satisfied; a filter matches when the counter reaches the
 /// filter's predicate count. Empty (match-all) filters are tracked
 /// separately and match every event.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct IndexMatcher {
     filters: HashMap<SubscriptionId, Filter>,
     /// Predicate counts per filter (cached from `filters`).
@@ -305,6 +315,10 @@ impl MatchEngine for IndexMatcher {
 
     fn filter(&self, id: SubscriptionId) -> Option<&Filter> {
         self.filters.get(&id)
+    }
+
+    fn clone_box(&self) -> Box<dyn MatchEngine> {
+        Box::new(self.clone())
     }
 }
 

@@ -31,9 +31,13 @@ OPTIONS:
     -l, --listen ADDR        listen address (same as the positional ADDR)
         --name NAME          broker name announced to clients and peers
                              (default \"reefd\")
-        --transport KIND     server core: epoll (one readiness event loop
-                             for every socket; Linux-only, the default)
-                             | threads (2 OS threads per connection)
+        --transport KIND     server core: epoll (sharded readiness event
+                             loops; Linux-only, the default) | threads
+                             (2 OS threads per connection)
+        --loop-threads N     number of sharded epoll readiness loops;
+                             connections are spread across shards by fd
+                             hash, peer links stay on shard 0 (default:
+                             available cores; needs --transport epoll)
         --peer ADDR          federate with the reefd at ADDR; repeat the
                              flag to peer with several brokers. Without
                              --mesh the overlay must stay a tree; with
@@ -104,6 +108,7 @@ struct Config {
     listen: String,
     name: String,
     transport: TransportKind,
+    loop_threads: Option<usize>,
     peers: Vec<String>,
     peer_retry: bool,
     mesh: bool,
@@ -131,6 +136,7 @@ impl Config {
             listen: std::env::var("REEF_LISTEN").unwrap_or_else(|_| DEFAULT_ADDR.to_owned()),
             name: "reefd".to_owned(),
             transport: TransportKind::default(),
+            loop_threads: None,
             peers: Vec::new(),
             peer_retry: false,
             mesh: false,
@@ -187,6 +193,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Config {
                     .unwrap_or_else(|| bail("--transport needs a value"));
                 config.transport = TransportKind::parse(&raw)
                     .unwrap_or_else(|| bail("--transport must be one of: threads, epoll"));
+            }
+            "--loop-threads" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--loop-threads needs a number"));
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => config.loop_threads = Some(n),
+                    _ => bail("--loop-threads must be a positive integer"),
+                }
             }
             "--peer" => {
                 config.peers.push(
@@ -346,6 +361,9 @@ fn main() {
         .mesh(config.mesh)
         .route_refresh(config.route_refresh)
         .peer_timeout(config.peer_timeout);
+    if let Some(threads) = config.loop_threads {
+        builder = builder.loop_threads(threads);
+    }
     if let Some(capacity) = config.queue_capacity {
         builder = builder.queue_capacity(capacity);
     }

@@ -61,7 +61,7 @@ pub struct RemotePublishOutcome {
 }
 
 /// Combined server statistics returned by [`Client::stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerStats {
     /// Broker operation counters.
     pub broker: BrokerStatsSnapshot,

@@ -1110,8 +1110,18 @@ fn put_wire_stats(w: &mut Writer, s: &WireStatsSnapshot) {
     w.u64(s.autosub_derived);
     w.u64(s.autosub_retired);
     w.u64(s.autosub_last_refresh_us);
+    w.u64(s.matcher_swaps);
     put_codec_stats(w, &s.json);
     put_codec_stats(w, &s.binary);
+    w.u64(s.loops.len() as u64);
+    for shard in &s.loops {
+        w.u64(shard.loop_id);
+        w.u64(shard.wakeups);
+        w.u64(shard.read_events);
+        w.u64(shard.write_events);
+        w.u64(shard.writes_coalesced);
+        w.u64(shard.connections);
+    }
 }
 
 fn get_wire_stats(r: &mut Reader<'_>) -> Result<WireStatsSnapshot, WireError> {
@@ -1140,8 +1150,25 @@ fn get_wire_stats(r: &mut Reader<'_>) -> Result<WireStatsSnapshot, WireError> {
         autosub_derived: r.u64()?,
         autosub_retired: r.u64()?,
         autosub_last_refresh_us: r.u64()?,
+        matcher_swaps: r.u64()?,
         json: get_codec_stats(r)?,
         binary: get_codec_stats(r)?,
+        loops: {
+            let len = r.u64()? as usize;
+            // Bound the pre-allocation against a hostile length prefix.
+            let mut loops = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                loops.push(crate::stats::LoopStatsSnapshot {
+                    loop_id: r.u64()?,
+                    wakeups: r.u64()?,
+                    read_events: r.u64()?,
+                    write_events: r.u64()?,
+                    writes_coalesced: r.u64()?,
+                    connections: r.u64()?,
+                });
+            }
+            loops
+        },
     })
 }
 

@@ -1,21 +1,29 @@
-//! The epoll event-loop transport: every socket the daemon owns —
-//! listener, client connections, federation peer links — on one
-//! readiness-driven thread.
+//! The epoll event-loop transport, sharded: a handoff accept loop plus
+//! N readiness loops (`--loop-threads`, default = available cores), each
+//! owning a slice of the daemon's sockets.
 //!
 //! # Shape
 //!
-//! The loop parks in `epoll_wait` and reacts to four kinds of readiness:
+//! A dedicated **accept loop** owns the listener: it accepts until
+//! `EWOULDBLOCK` and hands each socket to the shard chosen by the
+//! accepted fd (`fd % N`), waking that shard's eventfd. Each **shard**
+//! parks in its own `epoll_wait` and owns its connections outright —
+//! read/write buffers, frame reassembly, watermarks, write-timeout
+//! eviction sweeps — and reacts to three kinds of readiness:
 //!
-//! * **listener** — accept until `EWOULDBLOCK`, register each socket
-//!   nonblocking;
-//! * **wakeup eventfd** — another thread has work for the loop: the
+//! * **wakeup eventfd** — another thread has work for this shard: the
 //!   broker queued deliveries ([`reef_pubsub::DeliveryNotifier`]), the
-//!   federation enqueued peer messages or dialed a socket to adopt, or
-//!   the server wants to shut down;
+//!   accept loop handed over a socket, the federation enqueued peer
+//!   messages or dialed a socket to adopt, or the server wants to shut
+//!   down;
 //! * **connection readable** — drain the socket into the connection's
 //!   [`FrameDecoder`] (partial reads split frames at arbitrary byte
 //!   boundaries) and execute every complete frame;
 //! * **connection writable** — flush the connection's outbound buffer.
+//!
+//! The broker reaches the shards through [`ShardSet`], the shard-aware
+//! delivery notifier: a publish's fan-out is grouped by target shard and
+//! costs **one wake per shard**, not one per subscriber.
 //!
 //! # Outbound buffers and backpressure
 //!
@@ -24,27 +32,28 @@
 //! as the socket accepts — a fan-out burst of deliveries coalesces into
 //! one syscall (counted as `writes_coalesced`). The buffer is bounded by
 //! a high watermark: when a consumer stops reading, the buffer fills,
-//! the loop stops draining that subscriber's broker queue, the bounded
+//! the shard stops draining that subscriber's broker queue, the bounded
 //! queue fills, and the broker's `--overflow` policy (drop-new /
 //! drop-old / block / error) applies exactly as on the threaded
 //! transport. A connection whose pending bytes make no progress for
-//! `--write-timeout-ms` is evicted.
+//! `--write-timeout-ms` is evicted by its shard's sweep.
 //!
 //! One semantic caveat, documented in the README: under
-//! `--overflow block` a publish executed on the loop cannot be overtaken
-//! by the drain (same thread), so a full queue always waits out the
+//! `--overflow block` a publish executed on a shard cannot be overtaken
+//! by that same shard's drain, so a full queue always waits out the
 //! block timeout before dropping — the bound holds, the early-wake path
 //! does not exist.
 //!
-//! # Federation on the loop
+//! # Federation on shard 0
 //!
-//! Peer links are connections in `Peer` role: frames decode into
-//! [`reef_pubsub::PeerMsg`]s fed through `Federation::incoming` and the
-//! routing queue is drained inline (`Federation::drain_incoming`) — no
-//! pump thread, no per-link writer threads. Dialed sockets (startup,
-//! `add_peer`, redial) are handed over through [`LoopShared`]'s adoption
-//! queue; an inbound client connection that sends `PeerHello` upgrades
-//! in place and keeps its socket on the loop.
+//! Peer links are pinned to shard 0 so federation and mesh message
+//! ordering is untouched by sharding: shard 0 alone adopts dialed peer
+//! sockets, pumps the link queues, drains the routing core's inbound
+//! queue (`Federation::drain_incoming`) and ticks keepalive — no pump
+//! thread, no per-link writer threads. An inbound client connection that
+//! sends `PeerHello` on another shard upgrades there and then *migrates*
+//! — socket, decoder and outbound buffer move to shard 0 wholesale, so
+//! no byte is reordered or lost across the handover.
 
 use crate::codec::CodecKind;
 use crate::error::WireError;
@@ -53,6 +62,7 @@ use crate::frame::{Frame, FrameDecoder, PROTOCOL_V1_JSON};
 use crate::poll::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::protocol::{Request, Response, ServerFrame};
 use crate::server::{Connection, LoopControl, ServerCore};
+use crate::stats::LoopStats;
 use parking_lot::Mutex;
 use reef_pubsub::{
     DeliveryNotifier, NodeId, PeerMsg, SubscriberHandle, SubscriberId, SubscriptionId,
@@ -66,9 +76,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Token of the listening socket.
+/// Token of the listening socket (accept loop's epoll only).
 const TOKEN_LISTENER: u64 = 0;
-/// Token of the wakeup eventfd.
+/// Token of a wakeup eventfd.
 const TOKEN_WAKE: u64 = 1;
 /// First token handed to a connection.
 const TOKEN_FIRST_CONN: u64 = 2;
@@ -77,7 +87,7 @@ const TOKEN_FIRST_CONN: u64 = 2;
 const READ_CHUNK: usize = 16 * 1024;
 
 /// Upper bound on bytes read from one connection per readiness event,
-/// so a firehose sender cannot starve the rest of the loop.
+/// so a firehose sender cannot starve the rest of its shard.
 const READ_BUDGET: usize = 256 * 1024;
 
 /// Outbound buffer high watermark: past this many pending bytes the loop
@@ -89,25 +99,43 @@ const OUTBUF_HIGH_WATER: usize = 64 * 1024;
 /// write-timeout sweeps stay prompt even on an idle daemon.
 const LOOP_PARK_MS: i32 = 50;
 
-/// State other threads use to reach the loop. Implements every hook the
-/// rest of the system signals the loop through: delivery notifications
-/// from the broker, link-queue wakes and socket adoption from the
-/// federation, shutdown wakes from the server.
+/// A peer connection in flight between shards: a client socket that sent
+/// `PeerHello` on a non-zero shard moves to shard 0 with every byte of
+/// in-progress state, so the peer stream is never reordered.
+struct MigratedPeer {
+    stream: TcpStream,
+    peer: SocketAddr,
+    decoder: FrameDecoder,
+    out: OutBuf,
+    buffered_deliveries: usize,
+    close_after_flush: bool,
+    link: Arc<PeerLink>,
+}
+
+/// One shard's cross-thread mailbox: its wakeup eventfd plus the inboxes
+/// other threads fill for it.
 pub(crate) struct LoopShared {
+    loop_id: usize,
     wakeup: EventFd,
     /// Set while a wake is already pending, so a 1000-subscriber fan-out
-    /// costs one eventfd syscall instead of one per delivery. The loop
+    /// costs one eventfd syscall instead of one per delivery. The shard
     /// clears it right after draining the eventfd.
     wake_pending: AtomicBool,
-    /// Subscribers whose broker queues received deliveries since the
-    /// loop last drained them.
+    /// Subscribers on this shard whose broker queues received deliveries
+    /// since the shard last drained them.
     dirty: Mutex<HashSet<SubscriberId>>,
-    /// Dialed peer sockets waiting to be registered on the loop.
+    /// Accepted client sockets handed over by the accept loop.
+    handoff: Mutex<Vec<(TcpStream, SocketAddr)>>,
+    /// Dialed peer sockets waiting to be registered (shard 0 only).
     adopted: Mutex<Vec<(NodeId, TcpStream)>>,
+    /// Peer connections migrating in from other shards (shard 0 only).
+    migrated: Mutex<Vec<MigratedPeer>>,
+    /// This shard's counters, registered into the server aggregate.
+    stats: Arc<LoopStats>,
 }
 
 impl LoopShared {
-    /// Wake the loop unless a wake is already pending.
+    /// Wake the shard unless a wake is already pending.
     fn wake_once(&self) {
         if !self.wake_pending.swap(true, Ordering::SeqCst) {
             self.wakeup.wake();
@@ -118,35 +146,91 @@ impl LoopShared {
 impl std::fmt::Debug for LoopShared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LoopShared")
+            .field("loop_id", &self.loop_id)
             .field("dirty", &self.dirty.lock().len())
-            .field("adopted", &self.adopted.lock().len())
+            .field("handoff", &self.handoff.lock().len())
             .finish()
     }
 }
 
-impl DeliveryNotifier for LoopShared {
-    fn notify(&self, subscriber: SubscriberId) {
-        self.dirty.lock().insert(subscriber);
-        self.wake_once();
+/// The shard-aware face of the event-loop transport: every hook the rest
+/// of the system signals the loops through. Delivery notifications are
+/// routed (and batched) to the shard owning each subscriber, federation
+/// hooks go to shard 0, and shutdown wakes everything.
+pub(crate) struct ShardSet {
+    shards: Vec<Arc<LoopShared>>,
+    /// Wakes the accept loop out of its `epoll_wait` at shutdown.
+    accept_wake: EventFd,
+    /// Which shard serves each live wire subscriber — the routing table
+    /// of the shard-aware delivery notifier. Written by the shard that
+    /// registers/closes the connection, read on every publish fan-out.
+    by_subscriber: Mutex<HashMap<SubscriberId, usize>>,
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.shards.len())
+            .field("subscribers", &self.by_subscriber.lock().len())
+            .finish()
     }
 }
 
-impl PeerLoopHook for LoopShared {
+impl DeliveryNotifier for ShardSet {
+    fn notify(&self, subscriber: SubscriberId) {
+        // Subscribers with no shard are registered directly on the
+        // broker (embedding code, tests): not the loops' to serve.
+        let Some(&shard) = self.by_subscriber.lock().get(&subscriber) else {
+            return;
+        };
+        let shard = &self.shards[shard];
+        shard.dirty.lock().insert(subscriber);
+        shard.wake_once();
+    }
+
+    fn notify_batch(&self, subscribers: &[SubscriberId]) {
+        // One publish = at most one wake per shard, however many of its
+        // subscribers matched.
+        let mut per_shard: Vec<Vec<SubscriberId>> = vec![Vec::new(); self.shards.len()];
+        {
+            let map = self.by_subscriber.lock();
+            for subscriber in subscribers {
+                if let Some(&shard) = map.get(subscriber) {
+                    per_shard[shard].push(*subscriber);
+                }
+            }
+        }
+        for (idx, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[idx];
+            shard.dirty.lock().extend(batch);
+            shard.wake_once();
+        }
+    }
+}
+
+impl PeerLoopHook for ShardSet {
     fn adopt_socket(&self, node: NodeId, stream: TcpStream) {
-        self.adopted.lock().push((node, stream));
-        self.wake_once();
+        // Peer links are pinned to shard 0.
+        self.shards[0].adopted.lock().push((node, stream));
+        self.shards[0].wake_once();
     }
 
     fn wake(&self) {
-        self.wake_once();
+        self.shards[0].wake_once();
     }
 }
 
-impl LoopControl for LoopShared {
+impl LoopControl for ShardSet {
     fn wake_loop(&self) {
-        // Shutdown must always get through, pending flag or not.
-        self.wake_pending.store(true, Ordering::SeqCst);
-        self.wakeup.wake();
+        // Shutdown must always get through, pending flags or not.
+        for shard in &self.shards {
+            shard.wake_pending.store(true, Ordering::SeqCst);
+            shard.wakeup.wake();
+        }
+        self.accept_wake.wake();
     }
 }
 
@@ -203,7 +287,7 @@ enum ConnRole {
     Peer { link: Arc<PeerLink> },
 }
 
-/// One socket registered on the loop.
+/// One socket registered on a shard.
 struct LoopConn {
     stream: TcpStream,
     token: u64,
@@ -225,59 +309,185 @@ struct LoopConn {
     close_after_flush: bool,
 }
 
-/// Start the event loop on its own thread.
+/// The threads a [`spawn`] call starts, paired with the control handle
+/// the server uses to reach them.
+pub(crate) type SpawnedLoops = (Vec<JoinHandle<()>>, Arc<dyn LoopControl>);
+
+/// Start the sharded event loop: one accept thread plus `loop_threads`
+/// shard threads.
 ///
-/// Registers the loop as the broker's delivery notifier and the
-/// federation's peer hook before the thread starts, so nothing published
+/// Registers the shard set as the broker's delivery notifier and the
+/// federation's peer hook before any thread starts, so nothing published
 /// or dialed in the startup window is missed.
 pub(crate) fn spawn(
     listener: TcpListener,
     core: Arc<ServerCore>,
-) -> Result<(JoinHandle<()>, Arc<dyn LoopControl>), WireError> {
+    loop_threads: usize,
+) -> Result<SpawnedLoops, WireError> {
+    let shard_count = loop_threads.max(1);
     listener.set_nonblocking(true)?;
-    let epoll = Epoll::new()?;
-    let shared = Arc::new(LoopShared {
-        wakeup: EventFd::new()?,
-        wake_pending: AtomicBool::new(false),
-        dirty: Mutex::new(HashSet::new()),
-        adopted: Mutex::new(Vec::new()),
+    let mut shards = Vec::with_capacity(shard_count);
+    for loop_id in 0..shard_count {
+        let stats = Arc::new(LoopStats::new(loop_id as u64));
+        core.stats.register_loop(Arc::clone(&stats));
+        shards.push(Arc::new(LoopShared {
+            loop_id,
+            wakeup: EventFd::new()?,
+            wake_pending: AtomicBool::new(false),
+            dirty: Mutex::new(HashSet::new()),
+            handoff: Mutex::new(Vec::new()),
+            adopted: Mutex::new(Vec::new()),
+            migrated: Mutex::new(Vec::new()),
+            stats,
+        }));
+    }
+    let set = Arc::new(ShardSet {
+        shards: shards.clone(),
+        accept_wake: EventFd::new()?,
+        by_subscriber: Mutex::new(HashMap::new()),
     });
-    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
-    epoll.add(shared.wakeup.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
     core.broker
-        .set_delivery_notifier(Arc::clone(&shared) as Arc<dyn DeliveryNotifier>);
+        .set_delivery_notifier(Arc::clone(&set) as Arc<dyn DeliveryNotifier>);
     core.federation
-        .set_loop_hook(Arc::clone(&shared) as Arc<dyn PeerLoopHook>);
-    let event_loop = EventLoop {
+        .set_loop_hook(Arc::clone(&set) as Arc<dyn PeerLoopHook>);
+    let mut threads = Vec::with_capacity(shard_count + 1);
+    for shard in &shards {
+        let epoll = Epoll::new()?;
+        epoll.add(shard.wakeup.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+        let event_loop = EventLoop {
+            core: Arc::clone(&core),
+            set: Arc::clone(&set),
+            shared: Arc::clone(shard),
+            epoll,
+            conns: HashMap::new(),
+            by_subscriber: HashMap::new(),
+            by_node: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            deliver_cache: None,
+        };
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("reefd-loop-{}", shard.loop_id))
+                .spawn(move || event_loop.run())
+                .expect("spawn event loop shard"),
+        );
+    }
+    let accept_epoll = Epoll::new()?;
+    accept_epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    accept_epoll.add(set.accept_wake.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+    let accept = AcceptLoop {
         core,
-        shared: Arc::clone(&shared),
-        epoll,
+        set: Arc::clone(&set),
+        epoll: accept_epoll,
         listener,
-        conns: HashMap::new(),
-        by_subscriber: HashMap::new(),
-        by_node: HashMap::new(),
-        next_token: TOKEN_FIRST_CONN,
     };
-    let thread = std::thread::Builder::new()
-        .name("reefd-event-loop".into())
-        .spawn(move || event_loop.run())
-        .expect("spawn event loop thread");
-    Ok((thread, shared as Arc<dyn LoopControl>))
+    threads.push(
+        std::thread::Builder::new()
+            .name("reefd-accept-loop".into())
+            .spawn(move || accept.run())
+            .expect("spawn accept loop"),
+    );
+    Ok((threads, set as Arc<dyn LoopControl>))
 }
 
-struct EventLoop {
+/// The handoff accept loop: owns the listener, assigns each accepted
+/// socket to a shard by fd, never touches a payload byte.
+struct AcceptLoop {
     core: Arc<ServerCore>,
-    shared: Arc<LoopShared>,
+    set: Arc<ShardSet>,
     epoll: Epoll,
     listener: TcpListener,
+}
+
+impl AcceptLoop {
+    fn run(self) {
+        let mut events = [EpollEvent::default(); 8];
+        loop {
+            if self.core.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let n = match self.epoll.wait(&mut events, LOOP_PARK_MS) {
+                Ok(n) => n,
+                Err(_) => {
+                    self.core.stats.record_error();
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.core.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if events
+                .iter()
+                .take(n)
+                .any(|event| event.data() == TOKEN_WAKE)
+            {
+                self.set.accept_wake.drain();
+            }
+            if events
+                .iter()
+                .take(n)
+                .any(|event| event.data() == TOKEN_LISTENER)
+            {
+                self.accept_until_blocked();
+            }
+        }
+    }
+
+    fn accept_until_blocked(&self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if self.core.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Shard assignment by accepted-fd hash: descriptor
+                    // numbers recycle evenly, so modulo spreads even
+                    // short-lived churn across the shards.
+                    let idx = stream.as_raw_fd() as usize % self.set.shards.len();
+                    let shard = &self.set.shards[idx];
+                    shard.handoff.lock().push((stream, peer));
+                    shard.wake_once();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // Persistent accept failure (e.g. fd exhaustion):
+                    // level-triggered epoll would re-report the pending
+                    // connection immediately and spin this thread at
+                    // 100% CPU, so back off briefly — the same
+                    // mitigation the threaded accept loop uses.
+                    self.core.stats.record_error();
+                    std::thread::sleep(Duration::from_millis(50));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One shard: an epoll instance and the connections it owns.
+struct EventLoop {
+    core: Arc<ServerCore>,
+    set: Arc<ShardSet>,
+    shared: Arc<LoopShared>,
+    epoll: Epoll,
     conns: HashMap<u64, LoopConn>,
     by_subscriber: HashMap<SubscriberId, u64>,
     by_node: HashMap<NodeId, u64>,
     next_token: u64,
+    /// Last `Deliver` frame encoded, keyed by event identity and codec
+    /// version. A publish fans one event out to every subscriber on the
+    /// shard in a row, so this single entry turns N identical encodes
+    /// into one encode plus N-1 clones of the bytes. Holding the `Arc`
+    /// pins the event so pointer identity cannot be recycled under us.
+    deliver_cache: Option<(Arc<reef_pubsub::PublishedEvent>, u8, Frame)>,
 }
 
 impl EventLoop {
     fn run(mut self) {
+        // Shard 0 alone runs federation duties: peer links are pinned
+        // there so sharding cannot reorder the peer message streams.
+        let primary = self.shared.loop_id == 0;
         let mut events = vec![EpollEvent::default(); 1024];
         loop {
             if self.core.shutdown.load(Ordering::SeqCst) {
@@ -296,12 +506,12 @@ impl EventLoop {
             }
             if n > 0 {
                 self.core.stats.record_loop_wakeup();
+                self.shared.stats.record_wakeup();
             }
             for event in events.iter().take(n) {
                 let token = event.data();
                 let ready = event.readiness();
                 match token {
-                    TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKE => {
                         self.shared.wakeup.drain();
                         // Re-arm before the tail processing: a notify
@@ -313,15 +523,21 @@ impl EventLoop {
                     token => self.conn_ready(token, ready),
                 }
             }
-            self.adopt_dialed_peers();
+            self.adopt_handoffs();
+            if primary {
+                self.adopt_dialed_peers();
+                self.adopt_migrated_peers();
+            }
             self.drain_dirty_subscribers();
             self.push_feed_notices();
-            self.pump_all_peer_queues();
-            // Peer frames read this iteration were queued into the
-            // routing core's inbound queue; route them now, on this
-            // thread — the loop *is* the federation pump in this mode.
-            self.core.federation.drain_incoming();
-            self.core.federation.tick();
+            if primary {
+                self.pump_all_peer_queues();
+                // Peer frames read this iteration were queued into the
+                // routing core's inbound queue; route them now, on this
+                // thread — shard 0 *is* the federation pump in this mode.
+                self.core.federation.drain_incoming();
+                self.core.federation.tick();
+            }
             self.sweep_stalled_writers();
         }
         // Orderly teardown: deregister every client like a normal
@@ -332,30 +548,18 @@ impl EventLoop {
         }
     }
 
-    // -- accept ----------------------------------------------------------
+    // -- accepted-socket handoff -----------------------------------------
 
-    fn accept_ready(&mut self) {
-        loop {
-            match self.listener.accept() {
-                Ok((stream, peer)) => {
-                    if self.core.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    if self.register_client(stream, peer).is_err() {
-                        self.core.stats.record_error();
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
-                Err(_) => {
-                    // Persistent accept failure (e.g. fd exhaustion):
-                    // level-triggered epoll would re-report the pending
-                    // connection immediately and spin the loop at 100%
-                    // CPU, so back off briefly — the same mitigation the
-                    // threaded accept loop uses.
-                    self.core.stats.record_error();
-                    std::thread::sleep(Duration::from_millis(50));
-                    return;
-                }
+    /// Register every client socket the accept loop handed this shard.
+    fn adopt_handoffs(&mut self) {
+        let handoff: Vec<(TcpStream, SocketAddr)> =
+            std::mem::take(&mut *self.shared.handoff.lock());
+        for (stream, peer) in handoff {
+            if self.core.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if self.register_client(stream, peer).is_err() {
+                self.core.stats.record_error();
             }
         }
     }
@@ -363,11 +567,17 @@ impl EventLoop {
     fn register_client(&mut self, stream: TcpStream, peer: SocketAddr) -> Result<(), WireError> {
         stream.set_nonblocking(true)?;
         let _ = stream.set_nodelay(true);
-        // One fd-clone only (the shutdown control); the loop never writes
-        // through the shared Connection, so no writer clone is paid.
-        let control = stream.try_clone()?;
         let (subscriber, inbox) = self.core.broker.register();
-        let shared = Arc::new(Connection::new(peer, subscriber, None, control));
+        // No fd-clones at all: the loop owns the socket, writes through its
+        // outbound buffers and shuts the stream down itself, so each
+        // connection costs exactly one descriptor.
+        let shared = Arc::new(Connection::new(
+            peer,
+            subscriber,
+            None,
+            None,
+            Some(self.shared.loop_id as u32),
+        ));
         self.core.stats.record_open();
         shared.stats.record_open();
         self.core.connections.lock().push(Arc::clone(&shared));
@@ -376,6 +586,12 @@ impl EventLoop {
         self.epoll
             .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)?;
         self.by_subscriber.insert(subscriber, token);
+        // Route future delivery notifications for this subscriber here.
+        self.set
+            .by_subscriber
+            .lock()
+            .insert(subscriber, self.shared.loop_id);
+        self.shared.stats.conn_added();
         self.conns.insert(
             token,
             LoopConn {
@@ -408,10 +624,12 @@ impl EventLoop {
         }
         if ready & (EPOLLIN | EPOLLRDHUP) != 0 {
             self.core.stats.record_loop_read_events(1);
+            self.shared.stats.record_read_events(1);
             self.read_ready(token);
         }
         if self.conns.contains_key(&token) && ready & EPOLLOUT != 0 {
             self.core.stats.record_loop_write_events(1);
+            self.shared.stats.record_write_events(1);
             self.flush(token);
         }
         // A pure error/hangup with nothing readable: tear down. (If data
@@ -427,7 +645,7 @@ impl EventLoop {
     fn read_ready(&mut self, token: u64) {
         let mut scratch = [0u8; READ_CHUNK];
         // Per-readiness read budget: one endless sender must not pin the
-        // loop inside this function and starve every other connection,
+        // shard inside this function and starve every other connection,
         // the delivery pumps and the stall sweep. Level-triggered epoll
         // re-reports whatever is left for the next iteration.
         let mut budget = READ_BUDGET;
@@ -473,7 +691,7 @@ impl EventLoop {
     }
 
     /// Execute every complete frame buffered on `token`. Returns `false`
-    /// when the connection was closed.
+    /// when the connection was closed or left this shard.
     fn process_frames(&mut self, token: u64) -> bool {
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -663,8 +881,9 @@ impl EventLoop {
         }
     }
 
-    /// Turn a client connection into a federation peer link in place:
-    /// the socket stays on the loop, only its role changes.
+    /// Turn a client connection into a federation peer link: the role
+    /// swaps in place, and — when this is not shard 0 — the connection
+    /// then migrates to shard 0, where every peer link lives.
     fn upgrade_to_peer(
         &mut self,
         token: u64,
@@ -710,6 +929,7 @@ impl EventLoop {
         }
         let _ = self.core.broker.deregister(shared.subscriber);
         self.by_subscriber.remove(&shared.subscriber);
+        self.set.by_subscriber.lock().remove(&shared.subscriber);
         self.core
             .connections
             .lock()
@@ -726,20 +946,44 @@ impl EventLoop {
                 return false;
             }
         };
+        let peer_addr = conn.peer.to_string();
         match self.core.federation.adopt_inbound_link(
             control,
             peer_broker,
             peer_broker_id,
-            conn.peer.to_string(),
+            peer_addr,
             codec,
         ) {
-            Ok((node, link)) => {
+            Ok((node, link)) if self.shared.loop_id == 0 => {
+                let conn = self.conns.get_mut(&token).expect("conn still live");
                 conn.role = ConnRole::Peer { link };
                 self.by_node.insert(node, token);
                 // Advertisement sync for the new neighbor is already on
                 // the link queue; move it behind the PeerWelcome bytes.
                 self.pump_peer_queue(token);
                 true
+            }
+            Ok((_node, link)) => {
+                // Peer links are pinned to shard 0 so federation/mesh
+                // ordering is untouched by sharding: hand the socket
+                // over wholesale — decoder (frames that followed
+                // PeerHello in the same read), outbound buffer
+                // (PeerWelcome bytes), flags and all.
+                let conn = self.conns.remove(&token).expect("conn still live");
+                let _ = self.epoll.delete(conn.stream.as_raw_fd());
+                self.shared.stats.conn_removed();
+                let primary = &self.set.shards[0];
+                primary.migrated.lock().push(MigratedPeer {
+                    stream: conn.stream,
+                    peer: conn.peer,
+                    decoder: conn.decoder,
+                    out: conn.out,
+                    buffered_deliveries: conn.buffered_deliveries,
+                    close_after_flush: conn.close_after_flush,
+                    link,
+                });
+                primary.wake_once();
+                false
             }
             Err(_) => {
                 self.core.stats.record_error();
@@ -757,6 +1001,7 @@ impl EventLoop {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.shared.stats.conn_removed();
         }
     }
 
@@ -788,7 +1033,7 @@ impl EventLoop {
     }
 
     /// Register a freshly dialed peer socket handed over by the
-    /// federation (startup dial, `add_peer`, redial).
+    /// federation (startup dial, `add_peer`, redial). Shard 0 only.
     fn adopt_dialed_peers(&mut self) {
         let adopted: Vec<(NodeId, TcpStream)> = std::mem::take(&mut *self.shared.adopted.lock());
         for (node, stream) in adopted {
@@ -818,6 +1063,7 @@ impl EventLoop {
                 continue;
             }
             self.by_node.insert(node, token);
+            self.shared.stats.conn_added();
             self.conns.insert(
                 token,
                 LoopConn {
@@ -835,6 +1081,50 @@ impl EventLoop {
             );
             // Neighbor sync enqueued at registration is waiting.
             self.pump_peer_queue(token);
+        }
+    }
+
+    /// Adopt peer connections that upgraded on another shard and
+    /// migrated here. Shard 0 only.
+    fn adopt_migrated_peers(&mut self) {
+        let migrated: Vec<MigratedPeer> = std::mem::take(&mut *self.shared.migrated.lock());
+        for m in migrated {
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .epoll
+                .add(m.stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                .is_err()
+            {
+                self.core.stats.record_error();
+                self.core.federation.peer_disconnected(m.link.node);
+                continue;
+            }
+            self.by_node.insert(m.link.node, token);
+            self.shared.stats.conn_added();
+            self.conns.insert(
+                token,
+                LoopConn {
+                    stream: m.stream,
+                    token,
+                    peer: m.peer,
+                    decoder: m.decoder,
+                    out: m.out,
+                    role: ConnRole::Peer { link: m.link },
+                    want_write: false,
+                    stalled_since: None,
+                    buffered_deliveries: m.buffered_deliveries,
+                    close_after_flush: m.close_after_flush,
+                },
+            );
+            // Frames that followed PeerHello in the same read burst are
+            // already sitting in the migrated decoder; no readiness
+            // event will re-announce them, so execute them now, then
+            // flush the PeerWelcome and pump the advertisement sync.
+            if self.process_frames(token) {
+                self.flush(token);
+                self.pump_peer_queue(token);
+            }
         }
     }
 
@@ -888,6 +1178,7 @@ impl EventLoop {
             }
             if moved > 1 {
                 self.core.stats.record_write_coalesced();
+                self.shared.stats.record_write_coalesced();
             }
             if moved == 0 {
                 return;
@@ -930,7 +1221,8 @@ impl EventLoop {
         }
     }
 
-    /// Drain the broker queues of every subscriber the notifier flagged.
+    /// Drain the broker queues of every subscriber the notifier flagged
+    /// onto this shard.
     fn drain_dirty_subscribers(&mut self) {
         let dirty: Vec<SubscriberId> = {
             let mut set = self.shared.dirty.lock();
@@ -940,8 +1232,7 @@ impl EventLoop {
             set.drain().collect()
         };
         for subscriber in dirty {
-            // Unknown ids are subscribers registered directly on the
-            // broker (embedding code, tests): not the loop's to serve.
+            // An id without a token closed between notify and drain.
             if let Some(&token) = self.by_subscriber.get(&subscriber) {
                 self.pump_deliveries(token);
             }
@@ -977,24 +1268,42 @@ impl EventLoop {
                     *hungry = false;
                     break;
                 };
-                match shared.codec().encode_deliver(&event) {
-                    Ok(frame) => {
-                        let written = conn.out.push_frame(&frame);
-                        conn.buffered_deliveries += 1;
-                        shared.stats.record_frame_out(frame.version, written);
-                        self.core.stats.record_frame_out(frame.version, written);
-                        shared.stats.record_delivery();
-                        self.core.stats.record_delivery();
-                        batched += 1;
-                    }
-                    Err(_) => {
-                        shared.stats.record_error();
-                        self.core.stats.record_error();
+                let codec = shared.codec();
+                // Fan-out reuse: every subscriber of this shard gets the
+                // same event, so encode it once per (event, codec) and
+                // replay the bytes for the rest of the shard.
+                let hit = matches!(
+                    &self.deliver_cache,
+                    Some((cached, version, _))
+                        if Arc::ptr_eq(cached, &event) && *version == codec.version()
+                );
+                if !hit {
+                    match codec.encode_deliver(&event) {
+                        Ok(frame) => {
+                            self.deliver_cache = Some((Arc::clone(&event), codec.version(), frame));
+                        }
+                        Err(_) => {
+                            self.deliver_cache = None;
+                            shared.stats.record_error();
+                            self.core.stats.record_error();
+                            continue;
+                        }
                     }
                 }
+                let Some((_, _, frame)) = &self.deliver_cache else {
+                    unreachable!("deliver cache filled above");
+                };
+                let written = conn.out.push_frame(frame);
+                conn.buffered_deliveries += 1;
+                shared.stats.record_frame_out(frame.version, written);
+                self.core.stats.record_frame_out(frame.version, written);
+                shared.stats.record_delivery();
+                self.core.stats.record_delivery();
+                batched += 1;
             }
             if batched > 1 {
                 self.core.stats.record_write_coalesced();
+                self.shared.stats.record_write_coalesced();
             }
             if batched == 0 {
                 return;
@@ -1090,7 +1399,8 @@ impl EventLoop {
     }
 
     /// Evict connections whose pending bytes made no progress for the
-    /// configured write timeout — the slow-consumer bound.
+    /// configured write timeout — the slow-consumer bound, swept per
+    /// shard.
     fn sweep_stalled_writers(&mut self) {
         let timeout = self.core.write_timeout;
         let stalled: Vec<u64> = self
@@ -1155,9 +1465,11 @@ impl EventLoop {
         };
         let _ = self.epoll.delete(conn.stream.as_raw_fd());
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        self.shared.stats.conn_removed();
         match conn.role {
             ConnRole::Client { shared, owned, .. } => {
                 self.by_subscriber.remove(&shared.subscriber);
+                self.set.by_subscriber.lock().remove(&shared.subscriber);
                 self.core.finish_connection(&shared, &owned);
             }
             ConnRole::Peer { link } => {

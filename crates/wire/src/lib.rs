@@ -101,5 +101,5 @@ pub use protocol::{
 pub use server::{BrokerServer, BrokerServerBuilder, TransportKind};
 pub use stats::{
     AutosubGauges, CodecStatsSnapshot, ConnectionStatsSnapshot, FederationStatsSnapshot,
-    PeerStatsSnapshot, WireStats, WireStatsSnapshot,
+    LoopStatsSnapshot, PeerStatsSnapshot, WireStats, WireStatsSnapshot,
 };

@@ -1,11 +1,13 @@
 //! `BrokerServer`: the TCP face of a [`reef_pubsub::Broker`], with two
 //! interchangeable cores behind one wire protocol ([`TransportKind`]).
 //!
-//! **Epoll (Linux, the default).** One readiness-driven thread owns the
-//! listener, every client socket and every federation peer link:
-//! nonblocking I/O, incremental frame reassembly, per-connection
-//! outbound buffers that coalesce delivery bursts into single writes.
-//! See the `event_loop` module for the full design.
+//! **Epoll (Linux, the default).** A handoff accept loop plus N sharded
+//! readiness loops ([`BrokerServerBuilder::loop_threads`], default =
+//! available cores), each owning a slice of the sockets: nonblocking
+//! I/O, incremental frame reassembly, per-connection outbound buffers
+//! that coalesce delivery bursts into single writes. Federation peer
+//! links are pinned to shard 0. See the `event_loop` module for the
+//! full design.
 //!
 //! **Threads.** One accept thread hands each connection to a dedicated
 //! **reader thread** (negotiates the connection's codec from the first
@@ -83,10 +85,11 @@ pub enum TransportKind {
     /// per peer link. Simple and portable; caps out at hundreds of
     /// concurrent subscribers.
     Threads,
-    /// One epoll readiness loop owning the listener, every client
-    /// socket, and every peer link (Linux only). Two threads total
-    /// however many connections are live, nonblocking sockets,
-    /// per-connection outbound buffers that coalesce deliveries.
+    /// A handoff accept loop plus N sharded epoll readiness loops
+    /// (Linux only), each owning a slice of the client sockets; peer
+    /// links are pinned to shard 0. Thread count is fixed however many
+    /// connections are live, nonblocking sockets, per-connection
+    /// outbound buffers that coalesce deliveries.
     Epoll,
 }
 
@@ -144,6 +147,7 @@ pub struct BrokerServerBuilder {
     route_refresh: Option<Duration>,
     peer_timeout: Option<Option<Duration>>,
     transport: Option<TransportKind>,
+    loop_threads: Option<usize>,
     data_dir: Option<PathBuf>,
     wal_segment_bytes: Option<u64>,
     snapshot_every: Option<u64>,
@@ -259,6 +263,15 @@ impl BrokerServerBuilder {
         self
     }
 
+    /// Number of sharded epoll readiness loops (default: available
+    /// cores). Accepted connections are spread across the shards by fd
+    /// hash; federation peer links always live on shard 0. Clamped to at
+    /// least 1; ignored by [`TransportKind::Threads`].
+    pub fn loop_threads(mut self, threads: usize) -> Self {
+        self.loop_threads = Some(threads);
+        self
+    }
+
     /// Persist the click store under `dir`: uploads are appended to a
     /// segmented, checksummed WAL before they are acknowledged, and a
     /// restart on the same directory recovers them. Without a data dir
@@ -343,6 +356,7 @@ impl BrokerServerBuilder {
             self.route_refresh.unwrap_or(Duration::from_secs(5)),
             self.peer_timeout.unwrap_or(Some(Duration::from_secs(10))),
             self.transport.unwrap_or_default(),
+            self.loop_threads,
             self.autosub.unwrap_or_default(),
         )
     }
@@ -362,7 +376,10 @@ pub(crate) struct Connection {
     writer: Mutex<Option<TcpStream>>,
     /// Clone of the same socket used only for `shutdown`, so closing never
     /// has to wait on the writer mutex (a pump blocked mid-write holds it).
-    control: TcpStream,
+    /// `None` on the epoll transport: the loop owns the socket, shuts it
+    /// down itself, and the saved fd-clone is what lets one process hold
+    /// tens of thousands of connections under a 20k descriptor limit.
+    control: Option<TcpStream>,
     pub(crate) stats: WireStats,
     pub(crate) closed: AtomicBool,
     /// Set when the connection turned into a federation peer link; the
@@ -371,17 +388,21 @@ pub(crate) struct Connection {
     /// Frame version byte of the codec negotiated by the connection's
     /// first frame; 0 until then.
     pub(crate) codec_version: AtomicU8,
+    /// Id of the event-loop shard serving this connection; `None` on the
+    /// threaded transport.
+    pub(crate) loop_id: Option<u32>,
 }
 
 impl Connection {
     /// Create the shared state for one accepted socket. `writer` and
     /// `control` are fd-clones of the transport's stream; the epoll
-    /// transport passes no writer (it never writes through this struct).
+    /// transport passes neither (the loop owns the socket outright).
     pub(crate) fn new(
         peer: SocketAddr,
         subscriber: SubscriberId,
         writer: Option<TcpStream>,
-        control: TcpStream,
+        control: Option<TcpStream>,
+        loop_id: Option<u32>,
     ) -> Connection {
         Connection {
             peer,
@@ -393,6 +414,7 @@ impl Connection {
             closed: AtomicBool::new(false),
             upgraded: AtomicBool::new(false),
             codec_version: AtomicU8::new(0),
+            loop_id,
         }
     }
 
@@ -456,7 +478,9 @@ impl Connection {
 
     pub(crate) fn close_socket(&self) {
         self.closed.store(true, Ordering::SeqCst);
-        let _ = self.control.shutdown(Shutdown::Both);
+        if let Some(control) = &self.control {
+            let _ = control.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -481,8 +505,9 @@ pub struct BrokerServer {
     core: Arc<ServerCore>,
     local_addr: SocketAddr,
     transport: TransportKind,
-    /// Accept thread (threads transport) or the event-loop thread (epoll).
-    main_thread: Option<JoinHandle<()>>,
+    /// Accept thread (threads transport) or the accept + shard threads
+    /// (epoll).
+    main_threads: Vec<JoinHandle<()>>,
     /// Wakes the event loop so it observes the shutdown flag (epoll only).
     loop_control: Option<Arc<dyn LoopControl>>,
     /// The autosub refresh thread; `None` when the subsystem is disabled.
@@ -627,11 +652,17 @@ impl ServerCore {
                     Err(message) => Response::Error { message },
                 }
             }
-            Request::Stats => Response::Stats {
-                broker: self.broker.stats(),
-                wire: self.stats.snapshot(),
-                federation: self.federation.snapshot(),
-            },
+            Request::Stats => {
+                // Fold the broker-side snapshot-swap gauge into the wire
+                // counters before the snapshot is taken.
+                self.stats
+                    .record_matcher_swaps(self.broker.snapshot_swaps());
+                Response::Stats {
+                    broker: self.broker.stats(),
+                    wire: self.stats.snapshot(),
+                    federation: self.federation.snapshot(),
+                }
+            }
             Request::Ping => Response::Pong,
             Request::Bye => Response::Bye,
             Request::PeerHello { .. } => unreachable!("intercepted by the transport"),
@@ -705,6 +736,7 @@ impl BrokerServer {
         route_refresh: Duration,
         peer_timeout: Option<Duration>,
         transport: TransportKind,
+        loop_threads: Option<usize>,
         autosub: AutosubOptions,
     ) -> Result<BrokerServer, WireError> {
         if transport == TransportKind::Epoll && !cfg!(target_os = "linux") {
@@ -755,7 +787,7 @@ impl BrokerServer {
             core: Arc::clone(&core),
             local_addr,
             transport,
-            main_thread: None,
+            main_threads: Vec::new(),
             loop_control: None,
             autosub_thread: spawn_autosub_refresh(&core),
             conn_threads: Arc::new(Mutex::new(Vec::new())),
@@ -767,7 +799,7 @@ impl BrokerServer {
                     core,
                     conn_threads: Arc::clone(&server.conn_threads),
                 };
-                server.main_thread = Some(
+                server.main_threads.push(
                     std::thread::Builder::new()
                         .name("reefd-accept".into())
                         .spawn(move || accept.run())
@@ -777,8 +809,13 @@ impl BrokerServer {
             TransportKind::Epoll => {
                 #[cfg(target_os = "linux")]
                 {
-                    let (thread, control) = crate::event_loop::spawn(listener, core)?;
-                    server.main_thread = Some(thread);
+                    let shards = loop_threads.unwrap_or_else(|| {
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                    });
+                    let (threads, control) = crate::event_loop::spawn(listener, core, shards)?;
+                    server.main_threads = threads;
                     server.loop_control = Some(control);
                 }
                 #[cfg(not(target_os = "linux"))]
@@ -835,6 +872,9 @@ impl BrokerServer {
 
     /// Aggregate transport counters.
     pub fn stats(&self) -> WireStatsSnapshot {
+        self.core
+            .stats
+            .record_matcher_swaps(self.core.broker.snapshot_swaps());
         self.core.stats.snapshot()
     }
 
@@ -859,6 +899,7 @@ impl BrokerServer {
                 client: conn.client_name.lock().clone(),
                 codec: conn.codec_name().to_owned(),
                 subscriber: conn.subscriber.0,
+                loop_id: conn.loop_id,
                 wire: conn.stats.snapshot(),
             })
             .collect()
@@ -907,7 +948,7 @@ impl BrokerServer {
                 }
             }
         }
-        if let Some(handle) = self.main_thread.take() {
+        for handle in std::mem::take(&mut self.main_threads) {
             let _ = handle.join();
         }
         if let Some(handle) = self.autosub_thread.take() {
@@ -1009,7 +1050,13 @@ impl AcceptLoop {
         let writer = stream.try_clone()?;
         let control = stream.try_clone()?;
         let (subscriber, inbox) = self.core.broker.register();
-        let conn = Arc::new(Connection::new(peer, subscriber, Some(writer), control));
+        let conn = Arc::new(Connection::new(
+            peer,
+            subscriber,
+            Some(writer),
+            Some(control),
+            None,
+        ));
         self.core.stats.record_open();
         conn.stats.record_open();
         self.core.connections.lock().push(Arc::clone(&conn));

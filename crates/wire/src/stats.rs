@@ -1,7 +1,9 @@
 //! Transport counters, kept per connection and aggregated per server.
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::frame::{PROTOCOL_V1_JSON, PROTOCOL_V2_BINARY};
 
@@ -97,8 +99,13 @@ pub struct WireStats {
     autosub_derived: AtomicU64,
     autosub_retired: AtomicU64,
     autosub_last_refresh_us: AtomicU64,
+    matcher_swaps: AtomicU64,
     json: CodecStats,
     binary: CodecStats,
+    /// Per-shard event-loop counters, registered by the epoll transport
+    /// when its loops spawn. Empty on the threaded transport and on
+    /// per-connection / per-link instances.
+    loops: Mutex<Vec<Arc<LoopStats>>>,
 }
 
 impl WireStats {
@@ -213,6 +220,19 @@ impl WireStats {
             .store(gauges.last_refresh_us, Ordering::Relaxed);
     }
 
+    /// Publish the broker's matcher snapshot-swap count. A gauge like
+    /// the persistence numbers: the broker owns the running total, the
+    /// stats paths copy it in when a snapshot is taken.
+    pub fn record_matcher_swaps(&self, swaps: u64) {
+        self.matcher_swaps.store(swaps, Ordering::Relaxed);
+    }
+
+    /// Register one event-loop shard's counter set, so aggregate
+    /// snapshots carry the per-shard breakdown.
+    pub(crate) fn register_loop(&self, stats: Arc<LoopStats>) {
+        self.loops.lock().push(stats);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> WireStatsSnapshot {
         WireStatsSnapshot {
@@ -240,10 +260,95 @@ impl WireStats {
             autosub_derived: self.autosub_derived.load(Ordering::Relaxed),
             autosub_retired: self.autosub_retired.load(Ordering::Relaxed),
             autosub_last_refresh_us: self.autosub_last_refresh_us.load(Ordering::Relaxed),
+            matcher_swaps: self.matcher_swaps.load(Ordering::Relaxed),
             json: self.json.snapshot(),
             binary: self.binary.snapshot(),
+            loops: self.loops.lock().iter().map(|l| l.snapshot()).collect(),
         }
     }
+}
+
+/// Counters one event-loop shard owns: its wakeups, readiness events,
+/// coalesced writes, and a live-connection gauge. The shard records into
+/// these *and* the server aggregate, so totals stay comparable with the
+/// single-loop numbers of older builds.
+#[derive(Debug, Default)]
+pub(crate) struct LoopStats {
+    loop_id: u64,
+    wakeups: AtomicU64,
+    read_events: AtomicU64,
+    write_events: AtomicU64,
+    writes_coalesced: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl LoopStats {
+    /// A zeroed counter set for shard `loop_id`.
+    pub(crate) fn new(loop_id: u64) -> Self {
+        LoopStats {
+            loop_id,
+            ..Default::default()
+        }
+    }
+
+    /// Count one `epoll_wait` return that reported readiness.
+    pub(crate) fn record_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count read-readiness events this shard handled.
+    pub(crate) fn record_read_events(&self, n: u64) {
+        self.read_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count write-readiness events this shard handled.
+    pub(crate) fn record_write_events(&self, n: u64) {
+        self.write_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one socket flush that carried more than one frame.
+    pub(crate) fn record_write_coalesced(&self) {
+        self.writes_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection joined this shard.
+    pub(crate) fn conn_added(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection left this shard (close or migration).
+    pub(crate) fn conn_removed(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LoopStatsSnapshot {
+        LoopStatsSnapshot {
+            loop_id: self.loop_id,
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            read_events: self.read_events.load(Ordering::Relaxed),
+            write_events: self.write_events.load(Ordering::Relaxed),
+            writes_coalesced: self.writes_coalesced.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one event-loop shard's counters
+/// ([`WireStatsSnapshot::loops`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LoopStatsSnapshot {
+    /// Which shard (0-based; federation peer links are pinned to 0).
+    pub loop_id: u64,
+    /// `epoll_wait` returns that reported readiness on this shard.
+    pub wakeups: u64,
+    /// Read-readiness events this shard handled.
+    pub read_events: u64,
+    /// Write-readiness events this shard handled.
+    pub write_events: u64,
+    /// Socket flushes on this shard that carried more than one frame.
+    pub writes_coalesced: u64,
+    /// Connections currently owned by this shard.
+    pub connections: u64,
 }
 
 /// Gauge values published by the auto-subscription engine after each
@@ -263,8 +368,9 @@ pub struct AutosubGauges {
 }
 
 /// Point-in-time copy of [`WireStats`], also used inside
-/// [`crate::protocol::Response::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// [`crate::protocol::Response::Stats`]. (Not `Copy` since the per-shard
+/// breakdown joined: `loops` owns a heap allocation.)
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct WireStatsSnapshot {
     /// Connections accepted since the server started.
     pub connections_opened: u64,
@@ -317,17 +423,24 @@ pub struct WireStatsSnapshot {
     pub autosub_retired: u64,
     /// Duration of the engine's last refresh pass, in microseconds.
     pub autosub_last_refresh_us: u64,
+    /// Matcher snapshots the broker published (one per subscribe /
+    /// unsubscribe / register / deregister batch; the read-mostly index's
+    /// swap-on-write counter).
+    pub matcher_swaps: u64,
     /// The subset of frame/byte traffic carried by the v1 JSON codec.
     pub json: CodecStatsSnapshot,
     /// The subset of frame/byte traffic carried by the v2 binary codec.
     pub binary: CodecStatsSnapshot,
+    /// Per-shard event-loop counters (epoll transport; empty under
+    /// threads and on per-connection snapshots).
+    pub loops: Vec<LoopStatsSnapshot>,
 }
 
 impl std::fmt::Display for WireStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={} loop={}wake/{}r/{}w/{}coal wal={}B/{}seg/{}snap recovered={}clicks/{}torn-B autosub={}users/{}active/{}+/{}-/{}us",
+            "conns={}/{} frames={}in/{}out bytes={}in/{}out (json {}in/{}out, binary {}in/{}out) requests={} deliveries={} drops={} errors={} loop={}wake/{}r/{}w/{}coal matcher_swaps={} wal={}B/{}seg/{}snap recovered={}clicks/{}torn-B autosub={}users/{}active/{}+/{}-/{}us",
             self.connections_opened,
             self.connections_closed,
             self.frames_in,
@@ -346,6 +459,7 @@ impl std::fmt::Display for WireStatsSnapshot {
             self.loop_read_events,
             self.loop_write_events,
             self.writes_coalesced,
+            self.matcher_swaps,
             self.wal_bytes,
             self.wal_segments,
             self.wal_snapshots,
@@ -356,7 +470,27 @@ impl std::fmt::Display for WireStatsSnapshot {
             self.autosub_derived,
             self.autosub_retired,
             self.autosub_last_refresh_us,
-        )
+        )?;
+        if !self.loops.is_empty() {
+            f.write_str(" shards=[")?;
+            for (i, shard) in self.loops.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" ")?;
+                }
+                write!(
+                    f,
+                    "{}:{}conns/{}wake/{}r/{}w/{}coal",
+                    shard.loop_id,
+                    shard.connections,
+                    shard.wakeups,
+                    shard.read_events,
+                    shard.write_events,
+                    shard.writes_coalesced,
+                )?;
+            }
+            f.write_str("]")?;
+        }
+        Ok(())
     }
 }
 
@@ -372,6 +506,9 @@ pub struct ConnectionStatsSnapshot {
     pub codec: String,
     /// Broker subscriber id backing this connection.
     pub subscriber: u64,
+    /// Which event-loop shard owns the socket; `None` on the threaded
+    /// transport (no shards there).
+    pub loop_id: Option<u32>,
     /// The connection's transport counters.
     pub wire: WireStatsSnapshot,
 }

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use reef::pubsub::{ClientId, Event, Filter, Op, Overlay, Value};
-use reef::wire::{BrokerServer, Client};
+use reef::wire::{BrokerServer, Client, TransportKind};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -46,10 +46,82 @@ fn into_multiset(events: impl IntoIterator<Item = Event>) -> Multiset {
     out
 }
 
+/// Run one scripted workload — 4 clients, arbitrary subscriptions,
+/// arbitrary publishes — against a single daemon on the given transport
+/// and return each client's delivered event multiset.
+fn run_single_daemon(
+    transport: TransportKind,
+    loop_threads: usize,
+    subs: &[(usize, Filter)],
+    events: &[(usize, Event)],
+) -> Vec<Multiset> {
+    const CLIENTS: usize = 4;
+    let mut builder = BrokerServer::builder().transport(transport);
+    if matches!(transport, TransportKind::Epoll) {
+        builder = builder.loop_threads(loop_threads);
+    }
+    let server = builder.bind("127.0.0.1:0").expect("bind");
+    let clients: Vec<Client> = (0..CLIENTS)
+        .map(|i| {
+            Client::connect_as(server.local_addr(), &format!("shard-eq-{i}")).expect("connect")
+        })
+        .collect();
+    for (client, filter) in subs {
+        clients[*client % CLIENTS]
+            .subscribe(filter.clone())
+            .expect("subscribe");
+    }
+    // The publish reply carries how many subscriber queues matched, so the
+    // exact total delivery count is known up front — no settle heuristics.
+    let mut expected_total = 0usize;
+    for (publisher, event) in events {
+        let outcome = clients[*publisher % CLIENTS]
+            .publish(event.clone())
+            .expect("publish");
+        expected_total += outcome.delivered as usize;
+    }
+    let mut got: Vec<Vec<Event>> = vec![Vec::new(); CLIENTS];
+    let deadline = Instant::now() + WAIT;
+    while got.iter().map(Vec::len).sum::<usize>() < expected_total && Instant::now() < deadline {
+        for (i, client) in clients.iter().enumerate() {
+            while let Some(delivery) = client.recv_delivery(Duration::from_millis(5)) {
+                got[i].push(delivery.event);
+            }
+        }
+    }
+    // Grace pass: a transport bug that over-delivers shows up as extras.
+    for (i, client) in clients.iter().enumerate() {
+        if let Some(extra) = client.recv_delivery(Duration::from_millis(25)) {
+            got[i].push(extra.event);
+        }
+    }
+    drop(clients);
+    server.shutdown();
+    got.into_iter().map(into_multiset).collect()
+}
+
 proptest! {
     // Each case spins up three real TCP daemons; keep the case count low
     // enough that the suite stays fast.
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharding must be invisible to delivery semantics: the same
+    /// workload through a 4-shard epoll daemon and through the threaded
+    /// transport (the oracle — one reader plus one pump thread per
+    /// connection, no shared loops) must hand every client the same
+    /// event multiset, regardless of which shard each socket hashed to.
+    #[test]
+    fn sharded_epoll_delivers_same_sets_as_threaded(
+        subs in prop::collection::vec((0usize..4, arb_filter()), 1..8),
+        events in prop::collection::vec((0usize..4, arb_event()), 1..8),
+    ) {
+        let threaded = run_single_daemon(TransportKind::Threads, 0, &subs, &events);
+        let sharded = run_single_daemon(TransportKind::Epoll, 4, &subs, &events);
+        prop_assert_eq!(
+            &sharded, &threaded,
+            "per-client deliveries diverge between 4-shard epoll and threaded transports"
+        );
+    }
 
     #[test]
     fn sim_and_tcp_transports_deliver_identical_event_sets(

@@ -303,8 +303,8 @@ mod codec_equivalence {
     };
     use reef::wire::{
         AutoSubEntry, AutoSubPolicy, AutoSubReceipt, ClientFrame, CodecKind, CodecStatsSnapshot,
-        Deliver, FederationStatsSnapshot, FeedChange, Request, Response, ServerFrame,
-        WireStatsSnapshot,
+        Deliver, FederationStatsSnapshot, FeedChange, LoopStatsSnapshot, Request, Response,
+        ServerFrame, WireStatsSnapshot,
     };
 
     const BOTH: [CodecKind; 2] = [CodecKind::Json, CodecKind::Binary];
@@ -529,8 +529,19 @@ mod codec_equivalence {
                     autosub_derived: mixed(seed, 50),
                     autosub_retired: mixed(seed, 51),
                     autosub_last_refresh_us: mixed(seed, 52),
+                    matcher_swaps: mixed(seed, 56),
                     json: codec_stats(seed, 15),
                     binary: codec_stats(seed, 19),
+                    loops: (0..(seed % 3))
+                        .map(|i| LoopStatsSnapshot {
+                            loop_id: i,
+                            wakeups: mixed(seed, 57 + i),
+                            read_events: mixed(seed, 60 + i),
+                            write_events: mixed(seed, 63 + i),
+                            writes_coalesced: mixed(seed, 66 + i),
+                            connections: mixed(seed, 69 + i),
+                        })
+                        .collect(),
                 },
                 federation: FederationStatsSnapshot {
                     broker_id,

@@ -7,7 +7,8 @@ use reef::attention::{Click, ClickBatch};
 use reef::pubsub::{Event, Filter};
 use reef::simweb::UserId;
 use reef::wire::{
-    AutoSubPolicy, AutosubOptions, BrokerServer, Client, CodecKind, TransportKind, WireError,
+    AutoSubPolicy, AutosubOptions, BrokerServer, Client, ClientFrame, CodecKind, Frame, Request,
+    TransportKind, WireError,
 };
 use std::time::Duration;
 
@@ -212,6 +213,90 @@ fn disabled_daemon_refuses_autosubscribe() {
         other => panic!("expected a remote error, got {other:?}"),
     }
     client.close().expect("close");
+    server.shutdown();
+}
+
+/// A *shard eviction* — not a client goodbye — must retire the evicted
+/// connection's engine-installed subscriptions. An enrolled raw socket
+/// stops reading; deliveries back up past the outbound watermark, the
+/// owning event-loop shard's stall sweep evicts it after the write
+/// timeout, and the per-shard teardown path has to run the same autosub
+/// retirement a clean disconnect does.
+#[cfg(target_os = "linux")]
+#[test]
+fn shard_eviction_retires_auto_subscriptions() {
+    let server = BrokerServer::builder()
+        .transport(TransportKind::Epoll)
+        .loop_threads(4)
+        .queue_capacity(8)
+        .write_timeout(Duration::from_millis(50))
+        .autosub(AutosubOptions::default().refresh_interval(Duration::from_secs(3600)))
+        .bind("127.0.0.1:0")
+        .expect("bind");
+
+    // Enroll over a raw socket so we control (and can stop) the reads.
+    let codec = CodecKind::Binary.codec();
+    let mut stalled = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    for (corr, request) in [
+        (
+            1,
+            Request::Hello {
+                version: 2,
+                client: "stalling-reader".into(),
+            },
+        ),
+        (
+            2,
+            Request::UploadClicks {
+                batch: news_batch(11, 5),
+            },
+        ),
+        (
+            3,
+            Request::AutoSubscribe {
+                user: UserId(11),
+                policy: None,
+            },
+        ),
+    ] {
+        codec
+            .encode_client(&ClientFrame { corr, request })
+            .expect("encode")
+            .write_to(&mut stalled)
+            .expect("write");
+        Frame::read_from(&mut stalled)
+            .expect("read reply")
+            .expect("reply");
+    }
+
+    // The derived subscription is live; now the socket goes silent while
+    // a publisher floods it with payloads big enough to fill the kernel
+    // buffers and trip the shard's stall sweep.
+    let publisher = Client::connect_as(server.local_addr(), "pub").expect("connect");
+    let payload = "x".repeat(64 * 1024);
+    let deadline = std::time::Instant::now() + 2 * WAIT;
+    loop {
+        let outcome = publisher
+            .publish(Event::topical(DERIVED_FEED, &payload))
+            .expect("publish");
+        if outcome.delivered == 0 {
+            break; // evicted and deregistered: nothing matches any more
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard never evicted the stalled connection"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Retirement was complete: no enrolled user, no active derived
+    // subscription left behind by the evicting shard.
+    let stats = server.stats();
+    assert_eq!(stats.autosub_users, 0, "{stats:?}");
+    assert_eq!(stats.autosub_active, 0, "{stats:?}");
+    assert!(stats.delivery_drops >= 1, "{stats:?}");
+    drop(stalled);
+    publisher.close().expect("close");
     server.shutdown();
 }
 

@@ -364,7 +364,7 @@ fn v1_and_v2_clients_interoperate_on_one_daemon() {
         .build();
     let ingress = |name: &str| {
         let conn = server.connection_stats();
-        let snap = conn
+        let snap = &conn
             .iter()
             .find(|c| c.client == name)
             .expect("connection listed")
