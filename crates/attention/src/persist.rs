@@ -472,7 +472,17 @@ impl Wal {
         let (active, active_seq, active_len) = match segment_seqs.last().copied() {
             Some(seq) => {
                 let path = segment_path(&cfg.dir, seq);
-                let len = fs::metadata(&path)?.len();
+                let mut len = fs::metadata(&path)?.len();
+                if len < SEGMENT_MAGIC.len() as u64 {
+                    // A crash during segment creation can leave the file
+                    // shorter than its magic (even zero bytes, which the
+                    // replay loop above cannot flag — nothing to
+                    // truncate). Appending there would put acknowledged
+                    // records in a file replay refuses to read. Rebuild
+                    // the empty segment first.
+                    truncate_segment(&path, 0)?;
+                    len = SEGMENT_MAGIC.len() as u64;
+                }
                 (OpenOptions::new().append(true).open(path)?, seq, len)
             }
             None => {
@@ -1077,6 +1087,23 @@ mod tests {
             drop(store);
             fs::write(&path, &full).expect("restore");
         }
+    }
+
+    #[test]
+    fn appends_into_a_zero_length_segment_survive_reopen() {
+        // Found by the deterministic-simulation harness (seed 15): a
+        // crash that tore a segment down to zero bytes left the reopened
+        // WAL appending into a file with no magic, so the *next*
+        // recovery discarded acknowledged records.
+        let dir = TempDir::new("emptyseg");
+        drop(DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("open"));
+        let path = wal_files(dir.path()).pop().expect("segment exists");
+        fs::write(&path, b"").expect("tear the segment to zero bytes");
+        let mut store = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("reopen");
+        store.ingest_upload(batch(0, 0..3)).expect("ingest");
+        drop(store);
+        let recovered = DurableClickStore::open(cfg(dir.path(), 1 << 20, 0)).expect("recover");
+        assert_eq!(recovered.len(), 3, "acknowledged batch must survive");
     }
 
     #[test]

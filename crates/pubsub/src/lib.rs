@@ -41,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod broker;
+pub mod clock;
 pub mod error;
 pub mod event;
 pub mod filter;
@@ -57,6 +58,7 @@ pub use broker::{
     Broker, BrokerBuilder, DeliveryNotifier, OverflowPolicy, PublishOutcome, SubscriberHandle,
     SubscriberId, DEFAULT_BLOCK_TIMEOUT,
 };
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{BrokerError, OverlayError, SchemaError};
 pub use event::{Event, EventBuilder, EventId, PublishedEvent, TOPIC_ATTR};
 pub use filter::{Filter, Op, Predicate};

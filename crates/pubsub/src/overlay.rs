@@ -525,6 +525,23 @@ impl BrokerNode {
             .map_or(0, MeshRouter::duplicates_suppressed)
     }
 
+    /// Every live mesh route as `(subscription, incoming link, path)`
+    /// triples — fast paths and alternates alike, sorted. Empty on tree
+    /// nodes. See [`MeshRouter::route_table`].
+    pub fn mesh_route_table(&self) -> Vec<(GlobalSubId, NodeId, Vec<u32>)> {
+        self.mesh
+            .as_ref()
+            .map_or_else(Vec::new, MeshRouter::route_table)
+    }
+
+    /// The fast path per remote mesh subscription, sorted. Empty on tree
+    /// nodes. See [`MeshRouter::best_routes`].
+    pub fn mesh_best_routes(&self) -> Vec<(GlobalSubId, NodeId, Vec<u32>)> {
+        self.mesh
+            .as_ref()
+            .map_or_else(Vec::new, MeshRouter::best_routes)
+    }
+
     /// Everything this node currently knows: each subscription id with
     /// its filter, local and neighbor-advertised alike.
     pub fn knowledge(&self) -> impl Iterator<Item = (GlobalSubId, &Filter)> {

@@ -323,6 +323,37 @@ impl MeshRouter {
     pub(crate) fn advertisement_count(&self) -> usize {
         self.advertised.values().map(BTreeMap::len).sum()
     }
+
+    /// Every live route: `(subscription, incoming link, broker-id path)`
+    /// triples, sorted, fast path and alternates alike. This is the raw
+    /// table a convergence oracle checks — e.g. that no retained path
+    /// crosses a dead link or broker.
+    pub fn route_table(&self) -> Vec<(GlobalSubId, NodeId, Vec<u32>)> {
+        let mut out: Vec<(GlobalSubId, NodeId, Vec<u32>)> = self
+            .routes
+            .iter()
+            .flat_map(|(sub, set)| {
+                set.via
+                    .iter()
+                    .map(move |(link, path)| (*sub, *link, path.clone()))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The fast path per subscription: `(subscription, link, path)`,
+    /// sorted by subscription. A convergence oracle compares these
+    /// against the graph's true shortest live paths.
+    pub fn best_routes(&self) -> Vec<(GlobalSubId, NodeId, Vec<u32>)> {
+        let mut out: Vec<(GlobalSubId, NodeId, Vec<u32>)> = self
+            .routes
+            .iter()
+            .filter_map(|(sub, set)| set.best().map(|(link, path)| (*sub, link, path.to_vec())))
+            .collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]

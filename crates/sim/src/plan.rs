@@ -1,0 +1,280 @@
+//! Simulation plans: the event vocabulary and the seeded generator.
+//!
+//! A [`SimPlan`] is everything a run needs — broker count, initial
+//! topology with per-link fault profiles, and an ordered step list.
+//! [`SimPlan::from_seed`] derives all of it from a single `u64`, so a
+//! failing run is reported (and replayed) as just that seed. Explicit
+//! plans can also be built by hand to port wall-clock integration
+//! scenarios (ring failover, crash kill-points) onto virtual time.
+//!
+//! Every step is *tolerant*: applying it to a world where its
+//! precondition no longer holds (killing a dead broker, downing an
+//! absent link) is a no-op. That property is what lets the trace
+//! minimizer replay arbitrary subsets of a failing plan.
+
+use crate::net::LinkFaults;
+use crate::rng::SimRng;
+use std::collections::BTreeSet;
+
+/// One scheduled perturbation or workload action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimStep {
+    /// Take the link between two brokers down (keepalive-style
+    /// teardown: both ends withdraw routes immediately).
+    LinkDown {
+        /// One endpoint (broker index).
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// Bring a link up (or add a brand-new one) with a fault profile.
+    LinkUp {
+        /// One endpoint (broker index).
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Fault distribution for the revived link.
+        faults: LinkFaults,
+    },
+    /// Partition the network: `group` vs everyone else. Links crossing
+    /// the boundary are torn down as keepalives would tear them down.
+    Partition {
+        /// Brokers on one side of the split.
+        group: BTreeSet<usize>,
+    },
+    /// Heal the partition and re-establish every administratively-up
+    /// link.
+    Heal,
+    /// Crash a broker: neighbors see the link die, volatile state is
+    /// lost, and optionally the tail of its last WAL segment is torn
+    /// off (simulating a crash mid-write).
+    Kill {
+        /// Broker index to crash.
+        broker: usize,
+        /// Bytes to shear off the final WAL segment (0 = clean kill).
+        torn: u16,
+    },
+    /// Restart a crashed broker: replay its WAL through real recovery,
+    /// check the recovered store against the acked history, rejoin the
+    /// mesh, and re-issue local subscriptions.
+    Restart {
+        /// Broker index to revive.
+        broker: usize,
+    },
+    /// Upload a click batch to a broker's durable store; `forged`
+    /// injects a click with a mismatched user cookie, which the store
+    /// must reject without poisoning the rest of the batch.
+    ClickUpload {
+        /// Broker index receiving the upload.
+        broker: usize,
+        /// Whether to include a forged-cookie click.
+        forged: bool,
+    },
+}
+
+/// A complete, replayable description of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimPlan {
+    /// Seed the plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// Number of broker nodes, indexed `0..brokers`.
+    pub brokers: usize,
+    /// Initial links as `(a, b, faults)` with `a < b`.
+    pub links: Vec<(usize, usize, LinkFaults)>,
+    /// Ordered perturbations applied after initial convergence.
+    pub steps: Vec<SimStep>,
+}
+
+impl SimPlan {
+    /// Derive a full plan — topology, fault profiles, step schedule —
+    /// from `seed`. The same seed always yields the same plan.
+    pub fn from_seed(seed: u64) -> SimPlan {
+        // A derived stream, so plan-shape draws never interleave with
+        // the execution stream's fault draws.
+        let mut rng = SimRng::new(seed ^ 0xA5A5_5A5A_F00D_CAFE);
+        let brokers = 3 + rng.below(3); // 3..=5
+        let mut links = Vec::new();
+        // Ring backbone: every broker reachable even before chords.
+        for a in 0..brokers {
+            let b = (a + 1) % brokers;
+            let (a, b) = (a.min(b), a.max(b));
+            links.push((a, b, random_faults(&mut rng)));
+        }
+        // Random chords give the mesh real alternate paths.
+        for a in 0..brokers {
+            for b in (a + 2)..brokers {
+                if (a, b) != (0, brokers - 1) && rng.chance(0.4) {
+                    links.push((a, b, random_faults(&mut rng)));
+                }
+            }
+        }
+        links.sort_by_key(|&(a, b, _)| (a, b));
+
+        let step_count = 10 + rng.below(5);
+        let mut steps = Vec::with_capacity(step_count);
+        let mut down: Vec<(usize, usize)> = Vec::new();
+        let mut dead: BTreeSet<usize> = BTreeSet::new();
+        let mut partitioned = false;
+        for _ in 0..step_count {
+            steps.push(random_step(
+                &mut rng,
+                brokers,
+                &links,
+                &mut down,
+                &mut dead,
+                &mut partitioned,
+            ));
+        }
+        // End on a healed, fully-revived world so the final oracle pass
+        // checks global convergence, not just a partial island.
+        if partitioned {
+            steps.push(SimStep::Heal);
+        }
+        for broker in dead {
+            steps.push(SimStep::Restart { broker });
+        }
+        for (a, b) in down {
+            steps.push(SimStep::LinkUp {
+                a,
+                b,
+                faults: random_faults(&mut rng),
+            });
+        }
+
+        SimPlan {
+            seed,
+            brokers,
+            links,
+            steps,
+        }
+    }
+}
+
+fn random_faults(rng: &mut SimRng) -> LinkFaults {
+    let delay_min = rng.range(0, 2);
+    LinkFaults {
+        drop_p: rng.fraction(0.3),
+        dup_p: rng.fraction(0.3),
+        delay_min,
+        delay_max: delay_min + rng.range(0, 3),
+    }
+}
+
+/// Draw one step, tracking enough plan-time state (`down`, `dead`,
+/// `partitioned`) to keep the schedule interesting — e.g. restarts are
+/// only scheduled for brokers some earlier step killed.
+fn random_step(
+    rng: &mut SimRng,
+    brokers: usize,
+    links: &[(usize, usize, LinkFaults)],
+    down: &mut Vec<(usize, usize)>,
+    dead: &mut BTreeSet<usize>,
+    partitioned: &mut bool,
+) -> SimStep {
+    loop {
+        match rng.below(8) {
+            0 | 1 => {
+                // Uploads are the workload that feeds the WAL oracle.
+                return SimStep::ClickUpload {
+                    broker: rng.below(brokers),
+                    forged: rng.chance(0.25),
+                };
+            }
+            2 => {
+                if let Some(&(a, b, _)) = links.get(rng.below(links.len())) {
+                    if !down.contains(&(a, b)) {
+                        down.push((a, b));
+                        return SimStep::LinkDown { a, b };
+                    }
+                }
+            }
+            3 => {
+                if let Some(i) = (!down.is_empty()).then(|| rng.below(down.len())) {
+                    let (a, b) = down.remove(i);
+                    return SimStep::LinkUp {
+                        a,
+                        b,
+                        faults: random_faults(rng),
+                    };
+                }
+            }
+            4 => {
+                // Kill at most one broker at a time: the oracles want a
+                // connected majority to keep asserting against.
+                if dead.is_empty() {
+                    let broker = rng.below(brokers);
+                    dead.insert(broker);
+                    let torn = if rng.chance(0.5) {
+                        rng.range(1, 32) as u16
+                    } else {
+                        0
+                    };
+                    return SimStep::Kill { broker, torn };
+                }
+            }
+            5 => {
+                if let Some(&broker) = dead.iter().next() {
+                    dead.remove(&broker);
+                    return SimStep::Restart { broker };
+                }
+            }
+            6 => {
+                if !*partitioned && brokers >= 3 {
+                    *partitioned = true;
+                    // A singleton split: the minority island must see
+                    // zero traffic from the rest.
+                    let group: BTreeSet<usize> = [rng.below(brokers)].into_iter().collect();
+                    return SimStep::Partition { group };
+                }
+            }
+            _ => {
+                if *partitioned {
+                    *partitioned = false;
+                    return SimStep::Heal;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..50 {
+            let a = SimPlan::from_seed(seed);
+            let b = SimPlan::from_seed(seed);
+            assert_eq!(a.brokers, b.brokers);
+            assert_eq!(a.links, b.links);
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    #[test]
+    fn plans_end_whole() {
+        // The generator promises to heal and revive before the final
+        // oracle pass.
+        for seed in 0..50 {
+            let plan = SimPlan::from_seed(seed);
+            let mut dead: BTreeSet<usize> = BTreeSet::new();
+            let mut partitioned = false;
+            for step in &plan.steps {
+                match step {
+                    SimStep::Kill { broker, .. } => {
+                        dead.insert(*broker);
+                    }
+                    SimStep::Restart { broker } => {
+                        dead.remove(broker);
+                    }
+                    SimStep::Partition { .. } => partitioned = true,
+                    SimStep::Heal => partitioned = false,
+                    _ => {}
+                }
+            }
+            assert!(dead.is_empty(), "seed {seed} leaves a broker dead");
+            assert!(!partitioned, "seed {seed} leaves a partition");
+        }
+    }
+}

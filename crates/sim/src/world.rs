@@ -1,0 +1,952 @@
+//! The simulated federation: N real broker cores, one virtual clock,
+//! four oracles, and a trace minimizer.
+//!
+//! Each simulated broker is a real [`BrokerNode`] in mesh mode plus a
+//! real [`DurableClickStore`] persisting to its own on-disk directory —
+//! the exact state machines the TCP federation drives, with every
+//! ambient effect (time, randomness, sockets) replaced by the harness.
+//! Killing a broker drops its in-memory state and optionally shears
+//! bytes off its last WAL segment; restarting replays the WAL bytes
+//! through the real recovery path and checks the result against the
+//! acknowledged upload history.
+//!
+//! # Oracles
+//!
+//! Checked at every quiescent point (after each plan step settles and
+//! stabilizes):
+//!
+//! 1. **exactly-once delivery** — a probe event published at a random
+//!    live broker reaches every matching subscription on every live,
+//!    reachable broker exactly once, and no one else, with duplication
+//!    faults still active;
+//! 2. **convergence** — every broker's fast path to every reachable
+//!    subscription has exactly the graph's shortest-path length;
+//! 3. **no dead state** — no retained route (fast path or alternate)
+//!    crosses a dead link, names a dead broker, or targets a retired
+//!    subscription;
+//! 4. **acknowledged prefix** — a restarted broker's recovered store is
+//!    a batch-boundary prefix of its acknowledged uploads, and the whole
+//!    history when the kill was clean.
+//!
+//! On failure, [`run_seed`] re-executes subsets of the plan's step list
+//! (ddmin-style — every step is a tolerant no-op when its precondition
+//! is gone, so any subset is a valid plan) and reports the seed plus the
+//! minimized trace.
+
+use crate::net::{FaultyNet, NetFaultStats};
+use crate::plan::{SimPlan, SimStep};
+use crate::rng::SimRng;
+use reef_attention::{Click, ClickBatch, DurableClickStore, PersistConfig};
+use reef_pubsub::{
+    BrokerNode, ClientId, Event, EventId, Filter, GlobalSubId, NodeId, PublishedEvent,
+};
+use reef_simweb::UserId;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Delivered-message budget per settle phase; exceeding it means the
+/// protocol is flooding (itself an oracle failure, not a hang).
+const SETTLE_BUDGET: u64 = 200_000;
+
+/// User id reserved for forged-cookie clicks; it must never appear in
+/// any recovered store.
+const FORGED_USER: UserId = UserId(u32::MAX);
+
+/// WAL segment rotation threshold — tiny, so every run exercises
+/// multi-segment recovery.
+const SEGMENT_BYTES: u64 = 512;
+
+/// Snapshot cadence in batches — small, so compaction runs too.
+const SNAPSHOT_EVERY: u64 = 3;
+
+/// Counters summarizing one successful simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Plan steps executed.
+    pub steps: u64,
+    /// Probe events published and verified exactly-once.
+    pub probes: u64,
+    /// Click batches acknowledged across all brokers.
+    pub uploads: u64,
+    /// Broker restarts that passed WAL recovery checks.
+    pub restarts: u64,
+    /// Link resets forced by drop faults (broken-connection model).
+    pub link_resets: u64,
+    /// What the fault injector did at the network layer.
+    pub net: NetFaultStats,
+}
+
+/// A failed run: the seed to replay it and the minimized step trace
+/// that still reproduces a failure.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    /// Seed that produced the failing plan.
+    pub seed: u64,
+    /// The first oracle violation, with step context.
+    pub reason: String,
+    /// ddmin-reduced step list that still fails under this seed.
+    pub minimized: Vec<SimStep>,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "simulation failed for seed {}", self.seed)?;
+        writeln!(f, "  reason: {}", self.reason)?;
+        writeln!(f, "  minimized trace ({} steps):", self.minimized.len())?;
+        for step in &self.minimized {
+            writeln!(f, "    {step:?}")?;
+        }
+        write!(
+            f,
+            "  replay: reef_sim::run_seed({}) or REEF_SIM_SEED={} cargo test -p reef-sim",
+            self.seed, self.seed
+        )
+    }
+}
+
+/// Run the full derived plan for `seed`; on oracle failure, minimize
+/// the step trace and return it with the seed.
+///
+/// # Errors
+///
+/// Returns [`SimFailure`] when any oracle is violated; the same seed
+/// deterministically reproduces the identical failure.
+pub fn run_seed(seed: u64) -> Result<SimStats, SimFailure> {
+    let plan = SimPlan::from_seed(seed);
+    match execute_plan(&plan) {
+        Ok(stats) => Ok(stats),
+        Err(reason) => Err(SimFailure {
+            seed,
+            reason,
+            minimized: minimize(&plan),
+        }),
+    }
+}
+
+/// Execute one plan to completion, checking every oracle at every
+/// quiescent point.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first oracle violation
+/// (or I/O failure in the persistence layer), prefixed with the step
+/// that triggered it.
+pub fn execute_plan(plan: &SimPlan) -> Result<SimStats, String> {
+    let mut world = World::new(plan)?;
+    world.quiesce_and_check("initial convergence")?;
+    for (idx, step) in plan.steps.iter().enumerate() {
+        let ctx = format!("step {idx} {step:?}");
+        world.net.set_lossy(true);
+        world.apply(step).map_err(|e| format!("{ctx}: {e}"))?;
+        world
+            .quiesce_and_check(&ctx)
+            .map_err(|e| format!("{ctx}: {e}"))?;
+        world.stats.steps += 1;
+    }
+    world.stats.net = world.net.stats();
+    Ok(world.stats)
+}
+
+/// ddmin-style reduction: repeatedly drop chunks of the step list as
+/// long as some subset still fails. Any failure counts — the goal is
+/// the smallest trace worth reading, not the identical symptom.
+fn minimize(plan: &SimPlan) -> Vec<SimStep> {
+    let fails = |steps: &[SimStep]| {
+        let candidate = SimPlan {
+            steps: steps.to_vec(),
+            ..plan.clone()
+        };
+        execute_plan(&candidate).is_err()
+    };
+    let mut steps = plan.steps.clone();
+    if fails(&[]) {
+        return Vec::new();
+    }
+    let mut n = 2usize;
+    while steps.len() >= 2 {
+        let chunk = steps.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < steps.len() {
+            let end = (start + chunk).min(steps.len());
+            let mut candidate = steps[..start].to_vec();
+            candidate.extend_from_slice(&steps[end..]);
+            if fails(&candidate) {
+                steps = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(steps.len());
+        }
+    }
+    steps
+}
+
+/// A link's administrative and connection state.
+#[derive(Debug)]
+struct LinkState {
+    /// Administratively up (a `LinkDown` step flips this off).
+    up: bool,
+    /// Fault profile drawn at plan time.
+    faults: crate::net::LinkFaults,
+    /// Live connection epoch: `(handle at a for b, handle at b for a)`
+    /// for the normalized key `(a, b)`; `None` while disconnected.
+    conn: Option<(NodeId, NodeId)>,
+}
+
+/// One simulated broker: the real routing core plus the real durable
+/// store, and the bookkeeping the oracles need.
+struct SimNode {
+    /// The routing state machine; `None` while crashed.
+    broker: Option<BrokerNode>,
+    /// This node's link handles → peer broker index.
+    peer_of: BTreeMap<NodeId, usize>,
+    /// Live local subscriptions: `(sub, client, topic)`.
+    subs: Vec<(GlobalSubId, ClientId, &'static str)>,
+    /// The durable click store; `None` while crashed.
+    store: Option<DurableClickStore>,
+    /// Data directory holding this broker's WAL across kills.
+    data_dir: PathBuf,
+    /// Acknowledged upload batches (accepted clicks only), in order.
+    acked: Vec<Vec<Click>>,
+    /// Monotonic click tick, unique across this broker's uploads.
+    next_tick: u64,
+    /// Bytes sheared off the WAL tail by the last kill (0 = clean).
+    last_kill_torn: u16,
+}
+
+impl SimNode {
+    fn alive(&self) -> bool {
+        self.broker.is_some()
+    }
+}
+
+/// The whole simulated federation.
+struct World {
+    rng: SimRng,
+    net: FaultyNet,
+    nodes: Vec<SimNode>,
+    /// Normalized `(a, b)` with `a < b` → link state.
+    topo: BTreeMap<(usize, usize), LinkState>,
+    next_node_id: u32,
+    next_sub: u64,
+    next_event: u64,
+    /// Deliveries observed during the current probe:
+    /// `(broker, client, event id) → count`.
+    probe_log: BTreeMap<(usize, u64, u64), u64>,
+    stats: SimStats,
+    base_dir: PathBuf,
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        // Stores hold open files in `base_dir`; close them first.
+        for node in &mut self.nodes {
+            node.store = None;
+        }
+        let _ = fs::remove_dir_all(&self.base_dir);
+    }
+}
+
+impl World {
+    fn new(plan: &SimPlan) -> Result<World, String> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+        let base_dir = std::env::temp_dir().join(format!(
+            "reef-sim-{}-{}",
+            std::process::id(),
+            NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut world = World {
+            rng: SimRng::new(plan.seed),
+            net: FaultyNet::new(),
+            nodes: Vec::new(),
+            topo: BTreeMap::new(),
+            next_node_id: 0,
+            next_sub: 0,
+            next_event: 0,
+            probe_log: BTreeMap::new(),
+            stats: SimStats::default(),
+            base_dir,
+        };
+        for i in 0..plan.brokers {
+            let data_dir = world.base_dir.join(format!("broker-{i}"));
+            let store = DurableClickStore::open(persist_config(&data_dir))
+                .map_err(|e| format!("broker {i}: open store: {e}"))?;
+            world.nodes.push(SimNode {
+                broker: Some(BrokerNode::new_mesh(i as u32)),
+                peer_of: BTreeMap::new(),
+                subs: Vec::new(),
+                store: Some(store),
+                data_dir,
+                acked: Vec::new(),
+                next_tick: 0,
+                last_kill_torn: 0,
+            });
+            world.subscribe_locals(i);
+        }
+        for &(a, b, faults) in &plan.links {
+            if a == b || a.max(b) >= plan.brokers {
+                return Err(format!("plan names an invalid link ({a}, {b})"));
+            }
+            world.topo.insert(
+                (a.min(b), a.max(b)),
+                LinkState {
+                    up: true,
+                    faults,
+                    conn: None,
+                },
+            );
+        }
+        let keys: Vec<(usize, usize)> = world.topo.keys().copied().collect();
+        for (a, b) in keys {
+            world.connect(a, b);
+        }
+        Ok(world)
+    }
+
+    /// Issue this broker's standing subscriptions: every broker follows
+    /// `probe`, even-indexed brokers also follow `alt` (so the two probe
+    /// topics exercise full and partial fan-out).
+    fn subscribe_locals(&mut self, i: usize) {
+        let mut wanted: Vec<&'static str> = vec!["probe"];
+        if i.is_multiple_of(2) {
+            wanted.push("alt");
+        }
+        self.nodes[i].subs.clear();
+        for topic in wanted {
+            let sub = GlobalSubId(self.next_sub);
+            let client = ClientId(self.next_sub);
+            self.next_sub += 1;
+            self.nodes[i].subs.push((sub, client, topic));
+            let out = self.nodes[i]
+                .broker
+                .as_mut()
+                .expect("subscribing on a live broker")
+                .subscribe_local(sub, client, Filter::topic(topic));
+            self.route(i, out);
+        }
+    }
+
+    /// Feed a broker's outgoing messages into the network, resolving
+    /// each link handle to the peer, the link's fault profile, and the
+    /// receiver-side handle of the current connection epoch.
+    fn route(&mut self, src: usize, msgs: Vec<(NodeId, PeerMsg)>) {
+        for (handle, msg) in msgs {
+            let Some(&dst) = self.nodes[src].peer_of.get(&handle) else {
+                continue;
+            };
+            let key = (src.min(dst), src.max(dst));
+            let Some(link) = self.topo.get(&key) else {
+                continue;
+            };
+            let Some((ha, hb)) = link.conn else {
+                continue;
+            };
+            let recv_handle = if src == key.0 { hb } else { ha };
+            self.net
+                .send(src, dst, recv_handle, msg, link.faults, &mut self.rng);
+        }
+    }
+
+    /// Drain the network to quiescence, feeding every delivery through
+    /// the real `BrokerNode::handle` and routing its follow-ups.
+    fn settle(&mut self) -> Result<(), String> {
+        for _ in 0..SETTLE_BUDGET {
+            let Some(d) = self.net.pop() else {
+                return Ok(());
+            };
+            let node = &mut self.nodes[d.dst];
+            let Some(broker) = node.broker.as_mut() else {
+                continue; // delivered to a crashed broker: lost, as on a dead socket
+            };
+            if node.peer_of.get(&d.handle) != Some(&d.src) {
+                continue; // stale connection epoch: the link was reset in flight
+            }
+            let out = broker.handle(d.handle, d.msg);
+            for (client, event) in &out.deliveries {
+                *self
+                    .probe_log
+                    .entry((d.dst, client.0, event.id.0))
+                    .or_insert(0) += 1;
+            }
+            self.route(d.dst, out.messages);
+        }
+        Err(format!(
+            "settle exceeded {SETTLE_BUDGET} deliveries: the protocol is flooding"
+        ))
+    }
+
+    /// Establish the connection on link `(a, b)` if it is up, both ends
+    /// are alive, and no partition separates them. Idempotent.
+    fn connect(&mut self, a: usize, b: usize) {
+        let key = (a.min(b), a.max(b));
+        if self.net.partitioned(key.0, key.1)
+            || !self.nodes[key.0].alive()
+            || !self.nodes[key.1].alive()
+        {
+            return;
+        }
+        let Some(link) = self.topo.get_mut(&key) else {
+            return;
+        };
+        if !link.up || link.conn.is_some() {
+            return;
+        }
+        let ha = NodeId(self.next_node_id);
+        let hb = NodeId(self.next_node_id + 1);
+        self.next_node_id += 2;
+        link.conn = Some((ha, hb));
+        self.nodes[key.0].peer_of.insert(ha, key.1);
+        self.nodes[key.1].peer_of.insert(hb, key.0);
+        for (idx, handle, peer) in [(key.0, ha, key.1 as u32), (key.1, hb, key.0 as u32)] {
+            let out = self.nodes[idx]
+                .broker
+                .as_mut()
+                .expect("connect checked liveness")
+                .add_mesh_neighbor(handle, peer);
+            self.route(idx, out);
+        }
+    }
+
+    /// Tear down the connection on link `(a, b)`, if any. Both
+    /// surviving ends run the real `remove_neighbor` teardown (route
+    /// withdrawal + re-advertisement); a broker named in `dying` is
+    /// crashing and sends nothing.
+    fn disconnect(&mut self, a: usize, b: usize, dying: Option<usize>) {
+        let key = (a.min(b), a.max(b));
+        let Some(link) = self.topo.get_mut(&key) else {
+            return;
+        };
+        let Some((ha, hb)) = link.conn.take() else {
+            return;
+        };
+        self.nodes[key.0].peer_of.remove(&ha);
+        self.nodes[key.1].peer_of.remove(&hb);
+        for (idx, handle) in [(key.0, ha), (key.1, hb)] {
+            if dying == Some(idx) {
+                continue;
+            }
+            if let Some(broker) = self.nodes[idx].broker.as_mut() {
+                let out = broker.remove_neighbor(handle);
+                self.route(idx, out);
+            }
+        }
+    }
+
+    /// Reset every link that dropped a message — the broken-connection
+    /// model: a drop is a dead TCP connection, and reconnecting through
+    /// the real teardown/handshake path regenerates the state the drop
+    /// destroyed. Resets can trip further links while drops stay
+    /// enabled, so after a bounded number of lossy rounds the cascade is
+    /// finished loss-free (the fairness assumption).
+    fn reset_tripped(&mut self) -> Result<(), String> {
+        for round in 0..16 {
+            if round == 12 {
+                self.net.set_lossy(false);
+            }
+            let tripped = self.net.take_tripped();
+            if tripped.is_empty() {
+                return Ok(());
+            }
+            for (a, b) in tripped {
+                self.stats.link_resets += 1;
+                self.disconnect(a, b, None);
+                self.connect(a, b);
+            }
+            self.settle()?;
+        }
+        Err("link-reset cascade failed to terminate".into())
+    }
+
+    /// Drive every live broker's periodic refresh until routing tables
+    /// reach a fixpoint (two identical consecutive quiescent snapshots),
+    /// loss-free. Duplication and delay faults stay on.
+    fn stabilize(&mut self) -> Result<(), String> {
+        self.net.set_lossy(false);
+        type RouteSnapshot = Vec<Vec<(GlobalSubId, NodeId, Vec<u32>)>>;
+        let mut prev: Option<RouteSnapshot> = None;
+        for _ in 0..(2 * self.nodes.len() + 4) {
+            for i in 0..self.nodes.len() {
+                if let Some(broker) = self.nodes[i].broker.as_mut() {
+                    let out = broker.refresh();
+                    self.route(i, out);
+                }
+            }
+            self.settle()?;
+            let snap: Vec<Vec<(GlobalSubId, NodeId, Vec<u32>)>> = self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.broker
+                        .as_ref()
+                        .map_or_else(Vec::new, BrokerNode::mesh_route_table)
+                })
+                .collect();
+            if prev.as_ref() == Some(&snap) {
+                return Ok(());
+            }
+            prev = Some(snap);
+        }
+        Err("routing tables did not reach a fixpoint within the refresh bound".into())
+    }
+
+    /// Settle, reset tripped links, stabilize, then run the routing and
+    /// delivery oracles — the full quiescent-point check.
+    fn quiesce_and_check(&mut self, ctx: &str) -> Result<(), String> {
+        self.settle()?;
+        self.reset_tripped()?;
+        self.stabilize()?;
+        self.check_routing()
+            .map_err(|e| format!("routing oracle after {ctx}: {e}"))?;
+        self.probe()
+            .map_err(|e| format!("delivery oracle after {ctx}: {e}"))
+    }
+
+    /// Hop distances from `start` over live, connected links.
+    fn distances(&self, start: usize) -> BTreeMap<usize, usize> {
+        let mut dist = BTreeMap::new();
+        if !self.nodes[start].alive() {
+            return dist;
+        }
+        dist.insert(start, 0);
+        let mut frontier = vec![start];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for (&(a, b), link) in &self.topo {
+                    if link.conn.is_none() || (a != n && b != n) {
+                        continue;
+                    }
+                    let other = if a == n { b } else { a };
+                    if self.nodes[other].alive() && !dist.contains_key(&other) {
+                        dist.insert(other, dist[&n] + 1);
+                        next.push(other);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    /// Oracles 2 and 3: every retained route is structurally live, and
+    /// every fast path is exactly as long as the graph's shortest path
+    /// to the subscription's owner — no more, no less, and complete.
+    fn check_routing(&self) -> Result<(), String> {
+        let owners: BTreeMap<GlobalSubId, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive())
+            .flat_map(|(i, n)| n.subs.iter().map(move |&(sub, _, _)| (sub, i)))
+            .collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.alive() {
+                continue;
+            }
+            let broker = node.broker.as_ref().expect("checked alive");
+            let dist = self.distances(i);
+            for (sub, link, path) in broker.mesh_route_table() {
+                if !node.peer_of.contains_key(&link) {
+                    return Err(format!(
+                        "broker {i} retains a route for {sub:?} via dead link {link:?}"
+                    ));
+                }
+                let Some(&owner) = owners.get(&sub) else {
+                    return Err(format!(
+                        "broker {i} retains a route for retired subscription {sub:?} (path {path:?})"
+                    ));
+                };
+                if path.first() != Some(&(owner as u32)) {
+                    return Err(format!(
+                        "broker {i}: route for {sub:?} has path {path:?}, expected origin {owner}"
+                    ));
+                }
+                for &hop in &path {
+                    let hop = hop as usize;
+                    if hop >= self.nodes.len() || !self.nodes[hop].alive() {
+                        return Err(format!(
+                            "broker {i}: route for {sub:?} crosses dead broker {hop} (path {path:?})"
+                        ));
+                    }
+                }
+            }
+            let best: BTreeMap<GlobalSubId, Vec<u32>> = broker
+                .mesh_best_routes()
+                .into_iter()
+                .map(|(sub, _, path)| (sub, path))
+                .collect();
+            for (&sub, &owner) in &owners {
+                if owner == i {
+                    continue;
+                }
+                match (best.get(&sub), dist.get(&owner)) {
+                    (Some(path), Some(&d)) => {
+                        if path.len() != d {
+                            return Err(format!(
+                                "broker {i}: fast path to {sub:?} (owner {owner}) is {path:?}, \
+                                 expected length {d}"
+                            ));
+                        }
+                    }
+                    (Some(path), None) => {
+                        return Err(format!(
+                            "broker {i}: retains fast path {path:?} to {sub:?} on unreachable \
+                             broker {owner}"
+                        ));
+                    }
+                    (None, Some(_)) => {
+                        return Err(format!(
+                            "broker {i}: no route to {sub:?} on reachable broker {owner}"
+                        ));
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Oracle 1: publish one probe per topic from a random live broker
+    /// and demand exactly-once delivery on every reachable matching
+    /// subscription, zero everywhere else — with duplication and delay
+    /// faults still live.
+    fn probe(&mut self) -> Result<(), String> {
+        let live: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive())
+            .collect();
+        let Some(&publisher) = live.get(self.rng.below(live.len())).or(live.first()) else {
+            return Ok(());
+        };
+        let reachable = self.distances(publisher);
+        for topic in ["probe", "alt"] {
+            let id = EventId(((publisher as u64) << 32) | self.next_event);
+            self.next_event += 1;
+            let event = PublishedEvent {
+                id,
+                published_at: self.net.now(),
+                event: Event::topical(topic, "sim probe"),
+            };
+            self.probe_log.clear();
+            let out = self.nodes[publisher]
+                .broker
+                .as_mut()
+                .expect("publisher is live")
+                .publish_local(event);
+            for (client, ev) in &out.deliveries {
+                *self
+                    .probe_log
+                    .entry((publisher, client.0, ev.id.0))
+                    .or_insert(0) += 1;
+            }
+            self.route(publisher, out.messages);
+            self.settle()?;
+            let mut expected: BTreeMap<(usize, u64, u64), u64> = BTreeMap::new();
+            for &i in &live {
+                if !reachable.contains_key(&i) {
+                    continue;
+                }
+                for &(_, client, sub_topic) in &self.nodes[i].subs {
+                    if sub_topic == topic {
+                        expected.insert((i, client.0, id.0), 1);
+                    }
+                }
+            }
+            if self.probe_log != expected {
+                return Err(format!(
+                    "probe {id:?} on topic {topic:?} from broker {publisher}: \
+                     deliveries {:?} != expected {:?}",
+                    self.probe_log, expected
+                ));
+            }
+            self.stats.probes += 1;
+        }
+        Ok(())
+    }
+
+    /// Apply one plan step. Every step tolerates a world where its
+    /// precondition is gone (restart of a live broker, downing a dead
+    /// link…) so the minimizer can replay arbitrary subsets.
+    fn apply(&mut self, step: &SimStep) -> Result<(), String> {
+        match step {
+            SimStep::LinkDown { a, b } => {
+                if let Some(link) = self.topo.get_mut(&(*a.min(b), *a.max(b))) {
+                    link.up = false;
+                }
+                self.disconnect(*a, *b, None);
+            }
+            SimStep::LinkUp { a, b, faults } => {
+                if let Some(link) = self.topo.get_mut(&(*a.min(b), *a.max(b))) {
+                    link.up = true;
+                    link.faults = *faults;
+                }
+                self.connect(*a, *b);
+            }
+            SimStep::Partition { group } => {
+                self.net.partition(group.clone());
+                let keys: Vec<(usize, usize)> = self.topo.keys().copied().collect();
+                for (a, b) in keys {
+                    if self.net.partitioned(a, b) {
+                        self.disconnect(a, b, None);
+                    }
+                }
+            }
+            SimStep::Heal => {
+                self.net.heal();
+                let keys: Vec<(usize, usize)> = self.topo.keys().copied().collect();
+                for (a, b) in keys {
+                    self.connect(a, b);
+                }
+            }
+            SimStep::Kill { broker, torn } => self.kill(*broker, *torn)?,
+            SimStep::Restart { broker } => self.restart(*broker)?,
+            SimStep::ClickUpload { broker, forged } => self.upload(*broker, *forged)?,
+        }
+        Ok(())
+    }
+
+    /// Crash a broker: neighbors observe the links die, volatile state
+    /// vanishes, and `torn` bytes are sheared off the WAL tail (a crash
+    /// mid-write, past what the flush-then-ack discipline covers).
+    fn kill(&mut self, broker: usize, torn: u16) -> Result<(), String> {
+        if !self.nodes[broker].alive() {
+            return Ok(());
+        }
+        let keys: Vec<(usize, usize)> = self.topo.keys().copied().collect();
+        for (a, b) in keys {
+            if a == broker || b == broker {
+                self.disconnect(a, b, Some(broker));
+            }
+        }
+        let node = &mut self.nodes[broker];
+        node.broker = None;
+        node.store = None; // closes the WAL file handles
+        node.subs.clear();
+        node.peer_of.clear();
+        node.last_kill_torn = torn;
+        if torn > 0 {
+            tear_wal_tail(&node.data_dir, torn)
+                .map_err(|e| format!("broker {broker}: tearing WAL tail: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Restart a crashed broker: run real WAL recovery over whatever
+    /// bytes the kill left, check oracle 4, rejoin the mesh, and
+    /// re-issue local subscriptions under fresh ids.
+    fn restart(&mut self, broker: usize) -> Result<(), String> {
+        if self.nodes[broker].alive() {
+            return Ok(());
+        }
+        let node = &mut self.nodes[broker];
+        let store = DurableClickStore::open(persist_config(&node.data_dir))
+            .map_err(|e| format!("broker {broker}: recovery: {e}"))?;
+        let recovered = store.clicks_of(UserId(broker as u32));
+        if !store.clicks_of(FORGED_USER).is_empty() {
+            return Err(format!(
+                "broker {broker}: recovery resurrected forged-cookie clicks"
+            ));
+        }
+        let mut consumed = 0usize;
+        let mut batches_kept = 0usize;
+        for batch in &node.acked {
+            let end = consumed + batch.len();
+            if recovered.len() >= end && recovered[consumed..end] == batch[..] {
+                consumed = end;
+                batches_kept += 1;
+            } else {
+                break;
+            }
+        }
+        if consumed != recovered.len() {
+            return Err(format!(
+                "broker {broker}: recovered store is not a batch prefix of the acked history \
+                 ({} recovered clicks, {} match acked batches)",
+                recovered.len(),
+                consumed
+            ));
+        }
+        if node.last_kill_torn == 0 && batches_kept != node.acked.len() {
+            return Err(format!(
+                "broker {broker}: clean kill lost acked batches ({batches_kept} of {} recovered)",
+                node.acked.len()
+            ));
+        }
+        node.acked.truncate(batches_kept);
+        node.store = Some(store);
+        node.broker = Some(BrokerNode::new_mesh(broker as u32));
+        self.stats.restarts += 1;
+        self.subscribe_locals(broker);
+        let keys: Vec<(usize, usize)> = self.topo.keys().copied().collect();
+        for (a, b) in keys {
+            if a == broker || b == broker {
+                self.connect(a, b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Upload one click batch to a broker's durable store; when
+    /// `forged` is set the batch carries one wrong-cookie click the
+    /// store must reject without poisoning the rest.
+    fn upload(&mut self, broker: usize, forged: bool) -> Result<(), String> {
+        if self.nodes[broker].store.is_none() {
+            return Ok(());
+        }
+        let count = 1 + self.rng.below(3);
+        let node = &mut self.nodes[broker];
+        let user = UserId(broker as u32);
+        let valid: Vec<Click> = (0..count)
+            .map(|_| {
+                let tick = node.next_tick;
+                node.next_tick += 1;
+                Click {
+                    user,
+                    day: (tick / 10) as u32,
+                    tick,
+                    url: format!("http://site{broker}.example/p{tick}"),
+                    referrer: tick
+                        .is_multiple_of(2)
+                        .then(|| format!("http://ref{broker}.example/")),
+                }
+            })
+            .collect();
+        let mut clicks = valid.clone();
+        if forged {
+            clicks.push(Click {
+                user: FORGED_USER,
+                day: 0,
+                tick: node.next_tick,
+                url: "http://forged.example/".into(),
+                referrer: None,
+            });
+        }
+        let receipt = node
+            .store
+            .as_mut()
+            .expect("checked above")
+            .ingest_upload(ClickBatch { user, clicks })
+            .map_err(|e| format!("broker {broker}: upload: {e}"))?;
+        if receipt.accepted != valid.len() as u64 || receipt.rejected != u64::from(forged) {
+            return Err(format!(
+                "broker {broker}: upload receipt {receipt:?} does not match the batch \
+                 ({} valid, forged={forged})",
+                valid.len()
+            ));
+        }
+        node.acked.push(valid);
+        self.stats.uploads += 1;
+        Ok(())
+    }
+}
+
+use reef_pubsub::PeerMsg;
+
+fn persist_config(dir: &Path) -> PersistConfig {
+    PersistConfig {
+        dir: dir.to_path_buf(),
+        segment_bytes: SEGMENT_BYTES,
+        snapshot_every: SNAPSHOT_EVERY,
+    }
+}
+
+/// Shear `torn` bytes off the end of the newest WAL segment, simulating
+/// a crash that outran the OS flush.
+fn tear_wal_tail(dir: &Path, torn: u16) -> std::io::Result<()> {
+    let mut segments: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    segments.sort();
+    if let Some(path) = segments.pop() {
+        let len = fs::metadata(&path)?.len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&path)?
+            .set_len(len.saturating_sub(u64::from(torn)))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_ring_converges_and_delivers() {
+        let plan = SimPlan {
+            seed: 0,
+            brokers: 3,
+            links: vec![
+                (0, 1, crate::net::LinkFaults::default()),
+                (1, 2, crate::net::LinkFaults::default()),
+                (0, 2, crate::net::LinkFaults::default()),
+            ],
+            steps: vec![
+                SimStep::ClickUpload {
+                    broker: 1,
+                    forged: false,
+                },
+                SimStep::LinkDown { a: 0, b: 1 },
+                SimStep::LinkUp {
+                    a: 0,
+                    b: 1,
+                    faults: crate::net::LinkFaults::default(),
+                },
+            ],
+        };
+        let stats = execute_plan(&plan).expect("clean plan passes all oracles");
+        assert_eq!(stats.steps, 3);
+        assert_eq!(stats.uploads, 1);
+        assert!(stats.probes >= 8, "initial + one per step, two topics");
+    }
+
+    #[test]
+    fn kill_restart_recovers_acked_uploads() {
+        let plan = SimPlan {
+            seed: 0,
+            brokers: 3,
+            links: vec![
+                (0, 1, crate::net::LinkFaults::default()),
+                (1, 2, crate::net::LinkFaults::default()),
+            ],
+            steps: vec![
+                SimStep::ClickUpload {
+                    broker: 2,
+                    forged: true,
+                },
+                SimStep::ClickUpload {
+                    broker: 2,
+                    forged: false,
+                },
+                SimStep::Kill { broker: 2, torn: 0 },
+                SimStep::Restart { broker: 2 },
+                SimStep::ClickUpload {
+                    broker: 2,
+                    forged: false,
+                },
+            ],
+        };
+        let stats = execute_plan(&plan).expect("kill/restart passes oracles");
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.uploads, 3);
+    }
+
+    #[test]
+    fn seeded_runs_are_replayable() {
+        for seed in [3, 17] {
+            let a = run_seed(seed).expect("seed passes");
+            let b = run_seed(seed).expect("same seed still passes");
+            assert_eq!(a, b, "seed {seed} must replay identically");
+        }
+    }
+}

@@ -32,10 +32,11 @@ use crate::server::ServerCore;
 use crate::stats::AutosubGauges;
 use parking_lot::Mutex;
 use reef_core::{AutoSubConfig, AutoSubEngine, DerivedFilter};
-use reef_pubsub::{Filter, SubscriberId, SubscriptionId};
+use reef_pubsub::{Clock, Filter, SubscriberId, SubscriptionId, SystemClock};
 use reef_simweb::UserId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Default cadence of the background refresh task.
@@ -52,6 +53,7 @@ pub struct AutosubOptions {
     enabled: bool,
     default_policy: AutoSubPolicy,
     refresh_interval: Duration,
+    clock: Arc<dyn Clock>,
 }
 
 impl Default for AutosubOptions {
@@ -60,6 +62,7 @@ impl Default for AutosubOptions {
             enabled: true,
             default_policy: AutoSubPolicy::default(),
             refresh_interval: DEFAULT_REFRESH_INTERVAL,
+            clock: SystemClock::shared(),
         }
     }
 }
@@ -97,6 +100,15 @@ impl AutosubOptions {
     pub fn interval(&self) -> Duration {
         self.refresh_interval
     }
+
+    /// Clock the engine's decay math reads "now" from. Defaults to
+    /// [`SystemClock`]; deterministic tests inject a
+    /// [`reef_pubsub::ManualClock`] so interest decay is a pure function
+    /// of the schedule driving it.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
 }
 
 /// One enrolled `(connection, user)` pair: the per-user engine plus the
@@ -115,8 +127,6 @@ struct Enrollment {
 /// transports), the refresh thread and connection teardown.
 pub(crate) struct AutosubRuntime {
     options: AutosubOptions,
-    /// Fixed origin for the engine's monotonic "now" clock (seconds).
-    origin: Instant,
     state: Mutex<HashMap<(SubscriberId, u32), Enrollment>>,
     /// `FeedChange` notices queued per connection, drained by the
     /// transport delivery paths.
@@ -162,7 +172,6 @@ impl AutosubRuntime {
     pub(crate) fn new(options: AutosubOptions) -> AutosubRuntime {
         AutosubRuntime {
             options,
-            origin: Instant::now(),
             state: Mutex::new(HashMap::new()),
             notices: Mutex::new(HashMap::new()),
             derived_total: AtomicU64::new(0),
@@ -179,8 +188,9 @@ impl AutosubRuntime {
         self.options.refresh_interval
     }
 
+    /// The engine's "now" in seconds, read off the injected clock.
     fn now_secs(&self) -> f64 {
-        self.origin.elapsed().as_secs_f64()
+        self.options.clock.now_ms() as f64 / 1000.0
     }
 
     /// Enroll `user` on behalf of `subscriber`'s connection, observing

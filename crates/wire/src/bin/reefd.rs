@@ -83,6 +83,11 @@ OPTIONS:
                              (default 1024)
         --write-timeout-ms N socket write timeout for delivery and peer
                              pumps, in milliseconds (default 5000)
+        --max-frame-bytes N  drop any connection (client or peer) that
+                             announces a frame longer than N bytes; the
+                             length prefix is checked before any buffer
+                             is reserved (default 16777216, also the
+                             protocol ceiling)
         --autosub            enable automatic subscriptions: clients
                              enroll users with AutoSubscribe, the daemon
                              mines their uploaded clicks and installs /
@@ -120,6 +125,7 @@ struct Config {
     overflow: OverflowPolicy,
     peer_queue: usize,
     write_timeout: Duration,
+    max_frame_bytes: Option<usize>,
     stats_interval: u64,
     data_dir: Option<PathBuf>,
     wal_segment_bytes: Option<u64>,
@@ -148,6 +154,7 @@ impl Config {
             overflow: OverflowPolicy::DropAndCount,
             peer_queue: 1024,
             write_timeout: Duration::from_secs(5),
+            max_frame_bytes: None,
             stats_interval: std::env::var("REEF_STATS_INTERVAL")
                 .ok()
                 .and_then(|s| s.parse().ok())
@@ -295,6 +302,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Config {
                     _ => bail("--write-timeout-ms must be a positive integer"),
                 }
             }
+            "--max-frame-bytes" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| bail("--max-frame-bytes needs a number"));
+                match raw.parse::<usize>() {
+                    // 5 = frame header version byte + the smallest
+                    // payload any codec emits; anything lower refuses
+                    // every frame.
+                    Ok(n) if n >= 5 => config.max_frame_bytes = Some(n),
+                    _ => bail("--max-frame-bytes must be an integer of at least 5"),
+                }
+            }
             "--autosub" => config.autosub = true,
             "--autosub-recommender" => {
                 let raw = args
@@ -375,6 +394,9 @@ fn main() {
     }
     if let Some(batches) = config.snapshot_every {
         builder = builder.snapshot_every(batches);
+    }
+    if let Some(bytes) = config.max_frame_bytes {
+        builder = builder.max_frame_bytes(bytes);
     }
     for peer in &config.peers {
         builder = builder.peer(peer.clone());

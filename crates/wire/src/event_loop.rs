@@ -598,7 +598,7 @@ impl EventLoop {
                 stream,
                 token,
                 peer,
-                decoder: FrameDecoder::new(),
+                decoder: FrameDecoder::with_max_frame(self.core.max_frame),
                 out: OutBuf::default(),
                 role: ConnRole::Client {
                     shared,
@@ -1070,7 +1070,7 @@ impl EventLoop {
                     stream,
                     token,
                     peer,
-                    decoder: FrameDecoder::new(),
+                    decoder: FrameDecoder::with_max_frame(self.core.max_frame),
                     out: OutBuf::default(),
                     role: ConnRole::Peer { link },
                     want_write: false,

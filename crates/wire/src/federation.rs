@@ -59,8 +59,8 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use reef_pubsub::net::TransportDelivery;
 use reef_pubsub::{
-    Broker, BrokerNode, ClientId, Event, Filter, GlobalSubId, NodeId, PeerMsg, PublishOutcome,
-    PublishedEvent, SubscriptionId, Transport,
+    Broker, BrokerNode, ClientId, Clock, Event, Filter, GlobalSubId, NodeId, PeerMsg,
+    PublishOutcome, PublishedEvent, SubscriptionId, SystemClock, Transport,
 };
 use std::collections::HashMap;
 use std::io::{BufReader, Read};
@@ -131,6 +131,15 @@ pub struct FederationConfig {
     /// declared dead and torn down (failover then promotes alternate
     /// routes in mesh mode). `None` disables keepalive. Default 10 s.
     pub peer_timeout: Option<Duration>,
+    /// Clock driving keepalive and refresh timers. Defaults to
+    /// [`SystemClock`]; deterministic tests inject a
+    /// [`reef_pubsub::ManualClock`] and advance virtual time explicitly.
+    pub clock: Arc<dyn Clock>,
+    /// Largest frame accepted off a peer link before the connection is
+    /// torn down (default [`crate::frame::MAX_FRAME_LEN`]). Checked
+    /// against the length prefix *before* any buffer is reserved, so a
+    /// hostile length cannot force a huge allocation.
+    pub max_frame: usize,
 }
 
 impl Default for FederationConfig {
@@ -146,6 +155,8 @@ impl Default for FederationConfig {
             mesh: false,
             route_refresh: Duration::from_secs(5),
             peer_timeout: Some(Duration::from_secs(10)),
+            clock: SystemClock::shared(),
+            max_frame: crate::frame::MAX_FRAME_LEN,
         }
     }
 }
@@ -185,7 +196,7 @@ pub(crate) struct PeerLink {
     pub(crate) queued_events: AtomicUsize,
     pub(crate) stats: WireStats,
     closed: AtomicBool,
-    /// Milliseconds (since the federation's epoch) a frame was last read
+    /// Milliseconds (on the federation's clock) a frame was last read
     /// off this link — any inbound traffic counts as proof of life.
     last_rx: AtomicU64,
     /// When the last keepalive probe went out, so an idle link is pinged
@@ -336,9 +347,7 @@ pub struct Federation {
     shutdown: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     config: FederationConfig,
-    /// Wall-clock origin for link keepalive and refresh bookkeeping.
-    epoch: std::time::Instant,
-    /// Milliseconds (since `epoch`) of the last mesh route refresh.
+    /// Milliseconds (on `config.clock`) of the last mesh route refresh.
     last_refresh: AtomicU64,
 }
 
@@ -421,7 +430,6 @@ impl Federation {
             shutdown: Arc::new(AtomicBool::new(false)),
             threads: Mutex::new(Vec::new()),
             config,
-            epoch: std::time::Instant::now(),
             last_refresh: AtomicU64::new(0),
         });
         // In loop mode the event loop is the pump: it reads peer frames,
@@ -559,7 +567,8 @@ impl Federation {
         // Read the welcome straight off the socket, unbuffered: any bytes
         // the peer sends right after it (advertisement sync) must stay in
         // the kernel buffer so an adopting event loop sees them too.
-        let frame = Frame::read_from(&mut hello_lane)?.ok_or(WireError::Closed)?;
+        let frame = Frame::read_from_capped(&mut hello_lane, self.config.max_frame)?
+            .ok_or(WireError::Closed)?;
         let (peer_name, peer_broker_id) = match codec.decode_server(&frame)? {
             ServerFrame::Reply {
                 response:
@@ -698,9 +707,9 @@ impl Federation {
         });
     }
 
-    /// Milliseconds since this federation's epoch.
+    /// Milliseconds on the federation's injected clock.
     fn now_ms(&self) -> u64 {
-        self.epoch.elapsed().as_millis() as u64
+        self.config.clock.now_ms()
     }
 
     /// Periodic maintenance, called from the routing pump (threaded
@@ -1066,7 +1075,7 @@ impl Federation {
             if self.shutdown.load(Ordering::SeqCst) || link.closed.load(Ordering::SeqCst) {
                 return;
             }
-            let frame = match Frame::read_from(reader) {
+            let frame = match Frame::read_from_capped(reader, self.config.max_frame) {
                 Ok(Some(frame)) => frame,
                 Ok(None) => return,
                 Err(_) => {

@@ -120,6 +120,18 @@ impl Frame {
     /// Returns `Ok(None)` on clean end-of-stream (EOF before the first
     /// header byte); a partial header or body is a protocol error.
     pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+        Frame::read_from_capped(r, MAX_FRAME_LEN)
+    }
+
+    /// Like [`Frame::read_from`], but rejecting any frame whose length
+    /// prefix exceeds `max_frame` — checked **before** the payload buffer
+    /// is reserved, so a hostile 4 GiB length costs nothing. `max_frame`
+    /// is clamped to [`MAX_FRAME_LEN`], the protocol ceiling.
+    pub fn read_from_capped(
+        r: &mut impl Read,
+        max_frame: usize,
+    ) -> Result<Option<Frame>, WireError> {
+        let cap = max_frame.min(MAX_FRAME_LEN);
         let mut header = [0u8; 4];
         // Distinguish "no more frames" from "died mid-frame".
         let mut filled = 0;
@@ -136,7 +148,7 @@ impl Frame {
         if body_len == 0 {
             return Err(WireError::Protocol("zero-length frame".into()));
         }
-        if body_len > MAX_FRAME_LEN {
+        if body_len > cap {
             return Err(WireError::FrameTooLarge(body_len));
         }
         let mid_frame_eof = |e: std::io::Error| match e.kind() {
@@ -181,21 +193,43 @@ impl Frame {
 /// decoder.extend(tail);
 /// assert_eq!(decoder.next_frame().unwrap(), Some(frame));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed by returned frames; compacted
     /// away once the parsed prefix grows past a threshold.
     pos: usize,
+    /// Largest accepted frame body; length prefixes past this error
+    /// before any payload byte is buffered into a frame.
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
 }
 
 /// Compact the decoder's buffer once this many consumed bytes accumulate.
 const DECODER_COMPACT_THRESHOLD: usize = 64 * 1024;
 
 impl FrameDecoder {
-    /// An empty decoder.
+    /// An empty decoder accepting frames up to [`MAX_FRAME_LEN`].
     pub fn new() -> FrameDecoder {
-        FrameDecoder::default()
+        FrameDecoder::with_max_frame(MAX_FRAME_LEN)
+    }
+
+    /// An empty decoder rejecting frames whose length prefix exceeds
+    /// `max_frame` (clamped to [`MAX_FRAME_LEN`], the protocol ceiling).
+    /// The check runs as soon as the 4-byte header is complete — before
+    /// the payload is copied out — so a hostile length never turns into
+    /// an allocation.
+    pub fn with_max_frame(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame: max_frame.min(MAX_FRAME_LEN),
+        }
     }
 
     /// Append bytes read off the socket.
@@ -228,7 +262,7 @@ impl FrameDecoder {
         if body_len == 0 {
             return Err(WireError::Protocol("zero-length frame".into()));
         }
-        if body_len > MAX_FRAME_LEN {
+        if body_len > self.max_frame {
             return Err(WireError::FrameTooLarge(body_len));
         }
         if pending.len() < 4 + body_len {
@@ -324,6 +358,25 @@ mod tests {
             decoder.next_frame(),
             Err(WireError::FrameTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn configured_cap_rejects_frames_the_ceiling_would_accept() {
+        let frame = Frame::encode(&vec![0u8; 1024]).unwrap();
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        assert!(matches!(
+            Frame::read_from_capped(&mut buf.as_slice(), 64),
+            Err(WireError::FrameTooLarge(_))
+        ));
+        let mut decoder = FrameDecoder::with_max_frame(64);
+        decoder.extend(&buf);
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(WireError::FrameTooLarge(_))
+        ));
+        // The same bytes pass untouched at the protocol ceiling.
+        assert_eq!(Frame::read_from(&mut buf.as_slice()).unwrap(), Some(frame));
     }
 
     #[test]

@@ -56,7 +56,10 @@ use crate::stats::{
 };
 use parking_lot::Mutex;
 use reef_attention::{DurableClickStore, PersistConfig};
-use reef_pubsub::{Broker, NodeId, OverflowPolicy, SubscriberHandle, SubscriberId, SubscriptionId};
+use reef_pubsub::{
+    Broker, Clock, NodeId, OverflowPolicy, SubscriberHandle, SubscriberId, SubscriptionId,
+    SystemClock,
+};
 use std::collections::HashSet;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -152,6 +155,8 @@ pub struct BrokerServerBuilder {
     wal_segment_bytes: Option<u64>,
     snapshot_every: Option<u64>,
     autosub: Option<AutosubOptions>,
+    max_frame_bytes: Option<usize>,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl BrokerServerBuilder {
@@ -309,6 +314,24 @@ impl BrokerServerBuilder {
         self
     }
 
+    /// Largest frame accepted from any connection — client or peer —
+    /// before the connection is dropped (default 16 MiB, the protocol
+    /// ceiling). The length prefix is checked against this cap *before*
+    /// any buffer is reserved, so a hostile 4 GiB length costs nothing.
+    /// Values above the protocol ceiling are clamped to it.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = Some(bytes);
+        self
+    }
+
+    /// Clock driving peer keepalive, mesh route refresh and autosub
+    /// decay (default: wall time). Deterministic tests inject a
+    /// [`reef_pubsub::ManualClock`] and advance virtual time explicitly.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Bind `addr` and start serving.
     ///
     /// # Errors
@@ -358,6 +381,10 @@ impl BrokerServerBuilder {
             self.transport.unwrap_or_default(),
             self.loop_threads,
             self.autosub.unwrap_or_default(),
+            self.max_frame_bytes
+                .unwrap_or(crate::frame::MAX_FRAME_LEN)
+                .min(crate::frame::MAX_FRAME_LEN),
+            self.clock.unwrap_or_else(SystemClock::shared),
         )
     }
 }
@@ -537,6 +564,9 @@ pub(crate) struct ServerCore {
     pub(crate) name: String,
     pub(crate) write_timeout: Duration,
     pub(crate) autosub: AutosubRuntime,
+    /// Largest frame accepted from any connection; length prefixes past
+    /// this drop the connection before a buffer is reserved.
+    pub(crate) max_frame: usize,
 }
 
 impl ServerCore {
@@ -738,6 +768,8 @@ impl BrokerServer {
         transport: TransportKind,
         loop_threads: Option<usize>,
         autosub: AutosubOptions,
+        max_frame: usize,
+        clock: Arc<dyn Clock>,
     ) -> Result<BrokerServer, WireError> {
         if transport == TransportKind::Epoll && !cfg!(target_os = "linux") {
             return Err(WireError::Protocol(
@@ -766,6 +798,8 @@ impl BrokerServer {
                 mesh,
                 route_refresh,
                 peer_timeout,
+                clock: Arc::clone(&clock),
+                max_frame,
             },
         );
         let stats = WireStats::new();
@@ -782,6 +816,7 @@ impl BrokerServer {
             name,
             write_timeout,
             autosub: AutosubRuntime::new(autosub),
+            max_frame,
         });
         let mut server = BrokerServer {
             core: Arc::clone(&core),
@@ -1118,7 +1153,7 @@ impl ConnectionReader {
             {
                 break;
             }
-            let frame = match Frame::read_from(&mut reader) {
+            let frame = match Frame::read_from_capped(&mut reader, self.core.max_frame) {
                 Ok(Some(frame)) => frame,
                 // Clean EOF or a broken socket: either way the conversation
                 // is over.

@@ -1,0 +1,5 @@
+//! Fuzz the v2 compressed click-upload decoder.
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| { reef_fuzz::check_click_upload_v2(data) });

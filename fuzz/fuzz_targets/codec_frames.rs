@@ -1,0 +1,5 @@
+//! Fuzz both codecs' full frame surface (client, server, peer).
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| { reef_fuzz::check_codec_frames(data) });

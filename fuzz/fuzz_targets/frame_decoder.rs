@@ -1,0 +1,5 @@
+//! Fuzz the incremental frame decoder against the blocking reader.
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| { reef_fuzz::check_frame_decoder(data) });

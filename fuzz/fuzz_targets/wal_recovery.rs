@@ -1,0 +1,6 @@
+//! Fuzz WAL/snapshot recovery: arbitrary on-disk bytes must recover
+//! cleanly and leave the store writable.
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| { reef_fuzz::check_wal_recovery(data) });

@@ -1,0 +1,30 @@
+//! Structure-aware fuzzing of every byte-level parser in the workspace.
+//!
+//! Four surfaces take attacker-controlled bytes: the frame decoder,
+//! the two codecs' full message surface, the v2 compressed click-upload
+//! path (the §3.1 attention-upload extension), and WAL/snapshot
+//! recovery. Each gets a check body here, shared between
+//!
+//! * `fuzz_targets/*.rs` — libfuzzer-style binaries (via the offline
+//!   `vendor/libfuzzer` shim; point the workspace dependency back at
+//!   crates.io to run them coverage-guided under `cargo fuzz`), and
+//! * `fuzz/tests/corpus.rs` — a deterministic, `cargo test`-runnable
+//!   driver that mutates encoder-produced seeds with the same seeded
+//!   PRNG the simulation harness uses (`REEF_TEST_SEED` varies the
+//!   stream, failures print the reproducing seed).
+//!
+//! The contract every check enforces: no panic, allocations bounded
+//! even when length fields lie (a counting global allocator measures
+//! peak usage per input), and `encode(decode(x))` a fixpoint wherever
+//! a decode succeeds.
+
+#![warn(missing_docs)]
+
+pub mod alloc_track;
+pub mod corpus;
+pub mod mutate;
+pub mod targets;
+
+pub use targets::{
+    check_click_upload_v2, check_codec_frames, check_frame_decoder, check_wal_recovery,
+};

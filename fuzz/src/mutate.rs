@@ -1,0 +1,103 @@
+//! Structure-aware mutations over encoder-produced seeds.
+//!
+//! With no coverage feedback available offline, the mutations encode
+//! what we know about the formats instead: every byte-level parser in
+//! the workspace reads length prefixes (frame headers, LEB128 varints,
+//! WAL record headers), so the operators are biased toward the
+//! mistakes those make possible — torn tails, inflated length fields,
+//! runaway varint continuations, spliced 32-bit length bombs.
+
+use reef_sim::SimRng;
+
+/// Produce one mutant of `input` using `rng`'s stream.
+pub fn mutate(input: &[u8], rng: &mut SimRng) -> Vec<u8> {
+    let mut out = input.to_vec();
+    if out.is_empty() {
+        return vec![rng.next_u64() as u8];
+    }
+    match rng.below(7) {
+        // Torn tail: the truncation every crash and half-flushed socket
+        // produces.
+        0 => {
+            let keep = rng.below(out.len());
+            out.truncate(keep);
+        }
+        // A few random bit flips (corrupt CRCs, tags, bools, UTF-8).
+        1 => {
+            for _ in 0..=rng.below(4) {
+                let i = rng.below(out.len());
+                out[i] ^= 1 << rng.below(8);
+            }
+        }
+        // 0xFF run: maximizes any length field or varint it lands on.
+        2 => {
+            let i = rng.below(out.len());
+            let n = 1 + rng.below(8.min(out.len() - i));
+            for b in &mut out[i..i + n] {
+                *b = 0xFF;
+            }
+        }
+        // Insert a lone varint continuation byte: shifts every later
+        // field and can stretch a varint past its 10-byte limit.
+        3 => {
+            let i = rng.below(out.len() + 1);
+            out.insert(i, 0x80);
+        }
+        // Duplicate a slice elsewhere (repeated records, doubled tags).
+        4 => {
+            let i = rng.below(out.len());
+            let n = 1 + rng.below((out.len() - i).min(16));
+            let slice = out[i..i + n].to_vec();
+            let j = rng.below(out.len() + 1);
+            for (k, b) in slice.into_iter().enumerate() {
+                out.insert(j + k, b);
+            }
+        }
+        // Length bomb: overwrite four bytes with a huge value, hitting
+        // u32 frame/record headers in either endianness often enough.
+        5 => {
+            let i = rng.below(out.len());
+            let bomb: u32 = if rng.chance(0.5) {
+                0x7FFF_FFF0
+            } else {
+                0xFFFF_FFF0
+            };
+            for (k, b) in bomb.to_be_bytes().into_iter().enumerate() {
+                if i + k < out.len() {
+                    out[i + k] = b;
+                }
+            }
+        }
+        // Single random byte.
+        _ => {
+            let i = rng.below(out.len());
+            out[i] = rng.next_u64() as u8;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let input = b"hello byte-level world".to_vec();
+        let a: Vec<Vec<u8>> = {
+            let mut rng = SimRng::new(9);
+            (0..32).map(|_| mutate(&input, &mut rng)).collect()
+        };
+        let b: Vec<Vec<u8>> = {
+            let mut rng = SimRng::new(9);
+            (0..32).map(|_| mutate(&input, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_grows() {
+        let mut rng = SimRng::new(1);
+        assert!(!mutate(&[], &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic corpus driver: runs every fuzz check over its
+//! encoder-produced seeds plus seeded mutants, under plain `cargo test`.
+//!
+//! `REEF_TEST_SEED=<n>` varies the mutation stream (and is printed on
+//! failure so any crash is replayable); the default stream is fixed, so
+//! CI runs are reproducible byte for byte.
+
+use reef_fuzz::{corpus, mutate};
+use reef_sim::SimRng;
+
+const MUTANTS_PER_SEED: usize = 48;
+
+fn env_seed() -> u64 {
+    match std::env::var("REEF_TEST_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("REEF_TEST_SEED must be a u64, got {s:?}")),
+        Err(_) => 0,
+    }
+}
+
+fn hex_preview(data: &[u8]) -> String {
+    let shown: String = data.iter().take(96).map(|b| format!("{b:02x}")).collect();
+    if data.len() > 96 {
+        format!("{shown}… ({} bytes)", data.len())
+    } else {
+        format!("{shown} ({} bytes)", data.len())
+    }
+}
+
+/// Run `check` over each seed and `MUTANTS_PER_SEED` mutants of it; on
+/// panic, re-panic with the target label, the seed/mutant coordinates,
+/// the `REEF_TEST_SEED` that reproduces the stream, and the input hex.
+fn drive(label: &str, seeds: &[Vec<u8>], check: fn(&[u8])) {
+    let env = env_seed();
+    let mut rng = SimRng::new(0x5EED_F00D_u64 ^ env.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    assert!(!seeds.is_empty(), "{label}: empty seed corpus");
+    for (i, seed) in seeds.iter().enumerate() {
+        run_one(label, &format!("seed[{i}]"), env, seed, check);
+        for m in 0..MUTANTS_PER_SEED {
+            let mutant = mutate::mutate(seed, &mut rng);
+            run_one(
+                label,
+                &format!("seed[{i}] mutant[{m}]"),
+                env,
+                &mutant,
+                check,
+            );
+        }
+    }
+}
+
+fn run_one(label: &str, id: &str, env: u64, data: &[u8], check: fn(&[u8])) {
+    if let Err(panic) = std::panic::catch_unwind(|| check(data)) {
+        eprintln!(
+            "fuzz corpus failure: target={label} {id} REEF_TEST_SEED={env}\n  input: {}",
+            hex_preview(data)
+        );
+        std::panic::resume_unwind(panic);
+    }
+}
+
+/// Degenerate inputs every target must shrug off.
+fn edge_inputs() -> Vec<Vec<u8>> {
+    vec![
+        vec![],
+        vec![0x00],
+        vec![0xFF],
+        vec![0x00; 64],
+        vec![0xFF; 64],
+        vec![0x80; 16], // endless varint continuations
+    ]
+}
+
+#[test]
+fn frame_decoder_corpus() {
+    let mut seeds = corpus::frame_streams();
+    seeds.extend(edge_inputs());
+    drive("frame_decoder", &seeds, reef_fuzz::check_frame_decoder);
+}
+
+#[test]
+fn codec_frames_corpus() {
+    let mut seeds = corpus::codec_payloads();
+    seeds.extend(edge_inputs());
+    drive("codec_frames", &seeds, reef_fuzz::check_codec_frames);
+}
+
+#[test]
+fn click_upload_v2_corpus() {
+    let mut seeds = corpus::click_upload_payloads();
+    seeds.extend(edge_inputs());
+    drive("click_upload_v2", &seeds, reef_fuzz::check_click_upload_v2);
+}
+
+#[test]
+fn wal_recovery_corpus() {
+    let mut seeds = corpus::wal_images();
+    seeds.extend(edge_inputs());
+    drive("wal_recovery", &seeds, reef_fuzz::check_wal_recovery);
+}
+
+/// Regression for the max-frame cap: a header claiming 15 MiB against a
+/// 4 KiB cap must be rejected *before* any buffer is reserved for the
+/// claim. The tight allocation bound fails if the length prefix ever
+/// reaches an allocator.
+#[test]
+fn max_frame_cap_rejects_before_allocating() {
+    use reef_wire::{Frame, FrameDecoder};
+
+    let mut lying = Vec::new();
+    lying.extend_from_slice(&(15u32 * 1024 * 1024).to_be_bytes());
+    lying.push(0x02); // version byte
+    lying.extend_from_slice(&[0xAB; 32]); // a little payload, nowhere near the claim
+
+    reef_fuzz::alloc_track::bounded_by("max_frame_cap(decoder)", 256 * 1024, || {
+        let mut dec = FrameDecoder::with_max_frame(4096);
+        dec.extend(&lying);
+        assert!(
+            dec.next_frame().is_err(),
+            "15 MiB claim must error under a 4 KiB cap"
+        );
+    });
+
+    reef_fuzz::alloc_track::bounded_by("max_frame_cap(read_from_capped)", 256 * 1024, || {
+        let mut cursor = std::io::Cursor::new(lying.as_slice());
+        assert!(
+            Frame::read_from_capped(&mut cursor, 4096).is_err(),
+            "15 MiB claim must error under a 4 KiB cap"
+        );
+    });
+}

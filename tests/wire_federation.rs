@@ -556,8 +556,20 @@ fn keepalive_holds_an_idle_peer_link_open() {
         a.federation_stats().peers == 1 && b.federation_stats().peers == 1
     });
 
-    // Four timeouts of silence: only keepalive traffic crosses the link.
-    std::thread::sleep(4 * timeout);
+    // Idle the link until keepalive traffic proves silence outlasted the
+    // deadline: probes fire at a third of the timeout, so three inbound
+    // frames on each side mean a full timeout of idleness passed with
+    // only ping/pong crossing — no blind multi-timeout sleep needed.
+    let peer_frames_in =
+        |s: &reef_wire::FederationStatsSnapshot| s.json.frames_in + s.binary.frames_in;
+    let (base_a, base_b) = (
+        peer_frames_in(&a.federation_stats()),
+        peer_frames_in(&b.federation_stats()),
+    );
+    wait_for("keepalives cross the idle link", || {
+        peer_frames_in(&a.federation_stats()) >= base_a + 3
+            && peer_frames_in(&b.federation_stats()) >= base_b + 3
+    });
     assert_eq!(a.federation_stats().peers, 1, "link survived idling at a");
     assert_eq!(b.federation_stats().peers, 1, "link survived idling at b");
 

@@ -9,23 +9,52 @@
 //! Unlike upstream proptest there is **no shrinking**: a failing case panics
 //! with its inputs rendered via `Debug`, which is enough to reproduce since
 //! case generation is deterministic per test name.
+//!
+//! # Seed override
+//!
+//! Setting `REEF_TEST_SEED=<u64>` perturbs every property's case stream
+//! (the same value reproduces the same stream), and each failure report
+//! prints the seed in effect so a failing run is replayable with one
+//! environment variable. Unset (or `0`) keeps the historical per-name
+//! streams byte-identical.
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
+
+/// The active `REEF_TEST_SEED` override (`0` = default streams). Parsed
+/// once; an unparseable value panics loudly rather than silently testing
+/// the wrong thing.
+pub fn env_seed() -> u64 {
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| match std::env::var("REEF_TEST_SEED") {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("REEF_TEST_SEED must be a u64, got {raw:?}")),
+        Err(_) => 0,
+    })
+}
 
 /// Deterministic generator driving case generation (SplitMix64).
 #[derive(Debug, Clone)]
 pub struct TestRng(u64);
 
 impl TestRng {
-    /// A generator seeded from the test's name, stable across runs.
+    /// A generator seeded from the test's name and the `REEF_TEST_SEED`
+    /// environment override, stable across runs.
     pub fn deterministic(name: &str) -> Self {
+        Self::deterministic_seeded(name, env_seed())
+    }
+
+    /// A generator seeded from the test's name mixed with `extra`.
+    /// `extra == 0` reproduces the historical per-name stream exactly.
+    pub fn deterministic_seeded(name: &str, extra: u64) -> Self {
         let mut seed = 0xcbf29ce484222325u64;
         for b in name.bytes() {
             seed ^= u64::from(b);
             seed = seed.wrapping_mul(0x100000001b3);
         }
-        TestRng(seed)
+        TestRng(seed ^ extra.wrapping_mul(0x2545f4914f6cdd1d))
     }
 
     /// Next 64 random bits.
@@ -566,12 +595,14 @@ macro_rules! __proptest_impl {
                 })();
                 if let ::std::result::Result::Err(__e) = __outcome {
                     panic!(
-                        "property `{}` failed at case {}/{}:\n{}\ninputs: {}",
+                        "property `{}` failed at case {}/{}:\n{}\ninputs: {}\n\
+                         seed: replay this stream with REEF_TEST_SEED={}",
                         stringify!($name),
                         __case + 1,
                         __config.cases,
                         __e,
-                        __inputs
+                        __inputs,
+                        $crate::env_seed()
                     );
                 }
             }

@@ -381,10 +381,21 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Literals that overflow f64 parse to ±inf, which serialization
+        // (correctly) refuses to emit — accepting them here would make
+        // the parser produce values the printer cannot round-trip.
+        // Reject them like real serde_json does.
+        let finite = |f: f64| {
+            if f.is_finite() {
+                Ok(Value::Float(f))
+            } else {
+                Err(Error::new(format!("number out of range: `{text}`")))
+            }
+        };
         if is_float {
             text.parse::<f64>()
-                .map(Value::Float)
                 .map_err(|e| Error::new(format!("invalid number `{text}`: {e}")))
+                .and_then(finite)
         } else {
             match text.parse::<i64>() {
                 Ok(i) => Ok(Value::Int(i)),
@@ -395,8 +406,8 @@ impl<'a> Parser<'a> {
                     Ok(u) => Ok(Value::UInt(u)),
                     Err(_) => text
                         .parse::<f64>()
-                        .map(Value::Float)
-                        .map_err(|e| Error::new(format!("invalid number `{text}`: {e}"))),
+                        .map_err(|e| Error::new(format!("invalid number `{text}`: {e}")))
+                        .and_then(finite),
                 },
             }
         }
